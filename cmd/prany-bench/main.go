@@ -1,0 +1,265 @@
+// Command prany-bench runs every experiment in DESIGN.md §4 and prints the
+// tables recorded in EXPERIMENTS.md: the per-protocol cost profiles of
+// Figures 1-4 (measured against the analytic model), the Theorem 1
+// violation table, the Theorem 2 retention growth curve, the Theorem 3
+// fault sweep, the who-wins performance matrix, and the read-only
+// optimization ablation.
+//
+// Usage:
+//
+//	prany-bench               # everything
+//	prany-bench -run costs    # one section: costs, theorem1, theorem2,
+//	                          # sweep, perf, readonly
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"prany/internal/core"
+	"prany/internal/experiments"
+	"prany/internal/wire"
+)
+
+func main() {
+	run := flag.String("run", "all", "which section to run: all, costs, theorem1, theorem2, sweep, perf, readonly")
+	flag.Parse()
+
+	sections := map[string]func(){
+		"costs":    costs,
+		"theorem1": theorem1,
+		"theorem2": theorem2,
+		"sweep":    sweep,
+		"perf":     perf,
+		"readonly": readonly,
+		"iyv":      iyv,
+		"cl":       cl,
+	}
+	if *run == "all" {
+		for _, name := range []string{"costs", "theorem1", "theorem2", "sweep", "perf", "readonly", "iyv", "cl"} {
+			sections[name]()
+			fmt.Println()
+		}
+		return
+	}
+	fn, ok := sections[strings.ToLower(*run)]
+	if !ok {
+		log.Fatalf("unknown section %q", *run)
+	}
+	fn()
+}
+
+func header(title string) {
+	fmt.Println(title)
+	fmt.Println(strings.Repeat("-", len(title)))
+}
+
+// costs prints E1-E4: measured cost profiles vs the analytic model.
+func costs() {
+	header("E1-E4: per-transaction cost profiles (Figures 2, 3, 4a/b, 1a/b)")
+	fmt.Printf("%-18s %-7s %6s | %9s %9s %9s %9s %6s %5s | %s\n",
+		"protocol", "outcome", "n", "coordF", "coordRec", "partF", "partRec", "msgs", "acks", "model")
+	type row struct {
+		mix []wire.Protocol
+	}
+	rows := []row{
+		{experiments.Homogeneous(wire.PrN, 2)},
+		{experiments.Homogeneous(wire.PrN, 4)},
+		{experiments.Homogeneous(wire.PrN, 8)},
+		{experiments.Homogeneous(wire.PrA, 2)},
+		{experiments.Homogeneous(wire.PrA, 4)},
+		{experiments.Homogeneous(wire.PrA, 8)},
+		{experiments.Homogeneous(wire.PrC, 2)},
+		{experiments.Homogeneous(wire.PrC, 4)},
+		{experiments.Homogeneous(wire.PrC, 8)},
+		{[]wire.Protocol{wire.PrA, wire.PrC}},
+		{experiments.MixedThirds(3)},
+		{experiments.MixedThirds(6)},
+		{experiments.MixedThirds(9)},
+	}
+	for _, r := range rows {
+		for _, outcome := range []wire.Outcome{wire.Commit, wire.Abort} {
+			got, err := experiments.MeasureCost(r.mix, outcome)
+			if err != nil {
+				log.Fatalf("%v %s: %v", r.mix, outcome, err)
+			}
+			want := experiments.ExpectedCost(r.mix, outcome)
+			verdict := "MATCH"
+			if got != want {
+				verdict = fmt.Sprintf("MISMATCH (want %+v)", want)
+			}
+			fmt.Printf("%-18s %-7s %6d | %9d %9d %9d %9d %6d %5d | %s\n",
+				got.Label, outcome, got.N, got.CoordForces, got.CoordRecords,
+				got.PartForces, got.PartRecords, got.Messages, got.Acks, verdict)
+		}
+	}
+}
+
+// theorem1 prints E5: the adversarial schedules of Theorem 1.
+func theorem1() {
+	header("E5: Theorem 1 — U2PC violates atomicity, PrAny does not")
+	rows, err := experiments.Theorem1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s %-20s %11s %9s\n", "strategy", "schedule", "violations", "diverged")
+	for _, r := range rows {
+		fmt.Printf("%-12s %-20s %11d %9v\n", r.Strategy, r.Schedule, r.Violations, r.Diverged)
+	}
+}
+
+// theorem2 prints E6: retention growth under C2PC vs PrAny.
+func theorem2() {
+	header("E6: Theorem 2 — C2PC retention grows without bound, PrAny drains")
+	fmt.Printf("%-12s %6s %9s %13s\n", "strategy", "txns", "retained", "pinnedRecords")
+	for _, txns := range []int{10, 50, 100, 200} {
+		for _, s := range []struct {
+			strategy core.Strategy
+			native   wire.Protocol
+		}{{core.StrategyC2PC, wire.PrN}, {core.StrategyPrAny, wire.PrN}} {
+			pt, err := experiments.Theorem2(s.strategy, s.native, txns)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-12s %6d %9d %13d\n", pt.Strategy, pt.Txns, pt.Retained, pt.StableRecords)
+		}
+	}
+}
+
+// sweep prints E7: Monte-Carlo fault injection under PrAny.
+func sweep() {
+	header("E7: Theorem 3 — PrAny under omission faults and crashes")
+	fmt.Printf("%6s %6s %8s %8s %8s %11s %9s %9s\n",
+		"drop%", "txns", "commits", "aborts", "crashes", "violations", "quiesced", "leftover")
+	for _, p := range []float64{0, 0.05, 0.10, 0.20} {
+		res, err := experiments.FaultSweep(core.StrategyPrAny, wire.PrN, p, 40, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6.0f %6d %8d %8d %8d %11d %9v %9d\n",
+			p*100, res.Txns, res.Commits, res.Aborts, res.Crashes,
+			res.Violations, res.Quiesced, res.Leftover)
+	}
+}
+
+// perf prints E8: the who-wins matrix across commit ratios.
+func perf() {
+	header("E8: who wins — throughput and per-txn costs across commit ratios")
+	fmt.Printf("%-18s %8s | %9s %12s %10s %10s\n",
+		"protocol", "commit%", "txns/s", "meanLatency", "forces/txn", "msgs/txn")
+	for _, ratio := range []float64{1.0, 0.75, 0.5, 0.25, 0.0} {
+		mixes := [][]wire.Protocol{
+			experiments.Homogeneous(wire.PrN, 3),
+			experiments.Homogeneous(wire.PrA, 3),
+			experiments.Homogeneous(wire.PrC, 3),
+			experiments.MixedThirds(3),
+		}
+		if ratio == 1.0 {
+			// The one-phase and coordinator-log extensions join the
+			// commit-only row (their aborts arise from execution failures,
+			// not prepare-time no votes, so the poisoned-abort workload
+			// does not apply).
+			mixes = append(mixes,
+				experiments.Homogeneous(wire.IYV, 3),
+				experiments.Homogeneous(wire.CL, 3))
+		}
+		for _, mix := range mixes {
+			pt, err := experiments.MeasurePerf(mix, ratio, 200, 4, 99)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-18s %8.0f | %9.0f %12s %10.2f %10.2f\n",
+				pt.Label, ratio*100, pt.TxnsPerSec, pt.MeanLatency.Round(1000), pt.ForcesPerTxn, pt.MsgsPerTxn)
+		}
+		fmt.Println()
+	}
+}
+
+// iyv prints E11: the implicit yes-vote extension — the paper conclusion's
+// future-work protocol integrated under the same criterion.
+func iyv() {
+	header("E11: implicit yes-vote (one-phase) extension, commit costs")
+	fmt.Printf("%-18s %6s | %9s %9s %9s %9s %6s %5s | %s\n",
+		"protocol", "n", "coordF", "coordRec", "partF", "partRec", "msgs", "acks", "model")
+	rows := [][]wire.Protocol{
+		experiments.Homogeneous(wire.IYV, 2),
+		experiments.Homogeneous(wire.IYV, 4),
+		experiments.Homogeneous(wire.IYV, 8),
+		{wire.IYV, wire.PrA, wire.PrC},
+		{wire.IYV, wire.IYV, wire.PrN, wire.PrC},
+	}
+	for _, mix := range rows {
+		got, err := experiments.MeasureCost(mix, wire.Commit)
+		if err != nil {
+			log.Fatal(err)
+		}
+		want := experiments.ExpectedCost(mix, wire.Commit)
+		verdict := "MATCH"
+		if got != want {
+			verdict = fmt.Sprintf("MISMATCH (want %+v)", want)
+		}
+		fmt.Printf("%-18s %6d | %9d %9d %9d %9d %6d %5d | %s\n",
+			got.Label, got.N, got.CoordForces, got.CoordRecords,
+			got.PartForces, got.PartRecords, got.Messages, got.Acks, verdict)
+	}
+	fmt.Println()
+	fmt.Println("reference: PrA homogeneous commits (two-phase baseline)")
+	for _, n := range []int{2, 4, 8} {
+		got, err := experiments.MeasureCost(experiments.Homogeneous(wire.PrA, n), wire.Commit)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %6d | %9d %9d %9d %9d %6d %5d |\n",
+			got.Label, got.N, got.CoordForces, got.CoordRecords,
+			got.PartForces, got.PartRecords, got.Messages, got.Acks)
+	}
+}
+
+// cl prints E12: the coordinator-log extension — participants log nothing,
+// the coordinator's log is the system's only log.
+func cl() {
+	header("E12: coordinator log (participants log nothing), commit costs")
+	fmt.Printf("%-22s %6s | %9s %9s %9s %9s %6s %5s | %s\n",
+		"protocol", "n", "coordF", "coordRec", "partF", "partRec", "msgs", "acks", "model")
+	rows := [][]wire.Protocol{
+		experiments.Homogeneous(wire.CL, 2),
+		experiments.Homogeneous(wire.CL, 4),
+		experiments.Homogeneous(wire.CL, 8),
+		{wire.CL, wire.PrA, wire.PrC},
+		{wire.CL, wire.IYV, wire.PrN},
+	}
+	for _, mix := range rows {
+		got, err := experiments.MeasureCost(mix, wire.Commit)
+		if err != nil {
+			log.Fatal(err)
+		}
+		want := experiments.ExpectedCost(mix, wire.Commit)
+		verdict := "MATCH"
+		if got != want {
+			verdict = fmt.Sprintf("MISMATCH (want %+v)", want)
+		}
+		fmt.Printf("%-22s %6d | %9d %9d %9d %9d %6d %5d | %s\n",
+			got.Label, got.N, got.CoordForces, got.CoordRecords,
+			got.PartForces, got.PartRecords, got.Messages, got.Acks, verdict)
+	}
+	fmt.Println()
+	fmt.Println("note: partF/partRec are 0 in every CL row — the participants log nothing;")
+	fmt.Println("the coordinator pays one forced remote-writes record per shipped vote.")
+}
+
+// readonly prints E10: the read-only optimization ablation.
+func readonly() {
+	header("E10: read-only optimization ablation (3 sites, k read-only)")
+	fmt.Printf("%9s %10s | %10s %10s\n", "roSites", "optimized", "forces/txn", "msgs/txn")
+	for _, ro := range []int{0, 1, 2, 3} {
+		for _, opt := range []bool{false, true} {
+			pt, err := experiments.MeasureReadOnly(ro, opt, 20)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%9d %10v | %10.2f %10.2f\n", pt.ReadOnlySites, pt.Optimized, pt.ForcesPerTxn, pt.MsgsPerTxn)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"prany/internal/core"
+	"prany/internal/wire"
+)
+
+func TestSiteFlagsParse(t *testing.T) {
+	var f siteFlags
+	if err := f.Set("hotel=pra@127.0.0.1:7101"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Set("airline=prc@127.0.0.1:7102"); err != nil {
+		t.Fatal(err)
+	}
+	if f.addrs["hotel"] != "127.0.0.1:7101" || f.protos["hotel"] != wire.PrA {
+		t.Fatalf("hotel parsed as %q/%v", f.addrs["hotel"], f.protos["hotel"])
+	}
+	if f.protos["airline"] != wire.PrC {
+		t.Fatalf("airline proto %v", f.protos["airline"])
+	}
+	s := f.String()
+	if !strings.Contains(s, "hotel=PrA@127.0.0.1:7101") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestSiteFlagsRejectMalformed(t *testing.T) {
+	var f siteFlags
+	for _, bad := range []string{"", "hotel", "hotel=pra", "hotel=@addr", "hotel=prany@x", "hotel=bogus@x"} {
+		if err := f.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	s, n, err := parseStrategy("prany", "prn")
+	if err != nil || s != core.StrategyPrAny || n != wire.PrN {
+		t.Fatalf("prany: %v %v %v", s, n, err)
+	}
+	s, n, err = parseStrategy("U2PC", "prc")
+	if err != nil || s != core.StrategyU2PC || n != wire.PrC {
+		t.Fatalf("u2pc: %v %v %v", s, n, err)
+	}
+	if _, _, err := parseStrategy("bogus", "prn"); err == nil {
+		t.Fatal("bogus strategy accepted")
+	}
+	if _, _, err := parseStrategy("prany", "bogus"); err == nil {
+		t.Fatal("bogus native accepted")
+	}
+}

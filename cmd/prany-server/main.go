@@ -1,0 +1,122 @@
+// Command prany-server runs one participant site over TCP: a key-value
+// resource manager fronted by one of the three 2PC-variant participant
+// engines, with a file-backed write-ahead log. Several servers plus one
+// prany-coord form a real multi-process multidatabase.
+//
+// Usage:
+//
+//	prany-server -id hotel -proto pra -listen :7101 -wal hotel.wal \
+//	             -peer coord=127.0.0.1:7100
+//
+// Restarting the server on the same -wal file runs the participant
+// recovery procedure: in-doubt transactions re-acquire their locks and
+// inquire at the coordinator recorded in their prepared records.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"prany/internal/core"
+	"prany/internal/site"
+	"prany/internal/transport"
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+func main() {
+	id := flag.String("id", "", "site identifier (required)")
+	protoName := flag.String("proto", "pra", "participant protocol: prn, pra or prc")
+	listen := flag.String("listen", ":7101", "listen address")
+	walPath := flag.String("wal", "", "write-ahead log file (default <id>.wal)")
+	var peers peerFlags
+	flag.Var(&peers, "peer", "peer address as site=host:port (repeatable; the coordinator must be listed)")
+	tick := flag.Duration("tick", 500*time.Millisecond, "retry interval for in-doubt inquiries")
+	flag.Parse()
+
+	if *id == "" {
+		log.Fatal("prany-server: -id is required")
+	}
+	proto, err := wire.ParseProtocol(*protoName)
+	if err != nil || !proto.ParticipantProtocol() {
+		log.Fatalf("prany-server: bad -proto %q (want prn, pra or prc)", *protoName)
+	}
+	if *walPath == "" {
+		*walPath = *id + ".wal"
+	}
+
+	net, err := transport.NewTCPNetwork(transport.TCPOptions{
+		Listen: *listen,
+		Addrs:  peers.addrs,
+		Logf:   log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer net.Close()
+
+	store, err := wal.OpenFileStore(*walPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := site.New(site.Config{
+		ID:          wire.SiteID(*id),
+		Proto:       proto,
+		Net:         net,
+		LogStore:    store,
+		Coordinator: core.CoordinatorConfig{},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	log.Printf("site %s (%s) serving on %s, wal=%s", *id, proto, net.Addr(), *walPath)
+	if n := len(s.Participant().InDoubt()); n > 0 {
+		log.Printf("recovered with %d in-doubt transaction(s); inquiring", n)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(*tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.Tick()
+		case <-stop:
+			log.Printf("site %s shutting down", *id)
+			return
+		}
+	}
+}
+
+// peerFlags parses repeated site=addr flags.
+type peerFlags struct {
+	addrs map[wire.SiteID]string
+}
+
+func (p *peerFlags) String() string {
+	var parts []string
+	for id, a := range p.addrs {
+		parts = append(parts, fmt.Sprintf("%s=%s", id, a))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p *peerFlags) Set(v string) error {
+	name, addr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want site=host:port, got %q", v)
+	}
+	if p.addrs == nil {
+		p.addrs = make(map[wire.SiteID]string)
+	}
+	p.addrs[wire.SiteID(name)] = addr
+	return nil
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPeerFlagsParse(t *testing.T) {
+	var f peerFlags
+	if err := f.Set("coord=127.0.0.1:7100"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Set("other=10.0.0.1:9"); err != nil {
+		t.Fatal(err)
+	}
+	if f.addrs["coord"] != "127.0.0.1:7100" {
+		t.Fatalf("coord addr %q", f.addrs["coord"])
+	}
+	if !strings.Contains(f.String(), "coord=127.0.0.1:7100") {
+		t.Fatalf("String() = %q", f.String())
+	}
+}
+
+func TestPeerFlagsRejectMalformed(t *testing.T) {
+	var f peerFlags
+	if err := f.Set("noequals"); err == nil {
+		t.Fatal("malformed peer accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package prany_test
+
+import (
+	"fmt"
+	"time"
+
+	"prany"
+)
+
+// Example shows the library's front door: a cluster of sites running three
+// different commit protocols, one atomic transaction across them, and the
+// paper's correctness criterion checked over the recorded history.
+func Example() {
+	cluster, err := prany.NewCluster(prany.ClusterConfig{
+		Participants: []prany.ParticipantConfig{
+			{ID: "inventory", Protocol: prany.PrN},
+			{ID: "orders", Protocol: prany.PrA},
+			{ID: "billing", Protocol: prany.PrC},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer cluster.Close()
+
+	txn := cluster.Begin()
+	txn.Put("inventory", "widget", "reserved")
+	txn.Put("orders", "order-1", "widget")
+	txn.Put("billing", "invoice-1", "$9.99")
+	outcome, err := txn.Commit()
+	if err != nil {
+		panic(err)
+	}
+	cluster.Quiesce(2 * time.Second)
+
+	fmt.Println("outcome:", outcome)
+	fmt.Println("violations:", len(cluster.Violations()))
+	// Output:
+	// outcome: commit
+	// violations: 0
+}
+
+// ExampleCluster_Recover demonstrates crash recovery: a participant dies
+// holding an in-doubt transaction and resolves it by inquiry when it comes
+// back.
+func ExampleCluster_Recover() {
+	cluster, err := prany.NewCluster(prany.ClusterConfig{
+		Participants: []prany.ParticipantConfig{
+			{ID: "a", Protocol: prany.PrA},
+			{ID: "b", Protocol: prany.PrC},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer cluster.Close()
+
+	txn := cluster.Begin()
+	txn.Put("a", "k", "v")
+	txn.Put("b", "k", "v")
+	txn.Commit()
+	cluster.Quiesce(2 * time.Second)
+
+	cluster.Crash("b")
+	cluster.Recover("b")
+	cluster.Quiesce(2 * time.Second)
+
+	v, ok := cluster.Read("b", "k")
+	fmt.Println(v, ok, len(cluster.Violations()))
+	// Output: v true 0
+}
+
+// ExampleClusterConfig_legacy integrates a non-externalized legacy system
+// (auto-commit only, no commit protocol of its own) through a gateway that
+// simulates the prepared state.
+func ExampleClusterConfig_legacy() {
+	cluster, err := prany.NewCluster(prany.ClusterConfig{
+		Participants: []prany.ParticipantConfig{
+			{ID: "modern", Protocol: prany.PrA},
+			{ID: "mainframe", Protocol: prany.PrN, Legacy: true},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer cluster.Close()
+
+	txn := cluster.Begin()
+	txn.Put("modern", "order", "placed")
+	txn.Put("mainframe", "stock", "99")
+	outcome, _ := txn.Commit()
+	cluster.Quiesce(2 * time.Second)
+
+	v, _ := cluster.Read("mainframe", "stock")
+	fmt.Println(outcome, v)
+	// Output: commit 99
+}

@@ -1,0 +1,92 @@
+// Command incompatibility reproduces the paper's motivating failure live:
+// the same adversarial schedule is run twice, once under U2PC (the naive
+// "speak each participant's dialect" integration of Section 2) and once
+// under PrAny. U2PC violates atomicity — one site commits while another
+// aborts the same transaction — and PrAny does not.
+//
+// The schedule is Theorem 1, Part I: a PrN-native coordinator commits a
+// transaction executed at a PrA participant and a PrC participant; the PrC
+// participant crashes before the decision reaches it; the PrA participant
+// acknowledges, letting the coordinator forget; the recovered PrC
+// participant inquires and is answered from a presumption.
+//
+//	go run ./examples/incompatibility
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"prany"
+	"prany/internal/wire"
+)
+
+func main() {
+	fmt.Println("=== run 1: U2PC coordinator (native PrN) — Theorem 1 says this breaks ===")
+	runSchedule(prany.ClusterConfig{
+		Strategy: prany.StrategyU2PC,
+		Native:   prany.PrN,
+		Participants: []prany.ParticipantConfig{
+			{ID: "store-pra", Protocol: prany.PrA},
+			{ID: "store-prc", Protocol: prany.PrC},
+		},
+	})
+
+	fmt.Println()
+	fmt.Println("=== run 2: PrAny coordinator — Theorem 3 says this is safe ===")
+	runSchedule(prany.ClusterConfig{
+		Participants: []prany.ParticipantConfig{
+			{ID: "store-pra", Protocol: prany.PrA},
+			{ID: "store-prc", Protocol: prany.PrC},
+		},
+	})
+}
+
+func runSchedule(cfg prany.ClusterConfig) {
+	cluster, err := prany.NewCluster(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	sim := cluster.Sim()
+
+	// The PrC site never receives the decision.
+	remove := sim.DropMessages(1.0, rand.New(rand.NewSource(1)), wire.MsgDecision)
+	txn := cluster.Begin()
+	check(txn.Put("store-pra", "item", "sold"))
+	check(txn.Put("store-prc", "item", "sold"))
+	outcome, err := txn.Commit()
+	check(err)
+	fmt.Printf("decision: %s; PrC site never hears it\n", outcome)
+	remove()
+	cluster.Quiesce(2 * time.Second) // PrA acks; coordinator forgets
+
+	// The PrC site crashes and recovers in doubt; its inquiry is answered
+	// after the coordinator forgot the transaction.
+	check(cluster.Crash("store-prc"))
+	check(cluster.Recover("store-prc"))
+	cluster.Quiesce(2 * time.Second)
+
+	a, aok := cluster.Read("store-pra", "item")
+	c, cok := cluster.Read("store-prc", "item")
+	fmt.Printf("PrA site: item=%q (present=%v)\n", a, aok)
+	fmt.Printf("PrC site: item=%q (present=%v)\n", c, cok)
+
+	violations := cluster.Violations()
+	if len(violations) == 0 {
+		fmt.Println("history check: CLEAN — both sites agree")
+		return
+	}
+	fmt.Printf("history check: %d violation(s):\n", len(violations))
+	for _, v := range violations {
+		fmt.Println("  -", v)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

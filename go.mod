@@ -1,0 +1,3 @@
+module prany
+
+go 1.22

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"prany/internal/wire"
+)
+
+// TestAblationFixedPresumption shows the dynamic per-inquirer presumption
+// is what makes PrAny safe: the same engine with a *fixed* post-forget
+// presumption re-creates the Theorem-1 violation on the schedule whose
+// actual outcome contradicts the fixed answer.
+func TestAblationFixedPresumption(t *testing.T) {
+	// Fixed ABORT presumption, committed transaction, PrC victim: the
+	// inquiry is answered abort though the outcome was commit.
+	cfg := CoordinatorConfig{FixedPresumption: true, FixedOutcome: wire.Abort}
+	r := newRig(t, cfg, partSpec{"pa", wire.PrA}, partSpec{"pc", wire.PrC})
+	txn := r.nextTxn()
+	r.exec(txn, "pa", "pc")
+	r.drop = func(m wire.Message) bool { return m.Kind == wire.MsgDecision && m.To == "pc" }
+	out, err := r.coord.Commit(txn, []wire.SiteID{"pa", "pc"})
+	if err != nil || out != wire.Commit {
+		t.Fatalf("outcome %v, %v", out, err)
+	}
+	r.drop = nil
+	if r.coord.PTSize() != 0 {
+		t.Fatal("coordinator did not forget")
+	}
+	r.crashPart("pc")
+	r.recoverPart("pc", wire.PrC)
+	r.checkAtomicityViolated()
+
+	// Fixed COMMIT presumption, aborted transaction, PrA victim: dual case.
+	cfg2 := CoordinatorConfig{FixedPresumption: true, FixedOutcome: wire.Commit}
+	r2 := newRig(t, cfg2, partSpec{"pa", wire.PrA}, partSpec{"pc", wire.PrC})
+	txn2 := r2.nextTxn()
+	r2.exec(txn2, "pa", "pc")
+	r2.drop = func(m wire.Message) bool { return m.Kind == wire.MsgVote && m.From == "pc" }
+	out2, err := r2.coord.Commit(txn2, []wire.SiteID{"pa", "pc"})
+	if err != nil || out2 != wire.Abort {
+		t.Fatalf("outcome %v, %v", out2, err)
+	}
+	r2.drop = nil
+	r2.crashPart("pa")
+	r2.recoverPart("pa", wire.PrA)
+	r2.checkAtomicityViolated()
+}
+
+// TestAblationDynamicPresumptionIsSafe is the control: the identical
+// schedules with the dynamic presumption stay clean (already covered by
+// TestPrAnySurvivesTheorem1Schedules; asserted here side by side with the
+// ablation for the record).
+func TestAblationDynamicPresumptionIsSafe(t *testing.T) {
+	r := newRig(t, CoordinatorConfig{}, partSpec{"pa", wire.PrA}, partSpec{"pc", wire.PrC})
+	txn := r.nextTxn()
+	r.exec(txn, "pa", "pc")
+	r.drop = func(m wire.Message) bool { return m.Kind == wire.MsgDecision && m.To == "pc" }
+	if out, _ := r.coord.Commit(txn, []wire.SiteID{"pa", "pc"}); out != wire.Commit {
+		t.Fatal("expected commit")
+	}
+	r.drop = nil
+	r.crashPart("pc")
+	r.recoverPart("pc", wire.PrC)
+	r.checkClean()
+}
+
+// TestTickIdleAbort covers the unilateral abort of stranded executing
+// subtransactions: an exec with no subsequent prepare is abandoned after
+// idleAbortTicks rounds, releasing its locks.
+func TestTickIdleAbort(t *testing.T) {
+	r := newRig(t, CoordinatorConfig{}, partSpec{"p1", wire.PrA})
+	txn := r.nextTxn()
+	r.exec(txn, "p1")
+	if r.parts["p1"].Pending() != 1 {
+		t.Fatal("exec state missing")
+	}
+	for i := 0; i < idleAbortTicks; i++ {
+		r.parts["p1"].Tick()
+	}
+	if r.parts["p1"].Pending() != 0 {
+		t.Fatal("idle executing txn not abandoned")
+	}
+	if r.stores["p1"].PendingCount() != 0 {
+		t.Fatal("RM state not released")
+	}
+	// A prepare arriving after the unilateral abort is answered with a no
+	// vote; the global transaction aborts.
+	out, _ := r.coord.Commit(txn, []wire.SiteID{"p1"})
+	if out != wire.Abort {
+		t.Fatalf("outcome %v", out)
+	}
+	r.checkClean()
+}
+
+// TestTickDoesNotKillActiveExec verifies the idle counter resets... it does
+// not reset (by design: ticks are spaced by the site's retry interval, far
+// apart relative to execution), but a *prepared* transaction must never be
+// abandoned no matter how many ticks pass.
+func TestTickNeverAbandonsPrepared(t *testing.T) {
+	r := newRig(t, CoordinatorConfig{}, partSpec{"p1", wire.PrN})
+	txn := r.nextTxn()
+	r.exec(txn, "p1")
+	// Prepare p1 but drop its vote so it stays prepared with the
+	// transaction unresolved; drop inquiries too.
+	r.drop = func(m wire.Message) bool {
+		return m.Kind == wire.MsgVote || m.Kind == wire.MsgInquiry || m.Kind == wire.MsgDecision
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		r.coord.Commit(txn, []wire.SiteID{"p1"})
+	}()
+	waitUntil(t, func() bool { return len(r.parts["p1"].InDoubt()) == 1 })
+	for i := 0; i < 3*idleAbortTicks; i++ {
+		r.parts["p1"].Tick()
+	}
+	if len(r.parts["p1"].InDoubt()) != 1 {
+		t.Fatal("prepared transaction was abandoned by ticks")
+	}
+	<-done // the commit call aborted on vote timeout
+	r.drop = nil
+	r.settle()
+}
+
+// waitUntil polls cond with a short sleep up to a generous deadline.
+func waitUntil(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition never reached")
+}

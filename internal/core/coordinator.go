@@ -1,0 +1,619 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"prany/internal/history"
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+// Strategy selects how a coordinator integrates heterogeneous participants.
+type Strategy uint8
+
+const (
+	// StrategyPrAny is the paper's protocol: a homogeneous participant set
+	// runs its native variant; a heterogeneous one runs Presumed Any, with
+	// the forced initiation record, per-outcome acknowledgment subsets,
+	// and the dynamic per-inquirer presumption (Section 4).
+	StrategyPrAny Strategy = iota
+	// StrategyU2PC is the union 2PC straw man of Section 2: the
+	// coordinator logs and presumes per its own Native protocol, speaks
+	// each participant's dialect, and forgets as soon as every ack that
+	// *will* come has come. Theorem 1: it violates atomicity.
+	StrategyU2PC
+	// StrategyC2PC is the coordinator 2PC straw man of Section 3: like
+	// U2PC, but it refuses to forget until *every* decision recipient has
+	// acknowledged — which PrA participants never do for aborts and PrC
+	// participants never do for commits. Theorem 2: functionally correct,
+	// operationally not.
+	StrategyC2PC
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyU2PC:
+		return "U2PC"
+	case StrategyC2PC:
+		return "C2PC"
+	default:
+		return "PrAny"
+	}
+}
+
+// CoordinatorConfig configures a coordinator engine.
+type CoordinatorConfig struct {
+	Strategy Strategy
+	// Native is the coordinator's own protocol under U2PC and C2PC (PrN,
+	// PrA or PrC). Ignored by StrategyPrAny.
+	Native wire.Protocol
+	// VoteTimeout bounds the voting phase; a silent participant is treated
+	// as a no vote. Zero means 500ms.
+	VoteTimeout time.Duration
+	// FixedPresumption is an ablation knob: when set with StrategyPrAny,
+	// post-forget inquiries are answered with FixedOutcome instead of the
+	// inquirer's own presumption. It exists to demonstrate that the
+	// dynamic per-inquirer presumption is load-bearing — a fixed one
+	// re-creates the Theorem 1 violations (see BenchmarkAblation and
+	// TestAblationFixedPresumption).
+	FixedPresumption bool
+	FixedOutcome     wire.Outcome
+}
+
+type cstate uint8
+
+const (
+	cVoting   cstate = iota
+	cDraining        // decision sent; collecting expected acks
+)
+
+type cpart struct {
+	proto        wire.Protocol
+	voted        bool
+	vote         wire.Vote
+	expectAck    bool
+	acked        bool
+	sentDecision bool
+	// writes is the write set a coordinator-log participant shipped with
+	// its vote (force-logged in a remote-writes record); re-driven
+	// decisions to CL sites attach it.
+	writes []wal.Update
+}
+
+type ctxn struct {
+	txn       wire.TxnID
+	state     cstate
+	parts     map[wire.SiteID]*cpart
+	order     []wire.SiteID
+	chosen    wire.Protocol // PrN, PrA, PrC or PrAny
+	decided   bool
+	outcome   wire.Outcome
+	votesDone chan struct{}
+	voteOnce  sync.Once
+}
+
+func (ct *ctxn) closeVotes() { ct.voteOnce.Do(func() { close(ct.votesDone) }) }
+
+// allVotesIn reports whether every participant voted or some vote is no —
+// either way the voting phase can end.
+func (ct *ctxn) allVotesIn() bool {
+	all := true
+	for _, p := range ct.parts {
+		if !p.voted {
+			all = false
+			continue
+		}
+		if p.vote == wire.VoteNo {
+			return true
+		}
+	}
+	return all
+}
+
+// Coordinator is one site's coordinator-side engine.
+type Coordinator struct {
+	env Env
+	cfg CoordinatorConfig
+	pcp *PCP
+
+	mu   sync.Mutex
+	txns map[wire.TxnID]*ctxn // the protocol table
+}
+
+// NewCoordinator builds a coordinator engine over the given PCP table.
+func NewCoordinator(env Env, cfg CoordinatorConfig, pcp *PCP) *Coordinator {
+	if cfg.VoteTimeout <= 0 {
+		cfg.VoteTimeout = 500 * time.Millisecond
+	}
+	if cfg.Strategy != StrategyPrAny && !cfg.Native.ParticipantProtocol() {
+		panic("core: U2PC/C2PC need a native protocol of PrN, PrA or PrC")
+	}
+	return &Coordinator{env: env, cfg: cfg, pcp: pcp, txns: make(map[wire.TxnID]*ctxn)}
+}
+
+// choose picks the per-transaction protocol. Under PrAny it is the Section
+// 4.1 selection rule; U2PC and C2PC always run the coordinator's native
+// protocol regardless of the participant mix — that is their flaw.
+func (c *Coordinator) choose(protos []wire.Protocol) wire.Protocol {
+	if c.cfg.Strategy == StrategyPrAny {
+		return Select(protos)
+	}
+	return c.cfg.Native
+}
+
+// Commit runs the two phases for txn across parts and returns the outcome.
+// It returns once the decision is fixed and sent; acknowledgment draining,
+// the end record and forgetting complete asynchronously through Handle and
+// Tick. An error means the transaction could not even be driven to a
+// decision (site down, log failure); no decision was communicated.
+func (c *Coordinator) Commit(txn wire.TxnID, parts []wire.SiteID) (wire.Outcome, error) {
+	if len(parts) == 0 {
+		return wire.Abort, fmt.Errorf("core: transaction %s has no participants", txn)
+	}
+	ct := &ctxn{
+		txn:       txn,
+		parts:     make(map[wire.SiteID]*cpart, len(parts)),
+		votesDone: make(chan struct{}),
+	}
+	protos := make([]wire.Protocol, 0, len(parts))
+	for _, id := range parts {
+		proto, ok := c.pcp.Lookup(id)
+		if !ok {
+			return wire.Abort, fmt.Errorf("core: participant %s not in PCP table", id)
+		}
+		p := &cpart{proto: proto}
+		if proto.OnePhase() {
+			// Implicit yes-vote: every operation acknowledgment this
+			// participant sent was a durable vote, so it stands as a yes
+			// voter with no prepare round. (The caller must only include
+			// one-phase sites whose operations all acknowledged — the
+			// transaction manager guarantees that.)
+			p.voted = true
+			p.vote = wire.VoteYes
+		}
+		ct.parts[id] = p
+		ct.order = append(ct.order, id)
+		protos = append(protos, proto)
+	}
+	ct.chosen = c.choose(protos)
+
+	c.mu.Lock()
+	if _, dup := c.txns[txn]; dup {
+		c.mu.Unlock()
+		return wire.Abort, fmt.Errorf("core: transaction %s already in protocol table", txn)
+	}
+	c.txns[txn] = ct
+	c.mu.Unlock()
+	if c.env.Met != nil {
+		c.env.Met.PTInsert(c.env.ID)
+	}
+
+	// Voting phase. PrC and PrAny force an initiation record naming every
+	// participant — and, for PrAny, each participant's protocol — before
+	// any prepare is sent: without it, a coordinator crash would leave
+	// undecided transactions indistinguishable from presumable ones.
+	if ct.chosen == wire.PrC || ct.chosen == wire.PrAny {
+		if err := c.env.force(wal.Record{
+			Kind: wal.KInitiation, Role: wal.RoleCoord, Txn: txn, Participants: c.infoList(ct),
+		}); err != nil {
+			c.drop(txn)
+			return wire.Abort, err
+		}
+	}
+	allImplicit := true
+	for _, id := range ct.order {
+		if ct.parts[id].proto.OnePhase() {
+			continue // implicitly prepared; no voting round
+		}
+		allImplicit = false
+		c.env.send(wire.Message{Kind: wire.MsgPrepare, Txn: txn, From: c.env.ID, To: id})
+	}
+
+	if !allImplicit {
+		select {
+		case <-ct.votesDone:
+		case <-time.After(c.cfg.VoteTimeout):
+		}
+	}
+
+	c.mu.Lock()
+	outcome := wire.Abort
+	if ct.allYes() {
+		outcome = wire.Commit
+	}
+	c.mu.Unlock()
+
+	return c.decide(ct, outcome)
+}
+
+func (ct *ctxn) allYes() bool {
+	for _, p := range ct.parts {
+		if !p.voted || p.vote == wire.VoteNo {
+			return false
+		}
+	}
+	return true
+}
+
+// infoList snapshots the participant set with protocols for log records.
+func (c *Coordinator) infoList(ct *ctxn) []wal.ParticipantInfo {
+	out := make([]wal.ParticipantInfo, 0, len(ct.order))
+	for _, id := range ct.order {
+		out = append(out, wal.ParticipantInfo{ID: id, Proto: ct.parts[id].proto})
+	}
+	return out
+}
+
+// decide fixes the outcome, performs the decision-phase logging, sends the
+// decision, and starts draining acknowledgments.
+func (c *Coordinator) decide(ct *ctxn, outcome wire.Outcome) (wire.Outcome, error) {
+	// Decision logging. Every variant forces the commit record before any
+	// commit decision leaves the site. Abort records are forced only by
+	// PrN; PrA, PrC and PrAny presume or reconstruct aborts.
+	if outcome == wire.Commit {
+		if err := c.env.force(wal.Record{
+			Kind: wal.KCommit, Role: wal.RoleCoord, Txn: ct.txn, Participants: c.infoList(ct),
+		}); err != nil {
+			return wire.Abort, err
+		}
+	} else if c.logsAbortRecord(ct) {
+		if err := c.env.force(wal.Record{
+			Kind: wal.KAbort, Role: wal.RoleCoord, Txn: ct.txn, Participants: c.infoList(ct),
+		}); err != nil {
+			return wire.Abort, err
+		}
+	}
+	c.env.event(history.Event{Kind: history.EvDecide, Txn: ct.txn, Outcome: outcome})
+
+	c.mu.Lock()
+	ct.decided = true
+	ct.outcome = outcome
+	ct.state = cDraining
+	msgs := c.decisionMsgsLocked(ct)
+	finished := c.maybeFinishLocked(ct)
+	c.mu.Unlock()
+
+	for _, m := range msgs {
+		c.env.send(m)
+	}
+	_ = finished
+	return outcome, nil
+}
+
+// logsAbortRecord reports whether this transaction's variant forces an
+// abort decision record: presumed nothing, and coordinator log — whose
+// coordinator still owes its participants their acknowledgment-pending
+// memory across a crash, with no initiation record to reconstruct an
+// undecided abort from.
+func (c *Coordinator) logsAbortRecord(ct *ctxn) bool {
+	return ct.chosen == wire.PrN || ct.chosen == wire.CL
+}
+
+// decisionMsgsLocked computes the decision recipients, marks the expected
+// acknowledgment set, and returns the messages to send.
+//
+// Recipients: a commit goes to every participant that voted yes (all of
+// them, by definition of commit) except read-only voters, who left the
+// protocol at their vote. An abort goes to everyone except no-voters (who
+// aborted unilaterally and forgot) and read-only voters — including silent
+// participants, whose yes vote may have been lost and who may therefore be
+// blocked in the prepared state.
+//
+// Expected acks per strategy:
+//
+//	PrAny:  recipients whose own protocol acknowledges this outcome — the
+//	        PrN∪PrA set for commits, PrN∪PrC for aborts (Figure 1).
+//	U2PC:   as PrAny when the native protocol collects acks for this
+//	        outcome at all, empty otherwise (native PrA forgets aborts
+//	        immediately; native PrC forgets commits immediately).
+//	C2PC:   every recipient, whether or not its protocol will ever ack.
+func (c *Coordinator) decisionMsgsLocked(ct *ctxn) []wire.Message {
+	var msgs []wire.Message
+	for _, id := range ct.order {
+		p := ct.parts[id]
+		if p.voted && p.vote == wire.VoteReadOnly {
+			continue
+		}
+		if ct.outcome == wire.Abort && p.voted && p.vote == wire.VoteNo {
+			continue
+		}
+		p.sentDecision = true
+		p.expectAck = c.expectsAck(ct, p)
+		msgs = append(msgs, wire.Message{
+			Kind: wire.MsgDecision, Txn: ct.txn, From: c.env.ID, To: id, Outcome: ct.outcome,
+		})
+	}
+	return msgs
+}
+
+func (c *Coordinator) expectsAck(ct *ctxn, p *cpart) bool {
+	switch c.cfg.Strategy {
+	case StrategyC2PC:
+		return true
+	case StrategyU2PC:
+		if !c.cfg.Native.Acks(ct.outcome) {
+			return false // native protocol forgets this outcome at once
+		}
+		return p.proto.Acks(ct.outcome)
+	default:
+		return p.proto.Acks(ct.outcome)
+	}
+}
+
+// needsEnd reports whether an end record is written when draining
+// completes. A variant that forgets an outcome immediately (PrA aborts,
+// PrC commits) leaves no records needing the end marker.
+func (c *Coordinator) needsEnd(ct *ctxn) bool {
+	proto := ct.chosen
+	if c.cfg.Strategy == StrategyC2PC {
+		return true
+	}
+	switch proto {
+	case wire.PrA, wire.IYV: // IYV follows presumed-abort discipline
+		return ct.outcome == wire.Commit
+	case wire.PrC:
+		return ct.outcome == wire.Abort
+	default: // PrN, PrAny
+		return true
+	}
+}
+
+// maybeFinishLocked checks whether every expected ack arrived; if so it
+// writes the end record (when the variant calls for one) and deletes the
+// transaction from the protocol table — the coordinator forgets.
+func (c *Coordinator) maybeFinishLocked(ct *ctxn) bool {
+	if ct.state != cDraining {
+		return false
+	}
+	for _, p := range ct.parts {
+		if p.expectAck && !p.acked {
+			return false
+		}
+	}
+	if c.needsEnd(ct) {
+		_ = c.env.appendLazy(wal.Record{Kind: wal.KEnd, Role: wal.RoleCoord, Txn: ct.txn})
+	}
+	delete(c.txns, ct.txn)
+	if c.env.Met != nil {
+		c.env.Met.PTDelete(c.env.ID)
+	}
+	c.env.event(history.Event{Kind: history.EvDeletePT, Txn: ct.txn})
+	return true
+}
+
+// drop removes a transaction that never reached a decision (setup failure).
+func (c *Coordinator) drop(txn wire.TxnID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.txns, txn)
+	if c.env.Met != nil {
+		c.env.Met.PTDelete(c.env.ID)
+	}
+}
+
+// Handle processes one inbound message addressed to the coordinator role:
+// VOTE, ACK or INQUIRY.
+func (c *Coordinator) Handle(m wire.Message) {
+	switch m.Kind {
+	case wire.MsgVote:
+		c.handleVote(m)
+	case wire.MsgAck:
+		c.handleAck(m)
+	case wire.MsgInquiry:
+		c.handleInquiry(m)
+	case wire.MsgRecoverSite:
+		c.handleRecoverSite(m)
+	}
+}
+
+// handleRecoverSite serves a coordinator-log participant's restart
+// announcement: every decided transaction still awaiting that site's
+// acknowledgment is re-driven with the logged write set attached, and the
+// announcement is echoed back afterwards so the site can lift its recovery
+// fence (per-destination FIFO guarantees the decisions arrive first).
+func (c *Coordinator) handleRecoverSite(m wire.Message) {
+	c.mu.Lock()
+	var msgs []wire.Message
+	for _, ct := range c.txns {
+		if ct.state != cDraining {
+			continue
+		}
+		p := ct.parts[m.From]
+		if p == nil || !p.expectAck || p.acked {
+			continue
+		}
+		p.sentDecision = true
+		msgs = append(msgs, wire.Message{
+			Kind: wire.MsgDecision, Txn: ct.txn, From: c.env.ID, To: m.From,
+			Outcome: ct.outcome, Writes: p.writes,
+		})
+	}
+	c.mu.Unlock()
+	for _, d := range msgs {
+		c.env.send(d)
+	}
+	// The echo carries PrAny as the sender protocol so site-level routing
+	// can tell it apart from a participant's announcement.
+	c.env.send(wire.Message{Kind: wire.MsgRecoverSite, From: c.env.ID, To: m.From, Proto: wire.PrAny})
+}
+
+func (c *Coordinator) handleVote(m wire.Message) {
+	c.mu.Lock()
+	ct := c.txns[m.Txn]
+	if ct == nil || ct.state != cVoting {
+		c.mu.Unlock()
+		return // late vote for a decided or forgotten transaction
+	}
+	p := ct.parts[m.From]
+	if p == nil || p.voted {
+		c.mu.Unlock()
+		return
+	}
+
+	if p.proto.ShipsWrites() && m.Vote == wire.VoteYes {
+		// Coordinator log: the participant's write set must be stable
+		// *here* before its yes vote counts — this log is the
+		// participant's only memory.
+		c.mu.Unlock()
+		if err := c.env.force(wal.Record{
+			Kind: wal.KRemoteWrites, Role: wal.RoleCoord, Txn: m.Txn,
+			Coord: m.From, Writes: m.Writes,
+		}); err != nil {
+			return // vote uncounted; the timeout will abort
+		}
+		c.mu.Lock()
+		// Re-validate: the transaction may have been decided (timeout
+		// abort) while the force ran.
+		if ct = c.txns[m.Txn]; ct == nil || ct.state != cVoting {
+			c.mu.Unlock()
+			return
+		}
+		if p = ct.parts[m.From]; p == nil || p.voted {
+			c.mu.Unlock()
+			return
+		}
+		p.writes = m.Writes
+	}
+
+	p.voted = true
+	p.vote = m.Vote
+	if ct.allVotesIn() {
+		ct.closeVotes()
+	}
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) handleAck(m wire.Message) {
+	c.mu.Lock()
+	ct := c.txns[m.Txn]
+	if ct == nil {
+		c.mu.Unlock()
+		return // ack after forgetting: the protocol violation U2PC ignores
+	}
+	p := ct.parts[m.From]
+	if p == nil {
+		c.mu.Unlock()
+		return
+	}
+	p.acked = true
+	c.maybeFinishLocked(ct)
+	c.mu.Unlock()
+}
+
+// handleInquiry answers a participant blocked in doubt. With the
+// transaction still in the protocol table, the recorded decision is
+// returned (or nothing yet, if voting is unresolved — the participant will
+// re-inquire). After the coordinator has forgotten, the answer comes from a
+// presumption:
+//
+//	PrAny: the *inquirer's own* protocol's presumption — commit for a PrC
+//	       participant, abort for PrA or PrN. The safe state (Definition 2)
+//	       guarantees exactly one presumption can still be reached here.
+//	U2PC / C2PC: the coordinator's native presumption, right or wrong —
+//	       this is the Theorem 1 bug, preserved deliberately.
+func (c *Coordinator) handleInquiry(m wire.Message) {
+	c.mu.Lock()
+	ct := c.txns[m.Txn]
+	if ct != nil {
+		if !ct.decided {
+			c.mu.Unlock()
+			return // still voting; decision (or timeout abort) is coming
+		}
+		outcome := ct.outcome
+		c.mu.Unlock()
+		c.respond(m, outcome)
+		return
+	}
+	c.mu.Unlock()
+
+	outcome := c.presumeFor(m)
+	c.respond(m, outcome)
+}
+
+// presumeFor picks the presumption used to answer an inquiry about a
+// forgotten transaction.
+func (c *Coordinator) presumeFor(m wire.Message) wire.Outcome {
+	if c.cfg.FixedPresumption {
+		return c.cfg.FixedOutcome
+	}
+	if c.cfg.Strategy == StrategyPrAny {
+		proto := m.Proto
+		if p, ok := c.pcp.Lookup(m.From); ok {
+			proto = p
+		}
+		if o, ok := proto.Presumption(); ok {
+			return o
+		}
+		return wire.Abort
+	}
+	o, _ := c.cfg.Native.Presumption()
+	return o
+}
+
+func (c *Coordinator) respond(inq wire.Message, outcome wire.Outcome) {
+	c.env.event(history.Event{Kind: history.EvRespond, Txn: inq.Txn, Outcome: outcome, Peer: inq.From})
+	c.env.send(wire.Message{
+		Kind: wire.MsgDecision, Txn: inq.Txn, From: c.env.ID, To: inq.From, Outcome: outcome,
+	})
+}
+
+// Tick retries timeout-driven work: decisions are re-sent to expected
+// acknowledgers that have not acknowledged (their copy, or its ack, may
+// have been lost, or the participant may have been down). The site layer
+// calls it periodically.
+func (c *Coordinator) Tick() {
+	c.mu.Lock()
+	var msgs []wire.Message
+	for _, ct := range c.txns {
+		if ct.state != cDraining {
+			continue
+		}
+		for _, id := range ct.order {
+			p := ct.parts[id]
+			if p.sentDecision && p.expectAck && !p.acked {
+				msgs = append(msgs, wire.Message{
+					Kind: wire.MsgDecision, Txn: ct.txn, From: c.env.ID, To: id, Outcome: ct.outcome,
+				})
+			}
+		}
+	}
+	c.mu.Unlock()
+	for _, m := range msgs {
+		c.env.send(m)
+	}
+}
+
+// PTSize returns the number of protocol-table entries — the retention
+// measure of Theorem 2.
+func (c *Coordinator) PTSize() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.txns)
+}
+
+// PTEntries returns the transactions currently in the protocol table, in
+// sorted order.
+func (c *Coordinator) PTEntries() []wire.TxnID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]wire.TxnID, 0, len(c.txns))
+	for txn := range c.txns {
+		out = append(out, txn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Live reports whether the coordinator still needs txn's log records. Only
+// transactions in the protocol table do; everything else is garbage by
+// clause 2 of operational correctness.
+func (c *Coordinator) Live(txn wire.TxnID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.txns[txn]
+	return ok
+}

@@ -1,0 +1,114 @@
+// Package core implements the atomic commit protocols of "Atomicity with
+// Incompatible Presumptions" (Al-Houmaily & Chrysanthis, PODS 1999): the
+// three two-phase-commit variants participants run (presumed nothing,
+// presumed abort, presumed commit), the paper's Presumed Any coordinator
+// that integrates them, and the two straw-man integrations — U2PC, which
+// violates atomicity (Theorem 1), and C2PC, which is functionally correct
+// but retains some transactions forever (Theorem 2).
+//
+// The engines are passive state machines: they log through a wal.Log, emit
+// messages through a callback, and are driven entirely by Handle (inbound
+// messages), Commit (the coordinator's two phases), Tick (timeout retries)
+// and Recover (post-crash log analysis). Goroutines, timers and sockets
+// belong to the site and transport layers, which keeps every protocol rule
+// in this package testable with plain function calls.
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"prany/internal/history"
+	"prany/internal/metrics"
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+// ErrSiteDown is returned when an engine operation runs after its site
+// crashed: a fail-stop site performs no further actions.
+var ErrSiteDown = errors.New("core: site is down")
+
+// RM is the resource-manager interface a participant drives. It matches
+// kvstore.Store, but any engine with prepare/commit/abort semantics and
+// undo/redo write sets fits.
+type RM interface {
+	// Exec runs a batch of operations for the subtransaction.
+	Exec(txn wire.TxnID, ops []wire.Op) ([]string, error)
+	// Prepare freezes the subtransaction and returns its write set (for
+	// the forced prepared record) and whether it was read-only.
+	Prepare(txn wire.TxnID) (writes []wal.Update, readOnly bool, err error)
+	// WriteSet returns the subtransaction's current write set without
+	// freezing it. One-phase protocols (IYV) force-log it after every
+	// operation batch, since each operation acknowledgment is an implicit
+	// yes vote.
+	WriteSet(txn wire.TxnID) []wal.Update
+	// Commit applies the subtransaction; must be idempotent.
+	Commit(txn wire.TxnID)
+	// Abort rolls the subtransaction back; must be idempotent.
+	Abort(txn wire.TxnID)
+	// RecoverPrepared re-instates a prepared subtransaction after a crash.
+	RecoverPrepared(txn wire.TxnID, writes []wal.Update) error
+}
+
+// Env is what an engine needs from its site: identity, stable log, an
+// outbound message sink, and optional history/metrics recording. A zero
+// Recorder or Registry disables that channel.
+type Env struct {
+	ID   wire.SiteID
+	Log  *wal.Log
+	Send func(wire.Message)
+	Hist *history.Recorder
+	Met  *metrics.Registry
+
+	// Dead, when set and true, marks the site crashed: a fail-stop site
+	// must not log, send, or record events even if one of its goroutines
+	// is still unwinding. Nil means the site never crashes (unit tests).
+	Dead *atomic.Bool
+}
+
+func (e *Env) dead() bool { return e.Dead != nil && e.Dead.Load() }
+
+// force appends rec and forces the log, recording the cost.
+func (e *Env) force(rec wal.Record) error {
+	if e.dead() {
+		return ErrSiteDown
+	}
+	_, err := e.Log.AppendForce(rec)
+	if e.Met != nil {
+		e.Met.Append(e.ID)
+		e.Met.Force(e.ID)
+	}
+	return err
+}
+
+// appendLazy appends rec without forcing, recording the cost.
+func (e *Env) appendLazy(rec wal.Record) error {
+	if e.dead() {
+		return ErrSiteDown
+	}
+	_, err := e.Log.Append(rec)
+	if e.Met != nil {
+		e.Met.Append(e.ID)
+	}
+	return err
+}
+
+// send emits m, recording the cost. Engines must not hold their own mutex
+// when calling send: some transports deliver local messages synchronously.
+func (e *Env) send(m wire.Message) {
+	if e.dead() {
+		return
+	}
+	if e.Met != nil {
+		e.Met.Message(e.ID, m.Kind)
+	}
+	e.Send(m)
+}
+
+// event records a history event if a recorder is attached.
+func (e *Env) event(ev history.Event) {
+	if e.Hist != nil && !e.dead() {
+		ev.Site = e.ID
+		e.Hist.Record(ev)
+	}
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"sync"
+
+	"prany/internal/history"
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+// Recover rebuilds the coordinator's protocol table from the stable log
+// after a crash and re-initiates the decision phase for every unfinished
+// transaction, following Section 4.2 of the paper:
+//
+//   - A decision record *without* an initiation record means PrN or PrA was
+//     used. If no end record follows, the recorded decision is re-driven.
+//     (Under PrA the decision is always commit, since PrA never logs
+//     aborts; under PrN it may be either.)
+//   - An initiation record with every recorded participant running PrC
+//     means PrC was used: with no commit and no end record, the transaction
+//     is aborted and the abort re-driven. With a commit record, nothing
+//     remains to do — the commit record logically eliminated the initiation
+//     record and PrC never re-submits commit decisions.
+//   - An initiation record with mixed protocols means PrAny. Only an
+//     initiation record: the transaction aborts, and the abort is re-driven
+//     to the PrN and PrC participants — not to PrA participants, in
+//     accordance with PrA. Initiation plus commit without end: the commit
+//     is re-driven to the PrN and PrA participants — not to PrC
+//     participants, in accordance with PrC.
+//
+// Under U2PC and C2PC the coordinator interprets its log by its native
+// protocol instead; C2PC additionally re-expects acknowledgments from every
+// recipient, faithfully reproducing its unbounded retention.
+//
+// Transactions with no stable records at all — active ones whose initiation
+// was never forced (PrN/PrA), or PrA aborts — are simply absent: inquiries
+// about them are answered by presumption, which is the correct answer for
+// every case that can reach this point under StrategyPrAny, and the
+// Theorem-1 bug under U2PC.
+func (c *Coordinator) Recover() error {
+	type seen struct {
+		initiation *wal.Record
+		decision   *wal.Record
+		outcome    wire.Outcome
+		decided    bool
+		ended      bool
+		// remote holds coordinator-log participants' shipped write sets
+		// (one remote-writes record each).
+		remote      map[wire.SiteID][]wal.Update
+		remoteOrder []wire.SiteID
+	}
+	byTxn := make(map[wire.TxnID]*seen)
+	var order []wire.TxnID
+	for _, rec := range c.env.Log.Records() {
+		if rec.Role != wal.RoleCoord {
+			continue // participant-role record; not ours
+		}
+		s := byTxn[rec.Txn]
+		if s == nil {
+			s = &seen{}
+			byTxn[rec.Txn] = s
+			order = append(order, rec.Txn)
+		}
+		switch rec.Kind {
+		case wal.KInitiation:
+			r := rec
+			s.initiation = &r
+		case wal.KCommit:
+			r := rec
+			s.decision = &r
+			s.outcome, s.decided = wire.Commit, true
+		case wal.KAbort:
+			r := rec
+			s.decision = &r
+			s.outcome, s.decided = wire.Abort, true
+		case wal.KEnd:
+			s.ended = true
+		case wal.KRemoteWrites:
+			if s.remote == nil {
+				s.remote = make(map[wire.SiteID][]wal.Update)
+			}
+			if _, dup := s.remote[rec.Coord]; !dup {
+				s.remoteOrder = append(s.remoteOrder, rec.Coord)
+			}
+			s.remote[rec.Coord] = rec.Writes
+		}
+	}
+
+	var allMsgs []wire.Message
+	for _, txn := range order {
+		s := byTxn[txn]
+		if s.ended {
+			continue // completed before the crash; only garbage remains
+		}
+
+		// Determine the protocol used and the participant set.
+		var info []wal.ParticipantInfo
+		switch {
+		case s.decision != nil:
+			info = s.decision.Participants
+		case s.initiation != nil:
+			info = s.initiation.Participants
+		case len(s.remote) > 0:
+			// Only remote-writes records survive: an undecided
+			// coordinator-log transaction. The voters it logged for are
+			// the participants that must hear the (presumed) abort;
+			// silent ones resolve by their own inquiries.
+			for _, id := range s.remoteOrder {
+				info = append(info, wal.ParticipantInfo{ID: id, Proto: wire.CL})
+			}
+		default:
+			continue // no coordinator records: nothing to recover
+		}
+		chosen := c.cfg.Native
+		if c.cfg.Strategy == StrategyPrAny {
+			protos := make([]wire.Protocol, len(info))
+			for i, pi := range info {
+				protos[i] = pi.Proto
+			}
+			chosen = Select(protos)
+		}
+
+		outcome := wire.Abort // initiation without decision: abort
+		if s.decided {
+			outcome = s.outcome
+		}
+		if chosen == wire.PrC && outcome == wire.Commit && c.cfg.Strategy != StrategyC2PC {
+			// PrC forgot this transaction the moment the commit record was
+			// forced; it never re-submits commit decisions. (C2PC cannot
+			// take this shortcut: it still owes every participant a
+			// decision and itself their acks.)
+			continue
+		}
+
+		ct := &ctxn{
+			txn:       txn,
+			state:     cDraining,
+			parts:     make(map[wire.SiteID]*cpart, len(info)),
+			votesDone: make(chan struct{}),
+			chosen:    chosen,
+			decided:   true,
+			outcome:   outcome,
+			voteOnce:  sync.Once{},
+		}
+		ct.closeVotes()
+		for _, pi := range info {
+			ct.parts[pi.ID] = &cpart{proto: pi.Proto, voted: true, vote: wire.VoteYes, writes: s.remote[pi.ID]}
+			ct.order = append(ct.order, pi.ID)
+		}
+
+		c.mu.Lock()
+		c.txns[txn] = ct
+		msgs := c.redriveMsgsLocked(ct)
+		c.mu.Unlock()
+		if c.env.Met != nil {
+			c.env.Met.PTInsert(c.env.ID)
+		}
+		// Heal the history: the decide event may have been lost with the
+		// crash (it is recorded only after the decision record is forced,
+		// so a re-recorded event can never change the outcome).
+		c.env.event(history.Event{Kind: history.EvDecide, Txn: txn, Outcome: outcome})
+
+		c.mu.Lock()
+		c.maybeFinishLocked(ct)
+		c.mu.Unlock()
+		allMsgs = append(allMsgs, msgs...)
+	}
+
+	c.env.event(history.Event{Kind: history.EvRecover})
+	for _, m := range allMsgs {
+		c.env.send(m)
+	}
+	return nil
+}
+
+// redriveMsgsLocked computes the recovery-time decision recipients: the
+// sites whose acknowledgment the strategy still expects. Participants whose
+// protocol will never acknowledge this outcome are *not* re-notified —
+// their own presumption (or inquiry) resolves them, per Section 4.2 — with
+// the exception of C2PC, which re-notifies and re-awaits everyone.
+func (c *Coordinator) redriveMsgsLocked(ct *ctxn) []wire.Message {
+	var msgs []wire.Message
+	for _, id := range ct.order {
+		p := ct.parts[id]
+		p.expectAck = c.expectsAck(ct, p)
+		if !p.expectAck {
+			continue
+		}
+		p.sentDecision = true
+		msgs = append(msgs, wire.Message{
+			Kind: wire.MsgDecision, Txn: ct.txn, From: c.env.ID, To: id,
+			// Coordinator-log participants may have lost everything while
+			// this coordinator was down: attach their logged write sets.
+			Outcome: ct.outcome, Writes: p.writes,
+		})
+	}
+	return msgs
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"testing"
+
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+// Odds and ends: message-handling edges that the main protocol tests do not
+// reach.
+
+func TestLateVoteAfterDecisionIgnored(t *testing.T) {
+	r := newRig(t, CoordinatorConfig{}, partSpec{"p1", wire.PrN}, partSpec{"p2", wire.PrN})
+	txn := r.nextTxn()
+	r.exec(txn, "p1", "p2")
+	r.drop = func(m wire.Message) bool { return m.Kind == wire.MsgVote && m.From == "p2" }
+	out, _ := r.coord.Commit(txn, []wire.SiteID{"p1", "p2"})
+	if out != wire.Abort {
+		t.Fatalf("outcome %v", out)
+	}
+	r.drop = nil
+	// p2's vote arrives now, long after the abort: must be ignored, not
+	// crash or flip anything.
+	r.route(wire.Message{Kind: wire.MsgVote, Txn: txn, From: "p2", To: "coord",
+		Vote: wire.VoteYes, Proto: wire.PrN})
+	r.settle()
+	if r.coord.PTSize() != 0 {
+		t.Fatal("late vote resurrected the transaction")
+	}
+	r.checkClean()
+}
+
+func TestAckFromStrangerIgnored(t *testing.T) {
+	r := newRig(t, CoordinatorConfig{}, partSpec{"p1", wire.PrN})
+	txn := r.nextTxn()
+	r.exec(txn, "p1")
+	r.drop = func(m wire.Message) bool { return m.Kind == wire.MsgAck }
+	out, _ := r.coord.Commit(txn, []wire.SiteID{"p1"})
+	if out != wire.Commit {
+		t.Fatalf("outcome %v", out)
+	}
+	r.drop = nil
+	// An ack from a site that is not a participant: ignored.
+	r.route(wire.Message{Kind: wire.MsgAck, Txn: txn, From: "stranger", To: "coord", Outcome: wire.Commit})
+	if r.coord.PTSize() != 1 {
+		t.Fatal("stranger's ack drained the table")
+	}
+	// A duplicate-free real ack finishes it.
+	r.settle()
+	if r.coord.PTSize() != 0 {
+		t.Fatal("never drained")
+	}
+	r.checkClean()
+}
+
+func TestAckForForgottenTxnIgnored(t *testing.T) {
+	r := newRig(t, CoordinatorConfig{}, partSpec{"p1", wire.PrN})
+	txn := r.nextTxn()
+	r.exec(txn, "p1")
+	if out, _ := r.coord.Commit(txn, []wire.SiteID{"p1"}); out != wire.Commit {
+		t.Fatal("commit failed")
+	}
+	// Already drained; a duplicate ack must be a no-op.
+	r.route(wire.Message{Kind: wire.MsgAck, Txn: txn, From: "p1", To: "coord", Outcome: wire.Commit})
+	if r.coord.PTSize() != 0 {
+		t.Fatal("duplicate ack created state")
+	}
+	r.checkClean()
+}
+
+func TestDuplicatePrepareRevotes(t *testing.T) {
+	r := newRig(t, CoordinatorConfig{}, partSpec{"p1", wire.PrN})
+	txn := r.nextTxn()
+	r.exec(txn, "p1")
+	r.drop = func(m wire.Message) bool { return m.Kind == wire.MsgVote }
+	done := make(chan wire.Outcome, 1)
+	go func() {
+		out, _ := r.coord.Commit(txn, []wire.SiteID{"p1"})
+		done <- out
+	}()
+	waitUntil(t, func() bool { return len(r.parts["p1"].InDoubt()) == 1 })
+	// The participant is prepared; a duplicate PREPARE (retry) must
+	// produce a fresh yes vote without re-forcing a second prepared
+	// record.
+	before := len(r.logs["p1"].All())
+	r.drop = nil
+	r.route(wire.Message{Kind: wire.MsgPrepare, Txn: txn, From: "coord", To: "p1"})
+	if out := <-done; out != wire.Commit {
+		t.Fatalf("outcome %v after re-vote", out)
+	}
+	// One more record is expected: the commit decision record — but not a
+	// second prepared record.
+	recs := r.logs["p1"].All()
+	prepared := 0
+	for _, rec := range recs {
+		if rec.Kind == wal.KPrepared {
+			prepared++
+		}
+	}
+	if prepared != 1 {
+		t.Fatalf("%d prepared records after duplicate prepare (log grew from %d to %d)", prepared, before, len(recs))
+	}
+	r.checkClean()
+}
+
+func TestInquiryForUnknownTxnUsesInquirerPresumption(t *testing.T) {
+	r := newRig(t, CoordinatorConfig{},
+		partSpec{"pa", wire.PrA}, partSpec{"pc", wire.PrC})
+	ghost := wire.TxnID{Coord: "coord", Seq: 999}
+	// Track the responses.
+	var answers []wire.Outcome
+	r.drop = func(m wire.Message) bool {
+		if m.Kind == wire.MsgDecision && m.Txn == ghost {
+			answers = append(answers, m.Outcome)
+			return true // swallow: the participants know nothing of it
+		}
+		return false
+	}
+	r.route(wire.Message{Kind: wire.MsgInquiry, Txn: ghost, From: "pa", To: "coord", Proto: wire.PrA})
+	r.route(wire.Message{Kind: wire.MsgInquiry, Txn: ghost, From: "pc", To: "coord", Proto: wire.PrC})
+	r.drop = nil
+	if len(answers) != 2 || answers[0] != wire.Abort || answers[1] != wire.Commit {
+		t.Fatalf("presumption answers %v, want [abort commit]", answers)
+	}
+}
+
+func TestPCPTakesPrecedenceOverMessageProto(t *testing.T) {
+	// The PCP is the source of protocol truth; a mislabelled inquiry must
+	// be answered per the table, not per the message.
+	r := newRig(t, CoordinatorConfig{}, partSpec{"pc", wire.PrC})
+	ghost := wire.TxnID{Coord: "coord", Seq: 5}
+	var got []wire.Outcome
+	r.drop = func(m wire.Message) bool {
+		if m.Kind == wire.MsgDecision {
+			got = append(got, m.Outcome)
+			return true
+		}
+		return false
+	}
+	// The message claims PrA, but the PCP says pc runs PrC.
+	r.route(wire.Message{Kind: wire.MsgInquiry, Txn: ghost, From: "pc", To: "coord", Proto: wire.PrA})
+	r.drop = nil
+	if len(got) != 1 || got[0] != wire.Commit {
+		t.Fatalf("answer %v, want [commit] per the PCP", got)
+	}
+}
+
+func TestCheckpointPinsInDoubtRecords(t *testing.T) {
+	// Clause 2's flip side: records of an UNRESOLVED transaction must
+	// survive a checkpoint.
+	r := newRig(t, CoordinatorConfig{}, partSpec{"p1", wire.PrN}, partSpec{"p2", wire.PrN})
+	txn := r.nextTxn()
+	r.exec(txn, "p1", "p2")
+	r.drop = func(m wire.Message) bool {
+		return m.Kind == wire.MsgAck && m.From == "p2"
+	}
+	out, _ := r.coord.Commit(txn, []wire.SiteID{"p1", "p2"})
+	if out != wire.Commit {
+		t.Fatalf("outcome %v", out)
+	}
+	// p2's ack is missing: the coordinator must keep the commit record.
+	if _, err := r.logs["coord"].Checkpoint(func(rec wal.Record) bool {
+		return r.coord.Live(rec.Txn)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	kinds := r.kinds("coord")
+	if len(kinds) == 0 {
+		t.Fatal("checkpoint collected a live transaction's records")
+	}
+	// After the ack finally lands, everything drains and collects.
+	r.drop = nil
+	r.settle()
+	if _, err := r.logs["coord"].Checkpoint(func(rec wal.Record) bool {
+		return r.coord.Live(rec.Txn)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(r.logs["coord"].All()); got != 0 {
+		t.Fatalf("%d records survive after drain", got)
+	}
+	r.checkClean()
+}
+
+func TestEnvDeadSuppressesEverything(t *testing.T) {
+	r := newRig(t, CoordinatorConfig{}, partSpec{"p1", wire.PrN})
+	txn := r.nextTxn()
+	r.exec(txn, "p1")
+	if out, _ := r.coord.Commit(txn, []wire.SiteID{"p1"}); out != wire.Commit {
+		t.Fatal("commit failed")
+	}
+	events := r.hist.Len()
+	msgs := r.met.Site("p1").TotalMessages()
+	recs := len(r.logs["p1"].All())
+	// Mark p1 dead, then poke its (stale) engine directly: nothing may
+	// escape — no sends, no log writes, no history events.
+	r.dead["p1"].Store(true)
+	r.parts["p1"].Handle(wire.Message{Kind: wire.MsgDecision, Txn: txn, From: "coord", To: "p1", Outcome: wire.Commit})
+	r.parts["p1"].Tick()
+	if r.hist.Len() != events {
+		t.Error("dead site recorded history events")
+	}
+	if r.met.Site("p1").TotalMessages() != msgs {
+		t.Error("dead site sent messages")
+	}
+	if got := len(r.logs["p1"].All()); got != recs {
+		t.Error("dead site wrote log records")
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"prany/internal/wire"
+)
+
+// Stable-storage failure paths: a force that fails must degrade safely —
+// never into a promise that is not actually durable.
+
+func TestPrepareForceFailureVotesNo(t *testing.T) {
+	r := newRig(t, CoordinatorConfig{}, partSpec{"p1", wire.PrN}, partSpec{"p2", wire.PrN})
+	txn := r.nextTxn()
+	r.exec(txn, "p1", "p2")
+	// p2's prepared-record force fails: it must vote no, and the
+	// transaction aborts globally.
+	r.stores2["p2"].FailNextAppend = errors.New("disk failure")
+	out, err := r.coord.Commit(txn, []wire.SiteID{"p1", "p2"})
+	if err != nil || out != wire.Abort {
+		t.Fatalf("outcome %v, %v", out, err)
+	}
+	if got := len(r.logs["p2"].Records()); got != 0 {
+		t.Fatalf("p2 has %d stable records after failed force", got)
+	}
+	if r.stores["p2"].PendingCount() != 0 {
+		t.Fatal("p2 kept state after failed prepare")
+	}
+	r.checkClean()
+}
+
+func TestInitiationForceFailureFailsCommitCall(t *testing.T) {
+	r := newRig(t, CoordinatorConfig{}, partSpec{"pa", wire.PrA}, partSpec{"pc", wire.PrC})
+	txn := r.nextTxn()
+	r.exec(txn, "pa", "pc")
+	// The PrAny initiation force fails: Commit must error out without
+	// having sent a single prepare.
+	r.stores2["coord"].FailNextAppend = errors.New("disk failure")
+	_, err := r.coord.Commit(txn, []wire.SiteID{"pa", "pc"})
+	if err == nil {
+		t.Fatal("Commit succeeded despite initiation force failure")
+	}
+	if got := r.met.Site("coord").Messages[wire.MsgPrepare]; got != 0 {
+		t.Fatalf("%d prepares sent after failed initiation", got)
+	}
+	if r.coord.PTSize() != 0 {
+		t.Fatal("failed transaction left in protocol table")
+	}
+}
+
+func TestCommitRecordForceFailureFailsCommitCall(t *testing.T) {
+	r := newRig(t, CoordinatorConfig{}, partSpec{"p1", wire.PrA}, partSpec{"p2", wire.PrA})
+	txn := r.nextTxn()
+	r.exec(txn, "p1", "p2")
+	// Arm the failure to hit the SECOND coordinator force — with an
+	// all-PrA cluster there is no initiation record, so the first force
+	// is the commit record itself.
+	r.stores2["coord"].FailNextAppend = errors.New("disk failure")
+	_, err := r.coord.Commit(txn, []wire.SiteID{"p1", "p2"})
+	if err == nil {
+		t.Fatal("Commit succeeded despite commit-record force failure")
+	}
+	// No decision was communicated: participants stay prepared; a later
+	// inquiry resolves them (the coordinator never decided, so abort by
+	// presumption once the entry is gone... here the entry remains, and
+	// the transaction is still undecided — the operator would retry or
+	// crash; crash it and let recovery presume abort).
+	if got := r.met.Site("coord").Messages[wire.MsgDecision]; got != 0 {
+		t.Fatalf("%d decisions escaped after failed force", got)
+	}
+	r.crashCoord()
+	r.recoverCoord()
+	r.settle()
+	for _, id := range []wire.SiteID{"p1", "p2"} {
+		if got := len(r.parts[id].InDoubt()); got != 0 {
+			t.Fatalf("%s still in doubt", id)
+		}
+		if _, ok := r.stores[id].Read("k-" + txn.String()); ok {
+			t.Fatalf("undecided write visible at %s", id)
+		}
+	}
+	r.checkClean()
+}
+
+func TestIYVOpForceFailureFailsExec(t *testing.T) {
+	r := newRig(t, CoordinatorConfig{}, partSpec{"p1", wire.IYV}, partSpec{"p2", wire.IYV})
+	txn := r.nextTxn()
+	r.stores2["p1"].FailNextAppend = errors.New("disk failure")
+	reply := r.execOps(txn, "p1", wire.Op{Kind: wire.OpPut, Key: "k", Value: "v"})
+	if reply.Err == "" {
+		t.Fatal("exec succeeded despite op-log force failure")
+	}
+	if r.parts["p1"].Pending() != 0 {
+		t.Fatal("failed IYV exec kept state")
+	}
+	// The transaction manager would abort; the other site never saw it.
+	r.checkClean()
+}
+
+func TestCLRemoteWritesForceFailureDropsVote(t *testing.T) {
+	// The coordinator cannot count a CL yes vote it failed to make
+	// durable: the vote is dropped and the timeout aborts.
+	r := newCLRig(t, partSpec{"p1", wire.CL})
+	txn := r.nextTxn()
+	r.exec(txn, "p1")
+	r.stores2["coord"].FailNextAppend = errors.New("disk failure")
+	out, err := r.coord.Commit(txn, []wire.SiteID{"p1"})
+	if err != nil || out != wire.Abort {
+		t.Fatalf("outcome %v, %v", out, err)
+	}
+	r.settle()
+	if _, ok := r.stores["p1"].Read("k-" + txn.String()); ok {
+		t.Fatal("write visible despite dropped vote")
+	}
+	r.checkClean()
+}
+
+func TestStrategyString(t *testing.T) {
+	if StrategyPrAny.String() != "PrAny" || StrategyU2PC.String() != "U2PC" || StrategyC2PC.String() != "C2PC" {
+		t.Fatal("Strategy.String wrong")
+	}
+}
+
+func TestC2PCAnswersInquiriesFromRetainedTable(t *testing.T) {
+	// C2PC's virtue: because it never forgets, its inquiry answers are
+	// always right — that is why it is functionally correct.
+	cfg := CoordinatorConfig{Strategy: StrategyC2PC, Native: wire.PrN}
+	r := newRig(t, cfg, partSpec{"pa", wire.PrA}, partSpec{"pc", wire.PrC})
+	txn := r.nextTxn()
+	r.exec(txn, "pa", "pc")
+	r.drop = func(m wire.Message) bool { return m.Kind == wire.MsgDecision && m.To == "pc" }
+	out, _ := r.coord.Commit(txn, []wire.SiteID{"pa", "pc"})
+	if out != wire.Commit {
+		t.Fatalf("outcome %v", out)
+	}
+	r.drop = nil
+	// The entry is retained (pc's commit-ack never comes under C2PC
+	// because... pc is PrC: it won't ack, so C2PC waits forever).
+	if r.coord.PTSize() != 1 {
+		t.Fatalf("PT size %d", r.coord.PTSize())
+	}
+	// pc crashes, recovers, inquires: answered from the table, correctly.
+	r.crashPart("pc")
+	r.recoverPart("pc", wire.PrC)
+	if _, ok := r.stores["pc"].Read("k-" + txn.String()); !ok {
+		t.Fatal("pc did not converge to commit")
+	}
+	// Functionally correct, operationally not: still retained.
+	if r.coord.PTSize() != 1 {
+		t.Fatalf("PT size %d after inquiry", r.coord.PTSize())
+	}
+}

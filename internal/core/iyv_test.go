@@ -1,0 +1,277 @@
+package core
+
+import (
+	"testing"
+
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+// Implicit yes-vote (IYV) tests: the one-phase protocol the paper's
+// conclusion names as the next integration target for the operational
+// correctness criterion.
+
+func TestIYVCommitSkipsVotingPhase(t *testing.T) {
+	r := newRig(t, CoordinatorConfig{}, partSpec{"p1", wire.IYV}, partSpec{"p2", wire.IYV})
+	if out := r.run("p1", "p2"); out != wire.Commit {
+		t.Fatalf("outcome %v", out)
+	}
+	// No PREPARE and no VOTE messages at all.
+	if got := r.met.Site("coord").Messages[wire.MsgPrepare]; got != 0 {
+		t.Errorf("prepares sent = %d, want 0", got)
+	}
+	for _, p := range []wire.SiteID{"p1", "p2"} {
+		if got := r.met.Site(p).Messages[wire.MsgVote]; got != 0 {
+			t.Errorf("%s votes sent = %d, want 0", p, got)
+		}
+		// Per-op forced record, then forced commit record + ack.
+		wantKinds(t, r.kinds(p), wal.KPrepared, wal.KCommit)
+		if got := r.met.Site(p).Messages[wire.MsgAck]; got != 1 {
+			t.Errorf("%s acks = %d, want 1", p, got)
+		}
+	}
+	// Coordinator: presumed-abort-style logging — forced commit, lazy end,
+	// no initiation (homogeneous IYV).
+	wantKinds(t, r.allKinds("coord"), wal.KCommit, wal.KEnd)
+	if r.coord.PTSize() != 0 {
+		t.Fatal("not forgotten")
+	}
+	// Data landed.
+	for _, p := range []wire.SiteID{"p1", "p2"} {
+		if _, ok := r.stores[p].Read("k-coord:1"); !ok {
+			t.Fatalf("data missing at %s", p)
+		}
+	}
+	r.checkClean()
+}
+
+func TestIYVOpAckIsDurablePromise(t *testing.T) {
+	// The implicit vote must be forced before the exec reply: after the
+	// exec returns, the participant's stable log already holds the batch.
+	r := newRig(t, CoordinatorConfig{}, partSpec{"p1", wire.IYV})
+	txn := r.nextTxn()
+	r.exec(txn, "p1")
+	recs := r.records("p1") // stable records only
+	if len(recs) != 1 || recs[0].Kind != wal.KPrepared || len(recs[0].Writes) != 1 {
+		t.Fatalf("stable log after exec: %+v", recs)
+	}
+	// Clean up.
+	out, _ := r.coord.Commit(txn, []wire.SiteID{"p1"})
+	if out != wire.Commit {
+		t.Fatalf("outcome %v", out)
+	}
+	r.checkClean()
+}
+
+func TestIYVMultiBatchAccumulates(t *testing.T) {
+	// Each batch re-forces the cumulative write set; the last record wins
+	// at recovery.
+	r := newRig(t, CoordinatorConfig{}, partSpec{"p1", wire.IYV})
+	txn := r.nextTxn()
+	r.execOps(txn, "p1", wire.Op{Kind: wire.OpPut, Key: "a", Value: "1"})
+	r.execOps(txn, "p1", wire.Op{Kind: wire.OpPut, Key: "b", Value: "2"})
+	recs := r.records("p1")
+	if len(recs) != 2 {
+		t.Fatalf("%d op records, want 2", len(recs))
+	}
+	if len(recs[1].Writes) != 2 {
+		t.Fatalf("cumulative record has %d writes, want 2", len(recs[1].Writes))
+	}
+	out, _ := r.coord.Commit(txn, []wire.SiteID{"p1"})
+	if out != wire.Commit {
+		t.Fatalf("outcome %v", out)
+	}
+	if v, _ := r.stores["p1"].Read("a"); v != "1" {
+		t.Fatal("first batch lost")
+	}
+	if v, _ := r.stores["p1"].Read("b"); v != "2" {
+		t.Fatal("second batch lost")
+	}
+	r.checkClean()
+}
+
+func TestIYVAbortDiscipline(t *testing.T) {
+	// IYV follows presumed abort for the decision: the coordinator logs
+	// nothing on abort and expects no IYV acks.
+	r := newRig(t, CoordinatorConfig{}, partSpec{"p1", wire.IYV}, partSpec{"p2", wire.IYV})
+	txn := r.nextTxn()
+	r.exec(txn, "p1", "p2")
+	// Abort by client: exercise the coordinator-abort path by dropping...
+	// IYV has no votes to lose, so abort comes from the TM/exec layer; at
+	// the protocol layer we drive Commit with a poisoned... IYV never
+	// calls Prepare. Instead: abort arrives as a decision for a
+	// transaction the coordinator never ran — send aborts directly, as
+	// the site layer's Txn.Abort does.
+	for _, id := range []wire.SiteID{"p1", "p2"} {
+		r.route(wire.Message{Kind: wire.MsgDecision, Txn: txn, From: "coord", To: id, Outcome: wire.Abort})
+	}
+	// Participants: lazy abort record, no ack.
+	for _, p := range []wire.SiteID{"p1", "p2"} {
+		wantKinds(t, r.allKinds(p), wal.KPrepared, wal.KAbort)
+		wantKinds(t, r.kinds(p), wal.KPrepared) // abort record not forced
+		if got := r.met.Site(p).Messages[wire.MsgAck]; got != 0 {
+			t.Errorf("%s acked an abort", p)
+		}
+		if _, ok := r.stores[p].Read("k-" + txn.String()); ok {
+			t.Errorf("aborted write visible at %s", p)
+		}
+	}
+	r.checkClean()
+}
+
+func TestIYVCrashRecoveryInquiresWithAbortPresumption(t *testing.T) {
+	// An IYV participant crashes after acking ops but before any decision:
+	// its forced op records drive an inquiry; with the coordinator knowing
+	// nothing (the transaction never committed), the answer is IYV's abort
+	// presumption.
+	r := newRig(t, CoordinatorConfig{}, partSpec{"p1", wire.IYV})
+	txn := r.nextTxn()
+	r.exec(txn, "p1")
+	// No commit ever runs (the client died). Crash and recover p1.
+	r.crashPart("p1")
+	r.recoverPart("p1", wire.IYV)
+	if got := len(r.parts["p1"].InDoubt()); got != 0 {
+		t.Fatalf("still in doubt after inquiry: %d", got)
+	}
+	if _, ok := r.stores["p1"].Read("k-" + txn.String()); ok {
+		t.Fatal("uncommitted write visible after recovery")
+	}
+	r.checkClean()
+}
+
+func TestIYVCrashAfterCommitDecisionRecovers(t *testing.T) {
+	r := newRig(t, CoordinatorConfig{}, partSpec{"p1", wire.IYV}, partSpec{"p2", wire.IYV})
+	txn := r.nextTxn()
+	r.exec(txn, "p1", "p2")
+	r.drop = func(m wire.Message) bool { return m.Kind == wire.MsgDecision && m.To == "p2" }
+	out, err := r.coord.Commit(txn, []wire.SiteID{"p1", "p2"})
+	if err != nil || out != wire.Commit {
+		t.Fatalf("outcome %v, %v", out, err)
+	}
+	r.drop = nil
+	// p2's commit ack is expected, so the coordinator still remembers.
+	if r.coord.PTSize() != 1 {
+		t.Fatalf("PT size %d", r.coord.PTSize())
+	}
+	r.crashPart("p2")
+	r.recoverPart("p2", wire.IYV)
+	r.settle()
+	if _, ok := r.stores["p2"].Read("k-" + txn.String()); !ok {
+		t.Fatal("p2 never committed")
+	}
+	if r.coord.PTSize() != 0 {
+		t.Fatal("table never drained")
+	}
+	r.checkClean()
+}
+
+func TestIYVMixedWithTwoPhaseProtocols(t *testing.T) {
+	// The paper's future-work scenario: IYV integrated alongside PrA and
+	// PrC under PrAny. The IYV site gets no prepare; the others do; one
+	// decision commits all three.
+	r := newRig(t, CoordinatorConfig{},
+		partSpec{"iyv", wire.IYV}, partSpec{"pa", wire.PrA}, partSpec{"pc", wire.PrC})
+	if out := r.run("iyv", "pa", "pc"); out != wire.Commit {
+		t.Fatalf("outcome %v", out)
+	}
+	// Mixed set → PrAny: initiation with protocols, commit, end.
+	wantKinds(t, r.allKinds("coord"), wal.KInitiation, wal.KCommit, wal.KEnd)
+	if got := r.met.Site("coord").Messages[wire.MsgPrepare]; got != 2 {
+		t.Errorf("prepares = %d, want 2 (pa and pc only)", got)
+	}
+	// Commit acks expected from iyv and pa, not pc.
+	if got := r.met.Site("iyv").Messages[wire.MsgAck]; got != 1 {
+		t.Errorf("iyv acks = %d, want 1", got)
+	}
+	if got := r.met.Site("pc").Messages[wire.MsgAck]; got != 0 {
+		t.Errorf("pc acks = %d, want 0", got)
+	}
+	if r.coord.PTSize() != 0 {
+		t.Fatal("not forgotten")
+	}
+	r.checkClean()
+}
+
+func TestIYVMixedAbortLeavesIYVToPresumption(t *testing.T) {
+	// Mixed IYV+PrC, abort by PrC no-vote: abort goes to the IYV site with
+	// no ack expected; if that abort is lost, the IYV site resolves by
+	// inquiry with its abort presumption after the coordinator forgot.
+	r := newRig(t, CoordinatorConfig{}, partSpec{"iyv", wire.IYV}, partSpec{"pc", wire.PrC})
+	txn := r.nextTxn()
+	r.exec(txn, "iyv", "pc")
+	r.stores["pc"].Poison(txn)
+	r.drop = func(m wire.Message) bool { return m.Kind == wire.MsgDecision && m.To == "iyv" }
+	out, err := r.coord.Commit(txn, []wire.SiteID{"iyv", "pc"})
+	if err != nil || out != wire.Abort {
+		t.Fatalf("outcome %v, %v", out, err)
+	}
+	r.drop = nil
+	if r.coord.PTSize() != 0 {
+		t.Fatal("abort not forgotten without IYV ack")
+	}
+	// The IYV site is blocked on its implicit promise; its inquiry gets
+	// the abort presumption.
+	if got := len(r.parts["iyv"].InDoubt()); got != 1 {
+		t.Fatalf("iyv in doubt = %d, want 1", got)
+	}
+	r.settle()
+	if got := len(r.parts["iyv"].InDoubt()); got != 0 {
+		t.Fatalf("iyv still in doubt after inquiry")
+	}
+	if _, ok := r.stores["iyv"].Read("k-" + txn.String()); ok {
+		t.Fatal("aborted write visible at iyv")
+	}
+	r.checkClean()
+}
+
+func TestIYVReadOnlyBatchLogsNothing(t *testing.T) {
+	r := newRig(t, CoordinatorConfig{}, partSpec{"p1", wire.IYV})
+	// Seed a value.
+	seed := r.nextTxn()
+	r.exec(seed, "p1")
+	if out, _ := r.coord.Commit(seed, []wire.SiteID{"p1"}); out != wire.Commit {
+		t.Fatal("seed failed")
+	}
+	logLen := len(r.logs["p1"].All())
+
+	txn := r.nextTxn()
+	r.execOps(txn, "p1", wire.Op{Kind: wire.OpGet, Key: "k-" + seed.String()})
+	if got := len(r.logs["p1"].All()); got != logLen {
+		t.Fatalf("read-only batch wrote %d log records", got-logLen)
+	}
+	// Commit of a read-only IYV transaction: decision arrives for an
+	// executing (never-promised) subtransaction; nothing logged, still
+	// acknowledged and released.
+	out, err := r.coord.Commit(txn, []wire.SiteID{"p1"})
+	if err != nil || out != wire.Commit {
+		t.Fatalf("outcome %v, %v", out, err)
+	}
+	if got := len(r.logs["p1"].All()); got != logLen {
+		t.Fatalf("read-only commit wrote %d records", got-logLen)
+	}
+	if r.parts["p1"].Pending() != 0 {
+		t.Fatal("read-only txn not released")
+	}
+	r.checkClean()
+}
+
+func TestIYVVoteTimeoutStillAborts(t *testing.T) {
+	// Mixed IYV + PrN where the PrN site's vote is lost: timeout abort;
+	// the IYV site (implicit yes) must be driven to abort too.
+	r := newRig(t, CoordinatorConfig{}, partSpec{"iyv", wire.IYV}, partSpec{"pn", wire.PrN})
+	txn := r.nextTxn()
+	r.exec(txn, "iyv", "pn")
+	r.drop = func(m wire.Message) bool { return m.Kind == wire.MsgVote }
+	out, err := r.coord.Commit(txn, []wire.SiteID{"iyv", "pn"})
+	if err != nil || out != wire.Abort {
+		t.Fatalf("outcome %v, %v", out, err)
+	}
+	r.drop = nil
+	r.settle()
+	for _, p := range []wire.SiteID{"iyv", "pn"} {
+		if _, ok := r.stores[p].Read("k-" + txn.String()); ok {
+			t.Errorf("aborted write visible at %s", p)
+		}
+	}
+	r.checkClean()
+}

@@ -1,0 +1,574 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"prany/internal/history"
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+// Participant is one site's participant-side engine for a single 2PC
+// variant (PrN, PrA or PrC). It executes subtransactions against its RM,
+// votes, enforces decisions with the variant's logging discipline, and
+// recovers in-doubt transactions after a crash by inquiring.
+type Participant struct {
+	env   Env
+	proto wire.Protocol
+	rm    RM
+	// readOnlyOpt enables the read-only optimization: a participant that
+	// performed no updates votes read-only and drops out of phase two.
+	readOnlyOpt bool
+
+	mu   sync.Mutex
+	txns map[wire.TxnID]*ptxn
+
+	// Coordinator-log state. A CL participant logs nothing, so on restart
+	// it cannot name its in-doubt transactions: it announces its recovery
+	// to every known coordinator (coords) and fences new work (recovering)
+	// until a coordinator echoes that every outstanding decision has been
+	// re-driven. enforced is the volatile idempotence guard standing in
+	// for page-LSN checks: it keeps decisions re-driven *with* attached
+	// write sets from re-applying images over data later transactions have
+	// already changed.
+	coords        []wire.SiteID
+	recovering    bool
+	enforced      map[wire.TxnID]bool
+	enforcedOrder []wire.TxnID
+}
+
+// enforcedGuardLimit bounds the volatile CL idempotence set.
+const enforcedGuardLimit = 4096
+
+type ptxnState uint8
+
+const (
+	pExecuting ptxnState = iota
+	pPrepared            // voted yes; blocked until a decision arrives
+)
+
+type ptxn struct {
+	state ptxnState
+	coord wire.SiteID
+	// writes is kept only by CL participants (who have no log to re-read
+	// it from) so duplicate prepares can re-ship it.
+	writes []wal.Update
+	// idleTicks counts Tick rounds an executing subtransaction has sat
+	// without progressing to prepared. Participants may abort unilaterally
+	// before voting; after idleAbortTicks rounds they do, releasing locks
+	// a lost prepare or lost unacknowledged abort would otherwise strand.
+	idleTicks int
+}
+
+// idleAbortTicks is how many Tick rounds an executing subtransaction may
+// idle before the participant aborts it unilaterally.
+const idleAbortTicks = 5
+
+// NewParticipant builds a participant engine. proto must be one of the
+// three 2PC variants.
+func NewParticipant(env Env, proto wire.Protocol, rm RM, readOnlyOpt bool) *Participant {
+	if !proto.ParticipantProtocol() {
+		panic("core: " + proto.String() + " is not a participant protocol")
+	}
+	return &Participant{
+		env:         env,
+		proto:       proto,
+		rm:          rm,
+		readOnlyOpt: readOnlyOpt,
+		txns:        make(map[wire.TxnID]*ptxn),
+		enforced:    make(map[wire.TxnID]bool),
+	}
+}
+
+// SetCoordinators tells a coordinator-log participant which sites may hold
+// its outstanding decisions, for the site-level recovery announcement.
+// Other protocols ignore it (their own logs name their coordinators).
+func (p *Participant) SetCoordinators(ids []wire.SiteID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.coords = append([]wire.SiteID(nil), ids...)
+}
+
+// Proto returns the participant's protocol.
+func (p *Participant) Proto() wire.Protocol { return p.proto }
+
+// Handle processes one inbound message addressed to the participant role:
+// EXEC, PREPARE, or DECISION (which includes replies to inquiries).
+func (p *Participant) Handle(m wire.Message) {
+	switch m.Kind {
+	case wire.MsgExec:
+		p.handleExec(m)
+	case wire.MsgPrepare:
+		p.handlePrepare(m)
+	case wire.MsgDecision:
+		p.handleDecision(m)
+	case wire.MsgRecoverSite:
+		// The coordinator's echo: every outstanding decision has been
+		// re-driven (and, by per-destination FIFO, already delivered);
+		// the recovery fence lifts.
+		p.mu.Lock()
+		p.recovering = false
+		p.mu.Unlock()
+	}
+}
+
+func (p *Participant) handleExec(m wire.Message) {
+	p.mu.Lock()
+	if p.recovering {
+		// CL recovery fence: no new work until the coordinator has
+		// re-driven everything outstanding, or images recovered off the
+		// wire could race new transactions on the same keys.
+		p.mu.Unlock()
+		p.env.send(wire.Message{
+			Kind: wire.MsgExecReply, Txn: m.Txn, From: p.env.ID, To: m.From,
+			Err: "site recovering",
+		})
+		return
+	}
+	t := p.txns[m.Txn]
+	if t == nil {
+		t = &ptxn{coord: m.From}
+		p.txns[m.Txn] = t
+	}
+	// An explicitly prepared subtransaction is frozen; an IYV one is
+	// *implicitly* prepared after every batch and keeps executing.
+	if t.state == pPrepared && p.proto != wire.IYV {
+		p.mu.Unlock()
+		p.env.send(wire.Message{
+			Kind: wire.MsgExecReply, Txn: m.Txn, From: p.env.ID, To: m.From,
+			Err: "subtransaction already prepared",
+		})
+		return
+	}
+	p.mu.Unlock()
+
+	// Execution may block on locks held by other (possibly in-doubt)
+	// transactions, and the decision that releases them arrives on the
+	// same message stream — so operations run on their own goroutine, the
+	// participant's worker thread, never on the delivery loop.
+	go p.execute(m)
+}
+
+// execute runs one operation batch to completion and replies. It is the
+// blocking half of handleExec.
+func (p *Participant) execute(m wire.Message) {
+	results, err := p.rm.Exec(m.Txn, m.Ops)
+	reply := wire.Message{Kind: wire.MsgExecReply, Txn: m.Txn, From: p.env.ID, To: m.From, Results: results}
+	if err != nil {
+		// Execution failure (lock deadlock, bad op): the subtransaction
+		// aborts unilaterally; the error travels back so the coordinator
+		// aborts the global transaction.
+		p.rm.Abort(m.Txn)
+		p.mu.Lock()
+		delete(p.txns, m.Txn)
+		p.mu.Unlock()
+		reply.Results = nil
+		reply.Err = err.Error()
+		p.env.send(reply)
+		return
+	}
+
+	if p.proto == wire.IYV {
+		// Implicit yes-vote: the redo/undo of everything executed so far
+		// is forced *before* the acknowledgment, which makes that
+		// acknowledgment a durable promise — the implicit vote. Read-only
+		// batches promise nothing and log nothing.
+		if writes := p.rm.WriteSet(m.Txn); len(writes) > 0 {
+			if ferr := p.env.force(wal.Record{
+				Kind: wal.KPrepared, Role: wal.RolePart, Txn: m.Txn, Coord: m.From, Writes: writes,
+			}); ferr != nil {
+				p.rm.Abort(m.Txn)
+				p.mu.Lock()
+				delete(p.txns, m.Txn)
+				p.mu.Unlock()
+				reply.Results = nil
+				reply.Err = "forcing operation log: " + ferr.Error()
+				p.env.send(reply)
+				return
+			}
+			p.mu.Lock()
+			if t := p.txns[m.Txn]; t != nil {
+				t.state = pPrepared
+				t.coord = m.From
+			}
+			p.mu.Unlock()
+		}
+	}
+	p.env.send(reply)
+}
+
+func (p *Participant) handlePrepare(m wire.Message) {
+	p.mu.Lock()
+	t := p.txns[m.Txn]
+	if t != nil && t.state == pPrepared {
+		shipped := t.writes
+		p.mu.Unlock()
+		// Duplicate prepare (retry after a lost vote): re-vote yes,
+		// re-shipping the write set under coordinator log.
+		p.vote(m, wire.VoteYes, shipped)
+		return
+	}
+	if t == nil {
+		// No subtransaction executed here (or it already aborted after an
+		// execution failure): vote no.
+		p.mu.Unlock()
+		p.vote(m, wire.VoteNo, nil)
+		return
+	}
+	t.coord = m.From
+	p.mu.Unlock()
+
+	writes, readOnly, err := p.rm.Prepare(m.Txn)
+	if err != nil {
+		p.rm.Abort(m.Txn)
+		p.mu.Lock()
+		delete(p.txns, m.Txn)
+		p.mu.Unlock()
+		p.vote(m, wire.VoteNo, nil)
+		return
+	}
+	if readOnly && p.readOnlyOpt {
+		// Read-only optimization: release locks, forget, vote read-only;
+		// the participant takes no part in the decision phase.
+		p.rm.Abort(m.Txn)
+		p.mu.Lock()
+		delete(p.txns, m.Txn)
+		p.mu.Unlock()
+		p.vote(m, wire.VoteReadOnly, nil)
+		p.env.event(history.Event{Kind: history.EvForget, Txn: m.Txn})
+		return
+	}
+
+	if p.proto == wire.CL {
+		// Coordinator log: the participant forces nothing. Its write set
+		// rides on the vote; the coordinator's forced remote-writes
+		// record is the durable promise.
+		p.mu.Lock()
+		t.state = pPrepared
+		t.writes = writes
+		p.mu.Unlock()
+		p.vote(m, wire.VoteYes, writes)
+		return
+	}
+
+	// The prepared record is forced before the yes vote: the promise must
+	// survive a crash. It carries the coordinator's identity (where to
+	// inquire) and the undo/redo images.
+	if err := p.env.force(wal.Record{
+		Kind: wal.KPrepared, Role: wal.RolePart, Txn: m.Txn, Coord: m.From, Writes: writes,
+	}); err != nil {
+		// Cannot make the promise durable: abort instead of voting yes.
+		p.rm.Abort(m.Txn)
+		p.mu.Lock()
+		delete(p.txns, m.Txn)
+		p.mu.Unlock()
+		p.vote(m, wire.VoteNo, nil)
+		return
+	}
+	p.mu.Lock()
+	t.state = pPrepared
+	p.mu.Unlock()
+	p.vote(m, wire.VoteYes, nil)
+}
+
+func (p *Participant) vote(m wire.Message, v wire.Vote, shipped []wal.Update) {
+	if v == wire.VoteNo {
+		// A no-voter aborts unilaterally; it neither logs nor remembers.
+		p.rm.Abort(m.Txn)
+	}
+	p.env.event(history.Event{Kind: history.EvVote, Txn: m.Txn, Vote: v})
+	p.env.send(wire.Message{
+		Kind: wire.MsgVote, Txn: m.Txn, From: p.env.ID, To: m.From,
+		Vote: v, Proto: p.proto, Writes: shipped,
+	})
+}
+
+// handleDecision enforces a final decision (or an inquiry reply, which is
+// the same message). Logging and acknowledgment follow the participant's
+// protocol:
+//
+//	PrN: force decision record, ack, both outcomes.
+//	PrA: commit — force commit record, ack; abort — lazy abort record, no ack.
+//	PrC: commit — lazy commit record, no ack; abort — force abort record, ack.
+//
+// A participant with no memory of the transaction has, by assumption,
+// already enforced and forgotten the decision (paper, footnote 5); it
+// simply re-acknowledges.
+func (p *Participant) handleDecision(m wire.Message) {
+	p.mu.Lock()
+	t := p.txns[m.Txn]
+	if t == nil {
+		// No memory of the transaction. For two-phase protocols that
+		// means already enforced (footnote 5: re-acknowledge) — their
+		// logs guarantee it. A coordinator-log participant cannot make
+		// that inference after a crash: with the guard silent it must
+		// not ack an image-less decision (acking would tell the
+		// coordinator to stop re-driving and the enforcement would be
+		// lost). Instead it enforces off attached images, or asks the
+		// sender for a re-drive that carries them.
+		// An abort with no state enforces trivially (nothing was ever
+		// applied), so only commits need the images.
+		if p.proto == wire.CL && !p.enforced[m.Txn] && m.Outcome == wire.Commit {
+			p.mu.Unlock()
+			if len(m.Writes) > 0 {
+				if err := p.rm.RecoverPrepared(m.Txn, m.Writes); err == nil {
+					p.enforceCL(m)
+					return
+				}
+				p.ack(m)
+				return
+			}
+			// A commit always has logged images at the coordinator (a CL
+			// yes vote ships them), so this request cannot livelock.
+			p.env.send(wire.Message{
+				Kind: wire.MsgRecoverSite, From: p.env.ID, To: m.From, Proto: p.proto,
+			})
+			return
+		}
+		p.mu.Unlock()
+		p.ack(m)
+		return
+	}
+	wasPrepared := t.state == pPrepared
+	delete(p.txns, m.Txn)
+	p.mu.Unlock()
+
+	if p.proto == wire.CL {
+		// Coordinator log: the participant logs nothing, for decisions
+		// included.
+		p.enforceCL(m)
+		return
+	}
+
+	if wasPrepared {
+		kind := wal.KCommit
+		if m.Outcome == wire.Abort {
+			kind = wal.KAbort
+		}
+		rec := wal.Record{Kind: kind, Role: wal.RolePart, Txn: m.Txn, Coord: m.From}
+		if p.proto.Acks(m.Outcome) {
+			// The decision record is forced before the acknowledgment:
+			// once the coordinator hears the ack it may forget, so the
+			// participant can never again ask.
+			_ = p.env.force(rec)
+		} else {
+			_ = p.env.appendLazy(rec)
+		}
+	}
+	// An executing (never-prepared) subtransaction aborts without logging:
+	// it promised nothing, so there is nothing a crash could misread.
+
+	if m.Outcome == wire.Commit {
+		p.rm.Commit(m.Txn)
+	} else {
+		p.rm.Abort(m.Txn)
+	}
+	p.env.event(history.Event{Kind: history.EvEnforce, Txn: m.Txn, Outcome: m.Outcome})
+	p.env.event(history.Event{Kind: history.EvForget, Txn: m.Txn})
+	p.ack(m)
+}
+
+// enforceCL applies a decision at a coordinator-log participant and records
+// it in the volatile idempotence guard.
+func (p *Participant) enforceCL(m wire.Message) {
+	if m.Outcome == wire.Commit {
+		p.rm.Commit(m.Txn)
+	} else {
+		p.rm.Abort(m.Txn)
+	}
+	p.mu.Lock()
+	if !p.enforced[m.Txn] {
+		p.enforced[m.Txn] = true
+		p.enforcedOrder = append(p.enforcedOrder, m.Txn)
+		if len(p.enforcedOrder) > enforcedGuardLimit {
+			drop := p.enforcedOrder[0]
+			p.enforcedOrder = p.enforcedOrder[1:]
+			delete(p.enforced, drop)
+		}
+	}
+	p.mu.Unlock()
+	p.env.event(history.Event{Kind: history.EvEnforce, Txn: m.Txn, Outcome: m.Outcome})
+	p.env.event(history.Event{Kind: history.EvForget, Txn: m.Txn})
+	p.ack(m)
+}
+
+func (p *Participant) ack(decision wire.Message) {
+	if !p.proto.Acks(decision.Outcome) {
+		return
+	}
+	p.env.send(wire.Message{
+		Kind: wire.MsgAck, Txn: decision.Txn, From: p.env.ID, To: decision.From,
+		Outcome: decision.Outcome, Proto: p.proto,
+	})
+}
+
+// Recover rebuilds the participant's state from the stable log after a
+// crash: every transaction with a prepared record re-enters the prepared
+// state (re-acquiring its locks and images in the RM) and an inquiry is
+// sent to its coordinator. Transactions whose decision record survived are
+// re-enforced through the RM — enforcement is idempotent — covering a crash
+// between logging the decision and applying it.
+func (p *Participant) Recover() error {
+	if p.proto == wire.CL {
+		return p.recoverCL()
+	}
+	type seen struct {
+		prepared *wal.Record
+		outcome  wire.Outcome
+		decided  bool
+	}
+	byTxn := make(map[wire.TxnID]*seen)
+	order := []wire.TxnID{}
+	for _, rec := range p.env.Log.Records() {
+		if rec.Role != wal.RolePart {
+			continue // coordinator-role record; not ours
+		}
+		s := byTxn[rec.Txn]
+		if s == nil {
+			s = &seen{}
+			byTxn[rec.Txn] = s
+			order = append(order, rec.Txn)
+		}
+		switch rec.Kind {
+		case wal.KPrepared:
+			r := rec
+			s.prepared = &r
+		case wal.KCommit:
+			s.outcome, s.decided = wire.Commit, true
+		case wal.KAbort:
+			s.outcome, s.decided = wire.Abort, true
+		}
+	}
+
+	var inquiries []wire.Message
+	for _, txn := range order {
+		s := byTxn[txn]
+		if s.prepared == nil {
+			continue // decision for a transaction prepared before GC; done
+		}
+		if err := p.rm.RecoverPrepared(txn, s.prepared.Writes); err != nil {
+			return fmt.Errorf("core: participant %s recovering %s: %w", p.env.ID, txn, err)
+		}
+		if s.decided {
+			// Decision survived: re-enforce (idempotently) and move on.
+			if s.outcome == wire.Commit {
+				p.rm.Commit(txn)
+			} else {
+				p.rm.Abort(txn)
+			}
+			p.env.event(history.Event{Kind: history.EvEnforce, Txn: txn, Outcome: s.outcome})
+			p.env.event(history.Event{Kind: history.EvForget, Txn: txn})
+			continue
+		}
+		// In doubt: blocked until the coordinator answers.
+		p.mu.Lock()
+		p.txns[txn] = &ptxn{state: pPrepared, coord: s.prepared.Coord}
+		p.mu.Unlock()
+		inquiries = append(inquiries, p.inquiryMsg(txn, s.prepared.Coord))
+	}
+	p.env.event(history.Event{Kind: history.EvRecover})
+	for _, m := range inquiries {
+		p.env.event(history.Event{Kind: history.EvInquiry, Txn: m.Txn, Peer: m.To})
+		p.env.send(m)
+	}
+	return nil
+}
+
+// recoverCL runs the coordinator-log site-level recovery: with no log of
+// its own, the participant fences new work and announces its restart to
+// every known coordinator, which re-drives outstanding decisions (write
+// sets attached) and then echoes the announcement to lift the fence.
+func (p *Participant) recoverCL() error {
+	p.mu.Lock()
+	coords := append([]wire.SiteID(nil), p.coords...)
+	p.recovering = len(coords) > 0
+	p.mu.Unlock()
+	p.env.event(history.Event{Kind: history.EvRecover})
+	for _, c := range coords {
+		p.env.send(wire.Message{Kind: wire.MsgRecoverSite, From: p.env.ID, To: c, Proto: p.proto})
+	}
+	return nil
+}
+
+func (p *Participant) inquiryMsg(txn wire.TxnID, coord wire.SiteID) wire.Message {
+	return wire.Message{
+		Kind: wire.MsgInquiry, Txn: txn, From: p.env.ID, To: coord, Proto: p.proto,
+	}
+}
+
+// InDoubt returns the transactions blocked in the prepared state.
+func (p *Participant) InDoubt() []wire.TxnID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []wire.TxnID
+	for txn, t := range p.txns {
+		if t.state == pPrepared {
+			out = append(out, txn)
+		}
+	}
+	return out
+}
+
+// Pending returns the number of transactions the participant still holds
+// state for (executing or prepared).
+func (p *Participant) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.txns)
+}
+
+// Tick retries the protocol's timeout actions: one inquiry per in-doubt
+// transaction, and a unilateral abort of executing subtransactions that
+// have idled too long (a participant that has not voted yes may always
+// abort on its own; anything it hears later is answered per footnote 5).
+// The site layer calls it periodically.
+func (p *Participant) Tick() {
+	p.mu.Lock()
+	var msgs []wire.Message
+	var abandoned []wire.TxnID
+	if p.recovering {
+		// The recovery announcement (or its echo) may have been lost:
+		// repeat it until the fence lifts.
+		for _, c := range p.coords {
+			msgs = append(msgs, wire.Message{
+				Kind: wire.MsgRecoverSite, From: p.env.ID, To: c, Proto: p.proto,
+			})
+		}
+	}
+	for txn, t := range p.txns {
+		switch t.state {
+		case pPrepared:
+			msgs = append(msgs, p.inquiryMsg(txn, t.coord))
+		case pExecuting:
+			t.idleTicks++
+			if t.idleTicks >= idleAbortTicks {
+				abandoned = append(abandoned, txn)
+				delete(p.txns, txn)
+			}
+		}
+	}
+	p.mu.Unlock()
+	for _, txn := range abandoned {
+		p.rm.Abort(txn)
+		p.env.event(history.Event{Kind: history.EvEnforce, Txn: txn, Outcome: wire.Abort})
+		p.env.event(history.Event{Kind: history.EvForget, Txn: txn})
+	}
+	for _, m := range msgs {
+		if m.Kind == wire.MsgInquiry {
+			p.env.event(history.Event{Kind: history.EvInquiry, Txn: m.Txn, Peer: m.To})
+		}
+		p.env.send(m)
+	}
+}
+
+// Live reports whether the participant still needs txn's log records: only
+// in-doubt (prepared, undecided) transactions do. The site's checkpointer
+// uses it; everything else is garbage the moment the decision is enforced,
+// which is clause 3 of operational correctness.
+func (p *Participant) Live(txn wire.TxnID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.txns[txn]
+	return ok
+}

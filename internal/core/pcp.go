@@ -1,0 +1,84 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"prany/internal/wire"
+)
+
+// PCP is the participants' commit protocol table of Section 4: the
+// coordinator's stable record of which two-phase-commit variant every site
+// in the distributed environment runs. It is updated when a site joins or
+// leaves. The in-memory view restricted to participants with active
+// transactions — the paper's APP table — is what Lookup serves; since this
+// implementation keeps the whole table resident, PCP and APP coincide and
+// the type serves both roles.
+type PCP struct {
+	mu     sync.RWMutex
+	protos map[wire.SiteID]wire.Protocol
+}
+
+// NewPCP returns an empty table.
+func NewPCP() *PCP {
+	return &PCP{protos: make(map[wire.SiteID]wire.Protocol)}
+}
+
+// Set registers (or updates) the protocol site runs. Coordinator-only
+// strategies are not valid participant protocols; Set panics on one, since
+// the table is populated from deployment configuration and such an entry is
+// a programming error, not a runtime condition.
+func (p *PCP) Set(site wire.SiteID, proto wire.Protocol) {
+	if !proto.ParticipantProtocol() {
+		panic("core: " + proto.String() + " is not a participant protocol")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.protos[site] = proto
+}
+
+// Remove deletes a site that left the environment.
+func (p *PCP) Remove(site wire.SiteID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.protos, site)
+}
+
+// Lookup returns the protocol site runs.
+func (p *PCP) Lookup(site wire.SiteID) (wire.Protocol, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	proto, ok := p.protos[site]
+	return proto, ok
+}
+
+// Sites returns the registered sites in sorted order.
+func (p *PCP) Sites() []wire.SiteID {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]wire.SiteID, 0, len(p.protos))
+	for s := range p.protos {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Select implements the protocol selection rule of Section 4.1: a
+// homogeneous participant set uses its native protocol; any heterogeneous
+// set uses PrAny. (The paper's prose names the PrA-mixed cases explicitly;
+// the PrN+PrC mix is routed through PrAny too, since those presumptions
+// conflict by the same argument — see DESIGN.md §5.) An empty set selects
+// PrA: with nobody to coordinate, presuming abort costs nothing.
+func Select(protos []wire.Protocol) wire.Protocol {
+	if len(protos) == 0 {
+		return wire.PrA
+	}
+	first := protos[0]
+	for _, p := range protos[1:] {
+		if p != first {
+			return wire.PrAny
+		}
+	}
+	return first
+}

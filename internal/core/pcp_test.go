@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"prany/internal/kvstore"
+	"prany/internal/wire"
+)
+
+func TestPCPSetLookupRemove(t *testing.T) {
+	p := NewPCP()
+	if _, ok := p.Lookup("a"); ok {
+		t.Fatal("empty table answered a lookup")
+	}
+	p.Set("a", wire.PrA)
+	p.Set("b", wire.PrC)
+	if got, ok := p.Lookup("a"); !ok || got != wire.PrA {
+		t.Fatalf("Lookup(a) = %v, %v", got, ok)
+	}
+	p.Set("a", wire.PrN) // site changed protocols
+	if got, _ := p.Lookup("a"); got != wire.PrN {
+		t.Fatalf("update ignored: %v", got)
+	}
+	p.Remove("a")
+	if _, ok := p.Lookup("a"); ok {
+		t.Fatal("removed site still present")
+	}
+	if sites := p.Sites(); len(sites) != 1 || sites[0] != "b" {
+		t.Fatalf("Sites() = %v", sites)
+	}
+}
+
+func TestPCPSitesSorted(t *testing.T) {
+	p := NewPCP()
+	for _, id := range []wire.SiteID{"zebra", "alpha", "mid"} {
+		p.Set(id, wire.PrA)
+	}
+	sites := p.Sites()
+	if len(sites) != 3 || sites[0] != "alpha" || sites[1] != "mid" || sites[2] != "zebra" {
+		t.Fatalf("Sites() = %v", sites)
+	}
+}
+
+func TestPCPRejectsCoordinatorStrategies(t *testing.T) {
+	p := NewPCP()
+	for _, proto := range []wire.Protocol{wire.PrAny, wire.U2PC, wire.C2PC} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Set(%v) did not panic", proto)
+				}
+			}()
+			p.Set("x", proto)
+		}()
+	}
+}
+
+func TestReadOnlyOptimization(t *testing.T) {
+	// A participant that only read votes read-only, is excluded from the
+	// decision phase, and logs nothing at all.
+	r := newRigRO(t, CoordinatorConfig{},
+		partSpec{"rw", wire.PrA}, partSpec{"ro", wire.PrC})
+	txn := r.nextTxn()
+	// rw writes; ro only reads.
+	r.execOps(txn, "rw", wire.Op{Kind: wire.OpPut, Key: "k", Value: "v"})
+	r.execOps(txn, "ro", wire.Op{Kind: wire.OpGet, Key: "whatever"})
+	out, err := r.coord.Commit(txn, []wire.SiteID{"rw", "ro"})
+	if err != nil || out != wire.Commit {
+		t.Fatalf("outcome %v, %v", out, err)
+	}
+	// The read-only site never logged and never saw the decision.
+	if got := len(r.logs["ro"].All()); got != 0 {
+		t.Fatalf("read-only participant wrote %d log records", got)
+	}
+	if got := r.met.Site("coord").Messages[wire.MsgDecision]; got != 1 {
+		t.Fatalf("decisions sent = %d, want 1 (rw only)", got)
+	}
+	if r.coord.PTSize() != 0 {
+		t.Fatal("not forgotten")
+	}
+	r.checkClean()
+}
+
+func TestAllReadOnlyCommitsWithoutPhaseTwo(t *testing.T) {
+	r := newRigRO(t, CoordinatorConfig{}, partSpec{"r1", wire.PrA}, partSpec{"r2", wire.PrC})
+	txn := r.nextTxn()
+	for _, id := range []wire.SiteID{"r1", "r2"} {
+		r.execOps(txn, id, wire.Op{Kind: wire.OpGet, Key: "k"})
+	}
+	out, err := r.coord.Commit(txn, []wire.SiteID{"r1", "r2"})
+	if err != nil || out != wire.Commit {
+		t.Fatalf("outcome %v, %v", out, err)
+	}
+	if got := r.met.Site("coord").Messages[wire.MsgDecision]; got != 0 {
+		t.Fatalf("decisions sent = %d, want 0", got)
+	}
+	if r.coord.PTSize() != 0 {
+		t.Fatal("not forgotten")
+	}
+	r.checkClean()
+}
+
+// newRigRO builds a rig with the read-only optimization enabled at every
+// participant.
+func newRigRO(t *testing.T, cfg CoordinatorConfig, specs ...partSpec) *rig {
+	t.Helper()
+	r := newRig(t, cfg)
+	r.roOpt = true
+	if cfg.VoteTimeout == 0 {
+		cfg.VoteTimeout = r.cfg.VoteTimeout
+	}
+	for _, s := range specs {
+		r.pcp.Set(s.id, s.proto)
+		r.newLog(s.id)
+		r.stores[s.id] = kvstore.New()
+		r.parts[s.id] = NewParticipant(r.env(s.id), s.proto, r.stores[s.id], true)
+	}
+	return r
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prany/internal/history"
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+// TestQuickRandomSchedulesPrAnyOperationallyCorrect is the executable form
+// of Theorem 3 as a property: for ANY seed-derived schedule of transaction
+// outcomes, message omissions, and site crashes over a fully mixed cluster
+// (PrN, PrA, PrC and IYV participants), once the faults stop PrAny drives
+// the system to a state with
+//
+//	(1) no atomicity or safe-state violations in the recorded history,
+//	(2) an empty coordinator protocol table,
+//	(3) no pending participant state, and
+//	(4) fully garbage-collectable logs.
+//
+// The rig's synchronous routing makes each seed's run deterministic, so a
+// failing seed is replayable as-is.
+func TestQuickRandomSchedulesPrAnyOperationallyCorrect(t *testing.T) {
+	f := func(seed int64) bool {
+		return runRandomSchedule(t, seed, StrategyPrAny, wire.PrN)
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if testing.Short() {
+		cfg.MaxCount = 5
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// runRandomSchedule executes one seeded adversarial run and reports whether
+// the end state satisfies operational correctness. It uses t only to fail
+// construction, never the property itself.
+func runRandomSchedule(t *testing.T, seed int64, strategy Strategy, native wire.Protocol) bool {
+	rng := rand.New(rand.NewSource(seed))
+	r := newRig(t, CoordinatorConfig{Strategy: strategy, Native: native},
+		partSpec{"pn", wire.PrN}, partSpec{"pa", wire.PrA},
+		partSpec{"pc", wire.PrC}, partSpec{"iyv", wire.IYV},
+		partSpec{"cl", wire.CL})
+	r.parts["cl"].SetCoordinators([]wire.SiteID{r.coordID})
+	ids := []wire.SiteID{"pn", "pa", "pc", "iyv", "cl"}
+	protos := map[wire.SiteID]wire.Protocol{
+		"pn": wire.PrN, "pa": wire.PrA, "pc": wire.PrC, "iyv": wire.IYV, "cl": wire.CL,
+	}
+
+	txns := 6 + rng.Intn(6)
+	for i := 0; i < txns; i++ {
+		// Random participant subset (at least one).
+		var parts []wire.SiteID
+		for _, id := range ids {
+			if rng.Float64() < 0.7 {
+				parts = append(parts, id)
+			}
+		}
+		if len(parts) == 0 {
+			parts = []wire.SiteID{ids[rng.Intn(len(ids))]}
+		}
+
+		// Random omission faults during this transaction.
+		dropProb := 0.0
+		if rng.Float64() < 0.5 {
+			dropProb = rng.Float64() * 0.4
+		}
+		r.drop = func(m wire.Message) bool {
+			switch m.Kind {
+			case wire.MsgVote, wire.MsgDecision, wire.MsgAck, wire.MsgInquiry:
+				return rng.Float64() < dropProb
+			}
+			return false
+		}
+
+		txn := r.nextTxn()
+		r.exec(txn, parts...)
+		// Random forced abort via a poisoned two-phase participant.
+		if rng.Float64() < 0.3 {
+			victim := parts[rng.Intn(len(parts))]
+			if victim != "iyv" {
+				r.stores[victim].Poison(txn)
+			}
+		}
+		if _, err := r.coord.Commit(txn, parts); err != nil {
+			return false
+		}
+		r.drop = nil
+
+		// Random crash/recover of a participant (faults off, so recovery
+		// inquiries get through eventually via settle).
+		if rng.Float64() < 0.3 {
+			victim := ids[rng.Intn(len(ids))]
+			r.crashPart(victim)
+			if protos[victim] == wire.CL {
+				r.recoverPartCL(victim)
+			} else {
+				r.recoverPart(victim, protos[victim])
+			}
+		}
+		// Random coordinator crash/recover between transactions.
+		if rng.Float64() < 0.15 {
+			r.crashCoord()
+			r.recoverCoord()
+		}
+		r.settle()
+	}
+
+	// Faults over: drive to quiescence and check everything.
+	r.settle()
+	r.settle()
+	if r.coord.PTSize() != 0 {
+		t.Logf("seed %d: protocol table retains %v", seed, r.coord.PTEntries())
+		return false
+	}
+	for id, p := range r.parts {
+		if p.Pending() != 0 {
+			t.Logf("seed %d: participant %s retains %d transactions", seed, id, p.Pending())
+			return false
+		}
+	}
+	if v := history.CheckOperational(r.hist.Events()); len(v) != 0 {
+		t.Logf("seed %d: %d violations, first: %s", seed, len(v), v[0])
+		return false
+	}
+	// Logs fully collectable.
+	if _, err := r.logs[r.coordID].Checkpoint(func(rec wal.Record) bool {
+		return r.coord.Live(rec.Txn)
+	}); err != nil {
+		return false
+	}
+	if n := len(r.logs[r.coordID].All()); n != 0 {
+		t.Logf("seed %d: coordinator log pins %d records", seed, n)
+		return false
+	}
+	for id, p := range r.parts {
+		if _, err := r.logs[id].Checkpoint(func(rec wal.Record) bool {
+			return p.Live(rec.Txn)
+		}); err != nil {
+			return false
+		}
+		if n := len(r.logs[id].All()); n != 0 {
+			t.Logf("seed %d: %s log pins %d records", seed, id, n)
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickRandomSchedulesU2PCEventuallyViolates is the complementary
+// property: across many random schedules, the U2PC strategy must produce at
+// least one atomicity violation somewhere — Theorem 1 says the unsafe
+// schedules exist, and random search finds them.
+func TestQuickRandomSchedulesU2PCEventuallyViolates(t *testing.T) {
+	violated := false
+	for seed := int64(0); seed < 40 && !violated; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		r := newRig(t, CoordinatorConfig{Strategy: StrategyU2PC, Native: wire.PrN},
+			partSpec{"pa", wire.PrA}, partSpec{"pc", wire.PrC})
+		for i := 0; i < 4; i++ {
+			dropProb := rng.Float64() * 0.6
+			r.drop = func(m wire.Message) bool {
+				return m.Kind == wire.MsgDecision && rng.Float64() < dropProb
+			}
+			txn := r.nextTxn()
+			r.exec(txn, "pa", "pc")
+			if _, err := r.coord.Commit(txn, []wire.SiteID{"pa", "pc"}); err != nil {
+				t.Fatal(err)
+			}
+			r.drop = nil
+			if rng.Float64() < 0.8 {
+				r.crashPart("pc")
+				r.recoverPart("pc", wire.PrC)
+			}
+			r.settle()
+		}
+		if len(history.CheckAtomicity(r.hist.Events())) > 0 {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Error("40 random U2PC schedules produced no violation; Theorem 1 search failed")
+	}
+}

@@ -1,0 +1,407 @@
+package core
+
+import (
+	"testing"
+
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+// Section 4.2 recovery schedules: the coordinator or a participant crashes
+// at each interesting point in the protocol, recovers by log analysis, and
+// the system must converge with a clean history.
+
+func TestCoordCrashAfterInitiationAbortsPrAny(t *testing.T) {
+	// Crash between forcing the initiation record and deciding: recovery
+	// finds only the initiation record, submits abort to the PrN and PrC
+	// participants (not PrA, in accordance with PrA), and ends.
+	r := newRig(t, CoordinatorConfig{},
+		partSpec{"pn", wire.PrN}, partSpec{"pa", wire.PrA}, partSpec{"pc", wire.PrC})
+	txn := r.nextTxn()
+	r.exec(txn, "pn", "pa", "pc")
+	// Lose every prepare so the participants never even vote, then crash
+	// the coordinator mid-protocol: simplest way to freeze after the
+	// initiation force. (Run Commit in a goroutine; it times out against
+	// silence.)
+	r.drop = func(m wire.Message) bool { return m.Kind != wire.MsgExec }
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = r.coord.Commit(txn, []wire.SiteID{"pn", "pa", "pc"})
+	}()
+	<-done // timed out, aborted against silence; pretend the crash hit before those sends
+	r.crashCoord()
+	r.drop = nil
+
+	// The participants meanwhile prepared? No: prepares were dropped, so
+	// they are still executing. Recover the coordinator: initiation-only →
+	// re-drive abort to pn and pc.
+	r.recoverCoord()
+	if got := r.met.Site("coord").Messages[wire.MsgDecision]; got == 0 {
+		t.Fatal("recovery sent no decisions")
+	}
+	r.settle()
+	if r.coord.PTSize() != 0 {
+		t.Fatalf("PT size %d after recovery drain", r.coord.PTSize())
+	}
+	// pa never receives anything; it was still executing, so it holds
+	// volatile state only. Its prepare never came: no log records, no
+	// in-doubt state. The history must be clean.
+	r.checkClean()
+}
+
+func TestCoordCrashAfterCommitRecordRedrives(t *testing.T) {
+	// Crash after forcing the commit record but before any decision went
+	// out: recovery finds initiation+commit and re-submits commit to the
+	// PrN and PrA participants, not to PrC (which presumes commit).
+	r := newRig(t, CoordinatorConfig{},
+		partSpec{"pn", wire.PrN}, partSpec{"pa", wire.PrA}, partSpec{"pc", wire.PrC})
+	txn := r.nextTxn()
+	r.exec(txn, "pn", "pa", "pc")
+	// Let votes flow, but drop all decisions: the commit record is forced,
+	// the decision "sends" are all lost — equivalent to crashing between
+	// the force and the sends.
+	r.drop = func(m wire.Message) bool { return m.Kind == wire.MsgDecision }
+	out, err := r.coord.Commit(txn, []wire.SiteID{"pn", "pa", "pc"})
+	if err != nil || out != wire.Commit {
+		t.Fatalf("outcome %v, %v", out, err)
+	}
+	r.crashCoord()
+	r.drop = nil
+
+	r.recoverCoord()
+	// Recovery re-drove the commit; pn and pa ack; the end record lands.
+	r.settle()
+	if r.coord.PTSize() != 0 {
+		t.Fatalf("PT size %d", r.coord.PTSize())
+	}
+	// pc never got a decision. It is in doubt and must resolve by inquiry.
+	if len(r.parts["pc"].InDoubt()) != 0 {
+		r.parts["pc"].Tick() // inquiry → presumption commit
+	}
+	if got := len(r.parts["pc"].InDoubt()); got != 0 {
+		t.Fatalf("pc still in doubt: %d", got)
+	}
+	for _, id := range []wire.SiteID{"pn", "pa", "pc"} {
+		if _, ok := r.stores[id].Read("k-" + txn.String()); !ok {
+			t.Fatalf("data missing at %s", id)
+		}
+	}
+	r.checkClean()
+}
+
+func TestCoordCrashPrNRedrivesRecordedDecision(t *testing.T) {
+	// PrN: decision record without initiation; recovery re-initiates the
+	// decision phase with the recorded decision.
+	r := newRig(t, CoordinatorConfig{}, partSpec{"p1", wire.PrN}, partSpec{"p2", wire.PrN})
+	txn := r.nextTxn()
+	r.exec(txn, "p1", "p2")
+	r.drop = func(m wire.Message) bool { return m.Kind == wire.MsgDecision }
+	out, err := r.coord.Commit(txn, []wire.SiteID{"p1", "p2"})
+	if err != nil || out != wire.Commit {
+		t.Fatalf("outcome %v, %v", out, err)
+	}
+	r.crashCoord()
+	r.drop = nil
+	r.recoverCoord()
+	r.settle()
+	if r.coord.PTSize() != 0 {
+		t.Fatalf("PT size %d", r.coord.PTSize())
+	}
+	for _, id := range []wire.SiteID{"p1", "p2"} {
+		if _, ok := r.stores[id].Read("k-" + txn.String()); !ok {
+			t.Fatalf("data missing at %s", id)
+		}
+	}
+	r.checkClean()
+}
+
+func TestCoordCrashPrAAbortLeavesNothing(t *testing.T) {
+	// PrA abort logs nothing; after a crash the coordinator knows nothing,
+	// and the prepared participant resolves through the abort presumption.
+	r := newRig(t, CoordinatorConfig{}, partSpec{"p1", wire.PrA}, partSpec{"p2", wire.PrA})
+	txn := r.nextTxn()
+	r.exec(txn, "p1", "p2")
+	// p2's vote and every decision lost: timeout abort, nothing delivered.
+	r.drop = func(m wire.Message) bool {
+		return (m.Kind == wire.MsgVote && m.From == "p2") || m.Kind == wire.MsgDecision
+	}
+	out, _ := r.coord.Commit(txn, []wire.SiteID{"p1", "p2"})
+	if out != wire.Abort {
+		t.Fatalf("outcome %v", out)
+	}
+	r.crashCoord()
+	r.drop = nil
+	r.recoverCoord()
+	if got := r.coord.PTSize(); got != 0 {
+		t.Fatalf("PrA abort left %d PT entries after recovery", got)
+	}
+	// Both participants are prepared and in doubt; their inquiries get the
+	// abort presumption.
+	r.settle()
+	for _, id := range []wire.SiteID{"p1", "p2"} {
+		if got := len(r.parts[id].InDoubt()); got != 0 {
+			t.Fatalf("%s still in doubt", id)
+		}
+		if _, ok := r.stores[id].Read("k-" + txn.String()); ok {
+			t.Fatalf("aborted write visible at %s", id)
+		}
+	}
+	r.checkClean()
+}
+
+func TestCoordCrashPrCCommitNeverRedriven(t *testing.T) {
+	// PrC commit: initiation+commit in the log; per the paper, a PrC
+	// coordinator never re-submits commit decisions after recovery — the
+	// participants use the presumption.
+	r := newRig(t, CoordinatorConfig{}, partSpec{"p1", wire.PrC}, partSpec{"p2", wire.PrC})
+	txn := r.nextTxn()
+	r.exec(txn, "p1", "p2")
+	r.drop = func(m wire.Message) bool { return m.Kind == wire.MsgDecision }
+	out, _ := r.coord.Commit(txn, []wire.SiteID{"p1", "p2"})
+	if out != wire.Commit {
+		t.Fatalf("outcome %v", out)
+	}
+	r.crashCoord()
+	r.drop = nil
+	before := r.met.Site("coord").Messages[wire.MsgDecision]
+	r.recoverCoord()
+	after := r.met.Site("coord").Messages[wire.MsgDecision]
+	if after != before {
+		t.Fatalf("PrC recovery re-sent %d commit decisions", after-before)
+	}
+	if r.coord.PTSize() != 0 {
+		t.Fatal("PrC commit re-entered the protocol table")
+	}
+	// The in-doubt participants inquire and are answered commit by
+	// presumption.
+	r.settle()
+	for _, id := range []wire.SiteID{"p1", "p2"} {
+		if _, ok := r.stores[id].Read("k-" + txn.String()); !ok {
+			t.Fatalf("data missing at %s", id)
+		}
+	}
+	r.checkClean()
+}
+
+func TestParticipantCrashBeforeDecisionInquires(t *testing.T) {
+	// A prepared participant crashes; the decision is lost; on recovery it
+	// re-instates the prepared transaction (locks and all) and inquires.
+	r := newRig(t, CoordinatorConfig{}, partSpec{"p1", wire.PrN}, partSpec{"p2", wire.PrN})
+	txn := r.nextTxn()
+	r.exec(txn, "p1", "p2")
+	r.drop = func(m wire.Message) bool { return m.Kind == wire.MsgDecision && m.To == "p2" }
+	out, _ := r.coord.Commit(txn, []wire.SiteID{"p1", "p2"})
+	if out != wire.Commit {
+		t.Fatalf("outcome %v", out)
+	}
+	r.drop = nil
+	// The coordinator is still waiting for p2's ack (PrN expects it).
+	if r.coord.PTSize() != 1 {
+		t.Fatalf("PT size %d, want 1 (awaiting p2)", r.coord.PTSize())
+	}
+	r.crashPart("p2")
+	r.recoverPart("p2", wire.PrN)
+	// Recovery's inquiry finds the transaction still in the table; the
+	// response commits p2 and its ack drains the table.
+	r.settle()
+	if r.coord.PTSize() != 0 {
+		t.Fatalf("PT size %d after p2 recovered", r.coord.PTSize())
+	}
+	if _, ok := r.stores["p2"].Read("k-" + txn.String()); !ok {
+		t.Fatal("p2 data missing")
+	}
+	r.checkClean()
+}
+
+func TestParticipantCrashBeforePrepareForceVotesNothing(t *testing.T) {
+	// Crash before the prepared record is forced: on recovery there is
+	// nothing in the log, so the participant holds no state and the
+	// transaction aborts by timeout at the coordinator.
+	r := newRig(t, CoordinatorConfig{}, partSpec{"p1", wire.PrN}, partSpec{"p2", wire.PrN})
+	txn := r.nextTxn()
+	r.exec(txn, "p1", "p2")
+	r.crashPart("p2") // crashes with buffered (volatile) exec state only
+	out, _ := r.coord.Commit(txn, []wire.SiteID{"p1", "p2"})
+	if out != wire.Abort {
+		t.Fatalf("outcome %v", out)
+	}
+	r.recoverPart("p2", wire.PrN)
+	if r.parts["p2"].Pending() != 0 {
+		t.Fatal("p2 recovered phantom state")
+	}
+	r.settle()
+	if r.coord.PTSize() != 0 {
+		t.Fatalf("PT size %d", r.coord.PTSize())
+	}
+	r.checkClean()
+}
+
+func TestParticipantRecoveryReenforcesLoggedDecision(t *testing.T) {
+	// Crash after the decision record is stable but before it is certain
+	// the RM applied it: recovery re-enforces idempotently.
+	r := newRig(t, CoordinatorConfig{}, partSpec{"p1", wire.PrN})
+	txn := r.nextTxn()
+	r.exec(txn, "p1")
+	out, _ := r.coord.Commit(txn, []wire.SiteID{"p1"})
+	if out != wire.Commit {
+		t.Fatalf("outcome %v", out)
+	}
+	// p1's log now has prepared+commit. Crash and recover: the commit must
+	// be re-applied to the fresh (volatile-state-lost) store.
+	r.crashPart("p1")
+	r.recoverPart("p1", wire.PrN)
+	if _, ok := r.stores["p1"].Read("k-" + txn.String()); !ok {
+		t.Fatal("recovery did not redo the logged commit")
+	}
+	r.checkClean()
+}
+
+func TestParticipantRecoveryLocksHeldWhileInDoubt(t *testing.T) {
+	// A recovered in-doubt transaction must still hold its locks: a new
+	// transaction touching the same key cannot proceed until resolution.
+	r := newRig(t, CoordinatorConfig{}, partSpec{"p1", wire.PrC})
+	txn := r.nextTxn()
+	r.execOps(txn, "p1", wire.Op{Kind: wire.OpPut, Key: "shared", Value: "v1"})
+	r.drop = func(m wire.Message) bool { return m.Kind == wire.MsgDecision }
+	out, _ := r.coord.Commit(txn, []wire.SiteID{"p1"})
+	if out != wire.Commit {
+		t.Fatalf("outcome %v", out)
+	}
+	r.crashPart("p1")
+	r.recoverPart("p1", wire.PrC) // in doubt; inquiry dropped too? drop rule still active
+	if got := len(r.parts["p1"].InDoubt()); got != 1 {
+		t.Fatalf("in doubt = %d, want 1", got)
+	}
+	r.drop = nil
+	// Resolve via tick (inquiry → commit by PT or presumption).
+	r.settle()
+	if v, ok := r.stores["p1"].Read("shared"); !ok || v != "v1" {
+		t.Fatalf("shared = %q, %v", v, ok)
+	}
+	r.checkClean()
+}
+
+func TestCoordinatorAnswersInquiryWhileStillDeciding(t *testing.T) {
+	// An inquiry for an undecided in-table transaction is deliberately
+	// ignored; the participant re-inquires later.
+	r := newRig(t, CoordinatorConfig{}, partSpec{"p1", wire.PrN})
+	txn := r.nextTxn()
+	r.exec(txn, "p1")
+	done := make(chan wire.Outcome, 1)
+	r.drop = func(m wire.Message) bool { return m.Kind == wire.MsgVote } // freeze voting
+	go func() {
+		out, _ := r.coord.Commit(txn, []wire.SiteID{"p1"})
+		done <- out
+	}()
+	// Inquire while voting is stuck; must not receive an answer that
+	// contradicts the eventual decision, and must not panic.
+	r.route(wire.Message{Kind: wire.MsgInquiry, Txn: txn, From: "p1", To: "coord", Proto: wire.PrN})
+	out := <-done
+	r.drop = nil
+	if out != wire.Abort {
+		t.Fatalf("outcome %v", out)
+	}
+	r.settle()
+	r.checkClean()
+}
+
+func TestRecoveredCoordinatorAnswersInquiriesFromPT(t *testing.T) {
+	// After a coordinator crash mid-drain, a recovered-in-doubt PrC
+	// participant's inquiry is answered from the rebuilt protocol table.
+	r := newRig(t, CoordinatorConfig{}, partSpec{"pa", wire.PrA}, partSpec{"pc", wire.PrC})
+	txn := r.nextTxn()
+	r.exec(txn, "pa", "pc")
+	// Lose the decision to pc AND pa's ack, so the table cannot drain.
+	r.drop = func(m wire.Message) bool {
+		return (m.Kind == wire.MsgDecision && m.To == "pc") || m.Kind == wire.MsgAck
+	}
+	out, _ := r.coord.Commit(txn, []wire.SiteID{"pa", "pc"})
+	if out != wire.Commit {
+		t.Fatalf("outcome %v", out)
+	}
+	r.crashCoord()
+	// Keep losing acks so the rebuilt entry stays in the table while the
+	// inquiry arrives.
+	r.drop = func(m wire.Message) bool { return m.Kind == wire.MsgAck }
+	r.recoverCoord() // rebuilds the entry, re-drives commit to pn+pa
+	if r.coord.PTSize() != 1 {
+		t.Fatalf("PT size %d, want 1 mid-drain", r.coord.PTSize())
+	}
+	r.crashPart("pc")
+	r.recoverPart("pc", wire.PrC) // inquiry answered commit from the PT
+	r.drop = nil
+	r.settle()
+	if _, ok := r.stores["pc"].Read("k-" + txn.String()); !ok {
+		t.Fatal("pc did not commit")
+	}
+	if r.coord.PTSize() != 0 {
+		t.Fatalf("PT size %d after full drain", r.coord.PTSize())
+	}
+	r.checkClean()
+}
+
+func TestDoubleCrashRecovery(t *testing.T) {
+	// Coordinator and participant both crash; both recover; the system
+	// still converges.
+	r := newRig(t, CoordinatorConfig{}, partSpec{"pa", wire.PrA}, partSpec{"pc", wire.PrC})
+	txn := r.nextTxn()
+	r.exec(txn, "pa", "pc")
+	r.drop = func(m wire.Message) bool { return m.Kind == wire.MsgDecision }
+	out, _ := r.coord.Commit(txn, []wire.SiteID{"pa", "pc"})
+	if out != wire.Commit {
+		t.Fatalf("outcome %v", out)
+	}
+	r.crashCoord()
+	r.crashPart("pc")
+	r.drop = nil
+	r.recoverCoord()
+	r.recoverPart("pc", wire.PrC)
+	r.settle()
+	if r.coord.PTSize() != 0 {
+		t.Fatalf("PT size %d", r.coord.PTSize())
+	}
+	for _, id := range []wire.SiteID{"pa", "pc"} {
+		if _, ok := r.stores[id].Read("k-" + txn.String()); !ok {
+			t.Fatalf("data missing at %s", id)
+		}
+	}
+	r.checkClean()
+}
+
+func TestCheckpointAfterTermination(t *testing.T) {
+	// Clause 2/3 of Definition 1: once terminated, everything is
+	// garbage-collectable. Run transactions, checkpoint every log with the
+	// engines' Live predicates, and expect empty logs.
+	r := newRig(t, CoordinatorConfig{},
+		partSpec{"pn", wire.PrN}, partSpec{"pa", wire.PrA}, partSpec{"pc", wire.PrC})
+	for i := 0; i < 3; i++ {
+		r.run("pn", "pa", "pc")
+	}
+	r.settle()
+	if n, err := r.logs["coord"].Checkpoint(func(rec wal.Record) bool {
+		return r.coord.Live(rec.Txn)
+	}); err != nil || n == 0 {
+		t.Fatalf("coordinator checkpoint: n=%d err=%v", n, err)
+	}
+	if got := len(r.logs["coord"].All()); got != 0 {
+		t.Fatalf("coordinator log still has %d records", got)
+	}
+	for id, p := range r.parts {
+		if _, err := r.logs[id].Checkpoint(func(rec wal.Record) bool {
+			return p.Live(rec.Txn)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got := len(r.logs[id].All()); got != 0 {
+			t.Fatalf("%s log still has %d records", id, got)
+		}
+	}
+	// And the checkpoint must not confuse future recovery.
+	r.crashCoord()
+	r.recoverCoord()
+	if r.coord.PTSize() != 0 {
+		t.Fatal("recovery resurrected checkpointed transactions")
+	}
+	r.checkClean()
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prany/internal/history"
+	"prany/internal/kvstore"
+	"prany/internal/metrics"
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+// rig wires one coordinator to a set of participants with synchronous
+// in-process message routing: a send is handled to completion before the
+// sender proceeds. That makes every protocol exchange deterministic — no
+// sleeps, no polling — while still exercising the real engines, logs and
+// resource managers. Omission failures are injected with drop rules and
+// site crashes with down flags, exactly the paper's failure model.
+type rig struct {
+	t       *testing.T
+	coordID wire.SiteID
+	coord   *Coordinator
+	parts   map[wire.SiteID]*Participant
+	stores  map[wire.SiteID]*kvstore.Store
+	logs    map[wire.SiteID]*wal.Log
+	stores2 map[wire.SiteID]*wal.MemStore // backing stores, survive crashes
+	dead    map[wire.SiteID]*atomic.Bool
+	pcp     *PCP
+	hist    *history.Recorder
+	met     *metrics.Registry
+	cfg     CoordinatorConfig
+	down    map[wire.SiteID]bool
+	drop    func(m wire.Message) bool
+	seq     uint64
+	roOpt   bool
+	// execReply synchronizes the rig with participants' worker goroutines:
+	// exec waits for the reply so tests stay sequential.
+	execReply chan wire.Message
+}
+
+// partSpec declares one participant site and its protocol.
+type partSpec struct {
+	id    wire.SiteID
+	proto wire.Protocol
+}
+
+func newRig(t *testing.T, cfg CoordinatorConfig, specs ...partSpec) *rig {
+	t.Helper()
+	if cfg.VoteTimeout == 0 {
+		cfg.VoteTimeout = 30 * time.Millisecond
+	}
+	r := &rig{
+		t:       t,
+		coordID: "coord",
+		parts:   make(map[wire.SiteID]*Participant),
+		stores:  make(map[wire.SiteID]*kvstore.Store),
+		logs:    make(map[wire.SiteID]*wal.Log),
+		stores2: make(map[wire.SiteID]*wal.MemStore),
+		dead:    make(map[wire.SiteID]*atomic.Bool),
+		pcp:     NewPCP(),
+		hist:    history.NewRecorder(),
+		met:     metrics.NewRegistry(),
+		cfg:     cfg,
+		down:    make(map[wire.SiteID]bool),
+	}
+	r.newLog(r.coordID)
+	r.coord = NewCoordinator(r.env(r.coordID), cfg, r.pcp)
+	for _, s := range specs {
+		r.pcp.Set(s.id, s.proto)
+		r.newLog(s.id)
+		r.stores[s.id] = kvstore.New()
+		r.parts[s.id] = NewParticipant(r.env(s.id), s.proto, r.stores[s.id], r.roOpt)
+	}
+	return r
+}
+
+func (r *rig) newLog(id wire.SiteID) {
+	if r.stores2[id] == nil {
+		r.stores2[id] = wal.NewMemStore()
+	}
+	l, err := wal.Open(r.stores2[id])
+	if err != nil {
+		r.t.Fatalf("open log %s: %v", id, err)
+	}
+	r.logs[id] = l
+	r.dead[id] = &atomic.Bool{}
+}
+
+func (r *rig) env(id wire.SiteID) Env {
+	return Env{
+		ID:   id,
+		Log:  r.logs[id],
+		Send: r.route,
+		Hist: r.hist,
+		Met:  r.met,
+		Dead: r.dead[id],
+	}
+}
+
+// route delivers a message synchronously, applying down flags and the drop
+// rule first.
+func (r *rig) route(m wire.Message) {
+	if r.down[m.From] || r.down[m.To] {
+		return
+	}
+	if r.drop != nil && r.drop(m) {
+		return
+	}
+	if m.To == r.coordID {
+		if m.Kind == wire.MsgExecReply {
+			if ch := r.execReply; ch != nil {
+				ch <- m
+			}
+			return
+		}
+		r.coord.Handle(m)
+		return
+	}
+	if p := r.parts[m.To]; p != nil {
+		p.Handle(m)
+	}
+}
+
+// recoverPartCL restarts a crashed CL participant: no log analysis, just
+// the site-level recovery announcement.
+func (r *rig) recoverPartCL(id wire.SiteID, coords ...wire.SiteID) {
+	r.t.Helper()
+	r.down[id] = false
+	r.newLog(id)
+	r.stores[id] = kvstore.New()
+	p := NewParticipant(r.env(id), wire.CL, r.stores[id], r.roOpt)
+	if len(coords) == 0 {
+		coords = []wire.SiteID{r.coordID}
+	}
+	p.SetCoordinators(coords)
+	r.parts[id] = p
+	if err := p.Recover(); err != nil {
+		r.t.Fatalf("CL participant %s recover: %v", id, err)
+	}
+}
+
+// nextTxn mints a fresh transaction id coordinated by the rig coordinator.
+func (r *rig) nextTxn() wire.TxnID {
+	r.seq++
+	return wire.TxnID{Coord: r.coordID, Seq: r.seq}
+}
+
+// exec runs a put at each named participant for txn, through the engine's
+// EXEC path, waiting for each reply (execution happens on the
+// participant's worker goroutine).
+func (r *rig) exec(txn wire.TxnID, ids ...wire.SiteID) {
+	r.t.Helper()
+	for _, id := range ids {
+		r.execOps(txn, id, wire.Op{Kind: wire.OpPut, Key: "k-" + txn.String(), Value: "v"})
+	}
+}
+
+// execOps routes one operation batch and waits for its reply.
+func (r *rig) execOps(txn wire.TxnID, id wire.SiteID, ops ...wire.Op) wire.Message {
+	r.t.Helper()
+	r.execReply = make(chan wire.Message, 1)
+	r.route(wire.Message{Kind: wire.MsgExec, Txn: txn, From: r.coordID, To: id, Ops: ops})
+	select {
+	case m := <-r.execReply:
+		r.execReply = nil
+		return m
+	case <-time.After(5 * time.Second):
+		r.t.Fatalf("exec at %s never replied", id)
+		return wire.Message{}
+	}
+}
+
+// run executes one full transaction (a put at every participant, then the
+// commit protocol) and returns the outcome.
+func (r *rig) run(ids ...wire.SiteID) wire.Outcome {
+	r.t.Helper()
+	txn := r.nextTxn()
+	r.exec(txn, ids...)
+	out, err := r.coord.Commit(txn, ids)
+	if err != nil {
+		r.t.Fatalf("Commit(%s): %v", txn, err)
+	}
+	return out
+}
+
+// crashPart fail-stops a participant: its volatile state and unforced log
+// tail vanish.
+func (r *rig) crashPart(id wire.SiteID) {
+	r.down[id] = true
+	r.dead[id].Store(true)
+	r.logs[id].Crash()
+	r.stores[id].Crash()
+	r.hist.Record(history.Event{Kind: history.EvCrash, Site: id})
+}
+
+// recoverPart restarts a crashed participant on its surviving stable
+// storage and runs its recovery procedure (which sends inquiries).
+func (r *rig) recoverPart(id wire.SiteID, proto wire.Protocol) {
+	r.t.Helper()
+	r.down[id] = false
+	r.newLog(id)
+	r.stores[id] = kvstore.New() // volatile state was lost; data reloads via recovery
+	p := NewParticipant(r.env(id), proto, r.stores[id], r.roOpt)
+	r.parts[id] = p
+	if err := p.Recover(); err != nil {
+		r.t.Fatalf("participant %s recover: %v", id, err)
+	}
+}
+
+// crashCoord fail-stops the coordinator.
+func (r *rig) crashCoord() {
+	r.down[r.coordID] = true
+	r.dead[r.coordID].Store(true)
+	r.logs[r.coordID].Crash()
+	r.hist.Record(history.Event{Kind: history.EvCrash, Site: r.coordID})
+}
+
+// recoverCoord restarts the coordinator and runs its log-analysis recovery.
+func (r *rig) recoverCoord() {
+	r.t.Helper()
+	r.down[r.coordID] = false
+	r.newLog(r.coordID)
+	r.coord = NewCoordinator(r.env(r.coordID), r.cfg, r.pcp)
+	if err := r.coord.Recover(); err != nil {
+		r.t.Fatalf("coordinator recover: %v", err)
+	}
+}
+
+// settle drives retries to quiescence: participant inquiries and
+// coordinator decision re-sends, a bounded number of rounds.
+func (r *rig) settle() {
+	for i := 0; i < 8; i++ {
+		for _, p := range r.parts {
+			p.Tick()
+		}
+		r.coord.Tick()
+	}
+}
+
+// records returns site id's stable log records.
+func (r *rig) records(id wire.SiteID) []wal.Record { return r.logs[id].Records() }
+
+// kinds extracts the record kinds at a site, in order.
+func (r *rig) kinds(id wire.SiteID) []wal.Kind {
+	recs := r.records(id)
+	out := make([]wal.Kind, len(recs))
+	for i, rec := range recs {
+		out[i] = rec.Kind
+	}
+	return out
+}
+
+// allKinds includes non-forced (buffered) records too.
+func (r *rig) allKinds(id wire.SiteID) []wal.Kind {
+	recs := r.logs[id].All()
+	out := make([]wal.Kind, len(recs))
+	for i, rec := range recs {
+		out[i] = rec.Kind
+	}
+	return out
+}
+
+func wantKinds(t *testing.T, got []wal.Kind, want ...wal.Kind) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("log kinds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("log kinds = %v, want %v", got, want)
+		}
+	}
+}
+
+// checkClean asserts the recorded history satisfies full operational
+// correctness.
+func (r *rig) checkClean() {
+	r.t.Helper()
+	if v := history.CheckOperational(r.hist.Events()); len(v) != 0 {
+		for _, x := range v {
+			r.t.Errorf("violation: %s", x)
+		}
+	}
+}
+
+// checkAtomicityViolated asserts at least one atomicity violation was
+// recorded (the theorem-demonstration rigs want them).
+func (r *rig) checkAtomicityViolated() {
+	r.t.Helper()
+	if v := history.CheckAtomicity(r.hist.Events()); len(v) == 0 {
+		r.t.Error("expected an atomicity violation, history is clean")
+	}
+}

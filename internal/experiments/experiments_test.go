@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"testing"
+
+	"prany/internal/core"
+	"prany/internal/wire"
+)
+
+// TestMeasuredCostsMatchAnalyticModel is the heart of the E1-E4
+// reproduction: for every protocol, participant count and outcome, the
+// *measured* logging and message counts of a live run must equal the
+// counts read off the paper's figures.
+func TestMeasuredCostsMatchAnalyticModel(t *testing.T) {
+	type tc struct {
+		name string
+		mix  []wire.Protocol
+	}
+	cases := []tc{
+		{"PrN-2", Homogeneous(wire.PrN, 2)},
+		{"PrN-4", Homogeneous(wire.PrN, 4)},
+		{"PrA-2", Homogeneous(wire.PrA, 2)},
+		{"PrA-4", Homogeneous(wire.PrA, 4)},
+		{"PrC-2", Homogeneous(wire.PrC, 2)},
+		{"PrC-4", Homogeneous(wire.PrC, 4)},
+		{"Mixed-3", MixedThirds(3)},
+		{"Mixed-6", MixedThirds(6)},
+		{"PrA+PrC", []wire.Protocol{wire.PrA, wire.PrC}},
+		{"IYV-2", Homogeneous(wire.IYV, 2)},
+		{"IYV-4", Homogeneous(wire.IYV, 4)},
+		{"IYV+PrA+PrC", []wire.Protocol{wire.IYV, wire.PrA, wire.PrC}},
+		{"IYV+PrN", []wire.Protocol{wire.IYV, wire.PrN}},
+		{"CL-2", Homogeneous(wire.CL, 2)},
+		{"CL-3", Homogeneous(wire.CL, 3)},
+		{"CL+PrA+PrC", []wire.Protocol{wire.CL, wire.PrA, wire.PrC}},
+		{"CL+IYV+PrN", []wire.Protocol{wire.CL, wire.IYV, wire.PrN}},
+	}
+	for _, c := range cases {
+		for _, outcome := range []wire.Outcome{wire.Commit, wire.Abort} {
+			name := c.name + "/" + outcome.String()
+			t.Run(name, func(t *testing.T) {
+				if outcome == wire.Abort && len(c.mix) < 2 {
+					t.Skip("abort scenario needs two participants")
+				}
+				if outcome == wire.Abort && c.mix[len(c.mix)-1].OnePhase() {
+					t.Skip("abort scenario needs a two-phase no-voter (IYV aborts arise from execution failures)")
+				}
+				got, err := MeasureCost(c.mix, outcome)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := ExpectedCost(c.mix, outcome)
+				if slack := CLRemoteSlack(c.mix, outcome); slack > 0 {
+					// CL yes votes race the no vote; each that wins adds
+					// one forced remote-writes record at the coordinator.
+					extra := got.CoordForces - want.CoordForces
+					if extra > slack || got.CoordRecords-want.CoordRecords != extra {
+						t.Errorf("measured outside CL slack %d\n got: %+v\nwant: %+v", slack, got, want)
+					}
+					got.CoordForces -= extra
+					got.CoordRecords -= extra
+				}
+				if got != want {
+					t.Errorf("measured != analytic\n got: %+v\nwant: %+v", got, want)
+				}
+			})
+		}
+	}
+}
+
+func TestTheorem1Table(t *testing.T) {
+	rows, err := Theorem1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		u2pc := r.Strategy != "PrAny"
+		if u2pc && r.Violations == 0 {
+			t.Errorf("%s %s: expected violations, got none", r.Strategy, r.Schedule)
+		}
+		if u2pc && !r.Diverged {
+			t.Errorf("%s %s: expected data divergence", r.Strategy, r.Schedule)
+		}
+		if !u2pc && (r.Violations != 0 || r.Diverged) {
+			t.Errorf("PrAny %s: violations=%d diverged=%v", r.Schedule, r.Violations, r.Diverged)
+		}
+	}
+}
+
+func TestTheorem2Growth(t *testing.T) {
+	for _, txns := range []int{3, 7} {
+		pt, err := Theorem2(core.StrategyC2PC, wire.PrN, txns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pt.Retained != txns {
+			t.Errorf("C2PC retained %d of %d", pt.Retained, txns)
+		}
+		if pt.StableRecords == 0 {
+			t.Error("C2PC logs fully collected; retention should pin records")
+		}
+	}
+	pt, err := Theorem2(core.StrategyPrAny, wire.PrN, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Retained != 0 || pt.StableRecords != 0 {
+		t.Errorf("PrAny retained %d entries, %d records; want 0, 0", pt.Retained, pt.StableRecords)
+	}
+}
+
+func TestFaultSweepClean(t *testing.T) {
+	res, err := FaultSweep(core.StrategyPrAny, wire.PrN, 0.10, 15, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Quiesced {
+		t.Error("did not quiesce")
+	}
+	if res.Violations != 0 {
+		t.Errorf("%d violations under faults", res.Violations)
+	}
+	if res.Leftover != 0 {
+		t.Errorf("%d log records left after checkpoint", res.Leftover)
+	}
+	if res.Commits+res.Aborts != res.Txns {
+		t.Errorf("accounting: %d+%d != %d", res.Commits, res.Aborts, res.Txns)
+	}
+}
+
+func TestPerfShape(t *testing.T) {
+	// PrC must beat PrA on forced writes per commit-heavy transaction, and
+	// PrA must beat PrC on abort-heavy ones — the motivation of the
+	// presumption designs.
+	prcCommit, err := MeasurePerf(Homogeneous(wire.PrC, 3), 1.0, 20, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	praCommit, err := MeasurePerf(Homogeneous(wire.PrA, 3), 1.0, 20, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PrC commit: no acks and fewer messages.
+	if prcCommit.MsgsPerTxn >= praCommit.MsgsPerTxn {
+		t.Errorf("commit-heavy: PrC msgs %.1f !< PrA msgs %.1f", prcCommit.MsgsPerTxn, praCommit.MsgsPerTxn)
+	}
+
+	prcAbort, err := MeasurePerf(Homogeneous(wire.PrC, 3), 0.0, 20, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	praAbort, err := MeasurePerf(Homogeneous(wire.PrA, 3), 0.0, 20, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if praAbort.ForcesPerTxn >= prcAbort.ForcesPerTxn {
+		t.Errorf("abort-heavy: PrA forces %.1f !< PrC forces %.1f", praAbort.ForcesPerTxn, prcAbort.ForcesPerTxn)
+	}
+}
+
+func TestReadOnlyAblation(t *testing.T) {
+	off, err := MeasureReadOnly(2, false, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := MeasureReadOnly(2, true, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.ForcesPerTxn >= off.ForcesPerTxn {
+		t.Errorf("read-only opt did not reduce forces: %.1f !< %.1f", on.ForcesPerTxn, off.ForcesPerTxn)
+	}
+	if on.MsgsPerTxn >= off.MsgsPerTxn {
+		t.Errorf("read-only opt did not reduce messages: %.1f !< %.1f", on.MsgsPerTxn, off.MsgsPerTxn)
+	}
+}
+
+func TestMixLabel(t *testing.T) {
+	if got := mixLabel(Homogeneous(wire.PrA, 3)); got != "PrA" {
+		t.Errorf("label %q", got)
+	}
+	if got := mixLabel(MixedThirds(3)); got != "PrAny[1PrN+1PrA+1PrC]" {
+		t.Errorf("label %q", got)
+	}
+}

@@ -1,0 +1,335 @@
+// Package history records the significant events of distributed transaction
+// executions and checks them against the paper's correctness notions.
+//
+// The paper expresses its safety criterion in ACTA, a first-order logic over
+// a complete history H with a precedence relation (→). This package is the
+// executable counterpart: a Recorder assigns every event a global sequence
+// number (the precedence relation), and the checkers evaluate
+//
+//   - functional correctness (atomicity): every enforcement and every
+//     inquiry response for a transaction agrees with the coordinator's
+//     decision;
+//   - the safe state of Definition 2: once the coordinator deletes a
+//     transaction from its protocol table, every later response must still
+//     match the decided outcome — i.e. only one presumption remains
+//     possible;
+//   - clauses 2 and 3 of operational correctness (Definition 1): every
+//     terminated transaction is eventually deleted from the coordinator's
+//     protocol table and forgotten by every participant.
+//
+// The recorder is deliberately passive: protocol engines emit events and
+// never read them back, so recording cannot mask a protocol bug.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"prany/internal/wire"
+)
+
+// EventKind discriminates significant events.
+type EventKind uint8
+
+const (
+	// EvDecide is the coordinator fixing the final outcome of a
+	// transaction (DecideC in the paper).
+	EvDecide EventKind = iota
+	// EvDeletePT is the coordinator discarding a transaction from its
+	// protocol table (DeletePTC): the moment it "forgets".
+	EvDeletePT
+	// EvInquiry is a participant asking the coordinator for an outcome
+	// (INQ_ti).
+	EvInquiry
+	// EvRespond is the coordinator answering an inquiry
+	// (RespondC(Outcome_ti)).
+	EvRespond
+	// EvEnforce is a participant enforcing a decision against its
+	// resource manager — the event whose global consistency *is*
+	// atomicity.
+	EvEnforce
+	// EvVote is a participant's vote.
+	EvVote
+	// EvForget is a participant discarding all information about a
+	// transaction.
+	EvForget
+	// EvCrash is a site failure.
+	EvCrash
+	// EvRecover is a site completing its recovery procedure.
+	EvRecover
+)
+
+var eventKindNames = [...]string{
+	"decide", "delete-pt", "inquiry", "respond", "enforce", "vote", "forget", "crash", "recover",
+}
+
+// String returns the event kind's name.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", uint8(k))
+}
+
+// Event is one significant event. Seq is the position in the global history:
+// e precedes e' iff e.Seq < e'.Seq.
+type Event struct {
+	Seq     uint64
+	Kind    EventKind
+	Site    wire.SiteID  // where the event happened
+	Txn     wire.TxnID   // zero for site-wide events (crash, recover)
+	Outcome wire.Outcome // decide, respond, enforce
+	Vote    wire.Vote    // vote
+	Peer    wire.SiteID  // respond: the inquirer; inquiry: the coordinator
+}
+
+// String renders the event compactly, e.g. "#12 decide c t=c:3 commit".
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d %s %s", e.Seq, e.Kind, e.Site)
+	if !e.Txn.IsZero() {
+		fmt.Fprintf(&b, " t=%s", e.Txn)
+	}
+	switch e.Kind {
+	case EvDecide, EvRespond, EvEnforce:
+		fmt.Fprintf(&b, " %s", e.Outcome)
+	case EvVote:
+		fmt.Fprintf(&b, " %s", e.Vote)
+	}
+	if e.Peer != "" {
+		fmt.Fprintf(&b, " peer=%s", e.Peer)
+	}
+	return b.String()
+}
+
+// Recorder accumulates the global history. It is safe for concurrent use;
+// the sequence numbers it assigns define the precedence relation.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	seq    uint64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record appends e to the history, assigning its sequence number, which is
+// also returned.
+func (r *Recorder) Record(e Event) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	e.Seq = r.seq
+	r.events = append(r.events, e)
+	return e.Seq
+}
+
+// Events returns a copy of the history in precedence order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Violation describes one correctness breach found by a checker.
+type Violation struct {
+	Txn    wire.TxnID
+	Rule   string // which criterion was violated
+	Detail string
+}
+
+// String renders the violation for logs and test failures.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s: %s", v.Txn, v.Rule, v.Detail)
+}
+
+// txnView gathers one transaction's events.
+type txnView struct {
+	decide   *Event
+	deletePT *Event
+	enforces []Event
+	responds []Event
+	votes    []Event
+	forgets  map[wire.SiteID]bool
+}
+
+func collate(events []Event) map[wire.TxnID]*txnView {
+	views := make(map[wire.TxnID]*txnView)
+	for _, e := range events {
+		if e.Txn.IsZero() {
+			continue
+		}
+		v := views[e.Txn]
+		if v == nil {
+			v = &txnView{forgets: make(map[wire.SiteID]bool)}
+			views[e.Txn] = v
+		}
+		switch e.Kind {
+		case EvDecide:
+			if v.decide == nil {
+				e := e
+				v.decide = &e
+			}
+		case EvDeletePT:
+			if v.deletePT == nil {
+				e := e
+				v.deletePT = &e
+			}
+		case EvEnforce:
+			v.enforces = append(v.enforces, e)
+		case EvRespond:
+			v.responds = append(v.responds, e)
+		case EvVote:
+			v.votes = append(v.votes, e)
+		case EvForget:
+			v.forgets[e.Site] = true
+		}
+	}
+	return views
+}
+
+// outcome returns the transaction's authoritative outcome. A transaction
+// with no recorded decision is aborted: a coordinator that never decided
+// cannot have committed anybody.
+func (v *txnView) outcome() wire.Outcome {
+	if v.decide != nil {
+		return v.decide.Outcome
+	}
+	return wire.Abort
+}
+
+// CheckAtomicity verifies functional correctness: every enforcement and
+// every inquiry response agrees with the transaction's outcome, and no two
+// enforcements disagree with each other.
+func CheckAtomicity(events []Event) []Violation {
+	var out []Violation
+	for txn, v := range collate(events) {
+		want := v.outcome()
+		for _, e := range v.enforces {
+			if e.Outcome != want {
+				out = append(out, Violation{
+					Txn:  txn,
+					Rule: "atomicity",
+					Detail: fmt.Sprintf("site %s enforced %s but outcome is %s (event %s)",
+						e.Site, e.Outcome, want, e),
+				})
+			}
+		}
+		for _, e := range v.responds {
+			if e.Outcome != want {
+				out = append(out, Violation{
+					Txn:  txn,
+					Rule: "atomicity",
+					Detail: fmt.Sprintf("coordinator %s answered inquiry from %s with %s but outcome is %s",
+						e.Site, e.Peer, e.Outcome, want),
+				})
+			}
+		}
+	}
+	return sortViolations(out)
+}
+
+// CheckSafeState verifies Definition 2: for every transaction whose
+// coordinator deleted it from the protocol table, every response that
+// *follows* the deletion (DeletePT → INQ ⇒ Respond, in the paper's
+// precedence terms) carries the decided outcome. Responses before the
+// deletion are covered by CheckAtomicity; the safe state is specifically
+// about what presumption survives forgetting.
+func CheckSafeState(events []Event) []Violation {
+	var out []Violation
+	for txn, v := range collate(events) {
+		if v.deletePT == nil {
+			continue
+		}
+		want := v.outcome()
+		for _, e := range v.responds {
+			if e.Seq > v.deletePT.Seq && e.Outcome != want {
+				out = append(out, Violation{
+					Txn:  txn,
+					Rule: "safe-state",
+					Detail: fmt.Sprintf("after DeletePT(#%d), response to %s was %s but outcome is %s",
+						v.deletePT.Seq, e.Peer, e.Outcome, want),
+				})
+			}
+		}
+	}
+	return sortViolations(out)
+}
+
+// Retention reports, per clause 2 of Definition 1, the terminated
+// transactions the coordinator never deleted from its protocol table. A
+// transaction is terminated once a decision exists for it; a voted-but-
+// undecided transaction is not terminated — if its coordinator dies before
+// deciding, the abort presumption (PrN's hidden one included) covers every
+// future inquiry and there is nothing to retain.
+func Retention(events []Event) []wire.TxnID {
+	var out []wire.TxnID
+	for txn, v := range collate(events) {
+		if v.decide != nil && v.deletePT == nil {
+			out = append(out, txn)
+		}
+	}
+	sortTxns(out)
+	return out
+}
+
+// UnforgottenParticipants reports, per clause 3 of Definition 1, the
+// (transaction, participant) pairs where a participant enforced a decision
+// but never forgot the transaction.
+func UnforgottenParticipants(events []Event) []Violation {
+	var out []Violation
+	for txn, v := range collate(events) {
+		for _, e := range v.enforces {
+			if !v.forgets[e.Site] {
+				out = append(out, Violation{
+					Txn:    txn,
+					Rule:   "participant-forgetting",
+					Detail: fmt.Sprintf("participant %s enforced %s but never forgot", e.Site, e.Outcome),
+				})
+			}
+		}
+	}
+	return sortViolations(out)
+}
+
+// CheckOperational runs every operational-correctness clause and returns all
+// violations: atomicity (clause 1), safe state, retained coordinator
+// entries (clause 2) and unforgotten participants (clause 3).
+func CheckOperational(events []Event) []Violation {
+	out := CheckAtomicity(events)
+	out = append(out, CheckSafeState(events)...)
+	for _, txn := range Retention(events) {
+		out = append(out, Violation{Txn: txn, Rule: "coordinator-retention",
+			Detail: "terminated transaction never deleted from protocol table"})
+	}
+	out = append(out, UnforgottenParticipants(events)...)
+	return out
+}
+
+func sortViolations(v []Violation) []Violation {
+	sort.Slice(v, func(i, j int) bool {
+		if v[i].Txn != v[j].Txn {
+			return v[i].Txn.String() < v[j].Txn.String()
+		}
+		if v[i].Rule != v[j].Rule {
+			return v[i].Rule < v[j].Rule
+		}
+		return v[i].Detail < v[j].Detail
+	})
+	return v
+}
+
+func sortTxns(t []wire.TxnID) {
+	sort.Slice(t, func(i, j int) bool { return t[i].String() < t[j].String() })
+}

@@ -1,0 +1,256 @@
+package history
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"prany/internal/wire"
+)
+
+func tid(n uint64) wire.TxnID { return wire.TxnID{Coord: "c", Seq: n} }
+
+// script records a sequence of events and returns the recorder.
+func script(events ...Event) *Recorder {
+	r := NewRecorder()
+	for _, e := range events {
+		r.Record(e)
+	}
+	return r
+}
+
+func TestRecorderAssignsIncreasingSeq(t *testing.T) {
+	r := NewRecorder()
+	s1 := r.Record(Event{Kind: EvDecide, Site: "c", Txn: tid(1), Outcome: wire.Commit})
+	s2 := r.Record(Event{Kind: EvEnforce, Site: "p", Txn: tid(1), Outcome: wire.Commit})
+	if s2 <= s1 {
+		t.Fatalf("seq not increasing: %d then %d", s1, s2)
+	}
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Seq != s1 || evs[1].Seq != s2 {
+		t.Fatalf("events %v", evs)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	r := script(Event{Kind: EvDecide, Site: "c", Txn: tid(1)})
+	evs := r.Events()
+	evs[0].Site = "mutated"
+	if r.Events()[0].Site != "c" {
+		t.Fatal("Events aliased internal slice")
+	}
+}
+
+func TestCleanCommitHistoryPasses(t *testing.T) {
+	r := script(
+		Event{Kind: EvVote, Site: "p1", Txn: tid(1), Vote: wire.VoteYes},
+		Event{Kind: EvVote, Site: "p2", Txn: tid(1), Vote: wire.VoteYes},
+		Event{Kind: EvDecide, Site: "c", Txn: tid(1), Outcome: wire.Commit},
+		Event{Kind: EvEnforce, Site: "p1", Txn: tid(1), Outcome: wire.Commit},
+		Event{Kind: EvEnforce, Site: "p2", Txn: tid(1), Outcome: wire.Commit},
+		Event{Kind: EvForget, Site: "p1", Txn: tid(1)},
+		Event{Kind: EvForget, Site: "p2", Txn: tid(1)},
+		Event{Kind: EvDeletePT, Site: "c", Txn: tid(1)},
+	)
+	if v := CheckOperational(r.Events()); len(v) != 0 {
+		t.Fatalf("clean history flagged: %v", v)
+	}
+}
+
+func TestDivergentEnforcementIsAtomicityViolation(t *testing.T) {
+	r := script(
+		Event{Kind: EvDecide, Site: "c", Txn: tid(1), Outcome: wire.Commit},
+		Event{Kind: EvEnforce, Site: "p1", Txn: tid(1), Outcome: wire.Commit},
+		Event{Kind: EvEnforce, Site: "p2", Txn: tid(1), Outcome: wire.Abort},
+	)
+	v := CheckAtomicity(r.Events())
+	if len(v) != 1 || v[0].Rule != "atomicity" {
+		t.Fatalf("violations %v", v)
+	}
+	if !strings.Contains(v[0].Detail, "p2") {
+		t.Fatalf("violation does not name the diverging site: %v", v[0])
+	}
+}
+
+func TestWrongResponseIsAtomicityViolation(t *testing.T) {
+	// The Theorem-1 scenario: commit decided, coordinator forgot, then
+	// answered a PrA-style inquiry with abort.
+	r := script(
+		Event{Kind: EvDecide, Site: "c", Txn: tid(1), Outcome: wire.Commit},
+		Event{Kind: EvDeletePT, Site: "c", Txn: tid(1)},
+		Event{Kind: EvInquiry, Site: "p1", Txn: tid(1), Peer: "c"},
+		Event{Kind: EvRespond, Site: "c", Txn: tid(1), Outcome: wire.Abort, Peer: "p1"},
+	)
+	if v := CheckAtomicity(r.Events()); len(v) != 1 {
+		t.Fatalf("atomicity violations %v", v)
+	}
+	if v := CheckSafeState(r.Events()); len(v) != 1 || v[0].Rule != "safe-state" {
+		t.Fatalf("safe-state violations %v", v)
+	}
+}
+
+func TestResponseBeforeDeleteIsNotSafeStateViolation(t *testing.T) {
+	// A wrong response *before* forgetting is an atomicity bug but not a
+	// safe-state one; the two checkers must not double-report.
+	r := script(
+		Event{Kind: EvDecide, Site: "c", Txn: tid(1), Outcome: wire.Commit},
+		Event{Kind: EvRespond, Site: "c", Txn: tid(1), Outcome: wire.Abort, Peer: "p1"},
+		Event{Kind: EvDeletePT, Site: "c", Txn: tid(1)},
+	)
+	if v := CheckSafeState(r.Events()); len(v) != 0 {
+		t.Fatalf("pre-delete response flagged as safe-state: %v", v)
+	}
+	if v := CheckAtomicity(r.Events()); len(v) != 1 {
+		t.Fatalf("atomicity missed it: %v", v)
+	}
+}
+
+func TestNoDecisionMeansAbort(t *testing.T) {
+	// A coordinator that never decided cannot have committed anybody:
+	// responses and enforcements must be abort.
+	r := script(
+		Event{Kind: EvVote, Site: "p1", Txn: tid(1), Vote: wire.VoteYes},
+		Event{Kind: EvRespond, Site: "c", Txn: tid(1), Outcome: wire.Commit, Peer: "p1"},
+	)
+	v := CheckAtomicity(r.Events())
+	if len(v) != 1 {
+		t.Fatalf("commit response without decision not flagged: %v", v)
+	}
+}
+
+func TestRetentionFlagsUndeletedTerminated(t *testing.T) {
+	r := script(
+		Event{Kind: EvDecide, Site: "c", Txn: tid(1), Outcome: wire.Commit},
+		Event{Kind: EvDecide, Site: "c", Txn: tid(2), Outcome: wire.Abort},
+		Event{Kind: EvDeletePT, Site: "c", Txn: tid(2)},
+	)
+	got := Retention(r.Events())
+	if len(got) != 1 || got[0] != tid(1) {
+		t.Fatalf("Retention = %v", got)
+	}
+}
+
+func TestRetentionIgnoresNeverStartedTxn(t *testing.T) {
+	r := script(Event{Kind: EvInquiry, Site: "p1", Txn: tid(1), Peer: "c"})
+	if got := Retention(r.Events()); len(got) != 0 {
+		t.Fatalf("inquiry-only txn counted as terminated: %v", got)
+	}
+}
+
+func TestUnforgottenParticipants(t *testing.T) {
+	r := script(
+		Event{Kind: EvDecide, Site: "c", Txn: tid(1), Outcome: wire.Commit},
+		Event{Kind: EvEnforce, Site: "p1", Txn: tid(1), Outcome: wire.Commit},
+		Event{Kind: EvEnforce, Site: "p2", Txn: tid(1), Outcome: wire.Commit},
+		Event{Kind: EvForget, Site: "p1", Txn: tid(1)},
+		Event{Kind: EvDeletePT, Site: "c", Txn: tid(1)},
+	)
+	v := UnforgottenParticipants(r.Events())
+	if len(v) != 1 || !strings.Contains(v[0].Detail, "p2") {
+		t.Fatalf("violations %v", v)
+	}
+}
+
+func TestCheckOperationalAggregates(t *testing.T) {
+	r := script(
+		Event{Kind: EvDecide, Site: "c", Txn: tid(1), Outcome: wire.Commit},
+		Event{Kind: EvEnforce, Site: "p1", Txn: tid(1), Outcome: wire.Abort}, // atomicity
+		// no forget, no delete-pt: retention + participant-forgetting
+	)
+	v := CheckOperational(r.Events())
+	rules := map[string]bool{}
+	for _, x := range v {
+		rules[x.Rule] = true
+	}
+	for _, want := range []string{"atomicity", "coordinator-retention", "participant-forgetting"} {
+		if !rules[want] {
+			t.Errorf("missing rule %s in %v", want, v)
+		}
+	}
+}
+
+func TestMultipleTransactionsIndependent(t *testing.T) {
+	r := script(
+		Event{Kind: EvDecide, Site: "c", Txn: tid(1), Outcome: wire.Commit},
+		Event{Kind: EvEnforce, Site: "p", Txn: tid(1), Outcome: wire.Commit},
+		Event{Kind: EvForget, Site: "p", Txn: tid(1)},
+		Event{Kind: EvDeletePT, Site: "c", Txn: tid(1)},
+		Event{Kind: EvDecide, Site: "c", Txn: tid(2), Outcome: wire.Abort},
+		Event{Kind: EvEnforce, Site: "p", Txn: tid(2), Outcome: wire.Commit}, // violation
+		Event{Kind: EvForget, Site: "p", Txn: tid(2)},
+		Event{Kind: EvDeletePT, Site: "c", Txn: tid(2)},
+	)
+	v := CheckAtomicity(r.Events())
+	if len(v) != 1 || v[0].Txn != tid(2) {
+		t.Fatalf("violations %v", v)
+	}
+}
+
+func TestSiteWideEventsIgnoredByCheckers(t *testing.T) {
+	r := script(
+		Event{Kind: EvCrash, Site: "p1"},
+		Event{Kind: EvRecover, Site: "p1"},
+	)
+	if v := CheckOperational(r.Events()); len(v) != 0 {
+		t.Fatalf("site-wide events produced violations: %v", v)
+	}
+}
+
+func TestEventAndViolationStrings(t *testing.T) {
+	e := Event{Seq: 3, Kind: EvRespond, Site: "c", Txn: tid(1), Outcome: wire.Commit, Peer: "p"}
+	s := e.String()
+	for _, want := range []string{"#3", "respond", "commit", "peer=p"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("event string %q missing %q", s, want)
+		}
+	}
+	v := Violation{Txn: tid(1), Rule: "atomicity", Detail: "boom"}
+	if !strings.Contains(v.String(), "atomicity") {
+		t.Errorf("violation string %q", v.String())
+	}
+	if EventKind(99).String() == "" || EvVote.String() != "vote" {
+		t.Error("EventKind.String wrong")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Record(Event{Kind: EvEnforce, Site: "p", Txn: tid(uint64(n)), Outcome: wire.Commit})
+			}
+		}(i)
+	}
+	wg.Wait()
+	evs := r.Events()
+	if len(evs) != 800 {
+		t.Fatalf("recorded %d events", len(evs))
+	}
+	seen := map[uint64]bool{}
+	for _, e := range evs {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestRetentionIgnoresUndecidedVotedTxn(t *testing.T) {
+	// A coordinator that gathered votes but died before deciding has
+	// nothing to retain: the abort presumption covers every future
+	// inquiry. Only *decided* transactions count as terminated.
+	r := script(
+		Event{Kind: EvVote, Site: "p1", Txn: tid(1), Vote: wire.VoteYes},
+		Event{Kind: EvVote, Site: "p2", Txn: tid(1), Vote: wire.VoteYes},
+	)
+	if got := Retention(r.Events()); len(got) != 0 {
+		t.Fatalf("undecided txn counted as retained: %v", got)
+	}
+}

@@ -1,0 +1,364 @@
+// Package kvstore implements the resource manager that executes
+// subtransactions at a participant site: a key-value store with strict
+// two-phase locking, buffered writes with undo/redo images, and the
+// prepare/commit/abort interface an atomic commit protocol drives.
+//
+// The store follows the standard participant discipline of the paper's
+// protocols:
+//
+//   - Operations execute under 2PL; writes are buffered, not applied.
+//   - Prepare freezes the transaction: its write set (with both old and new
+//     images) is handed to the caller for the forced prepared record, and
+//     every lock is retained. From here the transaction can neither commit
+//     nor abort unilaterally.
+//   - Commit applies the new images; Abort applies the old images. Both are
+//     idempotent and safe to re-apply, which is what makes recovery-time
+//     re-delivery of decisions harmless — and what makes a *wrong* decision
+//     from an unsafe coordinator (Theorem 1) visible as real data
+//     divergence.
+//   - RecoverPrepared re-instates a prepared transaction from its logged
+//     prepared record after a crash: locks are re-acquired and the images
+//     re-buffered, leaving the transaction in doubt until an inquiry
+//     resolves it.
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"prany/internal/lockmgr"
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+// ErrNotActive is returned when an operation names a transaction the store
+// has no executing state for.
+var ErrNotActive = errors.New("kvstore: transaction not active")
+
+// ErrPrepared is returned when new operations arrive for a transaction that
+// has already prepared: a yes vote is a promise, nothing may change after.
+var ErrPrepared = errors.New("kvstore: transaction already prepared")
+
+type txnState struct {
+	// order of first-write per key, to keep write sets deterministic.
+	order    []string
+	writes   map[string]wal.Update
+	prepared bool
+}
+
+// Store is one participant's resource manager. It is safe for concurrent
+// use by multiple executing transactions.
+type Store struct {
+	mu       sync.Mutex
+	data     map[string]string
+	locks    *lockmgr.Manager
+	txns     map[wire.TxnID]*txnState
+	poisoned map[wire.TxnID]bool
+}
+
+// ErrPoisoned is returned by Prepare for transactions marked with Poison.
+var ErrPoisoned = errors.New("kvstore: transaction poisoned (validation failed at prepare)")
+
+// Poison marks txn to fail validation at Prepare, modelling a participant
+// that unilaterally aborts when asked to prepare (a deferred constraint
+// violation, say). Workload generators use it to induce protocol-level
+// aborts deterministically.
+func (s *Store) Poison(txn wire.TxnID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.poisoned[txn] = true
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		data:     make(map[string]string),
+		locks:    lockmgr.New(),
+		txns:     make(map[wire.TxnID]*txnState),
+		poisoned: make(map[wire.TxnID]bool),
+	}
+}
+
+// Begin registers txn as executing. It is idempotent; executing operations
+// also begin implicitly.
+func (s *Store) Begin(txn wire.TxnID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.beginLocked(txn)
+}
+
+func (s *Store) beginLocked(txn wire.TxnID) *txnState {
+	st := s.txns[txn]
+	if st == nil {
+		st = &txnState{writes: make(map[string]wal.Update)}
+		s.txns[txn] = st
+	}
+	return st
+}
+
+// Get reads key on behalf of txn under a shared lock, observing txn's own
+// buffered writes first. ok reports whether the key exists in txn's view.
+func (s *Store) Get(txn wire.TxnID, key string) (val string, ok bool, err error) {
+	s.mu.Lock()
+	st := s.beginLocked(txn)
+	if st.prepared {
+		s.mu.Unlock()
+		return "", false, ErrPrepared
+	}
+	if w, buffered := st.writes[key]; buffered {
+		s.mu.Unlock()
+		return w.New, w.NewExists, nil
+	}
+	s.mu.Unlock()
+
+	if err := s.locks.Lock(txn, key, lockmgr.Shared); err != nil {
+		return "", false, err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Re-check buffered writes: another of txn's own ops may have written
+	// the key while we waited (the lock manager serializes conflicting
+	// transactions, not a transaction against itself).
+	if st := s.txns[txn]; st != nil {
+		if w, buffered := st.writes[key]; buffered {
+			return w.New, w.NewExists, nil
+		}
+	}
+	v, exists := s.data[key]
+	return v, exists, nil
+}
+
+// Put buffers a write of key=val for txn under an exclusive lock.
+func (s *Store) Put(txn wire.TxnID, key, val string) error {
+	return s.write(txn, key, val, true)
+}
+
+// Delete buffers a deletion of key for txn under an exclusive lock.
+func (s *Store) Delete(txn wire.TxnID, key string) error {
+	return s.write(txn, key, "", false)
+}
+
+func (s *Store) write(txn wire.TxnID, key, val string, exists bool) error {
+	s.mu.Lock()
+	st := s.beginLocked(txn)
+	if st.prepared {
+		s.mu.Unlock()
+		return ErrPrepared
+	}
+	s.mu.Unlock()
+
+	if err := s.locks.Lock(txn, key, lockmgr.Exclusive); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st = s.txns[txn]
+	if st == nil {
+		// Aborted while waiting for the lock.
+		s.locks.ReleaseAll(txn)
+		return ErrNotActive
+	}
+	w, seen := st.writes[key]
+	if !seen {
+		old, oldExists := s.data[key]
+		w = wal.Update{Key: key, Old: old, OldExists: oldExists}
+		st.order = append(st.order, key)
+	}
+	w.New = val
+	w.NewExists = exists
+	st.writes[key] = w
+	return nil
+}
+
+// Exec runs a batch of operations for txn and returns one result string per
+// Get, in operation order. The first failing operation aborts the batch.
+func (s *Store) Exec(txn wire.TxnID, ops []wire.Op) ([]string, error) {
+	var results []string
+	for _, op := range ops {
+		switch op.Kind {
+		case wire.OpGet:
+			v, ok, err := s.Get(txn, op.Key)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				v = ""
+			}
+			results = append(results, v)
+		case wire.OpPut:
+			if err := s.Put(txn, op.Key, op.Value); err != nil {
+				return nil, err
+			}
+		case wire.OpDelete:
+			if err := s.Delete(txn, op.Key); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("kvstore: unknown op kind %d", op.Kind)
+		}
+	}
+	return results, nil
+}
+
+// Prepare freezes txn and returns its write set in first-write order, ready
+// to be force-logged in the prepared record. readOnly reports that the
+// transaction wrote nothing (the read-only optimization lets such a
+// participant vote read-only and drop out of the decision phase; its caller
+// should then call Abort to release the read locks — old and new images are
+// equal, so the "abort" is a pure lock release).
+func (s *Store) Prepare(txn wire.TxnID) (writes []wal.Update, readOnly bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.txns[txn]
+	if st == nil {
+		return nil, false, ErrNotActive
+	}
+	if s.poisoned[txn] {
+		delete(s.poisoned, txn)
+		return nil, false, ErrPoisoned
+	}
+	st.prepared = true
+	out := make([]wal.Update, 0, len(st.order))
+	for _, key := range st.order {
+		out = append(out, st.writes[key])
+	}
+	return out, len(out) == 0, nil
+}
+
+// WriteSet returns txn's buffered writes in first-write order without
+// freezing the transaction. One-phase commit protocols log it after every
+// operation batch.
+func (s *Store) WriteSet(txn wire.TxnID) []wal.Update {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.txns[txn]
+	if st == nil {
+		return nil
+	}
+	out := make([]wal.Update, 0, len(st.order))
+	for _, key := range st.order {
+		out = append(out, st.writes[key])
+	}
+	return out
+}
+
+// Commit applies txn's new images and releases its locks. Committing an
+// unknown transaction is a no-op: the store treats it as already enforced,
+// the paper's rule for decisions re-delivered after the participant forgot.
+func (s *Store) Commit(txn wire.TxnID) {
+	s.enforce(txn, wire.Commit)
+}
+
+// Abort applies txn's old images (a no-op unless a recovered commit had
+// already installed new images) and releases its locks. Aborting an unknown
+// transaction is a no-op.
+func (s *Store) Abort(txn wire.TxnID) {
+	s.enforce(txn, wire.Abort)
+}
+
+func (s *Store) enforce(txn wire.TxnID, outcome wire.Outcome) {
+	s.mu.Lock()
+	st := s.txns[txn]
+	if st == nil {
+		s.mu.Unlock()
+		s.locks.Cancel(txn) // wake any op still waiting on a lock
+		s.locks.ReleaseAll(txn)
+		return
+	}
+	for _, key := range st.order {
+		w := st.writes[key]
+		val, exists := w.New, w.NewExists
+		if outcome == wire.Abort {
+			val, exists = w.Old, w.OldExists
+		}
+		if exists {
+			s.data[key] = val
+		} else {
+			delete(s.data, key)
+		}
+	}
+	delete(s.txns, txn)
+	s.mu.Unlock()
+	s.locks.Cancel(txn)
+	s.locks.ReleaseAll(txn)
+}
+
+// RecoverPrepared re-instates a prepared transaction from its logged write
+// set after a restart: exclusive locks on every written key are re-acquired
+// (recovery runs before new transactions, so acquisition cannot block on
+// strangers) and the images are re-buffered. The transaction is then in
+// doubt: only Commit or Abort resolves it.
+func (s *Store) RecoverPrepared(txn wire.TxnID, writes []wal.Update) error {
+	s.mu.Lock()
+	st := s.txns[txn]
+	if st != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("kvstore: %s already active at recovery", txn)
+	}
+	st = &txnState{writes: make(map[string]wal.Update), prepared: true}
+	for _, w := range writes {
+		st.order = append(st.order, w.Key)
+		st.writes[w.Key] = w
+	}
+	s.txns[txn] = st
+	s.mu.Unlock()
+	for _, w := range writes {
+		if err := s.locks.Lock(txn, w.Key, lockmgr.Exclusive); err != nil {
+			return fmt.Errorf("kvstore: recovering %s: %w", txn, err)
+		}
+	}
+	return nil
+}
+
+// Crash simulates a site failure of the resource manager: every executing
+// and prepared transaction's volatile state is dropped and all locks
+// vanish. Committed data survives (its durability is the job of the commit
+// protocol's logging discipline, which the site layer replays via
+// RecoverPrepared and the decision records).
+func (s *Store) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for txn := range s.txns {
+		s.locks.Cancel(txn)
+		s.locks.ReleaseAll(txn)
+	}
+	s.txns = make(map[wire.TxnID]*txnState)
+}
+
+// Read returns the committed value of key, bypassing any transaction. Tests
+// and examples use it to observe the durable state.
+func (s *Store) Read(key string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.data[key]
+	return v, ok
+}
+
+// Snapshot returns a copy of the committed state.
+func (s *Store) Snapshot() map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]string, len(s.data))
+	for k, v := range s.data {
+		out[k] = v
+	}
+	return out
+}
+
+// Pending reports whether txn has executing or prepared state.
+func (s *Store) Pending(txn wire.TxnID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.txns[txn] != nil
+}
+
+// PendingCount returns the number of transactions with volatile state, a
+// measure of how much the store has not yet been allowed to forget.
+func (s *Store) PendingCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.txns)
+}

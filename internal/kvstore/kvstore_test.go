@@ -1,0 +1,497 @@
+package kvstore
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+func tx(n uint64) wire.TxnID { return wire.TxnID{Coord: "c", Seq: n} }
+
+func TestPutCommitGet(t *testing.T) {
+	s := New()
+	if err := s.Put(tx(1), "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Read("k"); ok {
+		t.Fatal("buffered write visible before commit")
+	}
+	if _, _, err := s.Prepare(tx(1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Commit(tx(1))
+	if v, ok := s.Read("k"); !ok || v != "v" {
+		t.Fatalf("Read after commit = %q, %v", v, ok)
+	}
+}
+
+func TestAbortDiscardsWrites(t *testing.T) {
+	s := New()
+	s.Put(tx(1), "k", "old")
+	s.Prepare(tx(1))
+	s.Commit(tx(1))
+
+	s.Put(tx(2), "k", "new")
+	s.Delete(tx(2), "k2")
+	s.Abort(tx(2))
+	if v, _ := s.Read("k"); v != "old" {
+		t.Fatalf("abort leaked write: %q", v)
+	}
+	if s.Pending(tx(2)) {
+		t.Fatal("aborted txn still pending")
+	}
+}
+
+func TestReadYourOwnWrites(t *testing.T) {
+	s := New()
+	s.Put(tx(1), "k", "mine")
+	v, ok, err := s.Get(tx(1), "k")
+	if err != nil || !ok || v != "mine" {
+		t.Fatalf("Get own write = %q, %v, %v", v, ok, err)
+	}
+	s.Delete(tx(1), "k")
+	if _, ok, _ := s.Get(tx(1), "k"); ok {
+		t.Fatal("own delete not visible")
+	}
+}
+
+func TestGetMissingKey(t *testing.T) {
+	s := New()
+	v, ok, err := s.Get(tx(1), "nope")
+	if err != nil || ok || v != "" {
+		t.Fatalf("Get missing = %q, %v, %v", v, ok, err)
+	}
+}
+
+func TestPrepareReturnsWriteSetInOrder(t *testing.T) {
+	s := New()
+	s.Put(tx(1), "b", "1")
+	s.Put(tx(1), "a", "2")
+	s.Put(tx(1), "b", "3") // overwrite: image updated, order kept
+	writes, readOnly, err := s.Prepare(tx(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if readOnly {
+		t.Fatal("writer reported read-only")
+	}
+	if len(writes) != 2 || writes[0].Key != "b" || writes[1].Key != "a" {
+		t.Fatalf("write set %v", writes)
+	}
+	if writes[0].New != "3" || writes[0].OldExists {
+		t.Fatalf("b image %+v", writes[0])
+	}
+}
+
+func TestPrepareCapturesUndoImages(t *testing.T) {
+	s := New()
+	s.Put(tx(1), "k", "before")
+	s.Prepare(tx(1))
+	s.Commit(tx(1))
+
+	s.Put(tx(2), "k", "after")
+	writes, _, _ := s.Prepare(tx(2))
+	if len(writes) != 1 || writes[0].Old != "before" || !writes[0].OldExists {
+		t.Fatalf("undo image %+v", writes)
+	}
+}
+
+func TestReadOnlyDetection(t *testing.T) {
+	s := New()
+	s.Put(tx(0), "k", "v")
+	s.Prepare(tx(0))
+	s.Commit(tx(0))
+
+	if _, _, err := s.Get(tx(1), "k"); err != nil {
+		t.Fatal(err)
+	}
+	_, readOnly, err := s.Prepare(tx(1))
+	if err != nil || !readOnly {
+		t.Fatalf("reader: readOnly=%v err=%v", readOnly, err)
+	}
+	// Release path for read-only voters.
+	s.Abort(tx(1))
+	if s.Pending(tx(1)) {
+		t.Fatal("read-only txn still pending after release")
+	}
+}
+
+func TestOpsAfterPrepareRejected(t *testing.T) {
+	s := New()
+	s.Put(tx(1), "k", "v")
+	s.Prepare(tx(1))
+	if err := s.Put(tx(1), "k", "w"); !errors.Is(err, ErrPrepared) {
+		t.Fatalf("Put after prepare: %v", err)
+	}
+	if _, _, err := s.Get(tx(1), "k"); !errors.Is(err, ErrPrepared) {
+		t.Fatalf("Get after prepare: %v", err)
+	}
+}
+
+func TestPrepareUnknownTxn(t *testing.T) {
+	s := New()
+	if _, _, err := s.Prepare(tx(9)); !errors.Is(err, ErrNotActive) {
+		t.Fatalf("Prepare unknown: %v", err)
+	}
+}
+
+func TestEnforceUnknownTxnIsNoop(t *testing.T) {
+	// A participant with no memory of a transaction treats a re-delivered
+	// decision as already enforced (paper, footnote 5).
+	s := New()
+	s.Commit(tx(7))
+	s.Abort(tx(8))
+	if s.PendingCount() != 0 {
+		t.Fatal("phantom state created")
+	}
+}
+
+func TestCommitIsIdempotent(t *testing.T) {
+	s := New()
+	s.Put(tx(1), "k", "v")
+	s.Prepare(tx(1))
+	s.Commit(tx(1))
+	s.Commit(tx(1)) // re-delivered decision
+	if v, _ := s.Read("k"); v != "v" {
+		t.Fatalf("k = %q", v)
+	}
+}
+
+func TestExecBatch(t *testing.T) {
+	s := New()
+	s.Put(tx(0), "x", "1")
+	s.Prepare(tx(0))
+	s.Commit(tx(0))
+
+	results, err := s.Exec(tx(1), []wire.Op{
+		{Kind: wire.OpGet, Key: "x"},
+		{Kind: wire.OpPut, Key: "y", Value: "2"},
+		{Kind: wire.OpGet, Key: "y"},
+		{Kind: wire.OpDelete, Key: "x"},
+		{Kind: wire.OpGet, Key: "x"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"1", "2", ""}
+	if len(results) != len(want) {
+		t.Fatalf("results %v", results)
+	}
+	for i := range want {
+		if results[i] != want[i] {
+			t.Errorf("result %d = %q, want %q", i, results[i], want[i])
+		}
+	}
+	if _, err := s.Exec(tx(1), []wire.Op{{Kind: wire.OpKind(9)}}); err == nil {
+		t.Fatal("unknown op kind accepted")
+	}
+}
+
+func TestWriteConflictBlocksUntilRelease(t *testing.T) {
+	s := New()
+	s.Put(tx(1), "k", "a")
+	done := make(chan error, 1)
+	go func() { done <- s.Put(tx(2), "k", "b") }()
+	select {
+	case err := <-done:
+		t.Fatalf("conflicting Put did not block (err=%v)", err)
+	default:
+	}
+	s.Prepare(tx(1))
+	s.Commit(tx(1))
+	if err := <-done; err != nil {
+		t.Fatalf("Put after release: %v", err)
+	}
+	s.Prepare(tx(2))
+	s.Commit(tx(2))
+	if v, _ := s.Read("k"); v != "b" {
+		t.Fatalf("k = %q, want b", v)
+	}
+}
+
+func TestAbortWakesBlockedWriter(t *testing.T) {
+	s := New()
+	s.Put(tx(1), "k", "a")
+	done := make(chan error, 1)
+	go func() { done <- s.Put(tx(2), "k", "b") }()
+	s.Abort(tx(1))
+	if err := <-done; err != nil {
+		t.Fatalf("writer after abort of holder: %v", err)
+	}
+}
+
+func TestDeadlockVictimGetsError(t *testing.T) {
+	s := New()
+	if err := s.Put(tx(1), "a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(tx(2), "b", "2"); err != nil {
+		t.Fatal(err)
+	}
+	// Close the cycle from both sides concurrently. Exactly one of the two
+	// requests must be chosen as victim; aborting it unblocks the other.
+	done1 := make(chan error, 1)
+	done2 := make(chan error, 1)
+	go func() { done1 <- s.Put(tx(1), "b", "x") }()
+	go func() { done2 <- s.Put(tx(2), "a", "y") }()
+
+	var victim, survivor wire.TxnID
+	var survivorCh chan error
+	select {
+	case err := <-done1:
+		// Neither lock is released yet, so the first return must be the
+		// deadlock victim.
+		if err == nil {
+			t.Fatal("t1 acquired a held lock while cycle pending")
+		}
+		victim, survivor, survivorCh = tx(1), tx(2), done2
+	case err := <-done2:
+		if err == nil {
+			t.Fatal("t2 acquired a held lock while cycle pending")
+		}
+		victim, survivor, survivorCh = tx(2), tx(1), done1
+	}
+	s.Abort(victim)
+	if err := <-survivorCh; err != nil {
+		t.Fatalf("survivor %s failed: %v", survivor, err)
+	}
+	s.Abort(survivor)
+}
+
+func TestRecoverPreparedThenCommit(t *testing.T) {
+	s := New()
+	s.Put(tx(1), "k", "v")
+	writes, _, _ := s.Prepare(tx(1))
+
+	// Crash: volatile state gone, committed data kept.
+	s.Crash()
+	if s.Pending(tx(1)) {
+		t.Fatal("state survived crash")
+	}
+
+	// Recovery re-instates the prepared transaction from the log.
+	if err := s.RecoverPrepared(tx(1), writes); err != nil {
+		t.Fatal(err)
+	}
+	// The re-instated transaction holds its locks: another writer blocks.
+	blocked := make(chan error, 1)
+	go func() { blocked <- s.Put(tx(2), "k", "w") }()
+	select {
+	case err := <-blocked:
+		t.Fatalf("recovered prepared txn does not hold lock (err=%v)", err)
+	default:
+	}
+	s.Commit(tx(1))
+	if v, _ := s.Read("k"); v != "v" {
+		t.Fatalf("k = %q after recovered commit", v)
+	}
+	if err := <-blocked; err != nil {
+		t.Fatal(err)
+	}
+	s.Abort(tx(2))
+}
+
+func TestRecoverPreparedThenAbortUndoes(t *testing.T) {
+	// The Theorem-1 materialization path: a commit was applied, the site
+	// crashed before logging it, recovery re-instated the prepared state,
+	// and the (possibly wrong) answer to the inquiry is abort. The old
+	// images must restore the pre-transaction state.
+	s := New()
+	s.Put(tx(0), "k", "original")
+	s.Prepare(tx(0))
+	s.Commit(tx(0))
+
+	s.Put(tx(1), "k", "updated")
+	writes, _, _ := s.Prepare(tx(1))
+	s.Commit(tx(1)) // applied...
+	s.Crash()       // ...but decision record lost with the crash
+
+	if err := s.RecoverPrepared(tx(1), writes); err != nil {
+		t.Fatal(err)
+	}
+	s.Abort(tx(1)) // inquiry answered abort
+	if v, _ := s.Read("k"); v != "original" {
+		t.Fatalf("k = %q, want original", v)
+	}
+}
+
+func TestRecoverPreparedRejectsActiveTxn(t *testing.T) {
+	s := New()
+	s.Put(tx(1), "k", "v")
+	if err := s.RecoverPrepared(tx(1), nil); err == nil {
+		t.Fatal("recovering an active transaction succeeded")
+	}
+}
+
+func TestCrashReleasesLocks(t *testing.T) {
+	s := New()
+	s.Put(tx(1), "k", "v")
+	s.Crash()
+	// New transaction can lock immediately.
+	if err := s.Put(tx(2), "k", "w"); err != nil {
+		t.Fatal(err)
+	}
+	s.Prepare(tx(2))
+	s.Commit(tx(2))
+	if v, _ := s.Read("k"); v != "w" {
+		t.Fatalf("k = %q", v)
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	s := New()
+	s.Put(tx(1), "k", "v")
+	s.Prepare(tx(1))
+	s.Commit(tx(1))
+	snap := s.Snapshot()
+	snap["k"] = "mutated"
+	if v, _ := s.Read("k"); v != "v" {
+		t.Fatal("snapshot aliased store")
+	}
+}
+
+func TestConcurrentDisjointTransactions(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			txn := tx(uint64(n + 1))
+			key := string(rune('a' + n))
+			if err := s.Put(txn, key, key); err != nil {
+				t.Errorf("put %s: %v", key, err)
+				return
+			}
+			if _, _, err := s.Prepare(txn); err != nil {
+				t.Errorf("prepare %s: %v", key, err)
+				return
+			}
+			s.Commit(txn)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 16; i++ {
+		key := string(rune('a' + i))
+		if v, ok := s.Read(key); !ok || v != key {
+			t.Errorf("key %s = %q, %v", key, v, ok)
+		}
+	}
+}
+
+func TestQuickCommitAbortEquivalence(t *testing.T) {
+	// Property: for any batch of writes, commit installs exactly the new
+	// images and abort leaves the store exactly as it was.
+	f := func(keys []string, vals []string, commit bool) bool {
+		if len(keys) == 0 {
+			return true // no writes: nothing to check
+		}
+		s := New()
+		// Seed half the keys so undo images are a mix of exists/absent.
+		seed := tx(1)
+		for i, k := range keys {
+			if i%2 == 0 {
+				if s.Put(seed, "k"+k, "seed") != nil {
+					return false
+				}
+			}
+		}
+		s.Prepare(seed)
+		s.Commit(seed)
+		before := s.Snapshot()
+
+		txn := tx(2)
+		for i, k := range keys {
+			v := "v"
+			if i < len(vals) {
+				v = vals[i]
+			}
+			if s.Put(txn, "k"+k, v) != nil {
+				return false
+			}
+		}
+		if _, _, err := s.Prepare(txn); err != nil {
+			return false
+		}
+		if commit {
+			s.Commit(txn)
+			for i, k := range keys {
+				want := "v"
+				if i < len(vals) {
+					want = vals[i]
+				}
+				// Later duplicate keys overwrite earlier ones; find last.
+				for j := len(keys) - 1; j >= 0; j-- {
+					if keys[j] == k {
+						want = "v"
+						if j < len(vals) {
+							want = vals[j]
+						}
+						break
+					}
+				}
+				if got, ok := s.Read("k" + k); !ok || got != want {
+					return false
+				}
+			}
+			return true
+		}
+		s.Abort(txn)
+		after := s.Snapshot()
+		if len(after) != len(before) {
+			return false
+		}
+		for k, v := range before {
+			if after[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+var _ = wal.Update{} // wal types flow through Prepare's signature
+
+func TestWriteSetNonFreezing(t *testing.T) {
+	s := New()
+	s.Put(tx(1), "b", "1")
+	s.Put(tx(1), "a", "2")
+	ws := s.WriteSet(tx(1))
+	if len(ws) != 2 || ws[0].Key != "b" || ws[1].Key != "a" {
+		t.Fatalf("WriteSet %v", ws)
+	}
+	// Not frozen: more writes still allowed, and WriteSet reflects them.
+	if err := s.Put(tx(1), "c", "3"); err != nil {
+		t.Fatalf("Put after WriteSet: %v", err)
+	}
+	if got := len(s.WriteSet(tx(1))); got != 3 {
+		t.Fatalf("WriteSet after more writes: %d", got)
+	}
+	if got := s.WriteSet(tx(9)); got != nil {
+		t.Fatalf("WriteSet of unknown txn: %v", got)
+	}
+	s.Abort(tx(1))
+}
+
+func TestPoisonOnlyFiresOnce(t *testing.T) {
+	s := New()
+	s.Put(tx(1), "k", "v")
+	s.Poison(tx(1))
+	if _, _, err := s.Prepare(tx(1)); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("first prepare: %v", err)
+	}
+	// The poison is consumed; a retry (new attempt after abort) succeeds.
+	s.Abort(tx(1))
+	s.Put(tx(1), "k", "v")
+	if _, _, err := s.Prepare(tx(1)); err != nil {
+		t.Fatalf("second prepare: %v", err)
+	}
+	s.Abort(tx(1))
+}

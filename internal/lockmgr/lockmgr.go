@@ -1,0 +1,334 @@
+// Package lockmgr provides the strict two-phase-locking manager used by each
+// participant's resource manager. Subtransactions acquire shared or
+// exclusive locks as they execute, hold everything through the prepared
+// state (a yes vote is a promise, so nothing may be released early), and
+// release all locks only when the final decision is enforced.
+//
+// Blocked requests queue FIFO per key, with lock upgrades served first.
+// Deadlocks are detected eagerly by a waits-for cycle search when a request
+// blocks; the requester is the victim and receives ErrDeadlock, after which
+// the caller is expected to abort the transaction and vote no.
+package lockmgr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"prany/internal/wire"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+const (
+	// Shared permits concurrent readers.
+	Shared Mode = iota
+	// Exclusive permits a single writer.
+	Exclusive
+)
+
+// String returns "S" or "X".
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "X"
+	}
+	return "S"
+}
+
+// ErrDeadlock is returned to a requester chosen as a deadlock victim.
+var ErrDeadlock = errors.New("lockmgr: deadlock detected")
+
+// ErrAborted is returned to waiters whose transaction was cancelled while
+// blocked (for example because its site is aborting the transaction).
+var ErrAborted = errors.New("lockmgr: transaction cancelled while waiting")
+
+type request struct {
+	txn     wire.TxnID
+	mode    Mode
+	upgrade bool
+	done    chan error // buffered(1); receives nil on grant
+}
+
+type lock struct {
+	holders map[wire.TxnID]Mode
+	queue   []*request
+}
+
+// Manager is a per-site lock manager, safe for concurrent use.
+type Manager struct {
+	mu    sync.Mutex
+	locks map[string]*lock
+	// held tracks every key a transaction holds, for ReleaseAll.
+	held map[wire.TxnID]map[string]struct{}
+	// waiting maps a blocked transaction to its single outstanding
+	// request's key (a transaction requests one lock at a time).
+	waiting map[wire.TxnID]string
+}
+
+// New returns an empty lock manager.
+func New() *Manager {
+	return &Manager{
+		locks:   make(map[string]*lock),
+		held:    make(map[wire.TxnID]map[string]struct{}),
+		waiting: make(map[wire.TxnID]string),
+	}
+}
+
+// Lock acquires key in the given mode on behalf of txn, blocking until
+// granted. It returns ErrDeadlock if granting would close a waits-for cycle
+// (the caller must then abort txn) and ErrAborted if Cancel(txn) ran while
+// the request was queued. Re-acquiring a held lock at the same or weaker
+// mode returns immediately; requesting Exclusive while holding Shared is an
+// upgrade.
+func (m *Manager) Lock(txn wire.TxnID, key string, mode Mode) error {
+	m.mu.Lock()
+	lk := m.locks[key]
+	if lk == nil {
+		lk = &lock{holders: make(map[wire.TxnID]Mode)}
+		m.locks[key] = lk
+	}
+
+	if cur, ok := lk.holders[txn]; ok {
+		if cur >= mode {
+			m.mu.Unlock()
+			return nil // already held strongly enough
+		}
+		// Upgrade S -> X: immediate if sole holder.
+		if len(lk.holders) == 1 {
+			lk.holders[txn] = Exclusive
+			m.mu.Unlock()
+			return nil
+		}
+		req := &request{txn: txn, mode: Exclusive, upgrade: true, done: make(chan error, 1)}
+		return m.enqueue(lk, key, req)
+	}
+
+	if compatible(lk, txn, mode) && len(lk.queue) == 0 {
+		lk.holders[txn] = mode
+		m.noteHeld(txn, key)
+		m.mu.Unlock()
+		return nil
+	}
+	req := &request{txn: txn, mode: mode, done: make(chan error, 1)}
+	return m.enqueue(lk, key, req)
+}
+
+// enqueue queues req on lk, checks for deadlock, releases the manager lock
+// and blocks until the request resolves. Called with m.mu held.
+func (m *Manager) enqueue(lk *lock, key string, req *request) error {
+	// Upgrades jump the queue: they already hold Shared, so letting plain
+	// requests overtake them can only add deadlocks.
+	if req.upgrade {
+		i := 0
+		for i < len(lk.queue) && lk.queue[i].upgrade {
+			i++
+		}
+		lk.queue = append(lk.queue, nil)
+		copy(lk.queue[i+1:], lk.queue[i:])
+		lk.queue[i] = req
+	} else {
+		lk.queue = append(lk.queue, req)
+	}
+	m.waiting[req.txn] = key
+
+	if m.wouldDeadlock(req.txn) {
+		m.removeRequest(lk, req)
+		delete(m.waiting, req.txn)
+		m.mu.Unlock()
+		return fmt.Errorf("%w: victim %s waiting for %q", ErrDeadlock, req.txn, key)
+	}
+	m.mu.Unlock()
+	return <-req.done
+}
+
+// Unlock releases txn's lock on key, granting any newly compatible waiters.
+func (m *Manager) Unlock(txn wire.TxnID, key string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.releaseLocked(txn, key)
+}
+
+// ReleaseAll releases every lock txn holds (strict 2PL's single release
+// point) and cancels any request it still has queued.
+func (m *Manager) ReleaseAll(txn wire.TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cancelWaitLocked(txn)
+	for key := range m.held[txn] {
+		m.releaseLocked(txn, key)
+	}
+	delete(m.held, txn)
+}
+
+// Cancel aborts txn's pending lock request, if any, waking the waiter with
+// ErrAborted. Held locks are untouched; use ReleaseAll for those.
+func (m *Manager) Cancel(txn wire.TxnID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cancelWaitLocked(txn)
+}
+
+// Holding reports whether txn currently holds a lock on key at least as
+// strong as mode.
+func (m *Manager) Holding(txn wire.TxnID, key string, mode Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	lk := m.locks[key]
+	if lk == nil {
+		return false
+	}
+	cur, ok := lk.holders[txn]
+	return ok && cur >= mode
+}
+
+// HeldKeys returns the keys txn holds locks on, in no particular order.
+func (m *Manager) HeldKeys(txn wire.TxnID) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.held[txn]))
+	for k := range m.held[txn] {
+		out = append(out, k)
+	}
+	return out
+}
+
+func (m *Manager) cancelWaitLocked(txn wire.TxnID) {
+	key, ok := m.waiting[txn]
+	if !ok {
+		return
+	}
+	delete(m.waiting, txn)
+	lk := m.locks[key]
+	if lk == nil {
+		return
+	}
+	for _, r := range lk.queue {
+		if r.txn == txn {
+			m.removeRequest(lk, r)
+			r.done <- ErrAborted
+			break
+		}
+	}
+	m.grantLocked(lk, key)
+}
+
+func (m *Manager) releaseLocked(txn wire.TxnID, key string) {
+	lk := m.locks[key]
+	if lk == nil {
+		return
+	}
+	if _, ok := lk.holders[txn]; !ok {
+		return
+	}
+	delete(lk.holders, txn)
+	if h := m.held[txn]; h != nil {
+		delete(h, key)
+	}
+	m.grantLocked(lk, key)
+	if len(lk.holders) == 0 && len(lk.queue) == 0 {
+		delete(m.locks, key)
+	}
+}
+
+// grantLocked grants queued requests in order while they remain compatible.
+func (m *Manager) grantLocked(lk *lock, key string) {
+	for len(lk.queue) > 0 {
+		req := lk.queue[0]
+		if req.upgrade {
+			if len(lk.holders) != 1 {
+				return // other holders still present
+			}
+			if _, ok := lk.holders[req.txn]; !ok {
+				// Holder vanished (released while upgrade queued);
+				// treat as a fresh exclusive request.
+				req.upgrade = false
+				continue
+			}
+			lk.holders[req.txn] = Exclusive
+		} else {
+			if !compatible(lk, req.txn, req.mode) {
+				return
+			}
+			lk.holders[req.txn] = req.mode
+			m.noteHeld(req.txn, key)
+		}
+		lk.queue = lk.queue[1:]
+		delete(m.waiting, req.txn)
+		req.done <- nil
+	}
+}
+
+func (m *Manager) noteHeld(txn wire.TxnID, key string) {
+	h := m.held[txn]
+	if h == nil {
+		h = make(map[string]struct{})
+		m.held[txn] = h
+	}
+	h[key] = struct{}{}
+}
+
+func (m *Manager) removeRequest(lk *lock, req *request) {
+	for i, r := range lk.queue {
+		if r == req {
+			lk.queue = append(lk.queue[:i], lk.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// compatible reports whether txn could hold key in mode alongside the
+// current holders (ignoring any lock txn itself holds).
+func compatible(lk *lock, txn wire.TxnID, mode Mode) bool {
+	for holder, held := range lk.holders {
+		if holder == txn {
+			continue
+		}
+		if mode == Exclusive || held == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// wouldDeadlock reports whether start's new wait closes a cycle in the
+// waits-for graph. Called with m.mu held.
+func (m *Manager) wouldDeadlock(start wire.TxnID) bool {
+	// DFS from start through "waits for holder/queued-ahead" edges.
+	visited := make(map[wire.TxnID]bool)
+	var visit func(t wire.TxnID) bool
+	visit = func(t wire.TxnID) bool {
+		if visited[t] {
+			return false
+		}
+		visited[t] = true
+		key, ok := m.waiting[t]
+		if !ok {
+			return false
+		}
+		lk := m.locks[key]
+		if lk == nil {
+			return false
+		}
+		// t waits for every current holder other than itself...
+		for holder := range lk.holders {
+			if holder == t {
+				continue
+			}
+			if holder == start || visit(holder) {
+				return true
+			}
+		}
+		// ...and for every request queued ahead of it.
+		for _, r := range lk.queue {
+			if r.txn == t {
+				break
+			}
+			if r.txn == start || visit(r.txn) {
+				return true
+			}
+		}
+		return false
+	}
+	return visit(start)
+}

@@ -1,0 +1,303 @@
+package lockmgr
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prany/internal/wire"
+)
+
+func tx(n uint64) wire.TxnID { return wire.TxnID{Coord: "c", Seq: n} }
+
+// lockAsync starts Lock in a goroutine and returns a channel carrying its
+// result.
+func lockAsync(m *Manager, txn wire.TxnID, key string, mode Mode) <-chan error {
+	ch := make(chan error, 1)
+	go func() { ch <- m.Lock(txn, key, mode) }()
+	return ch
+}
+
+// mustBlock asserts that ch does not deliver within a short grace period.
+func mustBlock(t *testing.T, ch <-chan error, what string) {
+	t.Helper()
+	select {
+	case err := <-ch:
+		t.Fatalf("%s did not block (err=%v)", what, err)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+// mustGrant asserts ch delivers nil promptly.
+func mustGrant(t *testing.T, ch <-chan error, what string) {
+	t.Helper()
+	select {
+	case err := <-ch:
+		if err != nil {
+			t.Fatalf("%s failed: %v", what, err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatalf("%s still blocked", what)
+	}
+}
+
+func TestSharedLocksCoexist(t *testing.T) {
+	m := New()
+	for i := uint64(1); i <= 3; i++ {
+		if err := m.Lock(tx(i), "k", Shared); err != nil {
+			t.Fatalf("S lock %d: %v", i, err)
+		}
+	}
+	for i := uint64(1); i <= 3; i++ {
+		if !m.Holding(tx(i), "k", Shared) {
+			t.Errorf("txn %d not holding S", i)
+		}
+	}
+}
+
+func TestExclusiveExcludes(t *testing.T) {
+	m := New()
+	if err := m.Lock(tx(1), "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	blocked := lockAsync(m, tx(2), "k", Shared)
+	mustBlock(t, blocked, "S behind X")
+	m.ReleaseAll(tx(1))
+	mustGrant(t, blocked, "S after X release")
+}
+
+func TestReacquireIsIdempotent(t *testing.T) {
+	m := New()
+	if err := m.Lock(tx(1), "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(tx(1), "k", Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(tx(1), "k", Shared); err != nil { // weaker: no-op
+		t.Fatal(err)
+	}
+	if !m.Holding(tx(1), "k", Exclusive) {
+		t.Fatal("lost X after redundant requests")
+	}
+}
+
+func TestUpgradeSoleHolder(t *testing.T) {
+	m := New()
+	m.Lock(tx(1), "k", Shared)
+	if err := m.Lock(tx(1), "k", Exclusive); err != nil {
+		t.Fatalf("sole-holder upgrade: %v", err)
+	}
+	if !m.Holding(tx(1), "k", Exclusive) {
+		t.Fatal("upgrade did not take")
+	}
+}
+
+func TestUpgradeWaitsForOtherReaders(t *testing.T) {
+	m := New()
+	m.Lock(tx(1), "k", Shared)
+	m.Lock(tx(2), "k", Shared)
+	up := lockAsync(m, tx(1), "k", Exclusive)
+	mustBlock(t, up, "upgrade with another reader")
+	m.ReleaseAll(tx(2))
+	mustGrant(t, up, "upgrade after reader left")
+	if !m.Holding(tx(1), "k", Exclusive) {
+		t.Fatal("not exclusive after upgrade")
+	}
+}
+
+func TestUpgradeJumpsQueue(t *testing.T) {
+	m := New()
+	m.Lock(tx(1), "k", Shared)
+	m.Lock(tx(2), "k", Shared)
+	// A plain X request queues first...
+	waiter := lockAsync(m, tx(3), "k", Exclusive)
+	mustBlock(t, waiter, "X behind two readers")
+	// ...then an upgrade, which must be served before it.
+	up := lockAsync(m, tx(1), "k", Exclusive)
+	mustBlock(t, up, "upgrade behind reader")
+	m.ReleaseAll(tx(2))
+	mustGrant(t, up, "upgrade")
+	mustBlock(t, waiter, "X while upgrader holds")
+	m.ReleaseAll(tx(1))
+	mustGrant(t, waiter, "X after upgrader released")
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	m := New()
+	m.Lock(tx(1), "k", Exclusive)
+	var order []uint64
+	var mu sync.Mutex
+	note := func(n uint64) {
+		mu.Lock()
+		order = append(order, n)
+		mu.Unlock()
+	}
+	ch2 := make(chan error, 1)
+	go func() { err := m.Lock(tx(2), "k", Exclusive); note(2); ch2 <- err }()
+	time.Sleep(10 * time.Millisecond) // let 2 queue first
+	ch3 := make(chan error, 1)
+	go func() { err := m.Lock(tx(3), "k", Exclusive); note(3); ch3 <- err }()
+	time.Sleep(10 * time.Millisecond)
+
+	m.ReleaseAll(tx(1))
+	mustGrant(t, ch2, "first waiter")
+	mustBlock(t, ch3, "second waiter while first holds")
+	m.ReleaseAll(tx(2))
+	mustGrant(t, ch3, "second waiter")
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != 2 || order[1] != 3 {
+		t.Fatalf("grant order %v, want [2 3]", order)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := New()
+	m.Lock(tx(1), "a", Exclusive)
+	m.Lock(tx(2), "b", Exclusive)
+	ch1 := lockAsync(m, tx(1), "b", Exclusive)
+	mustBlock(t, ch1, "t1 waiting for b")
+	// t2 requesting a closes the cycle; t2 is the victim.
+	err := m.Lock(tx(2), "a", Exclusive)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected deadlock, got %v", err)
+	}
+	// Victim aborts: releases everything; t1 proceeds.
+	m.ReleaseAll(tx(2))
+	mustGrant(t, ch1, "t1 after victim aborted")
+}
+
+func TestUpgradeDeadlockDetected(t *testing.T) {
+	// Two readers both upgrading is the classic upgrade deadlock.
+	m := New()
+	m.Lock(tx(1), "k", Shared)
+	m.Lock(tx(2), "k", Shared)
+	ch1 := lockAsync(m, tx(1), "k", Exclusive)
+	mustBlock(t, ch1, "first upgrade")
+	err := m.Lock(tx(2), "k", Exclusive)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected upgrade deadlock, got %v", err)
+	}
+	m.ReleaseAll(tx(2))
+	mustGrant(t, ch1, "surviving upgrade")
+}
+
+func TestThreeWayDeadlock(t *testing.T) {
+	m := New()
+	m.Lock(tx(1), "a", Exclusive)
+	m.Lock(tx(2), "b", Exclusive)
+	m.Lock(tx(3), "c", Exclusive)
+	ch1 := lockAsync(m, tx(1), "b", Exclusive)
+	mustBlock(t, ch1, "t1->b")
+	ch2 := lockAsync(m, tx(2), "c", Exclusive)
+	mustBlock(t, ch2, "t2->c")
+	err := m.Lock(tx(3), "a", Exclusive)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("expected 3-cycle deadlock, got %v", err)
+	}
+	m.ReleaseAll(tx(3))
+	mustGrant(t, ch2, "t2 after victim")
+	m.ReleaseAll(tx(2))
+	mustGrant(t, ch1, "t1 after t2")
+}
+
+func TestCancelWakesWaiter(t *testing.T) {
+	m := New()
+	m.Lock(tx(1), "k", Exclusive)
+	ch := lockAsync(m, tx(2), "k", Exclusive)
+	mustBlock(t, ch, "waiter")
+	m.Cancel(tx(2))
+	select {
+	case err := <-ch:
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("cancelled waiter got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter still blocked")
+	}
+	// The cancelled request must not be granted later.
+	m.ReleaseAll(tx(1))
+	if m.Holding(tx(2), "k", Shared) {
+		t.Fatal("cancelled waiter acquired lock")
+	}
+}
+
+func TestReleaseAllCancelsPendingRequest(t *testing.T) {
+	m := New()
+	m.Lock(tx(1), "k", Exclusive)
+	ch := lockAsync(m, tx(2), "k", Shared)
+	mustBlock(t, ch, "waiter")
+	m.ReleaseAll(tx(2)) // abort path: txn releases while still queued
+	if err := <-ch; !errors.Is(err, ErrAborted) {
+		t.Fatalf("got %v, want ErrAborted", err)
+	}
+}
+
+func TestHeldKeys(t *testing.T) {
+	m := New()
+	m.Lock(tx(1), "a", Shared)
+	m.Lock(tx(1), "b", Exclusive)
+	keys := m.HeldKeys(tx(1))
+	if len(keys) != 2 {
+		t.Fatalf("HeldKeys = %v", keys)
+	}
+	m.ReleaseAll(tx(1))
+	if len(m.HeldKeys(tx(1))) != 0 {
+		t.Fatal("keys survive ReleaseAll")
+	}
+	if m.Holding(tx(1), "a", Shared) || m.Holding(tx(1), "b", Shared) {
+		t.Fatal("locks survive ReleaseAll")
+	}
+}
+
+func TestConcurrentIncrementUnderX(t *testing.T) {
+	// N goroutines lock the same key exclusively and bump a counter; the
+	// counter must never be touched by two at once.
+	m := New()
+	var inCrit atomic.Int32
+	var total atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(n uint64) {
+			defer wg.Done()
+			txn := tx(n)
+			if err := m.Lock(txn, "counter", Exclusive); err != nil {
+				t.Errorf("lock: %v", err)
+				return
+			}
+			if inCrit.Add(1) != 1 {
+				t.Error("two holders of X at once")
+			}
+			total.Add(1)
+			inCrit.Add(-1)
+			m.ReleaseAll(txn)
+		}(uint64(i + 1))
+	}
+	wg.Wait()
+	if total.Load() != 32 {
+		t.Fatalf("total = %d, want 32", total.Load())
+	}
+}
+
+func TestUnlockSingleKey(t *testing.T) {
+	m := New()
+	m.Lock(tx(1), "a", Exclusive)
+	m.Lock(tx(1), "b", Exclusive)
+	ch := lockAsync(m, tx(2), "a", Shared)
+	mustBlock(t, ch, "reader of a")
+	m.Unlock(tx(1), "a")
+	mustGrant(t, ch, "reader after single unlock")
+	if !m.Holding(tx(1), "b", Exclusive) {
+		t.Fatal("unlock of a dropped b")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Shared.String() != "S" || Exclusive.String() != "X" {
+		t.Fatal("Mode.String wrong")
+	}
+}

@@ -1,0 +1,149 @@
+// Package metrics collects the cost counters by which the paper's commit
+// protocols are compared: messages by kind, forced and total log writes,
+// and protocol-table residency (how many terminated transactions a
+// coordinator has not yet been allowed to forget — the quantity Theorem 2
+// shows grows without bound under C2PC).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"prany/internal/wire"
+)
+
+// SiteCounters is one site's tallies. Values are cumulative.
+type SiteCounters struct {
+	Messages map[wire.MsgKind]uint64 // sent, by kind
+	Forces   uint64                  // forced-write barriers
+	Appends  uint64                  // log records appended
+	PTInsert uint64                  // protocol-table entries created
+	PTDelete uint64                  // protocol-table entries discarded
+}
+
+// Retained is the number of protocol-table entries not yet discarded.
+func (c SiteCounters) Retained() int64 { return int64(c.PTInsert) - int64(c.PTDelete) }
+
+// TotalMessages sums message counts across kinds.
+func (c SiteCounters) TotalMessages() uint64 {
+	var n uint64
+	for _, v := range c.Messages {
+		n += v
+	}
+	return n
+}
+
+// Registry aggregates counters across sites. It is safe for concurrent use.
+type Registry struct {
+	mu    sync.Mutex
+	sites map[wire.SiteID]*SiteCounters
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{sites: make(map[wire.SiteID]*SiteCounters)}
+}
+
+func (r *Registry) site(id wire.SiteID) *SiteCounters {
+	c := r.sites[id]
+	if c == nil {
+		c = &SiteCounters{Messages: make(map[wire.MsgKind]uint64)}
+		r.sites[id] = c
+	}
+	return c
+}
+
+// Message records that site from sent one message of the given kind.
+func (r *Registry) Message(from wire.SiteID, kind wire.MsgKind) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.site(from).Messages[kind]++
+}
+
+// Force records a forced-write barrier at site id.
+func (r *Registry) Force(id wire.SiteID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.site(id).Forces++
+}
+
+// Append records a log-record append at site id.
+func (r *Registry) Append(id wire.SiteID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.site(id).Appends++
+}
+
+// PTInsert records a protocol-table insertion at site id.
+func (r *Registry) PTInsert(id wire.SiteID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.site(id).PTInsert++
+}
+
+// PTDelete records a protocol-table discard at site id.
+func (r *Registry) PTDelete(id wire.SiteID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.site(id).PTDelete++
+}
+
+// Site returns a copy of one site's counters (zero counters if unknown).
+func (r *Registry) Site(id wire.SiteID) SiteCounters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.sites[id]
+	if c == nil {
+		return SiteCounters{Messages: map[wire.MsgKind]uint64{}}
+	}
+	out := *c
+	out.Messages = make(map[wire.MsgKind]uint64, len(c.Messages))
+	for k, v := range c.Messages {
+		out.Messages[k] = v
+	}
+	return out
+}
+
+// Total returns counters summed across every site.
+func (r *Registry) Total() SiteCounters {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := SiteCounters{Messages: make(map[wire.MsgKind]uint64)}
+	for _, c := range r.sites {
+		for k, v := range c.Messages {
+			out.Messages[k] += v
+		}
+		out.Forces += c.Forces
+		out.Appends += c.Appends
+		out.PTInsert += c.PTInsert
+		out.PTDelete += c.PTDelete
+	}
+	return out
+}
+
+// Reset clears all counters.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sites = make(map[wire.SiteID]*SiteCounters)
+}
+
+// String renders a per-site table, sites sorted by identifier.
+func (r *Registry) String() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ids := make([]string, 0, len(r.sites))
+	for id := range r.sites {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %8s %8s %9s\n", "site", "msgs", "forces", "appends", "retained")
+	for _, id := range ids {
+		c := r.sites[wire.SiteID(id)]
+		fmt.Fprintf(&b, "%-12s %8d %8d %8d %9d\n", id, c.TotalMessages(), c.Forces, c.Appends, c.Retained())
+	}
+	return b.String()
+}

@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"prany/internal/wire"
+)
+
+func TestCountersAccumulate(t *testing.T) {
+	r := NewRegistry()
+	r.Message("a", wire.MsgPrepare)
+	r.Message("a", wire.MsgPrepare)
+	r.Message("a", wire.MsgDecision)
+	r.Force("a")
+	r.Append("a")
+	r.Append("a")
+	r.PTInsert("a")
+	r.PTInsert("a")
+	r.PTDelete("a")
+
+	c := r.Site("a")
+	if c.Messages[wire.MsgPrepare] != 2 || c.Messages[wire.MsgDecision] != 1 {
+		t.Errorf("messages %v", c.Messages)
+	}
+	if c.TotalMessages() != 3 {
+		t.Errorf("TotalMessages = %d", c.TotalMessages())
+	}
+	if c.Forces != 1 || c.Appends != 2 {
+		t.Errorf("forces=%d appends=%d", c.Forces, c.Appends)
+	}
+	if c.Retained() != 1 {
+		t.Errorf("Retained = %d", c.Retained())
+	}
+}
+
+func TestSiteReturnsCopy(t *testing.T) {
+	r := NewRegistry()
+	r.Message("a", wire.MsgAck)
+	c := r.Site("a")
+	c.Messages[wire.MsgAck] = 99
+	if r.Site("a").Messages[wire.MsgAck] != 1 {
+		t.Fatal("Site() aliased internal map")
+	}
+}
+
+func TestUnknownSiteIsZero(t *testing.T) {
+	r := NewRegistry()
+	c := r.Site("ghost")
+	if c.TotalMessages() != 0 || c.Retained() != 0 {
+		t.Fatal("unknown site has counts")
+	}
+}
+
+func TestTotalSumsSites(t *testing.T) {
+	r := NewRegistry()
+	r.Message("a", wire.MsgVote)
+	r.Message("b", wire.MsgVote)
+	r.Force("a")
+	r.Force("b")
+	r.PTInsert("a")
+	tot := r.Total()
+	if tot.Messages[wire.MsgVote] != 2 || tot.Forces != 2 || tot.PTInsert != 1 {
+		t.Errorf("total %+v", tot)
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	r := NewRegistry()
+	r.Message("a", wire.MsgVote)
+	r.Reset()
+	if r.Total().TotalMessages() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestStringRendersSortedTable(t *testing.T) {
+	r := NewRegistry()
+	r.Message("zeta", wire.MsgVote)
+	r.Message("alpha", wire.MsgVote)
+	s := r.String()
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "zeta") {
+		t.Fatalf("table %q", s)
+	}
+	if strings.Index(s, "alpha") > strings.Index(s, "zeta") {
+		t.Fatal("sites not sorted")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Message("s", wire.MsgAck)
+				r.Force("s")
+				r.PTInsert("s")
+				r.PTDelete("s")
+			}
+		}()
+	}
+	wg.Wait()
+	c := r.Site("s")
+	if c.Messages[wire.MsgAck] != 800 || c.Forces != 800 || c.Retained() != 0 {
+		t.Fatalf("concurrent counts %+v", c)
+	}
+}

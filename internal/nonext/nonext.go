@@ -1,0 +1,349 @@
+// Package nonext implements the "non-externalized" branch of the paper's
+// Figure 5 taxonomy: integrating a legacy database system that does NOT
+// externalize an atomic commit protocol — it offers only auto-commit
+// operations — by *simulating a prepared state* in front of it.
+//
+// LegacyStore models such a system: single operations apply atomically and
+// immediately, there is no begin/prepare/commit surface, and the store may
+// be transiently unavailable. Agent wraps it into a core.RM, so a standard
+// PrN/PrA/PrC participant engine (and therefore a PrAny coordinator) can
+// drive it like any other site:
+//
+//   - Execution is deferred: operations are buffered agent-side under the
+//     agent's own strict-2PL lock table; reads go through the buffer to the
+//     legacy store. The legacy data never changes before the decision —
+//     the "commitment after (redo)" leaf of the taxonomy.
+//   - Prepare freezes the buffer and surfaces it as the write set (with
+//     undo images captured at execution time), which the participant
+//     engine force-logs in its prepared record. That durable redo batch
+//     *is* the simulated prepared state.
+//   - Commit replays the batch against the legacy store, retrying through
+//     transient unavailability; absolute images make the replay
+//     idempotent. Abort restores the undo images the same way (a no-op
+//     unless a recovered commit already applied).
+//
+// The agent guarantees traditional atomicity (not just the weaker semantic
+// atomicity some simulated-prepared-state schemes settle for) as long as
+// every client reaches the legacy store through agents sharing its lock
+// table — the usual deployment for gateway-mediated legacy systems.
+package nonext
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"prany/internal/lockmgr"
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+// ErrUnavailable is returned by LegacyStore operations while the store is
+// marked down, modelling a transient outage of the legacy system.
+var ErrUnavailable = errors.New("nonext: legacy store unavailable")
+
+// LegacyStore is a minimal non-externalized database: atomic single-key
+// auto-commit operations, no transactions, no prepare.
+type LegacyStore struct {
+	mu   sync.Mutex
+	data map[string]string
+	down bool
+	// applies counts successful mutations (tests use it to verify the
+	// deferral discipline: zero before the decision).
+	applies int
+}
+
+// NewLegacyStore returns an empty legacy store.
+func NewLegacyStore() *LegacyStore {
+	return &LegacyStore{data: make(map[string]string)}
+}
+
+// SetAvailable marks the store up or down. While down, every operation
+// fails with ErrUnavailable.
+func (s *LegacyStore) SetAvailable(up bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.down = !up
+}
+
+// Put writes key=val, auto-committed.
+func (s *LegacyStore) Put(key, val string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return ErrUnavailable
+	}
+	s.data[key] = val
+	s.applies++
+	return nil
+}
+
+// Delete removes key, auto-committed.
+func (s *LegacyStore) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return ErrUnavailable
+	}
+	delete(s.data, key)
+	s.applies++
+	return nil
+}
+
+// Get reads key.
+func (s *LegacyStore) Get(key string) (string, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return "", false, ErrUnavailable
+	}
+	v, ok := s.data[key]
+	return v, ok, nil
+}
+
+// Applies returns the number of mutations the legacy store has executed.
+func (s *LegacyStore) Applies() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applies
+}
+
+type agentTxn struct {
+	order    []string
+	writes   map[string]wal.Update
+	prepared bool
+}
+
+// Agent adapts a LegacyStore to core.RM by simulating the prepared state.
+// It is safe for concurrent use.
+type Agent struct {
+	legacy *LegacyStore
+	locks  *lockmgr.Manager
+
+	mu   sync.Mutex
+	txns map[wire.TxnID]*agentTxn
+}
+
+// NewAgent wraps legacy.
+func NewAgent(legacy *LegacyStore) *Agent {
+	return &Agent{
+		legacy: legacy,
+		locks:  lockmgr.New(),
+		txns:   make(map[wire.TxnID]*agentTxn),
+	}
+}
+
+// Legacy returns the wrapped store.
+func (a *Agent) Legacy() *LegacyStore { return a.legacy }
+
+func (a *Agent) txn(id wire.TxnID) *agentTxn {
+	t := a.txns[id]
+	if t == nil {
+		t = &agentTxn{writes: make(map[string]wal.Update)}
+		a.txns[id] = t
+	}
+	return t
+}
+
+// Exec implements core.RM: buffer writes, read through the buffer.
+func (a *Agent) Exec(txn wire.TxnID, ops []wire.Op) ([]string, error) {
+	var results []string
+	for _, op := range ops {
+		switch op.Kind {
+		case wire.OpGet:
+			v, _, err := a.get(txn, op.Key)
+			if err != nil {
+				return nil, err
+			}
+			results = append(results, v)
+		case wire.OpPut:
+			if err := a.write(txn, op.Key, op.Value, true); err != nil {
+				return nil, err
+			}
+		case wire.OpDelete:
+			if err := a.write(txn, op.Key, "", false); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("nonext: unknown op kind %d", op.Kind)
+		}
+	}
+	return results, nil
+}
+
+func (a *Agent) get(txn wire.TxnID, key string) (string, bool, error) {
+	a.mu.Lock()
+	t := a.txn(txn)
+	if t.prepared {
+		a.mu.Unlock()
+		return "", false, errors.New("nonext: transaction already prepared")
+	}
+	if w, ok := t.writes[key]; ok {
+		a.mu.Unlock()
+		return w.New, w.NewExists, nil
+	}
+	a.mu.Unlock()
+	if err := a.locks.Lock(txn, key, lockmgr.Shared); err != nil {
+		return "", false, err
+	}
+	return a.legacy.Get(key)
+}
+
+func (a *Agent) write(txn wire.TxnID, key, val string, exists bool) error {
+	a.mu.Lock()
+	t := a.txn(txn)
+	if t.prepared {
+		a.mu.Unlock()
+		return errors.New("nonext: transaction already prepared")
+	}
+	a.mu.Unlock()
+
+	if err := a.locks.Lock(txn, key, lockmgr.Exclusive); err != nil {
+		return err
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t = a.txns[txn]
+	if t == nil {
+		a.locks.ReleaseAll(txn)
+		return errors.New("nonext: transaction aborted while waiting")
+	}
+	w, seen := t.writes[key]
+	if !seen {
+		// Capture the undo image now; the agent's lock table keeps it
+		// valid until the decision.
+		old, oldExists, err := a.legacy.Get(key)
+		if err != nil {
+			return fmt.Errorf("nonext: capturing undo image: %w", err)
+		}
+		w = wal.Update{Key: key, Old: old, OldExists: oldExists}
+		t.order = append(t.order, key)
+	}
+	w.New = val
+	w.NewExists = exists
+	t.writes[key] = w
+	return nil
+}
+
+// Prepare implements core.RM: freeze and surface the redo/undo batch.
+func (a *Agent) Prepare(txn wire.TxnID) ([]wal.Update, bool, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := a.txns[txn]
+	if t == nil {
+		return nil, false, errors.New("nonext: transaction not active")
+	}
+	t.prepared = true
+	out := make([]wal.Update, 0, len(t.order))
+	for _, key := range t.order {
+		out = append(out, t.writes[key])
+	}
+	return out, len(out) == 0, nil
+}
+
+// WriteSet implements core.RM: the buffered batch, without freezing.
+func (a *Agent) WriteSet(txn wire.TxnID) []wal.Update {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	t := a.txns[txn]
+	if t == nil {
+		return nil
+	}
+	out := make([]wal.Update, 0, len(t.order))
+	for _, key := range t.order {
+		out = append(out, t.writes[key])
+	}
+	return out
+}
+
+// Commit implements core.RM: replay the batch against the legacy store.
+// Unknown transactions are no-ops (already enforced). Replay retries are
+// the participant engine's job via re-delivered decisions; a transiently
+// unavailable legacy store simply leaves this enforcement incomplete and
+// idempotent replay finishes it later.
+func (a *Agent) Commit(txn wire.TxnID) { a.enforce(txn, wire.Commit) }
+
+// Abort implements core.RM: restore the undo images (a no-op unless a
+// recovered commit had applied).
+func (a *Agent) Abort(txn wire.TxnID) { a.enforce(txn, wire.Abort) }
+
+func (a *Agent) enforce(txn wire.TxnID, outcome wire.Outcome) {
+	a.mu.Lock()
+	t := a.txns[txn]
+	if t == nil {
+		a.mu.Unlock()
+		a.locks.Cancel(txn)
+		a.locks.ReleaseAll(txn)
+		return
+	}
+	delete(a.txns, txn)
+	order, writes := t.order, t.writes
+	a.mu.Unlock()
+
+	for _, key := range order {
+		w := writes[key]
+		val, exists := w.New, w.NewExists
+		if outcome == wire.Abort {
+			val, exists = w.Old, w.OldExists
+		}
+		var err error
+		if exists {
+			err = a.legacy.Put(key, val)
+		} else {
+			err = a.legacy.Delete(key)
+		}
+		if err != nil {
+			// The legacy store is down mid-replay: re-buffer what is left
+			// so a re-delivered decision (or recovery) finishes the job.
+			a.mu.Lock()
+			a.txns[txn] = &agentTxn{order: order, writes: writes, prepared: true}
+			a.mu.Unlock()
+			return
+		}
+	}
+	a.locks.Cancel(txn)
+	a.locks.ReleaseAll(txn)
+}
+
+// RecoverPrepared implements core.RM: re-instate the simulated prepared
+// state from the logged batch after an agent crash.
+func (a *Agent) RecoverPrepared(txn wire.TxnID, writes []wal.Update) error {
+	a.mu.Lock()
+	if a.txns[txn] != nil {
+		a.mu.Unlock()
+		return fmt.Errorf("nonext: %s already active at recovery", txn)
+	}
+	t := &agentTxn{writes: make(map[string]wal.Update), prepared: true}
+	for _, w := range writes {
+		t.order = append(t.order, w.Key)
+		t.writes[w.Key] = w
+	}
+	a.txns[txn] = t
+	a.mu.Unlock()
+	for _, w := range writes {
+		if err := a.locks.Lock(txn, w.Key, lockmgr.Exclusive); err != nil {
+			return fmt.Errorf("nonext: recovering %s: %w", txn, err)
+		}
+	}
+	return nil
+}
+
+// Crash drops the agent's volatile state (the legacy store, being a
+// separate system, keeps its data).
+func (a *Agent) Crash() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for txn := range a.txns {
+		a.locks.Cancel(txn)
+		a.locks.ReleaseAll(txn)
+	}
+	a.txns = make(map[wire.TxnID]*agentTxn)
+}
+
+// Pending reports how many transactions hold agent-side state.
+func (a *Agent) Pending() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.txns)
+}

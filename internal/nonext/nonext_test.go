@@ -1,0 +1,250 @@
+package nonext
+
+import (
+	"errors"
+	"testing"
+
+	"prany/internal/wire"
+)
+
+func tx(n uint64) wire.TxnID { return wire.TxnID{Coord: "c", Seq: n} }
+
+func TestLegacyStoreBasics(t *testing.T) {
+	s := NewLegacyStore()
+	if err := s.Put("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := s.Get("k"); err != nil || !ok || v != "v" {
+		t.Fatalf("Get = %q %v %v", v, ok, err)
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("k"); ok {
+		t.Fatal("deleted key visible")
+	}
+	if s.Applies() != 2 {
+		t.Fatalf("applies = %d", s.Applies())
+	}
+}
+
+func TestLegacyStoreUnavailability(t *testing.T) {
+	s := NewLegacyStore()
+	s.SetAvailable(false)
+	if err := s.Put("k", "v"); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Put while down: %v", err)
+	}
+	if _, _, err := s.Get("k"); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Get while down: %v", err)
+	}
+	if err := s.Delete("k"); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Delete while down: %v", err)
+	}
+	s.SetAvailable(true)
+	if err := s.Put("k", "v"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeferralNoLegacyWritesBeforeDecision(t *testing.T) {
+	// The heart of the simulated prepared state: the legacy store sees
+	// *nothing* until the decision.
+	a := NewAgent(NewLegacyStore())
+	if _, err := a.Exec(tx(1), []wire.Op{{Kind: wire.OpPut, Key: "k", Value: "v"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Prepare(tx(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Legacy().Applies(); got != 0 {
+		t.Fatalf("legacy store saw %d writes before the decision", got)
+	}
+	a.Commit(tx(1))
+	if v, ok, _ := a.Legacy().Get("k"); !ok || v != "v" {
+		t.Fatalf("after commit: %q %v", v, ok)
+	}
+}
+
+func TestAbortLeavesLegacyUntouched(t *testing.T) {
+	legacy := NewLegacyStore()
+	legacy.Put("k", "original")
+	a := NewAgent(legacy)
+	base := legacy.Applies()
+	a.Exec(tx(1), []wire.Op{{Kind: wire.OpPut, Key: "k", Value: "changed"}})
+	a.Prepare(tx(1))
+	a.Abort(tx(1))
+	if v, _, _ := legacy.Get("k"); v != "original" {
+		t.Fatalf("abort leaked: %q", v)
+	}
+	// The agent restored the undo image, which equals the current value —
+	// one redundant write is acceptable; what matters is the value.
+	_ = base
+	if a.Pending() != 0 {
+		t.Fatal("agent kept state after abort")
+	}
+}
+
+func TestReadsThroughBufferAndLegacy(t *testing.T) {
+	legacy := NewLegacyStore()
+	legacy.Put("seen", "1")
+	a := NewAgent(legacy)
+	res, err := a.Exec(tx(1), []wire.Op{
+		{Kind: wire.OpGet, Key: "seen"},
+		{Kind: wire.OpPut, Key: "mine", Value: "2"},
+		{Kind: wire.OpGet, Key: "mine"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0] != "1" || res[1] != "2" {
+		t.Fatalf("results %v", res)
+	}
+	a.Abort(tx(1))
+}
+
+func TestAgentLocksSerializeConflicts(t *testing.T) {
+	a := NewAgent(NewLegacyStore())
+	if _, err := a.Exec(tx(1), []wire.Op{{Kind: wire.OpPut, Key: "k", Value: "a"}}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Exec(tx(2), []wire.Op{{Kind: wire.OpPut, Key: "k", Value: "b"}})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("conflicting exec did not block (err=%v)", err)
+	default:
+	}
+	a.Prepare(tx(1))
+	a.Commit(tx(1))
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	a.Prepare(tx(2))
+	a.Commit(tx(2))
+	if v, _, _ := a.Legacy().Get("k"); v != "b" {
+		t.Fatalf("k = %q", v)
+	}
+}
+
+func TestCommitRetriesThroughOutage(t *testing.T) {
+	legacy := NewLegacyStore()
+	a := NewAgent(legacy)
+	a.Exec(tx(1), []wire.Op{{Kind: wire.OpPut, Key: "k", Value: "v"}})
+	a.Prepare(tx(1))
+
+	legacy.SetAvailable(false)
+	a.Commit(tx(1)) // replay stalls; state re-buffered
+	if a.Pending() != 1 {
+		t.Fatal("stalled enforcement lost its state")
+	}
+	if _, ok, _ := legacyGetUp(legacy, "k"); ok {
+		t.Fatal("write applied while down")
+	}
+
+	legacy.SetAvailable(true)
+	a.Commit(tx(1)) // a re-delivered decision finishes the replay
+	if v, ok, _ := legacy.Get("k"); !ok || v != "v" {
+		t.Fatalf("after retry: %q %v", v, ok)
+	}
+	if a.Pending() != 0 {
+		t.Fatal("agent kept state after successful replay")
+	}
+}
+
+// legacyGetUp reads while tolerating the down state.
+func legacyGetUp(s *LegacyStore, key string) (string, bool, error) {
+	s.SetAvailable(true)
+	defer s.SetAvailable(false)
+	return s.Get(key)
+}
+
+func TestRecoverPreparedThenCommit(t *testing.T) {
+	legacy := NewLegacyStore()
+	a := NewAgent(legacy)
+	a.Exec(tx(1), []wire.Op{{Kind: wire.OpPut, Key: "k", Value: "v"}})
+	writes, _, err := a.Prepare(tx(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Crash()
+	if a.Pending() != 0 {
+		t.Fatal("state survived crash")
+	}
+	// A fresh agent (same legacy store) recovers the prepared batch.
+	a2 := NewAgent(legacy)
+	if err := a2.RecoverPrepared(tx(1), writes); err != nil {
+		t.Fatal(err)
+	}
+	// Its locks hold: a second writer blocks.
+	blocked := make(chan error, 1)
+	go func() {
+		_, err := a2.Exec(tx(2), []wire.Op{{Kind: wire.OpPut, Key: "k", Value: "w"}})
+		blocked <- err
+	}()
+	select {
+	case err := <-blocked:
+		t.Fatalf("recovered batch does not hold locks (err=%v)", err)
+	default:
+	}
+	a2.Commit(tx(1))
+	if v, _, _ := legacy.Get("k"); v != "v" {
+		t.Fatalf("k = %q", v)
+	}
+	if err := <-blocked; err != nil {
+		t.Fatal(err)
+	}
+	a2.Abort(tx(2))
+}
+
+func TestEnforceUnknownTxnIsNoop(t *testing.T) {
+	a := NewAgent(NewLegacyStore())
+	a.Commit(tx(9))
+	a.Abort(tx(9))
+	if a.Pending() != 0 {
+		t.Fatal("phantom state")
+	}
+}
+
+func TestOpsAfterPrepareRejected(t *testing.T) {
+	a := NewAgent(NewLegacyStore())
+	a.Exec(tx(1), []wire.Op{{Kind: wire.OpPut, Key: "k", Value: "v"}})
+	a.Prepare(tx(1))
+	if _, err := a.Exec(tx(1), []wire.Op{{Kind: wire.OpPut, Key: "k2", Value: "v"}}); err == nil {
+		t.Fatal("exec after prepare accepted")
+	}
+	if _, err := a.Exec(tx(1), []wire.Op{{Kind: wire.OpGet, Key: "k"}}); err == nil {
+		t.Fatal("get after prepare accepted")
+	}
+	a.Abort(tx(1))
+}
+
+func TestReadOnlyDetection(t *testing.T) {
+	legacy := NewLegacyStore()
+	legacy.Put("k", "v")
+	a := NewAgent(legacy)
+	a.Exec(tx(1), []wire.Op{{Kind: wire.OpGet, Key: "k"}})
+	_, readOnly, err := a.Prepare(tx(1))
+	if err != nil || !readOnly {
+		t.Fatalf("readOnly=%v err=%v", readOnly, err)
+	}
+	a.Abort(tx(1))
+}
+
+func TestAgentWriteSet(t *testing.T) {
+	a := NewAgent(NewLegacyStore())
+	a.Exec(tx(1), []wire.Op{
+		{Kind: wire.OpPut, Key: "x", Value: "1"},
+		{Kind: wire.OpPut, Key: "y", Value: "2"},
+	})
+	ws := a.WriteSet(tx(1))
+	if len(ws) != 2 || ws[0].Key != "x" || ws[1].Key != "y" {
+		t.Fatalf("WriteSet %v", ws)
+	}
+	if got := a.WriteSet(tx(9)); got != nil {
+		t.Fatalf("unknown txn WriteSet %v", got)
+	}
+	a.Abort(tx(1))
+}

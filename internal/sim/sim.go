@@ -1,0 +1,397 @@
+// Package sim builds heterogeneous clusters in memory and drives workloads,
+// failure schedules and recovery through them. It is the experiment harness
+// behind every table and theorem demonstration in EXPERIMENTS.md: a cluster
+// is a set of site.Site values over one transport.ChanNetwork with a shared
+// history recorder and metrics registry, so a run yields both the cost
+// counters (messages, forced writes, retention) and a checkable global
+// history.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"prany/internal/core"
+	"prany/internal/history"
+	"prany/internal/metrics"
+	"prany/internal/nonext"
+	"prany/internal/site"
+	"prany/internal/transport"
+	"prany/internal/wire"
+	"prany/internal/workload"
+)
+
+// PartSpec declares one participant site.
+type PartSpec struct {
+	ID    wire.SiteID
+	Proto wire.Protocol
+	// Legacy marks a non-externalized site: its data lives in a
+	// nonext.LegacyStore (auto-commit only) behind a nonext.Agent that
+	// simulates the prepared state — the Figure 5 taxonomy's integration
+	// path for systems without a commit protocol.
+	Legacy bool
+}
+
+// Spec describes a cluster: one coordinator site plus participants.
+type Spec struct {
+	// Coordinator strategy (PrAny by default) and native protocol for
+	// U2PC/C2PC.
+	Strategy core.Strategy
+	Native   wire.Protocol
+	// CoordProto is the coordinator site's own participant protocol (it
+	// can hold data too). Defaults to PrN.
+	CoordProto wire.Protocol
+	// Participants lists the data sites.
+	Participants []PartSpec
+	// VoteTimeout for the coordinator's voting phase; keep it short in
+	// tests. Zero means 250ms.
+	VoteTimeout time.Duration
+	// ReadOnlyOpt enables the read-only voting optimization everywhere.
+	ReadOnlyOpt bool
+}
+
+// CoordID is the identifier of the cluster's coordinator site.
+const CoordID wire.SiteID = "coord"
+
+// Cluster is a running simulation cluster.
+type Cluster struct {
+	Spec  Spec
+	Net   *transport.ChanNetwork
+	Hist  *history.Recorder
+	Met   *metrics.Registry
+	PCP   *core.PCP
+	Coord *site.Site
+	Parts map[wire.SiteID]*site.Site
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New builds and starts a cluster.
+func New(spec Spec) (*Cluster, error) {
+	if spec.VoteTimeout <= 0 {
+		spec.VoteTimeout = 250 * time.Millisecond
+	}
+	if !spec.CoordProto.ParticipantProtocol() {
+		spec.CoordProto = wire.PrN
+	}
+	c := &Cluster{
+		Spec:  spec,
+		Net:   transport.NewChanNetwork(),
+		Hist:  history.NewRecorder(),
+		Met:   metrics.NewRegistry(),
+		PCP:   core.NewPCP(),
+		Parts: make(map[wire.SiteID]*site.Site, len(spec.Participants)),
+		rng:   rand.New(rand.NewSource(1)),
+	}
+	for _, p := range spec.Participants {
+		if p.ID == CoordID {
+			return nil, fmt.Errorf("sim: participant id %q is reserved for the coordinator site (register it in the PCP instead)", CoordID)
+		}
+		c.PCP.Set(p.ID, p.Proto)
+	}
+	var err error
+	c.Coord, err = site.New(site.Config{
+		ID:    CoordID,
+		Proto: spec.CoordProto,
+		Coordinator: core.CoordinatorConfig{
+			Strategy:    spec.Strategy,
+			Native:      spec.Native,
+			VoteTimeout: spec.VoteTimeout,
+		},
+		Net:         c.Net,
+		PCP:         c.PCP,
+		Hist:        c.Hist,
+		Met:         c.Met,
+		ReadOnlyOpt: spec.ReadOnlyOpt,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range spec.Participants {
+		cfg := site.Config{
+			ID:                p.ID,
+			Proto:             p.Proto,
+			Net:               c.Net,
+			PCP:               c.PCP,
+			Hist:              c.Hist,
+			Met:               c.Met,
+			ReadOnlyOpt:       spec.ReadOnlyOpt,
+			Coordinator:       core.CoordinatorConfig{VoteTimeout: spec.VoteTimeout},
+			KnownCoordinators: []wire.SiteID{CoordID},
+		}
+		if p.Legacy {
+			cfg.RM = nonext.NewAgent(nonext.NewLegacyStore())
+		}
+		s, err := site.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		c.Parts[p.ID] = s
+	}
+	return c, nil
+}
+
+// Legacy returns the legacy store behind a Legacy participant, or nil.
+func (c *Cluster) Legacy(id wire.SiteID) *nonext.LegacyStore {
+	s := c.Parts[id]
+	if s == nil {
+		return nil
+	}
+	if agent, ok := s.RM().(*nonext.Agent); ok {
+		return agent.Legacy()
+	}
+	return nil
+}
+
+// Close shuts the cluster's network down.
+func (c *Cluster) Close() { c.Net.Close() }
+
+// PartIDs returns the participant identifiers in declaration order.
+func (c *Cluster) PartIDs() []wire.SiteID {
+	out := make([]wire.SiteID, 0, len(c.Spec.Participants))
+	for _, p := range c.Spec.Participants {
+		out = append(out, p.ID)
+	}
+	return out
+}
+
+// Site returns the site with the given id (coordinator included).
+func (c *Cluster) Site(id wire.SiteID) *site.Site {
+	if id == CoordID {
+		return c.Coord
+	}
+	return c.Parts[id]
+}
+
+// TxnResult reports one executed transaction.
+type TxnResult struct {
+	Txn     wire.TxnID
+	Outcome wire.Outcome
+	Err     error
+	Latency time.Duration
+}
+
+// RunPlan executes one workload plan through the coordinator site.
+func (c *Cluster) RunPlan(plan workload.TxnPlan) TxnResult {
+	start := time.Now()
+	t := c.Coord.Begin()
+	res := TxnResult{Txn: t.ID()}
+	if plan.Abort {
+		// Poisoning needs the built-in store; legacy (nonext) sites cannot
+		// be poisoned, so such plans fall back to committing.
+		if p := c.Parts[plan.PoisonSite]; p != nil {
+			if st := p.Store(); st != nil {
+				st.Poison(t.ID())
+			}
+		}
+	}
+	for _, id := range plan.Sites {
+		if _, err := t.Exec(id, plan.Ops[id]...); err != nil {
+			// Execution failure: abandon the transaction cleanly.
+			_ = t.Abort()
+			res.Err = err
+			res.Outcome = wire.Abort
+			res.Latency = time.Since(start)
+			return res
+		}
+	}
+	out, err := t.Commit()
+	res.Outcome = out
+	res.Err = err
+	res.Latency = time.Since(start)
+	return res
+}
+
+// Results aggregates a workload run.
+type Results struct {
+	Commits, Aborts, Errors int
+	Elapsed                 time.Duration
+	MeanLatency             time.Duration
+}
+
+// Run executes every plan sequentially and aggregates the outcomes.
+func (c *Cluster) Run(plans []workload.TxnPlan) Results {
+	start := time.Now()
+	var res Results
+	var totalLat time.Duration
+	for _, plan := range plans {
+		r := c.RunPlan(plan)
+		totalLat += r.Latency
+		switch {
+		case r.Err != nil:
+			res.Errors++
+		case r.Outcome == wire.Commit:
+			res.Commits++
+		default:
+			res.Aborts++
+		}
+	}
+	res.Elapsed = time.Since(start)
+	if len(plans) > 0 {
+		res.MeanLatency = totalLat / time.Duration(len(plans))
+	}
+	return res
+}
+
+// RunParallel executes the plans with the given number of concurrent
+// clients, each driving its share through the shared coordinator site.
+func (c *Cluster) RunParallel(plans []workload.TxnPlan, clients int) Results {
+	if clients <= 1 {
+		return c.Run(plans)
+	}
+	start := time.Now()
+	var mu sync.Mutex
+	var res Results
+	var totalLat time.Duration
+	var wg sync.WaitGroup
+	next := make(chan workload.TxnPlan)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for plan := range next {
+				r := c.RunPlan(plan)
+				mu.Lock()
+				totalLat += r.Latency
+				switch {
+				case r.Err != nil:
+					res.Errors++
+				case r.Outcome == wire.Commit:
+					res.Commits++
+				default:
+					res.Aborts++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, p := range plans {
+		next <- p
+	}
+	close(next)
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if len(plans) > 0 {
+		res.MeanLatency = totalLat / time.Duration(len(plans))
+	}
+	return res
+}
+
+// Quiesce drives the cluster to quiescence: it first lets in-flight
+// messages drain, and only when progress stalls fires the timeout retries
+// (decision re-sends, inquiries) via Tick. It reports whether quiescence
+// was reached before the deadline. Ticking only on a stall keeps
+// failure-free runs free of duplicate messages, so the cost counters match
+// the figures' message counts exactly.
+func (c *Cluster) Quiesce(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		// Drain window: give deliveries a chance without retries.
+		settle := time.Now().Add(20 * time.Millisecond)
+		for time.Now().Before(settle) {
+			if c.quiesced() {
+				return true
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if time.Now().After(deadline) {
+			return c.quiesced()
+		}
+		c.Coord.Tick()
+		for _, s := range c.Parts {
+			s.Tick()
+		}
+	}
+}
+
+func (c *Cluster) quiesced() bool {
+	if !c.Coord.Quiesced() {
+		return false
+	}
+	for _, s := range c.Parts {
+		if !s.Quiesced() {
+			return false
+		}
+	}
+	return true
+}
+
+// Violations checks the recorded history against full operational
+// correctness. Call after Quiesce.
+func (c *Cluster) Violations() []history.Violation {
+	return history.CheckOperational(c.Hist.Events())
+}
+
+// AtomicityViolations checks only clause 1 (useful mid-run, before
+// retention is expected to have drained).
+func (c *Cluster) AtomicityViolations() []history.Violation {
+	out := history.CheckAtomicity(c.Hist.Events())
+	return append(out, history.CheckSafeState(c.Hist.Events())...)
+}
+
+// DropMessages installs a probabilistic omission fault: each message of a
+// kind in kinds is dropped with probability p. It returns a remover.
+func (c *Cluster) DropMessages(p float64, rng *rand.Rand, kinds ...wire.MsgKind) func() {
+	want := make(map[wire.MsgKind]bool, len(kinds))
+	for _, k := range kinds {
+		want[k] = true
+	}
+	var mu sync.Mutex
+	id := c.Net.AddDropRule(func(m wire.Message) bool {
+		if len(want) > 0 && !want[m.Kind] {
+			return false
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return rng.Float64() < p
+	})
+	return func() { c.Net.RemoveDropRule(id) }
+}
+
+// CrashRecover crashes the site, holds it down for the given time (during
+// which ticks elsewhere continue), then recovers it.
+func (c *Cluster) CrashRecover(id wire.SiteID, down time.Duration) error {
+	s := c.Site(id)
+	if s == nil {
+		return fmt.Errorf("sim: no site %s", id)
+	}
+	s.Crash()
+	stop := time.Now().Add(down)
+	for time.Now().Before(stop) {
+		c.Coord.Tick()
+		time.Sleep(time.Millisecond)
+	}
+	return s.Recover()
+}
+
+// CheckpointAll garbage-collects every site's log; the return value is the
+// total number of records collected.
+func (c *Cluster) CheckpointAll() (int, error) {
+	total := 0
+	n, err := c.Coord.Checkpoint()
+	if err != nil {
+		return total, err
+	}
+	total += n
+	for _, s := range c.Parts {
+		n, err := s.Checkpoint()
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// StableRecords sums the stable log records across all sites — the measure
+// of what operational correctness has not yet allowed to be collected.
+func (c *Cluster) StableRecords() int {
+	total := len(c.Coord.Log().Records())
+	for _, s := range c.Parts {
+		total += len(s.Log().Records())
+	}
+	return total
+}

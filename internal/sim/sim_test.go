@@ -1,0 +1,473 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"prany/internal/core"
+	"prany/internal/wire"
+	"prany/internal/workload"
+)
+
+func mixedSpec() Spec {
+	return Spec{
+		Participants: []PartSpec{
+			{ID: "pn", Proto: wire.PrN}, {ID: "pa", Proto: wire.PrA}, {ID: "pc", Proto: wire.PrC},
+		},
+		VoteTimeout: 100 * time.Millisecond,
+	}
+}
+
+func TestClusterCommitsAcrossMixedProtocols(t *testing.T) {
+	c, err := New(mixedSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	txn := c.Coord.Begin()
+	for _, id := range c.PartIDs() {
+		if err := txn.Put(id, "greeting", "hello"); err != nil {
+			t.Fatalf("put at %s: %v", id, err)
+		}
+	}
+	out, err := txn.Commit()
+	if err != nil || out != wire.Commit {
+		t.Fatalf("outcome %v, %v", out, err)
+	}
+	if !c.Quiesce(3 * time.Second) {
+		t.Fatal("cluster did not quiesce")
+	}
+	for _, id := range c.PartIDs() {
+		if v, ok := c.Parts[id].Store().Read("greeting"); !ok || v != "hello" {
+			t.Fatalf("site %s: greeting=%q ok=%v", id, v, ok)
+		}
+	}
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestClusterRunsWorkload(t *testing.T) {
+	c, err := New(mixedSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	plans := workload.Generate(workload.Spec{
+		Txns: 30, SitesPerTxn: 2, OpsPerSite: 2, CommitFraction: 0.7, Seed: 42,
+	}, c.PartIDs())
+	res := c.Run(plans)
+	if res.Errors != 0 {
+		t.Fatalf("errors: %+v", res)
+	}
+	st := workload.Summarize(plans)
+	if res.Aborts != st.Aborts || res.Commits != st.Txns-st.Aborts {
+		t.Fatalf("results %+v vs plan stats %+v", res, st)
+	}
+	if !c.Quiesce(3 * time.Second) {
+		t.Fatal("did not quiesce")
+	}
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestClusterParallelClients(t *testing.T) {
+	c, err := New(mixedSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	plans := workload.Generate(workload.Spec{
+		Txns: 40, SitesPerTxn: 2, OpsPerSite: 1, CommitFraction: 1,
+		KeySpace: 10_000, Seed: 7,
+	}, c.PartIDs())
+	res := c.RunParallel(plans, 4)
+	if res.Errors != 0 || res.Commits == 0 {
+		t.Fatalf("results %+v", res)
+	}
+	if !c.Quiesce(3 * time.Second) {
+		t.Fatal("did not quiesce")
+	}
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestClusterSurvivesMessageLoss(t *testing.T) {
+	c, err := New(mixedSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rng := rand.New(rand.NewSource(11))
+	remove := c.DropMessages(0.15, rng, wire.MsgDecision, wire.MsgAck)
+	plans := workload.Generate(workload.Spec{
+		Txns: 25, SitesPerTxn: 3, OpsPerSite: 1, CommitFraction: 0.8,
+		KeySpace: 100_000, Seed: 5,
+	}, c.PartIDs())
+	res := c.Run(plans)
+	remove()
+	if res.Errors != 0 {
+		t.Fatalf("errors under message loss: %+v", res)
+	}
+	// Ticks must repair everything: resends and inquiries.
+	if !c.Quiesce(10 * time.Second) {
+		t.Fatalf("did not quiesce after message loss (PT=%d)", c.Coord.Coordinator().PTSize())
+	}
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestClusterSurvivesParticipantCrash(t *testing.T) {
+	c, err := New(mixedSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Run a transaction whose decision pc never sees, then crash pc.
+	rm := c.DropMessages(1.0, rand.New(rand.NewSource(1)), wire.MsgDecision)
+	txn := c.Coord.Begin()
+	for _, id := range c.PartIDs() {
+		if err := txn.Put(id, "k", "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := txn.Commit()
+	if err != nil || out != wire.Commit {
+		t.Fatalf("outcome %v %v", out, err)
+	}
+	rm()
+	if err := c.CrashRecover("pc", 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Quiesce(5 * time.Second) {
+		t.Fatal("did not quiesce after crash/recover")
+	}
+	if v, ok := c.Parts["pc"].Store().Read("k"); !ok || v != "v" {
+		t.Fatalf("pc data %q %v", v, ok)
+	}
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestClusterSurvivesCoordinatorCrash(t *testing.T) {
+	c, err := New(mixedSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rm := c.DropMessages(1.0, rand.New(rand.NewSource(1)), wire.MsgDecision)
+	txn := c.Coord.Begin()
+	for _, id := range c.PartIDs() {
+		if err := txn.Put(id, "k2", "v2"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := txn.Commit()
+	if err != nil || out != wire.Commit {
+		t.Fatalf("outcome %v %v", out, err)
+	}
+	rm()
+	// Coordinator crashes with the commit record stable but decisions
+	// undelivered; recovery re-drives.
+	c.Coord.Crash()
+	if err := c.Coord.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Quiesce(5 * time.Second) {
+		t.Fatal("did not quiesce after coordinator recovery")
+	}
+	for _, id := range c.PartIDs() {
+		if v, ok := c.Parts[id].Store().Read("k2"); !ok || v != "v2" {
+			t.Fatalf("%s data %q %v", id, v, ok)
+		}
+	}
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestU2PCClusterProducesViolation(t *testing.T) {
+	// End-to-end Theorem 1 at cluster level: U2PC native PrN, mixed
+	// participants, commit decision lost to the PrC site, PrC site
+	// crashes and recovers, inquiry answered with the wrong presumption.
+	spec := mixedSpec()
+	spec.Strategy = core.StrategyU2PC
+	spec.Native = wire.PrN
+	c, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rm := c.DropMessages(1.0, rand.New(rand.NewSource(1)), wire.MsgDecision)
+	txn := c.Coord.Begin()
+	for _, id := range []wire.SiteID{"pa", "pc"} {
+		if err := txn.Put(id, "k", "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := txn.Commit()
+	if err != nil || out != wire.Commit {
+		t.Fatalf("outcome %v %v", out, err)
+	}
+	rm()
+	// pa re-acks on resend; the coordinator forgets (PrC not awaited).
+	c.Quiesce(2 * time.Second)
+	// pc recovers in doubt and asks; U2PC answers with PrN's abort
+	// presumption. Violation.
+	if err := c.CrashRecover("pc", time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	c.Quiesce(2 * time.Second)
+	if v := c.AtomicityViolations(); len(v) == 0 {
+		t.Fatal("expected a Theorem-1 violation at cluster level")
+	}
+}
+
+func TestClusterCheckpointCollectsEverything(t *testing.T) {
+	c, err := New(mixedSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	plans := workload.Generate(workload.Spec{
+		Txns: 10, SitesPerTxn: 3, OpsPerSite: 1, CommitFraction: 0.5, Seed: 2,
+	}, c.PartIDs())
+	res := c.Run(plans)
+	if res.Errors != 0 {
+		t.Fatalf("%+v", res)
+	}
+	if !c.Quiesce(3 * time.Second) {
+		t.Fatal("did not quiesce")
+	}
+	if _, err := c.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.StableRecords(); got != 0 {
+		t.Fatalf("%d stable records survive checkpoint after quiescence", got)
+	}
+}
+
+func TestCoordinatorSiteCanHoldData(t *testing.T) {
+	// The coordinator site participates in its own transaction: both
+	// roles' records land in one log and recovery keeps them apart.
+	spec := mixedSpec()
+	c, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Register the coordinator site itself as a data participant: its own
+	// participant engine serves the subtransaction.
+	c.PCP.Set(CoordID, spec.CoordProto)
+
+	txn := c.Coord.Begin()
+	if err := txn.Put(CoordID, "local", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Put("pa", "remote", "y"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := txn.Commit()
+	if err != nil || out != wire.Commit {
+		t.Fatalf("outcome %v %v", out, err)
+	}
+	if !c.Quiesce(3 * time.Second) {
+		t.Fatal("did not quiesce")
+	}
+	if v, ok := c.Coord.Store().Read("local"); !ok || v != "x" {
+		t.Fatalf("local data %q %v", v, ok)
+	}
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestClientAbortReleasesEverything(t *testing.T) {
+	c, err := New(mixedSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	txn := c.Coord.Begin()
+	if err := txn.Put("pa", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Quiesce(2 * time.Second) {
+		t.Fatal("did not quiesce")
+	}
+	if _, ok := c.Parts["pa"].Store().Read("k"); ok {
+		t.Fatal("aborted write visible")
+	}
+	if _, err := txn.Commit(); err == nil {
+		t.Fatal("commit after abort accepted")
+	}
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestE9LegacySiteParticipates(t *testing.T) {
+	// A non-externalized legacy system (auto-commit only) joins the
+	// cluster behind a nonext.Agent that simulates the prepared state; it
+	// commits atomically with native-protocol sites, including across a
+	// gateway crash with a lost decision.
+	spec := Spec{
+		Participants: []PartSpec{
+			{ID: "modern", Proto: wire.PrA},
+			{ID: "legacy", Proto: wire.PrN, Legacy: true},
+		},
+		VoteTimeout: 100 * time.Millisecond,
+	}
+	c, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Transaction 1: plain commit.
+	txn := c.Coord.Begin()
+	if err := txn.Put("modern", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Put("legacy", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	// Deferral: the legacy store must not have applied anything yet.
+	if got := c.Legacy("legacy").Applies(); got != 0 {
+		t.Fatalf("legacy store saw %d writes before the decision", got)
+	}
+	if out, err := txn.Commit(); err != nil || out != wire.Commit {
+		t.Fatalf("%v %v", out, err)
+	}
+	if !c.Quiesce(3 * time.Second) {
+		t.Fatal("did not quiesce")
+	}
+	if v, ok, _ := c.Legacy("legacy").Get("k"); !ok || v != "v" {
+		t.Fatalf("legacy data %q %v", v, ok)
+	}
+
+	// Transaction 2: the gateway crashes holding an in-doubt decision.
+	rm := c.DropMessages(1.0, rand.New(rand.NewSource(1)), wire.MsgDecision)
+	txn2 := c.Coord.Begin()
+	txn2.Put("modern", "k2", "v2")
+	txn2.Put("legacy", "k2", "v2")
+	out, err := txn2.Commit()
+	if err != nil || out != wire.Commit {
+		t.Fatalf("%v %v", out, err)
+	}
+	rm()
+	c.Parts["legacy"].Crash()
+	if err := c.Parts["legacy"].Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Quiesce(5 * time.Second) {
+		t.Fatal("did not quiesce after gateway recovery")
+	}
+	if v, ok, _ := c.Legacy("legacy").Get("k2"); !ok || v != "v2" {
+		t.Fatalf("legacy data after recovery %q %v", v, ok)
+	}
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestE9LegacyOutageDuringEnforcement(t *testing.T) {
+	// The legacy system is down when the commit decision arrives; the
+	// coordinator's decision re-sends eventually replay the batch.
+	spec := Spec{
+		Participants: []PartSpec{{ID: "legacy", Proto: wire.PrN, Legacy: true}},
+		VoteTimeout:  100 * time.Millisecond,
+	}
+	c, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	txn := c.Coord.Begin()
+	if err := txn.Put("legacy", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	c.Legacy("legacy").SetAvailable(false)
+	out, err := txn.Commit()
+	if err != nil || out != wire.Commit {
+		t.Fatalf("%v %v", out, err)
+	}
+	// Enforcement stalled: the agent re-buffered the batch. PrN's ack was
+	// still sent (the promise is the durable prepared record), and the
+	// data lands when the outage ends and a tick re-delivers.
+	c.Legacy("legacy").SetAvailable(true)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if v, ok, _ := c.Legacy("legacy").Get("k"); ok && v == "v" {
+			return
+		}
+		c.Parts["legacy"].Tick()
+		c.Coord.Tick()
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("legacy store never converged after outage")
+}
+
+func TestCLSiteThroughCluster(t *testing.T) {
+	// A coordinator-log site in a full cluster: commits atomically, and a
+	// site "restart" (crash + recover) resolves off the coordinator's log
+	// via the site-level recovery announcement.
+	spec := Spec{
+		Participants: []PartSpec{
+			{ID: "cl", Proto: wire.CL},
+			{ID: "pa", Proto: wire.PrA},
+		},
+		VoteTimeout: 100 * time.Millisecond,
+	}
+	c, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rm := c.DropMessages(1.0, rand.New(rand.NewSource(1)), wire.MsgDecision)
+	txn := c.Coord.Begin()
+	if err := txn.Put("cl", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Put("pa", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := txn.Commit()
+	if err != nil || out != wire.Commit {
+		t.Fatalf("outcome %v %v", out, err)
+	}
+	rm()
+	// cl never heard the decision and has no log; crash and recover it.
+	c.Parts["cl"].Crash()
+	if err := c.Parts["cl"].Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Quiesce(5 * time.Second) {
+		t.Fatal("did not quiesce")
+	}
+	if v, ok := c.Parts["cl"].Store().Read("k"); !ok || v != "v" {
+		t.Fatalf("cl data %q %v", v, ok)
+	}
+	if got := len(c.Parts["cl"].Log().All()); got != 0 {
+		t.Fatalf("CL site wrote %d log records", got)
+	}
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}

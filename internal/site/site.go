@@ -1,0 +1,336 @@
+// Package site assembles a complete database site from the building blocks:
+// a write-ahead log, a key-value resource manager, a participant engine for
+// the site's commit protocol, a coordinator engine for transactions the site
+// initiates, and a transport endpoint. A site is what the paper calls a
+// constituent database system of the multidatabase: autonomous, crashable,
+// and recoverable from its own stable storage.
+package site
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prany/internal/core"
+	"prany/internal/history"
+	"prany/internal/kvstore"
+	"prany/internal/metrics"
+	"prany/internal/transport"
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+// Config describes one site.
+type Config struct {
+	// ID is the site's unique identifier.
+	ID wire.SiteID
+	// Proto is the 2PC variant this site runs as a participant.
+	Proto wire.Protocol
+	// Coordinator configures the site's coordinator engine (strategy,
+	// native protocol for U2PC/C2PC, vote timeout).
+	Coordinator core.CoordinatorConfig
+	// Net connects the site to its peers.
+	Net transport.Network
+	// PCP is the participants' commit protocol table this site consults
+	// when coordinating. Typically shared per deployment.
+	PCP *core.PCP
+	// LogStore backs the write-ahead log. Nil means a fresh in-memory
+	// store; pass a wal.FileStore for durability across processes.
+	LogStore wal.Store
+	// Hist and Met, when non-nil, receive history events and cost
+	// counters.
+	Hist *history.Recorder
+	Met  *metrics.Registry
+	// ReadOnlyOpt enables the read-only voting optimization.
+	ReadOnlyOpt bool
+	// ExecTimeout bounds one remote operation batch. Zero means 2s.
+	ExecTimeout time.Duration
+	// KnownCoordinators lists the sites that may coordinate transactions
+	// at this participant. Coordinator-log participants need it for their
+	// site-level recovery announcement (they keep no log that could name
+	// their coordinators); other protocols ignore it.
+	KnownCoordinators []wire.SiteID
+	// RM optionally supplies the site's resource manager — for example a
+	// nonext.Agent fronting a legacy system that cannot run a commit
+	// protocol itself. Nil means a built-in kvstore.Store. Either way the
+	// resource manager persists across Crash/Recover (its committed data
+	// is durable like a real database's files); only volatile transaction
+	// state is dropped, via its Crash method.
+	RM ResourceManager
+}
+
+// ResourceManager is what a site drives: the core.RM operations plus the
+// fail-stop Crash that drops volatile transaction state. kvstore.Store and
+// nonext.Agent both implement it.
+type ResourceManager interface {
+	core.RM
+	Crash()
+}
+
+// Site is a running database site.
+type Site struct {
+	cfg      Config
+	logStore wal.Store
+
+	rm ResourceManager // persists across restarts
+
+	mu      sync.Mutex
+	log     *wal.Log
+	part    *core.Participant
+	coord   *core.Coordinator
+	dead    *atomic.Bool
+	seq     atomic.Uint64
+	replies map[wire.TxnID]chan wire.Message
+	crashed bool
+}
+
+// ErrCrashed is returned by operations on a crashed site.
+var ErrCrashed = errors.New("site: site has crashed")
+
+// New starts a fresh site and registers it on the network. If the log store
+// already holds records (a restarted process), recovery runs before the
+// site serves traffic.
+func New(cfg Config) (*Site, error) {
+	if cfg.ExecTimeout <= 0 {
+		cfg.ExecTimeout = 2 * time.Second
+	}
+	if cfg.PCP == nil {
+		cfg.PCP = core.NewPCP()
+	}
+	s := &Site{
+		cfg:      cfg,
+		logStore: cfg.LogStore,
+		rm:       cfg.RM,
+		replies:  make(map[wire.TxnID]chan wire.Message),
+	}
+	if s.logStore == nil {
+		s.logStore = wal.NewMemStore()
+	}
+	if s.rm == nil {
+		s.rm = kvstore.New()
+	}
+	if err := s.start(true); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// start (re)builds the volatile half of the site on top of the stable log
+// store. recover runs the two recovery procedures when the log is non-empty.
+func (s *Site) start(runRecovery bool) error {
+	log, err := wal.Open(s.logStore)
+	if err != nil {
+		return fmt.Errorf("site %s: %w", s.cfg.ID, err)
+	}
+	dead := &atomic.Bool{}
+	env := core.Env{
+		ID:   s.cfg.ID,
+		Log:  log,
+		Send: s.cfg.Net.Send,
+		Hist: s.cfg.Hist,
+		Met:  s.cfg.Met,
+		Dead: dead,
+	}
+	part := core.NewParticipant(env, s.cfg.Proto, s.rm, s.cfg.ReadOnlyOpt)
+	part.SetCoordinators(s.cfg.KnownCoordinators)
+	coord := core.NewCoordinator(env, s.cfg.Coordinator, s.cfg.PCP)
+
+	s.mu.Lock()
+	s.log = log
+	s.part = part
+	s.coord = coord
+	s.dead = dead
+	s.crashed = false
+	s.mu.Unlock()
+
+	// A (re)starting site is up: clear any crash marker left on the
+	// network before traffic resumes.
+	if d, ok := s.cfg.Net.(interface {
+		SetDown(wire.SiteID, bool)
+	}); ok {
+		d.SetDown(s.cfg.ID, false)
+	}
+	s.cfg.Net.Register(s.cfg.ID, s.handle)
+	// Coordinator-log participants always run recovery: their (empty) log
+	// cannot tell a fresh start from a restart, so the announcement goes
+	// out either way; a coordinator with nothing outstanding just echoes.
+	if runRecovery && (len(log.Records()) > 0 || s.cfg.Proto == wire.CL) {
+		if err := part.Recover(); err != nil {
+			return err
+		}
+		if err := coord.Recover(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// handle dispatches an inbound message to the right role.
+func (s *Site) handle(m wire.Message) {
+	s.mu.Lock()
+	if s.crashed {
+		s.mu.Unlock()
+		return
+	}
+	part, coord := s.part, s.coord
+	s.mu.Unlock()
+
+	switch m.Kind {
+	case wire.MsgExec, wire.MsgPrepare, wire.MsgDecision:
+		part.Handle(m)
+	case wire.MsgVote, wire.MsgAck, wire.MsgInquiry:
+		coord.Handle(m)
+	case wire.MsgRecoverSite:
+		// A CL participant's announcement goes to the coordinator role; a
+		// coordinator's echo goes to the participant role. Distinguish by
+		// the sender's protocol: announcements carry it, echoes do not.
+		if m.Proto.ParticipantProtocol() {
+			coord.Handle(m)
+		} else {
+			part.Handle(m)
+		}
+	case wire.MsgExecReply:
+		s.mu.Lock()
+		ch := s.replies[m.Txn]
+		s.mu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- m:
+			default: // late duplicate; the waiter already moved on
+			}
+		}
+	}
+}
+
+// ID returns the site identifier.
+func (s *Site) ID() wire.SiteID { return s.cfg.ID }
+
+// Proto returns the site's participant protocol.
+func (s *Site) Proto() wire.Protocol { return s.cfg.Proto }
+
+// Store exposes the built-in key-value resource manager, or nil when the
+// site was configured with a custom RM. Examples and tests read committed
+// state through it.
+func (s *Site) Store() *kvstore.Store {
+	st, _ := s.rm.(*kvstore.Store)
+	return st
+}
+
+// RM exposes the site's resource manager.
+func (s *Site) RM() ResourceManager { return s.rm }
+
+// Coordinator exposes the coordinator engine (for protocol-table metrics).
+func (s *Site) Coordinator() *core.Coordinator {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.coord
+}
+
+// Participant exposes the participant engine.
+func (s *Site) Participant() *core.Participant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.part
+}
+
+// Log exposes the write-ahead log.
+func (s *Site) Log() *wal.Log {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log
+}
+
+// Crash fail-stops the site: volatile state (executing transactions, lock
+// tables, unforced log tail, protocol table) is lost; the stable log
+// survives. The site stops receiving traffic until Recover.
+func (s *Site) Crash() {
+	s.mu.Lock()
+	if s.crashed {
+		s.mu.Unlock()
+		return
+	}
+	s.crashed = true
+	s.dead.Store(true)
+	log := s.log
+	s.mu.Unlock()
+
+	if d, ok := s.cfg.Net.(interface {
+		SetDown(wire.SiteID, bool)
+	}); ok {
+		d.SetDown(s.cfg.ID, true)
+	}
+	log.Crash()
+	s.rm.Crash()
+	if s.cfg.Hist != nil {
+		s.cfg.Hist.Record(history.Event{Kind: history.EvCrash, Site: s.cfg.ID})
+	}
+}
+
+// Recover restarts a crashed site from its stable log: prepared
+// subtransactions are re-instated and inquire, and unfinished coordinated
+// transactions are re-driven per Section 4.2.
+func (s *Site) Recover() error {
+	s.mu.Lock()
+	if !s.crashed {
+		s.mu.Unlock()
+		return fmt.Errorf("site %s: not crashed", s.cfg.ID)
+	}
+	s.mu.Unlock()
+	return s.start(true)
+}
+
+// Crashed reports whether the site is down.
+func (s *Site) Crashed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed
+}
+
+// Tick drives the timeout retries of both roles: participant inquiries and
+// coordinator decision re-sends.
+func (s *Site) Tick() {
+	s.mu.Lock()
+	if s.crashed {
+		s.mu.Unlock()
+		return
+	}
+	part, coord := s.part, s.coord
+	s.mu.Unlock()
+	part.Tick()
+	coord.Tick()
+}
+
+// Quiesced reports whether the site holds no protocol state: empty
+// protocol table and no pending subtransactions.
+func (s *Site) Quiesced() bool {
+	s.mu.Lock()
+	if s.crashed {
+		s.mu.Unlock()
+		return false
+	}
+	part, coord := s.part, s.coord
+	s.mu.Unlock()
+	return coord.PTSize() == 0 && part.Pending() == 0
+}
+
+// Checkpoint garbage-collects the log, keeping only records of transactions
+// one of the site's roles still needs. It returns the number of records
+// collected. Operational correctness is exactly the guarantee that this
+// eventually collects everything for terminated transactions.
+func (s *Site) Checkpoint() (int, error) {
+	s.mu.Lock()
+	if s.crashed {
+		s.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	log, part, coord := s.log, s.part, s.coord
+	s.mu.Unlock()
+	return log.Checkpoint(func(rec wal.Record) bool {
+		if rec.Role == wal.RoleCoord {
+			return coord.Live(rec.Txn)
+		}
+		return part.Live(rec.Txn)
+	})
+}

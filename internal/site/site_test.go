@@ -1,0 +1,276 @@
+package site
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"prany/internal/core"
+	"prany/internal/history"
+	"prany/internal/metrics"
+	"prany/internal/transport"
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+// testPair builds a coordinator site and n participant sites over one
+// in-memory network.
+type testPair struct {
+	net   *transport.ChanNetwork
+	hist  *history.Recorder
+	met   *metrics.Registry
+	pcp   *core.PCP
+	coord *Site
+	parts map[wire.SiteID]*Site
+}
+
+func newTestPair(t *testing.T, protos map[wire.SiteID]wire.Protocol) *testPair {
+	t.Helper()
+	p := &testPair{
+		net:   transport.NewChanNetwork(),
+		hist:  history.NewRecorder(),
+		met:   metrics.NewRegistry(),
+		pcp:   core.NewPCP(),
+		parts: make(map[wire.SiteID]*Site),
+	}
+	t.Cleanup(p.net.Close)
+	for id, proto := range protos {
+		p.pcp.Set(id, proto)
+	}
+	var err error
+	p.coord, err = New(Config{
+		ID: "coord", Proto: wire.PrN, Net: p.net, PCP: p.pcp,
+		Hist: p.hist, Met: p.met,
+		Coordinator: core.CoordinatorConfig{VoteTimeout: 100 * time.Millisecond},
+		ExecTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, proto := range protos {
+		s, err := New(Config{
+			ID: id, Proto: proto, Net: p.net, PCP: p.pcp, Hist: p.hist, Met: p.met,
+			Coordinator: core.CoordinatorConfig{VoteTimeout: 100 * time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.parts[id] = s
+	}
+	return p
+}
+
+func (p *testPair) quiesce(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ok := p.coord.Quiesced()
+		for _, s := range p.parts {
+			ok = ok && s.Quiesced()
+		}
+		if ok {
+			return
+		}
+		p.coord.Tick()
+		for _, s := range p.parts {
+			s.Tick()
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("sites did not quiesce")
+}
+
+func TestTxnLifecycle(t *testing.T) {
+	p := newTestPair(t, map[wire.SiteID]wire.Protocol{"a": wire.PrA, "b": wire.PrC})
+	txn := p.coord.Begin()
+	if txn.ID().Coord != "coord" || txn.ID().Seq == 0 {
+		t.Fatalf("bad txn id %v", txn.ID())
+	}
+	if err := txn.Put("a", "x", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Put("b", "y", "2"); err != nil {
+		t.Fatal(err)
+	}
+	got := txn.Participants()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("participants %v", got)
+	}
+	out, err := txn.Commit()
+	if err != nil || out != wire.Commit {
+		t.Fatalf("%v %v", out, err)
+	}
+	p.quiesce(t)
+	if v, ok := p.parts["a"].Store().Read("x"); !ok || v != "1" {
+		t.Fatalf("a/x = %q %v", v, ok)
+	}
+}
+
+func TestTxnSequentialIDsUnique(t *testing.T) {
+	p := newTestPair(t, map[wire.SiteID]wire.Protocol{"a": wire.PrA})
+	seen := map[wire.TxnID]bool{}
+	for i := 0; i < 10; i++ {
+		id := p.coord.Begin().ID()
+		if seen[id] {
+			t.Fatalf("duplicate id %v", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTxnReuseAfterTermination(t *testing.T) {
+	p := newTestPair(t, map[wire.SiteID]wire.Protocol{"a": wire.PrA})
+	txn := p.coord.Begin()
+	txn.Put("a", "k", "v")
+	if _, err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := txn.Commit(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("double commit: %v", err)
+	}
+	if err := txn.Put("a", "k", "w"); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("put after commit: %v", err)
+	}
+	if err := txn.Abort(); !errors.Is(err, ErrTxnDone) {
+		t.Fatalf("abort after commit: %v", err)
+	}
+}
+
+func TestExecAtUnknownSiteTimesOut(t *testing.T) {
+	p := newTestPair(t, map[wire.SiteID]wire.Protocol{"a": wire.PrA})
+	txn := p.coord.Begin()
+	start := time.Now()
+	if _, err := txn.Exec("ghost", wire.Op{Kind: wire.OpGet, Key: "k"}); err == nil {
+		t.Fatal("exec at unknown site succeeded")
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("timeout too long")
+	}
+}
+
+func TestGetOnMissingKeyReturnsEmpty(t *testing.T) {
+	p := newTestPair(t, map[wire.SiteID]wire.Protocol{"a": wire.PrA})
+	txn := p.coord.Begin()
+	v, err := txn.Get("a", "missing")
+	if err != nil || v != "" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	txn.Abort()
+}
+
+func TestOperationsOnCrashedSite(t *testing.T) {
+	p := newTestPair(t, map[wire.SiteID]wire.Protocol{"a": wire.PrA})
+	p.coord.Crash()
+	if !p.coord.Crashed() {
+		t.Fatal("not crashed")
+	}
+	txn := p.coord.Begin()
+	if _, err := txn.Exec("a", wire.Op{Kind: wire.OpGet, Key: "k"}); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("exec on crashed site: %v", err)
+	}
+	if _, err := txn.CommitAt([]wire.SiteID{"a"}); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("commit on crashed site: %v", err)
+	}
+	if _, err := p.coord.Checkpoint(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("checkpoint on crashed site: %v", err)
+	}
+	if err := p.coord.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if p.coord.Crashed() {
+		t.Fatal("still crashed after recover")
+	}
+}
+
+func TestRecoverNotCrashedFails(t *testing.T) {
+	p := newTestPair(t, map[wire.SiteID]wire.Protocol{"a": wire.PrA})
+	if err := p.coord.Recover(); err == nil {
+		t.Fatal("recover of healthy site succeeded")
+	}
+}
+
+func TestDoubleCrashIsIdempotent(t *testing.T) {
+	p := newTestPair(t, map[wire.SiteID]wire.Protocol{"a": wire.PrA})
+	p.parts["a"].Crash()
+	p.parts["a"].Crash() // no panic
+	if err := p.parts["a"].Recover(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSiteAccessors(t *testing.T) {
+	p := newTestPair(t, map[wire.SiteID]wire.Protocol{"a": wire.PrC})
+	s := p.parts["a"]
+	if s.ID() != "a" || s.Proto() != wire.PrC {
+		t.Fatalf("accessors: %v %v", s.ID(), s.Proto())
+	}
+	if s.Store() == nil || s.Coordinator() == nil || s.Participant() == nil || s.Log() == nil {
+		t.Fatal("nil component accessor")
+	}
+	if !s.Quiesced() {
+		t.Fatal("fresh site not quiesced")
+	}
+}
+
+func TestFileBackedSiteSurvivesRestart(t *testing.T) {
+	// A site on a FileStore, killed and rebuilt as a new Site value on the
+	// same file (a process restart), must recover its in-doubt state.
+	dir := t.TempDir()
+	net := transport.NewChanNetwork()
+	defer net.Close()
+	pcp := core.NewPCP()
+	pcp.Set("a", wire.PrN)
+
+	coord, err := New(Config{
+		ID: "coord", Proto: wire.PrN, Net: net, PCP: pcp,
+		Coordinator: core.CoordinatorConfig{VoteTimeout: 100 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fs, err := wal.OpenFileStore(dir + "/a.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(Config{ID: "a", Proto: wire.PrN, Net: net, PCP: pcp, LogStore: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run a transaction whose decision never reaches a.
+	rule := net.AddDropRule(func(m wire.Message) bool { return m.Kind == wire.MsgDecision })
+	txn := coord.Begin()
+	if err := txn.Put("a", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := txn.Commit()
+	if err != nil || out != wire.Commit {
+		t.Fatalf("%v %v", out, err)
+	}
+	net.RemoveDropRule(rule)
+
+	// "Kill the process": crash, then build a brand-new Site over a fresh
+	// FileStore on the same path.
+	a.Crash()
+	fs2, err := wal.OpenFileStore(dir + "/a.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := New(Config{ID: "a", Proto: wire.PrN, Net: net, PCP: pcp, LogStore: fs2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a2's recovery inquired; the coordinator still holds the transaction
+	// (PrN awaits the ack) and answers commit.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if v, ok := a2.Store().Read("k"); ok && v == "v" {
+			return
+		}
+		a2.Tick()
+		coord.Tick()
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("restarted site never converged")
+}

@@ -1,0 +1,181 @@
+package site
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"prany/internal/wire"
+)
+
+// Txn is a distributed transaction coordinated by this site. It tracks the
+// participants it has touched; Commit runs the atomic commit protocol
+// across exactly those sites.
+type Txn struct {
+	s        *Site
+	id       wire.TxnID
+	involved map[wire.SiteID]bool
+	order    []wire.SiteID
+	done     bool
+}
+
+// ErrTxnDone is returned when a finished transaction is used again.
+var ErrTxnDone = errors.New("site: transaction already terminated")
+
+// Begin starts a distributed transaction coordinated by this site.
+func (s *Site) Begin() *Txn {
+	return &Txn{
+		s:        s,
+		id:       wire.TxnID{Coord: s.cfg.ID, Seq: s.seq.Add(1)},
+		involved: make(map[wire.SiteID]bool),
+	}
+}
+
+// ID returns the transaction's global identifier.
+func (t *Txn) ID() wire.TxnID { return t.id }
+
+// Participants returns the sites the transaction has executed at, sorted.
+func (t *Txn) Participants() []wire.SiteID {
+	out := append([]wire.SiteID(nil), t.order...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Exec runs a batch of operations at a participant site and returns one
+// result per get. The participant is remembered for the commit protocol.
+func (t *Txn) Exec(at wire.SiteID, ops ...wire.Op) ([]string, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	s := t.s
+	ch := make(chan wire.Message, 1)
+	s.mu.Lock()
+	if s.crashed {
+		s.mu.Unlock()
+		return nil, ErrCrashed
+	}
+	s.replies[t.id] = ch
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.replies, t.id)
+		s.mu.Unlock()
+	}()
+
+	if !t.involved[at] {
+		t.involved[at] = true
+		t.order = append(t.order, at)
+	}
+	deadline := time.After(s.cfg.ExecTimeout)
+	for {
+		if s.cfg.Met != nil {
+			s.cfg.Met.Message(s.cfg.ID, wire.MsgExec)
+		}
+		s.cfg.Net.Send(wire.Message{Kind: wire.MsgExec, Txn: t.id, From: s.cfg.ID, To: at, Ops: ops})
+
+		select {
+		case m := <-ch:
+			if m.Err == "site recovering" {
+				// A restarting coordinator-log site fences new work until
+				// its outstanding decisions are re-driven; that is
+				// transient, so retry within the exec budget.
+				select {
+				case <-time.After(5 * time.Millisecond):
+					continue
+				case <-deadline:
+					return nil, fmt.Errorf("site: exec at %s: still recovering", at)
+				}
+			}
+			if m.Err != "" {
+				return nil, fmt.Errorf("site: exec at %s: %s", at, m.Err)
+			}
+			return m.Results, nil
+		case <-deadline:
+			return nil, fmt.Errorf("site: exec at %s: timed out", at)
+		}
+	}
+}
+
+// Put writes key=val at a participant site.
+func (t *Txn) Put(at wire.SiteID, key, val string) error {
+	_, err := t.Exec(at, wire.Op{Kind: wire.OpPut, Key: key, Value: val})
+	return err
+}
+
+// Get reads key at a participant site ("" if absent).
+func (t *Txn) Get(at wire.SiteID, key string) (string, error) {
+	res, err := t.Exec(at, wire.Op{Kind: wire.OpGet, Key: key})
+	if err != nil {
+		return "", err
+	}
+	if len(res) == 0 {
+		return "", nil
+	}
+	return res[0], nil
+}
+
+// Delete removes key at a participant site.
+func (t *Txn) Delete(at wire.SiteID, key string) error {
+	_, err := t.Exec(at, wire.Op{Kind: wire.OpDelete, Key: key})
+	return err
+}
+
+// CommitAt runs the commit protocol across the given participant set,
+// which may include sites the transaction never executed at (they vote
+// no, aborting the transaction — a way to model unilateral aborts).
+func (t *Txn) CommitAt(parts []wire.SiteID) (wire.Outcome, error) {
+	if t.done {
+		return wire.Abort, ErrTxnDone
+	}
+	t.done = true
+	s := t.s
+	s.mu.Lock()
+	if s.crashed {
+		s.mu.Unlock()
+		return wire.Abort, ErrCrashed
+	}
+	coord := s.coord
+	s.mu.Unlock()
+	return coord.Commit(t.id, parts)
+}
+
+// Commit runs the commit protocol across every site the transaction
+// executed at and returns the outcome.
+func (t *Txn) Commit() (wire.Outcome, error) {
+	if len(t.order) == 0 {
+		// A transaction that touched nothing commits trivially.
+		t.done = true
+		return wire.Commit, nil
+	}
+	return t.CommitAt(t.order)
+}
+
+// Abort abandons the transaction before the commit protocol starts: every
+// touched participant is told to abort its subtransaction. No coordinator
+// logging is involved — an unprepared participant can abort unilaterally,
+// and a participant that never saw the transaction ignores the message.
+func (t *Txn) Abort() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	s := t.s
+	s.mu.Lock()
+	if s.crashed {
+		s.mu.Unlock()
+		return ErrCrashed
+	}
+	s.mu.Unlock()
+	// No decide event and no logging: the transaction never entered the
+	// commit protocol, so abort-by-presumption covers every observer.
+	for _, at := range t.order {
+		if s.cfg.Met != nil {
+			s.cfg.Met.Message(s.cfg.ID, wire.MsgDecision)
+		}
+		s.cfg.Net.Send(wire.Message{
+			Kind: wire.MsgDecision, Txn: t.id, From: s.cfg.ID, To: at, Outcome: wire.Abort,
+		})
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"prany/internal/wire"
+)
+
+// TCPNetwork is a Network over real TCP connections, used by the
+// prany-server and prany-coord binaries. Each process hosts one or more
+// local sites behind a single listener; remote sites are reached through an
+// address book. Outbound connections are dialed lazily, cached, and redialed
+// once per send on failure; a message that cannot be delivered is dropped,
+// which is exactly the omission-failure contract the protocols are built to
+// survive.
+type TCPNetwork struct {
+	mu       sync.Mutex
+	addrs    map[wire.SiteID]string
+	handlers map[wire.SiteID]Handler
+	conns    map[string]*outConn
+	inbound  map[net.Conn]struct{}
+	ln       net.Listener
+	closed   bool
+	wg       sync.WaitGroup
+	logf     func(format string, args ...any)
+}
+
+type outConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// TCPOptions configures a TCPNetwork.
+type TCPOptions struct {
+	// Listen is the local listen address, e.g. ":7070". Empty means this
+	// process only sends (a pure client).
+	Listen string
+	// Addrs maps every remote site to its host:port.
+	Addrs map[wire.SiteID]string
+	// Logf, if set, receives transport diagnostics. Defaults to discarding.
+	Logf func(format string, args ...any)
+}
+
+// NewTCPNetwork starts a TCP transport. If opts.Listen is non-empty the
+// listener is bound immediately and inbound frames are dispatched to the
+// handlers registered for their destination site.
+func NewTCPNetwork(opts TCPOptions) (*TCPNetwork, error) {
+	n := &TCPNetwork{
+		addrs:    make(map[wire.SiteID]string, len(opts.Addrs)),
+		handlers: make(map[wire.SiteID]Handler),
+		conns:    make(map[string]*outConn),
+		inbound:  make(map[net.Conn]struct{}),
+		logf:     opts.Logf,
+	}
+	if n.logf == nil {
+		n.logf = func(string, ...any) {}
+	}
+	for id, a := range opts.Addrs {
+		n.addrs[id] = a
+	}
+	if opts.Listen != "" {
+		ln, err := net.Listen("tcp", opts.Listen)
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", opts.Listen, err)
+		}
+		n.ln = ln
+		n.wg.Add(1)
+		go n.acceptLoop()
+	}
+	return n, nil
+}
+
+// Addr returns the bound listen address (useful with ":0" listens in tests).
+func (n *TCPNetwork) Addr() string {
+	if n.ln == nil {
+		return ""
+	}
+	return n.ln.Addr().String()
+}
+
+// SetAddr adds or updates a remote site's address.
+func (n *TCPNetwork) SetAddr(id wire.SiteID, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.addrs[id] = addr
+}
+
+// Register implements Network.
+func (n *TCPNetwork) Register(id wire.SiteID, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[id] = h
+}
+
+// Send implements Network: frame the message and write it on a cached
+// connection to the destination's address, redialing once on a stale
+// connection. Undeliverable messages are dropped (omission failure).
+func (n *TCPNetwork) Send(m wire.Message) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	// Local destination: deliver directly, no socket.
+	if h := n.handlers[m.To]; h != nil {
+		n.mu.Unlock()
+		h(m)
+		return
+	}
+	addr, ok := n.addrs[m.To]
+	if !ok {
+		n.mu.Unlock()
+		n.logf("transport: no address for site %s, dropping %s", m.To, m)
+		return
+	}
+	oc := n.conns[addr]
+	if oc == nil {
+		oc = &outConn{}
+		n.conns[addr] = oc
+	}
+	n.mu.Unlock()
+
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	for attempt := 0; attempt < 2; attempt++ {
+		if oc.conn == nil {
+			c, err := net.DialTimeout("tcp", addr, 3*time.Second)
+			if err != nil {
+				n.logf("transport: dial %s: %v", addr, err)
+				return
+			}
+			oc.conn = c
+		}
+		if err := wire.WriteFrame(oc.conn, &m); err == nil {
+			return
+		}
+		oc.conn.Close()
+		oc.conn = nil // stale connection: redial once
+	}
+	n.logf("transport: dropping %s after redial", m)
+}
+
+// Close implements Network.
+func (n *TCPNetwork) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	ln := n.ln
+	conns := n.conns
+	n.conns = map[string]*outConn{}
+	inbound := n.inbound
+	n.inbound = map[net.Conn]struct{}{}
+	n.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	for c := range inbound {
+		c.Close()
+	}
+	for _, oc := range conns {
+		oc.mu.Lock()
+		if oc.conn != nil {
+			oc.conn.Close()
+		}
+		oc.mu.Unlock()
+	}
+	n.wg.Wait()
+}
+
+func (n *TCPNetwork) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.inbound[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.serveConn(conn)
+	}
+}
+
+func (n *TCPNetwork) serveConn(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.inbound, conn)
+		n.mu.Unlock()
+	}()
+	for {
+		m, err := wire.ReadFrame(conn)
+		if err != nil {
+			return // peer closed or garbage; drop the connection
+		}
+		n.mu.Lock()
+		h := n.handlers[m.To]
+		closed := n.closed
+		n.mu.Unlock()
+		if closed {
+			return
+		}
+		if h == nil {
+			n.logf("transport: no handler for site %s, dropping %s", m.To, m)
+			continue
+		}
+		h(m)
+	}
+}
+
+var _ Network = (*TCPNetwork)(nil)
+var _ Network = (*ChanNetwork)(nil)

@@ -1,0 +1,261 @@
+// Package transport carries protocol messages between sites. Two
+// implementations share one interface: ChanNetwork, an in-memory network
+// with injectable omission failures used by the simulator and tests, and
+// TCPNetwork, a real network over the standard library's net package used
+// by the cluster binaries.
+//
+// The failure model is the paper's: sites are fail-stop and only omission
+// failures occur. A message is delivered at most once, in per-destination
+// FIFO order from any single sender, or it is silently lost — to a crashed
+// site, across a severed link, or to an injected drop rule. Timeouts belong
+// to the protocol layer, not the transport.
+package transport
+
+import (
+	"sync"
+
+	"prany/internal/wire"
+)
+
+// Handler consumes an inbound message at a site. Handlers run on the
+// transport's delivery goroutine for that site; implementations must not
+// block indefinitely.
+type Handler func(wire.Message)
+
+// Network connects sites.
+type Network interface {
+	// Register attaches a site and its inbound handler. Registering an
+	// already-registered site replaces its handler (used when a site
+	// restarts after a crash).
+	Register(id wire.SiteID, h Handler)
+	// Send routes m to m.To. Delivery is asynchronous and unreliable in
+	// exactly the injected ways; Send itself never blocks on the receiver.
+	Send(m wire.Message)
+	// Close shuts the network down and stops delivery.
+	Close()
+}
+
+// DropRule inspects an about-to-be-delivered message and reports whether to
+// drop it. Rules are consulted in registration order; the first match wins.
+type DropRule func(m wire.Message) bool
+
+// ChanNetwork is the in-memory Network. Every registered site gets an
+// unbounded FIFO mailbox drained by one goroutine, so handlers for a given
+// site run sequentially — the same single-threaded message loop a real
+// site's transaction manager runs.
+type ChanNetwork struct {
+	mu      sync.Mutex
+	sites   map[wire.SiteID]*mailbox
+	down    map[wire.SiteID]bool
+	severed map[[2]wire.SiteID]bool
+	rules   []*dropEntry
+	nextID  int
+	onSend  func(wire.Message)
+	closed  bool
+}
+
+type dropEntry struct {
+	id   int
+	rule DropRule
+}
+
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []wire.Message
+	handler Handler
+	closed  bool
+}
+
+func newMailbox(h Handler) *mailbox {
+	m := &mailbox{handler: h}
+	m.cond = sync.NewCond(&m.mu)
+	go m.run()
+	return m
+}
+
+func (m *mailbox) run() {
+	for {
+		m.mu.Lock()
+		for len(m.queue) == 0 && !m.closed {
+			m.cond.Wait()
+		}
+		if m.closed && len(m.queue) == 0 {
+			m.mu.Unlock()
+			return
+		}
+		msg := m.queue[0]
+		m.queue = m.queue[1:]
+		h := m.handler
+		m.mu.Unlock()
+		if h != nil {
+			h(msg)
+		}
+	}
+}
+
+func (m *mailbox) push(msg wire.Message) {
+	m.mu.Lock()
+	if !m.closed {
+		m.queue = append(m.queue, msg)
+		m.cond.Signal()
+	}
+	m.mu.Unlock()
+}
+
+func (m *mailbox) setHandler(h Handler) {
+	m.mu.Lock()
+	m.handler = h
+	m.mu.Unlock()
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Signal()
+	m.mu.Unlock()
+}
+
+// NewChanNetwork returns an empty in-memory network.
+func NewChanNetwork() *ChanNetwork {
+	return &ChanNetwork{
+		sites:   make(map[wire.SiteID]*mailbox),
+		down:    make(map[wire.SiteID]bool),
+		severed: make(map[[2]wire.SiteID]bool),
+	}
+}
+
+// Register implements Network.
+func (n *ChanNetwork) Register(id wire.SiteID, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if mb := n.sites[id]; mb != nil {
+		mb.setHandler(h)
+		return
+	}
+	n.sites[id] = newMailbox(h)
+}
+
+// Send implements Network. Messages to crashed sites, across severed links,
+// or matching a drop rule are lost without error, as omission failures are.
+func (n *ChanNetwork) Send(m wire.Message) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	if n.onSend != nil {
+		n.onSend(m)
+	}
+	if n.down[m.To] || n.down[m.From] {
+		n.mu.Unlock()
+		return
+	}
+	if n.severed[linkKey(m.From, m.To)] {
+		n.mu.Unlock()
+		return
+	}
+	for _, e := range n.rules {
+		if e.rule(m) {
+			n.mu.Unlock()
+			return
+		}
+	}
+	mb := n.sites[m.To]
+	n.mu.Unlock()
+	if mb != nil {
+		mb.push(m)
+	}
+}
+
+// Close implements Network.
+func (n *ChanNetwork) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+	for _, mb := range n.sites {
+		mb.close()
+	}
+}
+
+// OnSend installs a tap invoked (under the network lock) for every Send,
+// before fault rules decide the message's fate. Metrics collection uses it.
+func (n *ChanNetwork) OnSend(f func(wire.Message)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.onSend = f
+}
+
+// SetDown marks a site crashed (true) or recovered (false). A crashed site
+// neither receives nor effectively sends: messages from it are dropped too,
+// closing the window where an in-flight Send races a crash.
+func (n *ChanNetwork) SetDown(id wire.SiteID, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[id] = down
+}
+
+// Sever cuts the bidirectional link between a and b.
+func (n *ChanNetwork) Sever(a, b wire.SiteID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.severed[linkKey(a, b)] = true
+	n.severed[linkKey(b, a)] = true
+}
+
+// Heal restores the link between a and b.
+func (n *ChanNetwork) Heal(a, b wire.SiteID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.severed, linkKey(a, b))
+	delete(n.severed, linkKey(b, a))
+}
+
+// AddDropRule installs a drop rule and returns a token for RemoveDropRule.
+func (n *ChanNetwork) AddDropRule(r DropRule) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nextID++
+	n.rules = append(n.rules, &dropEntry{id: n.nextID, rule: r})
+	return n.nextID
+}
+
+// RemoveDropRule removes a previously installed rule.
+func (n *ChanNetwork) RemoveDropRule(id int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, e := range n.rules {
+		if e.id == id {
+			n.rules = append(n.rules[:i], n.rules[i+1:]...)
+			return
+		}
+	}
+}
+
+// DropOnce installs a rule that drops the first message matching r, then
+// removes itself. It returns a channel closed when the drop fires, so tests
+// can synchronize on the injected loss.
+func (n *ChanNetwork) DropOnce(r DropRule) <-chan struct{} {
+	fired := make(chan struct{})
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nextID++
+	id := n.nextID
+	var once sync.Once
+	n.rules = append(n.rules, &dropEntry{id: id, rule: func(m wire.Message) bool {
+		if !r(m) {
+			return false
+		}
+		hit := false
+		once.Do(func() {
+			hit = true
+			close(fired)
+			// Self-removal happens outside the rule scan; mark spent by
+			// making the rule never match again via the once guard.
+		})
+		return hit
+	}})
+	return fired
+}
+
+func linkKey(a, b wire.SiteID) [2]wire.SiteID { return [2]wire.SiteID{a, b} }

@@ -1,0 +1,85 @@
+package wal
+
+import (
+	"sync"
+)
+
+// Store is the stable-storage backend of a Log. Append and Rewrite must be
+// durable when they return: after either, Load (including a Load by a fresh
+// Store opened on the same medium) returns the stored records.
+type Store interface {
+	// Load returns every durably stored record in append order.
+	Load() ([]Record, error)
+	// Append durably adds recs after the existing records.
+	Append(recs []Record) error
+	// Rewrite durably replaces the entire contents with recs (used by
+	// checkpointing).
+	Rewrite(recs []Record) error
+	// Close releases the backend.
+	Close() error
+}
+
+// MemStore is an in-memory Store used by the simulator. "Stable" here means
+// it survives Log.Crash — the simulator never destroys the MemStore itself,
+// mirroring a disk that outlives the process.
+type MemStore struct {
+	mu   sync.Mutex
+	recs []Record
+	// FailNextAppend, when set, makes the next Append return an error and
+	// clear itself. Tests use it to exercise force-write failure paths.
+	FailNextAppend error
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// Load implements Store.
+func (s *MemStore) Load() ([]Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return cloneRecords(s.recs), nil
+}
+
+// Append implements Store.
+func (s *MemStore) Append(recs []Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.FailNextAppend; err != nil {
+		s.FailNextAppend = nil
+		return err
+	}
+	s.recs = append(s.recs, cloneRecords(recs)...)
+	return nil
+}
+
+// Rewrite implements Store.
+func (s *MemStore) Rewrite(recs []Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recs = cloneRecords(recs)
+	return nil
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }
+
+// Len returns the number of stored records.
+func (s *MemStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+func cloneRecords(recs []Record) []Record {
+	out := make([]Record, len(recs))
+	for i, r := range recs {
+		out[i] = r
+		if r.Participants != nil {
+			out[i].Participants = append([]ParticipantInfo(nil), r.Participants...)
+		}
+		if r.Writes != nil {
+			out[i].Writes = append([]Update(nil), r.Writes...)
+		}
+	}
+	return out
+}

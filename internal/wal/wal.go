@@ -1,0 +1,326 @@
+// Package wal implements the write-ahead log that gives every site in this
+// repository its stable storage. The commit protocols of the paper are
+// defined almost entirely in terms of which log records are written and
+// which of them are *forced* — written through to storage that survives a
+// crash — so the log models that distinction explicitly:
+//
+//   - Append buffers a record in volatile memory (a non-forced write).
+//   - Force makes every buffered record stable (a forced write). A record
+//     appended with AppendForce is stable when the call returns.
+//   - Crash discards the volatile tail, exactly what a site failure does.
+//
+// A Log persists through a Store. MemStore keeps stable bytes in memory and
+// is used by the simulator; FileStore writes checksummed records to a file
+// and tolerates torn tails. Recovery reads the stable records back with
+// Records, and Checkpoint garbage-collects records of terminated
+// transactions by rewriting the stable image with only live records.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"prany/internal/wire"
+)
+
+// Kind discriminates log records. Whether a record belongs to a site's
+// coordinator role or its participant role follows from the transaction
+// identifier: records whose TxnID.Coord equals the logging site are
+// coordinator records.
+type Kind uint8
+
+const (
+	// KInitiation is the coordinator's forced initiation (also called
+	// "collecting") record of PrC and PrAny. In PrAny it names every
+	// participant together with the commit protocol that participant runs.
+	KInitiation Kind = iota
+	// KCommit is a commit decision record: forced at coordinators before
+	// the decision is sent, forced at PrN/PrA participants before the ack,
+	// non-forced at PrC participants.
+	KCommit
+	// KAbort is an abort decision record: forced at PrN coordinators and
+	// at PrN/PrC participants, non-forced at PrA participants, and never
+	// written at PrA/PrC/PrAny coordinators.
+	KAbort
+	// KEnd is the coordinator's non-forced end record marking that every
+	// expected acknowledgment arrived and the transaction's other records
+	// may be garbage-collected.
+	KEnd
+	// KPrepared is the participant's forced prepared record, written
+	// before a yes vote. It carries the subtransaction's undo/redo
+	// information so the vote's promise survives a crash.
+	KPrepared
+	// KRemoteWrites is the coordinator-log protocol's vote record: a CL
+	// participant logs nothing locally, so the coordinator force-writes
+	// the participant's shipped write set on its behalf when the yes vote
+	// arrives. Coord names the participant the writes belong to.
+	KRemoteWrites
+)
+
+var kindNames = [...]string{"initiation", "commit", "abort", "end", "prepared", "remote-writes"}
+
+// String returns the record kind's name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Role marks which of a site's two roles wrote a record. A site can
+// coordinate one transaction while participating in another — or do both
+// for the *same* transaction when it holds data itself — and recovery must
+// not confuse the two record streams.
+type Role uint8
+
+const (
+	// RoleCoord marks coordinator records (initiation, decision, end).
+	RoleCoord Role = iota
+	// RolePart marks participant records (prepared, decision).
+	RolePart
+)
+
+// String returns "coord" or "part".
+func (r Role) String() string {
+	if r == RolePart {
+		return "part"
+	}
+	return "coord"
+}
+
+// ParticipantInfo names one participant and the commit protocol it runs, as
+// recorded in a PrAny initiation record.
+type ParticipantInfo struct {
+	ID    wire.SiteID
+	Proto wire.Protocol
+}
+
+// Update is one key mutation with both redo (New) and undo (Old) images.
+// It aliases wire.Update so that coordinator-log write sets flow between
+// log records and protocol messages without conversion.
+type Update = wire.Update
+
+// Record is a single log record. Only the fields relevant to the Kind are
+// populated.
+type Record struct {
+	// LSN is the log sequence number, assigned by Append and unique per
+	// log in increasing order.
+	LSN  uint64
+	Kind Kind
+	Role Role
+	Txn  wire.TxnID
+
+	// Participants is set on initiation records (and on PrN/PrAny
+	// coordinator decision records, where the recovery procedure needs the
+	// participant set to re-drive the decision phase).
+	Participants []ParticipantInfo
+
+	// Coord is set on participant prepared records: where to inquire.
+	Coord wire.SiteID
+
+	// Writes is set on prepared records: the subtransaction's undo/redo.
+	Writes []Update
+}
+
+// Stats counts logging activity. The commit protocols are compared by
+// exactly these numbers, so the log maintains them itself.
+type Stats struct {
+	Appends uint64 // records appended (forced or not)
+	Forces  uint64 // Force barriers issued (AppendForce counts one)
+	Stable  uint64 // records currently stable
+}
+
+// Log is a single site's write-ahead log. It is safe for concurrent use.
+type Log struct {
+	mu      sync.Mutex
+	store   Store
+	stable  []Record // records known stable
+	buffer  []Record // appended but not yet forced; lost on Crash
+	nextLSN uint64
+	stats   Stats
+	closed  bool
+	tap     func(rec Record, forced bool)
+}
+
+// SetTap installs an observer invoked for every appended record, with
+// forced reporting whether the append was part of an AppendForce. Tracing
+// tools use it; the tap runs under the log's lock and must not call back
+// into the log.
+func (l *Log) SetTap(tap func(rec Record, forced bool)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tap = tap
+}
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Open creates a Log over store, reading back any records already stable in
+// it. Opening the store a crashed log used recovers exactly the records that
+// had been forced.
+func Open(store Store) (*Log, error) {
+	recs, err := store.Load()
+	if err != nil {
+		return nil, fmt.Errorf("wal: loading stable records: %w", err)
+	}
+	l := &Log{store: store, stable: recs}
+	for _, r := range recs {
+		if r.LSN >= l.nextLSN {
+			l.nextLSN = r.LSN + 1
+		}
+	}
+	l.stats.Stable = uint64(len(recs))
+	return l, nil
+}
+
+// Append buffers rec as a non-forced write and returns its LSN. The record
+// becomes stable at the next Force (or is lost if the site crashes first).
+func (l *Log) Append(rec Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	rec.LSN = l.nextLSN
+	l.nextLSN++
+	l.buffer = append(l.buffer, rec)
+	l.stats.Appends++
+	if l.tap != nil {
+		l.tap(rec, false)
+	}
+	return rec.LSN, nil
+}
+
+// Force writes every buffered record to stable storage. It is the log's
+// durability barrier: when Force returns nil, all previously appended
+// records survive a crash.
+func (l *Log) Force() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.forceLocked()
+}
+
+func (l *Log) forceLocked() error {
+	l.stats.Forces++
+	if len(l.buffer) == 0 {
+		return nil
+	}
+	if err := l.store.Append(l.buffer); err != nil {
+		return fmt.Errorf("wal: forcing %d records: %w", len(l.buffer), err)
+	}
+	l.stable = append(l.stable, l.buffer...)
+	l.stats.Stable = uint64(len(l.stable))
+	l.buffer = l.buffer[:0]
+	return nil
+}
+
+// AppendForce appends rec and forces the log in one call, the common forced
+// write of the protocols.
+func (l *Log) AppendForce(rec Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	rec.LSN = l.nextLSN
+	l.nextLSN++
+	l.buffer = append(l.buffer, rec)
+	l.stats.Appends++
+	if l.tap != nil {
+		l.tap(rec, true)
+	}
+	if err := l.forceLocked(); err != nil {
+		return 0, err
+	}
+	return rec.LSN, nil
+}
+
+// Crash simulates a site failure: every non-forced record is lost. The log
+// remains usable (recovery reads it with Records), mirroring a restart on
+// the same stable storage.
+func (l *Log) Crash() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.buffer = l.buffer[:0]
+}
+
+// Records returns the stable records in LSN order. The slice is a copy; the
+// caller may keep it. Buffered (non-forced) records are not included: they
+// are precisely what recovery cannot see.
+func (l *Log) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Record, len(l.stable))
+	copy(out, l.stable)
+	return out
+}
+
+// All returns stable records followed by still-buffered ones. Tests use it
+// to assert on the full logging discipline of a protocol run.
+func (l *Log) All() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Record, 0, len(l.stable)+len(l.buffer))
+	out = append(out, l.stable...)
+	out = append(out, l.buffer...)
+	return out
+}
+
+// Checkpoint garbage-collects the log: it rewrites stable storage keeping
+// only records for which live returns true, and drops dead buffered records
+// too. It returns the number of records collected. Operational correctness
+// (Definition 1, clauses 2 and 3) demands that this number eventually covers
+// every record of every terminated transaction.
+func (l *Log) Checkpoint(live func(Record) bool) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	keptStable := l.stable[:0:0]
+	for _, r := range l.stable {
+		if live(r) {
+			keptStable = append(keptStable, r)
+		}
+	}
+	keptBuf := l.buffer[:0:0]
+	for _, r := range l.buffer {
+		if live(r) {
+			keptBuf = append(keptBuf, r)
+		}
+	}
+	collected := (len(l.stable) - len(keptStable)) + (len(l.buffer) - len(keptBuf))
+	if err := l.store.Rewrite(keptStable); err != nil {
+		return 0, fmt.Errorf("wal: checkpoint rewrite: %w", err)
+	}
+	l.stable = keptStable
+	l.buffer = keptBuf
+	l.stats.Stable = uint64(len(l.stable))
+	return collected, nil
+}
+
+// Stats returns a snapshot of the log's activity counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := l.stats
+	s.Stable = uint64(len(l.stable))
+	return s
+}
+
+// Close closes the log and its store. Buffered records are discarded, as in
+// a crash; callers that want them stable must Force first.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	l.buffer = nil
+	return l.store.Close()
+}

@@ -1,0 +1,107 @@
+package wal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prany/internal/wire"
+)
+
+// TestQuickCrashSemantics is the log's core durability property: after any
+// seed-derived sequence of Append, AppendForce, Force and Crash operations,
+// the stable records are exactly the records that were forced (explicitly
+// or by a later Force) before the most recent crash-free point, in append
+// order, with no duplicates and no resurrections.
+func TestQuickCrashSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		store := NewMemStore()
+		l, err := Open(store)
+		if err != nil {
+			return false
+		}
+		var stable []uint64  // LSNs that must be visible
+		var pending []uint64 // appended, not yet forced
+		for op := 0; op < 60; op++ {
+			switch rng.Intn(4) {
+			case 0: // Append
+				lsn, err := l.Append(Record{Kind: KCommit, Txn: wire.TxnID{Coord: "c", Seq: uint64(op)}})
+				if err != nil {
+					return false
+				}
+				pending = append(pending, lsn)
+			case 1: // AppendForce
+				lsn, err := l.AppendForce(Record{Kind: KAbort, Txn: wire.TxnID{Coord: "c", Seq: uint64(op)}})
+				if err != nil {
+					return false
+				}
+				stable = append(stable, pending...)
+				stable = append(stable, lsn)
+				pending = nil
+			case 2: // Force
+				if err := l.Force(); err != nil {
+					return false
+				}
+				stable = append(stable, pending...)
+				pending = nil
+			case 3: // Crash
+				l.Crash()
+				pending = nil
+			}
+		}
+		got := l.Records()
+		if len(got) != len(stable) {
+			t.Logf("seed %d: %d stable records, want %d", seed, len(got), len(stable))
+			return false
+		}
+		for i, rec := range got {
+			if rec.LSN != stable[i] {
+				t.Logf("seed %d: record %d has LSN %d, want %d", seed, i, rec.LSN, stable[i])
+				return false
+			}
+		}
+		// Reopening on the same store must agree exactly.
+		l2, err := Open(store)
+		if err != nil {
+			return false
+		}
+		return len(l2.Records()) == len(stable)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCheckpointPreservesLiveRecords: checkpointing with any live
+// predicate keeps exactly the live stable records, in order.
+func TestQuickCheckpointPreservesLiveRecords(t *testing.T) {
+	f := func(seed int64, keepMod uint8) bool {
+		mod := uint64(keepMod%5) + 2
+		rng := rand.New(rand.NewSource(seed))
+		l, _ := Open(NewMemStore())
+		n := 10 + rng.Intn(30)
+		for i := 0; i < n; i++ {
+			l.AppendForce(Record{Kind: KCommit, Txn: wire.TxnID{Coord: "c", Seq: uint64(i)}})
+		}
+		live := func(r Record) bool { return r.Txn.Seq%mod == 0 }
+		if _, err := l.Checkpoint(live); err != nil {
+			return false
+		}
+		for _, r := range l.Records() {
+			if !live(r) {
+				return false
+			}
+		}
+		want := 0
+		for i := 0; i < n; i++ {
+			if uint64(i)%mod == 0 {
+				want++
+			}
+		}
+		return len(l.Records()) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

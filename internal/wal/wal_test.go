@@ -1,0 +1,442 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"testing"
+	"testing/quick"
+
+	"prany/internal/wire"
+)
+
+func txn(seq uint64) wire.TxnID { return wire.TxnID{Coord: "c", Seq: seq} }
+
+func TestAppendIsNotStableUntilForce(t *testing.T) {
+	l, err := Open(NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Record{Kind: KCommit, Txn: txn(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Records(); len(got) != 0 {
+		t.Fatalf("non-forced record visible as stable: %v", got)
+	}
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Records(); len(got) != 1 || got[0].Kind != KCommit {
+		t.Fatalf("after Force: %v", got)
+	}
+}
+
+func TestCrashLosesNonForcedTail(t *testing.T) {
+	l, _ := Open(NewMemStore())
+	l.AppendForce(Record{Kind: KInitiation, Txn: txn(1)})
+	l.Append(Record{Kind: KEnd, Txn: txn(1)}) // non-forced, must vanish
+	l.Crash()
+	recs := l.Records()
+	if len(recs) != 1 || recs[0].Kind != KInitiation {
+		t.Fatalf("after crash: %v", recs)
+	}
+	// The log keeps working after a crash.
+	if _, err := l.AppendForce(Record{Kind: KCommit, Txn: txn(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Records()) != 2 {
+		t.Fatal("append after crash failed")
+	}
+}
+
+func TestLSNsAreUniqueIncreasingAndSurviveReopen(t *testing.T) {
+	store := NewMemStore()
+	l, _ := Open(store)
+	var last uint64
+	for i := 0; i < 10; i++ {
+		lsn, err := l.AppendForce(Record{Kind: KCommit, Txn: txn(uint64(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && lsn <= last {
+			t.Fatalf("LSN %d not increasing past %d", lsn, last)
+		}
+		last = lsn
+	}
+	// Re-open on the same stable storage: the next LSN must not collide.
+	l2, err := Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, _ := l2.AppendForce(Record{Kind: KEnd, Txn: txn(0)})
+	if lsn <= last {
+		t.Fatalf("reopened log reused LSN %d (last was %d)", lsn, last)
+	}
+}
+
+func TestAllIncludesBufferedRecords(t *testing.T) {
+	l, _ := Open(NewMemStore())
+	l.AppendForce(Record{Kind: KCommit, Txn: txn(1)})
+	l.Append(Record{Kind: KEnd, Txn: txn(1)})
+	if got := len(l.All()); got != 2 {
+		t.Fatalf("All() returned %d records, want 2", got)
+	}
+	if got := len(l.Records()); got != 1 {
+		t.Fatalf("Records() returned %d, want 1", got)
+	}
+}
+
+func TestCheckpointCollectsDeadRecords(t *testing.T) {
+	l, _ := Open(NewMemStore())
+	// Transaction 1 terminated (has an end record); transaction 2 in
+	// flight.
+	l.AppendForce(Record{Kind: KInitiation, Txn: txn(1)})
+	l.AppendForce(Record{Kind: KCommit, Txn: txn(1)})
+	l.Append(Record{Kind: KEnd, Txn: txn(1)})
+	l.AppendForce(Record{Kind: KInitiation, Txn: txn(2)})
+	l.Force()
+
+	n, err := l.Checkpoint(func(r Record) bool { return r.Txn.Seq != 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("collected %d records, want 3", n)
+	}
+	recs := l.Records()
+	if len(recs) != 1 || recs[0].Txn.Seq != 2 {
+		t.Fatalf("after checkpoint: %v", recs)
+	}
+	// The checkpoint must be durable: a fresh Open sees the same image.
+}
+
+func TestCheckpointSurvivesReopen(t *testing.T) {
+	store := NewMemStore()
+	l, _ := Open(store)
+	l.AppendForce(Record{Kind: KCommit, Txn: txn(1)})
+	l.AppendForce(Record{Kind: KCommit, Txn: txn(2)})
+	if _, err := l.Checkpoint(func(r Record) bool { return r.Txn.Seq == 2 }); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := l2.Records()
+	if len(recs) != 1 || recs[0].Txn.Seq != 2 {
+		t.Fatalf("reopened after checkpoint: %v", recs)
+	}
+}
+
+func TestStatsCountForcesAndAppends(t *testing.T) {
+	l, _ := Open(NewMemStore())
+	l.Append(Record{Kind: KCommit, Txn: txn(1)})
+	l.Append(Record{Kind: KEnd, Txn: txn(1)})
+	l.Force()
+	l.AppendForce(Record{Kind: KAbort, Txn: txn(2)})
+	s := l.Stats()
+	if s.Appends != 3 {
+		t.Errorf("Appends = %d, want 3", s.Appends)
+	}
+	if s.Forces != 2 {
+		t.Errorf("Forces = %d, want 2", s.Forces)
+	}
+	if s.Stable != 3 {
+		t.Errorf("Stable = %d, want 3", s.Stable)
+	}
+}
+
+func TestForceFailureSurfacesError(t *testing.T) {
+	store := NewMemStore()
+	l, _ := Open(store)
+	boom := errors.New("disk on fire")
+	store.FailNextAppend = boom
+	if _, err := l.AppendForce(Record{Kind: KCommit, Txn: txn(1)}); !errors.Is(err, boom) {
+		t.Fatalf("AppendForce error = %v, want wrapped %v", err, boom)
+	}
+	// The record stays buffered (not silently dropped): a later Force can
+	// still persist it.
+	if err := l.Force(); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Records()) != 1 {
+		t.Fatal("record lost after transient force failure")
+	}
+}
+
+func TestClosedLogRejectsOperations(t *testing.T) {
+	l, _ := Open(NewMemStore())
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Record{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Append on closed log: %v", err)
+	}
+	if err := l.Force(); !errors.Is(err, ErrClosed) {
+		t.Errorf("Force on closed log: %v", err)
+	}
+	if _, err := l.Checkpoint(func(Record) bool { return true }); !errors.Is(err, ErrClosed) {
+		t.Errorf("Checkpoint on closed log: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+}
+
+func TestMemStoreIsolation(t *testing.T) {
+	// Records handed to the store must be insulated from caller mutation.
+	s := NewMemStore()
+	rec := Record{Kind: KInitiation, Txn: txn(1), Participants: []ParticipantInfo{{ID: "p1", Proto: wire.PrA}}}
+	if err := s.Append([]Record{rec}); err != nil {
+		t.Fatal(err)
+	}
+	rec.Participants[0].ID = "mutated"
+	got, _ := s.Load()
+	if got[0].Participants[0].ID != "p1" {
+		t.Fatal("store aliased caller's slice")
+	}
+	got[0].Participants[0].ID = "mutated2"
+	got2, _ := s.Load()
+	if got2[0].Participants[0].ID != "p1" {
+		t.Fatal("Load aliased store's slice")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{KInitiation: "initiation", KCommit: "commit", KAbort: "abort", KEnd: "end", KPrepared: "prepared"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("out-of-range Kind.String empty")
+	}
+}
+
+func fullRecord() Record {
+	return Record{
+		LSN:  7,
+		Kind: KPrepared,
+		Role: RolePart,
+		Txn:  wire.TxnID{Coord: "coord", Seq: 99},
+		Participants: []ParticipantInfo{
+			{ID: "p1", Proto: wire.PrA},
+			{ID: "p2", Proto: wire.PrC},
+		},
+		Coord: "coord",
+		Writes: []Update{
+			{Key: "k1", Old: "o1", OldExists: true, New: "n1", NewExists: true},
+			{Key: "k2", New: "n2", NewExists: true},
+			{Key: "k3", Old: "o3", OldExists: true},
+		},
+	}
+}
+
+func recordsEqual(a, b Record) bool {
+	if a.LSN != b.LSN || a.Kind != b.Kind || a.Role != b.Role || a.Txn != b.Txn || a.Coord != b.Coord {
+		return false
+	}
+	if len(a.Participants) != len(b.Participants) || len(a.Writes) != len(b.Writes) {
+		return false
+	}
+	for i := range a.Participants {
+		if a.Participants[i] != b.Participants[i] {
+			return false
+		}
+	}
+	for i := range a.Writes {
+		if a.Writes[i] != b.Writes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRecordCodecRoundTrip(t *testing.T) {
+	for _, r := range []Record{{}, fullRecord(), {Kind: KEnd, Txn: txn(3)}} {
+		got, err := decodeRecord(encodeRecord(nil, &r))
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", r, err)
+		}
+		if !recordsEqual(r, got) {
+			t.Errorf("round trip changed record:\n in %+v\nout %+v", r, got)
+		}
+	}
+}
+
+func TestRecordCodecTruncation(t *testing.T) {
+	r := fullRecord()
+	p := encodeRecord(nil, &r)
+	for i := 0; i < len(p); i++ {
+		if _, err := decodeRecord(p[:i]); err == nil {
+			t.Fatalf("decode of %d/%d-byte prefix succeeded", i, len(p))
+		}
+	}
+	if _, err := decodeRecord(append(p, 0)); err == nil {
+		t.Fatal("decode with trailing byte succeeded")
+	}
+}
+
+func TestRecordCodecQuick(t *testing.T) {
+	f := func(kind uint8, lsn uint64, coord string, seq uint64, keys []string) bool {
+		r := Record{Kind: Kind(kind % 5), LSN: lsn, Txn: wire.TxnID{Coord: wire.SiteID(coord), Seq: seq}}
+		for i, k := range keys {
+			r.Writes = append(r.Writes, Update{Key: k, Old: k + "o", OldExists: i%2 == 0, New: k + "n", NewExists: true})
+			r.Participants = append(r.Participants, ParticipantInfo{ID: wire.SiteID(k), Proto: wire.Protocol(i % 3)})
+		}
+		got, err := decodeRecord(encodeRecord(nil, &r))
+		return err == nil && recordsEqual(r, got)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/site.wal"
+	fs, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		{Kind: KInitiation, Txn: txn(1), Participants: []ParticipantInfo{{"p1", wire.PrA}, {"p2", wire.PrC}}},
+		{Kind: KCommit, Txn: txn(1)},
+		fullRecord(),
+	}
+	for _, r := range want {
+		if _, err := l.AppendForce(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(fs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := l2.Records()
+	if len(got) != len(want) {
+		t.Fatalf("reloaded %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w := want[i]
+		w.LSN = got[i].LSN // LSN assigned at append time
+		if !recordsEqual(w, got[i]) {
+			t.Errorf("record %d changed across restart:\nwant %+v\n got %+v", i, w, got[i])
+		}
+	}
+}
+
+func TestFileStoreTornTailIsDiscarded(t *testing.T) {
+	path := t.TempDir() + "/site.wal"
+	fs, _ := OpenFileStore(path)
+	l, _ := Open(fs)
+	l.AppendForce(Record{Kind: KCommit, Txn: txn(1)})
+	l.AppendForce(Record{Kind: KCommit, Txn: txn(2)})
+	l.Close()
+
+	// Tear the final frame by chopping bytes off the file, simulating a
+	// crash mid-write.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, _ := OpenFileStore(path)
+	l2, err := Open(fs2)
+	if err != nil {
+		t.Fatalf("torn tail should load cleanly: %v", err)
+	}
+	defer l2.Close()
+	recs := l2.Records()
+	if len(recs) != 1 || recs[0].Txn.Seq != 1 {
+		t.Fatalf("after torn tail: %v", recs)
+	}
+	// Appending after truncation works.
+	if _, err := l2.AppendForce(Record{Kind: KEnd, Txn: txn(1)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileStoreRewriteIsAtomicImage(t *testing.T) {
+	path := t.TempDir() + "/site.wal"
+	fs, _ := OpenFileStore(path)
+	l, _ := Open(fs)
+	for i := 0; i < 5; i++ {
+		l.AppendForce(Record{Kind: KCommit, Txn: txn(uint64(i))})
+	}
+	if _, err := l.Checkpoint(func(r Record) bool { return r.Txn.Seq >= 3 }); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint appends land after the rewritten image.
+	l.AppendForce(Record{Kind: KEnd, Txn: txn(9)})
+	l.Close()
+
+	fs2, _ := OpenFileStore(path)
+	l2, err := Open(fs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	recs := l2.Records()
+	if len(recs) != 3 {
+		t.Fatalf("after checkpoint+append reload: %d records (%v)", len(recs), recs)
+	}
+	if recs[2].Kind != KEnd || recs[2].Txn.Seq != 9 {
+		t.Fatalf("post-checkpoint append lost: %v", recs)
+	}
+}
+
+func TestFileStoreEmpty(t *testing.T) {
+	path := t.TempDir() + "/empty.wal"
+	fs, _ := OpenFileStore(path)
+	l, err := Open(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if len(l.Records()) != 0 {
+		t.Fatal("fresh log not empty")
+	}
+}
+
+func BenchmarkAppendForceMem(b *testing.B) {
+	l, _ := Open(NewMemStore())
+	rec := Record{Kind: KCommit, Txn: txn(1)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.AppendForce(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendForceFile(b *testing.B) {
+	fs, err := OpenFileStore(b.TempDir() + "/bench.wal")
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, _ := Open(fs)
+	defer l.Close()
+	rec := Record{Kind: KCommit, Txn: txn(1)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.AppendForce(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Wire format (little-endian throughout):
+//
+//	frame  := len:uint32 body
+//	body   := kind:u8 proto:u8 vote:u8 outcome:u8
+//	          txnCoord:str txnSeq:u64 from:str to:str
+//	          nops:u32 {opKind:u8 key:str value:str}*
+//	          nresults:u32 {result:str}*
+//	          err:str
+//	          nwrites:u32 {key:str old:str oldExists:u8 new:str newExists:u8}*
+//	str    := len:u32 bytes
+//
+// The format is self-delimiting given the leading frame length and contains
+// no pointers or reflection, so a malformed peer can at worst produce a
+// decode error, never a panic.
+
+// MaxFrame is the largest encoded message the codec will read or write.
+// Protocol messages are small; the limit guards the TCP transport against a
+// corrupt or hostile length prefix.
+const MaxFrame = 16 << 20
+
+type encodeBuf struct{ b []byte }
+
+func (e *encodeBuf) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *encodeBuf) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *encodeBuf) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *encodeBuf) str(s string) {
+	e.u32(uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+func (e *encodeBuf) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
+type decodeBuf struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decodeBuf) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: truncated message reading %s at offset %d", what, d.off)
+	}
+}
+
+func (d *decodeBuf) u8(what string) uint8 {
+	if d.err != nil || d.off+1 > len(d.b) {
+		d.fail(what)
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *decodeBuf) u32(what string) uint32 {
+	if d.err != nil || d.off+4 > len(d.b) {
+		d.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decodeBuf) u64(what string) uint64 {
+	if d.err != nil || d.off+8 > len(d.b) {
+		d.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decodeBuf) str(what string) string {
+	n := int(d.u32(what))
+	if d.err != nil || n < 0 || d.off+n > len(d.b) {
+		d.fail(what)
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// AppendMessage encodes m and appends it to dst without the frame length,
+// returning the extended slice.
+func AppendMessage(dst []byte, m *Message) []byte {
+	e := encodeBuf{b: dst}
+	e.u8(uint8(m.Kind))
+	e.u8(uint8(m.Proto))
+	e.u8(uint8(m.Vote))
+	e.u8(uint8(m.Outcome))
+	e.str(string(m.Txn.Coord))
+	e.u64(m.Txn.Seq)
+	e.str(string(m.From))
+	e.str(string(m.To))
+	e.u32(uint32(len(m.Ops)))
+	for _, op := range m.Ops {
+		e.u8(uint8(op.Kind))
+		e.str(op.Key)
+		e.str(op.Value)
+	}
+	e.u32(uint32(len(m.Results)))
+	for _, r := range m.Results {
+		e.str(r)
+	}
+	e.str(m.Err)
+	e.u32(uint32(len(m.Writes)))
+	for _, w := range m.Writes {
+		e.str(w.Key)
+		e.str(w.Old)
+		e.bool(w.OldExists)
+		e.str(w.New)
+		e.bool(w.NewExists)
+	}
+	return e.b
+}
+
+// DecodeMessage decodes a message body produced by AppendMessage. It returns
+// an error if the body is truncated, has trailing garbage, or declares
+// absurd element counts.
+func DecodeMessage(body []byte) (Message, error) {
+	d := decodeBuf{b: body}
+	var m Message
+	m.Kind = MsgKind(d.u8("kind"))
+	m.Proto = Protocol(d.u8("proto"))
+	m.Vote = Vote(d.u8("vote"))
+	m.Outcome = Outcome(d.u8("outcome"))
+	m.Txn.Coord = SiteID(d.str("txn coord"))
+	m.Txn.Seq = d.u64("txn seq")
+	m.From = SiteID(d.str("from"))
+	m.To = SiteID(d.str("to"))
+
+	nops := d.u32("op count")
+	if d.err == nil && int(nops) > len(body) { // each op is at least 1 byte
+		return Message{}, fmt.Errorf("wire: implausible op count %d in %d-byte body", nops, len(body))
+	}
+	if nops > 0 && d.err == nil {
+		m.Ops = make([]Op, 0, nops)
+		for i := uint32(0); i < nops && d.err == nil; i++ {
+			var op Op
+			op.Kind = OpKind(d.u8("op kind"))
+			op.Key = d.str("op key")
+			op.Value = d.str("op value")
+			m.Ops = append(m.Ops, op)
+		}
+	}
+
+	nres := d.u32("result count")
+	if d.err == nil && int(nres) > len(body) {
+		return Message{}, fmt.Errorf("wire: implausible result count %d in %d-byte body", nres, len(body))
+	}
+	if nres > 0 && d.err == nil {
+		m.Results = make([]string, 0, nres)
+		for i := uint32(0); i < nres && d.err == nil; i++ {
+			m.Results = append(m.Results, d.str("result"))
+		}
+	}
+	m.Err = d.str("err")
+
+	nwrites := d.u32("write count")
+	if d.err == nil && int(nwrites) > len(body) {
+		return Message{}, fmt.Errorf("wire: implausible write count %d in %d-byte body", nwrites, len(body))
+	}
+	if nwrites > 0 && d.err == nil {
+		m.Writes = make([]Update, 0, nwrites)
+		for i := uint32(0); i < nwrites && d.err == nil; i++ {
+			var w Update
+			w.Key = d.str("write key")
+			w.Old = d.str("write old")
+			w.OldExists = d.u8("write oldExists") != 0
+			w.New = d.str("write new")
+			w.NewExists = d.u8("write newExists") != 0
+			m.Writes = append(m.Writes, w)
+		}
+	}
+
+	if d.err != nil {
+		return Message{}, d.err
+	}
+	if d.off != len(body) {
+		return Message{}, fmt.Errorf("wire: %d trailing bytes after message", len(body)-d.off)
+	}
+	return m, nil
+}
+
+// WriteFrame encodes m as a length-prefixed frame on w.
+func WriteFrame(w io.Writer, m *Message) error {
+	body := AppendMessage(make([]byte, 4), m)
+	n := len(body) - 4
+	if n > MaxFrame {
+		return fmt.Errorf("wire: message of %d bytes exceeds frame limit", n)
+	}
+	binary.LittleEndian.PutUint32(body[:4], uint32(n))
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame from r and decodes it.
+func ReadFrame(r io.Reader) (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame || n > math.MaxInt32 {
+		return Message{}, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Message{}, fmt.Errorf("wire: short frame body: %w", err)
+	}
+	return DecodeMessage(body)
+}

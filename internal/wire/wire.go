@@ -1,0 +1,361 @@
+// Package wire defines the message vocabulary shared by every atomic commit
+// protocol in this repository, the identifiers for sites and transactions,
+// and a compact, dependency-free binary codec used by the TCP transport.
+//
+// The vocabulary follows the paper "Atomicity with Incompatible Presumptions"
+// (Al-Houmaily & Chrysanthis, PODS 1999): PREPARE requests, YES/NO votes,
+// COMMIT/ABORT decisions, decision ACKs, and recovery-time INQUIRY messages
+// answered with decision replies. Subtransaction execution traffic (EXEC and
+// EXEC-REPLY) is included so that a full distributed transaction — work phase
+// plus commit protocol — can flow over a single transport.
+package wire
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SiteID names a site (a transaction manager plus its resource manager and
+// log). Site identifiers are chosen by the deployment and must be unique
+// within a cluster.
+type SiteID string
+
+// TxnID identifies a distributed transaction globally. It embeds the
+// coordinator's site identifier and a coordinator-local sequence number,
+// which makes identifiers unique without global coordination — the scheme
+// used by tree-of-processes commit protocols.
+type TxnID struct {
+	Coord SiteID
+	Seq   uint64
+}
+
+// String renders the identifier as "coord:seq", e.g. "siteA:42".
+func (t TxnID) String() string { return string(t.Coord) + ":" + strconv.FormatUint(t.Seq, 10) }
+
+// ParseTxnID parses the "coord:seq" form produced by TxnID.String.
+func ParseTxnID(s string) (TxnID, error) {
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 {
+		return TxnID{}, fmt.Errorf("wire: malformed transaction id %q", s)
+	}
+	seq, err := strconv.ParseUint(s[i+1:], 10, 64)
+	if err != nil {
+		return TxnID{}, fmt.Errorf("wire: malformed transaction id %q: %v", s, err)
+	}
+	return TxnID{Coord: SiteID(s[:i]), Seq: seq}, nil
+}
+
+// IsZero reports whether the identifier is the zero value.
+func (t TxnID) IsZero() bool { return t.Coord == "" && t.Seq == 0 }
+
+// Protocol enumerates the atomic commit protocols a site can run. The three
+// participant-side protocols (PrN, PrA, PrC) are the commonly implemented
+// two-phase commit variants; the remaining values are coordinator-side
+// integration strategies studied by the paper.
+type Protocol uint8
+
+const (
+	// PrN is presumed nothing — the basic two-phase commit protocol. The
+	// coordinator force-writes both commit and abort decisions and expects
+	// acknowledgments for both.
+	PrN Protocol = iota
+	// PrA is presumed abort: missing information about a transaction is
+	// interpreted as an abort. Abort decisions are not logged by the
+	// coordinator and are not acknowledged by participants.
+	PrA
+	// PrC is presumed commit: missing information is interpreted as a
+	// commit. The coordinator force-writes an initiation record before the
+	// voting phase; commit decisions are not acknowledged.
+	PrC
+	// PrAny is the paper's Presumed Any protocol: the coordinator records
+	// each participant's protocol in a forced initiation record and adopts
+	// the presumption of whichever participant inquires.
+	PrAny
+	// U2PC is the union two-phase commit straw man of Section 2: the
+	// coordinator speaks each participant's dialect but forgets
+	// transactions by its own native presumption. It violates atomicity
+	// (Theorem 1) and exists here to demonstrate that violation.
+	U2PC
+	// C2PC is the coordinator two-phase commit straw man of Section 3: it
+	// never forgets a transaction until every acknowledgment arrives, so
+	// it is functionally correct but retains some transactions forever
+	// (Theorem 2).
+	C2PC
+	// IYV is the implicit yes-vote protocol (Al-Houmaily & Chrysanthis,
+	// the paper's reference [3]): a one-phase commit for fast networks.
+	// The participant force-logs each operation's redo/undo before
+	// acknowledging it, so every operation acknowledgment is an implicit
+	// yes vote and the explicit voting phase disappears. Decisions follow
+	// presumed-abort discipline: commits are force-logged and
+	// acknowledged, aborts are presumed. The paper's conclusion names IYV
+	// as a protocol the operational correctness criterion should extend
+	// to; this implementation integrates it under PrAny.
+	IYV
+	// CL is the coordinator log protocol (Stamos & Cristian, the paper's
+	// reference [17]): participants perform no commit-processing logging
+	// at all. A CL participant ships its write set with its yes vote; the
+	// coordinator force-logs it on the participant's behalf, attaches the
+	// writes to decisions (so a participant that lost its volatile state
+	// can still enforce), and expects acknowledgments for both outcomes —
+	// its log is the participant's only stable memory, so it may forget
+	// nothing until the participant has. Like IYV, CL is one of the
+	// protocols the paper's conclusion proposes integrating under the
+	// operational correctness criterion.
+	CL
+)
+
+var protocolNames = [...]string{"PrN", "PrA", "PrC", "PrAny", "U2PC", "C2PC", "IYV", "CL"}
+
+// String returns the conventional name of the protocol.
+func (p Protocol) String() string {
+	if int(p) < len(protocolNames) {
+		return protocolNames[p]
+	}
+	return "Protocol(" + strconv.Itoa(int(p)) + ")"
+}
+
+// Valid reports whether p is one of the defined protocols.
+func (p Protocol) Valid() bool { return int(p) < len(protocolNames) }
+
+// ParticipantProtocol reports whether p is a protocol a participant can
+// run: the three 2PC variants plus the one-phase IYV. Coordinator-only
+// strategies (PrAny, U2PC, C2PC) are not valid participant protocols.
+func (p Protocol) ParticipantProtocol() bool {
+	return p == PrN || p == PrA || p == PrC || p == IYV || p == CL
+}
+
+// ShipsWrites reports whether p's participants log nothing locally and ship
+// their write sets to the coordinator instead (coordinator log). Votes from
+// such participants carry Writes; decisions to them carry Writes back.
+func (p Protocol) ShipsWrites() bool { return p == CL }
+
+// OnePhase reports whether p eliminates the explicit voting phase: the
+// participant is implicitly prepared by its operation acknowledgments, so
+// the coordinator sends no PREPARE and counts it as a standing yes vote.
+func (p Protocol) OnePhase() bool { return p == IYV }
+
+// ParseProtocol converts a case-insensitive protocol name ("prn", "PrAny",
+// ...) to its Protocol value.
+func ParseProtocol(s string) (Protocol, error) {
+	for i, n := range protocolNames {
+		if strings.EqualFold(n, s) {
+			return Protocol(i), nil
+		}
+	}
+	return 0, fmt.Errorf("wire: unknown protocol %q", s)
+}
+
+// Presumption returns the outcome a coordinator running protocol p presumes
+// for a transaction it holds no information about, and whether such a
+// presumption exists. PrN's presumption is the "hidden" abort presumption
+// the paper describes: after a failure, active transactions with no decision
+// record are treated as aborted. PrAny has no a-priori presumption — it
+// adopts the inquirer's — so ok is false.
+func (p Protocol) Presumption() (o Outcome, ok bool) {
+	switch p {
+	case PrN, PrA, IYV, CL:
+		return Abort, true
+	case PrC:
+		return Commit, true
+	default:
+		return 0, false
+	}
+}
+
+// AcksCommit reports whether a participant running protocol p acknowledges
+// commit decisions. PrC participants commit with a non-forced log write and
+// never acknowledge.
+func (p Protocol) AcksCommit() bool { return p == PrN || p == PrA || p == IYV || p == CL }
+
+// AcksAbort reports whether a participant running protocol p acknowledges
+// abort decisions. PrA participants abort with a non-forced log write and
+// never acknowledge.
+func (p Protocol) AcksAbort() bool { return p == PrN || p == PrC || p == CL }
+
+// Acks reports whether a participant running protocol p acknowledges
+// decisions with outcome o.
+func (p Protocol) Acks(o Outcome) bool {
+	if o == Commit {
+		return p.AcksCommit()
+	}
+	return p.AcksAbort()
+}
+
+// Outcome is the final fate of a transaction.
+type Outcome uint8
+
+const (
+	// Abort is the abort outcome. It is the zero value on purpose: an
+	// unset outcome must never read as commit.
+	Abort Outcome = iota
+	// Commit is the commit outcome.
+	Commit
+)
+
+// String returns "abort" or "commit".
+func (o Outcome) String() string {
+	if o == Commit {
+		return "commit"
+	}
+	return "abort"
+}
+
+// Vote is a participant's answer to a PREPARE request.
+type Vote uint8
+
+const (
+	// VoteNo rejects the transaction; the participant has unilaterally
+	// aborted and will not wait for a decision.
+	VoteNo Vote = iota
+	// VoteYes promises the participant can commit and blocks it until the
+	// decision arrives.
+	VoteYes
+	// VoteReadOnly is the read-only optimization (Section 5 of the paper
+	// lists it among the optimizations the correctness criterion covers):
+	// the participant performed no updates, releases its locks at once and
+	// drops out of the decision phase entirely.
+	VoteReadOnly
+)
+
+// String returns "no", "yes" or "read-only".
+func (v Vote) String() string {
+	switch v {
+	case VoteYes:
+		return "yes"
+	case VoteReadOnly:
+		return "read-only"
+	default:
+		return "no"
+	}
+}
+
+// MsgKind discriminates protocol messages.
+type MsgKind uint8
+
+const (
+	// MsgExec carries subtransaction operations from the coordinator's
+	// transaction manager to a participant during the execution phase.
+	MsgExec MsgKind = iota
+	// MsgExecReply carries operation results (or an execution error) back.
+	MsgExecReply
+	// MsgPrepare starts the voting phase at one participant.
+	MsgPrepare
+	// MsgVote carries a participant's vote.
+	MsgVote
+	// MsgDecision carries the coordinator's final decision. Replies to
+	// inquiries are also decision messages (with Inquiry set on the
+	// request they answer).
+	MsgDecision
+	// MsgAck acknowledges a decision.
+	MsgAck
+	// MsgInquiry asks the coordinator for the outcome of a transaction the
+	// sender is in doubt about (recovery traffic).
+	MsgInquiry
+	// MsgRecoverSite is a site-level recovery announcement from a
+	// coordinator-log participant: having no log of its own, a recovering
+	// CL site cannot name its in-doubt transactions, so it asks the
+	// coordinator to re-drive everything outstanding for it.
+	MsgRecoverSite
+)
+
+var msgKindNames = [...]string{"EXEC", "EXEC-REPLY", "PREPARE", "VOTE", "DECISION", "ACK", "INQUIRY", "RECOVER-SITE"}
+
+// String returns the wire name of the kind, e.g. "PREPARE".
+func (k MsgKind) String() string {
+	if int(k) < len(msgKindNames) {
+		return msgKindNames[k]
+	}
+	return "MsgKind(" + strconv.Itoa(int(k)) + ")"
+}
+
+// OpKind discriminates resource-manager operations.
+type OpKind uint8
+
+const (
+	// OpGet reads a key.
+	OpGet OpKind = iota
+	// OpPut writes a key.
+	OpPut
+	// OpDelete removes a key.
+	OpDelete
+)
+
+// String returns "get", "put" or "delete".
+func (k OpKind) String() string {
+	switch k {
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	default:
+		return "get"
+	}
+}
+
+// Op is one resource-manager operation executed at a participant on behalf
+// of a subtransaction.
+type Op struct {
+	Kind  OpKind
+	Key   string
+	Value string // ignored for get/delete
+}
+
+// Update is one key mutation with both redo (New) and undo (Old) images.
+// It lives in this package because the coordinator-log protocol ships
+// updates over the wire: CL participants log nothing locally and attach
+// their write sets to their votes instead. The wal package aliases it.
+type Update struct {
+	Key       string
+	Old       string
+	OldExists bool
+	New       string
+	NewExists bool
+}
+
+// Message is the single envelope exchanged between sites. Fields beyond
+// Kind, Txn, From and To are meaningful only for particular kinds; unused
+// fields are zero.
+type Message struct {
+	Kind MsgKind
+	Txn  TxnID
+	From SiteID
+	To   SiteID
+
+	Vote    Vote    // MsgVote
+	Outcome Outcome // MsgDecision, MsgAck (echoes the acked outcome)
+
+	Ops     []Op     // MsgExec
+	Results []string // MsgExecReply: one result per Get, in order
+	Err     string   // MsgExecReply: non-empty if execution failed
+
+	// Writes carries a write set: on a CL participant's yes vote (its
+	// records, shipped for the coordinator to log) and on decisions sent
+	// to CL participants (so a site that lost its volatile state can still
+	// enforce).
+	Writes []Update
+
+	// Proto is the sender's participant protocol. It rides on votes and
+	// inquiries so a coordinator can serve sites that joined after its
+	// participants'-commit-protocol table was last synchronized.
+	Proto Protocol
+}
+
+// String renders a short human-readable form used by traces and tests.
+func (m Message) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s %s->%s", m.Kind, m.Txn, m.From, m.To)
+	switch m.Kind {
+	case MsgVote:
+		fmt.Fprintf(&b, " %s", m.Vote)
+	case MsgDecision, MsgAck:
+		fmt.Fprintf(&b, " %s", m.Outcome)
+	case MsgExec:
+		fmt.Fprintf(&b, " %d ops", len(m.Ops))
+	case MsgExecReply:
+		if m.Err != "" {
+			fmt.Fprintf(&b, " err=%s", m.Err)
+		}
+	}
+	return b.String()
+}

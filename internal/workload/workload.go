@@ -1,0 +1,107 @@
+// Package workload generates deterministic transaction workloads for the
+// simulator and the experiment harness: which sites each transaction
+// touches, what operations it runs there, and whether it is destined to
+// abort (by poisoning one participant's prepare).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"prany/internal/wire"
+)
+
+// Spec parameterizes a workload.
+type Spec struct {
+	// Txns is the number of transactions to generate.
+	Txns int
+	// SitesPerTxn is how many participants each transaction touches. It is
+	// clamped to the available site count.
+	SitesPerTxn int
+	// OpsPerSite is the number of operations per touched site.
+	OpsPerSite int
+	// ReadFraction is the probability each op is a read (0 = all writes).
+	ReadFraction float64
+	// CommitFraction is the probability a transaction is allowed to
+	// commit; the rest are poisoned at one participant and abort.
+	CommitFraction float64
+	// KeySpace is the number of distinct keys per site. Small key spaces
+	// produce lock contention; zero means 1024.
+	KeySpace int
+	// Seed makes the workload reproducible.
+	Seed int64
+}
+
+// TxnPlan is one generated transaction.
+type TxnPlan struct {
+	// Sites are the participants, in execution order.
+	Sites []wire.SiteID
+	// Ops holds the operation batch per site.
+	Ops map[wire.SiteID][]wire.Op
+	// Abort marks the transaction to be aborted by poisoning PoisonSite's
+	// prepare.
+	Abort bool
+	// PoisonSite is the participant that will vote no (only when Abort).
+	PoisonSite wire.SiteID
+}
+
+// Generate builds spec.Txns deterministic plans over the given sites.
+func Generate(spec Spec, sites []wire.SiteID) []TxnPlan {
+	if len(sites) == 0 {
+		return nil
+	}
+	if spec.KeySpace <= 0 {
+		spec.KeySpace = 1024
+	}
+	if spec.SitesPerTxn <= 0 || spec.SitesPerTxn > len(sites) {
+		spec.SitesPerTxn = len(sites)
+	}
+	if spec.OpsPerSite <= 0 {
+		spec.OpsPerSite = 1
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	plans := make([]TxnPlan, 0, spec.Txns)
+	for i := 0; i < spec.Txns; i++ {
+		perm := rng.Perm(len(sites))
+		plan := TxnPlan{Ops: make(map[wire.SiteID][]wire.Op, spec.SitesPerTxn)}
+		for _, idx := range perm[:spec.SitesPerTxn] {
+			id := sites[idx]
+			plan.Sites = append(plan.Sites, id)
+			ops := make([]wire.Op, 0, spec.OpsPerSite)
+			for o := 0; o < spec.OpsPerSite; o++ {
+				key := fmt.Sprintf("k%04d", rng.Intn(spec.KeySpace))
+				if rng.Float64() < spec.ReadFraction {
+					ops = append(ops, wire.Op{Kind: wire.OpGet, Key: key})
+				} else {
+					ops = append(ops, wire.Op{Kind: wire.OpPut, Key: key, Value: fmt.Sprintf("v%d-%d", i, o)})
+				}
+			}
+			plan.Ops[id] = ops
+		}
+		if rng.Float64() >= spec.CommitFraction {
+			plan.Abort = true
+			plan.PoisonSite = plan.Sites[rng.Intn(len(plan.Sites))]
+		}
+		plans = append(plans, plan)
+	}
+	return plans
+}
+
+// Stats summarizes a plan slice (used by tests and reports).
+type Stats struct {
+	Txns, Aborts int
+	SiteTouches  int
+}
+
+// Summarize computes plan statistics.
+func Summarize(plans []TxnPlan) Stats {
+	var s Stats
+	s.Txns = len(plans)
+	for _, p := range plans {
+		if p.Abort {
+			s.Aborts++
+		}
+		s.SiteTouches += len(p.Sites)
+	}
+	return s
+}

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prany/internal/wire"
+)
+
+var sites = []wire.SiteID{"a", "b", "c", "d"}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{Txns: 20, SitesPerTxn: 2, OpsPerSite: 3, CommitFraction: 0.5, Seed: 7}
+	a := Generate(spec, sites)
+	b := Generate(spec, sites)
+	if len(a) != len(b) || len(a) != 20 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Abort != b[i].Abort || len(a[i].Sites) != len(b[i].Sites) {
+			t.Fatalf("plan %d differs across identical seeds", i)
+		}
+		for j := range a[i].Sites {
+			if a[i].Sites[j] != b[i].Sites[j] {
+				t.Fatalf("plan %d site order differs", i)
+			}
+		}
+	}
+}
+
+func TestGenerateRespectsSitesPerTxn(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 9} {
+		plans := Generate(Spec{Txns: 10, SitesPerTxn: n, Seed: 1}, sites)
+		want := n
+		if want > len(sites) {
+			want = len(sites)
+		}
+		for i, p := range plans {
+			if len(p.Sites) != want {
+				t.Fatalf("n=%d plan %d touches %d sites", n, i, len(p.Sites))
+			}
+			seen := map[wire.SiteID]bool{}
+			for _, s := range p.Sites {
+				if seen[s] {
+					t.Fatalf("plan %d repeats site %s", i, s)
+				}
+				seen[s] = true
+			}
+		}
+	}
+}
+
+func TestGenerateCommitFraction(t *testing.T) {
+	plans := Generate(Spec{Txns: 2000, CommitFraction: 0.75, Seed: 3}, sites)
+	st := Summarize(plans)
+	got := float64(st.Aborts) / float64(st.Txns)
+	if got < 0.20 || got > 0.30 {
+		t.Fatalf("abort fraction %.3f, want ≈0.25", got)
+	}
+	for _, p := range plans {
+		if p.Abort {
+			found := false
+			for _, s := range p.Sites {
+				if s == p.PoisonSite {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatal("poison site not among participants")
+			}
+		}
+	}
+}
+
+func TestGenerateReadFraction(t *testing.T) {
+	plans := Generate(Spec{Txns: 500, OpsPerSite: 4, ReadFraction: 0.5, CommitFraction: 1, Seed: 9}, sites)
+	reads, total := 0, 0
+	for _, p := range plans {
+		for _, ops := range p.Ops {
+			for _, op := range ops {
+				total++
+				if op.Kind == wire.OpGet {
+					reads++
+				}
+			}
+		}
+	}
+	got := float64(reads) / float64(total)
+	if got < 0.45 || got > 0.55 {
+		t.Fatalf("read fraction %.3f, want ≈0.5", got)
+	}
+}
+
+func TestGenerateEdgeCases(t *testing.T) {
+	if got := Generate(Spec{Txns: 5}, nil); got != nil {
+		t.Fatal("plans without sites")
+	}
+	plans := Generate(Spec{Txns: 1, Seed: 1}, sites) // all defaults
+	if len(plans) != 1 || len(plans[0].Sites) != len(sites) {
+		t.Fatalf("default plan %+v", plans)
+	}
+	if len(plans[0].Ops[plans[0].Sites[0]]) != 1 {
+		t.Fatal("default ops per site != 1")
+	}
+}
+
+func TestGenerateQuick(t *testing.T) {
+	f := func(seed int64, txns, spt, ops uint8) bool {
+		spec := Spec{
+			Txns: int(txns % 50), SitesPerTxn: int(spt%6) + 1,
+			OpsPerSite: int(ops%5) + 1, CommitFraction: 0.5, Seed: seed,
+		}
+		plans := Generate(spec, sites)
+		if len(plans) != spec.Txns {
+			return false
+		}
+		for _, p := range plans {
+			if len(p.Sites) == 0 || len(p.Sites) > len(sites) {
+				return false
+			}
+			for _, s := range p.Sites {
+				if len(p.Ops[s]) == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

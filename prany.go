@@ -1,0 +1,240 @@
+// Package prany is a Go implementation of the Presumed Any atomic commit
+// protocol from "Atomicity with Incompatible Presumptions" (Al-Houmaily &
+// Chrysanthis, PODS 1999), together with the full substrate it needs: the
+// three classic two-phase-commit variants (presumed nothing, presumed
+// abort, presumed commit), write-ahead logging with forced writes, a
+// lock-based key-value resource manager per site, in-memory and TCP
+// transports, crash/recovery, and checkers for the paper's operational
+// correctness criterion.
+//
+// The package front door is Cluster: a set of heterogeneous database sites
+// — each running its own commit protocol — plus one coordinator that
+// integrates them with PrAny. Transactions execute operations at any
+// subset of sites and then commit atomically:
+//
+//	cluster, _ := prany.NewCluster(prany.ClusterConfig{
+//		Participants: []prany.ParticipantConfig{
+//			{ID: "hotel", Protocol: prany.PrA},
+//			{ID: "airline", Protocol: prany.PrC},
+//		},
+//	})
+//	defer cluster.Close()
+//
+//	txn := cluster.Begin()
+//	txn.Put("hotel", "room-42", "booked")
+//	txn.Put("airline", "seat-17C", "booked")
+//	outcome, err := txn.Commit() // prany.Commit across both protocols
+//
+// The straw-man integrations the paper proves incorrect (U2PC, Theorem 1;
+// C2PC, Theorem 2) are available behind StrategyU2PC and StrategyC2PC for
+// experimentation, and History/Violations expose the executable version of
+// the paper's correctness criteria.
+package prany
+
+import (
+	"fmt"
+	"time"
+
+	"prany/internal/core"
+	"prany/internal/history"
+	"prany/internal/metrics"
+	"prany/internal/sim"
+	"prany/internal/site"
+	"prany/internal/wire"
+)
+
+// Re-exported identifier and protocol types. These are aliases, so values
+// flow freely between the public API and the engine packages.
+type (
+	// SiteID names a site.
+	SiteID = wire.SiteID
+	// TxnID identifies a distributed transaction.
+	TxnID = wire.TxnID
+	// Protocol is a commit protocol (PrN, PrA, PrC, ...).
+	Protocol = wire.Protocol
+	// Outcome is a transaction's fate: Commit or Abort.
+	Outcome = wire.Outcome
+	// Op is one key-value operation.
+	Op = wire.Op
+	// Strategy selects the coordinator's integration strategy.
+	Strategy = core.Strategy
+	// Txn is a distributed transaction handle.
+	Txn = site.Txn
+	// Violation is one correctness breach found by the history checkers.
+	Violation = history.Violation
+)
+
+// Protocol constants.
+const (
+	// PrN is presumed nothing — basic two-phase commit.
+	PrN = wire.PrN
+	// PrA is presumed abort.
+	PrA = wire.PrA
+	// PrC is presumed commit.
+	PrC = wire.PrC
+	// PrAny is the paper's Presumed Any protocol.
+	PrAny = wire.PrAny
+	// IYV is the implicit yes-vote one-phase protocol (the paper's
+	// reference [3]), integrated under PrAny as the conclusion proposes.
+	IYV = wire.IYV
+	// CL is the coordinator log protocol (the paper's reference [17]):
+	// participants log nothing and the coordinator's log is their stable
+	// memory. Integrated under PrAny as the conclusion proposes.
+	CL = wire.CL
+)
+
+// Outcome constants.
+const (
+	// Commit is the commit outcome.
+	Commit = wire.Commit
+	// Abort is the abort outcome.
+	Abort = wire.Abort
+)
+
+// Coordinator strategies.
+const (
+	// StrategyPrAny is the paper's correct integration (the default).
+	StrategyPrAny = core.StrategyPrAny
+	// StrategyU2PC is the atomicity-violating straw man of Theorem 1.
+	StrategyU2PC = core.StrategyU2PC
+	// StrategyC2PC is the never-forgetting straw man of Theorem 2.
+	StrategyC2PC = core.StrategyC2PC
+)
+
+// ParticipantConfig declares one data site of a cluster.
+type ParticipantConfig struct {
+	// ID is the site's unique name.
+	ID SiteID
+	// Protocol is the 2PC variant the site runs (PrN, PrA or PrC).
+	Protocol Protocol
+	// Legacy marks a non-externalized site: its data lives in an
+	// auto-commit-only legacy store behind a gateway agent that simulates
+	// the prepared state (the paper's Figure 5 taxonomy). The gateway
+	// speaks Protocol on the legacy system's behalf.
+	Legacy bool
+}
+
+// ClusterConfig configures an in-memory cluster.
+type ClusterConfig struct {
+	// Participants lists the data sites. Required.
+	Participants []ParticipantConfig
+	// Strategy is the coordinator's integration strategy; the zero value
+	// is StrategyPrAny, the paper's protocol.
+	Strategy Strategy
+	// Native is the coordinator's own protocol under U2PC/C2PC.
+	Native Protocol
+	// VoteTimeout bounds the voting phase (default 250ms).
+	VoteTimeout time.Duration
+	// ReadOnlyOpt enables the read-only voting optimization.
+	ReadOnlyOpt bool
+}
+
+// Cluster is a heterogeneous multidatabase running in one process: a
+// coordinator site and a set of participant sites over an in-memory
+// network with injectable failures.
+type Cluster struct {
+	inner *sim.Cluster
+}
+
+// NewCluster builds and starts a cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if len(cfg.Participants) == 0 {
+		return nil, fmt.Errorf("prany: cluster needs at least one participant")
+	}
+	spec := sim.Spec{
+		Strategy:    cfg.Strategy,
+		Native:      cfg.Native,
+		VoteTimeout: cfg.VoteTimeout,
+		ReadOnlyOpt: cfg.ReadOnlyOpt,
+	}
+	for _, p := range cfg.Participants {
+		if !p.Protocol.ParticipantProtocol() {
+			return nil, fmt.Errorf("prany: site %s: %v is not a participant protocol", p.ID, p.Protocol)
+		}
+		spec.Participants = append(spec.Participants, sim.PartSpec{ID: p.ID, Proto: p.Protocol, Legacy: p.Legacy})
+	}
+	inner, err := sim.New(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{inner: inner}, nil
+}
+
+// Close shuts the cluster down.
+func (c *Cluster) Close() { c.inner.Close() }
+
+// Begin starts a distributed transaction coordinated by the cluster's
+// coordinator site.
+func (c *Cluster) Begin() *Txn { return c.inner.Coord.Begin() }
+
+// Read returns the committed value of key at a site, bypassing
+// transactions (for inspection; use Txn.Get inside transactions). For a
+// legacy site it reads the legacy store directly.
+func (c *Cluster) Read(at SiteID, key string) (string, bool) {
+	s := c.inner.Site(at)
+	if s == nil {
+		return "", false
+	}
+	if st := s.Store(); st != nil {
+		return st.Read(key)
+	}
+	if legacy := c.inner.Legacy(at); legacy != nil {
+		v, ok, err := legacy.Get(key)
+		if err != nil {
+			return "", false
+		}
+		return v, ok
+	}
+	return "", false
+}
+
+// Participants returns the data sites' identifiers.
+func (c *Cluster) Participants() []SiteID { return c.inner.PartIDs() }
+
+// Crash fail-stops a site (participant or "coord", the coordinator).
+func (c *Cluster) Crash(id SiteID) error {
+	s := c.inner.Site(id)
+	if s == nil {
+		return fmt.Errorf("prany: no site %s", id)
+	}
+	s.Crash()
+	return nil
+}
+
+// Recover restarts a crashed site from its stable log, driving the paper's
+// recovery procedures (inquiries, decision re-drives).
+func (c *Cluster) Recover(id SiteID) error {
+	s := c.inner.Site(id)
+	if s == nil {
+		return fmt.Errorf("prany: no site %s", id)
+	}
+	return s.Recover()
+}
+
+// Quiesce retries timeouts until no site holds protocol state, or the
+// deadline passes; it reports whether full quiescence was reached.
+// Operational correctness (Theorem 3) is exactly the guarantee that this
+// always eventually succeeds under PrAny.
+func (c *Cluster) Quiesce(timeout time.Duration) bool { return c.inner.Quiesce(timeout) }
+
+// Violations checks the recorded execution history against the paper's
+// operational correctness criterion (Definition 1 plus the Definition 2
+// safe state). An empty result means every decision was consistent and
+// everything terminated was forgotten.
+func (c *Cluster) Violations() []Violation { return c.inner.Violations() }
+
+// Checkpoint garbage-collects every site's log and returns the number of
+// records collected.
+func (c *Cluster) Checkpoint() (int, error) { return c.inner.CheckpointAll() }
+
+// Metrics returns the cluster-wide cost counters: messages by kind, forced
+// and total log writes, protocol-table retention.
+func (c *Cluster) Metrics() *metrics.Registry { return c.inner.Met }
+
+// History returns the recorded ACTA-style event history.
+func (c *Cluster) History() *history.Recorder { return c.inner.Hist }
+
+// Sim exposes the underlying simulation cluster for failure injection and
+// site-level access (advanced use: experiment harnesses, the bundled
+// benchmarks).
+func (c *Cluster) Sim() *sim.Cluster { return c.inner }

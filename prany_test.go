@@ -1,0 +1,179 @@
+package prany
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func newTestCluster(t *testing.T, cfg ClusterConfig) *Cluster {
+	t.Helper()
+	if cfg.VoteTimeout == 0 {
+		cfg.VoteTimeout = 100 * time.Millisecond
+	}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func mixedConfig() ClusterConfig {
+	return ClusterConfig{Participants: []ParticipantConfig{
+		{ID: "hotel", Protocol: PrA},
+		{ID: "airline", Protocol: PrC},
+		{ID: "car", Protocol: PrN},
+	}}
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	c := newTestCluster(t, mixedConfig())
+	txn := c.Begin()
+	if err := txn.Put("hotel", "room-42", "booked"); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Put("airline", "seat-17C", "booked"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := txn.Commit()
+	if err != nil || out != Commit {
+		t.Fatalf("outcome %v, %v", out, err)
+	}
+	if !c.Quiesce(3 * time.Second) {
+		t.Fatal("did not quiesce")
+	}
+	if v, ok := c.Read("hotel", "room-42"); !ok || v != "booked" {
+		t.Fatalf("hotel: %q %v", v, ok)
+	}
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestReadInsideTransaction(t *testing.T) {
+	c := newTestCluster(t, mixedConfig())
+	setup := c.Begin()
+	setup.Put("car", "fleet", "7")
+	if out, err := setup.Commit(); err != nil || out != Commit {
+		t.Fatalf("%v %v", out, err)
+	}
+	txn := c.Begin()
+	v, err := txn.Get("car", "fleet")
+	if err != nil || v != "7" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if err := txn.Delete("car", "fleet"); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := txn.Commit(); err != nil || out != Commit {
+		t.Fatalf("%v %v", out, err)
+	}
+	c.Quiesce(2 * time.Second)
+	if _, ok := c.Read("car", "fleet"); ok {
+		t.Fatal("deleted key visible")
+	}
+}
+
+func TestCrashRecoveryThroughFacade(t *testing.T) {
+	c := newTestCluster(t, mixedConfig())
+	txn := c.Begin()
+	txn.Put("hotel", "k", "v")
+	txn.Put("airline", "k", "v")
+	if out, err := txn.Commit(); err != nil || out != Commit {
+		t.Fatalf("%v %v", out, err)
+	}
+	if err := c.Crash("airline"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Recover("airline"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Quiesce(3 * time.Second) {
+		t.Fatal("did not quiesce")
+	}
+	if v, ok := c.Read("airline", "k"); !ok || v != "v" {
+		t.Fatalf("airline data %q %v", v, ok)
+	}
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestEmptyTransactionCommits(t *testing.T) {
+	c := newTestCluster(t, mixedConfig())
+	out, err := c.Begin().Commit()
+	if err != nil || out != Commit {
+		t.Fatalf("%v %v", out, err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{}); err == nil {
+		t.Fatal("empty cluster accepted")
+	}
+	if _, err := NewCluster(ClusterConfig{Participants: []ParticipantConfig{{ID: "x", Protocol: PrAny}}}); err == nil {
+		t.Fatal("PrAny as participant protocol accepted")
+	}
+}
+
+func TestCrashUnknownSite(t *testing.T) {
+	c := newTestCluster(t, mixedConfig())
+	if err := c.Crash("ghost"); err == nil {
+		t.Fatal("crash of unknown site accepted")
+	}
+	if err := c.Recover("ghost"); err == nil {
+		t.Fatal("recover of unknown site accepted")
+	}
+}
+
+func TestMetricsAndCheckpointExposed(t *testing.T) {
+	c := newTestCluster(t, mixedConfig())
+	txn := c.Begin()
+	txn.Put("hotel", "a", "1")
+	txn.Commit()
+	c.Quiesce(2 * time.Second)
+	if c.Metrics().Total().TotalMessages() == 0 {
+		t.Fatal("no messages counted")
+	}
+	if c.History().Len() == 0 {
+		t.Fatal("no history recorded")
+	}
+	if _, err := c.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestU2PCStrategyExposed(t *testing.T) {
+	cfg := mixedConfig()
+	cfg.Strategy = StrategyU2PC
+	cfg.Native = PrN
+	c := newTestCluster(t, cfg)
+	txn := c.Begin()
+	txn.Put("hotel", "k", "v")
+	if out, err := txn.Commit(); err != nil || out != Commit {
+		t.Fatalf("%v %v", out, err)
+	}
+	c.Quiesce(2 * time.Second)
+}
+
+func TestManyTransactionsStayClean(t *testing.T) {
+	c := newTestCluster(t, mixedConfig())
+	for i := 0; i < 25; i++ {
+		txn := c.Begin()
+		for _, s := range c.Participants() {
+			if err := txn.Put(s, fmt.Sprintf("k%d", i), "v"); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if out, err := txn.Commit(); err != nil || out != Commit {
+			t.Fatalf("txn %d: %v %v", i, out, err)
+		}
+	}
+	if !c.Quiesce(3 * time.Second) {
+		t.Fatal("did not quiesce")
+	}
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
