@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test vet race tier1 bench-groupcommit clean
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race pass over the packages with real concurrency: the group-commit
+# flusher, the sharded protocol tables, the parallel fan-out and the TCP
+# transport. -short keeps the stress test tractable in CI.
+race:
+	$(GO) test -race -short ./internal/core/... ./internal/transport/... ./internal/wal/...
+
+# tier1 is the merge gate: everything must build, every test must pass,
+# vet must be clean and the concurrent packages must be race-free.
+tier1: build test vet race
+
+# Reproduce the E13 group-commit numbers recorded in BENCH_groupcommit.json.
+bench-groupcommit:
+	$(GO) test -bench 'BenchmarkE13_GroupCommit' -benchtime 300x -run '^$$' .
+
+clean:
+	$(GO) clean ./...

@@ -235,6 +235,27 @@ func BenchmarkE12_CL_Mixed(b *testing.B) {
 	benchProtocol(b, []wire.Protocol{wire.CL, wire.PrA, wire.PrC}, true)
 }
 
+// E13 — group commit: the same concurrent commit workload with the log's
+// group-commit flusher off and on, over stores with simulated per-flush
+// device latency. The logical force count (the protocol cost) is identical;
+// the physical flush count per transaction collapses when concurrent forces
+// coalesce.
+func BenchmarkE13_GroupCommit(b *testing.B) {
+	for _, gc := range []bool{false, true} {
+		b.Run(fmt.Sprintf("group=%v", gc), func(b *testing.B) {
+			pt, err := experiments.MeasureGroupCommit(gc, 16, b.N, time.Millisecond, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(pt.TxnsPerSec, "txns/s")
+			b.ReportMetric(pt.ForcesPerTxn, "forces/txn")
+			b.ReportMetric(pt.SyncsPerTxn, "syncs/txn")
+			b.ReportMetric(pt.CoordSyncsPerTxn, "coordsyncs/txn")
+			b.ReportMetric(pt.MeanBatch, "recs/sync")
+		})
+	}
+}
+
 // Ablation — the forced initiation record: PrAny's extra coordinator force
 // versus homogeneous PrA (which writes none). The delta is the price of
 // integration.

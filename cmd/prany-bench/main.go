@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"prany/internal/core"
 	"prany/internal/experiments"
@@ -24,21 +25,22 @@ import (
 )
 
 func main() {
-	run := flag.String("run", "all", "which section to run: all, costs, theorem1, theorem2, sweep, perf, readonly")
+	run := flag.String("run", "all", "which section to run: all, costs, theorem1, theorem2, sweep, perf, readonly, iyv, cl, groupcommit")
 	flag.Parse()
 
 	sections := map[string]func(){
-		"costs":    costs,
-		"theorem1": theorem1,
-		"theorem2": theorem2,
-		"sweep":    sweep,
-		"perf":     perf,
-		"readonly": readonly,
-		"iyv":      iyv,
-		"cl":       cl,
+		"costs":       costs,
+		"theorem1":    theorem1,
+		"theorem2":    theorem2,
+		"sweep":       sweep,
+		"perf":        perf,
+		"readonly":    readonly,
+		"iyv":         iyv,
+		"cl":          cl,
+		"groupcommit": groupcommit,
 	}
 	if *run == "all" {
-		for _, name := range []string{"costs", "theorem1", "theorem2", "sweep", "perf", "readonly", "iyv", "cl"} {
+		for _, name := range []string{"costs", "theorem1", "theorem2", "sweep", "perf", "readonly", "iyv", "cl", "groupcommit"} {
 			sections[name]()
 			fmt.Println()
 		}
@@ -247,6 +249,29 @@ func cl() {
 	fmt.Println()
 	fmt.Println("note: partF/partRec are 0 in every CL row — the participants log nothing;")
 	fmt.Println("the coordinator pays one forced remote-writes record per shipped vote.")
+}
+
+// groupcommit prints E13: the group-commit comparison — the same concurrent
+// commit workload with the log's flusher off and on, over stores with 1ms of
+// simulated per-flush device latency. The logical force count is identical
+// in both rows; the physical flush count collapses as concurrent forces at
+// the coordinator coalesce.
+func groupcommit() {
+	header("E13: group commit — physical flushes collapse under concurrency")
+	fmt.Printf("%7s %6s | %9s %12s %10s %10s %14s %9s\n",
+		"clients", "group", "txns/s", "meanLatency", "forces/txn", "syncs/txn", "coordsyncs/txn", "recs/sync")
+	for _, clients := range []int{1, 4, 16} {
+		for _, gc := range []bool{false, true} {
+			pt, err := experiments.MeasureGroupCommit(gc, clients, 200, time.Millisecond, 42)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%7d %6v | %9.0f %12s %10.2f %10.2f %14.2f %9.2f\n",
+				clients, gc, pt.TxnsPerSec, pt.MeanLatency.Round(1000),
+				pt.ForcesPerTxn, pt.SyncsPerTxn, pt.CoordSyncsPerTxn, pt.MeanBatch)
+		}
+		fmt.Println()
+	}
 }
 
 // readonly prints E10: the read-only optimization ablation.

@@ -114,14 +114,15 @@ func (ct *ctxn) allVotesIn() bool {
 	return all
 }
 
-// Coordinator is one site's coordinator-side engine.
+// Coordinator is one site's coordinator-side engine. Its protocol table is
+// sharded by transaction-id hash so unrelated transactions never contend on
+// one mutex; each ctxn's fields are guarded by its shard's lock.
 type Coordinator struct {
 	env Env
 	cfg CoordinatorConfig
 	pcp *PCP
 
-	mu   sync.Mutex
-	txns map[wire.TxnID]*ctxn // the protocol table
+	txns *shardedTable[*ctxn] // the protocol table
 }
 
 // NewCoordinator builds a coordinator engine over the given PCP table.
@@ -132,7 +133,12 @@ func NewCoordinator(env Env, cfg CoordinatorConfig, pcp *PCP) *Coordinator {
 	if cfg.Strategy != StrategyPrAny && !cfg.Native.ParticipantProtocol() {
 		panic("core: U2PC/C2PC need a native protocol of PrN, PrA or PrC")
 	}
-	return &Coordinator{env: env, cfg: cfg, pcp: pcp, txns: make(map[wire.TxnID]*ctxn)}
+	var onContend func()
+	if env.Met != nil {
+		met, id := env.Met, env.ID
+		onContend = func() { met.ShardWait(id) }
+	}
+	return &Coordinator{env: env, cfg: cfg, pcp: pcp, txns: newShardedTable[*ctxn](onContend)}
 }
 
 // choose picks the per-transaction protocol. Under PrAny it is the Section
@@ -181,13 +187,13 @@ func (c *Coordinator) Commit(txn wire.TxnID, parts []wire.SiteID) (wire.Outcome,
 	}
 	ct.chosen = c.choose(protos)
 
-	c.mu.Lock()
-	if _, dup := c.txns[txn]; dup {
-		c.mu.Unlock()
+	sh := c.txns.lock(txn)
+	if _, dup := sh.m[txn]; dup {
+		sh.mu.Unlock()
 		return wire.Abort, fmt.Errorf("core: transaction %s already in protocol table", txn)
 	}
-	c.txns[txn] = ct
-	c.mu.Unlock()
+	sh.m[txn] = ct
+	sh.mu.Unlock()
 	if c.env.Met != nil {
 		c.env.Met.PTInsert(c.env.ID)
 	}
@@ -204,28 +210,30 @@ func (c *Coordinator) Commit(txn wire.TxnID, parts []wire.SiteID) (wire.Outcome,
 			return wire.Abort, err
 		}
 	}
-	allImplicit := true
+	var prepares []wire.Message
 	for _, id := range ct.order {
 		if ct.parts[id].proto.OnePhase() {
 			continue // implicitly prepared; no voting round
 		}
-		allImplicit = false
-		c.env.send(wire.Message{Kind: wire.MsgPrepare, Txn: txn, From: c.env.ID, To: id})
+		prepares = append(prepares, wire.Message{Kind: wire.MsgPrepare, Txn: txn, From: c.env.ID, To: id})
 	}
+	c.env.fanout(prepares)
 
-	if !allImplicit {
+	if len(prepares) > 0 {
+		timer := time.NewTimer(c.cfg.VoteTimeout)
 		select {
 		case <-ct.votesDone:
-		case <-time.After(c.cfg.VoteTimeout):
+			timer.Stop()
+		case <-timer.C:
 		}
 	}
 
-	c.mu.Lock()
+	sh = c.txns.lock(txn)
 	outcome := wire.Abort
 	if ct.allYes() {
 		outcome = wire.Commit
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 
 	return c.decide(ct, outcome)
 }
@@ -269,17 +277,15 @@ func (c *Coordinator) decide(ct *ctxn, outcome wire.Outcome) (wire.Outcome, erro
 	}
 	c.env.event(history.Event{Kind: history.EvDecide, Txn: ct.txn, Outcome: outcome})
 
-	c.mu.Lock()
+	sh := c.txns.lock(ct.txn)
 	ct.decided = true
 	ct.outcome = outcome
 	ct.state = cDraining
 	msgs := c.decisionMsgsLocked(ct)
-	finished := c.maybeFinishLocked(ct)
-	c.mu.Unlock()
+	finished := c.maybeFinishLocked(sh.m, ct)
+	sh.mu.Unlock()
 
-	for _, m := range msgs {
-		c.env.send(m)
-	}
+	c.env.fanout(msgs)
 	_ = finished
 	return outcome, nil
 }
@@ -364,8 +370,9 @@ func (c *Coordinator) needsEnd(ct *ctxn) bool {
 
 // maybeFinishLocked checks whether every expected ack arrived; if so it
 // writes the end record (when the variant calls for one) and deletes the
-// transaction from the protocol table — the coordinator forgets.
-func (c *Coordinator) maybeFinishLocked(ct *ctxn) bool {
+// transaction from its shard map m (the caller holds that shard's lock) —
+// the coordinator forgets.
+func (c *Coordinator) maybeFinishLocked(m map[wire.TxnID]*ctxn, ct *ctxn) bool {
 	if ct.state != cDraining {
 		return false
 	}
@@ -377,7 +384,7 @@ func (c *Coordinator) maybeFinishLocked(ct *ctxn) bool {
 	if c.needsEnd(ct) {
 		_ = c.env.appendLazy(wal.Record{Kind: wal.KEnd, Role: wal.RoleCoord, Txn: ct.txn})
 	}
-	delete(c.txns, ct.txn)
+	delete(m, ct.txn)
 	if c.env.Met != nil {
 		c.env.Met.PTDelete(c.env.ID)
 	}
@@ -387,9 +394,9 @@ func (c *Coordinator) maybeFinishLocked(ct *ctxn) bool {
 
 // drop removes a transaction that never reached a decision (setup failure).
 func (c *Coordinator) drop(txn wire.TxnID) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	delete(c.txns, txn)
+	sh := c.txns.lock(txn)
+	delete(sh.m, txn)
+	sh.mu.Unlock()
 	if c.env.Met != nil {
 		c.env.Met.PTDelete(c.env.ID)
 	}
@@ -416,41 +423,42 @@ func (c *Coordinator) Handle(m wire.Message) {
 // announcement is echoed back afterwards so the site can lift its recovery
 // fence (per-destination FIFO guarantees the decisions arrive first).
 func (c *Coordinator) handleRecoverSite(m wire.Message) {
-	c.mu.Lock()
 	var msgs []wire.Message
-	for _, ct := range c.txns {
-		if ct.state != cDraining {
-			continue
+	c.txns.each(func(tbl map[wire.TxnID]*ctxn) {
+		for _, ct := range tbl {
+			if ct.state != cDraining {
+				continue
+			}
+			p := ct.parts[m.From]
+			if p == nil || !p.expectAck || p.acked {
+				continue
+			}
+			p.sentDecision = true
+			msgs = append(msgs, wire.Message{
+				Kind: wire.MsgDecision, Txn: ct.txn, From: c.env.ID, To: m.From,
+				Outcome: ct.outcome, Writes: p.writes,
+			})
 		}
-		p := ct.parts[m.From]
-		if p == nil || !p.expectAck || p.acked {
-			continue
-		}
-		p.sentDecision = true
-		msgs = append(msgs, wire.Message{
-			Kind: wire.MsgDecision, Txn: ct.txn, From: c.env.ID, To: m.From,
-			Outcome: ct.outcome, Writes: p.writes,
-		})
-	}
-	c.mu.Unlock()
-	for _, d := range msgs {
-		c.env.send(d)
-	}
+	})
+	// All re-driven decisions share one destination, so fanout sends them
+	// in order and returns before the echo goes out — the per-destination
+	// FIFO the recovering site's fence relies on.
+	c.env.fanout(msgs)
 	// The echo carries PrAny as the sender protocol so site-level routing
 	// can tell it apart from a participant's announcement.
 	c.env.send(wire.Message{Kind: wire.MsgRecoverSite, From: c.env.ID, To: m.From, Proto: wire.PrAny})
 }
 
 func (c *Coordinator) handleVote(m wire.Message) {
-	c.mu.Lock()
-	ct := c.txns[m.Txn]
+	sh := c.txns.lock(m.Txn)
+	ct := sh.m[m.Txn]
 	if ct == nil || ct.state != cVoting {
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return // late vote for a decided or forgotten transaction
 	}
 	p := ct.parts[m.From]
 	if p == nil || p.voted {
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return
 	}
 
@@ -458,22 +466,22 @@ func (c *Coordinator) handleVote(m wire.Message) {
 		// Coordinator log: the participant's write set must be stable
 		// *here* before its yes vote counts — this log is the
 		// participant's only memory.
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		if err := c.env.force(wal.Record{
 			Kind: wal.KRemoteWrites, Role: wal.RoleCoord, Txn: m.Txn,
 			Coord: m.From, Writes: m.Writes,
 		}); err != nil {
 			return // vote uncounted; the timeout will abort
 		}
-		c.mu.Lock()
+		sh = c.txns.lock(m.Txn)
 		// Re-validate: the transaction may have been decided (timeout
 		// abort) while the force ran.
-		if ct = c.txns[m.Txn]; ct == nil || ct.state != cVoting {
-			c.mu.Unlock()
+		if ct = sh.m[m.Txn]; ct == nil || ct.state != cVoting {
+			sh.mu.Unlock()
 			return
 		}
 		if p = ct.parts[m.From]; p == nil || p.voted {
-			c.mu.Unlock()
+			sh.mu.Unlock()
 			return
 		}
 		p.writes = m.Writes
@@ -484,24 +492,24 @@ func (c *Coordinator) handleVote(m wire.Message) {
 	if ct.allVotesIn() {
 		ct.closeVotes()
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 }
 
 func (c *Coordinator) handleAck(m wire.Message) {
-	c.mu.Lock()
-	ct := c.txns[m.Txn]
+	sh := c.txns.lock(m.Txn)
+	ct := sh.m[m.Txn]
 	if ct == nil {
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return // ack after forgetting: the protocol violation U2PC ignores
 	}
 	p := ct.parts[m.From]
 	if p == nil {
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		return
 	}
 	p.acked = true
-	c.maybeFinishLocked(ct)
-	c.mu.Unlock()
+	c.maybeFinishLocked(sh.m, ct)
+	sh.mu.Unlock()
 }
 
 // handleInquiry answers a participant blocked in doubt. With the
@@ -516,19 +524,19 @@ func (c *Coordinator) handleAck(m wire.Message) {
 //	U2PC / C2PC: the coordinator's native presumption, right or wrong —
 //	       this is the Theorem 1 bug, preserved deliberately.
 func (c *Coordinator) handleInquiry(m wire.Message) {
-	c.mu.Lock()
-	ct := c.txns[m.Txn]
+	sh := c.txns.lock(m.Txn)
+	ct := sh.m[m.Txn]
 	if ct != nil {
 		if !ct.decided {
-			c.mu.Unlock()
+			sh.mu.Unlock()
 			return // still voting; decision (or timeout abort) is coming
 		}
 		outcome := ct.outcome
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		c.respond(m, outcome)
 		return
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 
 	outcome := c.presumeFor(m)
 	c.respond(m, outcome)
@@ -566,44 +574,38 @@ func (c *Coordinator) respond(inq wire.Message, outcome wire.Outcome) {
 // have been lost, or the participant may have been down). The site layer
 // calls it periodically.
 func (c *Coordinator) Tick() {
-	c.mu.Lock()
 	var msgs []wire.Message
-	for _, ct := range c.txns {
-		if ct.state != cDraining {
-			continue
-		}
-		for _, id := range ct.order {
-			p := ct.parts[id]
-			if p.sentDecision && p.expectAck && !p.acked {
-				msgs = append(msgs, wire.Message{
-					Kind: wire.MsgDecision, Txn: ct.txn, From: c.env.ID, To: id, Outcome: ct.outcome,
-				})
+	c.txns.each(func(tbl map[wire.TxnID]*ctxn) {
+		for _, ct := range tbl {
+			if ct.state != cDraining {
+				continue
+			}
+			for _, id := range ct.order {
+				p := ct.parts[id]
+				if p.sentDecision && p.expectAck && !p.acked {
+					msgs = append(msgs, wire.Message{
+						Kind: wire.MsgDecision, Txn: ct.txn, From: c.env.ID, To: id, Outcome: ct.outcome,
+					})
+				}
 			}
 		}
-	}
-	c.mu.Unlock()
-	for _, m := range msgs {
-		c.env.send(m)
-	}
+	})
+	c.env.fanout(msgs)
 }
 
 // PTSize returns the number of protocol-table entries — the retention
 // measure of Theorem 2.
-func (c *Coordinator) PTSize() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.txns)
-}
+func (c *Coordinator) PTSize() int { return c.txns.size() }
 
 // PTEntries returns the transactions currently in the protocol table, in
 // sorted order.
 func (c *Coordinator) PTEntries() []wire.TxnID {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]wire.TxnID, 0, len(c.txns))
-	for txn := range c.txns {
-		out = append(out, txn)
-	}
+	var out []wire.TxnID
+	c.txns.each(func(tbl map[wire.TxnID]*ctxn) {
+		for txn := range tbl {
+			out = append(out, txn)
+		}
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
 	return out
 }
@@ -612,8 +614,8 @@ func (c *Coordinator) PTEntries() []wire.TxnID {
 // transactions in the protocol table do; everything else is garbage by
 // clause 2 of operational correctness.
 func (c *Coordinator) Live(txn wire.TxnID) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, ok := c.txns[txn]
+	sh := c.txns.lock(txn)
+	_, ok := sh.m[txn]
+	sh.mu.Unlock()
 	return ok
 }

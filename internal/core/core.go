@@ -16,6 +16,7 @@ package core
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 
 	"prany/internal/history"
@@ -111,4 +112,49 @@ func (e *Env) event(ev history.Event) {
 		ev.Site = e.ID
 		e.Hist.Record(ev)
 	}
+}
+
+// fanout emits msgs through the environment, one goroutine per distinct
+// destination, so a fan-out to N participants costs one message delay
+// instead of N sequential sends (a Send can block on dial or write under a
+// TCP transport). Messages to the same destination keep their relative
+// order — the per-destination FIFO the recovery paths rely on — and fanout
+// returns only once every message has been handed to the transport.
+func (e *Env) fanout(msgs []wire.Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	single := true
+	for _, m := range msgs[1:] {
+		if m.To != msgs[0].To {
+			single = false
+			break
+		}
+	}
+	if single {
+		for _, m := range msgs {
+			e.send(m)
+		}
+		return
+	}
+	byDest := make(map[wire.SiteID][]wire.Message, len(msgs))
+	order := make([]wire.SiteID, 0, len(msgs))
+	for _, m := range msgs {
+		if _, ok := byDest[m.To]; !ok {
+			order = append(order, m.To)
+		}
+		byDest[m.To] = append(byDest[m.To], m)
+	}
+	var wg sync.WaitGroup
+	for _, dest := range order {
+		dm := byDest[dest]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, m := range dm {
+				e.send(m)
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -148,10 +148,10 @@ func (c *Coordinator) Recover() error {
 			ct.order = append(ct.order, pi.ID)
 		}
 
-		c.mu.Lock()
-		c.txns[txn] = ct
+		sh := c.txns.lock(txn)
+		sh.m[txn] = ct
 		msgs := c.redriveMsgsLocked(ct)
-		c.mu.Unlock()
+		sh.mu.Unlock()
 		if c.env.Met != nil {
 			c.env.Met.PTInsert(c.env.ID)
 		}
@@ -160,16 +160,14 @@ func (c *Coordinator) Recover() error {
 		// so a re-recorded event can never change the outcome).
 		c.env.event(history.Event{Kind: history.EvDecide, Txn: txn, Outcome: outcome})
 
-		c.mu.Lock()
-		c.maybeFinishLocked(ct)
-		c.mu.Unlock()
+		sh = c.txns.lock(txn)
+		c.maybeFinishLocked(sh.m, ct)
+		sh.mu.Unlock()
 		allMsgs = append(allMsgs, msgs...)
 	}
 
 	c.env.event(history.Event{Kind: history.EvRecover})
-	for _, m := range allMsgs {
-		c.env.send(m)
-	}
+	c.env.fanout(allMsgs)
 	return nil
 }
 

@@ -84,7 +84,7 @@ func TestDuplicatePrepareRevotes(t *testing.T) {
 	// produce a fresh yes vote without re-forcing a second prepared
 	// record.
 	before := len(r.logs["p1"].All())
-	r.drop = nil
+	r.setDrop(nil) // the Commit goroutine is still in its vote wait
 	r.route(wire.Message{Kind: wire.MsgPrepare, Txn: txn, From: "coord", To: "p1"})
 	if out := <-done; out != wire.Commit {
 		t.Fatalf("outcome %v after re-vote", out)

@@ -21,10 +21,12 @@ type Participant struct {
 	// performed no updates votes read-only and drops out of phase two.
 	readOnlyOpt bool
 
-	mu   sync.Mutex
-	txns map[wire.TxnID]*ptxn
+	// txns is the protocol table, sharded by transaction-id hash; each
+	// ptxn's fields are guarded by its shard's lock.
+	txns *shardedTable[*ptxn]
 
-	// Coordinator-log state. A CL participant logs nothing, so on restart
+	// mu guards the coordinator-log state below (never held together with
+	// a shard lock). A CL participant logs nothing, so on restart
 	// it cannot name its in-doubt transactions: it announces its recovery
 	// to every known coordinator (coords) and fences new work (recovering)
 	// until a coordinator echoes that every outstanding decision has been
@@ -32,6 +34,7 @@ type Participant struct {
 	// for page-LSN checks: it keeps decisions re-driven *with* attached
 	// write sets from re-applying images over data later transactions have
 	// already changed.
+	mu            sync.Mutex
 	coords        []wire.SiteID
 	recovering    bool
 	enforced      map[wire.TxnID]bool
@@ -71,12 +74,17 @@ func NewParticipant(env Env, proto wire.Protocol, rm RM, readOnlyOpt bool) *Part
 	if !proto.ParticipantProtocol() {
 		panic("core: " + proto.String() + " is not a participant protocol")
 	}
+	var onContend func()
+	if env.Met != nil {
+		met, id := env.Met, env.ID
+		onContend = func() { met.ShardWait(id) }
+	}
 	return &Participant{
 		env:         env,
 		proto:       proto,
 		rm:          rm,
 		readOnlyOpt: readOnlyOpt,
-		txns:        make(map[wire.TxnID]*ptxn),
+		txns:        newShardedTable[*ptxn](onContend),
 		enforced:    make(map[wire.TxnID]bool),
 	}
 }
@@ -115,33 +123,35 @@ func (p *Participant) Handle(m wire.Message) {
 
 func (p *Participant) handleExec(m wire.Message) {
 	p.mu.Lock()
-	if p.recovering {
+	recovering := p.recovering
+	p.mu.Unlock()
+	if recovering {
 		// CL recovery fence: no new work until the coordinator has
 		// re-driven everything outstanding, or images recovered off the
 		// wire could race new transactions on the same keys.
-		p.mu.Unlock()
 		p.env.send(wire.Message{
 			Kind: wire.MsgExecReply, Txn: m.Txn, From: p.env.ID, To: m.From,
 			Err: "site recovering",
 		})
 		return
 	}
-	t := p.txns[m.Txn]
+	sh := p.txns.lock(m.Txn)
+	t := sh.m[m.Txn]
 	if t == nil {
 		t = &ptxn{coord: m.From}
-		p.txns[m.Txn] = t
+		sh.m[m.Txn] = t
 	}
 	// An explicitly prepared subtransaction is frozen; an IYV one is
 	// *implicitly* prepared after every batch and keeps executing.
 	if t.state == pPrepared && p.proto != wire.IYV {
-		p.mu.Unlock()
+		sh.mu.Unlock()
 		p.env.send(wire.Message{
 			Kind: wire.MsgExecReply, Txn: m.Txn, From: p.env.ID, To: m.From,
 			Err: "subtransaction already prepared",
 		})
 		return
 	}
-	p.mu.Unlock()
+	sh.mu.Unlock()
 
 	// Execution may block on locks held by other (possibly in-doubt)
 	// transactions, and the decision that releases them arrives on the
@@ -160,9 +170,7 @@ func (p *Participant) execute(m wire.Message) {
 		// aborts unilaterally; the error travels back so the coordinator
 		// aborts the global transaction.
 		p.rm.Abort(m.Txn)
-		p.mu.Lock()
-		delete(p.txns, m.Txn)
-		p.mu.Unlock()
+		p.dropTxn(m.Txn)
 		reply.Results = nil
 		reply.Err = err.Error()
 		p.env.send(reply)
@@ -179,31 +187,29 @@ func (p *Participant) execute(m wire.Message) {
 				Kind: wal.KPrepared, Role: wal.RolePart, Txn: m.Txn, Coord: m.From, Writes: writes,
 			}); ferr != nil {
 				p.rm.Abort(m.Txn)
-				p.mu.Lock()
-				delete(p.txns, m.Txn)
-				p.mu.Unlock()
+				p.dropTxn(m.Txn)
 				reply.Results = nil
 				reply.Err = "forcing operation log: " + ferr.Error()
 				p.env.send(reply)
 				return
 			}
-			p.mu.Lock()
-			if t := p.txns[m.Txn]; t != nil {
+			sh := p.txns.lock(m.Txn)
+			if t := sh.m[m.Txn]; t != nil {
 				t.state = pPrepared
 				t.coord = m.From
 			}
-			p.mu.Unlock()
+			sh.mu.Unlock()
 		}
 	}
 	p.env.send(reply)
 }
 
 func (p *Participant) handlePrepare(m wire.Message) {
-	p.mu.Lock()
-	t := p.txns[m.Txn]
+	sh := p.txns.lock(m.Txn)
+	t := sh.m[m.Txn]
 	if t != nil && t.state == pPrepared {
 		shipped := t.writes
-		p.mu.Unlock()
+		sh.mu.Unlock()
 		// Duplicate prepare (retry after a lost vote): re-vote yes,
 		// re-shipping the write set under coordinator log.
 		p.vote(m, wire.VoteYes, shipped)
@@ -212,19 +218,17 @@ func (p *Participant) handlePrepare(m wire.Message) {
 	if t == nil {
 		// No subtransaction executed here (or it already aborted after an
 		// execution failure): vote no.
-		p.mu.Unlock()
+		sh.mu.Unlock()
 		p.vote(m, wire.VoteNo, nil)
 		return
 	}
 	t.coord = m.From
-	p.mu.Unlock()
+	sh.mu.Unlock()
 
 	writes, readOnly, err := p.rm.Prepare(m.Txn)
 	if err != nil {
 		p.rm.Abort(m.Txn)
-		p.mu.Lock()
-		delete(p.txns, m.Txn)
-		p.mu.Unlock()
+		p.dropTxn(m.Txn)
 		p.vote(m, wire.VoteNo, nil)
 		return
 	}
@@ -232,9 +236,7 @@ func (p *Participant) handlePrepare(m wire.Message) {
 		// Read-only optimization: release locks, forget, vote read-only;
 		// the participant takes no part in the decision phase.
 		p.rm.Abort(m.Txn)
-		p.mu.Lock()
-		delete(p.txns, m.Txn)
-		p.mu.Unlock()
+		p.dropTxn(m.Txn)
 		p.vote(m, wire.VoteReadOnly, nil)
 		p.env.event(history.Event{Kind: history.EvForget, Txn: m.Txn})
 		return
@@ -244,10 +246,10 @@ func (p *Participant) handlePrepare(m wire.Message) {
 		// Coordinator log: the participant forces nothing. Its write set
 		// rides on the vote; the coordinator's forced remote-writes
 		// record is the durable promise.
-		p.mu.Lock()
+		sh = p.txns.lock(m.Txn)
 		t.state = pPrepared
 		t.writes = writes
-		p.mu.Unlock()
+		sh.mu.Unlock()
 		p.vote(m, wire.VoteYes, writes)
 		return
 	}
@@ -260,16 +262,21 @@ func (p *Participant) handlePrepare(m wire.Message) {
 	}); err != nil {
 		// Cannot make the promise durable: abort instead of voting yes.
 		p.rm.Abort(m.Txn)
-		p.mu.Lock()
-		delete(p.txns, m.Txn)
-		p.mu.Unlock()
+		p.dropTxn(m.Txn)
 		p.vote(m, wire.VoteNo, nil)
 		return
 	}
-	p.mu.Lock()
+	sh = p.txns.lock(m.Txn)
 	t.state = pPrepared
-	p.mu.Unlock()
+	sh.mu.Unlock()
 	p.vote(m, wire.VoteYes, nil)
+}
+
+// dropTxn removes txn from the protocol table.
+func (p *Participant) dropTxn(txn wire.TxnID) {
+	sh := p.txns.lock(txn)
+	delete(sh.m, txn)
+	sh.mu.Unlock()
 }
 
 func (p *Participant) vote(m wire.Message, v wire.Vote, shipped []wal.Update) {
@@ -296,8 +303,8 @@ func (p *Participant) vote(m wire.Message, v wire.Vote, shipped []wal.Update) {
 // already enforced and forgotten the decision (paper, footnote 5); it
 // simply re-acknowledges.
 func (p *Participant) handleDecision(m wire.Message) {
-	p.mu.Lock()
-	t := p.txns[m.Txn]
+	sh := p.txns.lock(m.Txn)
+	t := sh.m[m.Txn]
 	if t == nil {
 		// No memory of the transaction. For two-phase protocols that
 		// means already enforced (footnote 5: re-acknowledge) — their
@@ -309,8 +316,8 @@ func (p *Participant) handleDecision(m wire.Message) {
 		// sender for a re-drive that carries them.
 		// An abort with no state enforces trivially (nothing was ever
 		// applied), so only commits need the images.
-		if p.proto == wire.CL && !p.enforced[m.Txn] && m.Outcome == wire.Commit {
-			p.mu.Unlock()
+		sh.mu.Unlock()
+		if p.proto == wire.CL && m.Outcome == wire.Commit && !p.wasEnforced(m.Txn) {
 			if len(m.Writes) > 0 {
 				if err := p.rm.RecoverPrepared(m.Txn, m.Writes); err == nil {
 					p.enforceCL(m)
@@ -326,13 +333,12 @@ func (p *Participant) handleDecision(m wire.Message) {
 			})
 			return
 		}
-		p.mu.Unlock()
 		p.ack(m)
 		return
 	}
 	wasPrepared := t.state == pPrepared
-	delete(p.txns, m.Txn)
-	p.mu.Unlock()
+	delete(sh.m, m.Txn)
+	sh.mu.Unlock()
 
 	if p.proto == wire.CL {
 		// Coordinator log: the participant logs nothing, for decisions
@@ -367,6 +373,13 @@ func (p *Participant) handleDecision(m wire.Message) {
 	p.env.event(history.Event{Kind: history.EvEnforce, Txn: m.Txn, Outcome: m.Outcome})
 	p.env.event(history.Event{Kind: history.EvForget, Txn: m.Txn})
 	p.ack(m)
+}
+
+// wasEnforced reports whether the CL idempotence guard remembers txn.
+func (p *Participant) wasEnforced(txn wire.TxnID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.enforced[txn]
 }
 
 // enforceCL applies a decision at a coordinator-log participant and records
@@ -462,9 +475,9 @@ func (p *Participant) Recover() error {
 			continue
 		}
 		// In doubt: blocked until the coordinator answers.
-		p.mu.Lock()
-		p.txns[txn] = &ptxn{state: pPrepared, coord: s.prepared.Coord}
-		p.mu.Unlock()
+		sh := p.txns.lock(txn)
+		sh.m[txn] = &ptxn{state: pPrepared, coord: s.prepared.Coord}
+		sh.mu.Unlock()
 		inquiries = append(inquiries, p.inquiryMsg(txn, s.prepared.Coord))
 	}
 	p.env.event(history.Event{Kind: history.EvRecover})
@@ -499,24 +512,20 @@ func (p *Participant) inquiryMsg(txn wire.TxnID, coord wire.SiteID) wire.Message
 
 // InDoubt returns the transactions blocked in the prepared state.
 func (p *Participant) InDoubt() []wire.TxnID {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	var out []wire.TxnID
-	for txn, t := range p.txns {
-		if t.state == pPrepared {
-			out = append(out, txn)
+	p.txns.each(func(tbl map[wire.TxnID]*ptxn) {
+		for txn, t := range tbl {
+			if t.state == pPrepared {
+				out = append(out, txn)
+			}
 		}
-	}
+	})
 	return out
 }
 
 // Pending returns the number of transactions the participant still holds
 // state for (executing or prepared).
-func (p *Participant) Pending() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.txns)
-}
+func (p *Participant) Pending() int { return p.txns.size() }
 
 // Tick retries the protocol's timeout actions: one inquiry per in-doubt
 // transaction, and a unilateral abort of executing subtransactions that
@@ -524,9 +533,9 @@ func (p *Participant) Pending() int {
 // abort on its own; anything it hears later is answered per footnote 5).
 // The site layer calls it periodically.
 func (p *Participant) Tick() {
-	p.mu.Lock()
 	var msgs []wire.Message
 	var abandoned []wire.TxnID
+	p.mu.Lock()
 	if p.recovering {
 		// The recovery announcement (or its echo) may have been lost:
 		// repeat it until the fence lifts.
@@ -536,19 +545,21 @@ func (p *Participant) Tick() {
 			})
 		}
 	}
-	for txn, t := range p.txns {
-		switch t.state {
-		case pPrepared:
-			msgs = append(msgs, p.inquiryMsg(txn, t.coord))
-		case pExecuting:
-			t.idleTicks++
-			if t.idleTicks >= idleAbortTicks {
-				abandoned = append(abandoned, txn)
-				delete(p.txns, txn)
+	p.mu.Unlock()
+	p.txns.each(func(tbl map[wire.TxnID]*ptxn) {
+		for txn, t := range tbl {
+			switch t.state {
+			case pPrepared:
+				msgs = append(msgs, p.inquiryMsg(txn, t.coord))
+			case pExecuting:
+				t.idleTicks++
+				if t.idleTicks >= idleAbortTicks {
+					abandoned = append(abandoned, txn)
+					delete(tbl, txn)
+				}
 			}
 		}
-	}
-	p.mu.Unlock()
+	})
 	for _, txn := range abandoned {
 		p.rm.Abort(txn)
 		p.env.event(history.Event{Kind: history.EvEnforce, Txn: txn, Outcome: wire.Abort})
@@ -558,8 +569,8 @@ func (p *Participant) Tick() {
 		if m.Kind == wire.MsgInquiry {
 			p.env.event(history.Event{Kind: history.EvInquiry, Txn: m.Txn, Peer: m.To})
 		}
-		p.env.send(m)
 	}
+	p.env.fanout(msgs)
 }
 
 // Live reports whether the participant still needs txn's log records: only
@@ -567,8 +578,8 @@ func (p *Participant) Tick() {
 // uses it; everything else is garbage the moment the decision is enforced,
 // which is clause 3 of operational correctness.
 func (p *Participant) Live(txn wire.TxnID) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	_, ok := p.txns[txn]
+	sh := p.txns.lock(txn)
+	_, ok := sh.m[txn]
+	sh.mu.Unlock()
 	return ok
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -32,6 +33,12 @@ type rig struct {
 	met     *metrics.Registry
 	cfg     CoordinatorConfig
 	down    map[wire.SiteID]bool
+	// dropMu serializes drop-rule evaluation: the coordinator's parallel
+	// fan-out routes from several goroutines at once, and drop rules
+	// capture unsynchronized state (rand sources, counters). It guards
+	// only the rule call — routing itself must stay re-entrant because
+	// handlers send from within Handle.
+	dropMu  sync.Mutex
 	drop    func(m wire.Message) bool
 	seq     uint64
 	roOpt   bool
@@ -105,7 +112,10 @@ func (r *rig) route(m wire.Message) {
 	if r.down[m.From] || r.down[m.To] {
 		return
 	}
-	if r.drop != nil && r.drop(m) {
+	r.dropMu.Lock()
+	dropped := r.drop != nil && r.drop(m)
+	r.dropMu.Unlock()
+	if dropped {
 		return
 	}
 	if m.To == r.coordID {
@@ -121,6 +131,15 @@ func (r *rig) route(m wire.Message) {
 	if p := r.parts[m.To]; p != nil {
 		p.Handle(m)
 	}
+}
+
+// setDrop installs (or clears, with nil) the message drop rule. Tests that
+// change the rule while a Commit goroutine is in flight must use this
+// rather than assigning r.drop directly.
+func (r *rig) setDrop(f func(m wire.Message) bool) {
+	r.dropMu.Lock()
+	r.drop = f
+	r.dropMu.Unlock()
 }
 
 // recoverPartCL restarts a crashed CL participant: no log analysis, just

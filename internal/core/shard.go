@@ -1,0 +1,93 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"prany/internal/wire"
+)
+
+// The protocol tables (Coordinator.txns, Participant.txns) used to sit
+// behind one engine-wide mutex, so every message, tick and commit call for
+// unrelated transactions contended on a single lock. They are now sharded
+// by transaction-id hash: per-transaction state lives under its shard's
+// lock, and only the whole-table walks (Tick, recovery, size queries) visit
+// every shard — one at a time, so no operation ever holds two shard locks.
+
+// ptShardCount is the number of protocol-table shards; a power of two so
+// the hash folds with a mask.
+const ptShardCount = 32
+
+// txnShard hashes a transaction id to its shard index (FNV-1a over the
+// coordinator id and sequence number).
+func txnShard(txn wire.TxnID) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(txn.Coord); i++ {
+		h = (h ^ uint32(txn.Coord[i])) * 16777619
+	}
+	seq := txn.Seq
+	for i := 0; i < 8; i++ {
+		h = (h ^ uint32(seq&0xff)) * 16777619
+		seq >>= 8
+	}
+	return h & (ptShardCount - 1)
+}
+
+// tableShard is one shard: a mutex and the map slice it guards. The mutex
+// also protects the fields of every entry stored in the map, exactly the
+// role the engine-wide mutex used to play.
+type tableShard[T any] struct {
+	mu sync.Mutex
+	m  map[wire.TxnID]T
+}
+
+// shardedTable is a protocol table sharded by transaction-id hash.
+type shardedTable[T any] struct {
+	shards    [ptShardCount]tableShard[T]
+	contended atomic.Uint64
+	onContend func()
+}
+
+// newShardedTable returns an empty table. onContend, if non-nil, is invoked
+// each time a lock acquisition finds its shard already held (before
+// blocking on it) — the contention signal the metrics record.
+func newShardedTable[T any](onContend func()) *shardedTable[T] {
+	t := &shardedTable[T]{onContend: onContend}
+	for i := range t.shards {
+		t.shards[i].m = make(map[wire.TxnID]T)
+	}
+	return t
+}
+
+// lock returns txn's shard with its mutex held; the caller must unlock it.
+func (t *shardedTable[T]) lock(txn wire.TxnID) *tableShard[T] {
+	sh := &t.shards[txnShard(txn)]
+	if !sh.mu.TryLock() {
+		t.contended.Add(1)
+		if t.onContend != nil {
+			t.onContend()
+		}
+		sh.mu.Lock()
+	}
+	return sh
+}
+
+// each visits every shard in index order with its mutex held.
+func (t *shardedTable[T]) each(f func(m map[wire.TxnID]T)) {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.Lock()
+		f(sh.m)
+		sh.mu.Unlock()
+	}
+}
+
+// size is the number of entries across all shards.
+func (t *shardedTable[T]) size() int {
+	n := 0
+	t.each(func(m map[wire.TxnID]T) { n += len(m) })
+	return n
+}
+
+// Contended returns how many lock acquisitions found their shard held.
+func (t *shardedTable[T]) Contended() uint64 { return t.contended.Load() }

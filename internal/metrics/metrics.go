@@ -17,10 +17,27 @@ import (
 // SiteCounters is one site's tallies. Values are cumulative.
 type SiteCounters struct {
 	Messages map[wire.MsgKind]uint64 // sent, by kind
-	Forces   uint64                  // forced-write barriers
+	Forces   uint64                  // forced-write barriers requested (the protocol cost)
 	Appends  uint64                  // log records appended
 	PTInsert uint64                  // protocol-table entries created
 	PTDelete uint64                  // protocol-table entries discarded
+
+	// Syncs and Synced count the *physical* log flushes behind the Forces:
+	// with group commit one sync covers many forces, so Syncs < Forces is
+	// exactly the batching win. Synced is the records those flushes wrote.
+	Syncs  uint64
+	Synced uint64
+	// ShardWaits counts contended protocol-table shard-lock acquisitions —
+	// how often two transactions actually collided on one shard.
+	ShardWaits uint64
+}
+
+// MeanBatch is the average number of records per physical log flush.
+func (c SiteCounters) MeanBatch() float64 {
+	if c.Syncs == 0 {
+		return 0
+	}
+	return float64(c.Synced) / float64(c.Syncs)
 }
 
 // Retained is the number of protocol-table entries not yet discarded.
@@ -76,6 +93,23 @@ func (r *Registry) Append(id wire.SiteID) {
 	r.site(id).Appends++
 }
 
+// Sync records one physical log flush of records records at site id.
+func (r *Registry) Sync(id wire.SiteID, records int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.site(id)
+	c.Syncs++
+	c.Synced += uint64(records)
+}
+
+// ShardWait records one contended protocol-table shard-lock acquisition at
+// site id.
+func (r *Registry) ShardWait(id wire.SiteID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.site(id).ShardWaits++
+}
+
 // PTInsert records a protocol-table insertion at site id.
 func (r *Registry) PTInsert(id wire.SiteID) {
 	r.mu.Lock()
@@ -119,6 +153,9 @@ func (r *Registry) Total() SiteCounters {
 		out.Appends += c.Appends
 		out.PTInsert += c.PTInsert
 		out.PTDelete += c.PTDelete
+		out.Syncs += c.Syncs
+		out.Synced += c.Synced
+		out.ShardWaits += c.ShardWaits
 	}
 	return out
 }
@@ -140,10 +177,10 @@ func (r *Registry) String() string {
 	}
 	sort.Strings(ids)
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %8s %8s %8s %9s\n", "site", "msgs", "forces", "appends", "retained")
+	fmt.Fprintf(&b, "%-12s %8s %8s %8s %8s %9s %10s\n", "site", "msgs", "forces", "syncs", "appends", "retained", "shardwaits")
 	for _, id := range ids {
 		c := r.sites[wire.SiteID(id)]
-		fmt.Fprintf(&b, "%-12s %8d %8d %8d %9d\n", id, c.TotalMessages(), c.Forces, c.Appends, c.Retained())
+		fmt.Fprintf(&b, "%-12s %8d %8d %8d %8d %9d %10d\n", id, c.TotalMessages(), c.Forces, c.Syncs, c.Appends, c.Retained(), c.ShardWaits)
 	}
 	return b.String()
 }

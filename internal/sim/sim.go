@@ -19,6 +19,7 @@ import (
 	"prany/internal/nonext"
 	"prany/internal/site"
 	"prany/internal/transport"
+	"prany/internal/wal"
 	"prany/internal/wire"
 	"prany/internal/workload"
 )
@@ -50,6 +51,13 @@ type Spec struct {
 	VoteTimeout time.Duration
 	// ReadOnlyOpt enables the read-only voting optimization everywhere.
 	ReadOnlyOpt bool
+	// GroupCommit enables the group-commit flusher on every site's log:
+	// concurrent force-writes coalesce into shared physical flushes.
+	GroupCommit bool
+	// ForceDelay simulates per-flush device latency on every site's log
+	// store, making the batching win of GroupCommit measurable. Zero means
+	// instantaneous flushes.
+	ForceDelay time.Duration
 }
 
 // CoordID is the identifier of the cluster's coordinator site.
@@ -92,6 +100,14 @@ func New(spec Spec) (*Cluster, error) {
 		}
 		c.PCP.Set(p.ID, p.Proto)
 	}
+	newLogStore := func() wal.Store {
+		if spec.ForceDelay <= 0 {
+			return nil // site.New builds a plain MemStore
+		}
+		ms := wal.NewMemStore()
+		ms.SetAppendDelay(spec.ForceDelay)
+		return ms
+	}
 	var err error
 	c.Coord, err = site.New(site.Config{
 		ID:    CoordID,
@@ -106,6 +122,8 @@ func New(spec Spec) (*Cluster, error) {
 		Hist:        c.Hist,
 		Met:         c.Met,
 		ReadOnlyOpt: spec.ReadOnlyOpt,
+		GroupCommit: spec.GroupCommit,
+		LogStore:    newLogStore(),
 	})
 	if err != nil {
 		return nil, err
@@ -119,6 +137,8 @@ func New(spec Spec) (*Cluster, error) {
 			Hist:              c.Hist,
 			Met:               c.Met,
 			ReadOnlyOpt:       spec.ReadOnlyOpt,
+			GroupCommit:       spec.GroupCommit,
+			LogStore:          newLogStore(),
 			Coordinator:       core.CoordinatorConfig{VoteTimeout: spec.VoteTimeout},
 			KnownCoordinators: []wire.SiteID{CoordID},
 		}

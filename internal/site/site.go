@@ -47,6 +47,10 @@ type Config struct {
 	ReadOnlyOpt bool
 	// ExecTimeout bounds one remote operation batch. Zero means 2s.
 	ExecTimeout time.Duration
+	// GroupCommit enables the log's group-commit flusher: concurrent
+	// force-writes coalesce into shared physical flushes (each caller
+	// still blocks until its record is durable). See wal.StartGroupCommit.
+	GroupCommit bool
 	// KnownCoordinators lists the sites that may coordinate transactions
 	// at this participant. Coordinator-log participants need it for their
 	// site-level recovery announcement (they keep no log that could name
@@ -123,6 +127,13 @@ func (s *Site) start(runRecovery bool) error {
 	log, err := wal.Open(s.logStore)
 	if err != nil {
 		return fmt.Errorf("site %s: %w", s.cfg.ID, err)
+	}
+	if s.cfg.Met != nil {
+		met, id := s.cfg.Met, s.cfg.ID
+		log.OnSync(func(records int) { met.Sync(id, records) })
+	}
+	if s.cfg.GroupCommit {
+		log.StartGroupCommit()
 	}
 	dead := &atomic.Bool{}
 	env := core.Env{
@@ -261,6 +272,10 @@ func (s *Site) Crash() {
 	}); ok {
 		d.SetDown(s.cfg.ID, true)
 	}
+	// Stop the group-commit flusher before the restart opens a new Log on
+	// the same store; its waiters fail with ErrLost, like the in-flight
+	// force-writes a real crash loses.
+	log.StopGroupCommit()
 	log.Crash()
 	s.rm.Crash()
 	if s.cfg.Hist != nil {

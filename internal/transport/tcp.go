@@ -26,6 +26,9 @@ type TCPNetwork struct {
 	closed   bool
 	wg       sync.WaitGroup
 	logf     func(format string, args ...any)
+
+	dialTimeout  time.Duration
+	writeTimeout time.Duration
 }
 
 type outConn struct {
@@ -42,6 +45,14 @@ type TCPOptions struct {
 	Addrs map[wire.SiteID]string
 	// Logf, if set, receives transport diagnostics. Defaults to discarding.
 	Logf func(format string, args ...any)
+	// DialTimeout bounds each outbound dial. Zero means 3s.
+	DialTimeout time.Duration
+	// WriteTimeout bounds each frame write: a peer that accepts the
+	// connection but stops reading (full receive buffer, wedged process)
+	// must not wedge every sender behind its connection lock. On expiry
+	// the connection is dropped and the message is lost — an omission
+	// failure, which the protocols already survive. Zero means 2s.
+	WriteTimeout time.Duration
 }
 
 // NewTCPNetwork starts a TCP transport. If opts.Listen is non-empty the
@@ -49,14 +60,22 @@ type TCPOptions struct {
 // handlers registered for their destination site.
 func NewTCPNetwork(opts TCPOptions) (*TCPNetwork, error) {
 	n := &TCPNetwork{
-		addrs:    make(map[wire.SiteID]string, len(opts.Addrs)),
-		handlers: make(map[wire.SiteID]Handler),
-		conns:    make(map[string]*outConn),
-		inbound:  make(map[net.Conn]struct{}),
-		logf:     opts.Logf,
+		addrs:        make(map[wire.SiteID]string, len(opts.Addrs)),
+		handlers:     make(map[wire.SiteID]Handler),
+		conns:        make(map[string]*outConn),
+		inbound:      make(map[net.Conn]struct{}),
+		logf:         opts.Logf,
+		dialTimeout:  opts.DialTimeout,
+		writeTimeout: opts.WriteTimeout,
 	}
 	if n.logf == nil {
 		n.logf = func(string, ...any) {}
+	}
+	if n.dialTimeout <= 0 {
+		n.dialTimeout = 3 * time.Second
+	}
+	if n.writeTimeout <= 0 {
+		n.writeTimeout = 2 * time.Second
 	}
 	for id, a := range opts.Addrs {
 		n.addrs[id] = a
@@ -123,22 +142,52 @@ func (n *TCPNetwork) Send(m wire.Message) {
 	}
 	n.mu.Unlock()
 
-	oc.mu.Lock()
-	defer oc.mu.Unlock()
 	for attempt := 0; attempt < 2; attempt++ {
-		if oc.conn == nil {
-			c, err := net.DialTimeout("tcp", addr, 3*time.Second)
+		oc.mu.Lock()
+		conn := oc.conn
+		oc.mu.Unlock()
+		if conn == nil {
+			// Dial outside the connection lock: a dial can take up to
+			// DialTimeout, and holding oc.mu across it would head-of-line
+			// block every concurrent send to this destination behind one
+			// slow (or dead) dial. Racing dialers arbitrate afterwards —
+			// the first to install wins, losers close their connection.
+			c, err := net.DialTimeout("tcp", addr, n.dialTimeout)
 			if err != nil {
 				n.logf("transport: dial %s: %v", addr, err)
 				return
 			}
-			oc.conn = c
+			oc.mu.Lock()
+			if oc.conn == nil {
+				oc.conn = c
+			} else {
+				c.Close() // lost the dial race; use the winner's connection
+			}
+			conn = oc.conn
+			oc.mu.Unlock()
 		}
-		if err := wire.WriteFrame(oc.conn, &m); err == nil {
+		oc.mu.Lock()
+		if oc.conn != conn {
+			// The connection was replaced or torn down while unlocked;
+			// start over against the current state.
+			oc.mu.Unlock()
+			continue
+		}
+		// The write deadline bounds how long a stalled peer — one that
+		// accepted the connection but stopped reading — can hold this
+		// sender (and everyone queued behind oc.mu). On expiry the
+		// connection is dropped and the message with it: an omission
+		// failure, which the protocols are built to survive.
+		conn.SetWriteDeadline(time.Now().Add(n.writeTimeout))
+		err := wire.WriteFrame(conn, &m)
+		if err == nil {
+			conn.SetWriteDeadline(time.Time{})
+			oc.mu.Unlock()
 			return
 		}
 		oc.conn.Close()
-		oc.conn = nil // stale connection: redial once
+		oc.conn = nil // stale or wedged connection: redial once
+		oc.mu.Unlock()
 	}
 	n.logf("transport: dropping %s after redial", m)
 }

@@ -1,0 +1,184 @@
+package transport
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"prany/internal/wire"
+)
+
+// bulkMsg returns a message with a payload large enough that a few of them
+// overflow the kernel's socket buffers, wedging writes to a peer that has
+// stopped reading.
+func bulkMsg(seq uint64) wire.Message {
+	m := msg("c", "p", seq)
+	m.Writes = []wire.Update{{Key: "k", New: strings.Repeat("x", 1<<20), NewExists: true}}
+	return m
+}
+
+// stalledListener accepts connections and never reads from them.
+func stalledListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var conns []net.Conn
+	var mu sync.Mutex
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, c) // hold open, read nothing
+			mu.Unlock()
+		}
+	}()
+	t.Cleanup(func() {
+		ln.Close()
+		mu.Lock()
+		for _, c := range conns {
+			c.Close()
+		}
+		mu.Unlock()
+	})
+	return ln
+}
+
+// A peer that accepts the connection but never reads must not wedge Send
+// forever: the write deadline expires, the message is dropped (an omission
+// failure), and the sender moves on.
+func TestTCPSendToStalledPeerReturnsWithinWriteTimeout(t *testing.T) {
+	ln := stalledListener(t)
+	client, err := NewTCPNetwork(TCPOptions{
+		Addrs:        map[wire.SiteID]string{"p": ln.Addr().String()},
+		WriteTimeout: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Enough payload to overrun the socket buffers; without a write
+	// deadline this blocks until the peer reads, i.e. forever.
+	start := time.Now()
+	for i := uint64(0); i < 8; i++ {
+		client.Send(bulkMsg(i))
+	}
+	// 8 sends, each bounded by 2 attempts x 150ms plus dial overhead.
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("sends to a stalled peer took %v; write deadline not enforced", elapsed)
+	}
+}
+
+// Concurrent senders queued behind one stalled connection must all complete
+// within the deadline budget instead of serializing behind an unbounded
+// write.
+func TestTCPConcurrentSendersToStalledPeerAllReturn(t *testing.T) {
+	ln := stalledListener(t)
+	client, err := NewTCPNetwork(TCPOptions{
+		Addrs:        map[wire.SiteID]string{"p": ln.Addr().String()},
+		WriteTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const senders = 8
+	done := make(chan time.Duration, senders)
+	start := time.Now()
+	for i := 0; i < senders; i++ {
+		go func(seq uint64) {
+			client.Send(bulkMsg(seq))
+			done <- time.Since(start)
+		}(uint64(i))
+	}
+	for i := 0; i < senders; i++ {
+		select {
+		case <-done:
+		case <-time.After(15 * time.Second):
+			t.Fatalf("only %d/%d senders returned; the rest are wedged", i, senders)
+		}
+	}
+}
+
+// A destination that cannot be dialed must not serialize concurrent senders
+// behind one slow dial: dials run outside the connection lock, so N
+// concurrent sends cost about one dial timeout, not N.
+func TestTCPConcurrentSendersDialOutsideLock(t *testing.T) {
+	// RFC 5737 TEST-NET address: never routable. Depending on the host's
+	// network config the dial either hangs until DialTimeout or fails
+	// fast; either way the concurrent sends must finish in roughly one
+	// timeout, not eight.
+	client, err := NewTCPNetwork(TCPOptions{
+		Addrs:       map[wire.SiteID]string{"p": "192.0.2.1:9"},
+		DialTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const senders = 8
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < senders; i++ {
+		wg.Add(1)
+		go func(seq uint64) {
+			defer wg.Done()
+			client.Send(msg("c", "p", seq))
+		}(uint64(i))
+	}
+	wg.Wait()
+	// Serialized dials would take senders x 500ms = 4s; concurrent ones
+	// about 500ms. Allow generous slack for scheduling.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("%d concurrent sends took %v; dials appear serialized under the lock", senders, elapsed)
+	}
+}
+
+// The deadline must not leak into healthy traffic: a responsive peer keeps
+// receiving after a previous send hit a stalled one.
+func TestTCPWriteTimeoutDoesNotAffectHealthyPeer(t *testing.T) {
+	server, err := NewTCPNetwork(TCPOptions{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	p := newCollector()
+	server.Register("p", p.handle)
+
+	stalled := stalledListener(t)
+	client, err := NewTCPNetwork(TCPOptions{
+		Addrs: map[wire.SiteID]string{
+			"p":     server.Addr(),
+			"ghost": stalled.Addr().String(),
+		},
+		WriteTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	for i := uint64(0); i < 4; i++ {
+		m := bulkMsg(i)
+		m.To = "ghost"
+		client.Send(m) // wedges, times out, drops
+	}
+	for i := uint64(0); i < 10; i++ {
+		client.Send(msg("c", "p", i))
+	}
+	got := p.waitN(t, 10)
+	for i, m := range got {
+		if m.Txn.Seq != uint64(i) {
+			t.Fatalf("healthy peer missed or reordered traffic: %v", got)
+		}
+	}
+}

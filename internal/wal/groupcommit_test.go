@@ -1,0 +1,274 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"prany/internal/wire"
+)
+
+func gcRec(seq uint64) Record {
+	return Record{Kind: KCommit, Role: RoleCoord, Txn: wire.TxnID{Coord: "c", Seq: seq}}
+}
+
+// Concurrent force-writes against a slow store must coalesce: fewer physical
+// flushes than force barriers, with every record durable when its caller
+// unblocks.
+func TestGroupCommitBatchesConcurrentForces(t *testing.T) {
+	store := NewMemStore()
+	store.SetAppendDelay(2 * time.Millisecond)
+	log, err := Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	log.StartGroupCommit()
+
+	const writers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(seq uint64) {
+			defer wg.Done()
+			if _, err := log.AppendForce(gcRec(seq)); err != nil {
+				t.Errorf("writer %d: %v", seq, err)
+				return
+			}
+			// The force-write contract: the record is durable now.
+			found := false
+			for _, r := range mustLoad(t, store) {
+				if r.Txn.Seq == seq {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("writer %d: record not durable after AppendForce returned", seq)
+			}
+		}(uint64(i + 1))
+	}
+	wg.Wait()
+
+	st := log.Stats()
+	if st.Forces != writers {
+		t.Fatalf("Forces = %d, want %d", st.Forces, writers)
+	}
+	if st.Syncs >= st.Forces {
+		t.Fatalf("Syncs = %d, Forces = %d: no batching happened", st.Syncs, st.Forces)
+	}
+	if st.Synced != writers {
+		t.Fatalf("Synced = %d records, want %d", st.Synced, writers)
+	}
+	if st.MaxSync < 2 {
+		t.Fatalf("MaxSync = %d, want a batch of at least 2", st.MaxSync)
+	}
+}
+
+func mustLoad(t *testing.T, s Store) []Record {
+	t.Helper()
+	recs, err := s.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// Group-committed records must survive a reopen from the same backing file —
+// the durability contract over a real store, not just the simulator's.
+func TestGroupCommitDurableAcrossFileStoreReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	store, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.StartGroupCommit()
+
+	const writers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(seq uint64) {
+			defer wg.Done()
+			if _, err := log.AppendForce(gcRec(seq)); err != nil {
+				t.Errorf("writer %d: %v", seq, err)
+			}
+		}(uint64(i + 1))
+	}
+	wg.Wait()
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log2, err := Open(store2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	seen := map[uint64]bool{}
+	for _, r := range log2.Records() {
+		seen[r.Txn.Seq] = true
+	}
+	for i := uint64(1); i <= writers; i++ {
+		if !seen[i] {
+			t.Fatalf("record %d lost across reopen", i)
+		}
+	}
+}
+
+// A failed physical flush must surface the store's error to every waiter in
+// the batch, keep the records buffered, and let a later force retry them.
+func TestGroupCommitFlushErrorReachesAllWaiters(t *testing.T) {
+	store := NewMemStore()
+	store.SetAppendDelay(time.Millisecond)
+	log, err := Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	log.StartGroupCommit()
+
+	boom := errors.New("disk on fire")
+	store.FailNextAppend = boom
+	const writers = 4
+	errs := make(chan error, writers)
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(seq uint64) {
+			defer wg.Done()
+			_, err := log.AppendForce(gcRec(seq))
+			errs <- err
+		}(uint64(i + 1))
+	}
+	wg.Wait()
+	close(errs)
+	failed := 0
+	for err := range errs {
+		if err != nil {
+			if !errors.Is(err, boom) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			failed++
+		}
+	}
+	// At least the first batch fails; stragglers that enqueued after the
+	// failing flush retried against a healed store and succeeded.
+	if failed == 0 {
+		t.Fatal("no waiter saw the flush error")
+	}
+
+	// Failed records stayed buffered: a retry force makes everything stable.
+	if err := log.Force(); err != nil {
+		t.Fatalf("retry force: %v", err)
+	}
+	if got := len(log.Records()); got != writers {
+		t.Fatalf("%d records stable after retry, want %d", got, writers)
+	}
+}
+
+// StopGroupCommit must return the log to synchronous forcing without losing
+// the contract, and fail any waiters parked on the stopped flusher.
+func TestStopGroupCommitFallsBackToSynchronous(t *testing.T) {
+	store := NewMemStore()
+	log, err := Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	log.StartGroupCommit()
+	if _, err := log.AppendForce(gcRec(1)); err != nil {
+		t.Fatal(err)
+	}
+	log.StopGroupCommit()
+	if _, err := log.AppendForce(gcRec(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(log.Records()); got != 2 {
+		t.Fatalf("%d records stable, want 2", got)
+	}
+}
+
+// Crash must fail in-flight group-commit waiters with ErrLost: their records
+// were buffered, never flushed, and are gone.
+func TestCrashFailsParkedWaitersWithErrLost(t *testing.T) {
+	store := NewMemStore()
+	store.SetAppendDelay(5 * time.Millisecond)
+	log, err := Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	log.StartGroupCommit()
+
+	const writers = 8
+	errs := make(chan error, writers)
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(seq uint64) {
+			defer wg.Done()
+			_, err := log.AppendForce(gcRec(seq))
+			errs <- err
+		}(uint64(i + 1))
+	}
+	time.Sleep(time.Millisecond) // let some writers park on the flusher
+	log.Crash()
+	wg.Wait()
+	close(errs)
+	lost := 0
+	for err := range errs {
+		if errors.Is(err, ErrLost) {
+			lost++
+		}
+	}
+	// Timing-dependent how many writers were parked at the crash, but the
+	// crash itself must have cut at least one loose with ErrLost unless
+	// every single force completed first — make the assertion conditional
+	// on the stats instead of the clock.
+	if st := log.Stats(); st.Stable < writers && lost == 0 {
+		t.Fatalf("%d records stable, %d writers, but no ErrLost surfaced", st.Stable, writers)
+	}
+}
+
+// The OnSync observer must see every physical flush with its record count.
+func TestOnSyncObserverCountsFlushes(t *testing.T) {
+	store := NewMemStore()
+	log, err := Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	var mu sync.Mutex
+	syncs, records := 0, 0
+	log.OnSync(func(n int) {
+		mu.Lock()
+		syncs++
+		records += n
+		mu.Unlock()
+	})
+	for i := 0; i < 3; i++ {
+		if _, err := log.AppendForce(gcRec(uint64(i + 1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if syncs != 3 || records != 3 {
+		t.Fatalf("observer saw %d syncs / %d records, want 3 / 3", syncs, records)
+	}
+	if fmt.Sprintf("%d", log.Stats().Syncs) != "3" {
+		t.Fatalf("Stats().Syncs = %d, want 3", log.Stats().Syncs)
+	}
+}

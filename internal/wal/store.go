@@ -2,6 +2,7 @@ package wal
 
 import (
 	"sync"
+	"time"
 )
 
 // Store is the stable-storage backend of a Log. Append and Rewrite must be
@@ -28,6 +29,17 @@ type MemStore struct {
 	// FailNextAppend, when set, makes the next Append return an error and
 	// clear itself. Tests use it to exercise force-write failure paths.
 	FailNextAppend error
+	// delay models device latency: every Append (one fsync batch) sleeps
+	// this long while holding the store's lock, like a real serialized
+	// flush. Group-commit experiments use it to make batching measurable.
+	delay time.Duration
+}
+
+// SetAppendDelay sets the simulated per-batch fsync latency.
+func (s *MemStore) SetAppendDelay(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.delay = d
 }
 
 // NewMemStore returns an empty in-memory store.
@@ -47,6 +59,9 @@ func (s *MemStore) Append(recs []Record) error {
 	if err := s.FailNextAppend; err != nil {
 		s.FailNextAppend = nil
 		return err
+	}
+	if s.delay > 0 {
+		time.Sleep(s.delay)
 	}
 	s.recs = append(s.recs, cloneRecords(recs)...)
 	return nil

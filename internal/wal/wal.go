@@ -14,6 +14,15 @@
 // and tolerates torn tails. Recovery reads the stable records back with
 // Records, and Checkpoint garbage-collects records of terminated
 // transactions by rewriting the stable image with only live records.
+//
+// Group commit (StartGroupCommit) decouples the force-write *contract* from
+// the physical write: AppendForce callers enqueue their record and block
+// while a single flusher goroutine coalesces every pending record into one
+// Store.Append batch — one fsync for many concurrent transactions — and
+// each caller unblocks only once its record is durable. The protocols'
+// forced-write points are unchanged; only the number of physical barriers
+// shrinks. Stats separates the two notions: Forces counts requested
+// barriers, Syncs counts physical batches.
 package wal
 
 import (
@@ -127,7 +136,10 @@ type Record struct {
 // exactly these numbers, so the log maintains them itself.
 type Stats struct {
 	Appends uint64 // records appended (forced or not)
-	Forces  uint64 // Force barriers issued (AppendForce counts one)
+	Forces  uint64 // Force barriers requested (AppendForce counts one)
+	Syncs   uint64 // physical Store.Append batches (== non-empty Forces without group commit)
+	Synced  uint64 // records made stable by those batches
+	MaxSync uint64 // largest single batch, in records
 	Stable  uint64 // records currently stable
 }
 
@@ -141,6 +153,21 @@ type Log struct {
 	stats   Stats
 	closed  bool
 	tap     func(rec Record, forced bool)
+
+	// Group-commit state. When group is set, a flusher goroutine owns the
+	// physical barrier: forcing callers register a waiter and block until
+	// the flusher has written (at least) their record through.
+	group     bool
+	flushCond *sync.Cond
+	waiters   []gcWaiter
+	onSync    func(records int)
+}
+
+// gcWaiter is one blocked forcing caller: ch receives the outcome of the
+// barrier covering LSN lsn (buffered so the flusher never blocks on it).
+type gcWaiter struct {
+	lsn uint64
+	ch  chan error
 }
 
 // SetTap installs an observer invoked for every appended record, with
@@ -155,6 +182,10 @@ func (l *Log) SetTap(tap func(rec Record, forced bool)) {
 
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = errors.New("wal: log is closed")
+
+// ErrLost is returned to forcing callers whose records were discarded by a
+// crash before the flusher made them stable: the force did not happen.
+var ErrLost = errors.New("wal: buffered records lost in crash before force completed")
 
 // Open creates a Log over store, reading back any records already stable in
 // it. Opening the store a crashed log used recovers exactly the records that
@@ -197,33 +228,61 @@ func (l *Log) Append(rec Record) (uint64, error) {
 // records survive a crash.
 func (l *Log) Force() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return ErrClosed
 	}
-	return l.forceLocked()
+	l.stats.Forces++
+	if !l.group {
+		err := l.syncLocked()
+		l.mu.Unlock()
+		return err
+	}
+	if len(l.buffer) == 0 {
+		l.mu.Unlock()
+		return nil
+	}
+	w := gcWaiter{lsn: l.nextLSN - 1, ch: make(chan error, 1)}
+	l.waiters = append(l.waiters, w)
+	l.flushCond.Signal()
+	l.mu.Unlock()
+	return <-w.ch
 }
 
-func (l *Log) forceLocked() error {
-	l.stats.Forces++
+// syncLocked writes the buffered records through to the store — the
+// physical durability barrier. The caller holds l.mu. On error the buffer
+// is left intact so a later barrier can retry.
+func (l *Log) syncLocked() error {
 	if len(l.buffer) == 0 {
 		return nil
 	}
+	n := len(l.buffer)
+	l.stats.Syncs++
+	l.stats.Synced += uint64(n)
+	if uint64(n) > l.stats.MaxSync {
+		l.stats.MaxSync = uint64(n)
+	}
 	if err := l.store.Append(l.buffer); err != nil {
-		return fmt.Errorf("wal: forcing %d records: %w", len(l.buffer), err)
+		return fmt.Errorf("wal: forcing %d records: %w", n, err)
 	}
 	l.stable = append(l.stable, l.buffer...)
 	l.stats.Stable = uint64(len(l.stable))
 	l.buffer = l.buffer[:0]
+	if l.onSync != nil {
+		l.onSync(n)
+	}
 	return nil
 }
 
 // AppendForce appends rec and forces the log in one call, the common forced
-// write of the protocols.
+// write of the protocols. Under group commit the caller blocks until the
+// flusher has batched its record into a physical write; the contract is
+// identical — a nil return means rec survives a crash — but concurrent
+// callers share one barrier.
 func (l *Log) AppendForce(rec Record) (uint64, error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return 0, ErrClosed
 	}
 	rec.LSN = l.nextLSN
@@ -233,10 +292,97 @@ func (l *Log) AppendForce(rec Record) (uint64, error) {
 	if l.tap != nil {
 		l.tap(rec, true)
 	}
-	if err := l.forceLocked(); err != nil {
+	l.stats.Forces++
+	if !l.group {
+		err := l.syncLocked()
+		l.mu.Unlock()
+		if err != nil {
+			return 0, err
+		}
+		return rec.LSN, nil
+	}
+	w := gcWaiter{lsn: rec.LSN, ch: make(chan error, 1)}
+	l.waiters = append(l.waiters, w)
+	l.flushCond.Signal()
+	l.mu.Unlock()
+	if err := <-w.ch; err != nil {
 		return 0, err
 	}
 	return rec.LSN, nil
+}
+
+// StartGroupCommit switches the log into group-commit mode: forced writes
+// are coalesced by a flusher goroutine into batched store appends. Safe to
+// call once on an open log; a closed log ignores it.
+func (l *Log) StartGroupCommit() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.group || l.closed {
+		return
+	}
+	l.group = true
+	if l.flushCond == nil {
+		l.flushCond = sync.NewCond(&l.mu)
+	}
+	go l.flushLoop()
+}
+
+// StopGroupCommit returns the log to synchronous forcing and stops the
+// flusher. Pending forcing callers are failed with ErrLost — their barrier
+// never ran; their records stay buffered for a later Force. A site calls
+// this when it crashes or replaces the log, so flushers do not outlive
+// their logs. No-op when group commit is off.
+func (l *Log) StopGroupCommit() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.group {
+		return
+	}
+	l.group = false
+	l.failWaitersLocked(ErrLost)
+	l.flushCond.Broadcast()
+}
+
+// OnSync installs an observer invoked (under the log's lock — it must not
+// call back into the log) after every physical batch write, with the number
+// of records the batch made stable. Metrics collection uses it.
+func (l *Log) OnSync(f func(records int)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.onSync = f
+}
+
+// flushLoop is the group-commit flusher: it waits for forcing callers,
+// writes the entire buffer through in one batch, and wakes every waiter the
+// batch covered. Records appended lazily between barriers ride along for
+// free.
+func (l *Log) flushLoop() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		for l.group && !l.closed && len(l.waiters) == 0 {
+			l.flushCond.Wait()
+		}
+		if !l.group || l.closed {
+			return // StopGroupCommit/Close already failed the waiters
+		}
+		err := l.syncLocked()
+		// Every registered waiter's record was in the buffer just written
+		// (registration and flushing both happen under l.mu), so one answer
+		// serves them all.
+		for _, w := range l.waiters {
+			w.ch <- err
+		}
+		l.waiters = l.waiters[:0]
+	}
+}
+
+// failWaitersLocked wakes every pending forcing caller with err.
+func (l *Log) failWaitersLocked(err error) {
+	for _, w := range l.waiters {
+		w.ch <- err
+	}
+	l.waiters = l.waiters[:0]
 }
 
 // Crash simulates a site failure: every non-forced record is lost. The log
@@ -246,6 +392,9 @@ func (l *Log) Crash() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.buffer = l.buffer[:0]
+	// Forcing callers still waiting on the flusher lost their records with
+	// the buffer: their force never happened.
+	l.failWaitersLocked(ErrLost)
 }
 
 // Records returns the stable records in LSN order. The slice is a copy; the
@@ -289,7 +438,9 @@ func (l *Log) Checkpoint(live func(Record) bool) (int, error) {
 	}
 	keptBuf := l.buffer[:0:0]
 	for _, r := range l.buffer {
-		if live(r) {
+		if live(r) || l.awaitedLocked(r.LSN) {
+			// A record a forcing caller is still blocked on is never
+			// collected: the flusher owes it a barrier.
 			keptBuf = append(keptBuf, r)
 		}
 	}
@@ -301,6 +452,16 @@ func (l *Log) Checkpoint(live func(Record) bool) (int, error) {
 	l.buffer = keptBuf
 	l.stats.Stable = uint64(len(l.stable))
 	return collected, nil
+}
+
+// awaitedLocked reports whether a forcing caller is blocked on lsn.
+func (l *Log) awaitedLocked(lsn uint64) bool {
+	for _, w := range l.waiters {
+		if w.lsn == lsn {
+			return true
+		}
+	}
+	return false
 }
 
 // Stats returns a snapshot of the log's activity counters.
@@ -322,5 +483,9 @@ func (l *Log) Close() error {
 	}
 	l.closed = true
 	l.buffer = nil
+	l.failWaitersLocked(ErrClosed)
+	if l.flushCond != nil {
+		l.flushCond.Broadcast()
+	}
 	return l.store.Close()
 }
