@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race tier1 bench-groupcommit clean
+.PHONY: all build test vet race chaos tier1 bench-groupcommit clean
 
 all: tier1
 
@@ -19,9 +19,17 @@ vet:
 race:
 	$(GO) test -race -short ./internal/core/... ./internal/transport/... ./internal/wal/...
 
+# Seeded chaos sweep: random fault plans over a mixed cluster under PrAny
+# must converge to operational correctness, and the theorem-signal plan
+# must reproduce the U2PC/C2PC failures. -short keeps it to a few seeds;
+# `go run ./cmd/prany-chaos` runs the full-length version.
+chaos:
+	$(GO) test -race -short -run 'TestChaos' ./internal/experiments/
+
 # tier1 is the merge gate: everything must build, every test must pass,
-# vet must be clean and the concurrent packages must be race-free.
-tier1: build test vet race
+# vet must be clean, the concurrent packages must be race-free, and the
+# short chaos sweep must stay operationally correct.
+tier1: build test vet race chaos
 
 # Reproduce the E13 group-commit numbers recorded in BENCH_groupcommit.json.
 bench-groupcommit:

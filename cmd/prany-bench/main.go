@@ -24,8 +24,26 @@ import (
 	"prany/internal/wire"
 )
 
+// seedFlag overrides every section's random seed when nonzero, so any run
+// reproduces from its printed seed. Zero keeps each section's historical
+// default (sweep 7, perf 99, groupcommit 42, chaos 1), preserving the
+// committed EXPERIMENTS.md numbers.
+var seedFlag int64
+
+// sectionSeed resolves one section's seed and prints it, so every table's
+// header names the seed that regenerates it.
+func sectionSeed(def int64) int64 {
+	seed := def
+	if seedFlag != 0 {
+		seed = seedFlag
+	}
+	fmt.Printf("seed: %d\n", seed)
+	return seed
+}
+
 func main() {
-	run := flag.String("run", "all", "which section to run: all, costs, theorem1, theorem2, sweep, perf, readonly, iyv, cl, groupcommit")
+	run := flag.String("run", "all", "which section to run: all, costs, theorem1, theorem2, sweep, perf, readonly, iyv, cl, groupcommit, chaos")
+	flag.Int64Var(&seedFlag, "seed", 0, "override every section's random seed (0 = per-section defaults)")
 	flag.Parse()
 
 	sections := map[string]func(){
@@ -38,9 +56,10 @@ func main() {
 		"iyv":         iyv,
 		"cl":          cl,
 		"groupcommit": groupcommit,
+		"chaos":       chaosMatrix,
 	}
 	if *run == "all" {
-		for _, name := range []string{"costs", "theorem1", "theorem2", "sweep", "perf", "readonly", "iyv", "cl", "groupcommit"} {
+		for _, name := range []string{"costs", "theorem1", "theorem2", "sweep", "perf", "readonly", "iyv", "cl", "groupcommit", "chaos"} {
 			sections[name]()
 			fmt.Println()
 		}
@@ -133,10 +152,11 @@ func theorem2() {
 // sweep prints E7: Monte-Carlo fault injection under PrAny.
 func sweep() {
 	header("E7: Theorem 3 — PrAny under omission faults and crashes")
+	seed := sectionSeed(7)
 	fmt.Printf("%6s %6s %8s %8s %8s %11s %9s %9s\n",
 		"drop%", "txns", "commits", "aborts", "crashes", "violations", "quiesced", "leftover")
 	for _, p := range []float64{0, 0.05, 0.10, 0.20} {
-		res, err := experiments.FaultSweep(core.StrategyPrAny, wire.PrN, p, 40, 7)
+		res, err := experiments.FaultSweep(core.StrategyPrAny, wire.PrN, p, 40, seed)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -149,6 +169,7 @@ func sweep() {
 // perf prints E8: the who-wins matrix across commit ratios.
 func perf() {
 	header("E8: who wins — throughput and per-txn costs across commit ratios")
+	seed := sectionSeed(99)
 	fmt.Printf("%-18s %8s | %9s %12s %10s %10s\n",
 		"protocol", "commit%", "txns/s", "meanLatency", "forces/txn", "msgs/txn")
 	for _, ratio := range []float64{1.0, 0.75, 0.5, 0.25, 0.0} {
@@ -168,7 +189,7 @@ func perf() {
 				experiments.Homogeneous(wire.CL, 3))
 		}
 		for _, mix := range mixes {
-			pt, err := experiments.MeasurePerf(mix, ratio, 200, 4, 99)
+			pt, err := experiments.MeasurePerf(mix, ratio, 200, 4, seed)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -258,11 +279,12 @@ func cl() {
 // the coordinator coalesce.
 func groupcommit() {
 	header("E13: group commit — physical flushes collapse under concurrency")
+	seed := sectionSeed(42)
 	fmt.Printf("%7s %6s | %9s %12s %10s %10s %14s %9s\n",
 		"clients", "group", "txns/s", "meanLatency", "forces/txn", "syncs/txn", "coordsyncs/txn", "recs/sync")
 	for _, clients := range []int{1, 4, 16} {
 		for _, gc := range []bool{false, true} {
-			pt, err := experiments.MeasureGroupCommit(gc, clients, 200, time.Millisecond, 42)
+			pt, err := experiments.MeasureGroupCommit(gc, clients, 200, time.Millisecond, seed)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -271,6 +293,31 @@ func groupcommit() {
 				pt.ForcesPerTxn, pt.SyncsPerTxn, pt.CoordSyncsPerTxn, pt.MeanBatch)
 		}
 		fmt.Println()
+	}
+}
+
+// chaosMatrix prints a compact E14: seeded chaos episodes under U2PC, C2PC
+// and PrAny with identical fault plans per seed. The full-size matrix lives
+// in BENCH_chaos.json via `prany-chaos -e14 -json`.
+func chaosMatrix() {
+	header("E14: chaos matrix — operational correctness under seeded fault plans")
+	seed := sectionSeed(1)
+	const episodes, txns = 12, 12
+	seeds := make([]int64, episodes)
+	for i := range seeds {
+		seeds[i] = seed + int64(i)
+	}
+	rows, err := experiments.ChaosMatrix(seeds, txns, 1500*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-12s %8s %8s %8s %8s | %9s %9s %9s\n",
+		"strategy", "commits", "aborts", "errors", "crashes",
+		"atomicity", "retention", "opcheck")
+	for _, r := range rows {
+		fmt.Printf("%-12s %8d %8d %8d %8d | %9d %9d %9d\n",
+			r.Strategy, r.Commits, r.Aborts, r.Errors, r.Crashes,
+			r.AtomicityViolations, r.RetentionLeaks, r.OpcheckViolations)
 	}
 }
 

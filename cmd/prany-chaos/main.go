@@ -1,0 +1,144 @@
+// Command prany-chaos runs seeded chaos episodes — deterministic fault
+// plans (message drop/delay/duplication, partitions, protocol-step crashes,
+// WAL sync failures) over a mixed PrN/PrA/PrC cluster — and judges every
+// run against the paper's operational correctness criterion (Definition 1).
+//
+// Usage:
+//
+//	prany-chaos -episodes 200 -seed 1       # 200 PrAny episodes, seeds 1..200
+//	prany-chaos -strategy u2pc -episodes 50 # watch Theorem 1 happen
+//	prany-chaos -e14 -episodes 40           # E14 matrix: U2PC vs C2PC vs PrAny
+//	prany-chaos -e14 -episodes 40 -json     # the same, as JSON (BENCH_chaos.json)
+//
+// Every episode's faults derive from its seed alone, so a failing run
+// reproduces from the printed command.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"prany/internal/core"
+	"prany/internal/experiments"
+	"prany/internal/wire"
+)
+
+func main() {
+	episodes := flag.Int("episodes", 20, "number of seeded episodes")
+	seed := flag.Int64("seed", 1, "first seed; episode i uses seed+i")
+	strategy := flag.String("strategy", "prany", "coordinator strategy: prany, u2pc, c2pc")
+	native := flag.String("native", "prn", "native protocol for u2pc/c2pc")
+	txns := flag.Int("txns", 12, "transactions per episode")
+	quiesce := flag.Duration("quiesce", 8*time.Second, "convergence budget per episode")
+	e14 := flag.Bool("e14", false, "run the E14 matrix (U2PC vs C2PC vs PrAny, same seeds)")
+	jsonOut := flag.Bool("json", false, "with -e14: emit the matrix as JSON")
+	verbose := flag.Bool("v", false, "print every episode's fault counters")
+	flag.Parse()
+
+	if *e14 {
+		runMatrix(*episodes, *seed, *txns, *jsonOut)
+		return
+	}
+
+	strat, nat, err := parseStrategy(*strategy, *native)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := experiments.ChaosSpec{Strategy: strat, Native: nat, Txns: *txns, Quiesce: *quiesce}
+
+	fmt.Printf("chaos: %d episodes, seeds %d..%d, strategy %s, %d txns each\n",
+		*episodes, *seed, *seed+int64(*episodes)-1, *strategy, *txns)
+	failed := 0
+	for i := 0; i < *episodes; i++ {
+		s := *seed + int64(i)
+		ep, err := experiments.RunChaosEpisode(s, spec)
+		if err != nil {
+			log.Fatalf("seed %d: %v", s, err)
+		}
+		verdict := "ok"
+		if v := ep.Report.Violations(); v > 0 {
+			verdict = fmt.Sprintf("FAIL (%d violations)", v)
+			failed++
+		}
+		fmt.Printf("seed %-6d commits=%-3d aborts=%-3d errors=%-3d crashes=%-2d %s\n",
+			s, ep.Commits, ep.Aborts, ep.Errors, ep.Faults.Crashes, verdict)
+		if *verbose {
+			fmt.Printf("  faults: drop=%d delay=%d dup=%d partition=%d walfail=%d\n",
+				ep.Faults.Dropped, ep.Faults.Delayed, ep.Faults.Duplicated,
+				ep.Faults.Partitioned, ep.Faults.WALFails)
+		}
+		if verdict != "ok" {
+			for _, line := range strings.Split(ep.Report.Summary(), "\n") {
+				fmt.Printf("  %s\n", line)
+			}
+			fmt.Printf("  repro: go run ./cmd/prany-chaos -episodes 1 -seed %d -strategy %s -native %s -txns %d\n",
+				s, *strategy, *native, *txns)
+		}
+	}
+	fmt.Printf("\n%d/%d episodes operationally correct\n", *episodes-failed, *episodes)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// runMatrix prints (or emits as JSON) the E14 table: the same seeded fault
+// plans under U2PC, C2PC and PrAny, with each strategy's measured failure
+// counts — Theorems 1 and 2 as rates instead of single scripted schedules.
+func runMatrix(episodes int, seed int64, txns int, jsonOut bool) {
+	seeds := make([]int64, episodes)
+	for i := range seeds {
+		seeds[i] = seed + int64(i)
+	}
+	// C2PC never quiesces, so the matrix caps each episode's convergence
+	// budget; PrAny converges well inside it.
+	rows, err := experiments.ChaosMatrix(seeds, txns, 1500*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if jsonOut {
+		out := struct {
+			Experiment string                       `json:"experiment"`
+			SeedStart  int64                        `json:"seed_start"`
+			Episodes   int                          `json:"episodes"`
+			Txns       int                          `json:"txns_per_episode"`
+			Rows       []experiments.ChaosMatrixRow `json:"rows"`
+		}{"E14 chaos matrix", seed, episodes, txns, rows}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("E14: chaos matrix — %d episodes each, seeds %d..%d, %d txns/episode\n",
+		episodes, seed, seed+int64(episodes)-1, txns)
+	fmt.Printf("%-12s %8s %8s %8s %8s %8s | %9s %9s %9s\n",
+		"strategy", "commits", "aborts", "errors", "crashes", "dropped",
+		"atomicity", "retention", "opcheck")
+	for _, r := range rows {
+		fmt.Printf("%-12s %8d %8d %8d %8d %8d | %9d %9d %9d\n",
+			r.Strategy, r.Commits, r.Aborts, r.Errors, r.Crashes, r.Dropped,
+			r.AtomicityViolations, r.RetentionLeaks, r.OpcheckViolations)
+	}
+}
+
+func parseStrategy(s, native string) (core.Strategy, wire.Protocol, error) {
+	nat, err := wire.ParseProtocol(native)
+	if err != nil {
+		return 0, 0, err
+	}
+	switch strings.ToLower(s) {
+	case "prany":
+		return core.StrategyPrAny, nat, nil
+	case "u2pc":
+		return core.StrategyU2PC, nat, nil
+	case "c2pc":
+		return core.StrategyC2PC, nat, nil
+	}
+	return 0, 0, fmt.Errorf("unknown strategy %q (want prany, u2pc or c2pc)", s)
+}

@@ -1,0 +1,273 @@
+package chaos
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prany/internal/transport"
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+func defaultSpec() PlanSpec {
+	return PlanSpec{
+		Coordinator:    "coord",
+		Participants:   []wire.SiteID{"p1", "p2", "p3"},
+		Txns:           20,
+		DropMax:        0.2,
+		DelayMax:       0.2,
+		DupMax:         0.1,
+		WALFailMax:     0.05,
+		MaxCrashPoints: 3,
+		MaxReboots:     2,
+		MaxPartitions:  2,
+	}
+}
+
+func TestRandomPlanDeterministic(t *testing.T) {
+	a := RandomPlan(7, defaultSpec())
+	b := RandomPlan(7, defaultSpec())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed gave different plans:\n%+v\n%+v", a, b)
+	}
+	c := RandomPlan(8, defaultSpec())
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds gave identical plans (suspicious)")
+	}
+}
+
+// counterNet registers a handler and counts deliveries per message kind.
+type counterNet struct {
+	net   transport.Network
+	acks  atomic.Int64
+	other atomic.Int64
+}
+
+func newCounterNet(t *testing.T, e *Engine, id wire.SiteID) *counterNet {
+	t.Helper()
+	inner := transport.NewChanNetwork()
+	t.Cleanup(inner.Close)
+	c := &counterNet{net: e.WrapNetwork(inner)}
+	c.net.Register(id, func(m wire.Message) {
+		if m.Kind == wire.MsgAck {
+			c.acks.Add(1)
+		} else {
+			c.other.Add(1)
+		}
+	})
+	return c
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestNetworkDropByKind(t *testing.T) {
+	e := NewEngine(Plan{Seed: 1, Faults: []MsgFault{{Kinds: []wire.MsgKind{wire.MsgAck}, Drop: 1}}})
+	c := newCounterNet(t, e, "dst")
+	c.net.Send(wire.Message{Kind: wire.MsgAck, From: "src", To: "dst"})
+	c.net.Send(wire.Message{Kind: wire.MsgDecision, From: "src", To: "dst"})
+	waitFor(t, "decision delivery", func() bool { return c.other.Load() == 1 })
+	if got := c.acks.Load(); got != 0 {
+		t.Fatalf("ack delivered %d times despite Drop=1", got)
+	}
+	if ctr := e.Counters(); ctr.Dropped != 1 {
+		t.Fatalf("Dropped = %d, want 1", ctr.Dropped)
+	}
+}
+
+func TestNetworkDuplicate(t *testing.T) {
+	e := NewEngine(Plan{Seed: 1, Faults: []MsgFault{{Dup: 1, MaxDelay: time.Millisecond}}})
+	c := newCounterNet(t, e, "dst")
+	c.net.Send(wire.Message{Kind: wire.MsgAck, From: "src", To: "dst"})
+	e.Settle()
+	waitFor(t, "duplicate delivery", func() bool { return c.acks.Load() == 2 })
+}
+
+func TestNetworkDelayStillDelivers(t *testing.T) {
+	e := NewEngine(Plan{Seed: 1, Faults: []MsgFault{{Delay: 1, MaxDelay: 2 * time.Millisecond}}})
+	c := newCounterNet(t, e, "dst")
+	c.net.Send(wire.Message{Kind: wire.MsgDecision, From: "src", To: "dst"})
+	e.Settle()
+	waitFor(t, "delayed delivery", func() bool { return c.other.Load() == 1 })
+	if ctr := e.Counters(); ctr.Delayed != 1 {
+		t.Fatalf("Delayed = %d, want 1", ctr.Delayed)
+	}
+}
+
+func TestPartitionDropsBothDirections(t *testing.T) {
+	e := NewEngine(Plan{Seed: 1})
+	c := newCounterNet(t, e, "a")
+	c.net.Register("b", func(wire.Message) {})
+	e.SetPartition("a", "b", true)
+	c.net.Send(wire.Message{Kind: wire.MsgDecision, From: "b", To: "a"})
+	c.net.Send(wire.Message{Kind: wire.MsgVote, From: "a", To: "b"})
+	c.net.Send(wire.Message{Kind: wire.MsgDecision, From: "c", To: "a"})
+	waitFor(t, "unsevered delivery", func() bool { return c.other.Load() == 1 })
+	if ctr := e.Counters(); ctr.Partitioned != 2 {
+		t.Fatalf("Partitioned = %d, want 2", ctr.Partitioned)
+	}
+	e.SetPartition("a", "b", false)
+	c.net.Send(wire.Message{Kind: wire.MsgDecision, From: "b", To: "a"})
+	waitFor(t, "healed delivery", func() bool { return c.other.Load() == 2 })
+}
+
+func TestDeactivateStopsInjection(t *testing.T) {
+	e := NewEngine(Plan{Seed: 1, Faults: []MsgFault{{Drop: 1}}})
+	c := newCounterNet(t, e, "dst")
+	e.Deactivate()
+	c.net.Send(wire.Message{Kind: wire.MsgDecision, From: "src", To: "dst"})
+	waitFor(t, "post-deactivate delivery", func() bool { return c.other.Load() == 1 })
+}
+
+// crashRecorder collects the sites the engine asked to crash.
+type crashRecorder struct {
+	mu    sync.Mutex
+	sites []wire.SiteID
+}
+
+func (c *crashRecorder) crash(id wire.SiteID) {
+	c.mu.Lock()
+	c.sites = append(c.sites, id)
+	c.mu.Unlock()
+}
+
+func (c *crashRecorder) got() []wire.SiteID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]wire.SiteID(nil), c.sites...)
+}
+
+func TestStoreCrashBeforeForce(t *testing.T) {
+	e := NewEngine(Plan{Seed: 1, Crashes: []CrashPoint{
+		{Site: "p1", Edge: BeforeForce, Rec: wal.KPrepared, Role: wal.RolePart},
+	}})
+	var cr crashRecorder
+	e.BindCrasher(cr.crash)
+	inner := wal.NewMemStore()
+	s := e.WrapStore("p1", inner)
+
+	// A non-matching record passes through untouched.
+	if err := s.Append([]wal.Record{{Kind: wal.KEnd, Role: wal.RolePart}}); err != nil {
+		t.Fatalf("non-matching append: %v", err)
+	}
+	// The matching force crashes the site before the write lands.
+	err := s.Append([]wal.Record{{Kind: wal.KPrepared, Role: wal.RolePart}})
+	if !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("matching append err = %v, want ErrInjectedCrash", err)
+	}
+	if inner.Len() != 1 {
+		t.Fatalf("crashed-before force reached the store: len=%d", inner.Len())
+	}
+	// The site is down now: later appends fail too, until recovered.
+	if err := s.Append([]wal.Record{{Kind: wal.KEnd, Role: wal.RolePart}}); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("append on downed site err = %v, want ErrInjectedCrash", err)
+	}
+	e.Settle()
+	if got := cr.got(); len(got) != 1 || got[0] != "p1" {
+		t.Fatalf("crasher calls = %v, want [p1]", got)
+	}
+	if got := e.TakeCrashed(); len(got) != 1 || got[0] != "p1" {
+		t.Fatalf("TakeCrashed = %v, want [p1]", got)
+	}
+	// Recovered: appends flow again, and the crash point is spent.
+	if err := s.Append([]wal.Record{{Kind: wal.KPrepared, Role: wal.RolePart}}); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+}
+
+func TestStoreCrashAfterForce(t *testing.T) {
+	e := NewEngine(Plan{Seed: 1, Crashes: []CrashPoint{
+		{Site: "c", Edge: AfterForce, Rec: wal.KCommit, Role: wal.RoleCoord},
+	}})
+	var cr crashRecorder
+	e.BindCrasher(cr.crash)
+	inner := wal.NewMemStore()
+	s := e.WrapStore("c", inner)
+	if err := s.Append([]wal.Record{{Kind: wal.KCommit, Role: wal.RoleCoord}}); err != nil {
+		t.Fatalf("after-force append should succeed, got %v", err)
+	}
+	if inner.Len() != 1 {
+		t.Fatalf("after-force record not stable: len=%d", inner.Len())
+	}
+	e.Settle()
+	if got := cr.got(); len(got) != 1 || got[0] != "c" {
+		t.Fatalf("crasher calls = %v, want [c]", got)
+	}
+}
+
+func TestStoreCrashSkip(t *testing.T) {
+	e := NewEngine(Plan{Seed: 1, Crashes: []CrashPoint{
+		{Site: "p1", Edge: BeforeForce, Rec: wal.KPrepared, Role: wal.RolePart, Skip: 1},
+	}})
+	s := e.WrapStore("p1", wal.NewMemStore())
+	if err := s.Append([]wal.Record{{Kind: wal.KPrepared, Role: wal.RolePart}}); err != nil {
+		t.Fatalf("first match should be skipped, got %v", err)
+	}
+	if err := s.Append([]wal.Record{{Kind: wal.KPrepared, Role: wal.RolePart}}); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("second match err = %v, want ErrInjectedCrash", err)
+	}
+}
+
+func TestStoreWALFailTransient(t *testing.T) {
+	e := NewEngine(Plan{Seed: 1, WALFail: 1})
+	inner := wal.NewMemStore()
+	s := e.WrapStore("p1", inner)
+	if err := s.Append([]wal.Record{{Kind: wal.KPrepared, Role: wal.RolePart}}); !errors.Is(err, ErrInjectedSyncFailure) {
+		t.Fatalf("append err = %v, want ErrInjectedSyncFailure", err)
+	}
+	if got := e.TakeCrashed(); len(got) != 0 {
+		t.Fatalf("transient sync failure crashed sites: %v", got)
+	}
+	e.Deactivate()
+	if err := s.Append([]wal.Record{{Kind: wal.KPrepared, Role: wal.RolePart}}); err != nil {
+		t.Fatalf("post-deactivate append: %v", err)
+	}
+	if inner.Len() != 1 {
+		t.Fatalf("store len = %d, want 1", inner.Len())
+	}
+}
+
+func TestOnSendCrashDropsMessage(t *testing.T) {
+	e := NewEngine(Plan{Seed: 1, Crashes: []CrashPoint{
+		{Site: "p1", Edge: OnSend, Msg: wire.MsgAck},
+	}})
+	var cr crashRecorder
+	e.BindCrasher(cr.crash)
+	c := newCounterNet(t, e, "dst")
+	c.net.Send(wire.Message{Kind: wire.MsgAck, From: "p1", To: "dst"})
+	e.Settle()
+	if got := c.acks.Load(); got != 0 {
+		t.Fatalf("ack delivered despite sender crash: %d", got)
+	}
+	if got := cr.got(); len(got) != 1 || got[0] != "p1" {
+		t.Fatalf("crasher calls = %v, want [p1]", got)
+	}
+}
+
+func TestOnDeliverCrashConsumesMessage(t *testing.T) {
+	e := NewEngine(Plan{Seed: 1, Crashes: []CrashPoint{
+		{Site: "dst", Edge: OnDeliver, Msg: wire.MsgDecision},
+	}})
+	var cr crashRecorder
+	e.BindCrasher(cr.crash)
+	c := newCounterNet(t, e, "dst")
+	c.net.Send(wire.Message{Kind: wire.MsgDecision, From: "src", To: "dst"})
+	e.Settle()
+	waitFor(t, "crash recorded", func() bool { return len(cr.got()) == 1 })
+	if got := c.other.Load(); got != 0 {
+		t.Fatalf("decision reached handler despite receiver crash: %d", got)
+	}
+}

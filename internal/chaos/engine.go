@@ -1,0 +1,370 @@
+package chaos
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"prany/internal/transport"
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+// ErrInjectedSyncFailure is the transient WAL failure the engine injects: the
+// force-write errors, the site survives and must degrade safely.
+var ErrInjectedSyncFailure = errors.New("chaos: injected WAL sync failure")
+
+// ErrInjectedCrash is returned by a wrapped store when its site has been
+// fail-stopped by a crash point: the records were lost with the crash.
+var ErrInjectedCrash = errors.New("chaos: site fail-stopped by injected crash")
+
+// Counters tallies the faults an engine actually injected.
+type Counters struct {
+	Dropped     uint64 // messages silently lost
+	Delayed     uint64 // messages held (and thereby possibly reordered)
+	Duplicated  uint64 // extra copies delivered
+	Partitioned uint64 // messages lost to a severed site pair
+	WALFails    uint64 // transient sync failures
+	Crashes     uint64 // crash points fired
+}
+
+// Engine executes a Plan against one cluster. Wrap the cluster's network
+// with WrapNetwork and every site's log store with WrapStore, bind a crash
+// function with BindCrasher, and drive partitions/reboots from the plan at
+// transaction boundaries. All probabilistic draws come from one rand.Rand
+// seeded with Plan.Seed.
+type Engine struct {
+	plan Plan
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	active  bool
+	inner   transport.Network
+	crashFn func(wire.SiteID)
+	// fired marks spent crash points; remain holds their Skip countdowns.
+	fired  []bool
+	remain []int
+	// down marks sites fail-stopped by a crash point and not yet recovered:
+	// their stores refuse appends (a dead site writes nothing) until the
+	// runner collects them via TakeCrashed.
+	down    map[wire.SiteID]bool
+	severed map[[2]wire.SiteID]bool
+	ctr     Counters
+
+	// inflight counts delayed deliveries and crash goroutines so Settle can
+	// wait for the world to stop moving. A WaitGroup would be misused here:
+	// a handler still running on a site goroutine can inject a new delayed
+	// send while Settle is already waiting — an Add-from-zero during Wait.
+	settleMu   sync.Mutex
+	settleCond *sync.Cond
+	inflight   int
+}
+
+// NewEngine builds an engine for the plan. It starts active.
+func NewEngine(plan Plan) *Engine {
+	e := &Engine{
+		plan:    plan,
+		rng:     rand.New(rand.NewSource(plan.Seed)),
+		active:  true,
+		fired:   make([]bool, len(plan.Crashes)),
+		remain:  make([]int, len(plan.Crashes)),
+		down:    make(map[wire.SiteID]bool),
+		severed: make(map[[2]wire.SiteID]bool),
+	}
+	for i, cp := range plan.Crashes {
+		e.remain[i] = cp.Skip
+	}
+	e.settleCond = sync.NewCond(&e.settleMu)
+	return e
+}
+
+// goTracked runs f on its own goroutine, counted for Settle.
+func (e *Engine) goTracked(f func()) {
+	e.settleMu.Lock()
+	e.inflight++
+	e.settleMu.Unlock()
+	go func() {
+		defer func() {
+			e.settleMu.Lock()
+			e.inflight--
+			if e.inflight == 0 {
+				e.settleCond.Broadcast()
+			}
+			e.settleMu.Unlock()
+		}()
+		f()
+	}()
+}
+
+// Plan returns the engine's plan.
+func (e *Engine) Plan() Plan { return e.plan }
+
+// WrapNetwork wraps the cluster network with the fault-injecting transport.
+// Call once; the inner network is also where crash points mark sites down.
+func (e *Engine) WrapNetwork(inner transport.Network) transport.Network {
+	e.mu.Lock()
+	e.inner = inner
+	e.mu.Unlock()
+	return &Network{eng: e, inner: inner}
+}
+
+// WrapStore wraps one site's WAL store with the fault-injecting store.
+func (e *Engine) WrapStore(site wire.SiteID, inner wal.Store) wal.Store {
+	return &Store{eng: e, site: site, inner: inner}
+}
+
+// BindCrasher supplies the function that fail-stops a site (typically
+// site.Crash via the cluster). The engine calls it on its own goroutine:
+// crash points can fire while the crashing site holds its log mutex, and
+// Site.Crash needs that mutex to drop the unforced tail.
+func (e *Engine) BindCrasher(f func(wire.SiteID)) {
+	e.mu.Lock()
+	e.crashFn = f
+	e.mu.Unlock()
+}
+
+// Deactivate stops all fault injection (already-delayed messages still
+// deliver). The runner calls it before the final recovery-and-quiesce so
+// the cluster converges under a clean network.
+func (e *Engine) Deactivate() {
+	e.mu.Lock()
+	e.active = false
+	e.mu.Unlock()
+}
+
+// Counters returns a snapshot of the injected-fault tallies.
+func (e *Engine) Counters() Counters {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ctr
+}
+
+// Settle blocks until every in-flight delayed delivery and crash goroutine
+// has finished.
+func (e *Engine) Settle() {
+	e.settleMu.Lock()
+	for e.inflight > 0 {
+		e.settleCond.Wait()
+	}
+	e.settleMu.Unlock()
+}
+
+// TakeCrashed returns the sites fail-stopped by crash points since the last
+// call and clears their down state, so the caller can recover them. Call
+// Settle first so the crash goroutines have landed.
+func (e *Engine) TakeCrashed() []wire.SiteID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]wire.SiteID, 0, len(e.down))
+	for id := range e.down {
+		out = append(out, id)
+	}
+	for id := range e.down {
+		delete(e.down, id)
+	}
+	return out
+}
+
+// ClearDown clears a site's injected-crash marker without recovering it;
+// call before recovering a site through any path other than TakeCrashed.
+func (e *Engine) ClearDown(id wire.SiteID) {
+	e.mu.Lock()
+	delete(e.down, id)
+	e.mu.Unlock()
+}
+
+// SetPartition severs (or heals) the bidirectional pair a,b.
+func (e *Engine) SetPartition(a, b wire.SiteID, severed bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if severed {
+		e.severed[pairKey(a, b)] = true
+		e.severed[pairKey(b, a)] = true
+	} else {
+		delete(e.severed, pairKey(a, b))
+		delete(e.severed, pairKey(b, a))
+	}
+}
+
+func pairKey(a, b wire.SiteID) [2]wire.SiteID { return [2]wire.SiteID{a, b} }
+
+// trip fires a crash for site: the inner network marks it down immediately
+// (no further traffic in either direction — the fail-stop is atomic with the
+// triggering step) and the bound crasher runs asynchronously. Caller holds
+// e.mu.
+func (e *Engine) tripLocked(site wire.SiteID) {
+	e.ctr.Crashes++
+	e.down[site] = true
+	if d, ok := e.inner.(interface{ SetDown(wire.SiteID, bool) }); ok {
+		d.SetDown(site, true)
+	}
+	if e.crashFn != nil {
+		fn := e.crashFn
+		e.goTracked(func() { fn(site) })
+	}
+}
+
+// crashMatchLocked consumes a crash point matching the event, if any.
+func (e *Engine) crashMatchLocked(match func(CrashPoint) bool) bool {
+	for i, cp := range e.plan.Crashes {
+		if e.fired[i] || !match(cp) {
+			continue
+		}
+		if e.remain[i] > 0 {
+			e.remain[i]--
+			continue
+		}
+		e.fired[i] = true
+		e.tripLocked(cp.Site)
+		return true
+	}
+	return false
+}
+
+// sendVerdict is the engine's decision about one Send.
+type sendVerdict struct {
+	drop     bool
+	delay    time.Duration
+	dup      bool
+	dupDelay time.Duration
+}
+
+// planSend decides the fate of one outbound message.
+func (e *Engine) planSend(m wire.Message) sendVerdict {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.active {
+		return sendVerdict{}
+	}
+	if e.crashMatchLocked(func(cp CrashPoint) bool {
+		return cp.Edge == OnSend && cp.Site == m.From && cp.Msg == m.Kind
+	}) {
+		// The sender fail-stopped at this send: the message dies with it.
+		return sendVerdict{drop: true}
+	}
+	if e.severed[pairKey(m.From, m.To)] {
+		e.ctr.Partitioned++
+		return sendVerdict{drop: true}
+	}
+	for _, f := range e.plan.Faults {
+		if !kindMatch(f.Kinds, m.Kind) {
+			continue
+		}
+		if (f.From != "" && f.From != m.From) || (f.To != "" && f.To != m.To) {
+			continue
+		}
+		if f.Drop > 0 && e.rng.Float64() < f.Drop {
+			e.ctr.Dropped++
+			return sendVerdict{drop: true}
+		}
+		var v sendVerdict
+		if f.Delay > 0 && e.rng.Float64() < f.Delay {
+			v.delay = time.Duration(e.rng.Int63n(int64(f.MaxDelay) + 1))
+			e.ctr.Delayed++
+		}
+		if f.Dup > 0 && e.rng.Float64() < f.Dup {
+			v.dup = true
+			v.dupDelay = time.Duration(e.rng.Int63n(int64(f.MaxDelay) + 1))
+			e.ctr.Duplicated++
+		}
+		return v
+	}
+	return sendVerdict{}
+}
+
+// planDeliver decides whether an inbound message reaches its handler; a
+// false return means an OnDeliver crash point consumed it.
+func (e *Engine) planDeliver(dest wire.SiteID, m wire.Message) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.active {
+		return true
+	}
+	return !e.crashMatchLocked(func(cp CrashPoint) bool {
+		return cp.Edge == OnDeliver && cp.Site == dest && cp.Msg == m.Kind
+	})
+}
+
+// later delivers m on inner after d, tracked for Settle.
+func (e *Engine) later(d time.Duration, m wire.Message, inner transport.Network) {
+	e.goTracked(func() {
+		if d > 0 {
+			time.Sleep(d)
+		}
+		inner.Send(m)
+	})
+}
+
+// storeAction is what a wrapped store must do with one append.
+type storeAction uint8
+
+const (
+	storeOK storeAction = iota
+	storeFail
+	storeCrashBefore
+	storeCrashAfter
+)
+
+// planAppend decides the fate of one store append. For storeCrashBefore the
+// crash has already been tripped; for storeCrashAfter the caller trips it
+// via tripAfterAppend once the records are stable.
+func (e *Engine) planAppend(site wire.SiteID, recs []wal.Record) storeAction {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.down[site] {
+		return storeCrashBefore // fail-stopped: a dead site writes nothing
+	}
+	if !e.active {
+		return storeOK
+	}
+	if e.crashMatchLocked(func(cp CrashPoint) bool {
+		return cp.Edge == BeforeForce && cp.Site == site && recsMatch(recs, cp)
+	}) {
+		return storeCrashBefore
+	}
+	for i, cp := range e.plan.Crashes {
+		if e.fired[i] || cp.Edge != AfterForce || cp.Site != site || !recsMatch(recs, cp) {
+			continue
+		}
+		if e.remain[i] > 0 {
+			e.remain[i]--
+			continue
+		}
+		e.fired[i] = true
+		return storeCrashAfter
+	}
+	if e.plan.WALFail > 0 && e.rng.Float64() < e.plan.WALFail {
+		e.ctr.WALFails++
+		return storeFail
+	}
+	return storeOK
+}
+
+// tripAfterAppend fires the crash half of a storeCrashAfter verdict.
+func (e *Engine) tripAfterAppend(site wire.SiteID) {
+	e.mu.Lock()
+	e.tripLocked(site)
+	e.mu.Unlock()
+}
+
+func kindMatch(kinds []wire.MsgKind, k wire.MsgKind) bool {
+	if len(kinds) == 0 {
+		return true
+	}
+	for _, want := range kinds {
+		if want == k {
+			return true
+		}
+	}
+	return false
+}
+
+func recsMatch(recs []wal.Record, cp CrashPoint) bool {
+	for _, r := range recs {
+		if r.Kind == cp.Rec && r.Role == cp.Role {
+			return true
+		}
+	}
+	return false
+}

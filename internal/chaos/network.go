@@ -1,0 +1,54 @@
+package chaos
+
+import (
+	"prany/internal/transport"
+	"prany/internal/wire"
+)
+
+// Network is the fault-injecting transport.Network wrapper. Sites plug it in
+// through their ordinary Config.Net; the protocol engines cannot tell an
+// injected omission from a real one.
+type Network struct {
+	eng   *Engine
+	inner transport.Network
+}
+
+// Register implements transport.Network. The handler is wrapped so
+// OnDeliver crash points can fail-stop the receiver with the triggering
+// message consumed by the crash.
+func (n *Network) Register(id wire.SiteID, h transport.Handler) {
+	n.inner.Register(id, func(m wire.Message) {
+		if n.eng.planDeliver(id, m) {
+			h(m)
+		}
+	})
+}
+
+// Send implements transport.Network, applying the plan's message faults.
+// Delayed and duplicated copies re-enter through the inner network, so a
+// held message really is reordered past everything sent meanwhile.
+func (n *Network) Send(m wire.Message) {
+	v := n.eng.planSend(m)
+	if v.drop {
+		return
+	}
+	if v.dup {
+		n.eng.later(v.dupDelay, m, n.inner)
+	}
+	if v.delay > 0 {
+		n.eng.later(v.delay, m, n.inner)
+		return
+	}
+	n.inner.Send(m)
+}
+
+// Close implements transport.Network.
+func (n *Network) Close() { n.inner.Close() }
+
+// SetDown forwards the site-level crash flag to the inner network, keeping
+// site.Crash/Recover working unchanged through the wrapper.
+func (n *Network) SetDown(id wire.SiteID, down bool) {
+	if d, ok := n.inner.(interface{ SetDown(wire.SiteID, bool) }); ok {
+		d.SetDown(id, down)
+	}
+}

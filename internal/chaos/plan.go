@@ -1,0 +1,234 @@
+// Package chaos injects deterministic faults into a running cluster: message
+// drop, delay, duplication (and, through random delays, reordering), network
+// partitions between site pairs, site crashes keyed to protocol steps
+// (before or after a force-write, between a decision's delivery and its
+// acknowledgment), and WAL sync failures. Everything is declared in a Plan
+// whose every probability and schedule derives from one seed, so a failing
+// episode reproduces from its printed seed alone.
+//
+// The faults are implemented as wrappers — a transport.Network wrapper and a
+// wal.Store wrapper — so the protocol engines under test are untouched: they
+// see an unreliable network and a failing disk, which is exactly the paper's
+// failure model (fail-stop sites, omission failures) plus the stable-storage
+// faults every force-write discipline must survive.
+//
+// One caveat is deliberate: Delay and Dup break the transport's
+// per-destination FIFO guarantee. The three two-phase variants and PrAny
+// tolerate that (every duplicate or stale message is answered by a guard or
+// by footnote 5), but the coordinator-log extension's recovery fence relies
+// on FIFO — plans over clusters with CL sites must keep Delay and Dup zero.
+package chaos
+
+import (
+	"math/rand"
+	"time"
+
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+// MsgFault is one probabilistic message-fault rule. Each matching Send draws
+// independently: first the drop, then (for survivors) delay and duplication.
+type MsgFault struct {
+	// Kinds restricts the rule to these message kinds; empty matches all.
+	Kinds []wire.MsgKind
+	// From and To restrict the rule to one sender or one destination;
+	// empty matches any. A rule that names both matches one directed link.
+	From, To wire.SiteID
+	// Drop is the probability the message is silently lost.
+	Drop float64
+	// Delay is the probability the message is held for a random duration up
+	// to MaxDelay before delivery — which also reorders it past later sends.
+	Delay float64
+	// Dup is the probability a second copy is delivered (after its own
+	// random delay).
+	Dup      float64
+	MaxDelay time.Duration
+}
+
+// CrashEdge says where in a protocol step a crash point fires.
+type CrashEdge uint8
+
+const (
+	// BeforeForce crashes the site as a force-write of a matching record
+	// reaches the store: the append fails (the record is not stable) and
+	// the site fail-stops — the classic "crashed before the force".
+	BeforeForce CrashEdge = iota
+	// AfterForce lets the matching append become stable, then fail-stops
+	// the site — "crashed after the force, before anything was sent".
+	AfterForce
+	// OnSend fail-stops the sender as it emits a matching message; the
+	// message is lost with the crash. A participant crashing at its ACK
+	// send is the "between decision and acknowledgment" window.
+	OnSend
+	// OnDeliver fail-stops the receiver as a matching message arrives; the
+	// message is consumed by the crash. A participant crashing at a
+	// DECISION delivery dies between the decision and its enforcement.
+	OnDeliver
+)
+
+func (e CrashEdge) String() string {
+	switch e {
+	case BeforeForce:
+		return "before-force"
+	case AfterForce:
+		return "after-force"
+	case OnSend:
+		return "on-send"
+	default:
+		return "on-deliver"
+	}
+}
+
+// CrashPoint is a one-shot site crash keyed to a protocol step. It fires on
+// the (Skip+1)-th matching event and never again (the runner is expected to
+// recover the site afterwards).
+type CrashPoint struct {
+	Site wire.SiteID
+	Edge CrashEdge
+	// Rec and Role select the WAL record for BeforeForce/AfterForce edges.
+	Rec  wal.Kind
+	Role wal.Role
+	// Msg selects the message kind for OnSend/OnDeliver edges.
+	Msg  wire.MsgKind
+	Skip int
+}
+
+// Partition cuts both directions between sites A and B for the transaction
+// window [FromTxn, ToTxn) of the driving workload; the episode runner
+// applies and lifts it at transaction boundaries.
+type Partition struct {
+	A, B    wire.SiteID
+	FromTxn int
+	ToTxn   int
+}
+
+// Reboot is a scheduled crash-and-recover of a site at a transaction
+// boundary (as opposed to the protocol-step CrashPoints, which the engine
+// fires itself mid-step).
+type Reboot struct {
+	AtTxn int
+	Site  wire.SiteID
+}
+
+// Plan is a complete declarative fault plan. A zero plan injects nothing.
+type Plan struct {
+	Seed   int64
+	Faults []MsgFault
+	// Crashes are protocol-step crash points, each firing at most once.
+	Crashes    []CrashPoint
+	Partitions []Partition
+	Reboots    []Reboot
+	// WALFail is the per-force probability of a transient sync failure at
+	// any wrapped store: the append errors, the site survives.
+	WALFail float64
+}
+
+// TwoPhaseKinds are the protocol messages of the two-phase variants — the
+// default fault targets. EXEC traffic is left reliable so the workload
+// driver exercises the commit protocol rather than its own plumbing.
+var TwoPhaseKinds = []wire.MsgKind{
+	wire.MsgPrepare, wire.MsgVote, wire.MsgDecision, wire.MsgAck, wire.MsgInquiry,
+}
+
+// PlanSpec bounds RandomPlan's draws.
+type PlanSpec struct {
+	// Coordinator and Participants name the crashable sites.
+	Coordinator  wire.SiteID
+	Participants []wire.SiteID
+	// Txns is the workload length, for scheduling reboots and partitions.
+	Txns int
+	// Kinds are the message kinds faults apply to. Nil means TwoPhaseKinds.
+	Kinds []wire.MsgKind
+	// DropMax, DelayMax and DupMax cap the drawn probabilities.
+	DropMax, DelayMax, DupMax float64
+	// MaxDelay caps each injected delay. Zero means 10ms.
+	MaxDelay time.Duration
+	// WALFailMax caps the transient sync-failure probability.
+	WALFailMax float64
+	// MaxCrashPoints, MaxReboots and MaxPartitions cap the drawn schedules.
+	MaxCrashPoints, MaxReboots, MaxPartitions int
+}
+
+// RandomPlan derives a full fault plan from the seed: probabilities,
+// crash-point placement, reboot and partition schedules are all drawn from
+// one rand.Rand seeded with it, so equal (seed, spec) pairs give equal
+// plans.
+func RandomPlan(seed int64, spec PlanSpec) Plan {
+	rng := rand.New(rand.NewSource(seed))
+	kinds := spec.Kinds
+	if kinds == nil {
+		kinds = TwoPhaseKinds
+	}
+	if spec.MaxDelay <= 0 {
+		spec.MaxDelay = 10 * time.Millisecond
+	}
+	p := Plan{Seed: seed}
+	p.Faults = []MsgFault{{
+		Kinds:    kinds,
+		Drop:     rng.Float64() * spec.DropMax,
+		Delay:    rng.Float64() * spec.DelayMax,
+		Dup:      rng.Float64() * spec.DupMax,
+		MaxDelay: spec.MaxDelay,
+	}}
+	p.WALFail = rng.Float64() * spec.WALFailMax
+
+	sites := append([]wire.SiteID{}, spec.Participants...)
+	all := sites
+	if spec.Coordinator != "" {
+		all = append(append([]wire.SiteID{}, sites...), spec.Coordinator)
+	}
+	// Crash points: an archetype per draw, covering the windows the paper's
+	// recovery procedures exist for.
+	if spec.MaxCrashPoints > 0 && len(sites) > 0 {
+		n := rng.Intn(spec.MaxCrashPoints + 1)
+		for i := 0; i < n; i++ {
+			part := sites[rng.Intn(len(sites))]
+			cp := CrashPoint{Skip: rng.Intn(3)}
+			switch rng.Intn(7) {
+			case 0: // coordinator dies before its commit record is stable
+				cp.Site, cp.Edge, cp.Rec, cp.Role = spec.Coordinator, BeforeForce, wal.KCommit, wal.RoleCoord
+			case 1: // coordinator dies with the commit stable but unsent
+				cp.Site, cp.Edge, cp.Rec, cp.Role = spec.Coordinator, AfterForce, wal.KCommit, wal.RoleCoord
+			case 2: // participant dies before its prepared record is stable
+				cp.Site, cp.Edge, cp.Rec, cp.Role = part, BeforeForce, wal.KPrepared, wal.RolePart
+			case 3: // participant dies prepared, vote unsent
+				cp.Site, cp.Edge, cp.Rec, cp.Role = part, AfterForce, wal.KPrepared, wal.RolePart
+			case 4: // participant dies as the decision arrives, unenforced
+				cp.Site, cp.Edge, cp.Msg = part, OnDeliver, wire.MsgDecision
+			case 5: // participant dies between enforcing and acknowledging
+				cp.Site, cp.Edge, cp.Msg = part, OnSend, wire.MsgAck
+			case 6: // coordinator dies as the first decision copy goes out
+				cp.Site, cp.Edge, cp.Msg = spec.Coordinator, OnSend, wire.MsgDecision
+			}
+			if cp.Site == "" {
+				continue // no coordinator declared for a coordinator archetype
+			}
+			p.Crashes = append(p.Crashes, cp)
+		}
+	}
+	if spec.MaxReboots > 0 && len(all) > 0 && spec.Txns > 0 {
+		n := rng.Intn(spec.MaxReboots + 1)
+		for i := 0; i < n; i++ {
+			p.Reboots = append(p.Reboots, Reboot{
+				AtTxn: rng.Intn(spec.Txns),
+				Site:  all[rng.Intn(len(all))],
+			})
+		}
+	}
+	if spec.MaxPartitions > 0 && len(all) > 1 && spec.Txns > 0 {
+		n := rng.Intn(spec.MaxPartitions + 1)
+		for i := 0; i < n; i++ {
+			a := all[rng.Intn(len(all))]
+			b := all[rng.Intn(len(all))]
+			if a == b {
+				continue
+			}
+			from := rng.Intn(spec.Txns)
+			p.Partitions = append(p.Partitions, Partition{
+				A: a, B: b, FromTxn: from, ToTxn: from + 1 + rng.Intn(3),
+			})
+		}
+	}
+	return p
+}

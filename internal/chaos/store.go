@@ -1,0 +1,46 @@
+package chaos
+
+import (
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+// Store is the fault-injecting wal.Store wrapper. Only force-writes reach a
+// Store (lazy records stay buffered in the Log), so its faults land exactly
+// on the protocol's force points: a BeforeForce crash loses the records, an
+// AfterForce crash keeps them, and a WALFail draw is a transient sync error
+// the site survives.
+type Store struct {
+	eng   *Engine
+	site  wire.SiteID
+	inner wal.Store
+}
+
+// Load implements wal.Store.
+func (s *Store) Load() ([]wal.Record, error) { return s.inner.Load() }
+
+// Append implements wal.Store, consulting the plan first. Note the crash
+// edges return before calling the bound crasher's work is done — the crasher
+// runs on an engine goroutine because Append is called under the Log mutex
+// that Site.Crash also needs.
+func (s *Store) Append(recs []wal.Record) error {
+	switch s.eng.planAppend(s.site, recs) {
+	case storeFail:
+		return ErrInjectedSyncFailure
+	case storeCrashBefore:
+		return ErrInjectedCrash
+	case storeCrashAfter:
+		if err := s.inner.Append(recs); err != nil {
+			return err
+		}
+		s.eng.tripAfterAppend(s.site)
+		return nil
+	}
+	return s.inner.Append(recs)
+}
+
+// Rewrite implements wal.Store. Checkpointing is not a fault target.
+func (s *Store) Rewrite(recs []wal.Record) error { return s.inner.Rewrite(recs) }
+
+// Close implements wal.Store.
+func (s *Store) Close() error { return s.inner.Close() }

@@ -266,6 +266,14 @@ func (c *Coordinator) decide(ct *ctxn, outcome wire.Outcome) (wire.Outcome, erro
 		if err := c.env.force(wal.Record{
 			Kind: wal.KCommit, Role: wal.RoleCoord, Txn: ct.txn, Participants: c.infoList(ct),
 		}); err != nil {
+			// The failed force may leave the commit record in the log
+			// buffer, where a later successful force would stabilize it —
+			// and recovery would then re-drive a commit this coordinator
+			// never announced. A lazy abort record supersedes it (recovery
+			// takes the last decision record).
+			c.env.appendLazy(wal.Record{
+				Kind: wal.KAbort, Role: wal.RoleCoord, Txn: ct.txn, Participants: c.infoList(ct),
+			})
 			return wire.Abort, err
 		}
 	} else if c.logsAbortRecord(ct) {

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"prany/internal/wire"
+)
+
+// Inquiry-path coverage for coordinator recovery (crecovery.go): a
+// recovering participant inquires about a transaction the recovered
+// coordinator no longer remembers, and the presumption answer must match
+// the decision that was actually taken (or safely hide an undecided one).
+
+func TestRecoveredCoordinatorNoMemoryAnswersPrNInquiryAbort(t *testing.T) {
+	// The coordinator crashes mid-voting with an empty log: no initiation
+	// (homogeneous PrN skips it), no decision record yet. Recovery finds
+	// nothing, so the prepared PrN participant's inquiry is answered by the
+	// inquirer's presumption — abort, the only outcome an undecided
+	// transaction can hide behind.
+	r := newRig(t, CoordinatorConfig{VoteTimeout: 500 * time.Millisecond},
+		partSpec{"pn", wire.PrN})
+	txn := r.nextTxn()
+	r.exec(txn, "pn")
+	voteSeen := make(chan struct{}, 1)
+	r.setDrop(func(m wire.Message) bool {
+		if m.Kind == wire.MsgVote {
+			select {
+			case voteSeen <- struct{}{}:
+			default:
+			}
+			return true
+		}
+		return false
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = r.coord.Commit(txn, []wire.SiteID{"pn"}) // errors: log dies mid-call
+	}()
+	// Once pn's vote was dropped its prepared record is stable and no
+	// message is in flight: crash the coordinator while Commit still waits
+	// for the lost vote.
+	select {
+	case <-voteSeen:
+	case <-time.After(5 * time.Second):
+		t.Fatal("pn never voted")
+	}
+	r.crashCoord()
+	<-done
+	r.setDrop(nil)
+	if got := len(r.records("coord")); got != 0 {
+		t.Fatalf("coordinator crashed with %d stable records, want 0", got)
+	}
+
+	r.recoverCoord()
+	if r.coord.PTSize() != 0 {
+		t.Fatalf("recovery built %d PT entries from an empty log", r.coord.PTSize())
+	}
+	// pn's re-inquiry is answered abort by its own (PrN) presumption.
+	r.settle()
+	if got := len(r.parts["pn"].InDoubt()); got != 0 {
+		t.Fatalf("pn still in doubt: %d", got)
+	}
+	if _, ok := r.stores["pn"].Read("k-" + txn.String()); ok {
+		t.Fatal("hidden-abort transaction left data behind")
+	}
+	r.checkClean()
+}
+
+func TestRecoveredCoordinatorForgotAbortAnswersPrAInquiry(t *testing.T) {
+	// Mixed cluster, timeout abort: pn and pc acknowledge the abort, the
+	// end record lands, the coordinator forgets, crashes, and recovers with
+	// nothing to rebuild (the end record closed the transaction). The PrA
+	// participant — whose vote and decision copy were both lost — then
+	// recovers and inquires; the answer must be its own presumption, abort,
+	// which matches the decision.
+	r := newRig(t, CoordinatorConfig{},
+		partSpec{"pn", wire.PrN}, partSpec{"pa", wire.PrA}, partSpec{"pc", wire.PrC})
+	txn := r.nextTxn()
+	r.exec(txn, "pn", "pa", "pc")
+	r.setDrop(func(m wire.Message) bool {
+		return (m.Kind == wire.MsgVote && m.From == "pa") ||
+			(m.Kind == wire.MsgDecision && m.To == "pa")
+	})
+	out, err := r.coord.Commit(txn, []wire.SiteID{"pn", "pa", "pc"})
+	if err != nil || out != wire.Abort {
+		t.Fatalf("outcome %v, %v", out, err)
+	}
+	r.settle()
+	if r.coord.PTSize() != 0 {
+		t.Fatalf("PT size %d, want 0 (pn and pc acked the abort)", r.coord.PTSize())
+	}
+
+	r.crashCoord()
+	r.setDrop(nil)
+	r.recoverCoord()
+	if r.coord.PTSize() != 0 {
+		t.Fatalf("recovery resurrected %d ended transactions", r.coord.PTSize())
+	}
+
+	r.crashPart("pa")
+	r.recoverPart("pa", wire.PrA) // prepared record survives; recovery inquires
+	r.settle()
+	if got := len(r.parts["pa"].InDoubt()); got != 0 {
+		t.Fatalf("pa still in doubt: %d", got)
+	}
+	for _, id := range []wire.SiteID{"pn", "pa", "pc"} {
+		if _, ok := r.stores[id].Read("k-" + txn.String()); ok {
+			t.Fatalf("aborted write visible at %s", id)
+		}
+	}
+	r.checkClean()
+}
+
+func TestRecoveredCoordinatorForgotCommitAnswersPrCInquiry(t *testing.T) {
+	// Mixed cluster, commit: pn and pa acknowledge, PrC never acks commits,
+	// so the coordinator forgets while pc has still not seen the (dropped)
+	// decision. Coordinator crash + recovery rebuilds nothing (end record);
+	// pc then crashes, recovers in doubt, and inquires — and must be
+	// answered by its own presumption, commit, matching the decision. Under
+	// a native-presumption coordinator this exact schedule is the Theorem 1
+	// violation; under PrAny it is correct.
+	r := newRig(t, CoordinatorConfig{},
+		partSpec{"pn", wire.PrN}, partSpec{"pa", wire.PrA}, partSpec{"pc", wire.PrC})
+	txn := r.nextTxn()
+	r.exec(txn, "pn", "pa", "pc")
+	r.setDrop(func(m wire.Message) bool {
+		return m.Kind == wire.MsgDecision && m.To == "pc"
+	})
+	out, err := r.coord.Commit(txn, []wire.SiteID{"pn", "pa", "pc"})
+	if err != nil || out != wire.Commit {
+		t.Fatalf("outcome %v, %v", out, err)
+	}
+	r.settle()
+	if r.coord.PTSize() != 0 {
+		t.Fatalf("PT size %d, want 0 (PrC commit acks are never expected)", r.coord.PTSize())
+	}
+
+	r.crashCoord()
+	r.setDrop(nil)
+	r.recoverCoord()
+	if r.coord.PTSize() != 0 {
+		t.Fatalf("recovery resurrected %d ended transactions", r.coord.PTSize())
+	}
+
+	r.crashPart("pc")
+	r.recoverPart("pc", wire.PrC) // prepared record survives; recovery inquires
+	r.settle()
+	if got := len(r.parts["pc"].InDoubt()); got != 0 {
+		t.Fatalf("pc still in doubt: %d", got)
+	}
+	for _, id := range []wire.SiteID{"pn", "pa", "pc"} {
+		if _, ok := r.stores[id].Read("k-" + txn.String()); !ok {
+			t.Fatalf("committed write missing at %s", id)
+		}
+	}
+	r.checkClean()
+}

@@ -186,6 +186,11 @@ func (p *Participant) execute(m wire.Message) {
 			if ferr := p.env.force(wal.Record{
 				Kind: wal.KPrepared, Role: wal.RolePart, Txn: m.Txn, Coord: m.From, Writes: writes,
 			}); ferr != nil {
+				// The failed force may leave the record in the log buffer,
+				// where a later successful force would stabilize it as an
+				// orphan promise; a lazy abort record supersedes it so
+				// recovery never resurrects this transaction.
+				p.env.appendLazy(wal.Record{Kind: wal.KAbort, Role: wal.RolePart, Txn: m.Txn})
 				p.rm.Abort(m.Txn)
 				p.dropTxn(m.Txn)
 				reply.Results = nil
@@ -261,6 +266,12 @@ func (p *Participant) handlePrepare(m wire.Message) {
 		Kind: wal.KPrepared, Role: wal.RolePart, Txn: m.Txn, Coord: m.From, Writes: writes,
 	}); err != nil {
 		// Cannot make the promise durable: abort instead of voting yes.
+		// The failed force may still leave the prepared record in the log
+		// buffer, where a later transaction's successful force would
+		// stabilize it — an orphan promise recovery would resurrect in
+		// doubt (and a PrC presumption would then wrongly commit). A lazy
+		// abort record supersedes it.
+		p.env.appendLazy(wal.Record{Kind: wal.KAbort, Role: wal.RolePart, Txn: m.Txn})
 		p.rm.Abort(m.Txn)
 		p.dropTxn(m.Txn)
 		p.vote(m, wire.VoteNo, nil)
@@ -356,8 +367,18 @@ func (p *Participant) handleDecision(m wire.Message) {
 		if p.proto.Acks(m.Outcome) {
 			// The decision record is forced before the acknowledgment:
 			// once the coordinator hears the ack it may forget, so the
-			// participant can never again ask.
-			_ = p.env.force(rec)
+			// participant can never again ask. If the force fails the
+			// decision is not durable and must not be acknowledged —
+			// the subtransaction stays prepared and the coordinator's
+			// re-send (or a post-crash inquiry) retries the enforcement.
+			if err := p.env.force(rec); err != nil {
+				sh := p.txns.lock(m.Txn)
+				if sh.m[m.Txn] == nil {
+					sh.m[m.Txn] = &ptxn{state: pPrepared, coord: m.From}
+				}
+				sh.mu.Unlock()
+				return
+			}
 		} else {
 			_ = p.env.appendLazy(rec)
 		}

@@ -1,0 +1,90 @@
+package core
+
+// Regression tests for recovery with conflicting prepared records in one
+// participant log. A prepare whose force fails with a transient sync error
+// (a chaos-injected WAL fault) aborts unilaterally, but the prepared record
+// it appended stays in the log buffer — and the unilateral abort logs
+// nothing. A later transaction that writes the same key then prepares
+// successfully, and that force stabilizes the orphan record along with its
+// own: the stable log now holds two prepared records with overlapping write
+// sets and no decision for the first. After a crash, recovery must
+// re-instate both in doubt without deadlocking on the contested lock (the
+// inquiry that resolves the first is only sent after recovery returns), and
+// the first transaction's late answer must not re-apply its stale images
+// over the second's state. The chaos sweep found the deadlock (E14, seed
+// 19); this pins both fixes at the engine layer.
+
+import (
+	"testing"
+	"time"
+
+	"prany/internal/kvstore"
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+func TestRecoveryConflictingPreparedRecordsNoDeadlock(t *testing.T) {
+	r := newRig(t, CoordinatorConfig{}, partSpec{"pc", wire.PrC})
+	t1, t2 := r.nextTxn(), r.nextTxn()
+
+	// The stable log an injected sync failure leaves behind: prepared(T1)
+	// and prepared(T2) on the same key, neither decided.
+	for _, rec := range []wal.Record{
+		{Kind: wal.KPrepared, Role: wal.RolePart, Txn: t1, Coord: r.coordID,
+			Writes: []wal.Update{{Key: "k", New: "v1", NewExists: true}}},
+		{Kind: wal.KPrepared, Role: wal.RolePart, Txn: t2, Coord: r.coordID,
+			Writes: []wal.Update{{Key: "k", Old: "v1", OldExists: true, New: "v2", NewExists: true}}},
+	} {
+		if _, err := r.logs["pc"].AppendForce(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.crashPart("pc")
+
+	// During recovery, drop the answer to T1's inquiry so T2's decision
+	// enforces first: the order in which a stale redo would clobber.
+	r.setDrop(func(m wire.Message) bool {
+		return m.Kind == wire.MsgDecision && m.Txn == t1
+	})
+	r.down["pc"] = false
+	r.newLog("pc")
+	r.stores["pc"] = kvstore.New()
+	p := NewParticipant(r.env("pc"), wire.PrC, r.stores["pc"], r.roOpt)
+	r.parts["pc"] = p
+	recovered := make(chan error, 1)
+	go func() { recovered <- p.Recover() }()
+	select {
+	case err := <-recovered:
+		if err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("recovery deadlocked re-acquiring a lock held by an earlier in-doubt transaction")
+	}
+
+	// T2's inquiry was answered during recovery (the coordinator knows
+	// neither transaction, so PrC's presumption answers commit), so exactly
+	// T1 must still be in doubt — holding the contested lock the fix
+	// re-acquires in the background.
+	if d := p.InDoubt(); len(d) != 1 || d[0] != t1 {
+		t.Fatalf("in doubt after recovery = %v, want [%s]", d, t1)
+	}
+	if v, ok := r.stores["pc"].Read("k"); !ok || v != "v2" {
+		t.Fatalf("k = %q, %v after T2's enforcement, want v2", v, ok)
+	}
+
+	// T1's retried inquiry now gets its answer. Its images must not be
+	// re-applied over T2's newer state.
+	r.setDrop(nil)
+	r.settle()
+
+	if n := len(p.InDoubt()); n != 0 {
+		t.Fatalf("still %d in-doubt transactions after settle", n)
+	}
+	if v, ok := r.stores["pc"].Read("k"); !ok || v != "v2" {
+		t.Fatalf("k = %q, %v; want v2 (stale redo of T1 clobbered T2)", v, ok)
+	}
+	// No checkClean here: the crafted log has no coordinator-side history
+	// (no decide events), so Definition-1 checking does not apply. The
+	// chaos sweep covers the judged end-to-end version.
+}

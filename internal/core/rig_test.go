@@ -38,10 +38,10 @@ type rig struct {
 	// capture unsynchronized state (rand sources, counters). It guards
 	// only the rule call — routing itself must stay re-entrant because
 	// handlers send from within Handle.
-	dropMu  sync.Mutex
-	drop    func(m wire.Message) bool
-	seq     uint64
-	roOpt   bool
+	dropMu sync.Mutex
+	drop   func(m wire.Message) bool
+	seq    uint64
+	roOpt  bool
 	// execReply synchronizes the rig with participants' worker goroutines:
 	// exec waits for the reply so tests stay sequential.
 	execReply chan wire.Message

@@ -209,6 +209,22 @@ func (v *txnView) outcome() wire.Outcome {
 	return wire.Abort
 }
 
+// staleRespond reports whether a response is vacuous: the inquirer had
+// already enforced the decided outcome before the response was emitted, so
+// nothing can act on the answer. This happens when the network duplicates
+// or delays an inquiry past its sender's termination — the coordinator,
+// having rightfully forgotten, answers the replay by presumption. The
+// paper's precedence DeletePT → INQ ⇒ Respond concerns *live* inquiries; a
+// replayed one carries no in-doubt participant behind it.
+func (v *txnView) staleRespond(e Event, want wire.Outcome) bool {
+	for _, enf := range v.enforces {
+		if enf.Site == e.Peer && enf.Outcome == want && enf.Seq < e.Seq {
+			return true
+		}
+	}
+	return false
+}
+
 // CheckAtomicity verifies functional correctness: every enforcement and
 // every inquiry response agrees with the transaction's outcome, and no two
 // enforcements disagree with each other.
@@ -227,7 +243,7 @@ func CheckAtomicity(events []Event) []Violation {
 			}
 		}
 		for _, e := range v.responds {
-			if e.Outcome != want {
+			if e.Outcome != want && !v.staleRespond(e, want) {
 				out = append(out, Violation{
 					Txn:  txn,
 					Rule: "atomicity",
@@ -254,7 +270,7 @@ func CheckSafeState(events []Event) []Violation {
 		}
 		want := v.outcome()
 		for _, e := range v.responds {
-			if e.Seq > v.deletePT.Seq && e.Outcome != want {
+			if e.Seq > v.deletePT.Seq && e.Outcome != want && !v.staleRespond(e, want) {
 				out = append(out, Violation{
 					Txn:  txn,
 					Rule: "safe-state",

@@ -92,6 +92,43 @@ func TestWrongResponseIsAtomicityViolation(t *testing.T) {
 	}
 }
 
+func TestStaleResponseToTerminatedInquirerIsVacuous(t *testing.T) {
+	// A chaos-duplicated inquiry replayed after the inquirer already
+	// enforced the decided outcome: the coordinator, having rightfully
+	// forgotten, answers the replay by presumption. Nothing can act on the
+	// answer, so neither checker may flag it.
+	r := script(
+		Event{Kind: EvDecide, Site: "c", Txn: tid(1), Outcome: wire.Commit},
+		Event{Kind: EvEnforce, Site: "p1", Txn: tid(1), Outcome: wire.Commit},
+		Event{Kind: EvDeletePT, Site: "c", Txn: tid(1)},
+		Event{Kind: EvRespond, Site: "c", Txn: tid(1), Outcome: wire.Abort, Peer: "p1"},
+	)
+	if v := CheckAtomicity(r.Events()); len(v) != 0 {
+		t.Fatalf("stale response flagged by atomicity: %v", v)
+	}
+	if v := CheckSafeState(r.Events()); len(v) != 0 {
+		t.Fatalf("stale response flagged by safe-state: %v", v)
+	}
+}
+
+func TestWrongResponseToUnterminatedInquirerStillFlagged(t *testing.T) {
+	// The control: p2 never enforced, so a wrong answer to *it* can still
+	// drive a divergent termination — both checkers must report it even
+	// though p1's correct enforcement exists.
+	r := script(
+		Event{Kind: EvDecide, Site: "c", Txn: tid(1), Outcome: wire.Commit},
+		Event{Kind: EvEnforce, Site: "p1", Txn: tid(1), Outcome: wire.Commit},
+		Event{Kind: EvDeletePT, Site: "c", Txn: tid(1)},
+		Event{Kind: EvRespond, Site: "c", Txn: tid(1), Outcome: wire.Abort, Peer: "p2"},
+	)
+	if v := CheckAtomicity(r.Events()); len(v) != 1 {
+		t.Fatalf("atomicity violations %v, want 1", v)
+	}
+	if v := CheckSafeState(r.Events()); len(v) != 1 {
+		t.Fatalf("safe-state violations %v, want 1", v)
+	}
+}
+
 func TestResponseBeforeDeleteIsNotSafeStateViolation(t *testing.T) {
 	// A wrong response *before* forgetting is an atomicity bug but not a
 	// safe-state one; the two checkers must not double-report.

@@ -45,6 +45,11 @@ type txnState struct {
 	order    []string
 	writes   map[string]wal.Update
 	prepared bool
+	// noRedo suppresses image application when the decision arrives:
+	// recovery proved this transaction already terminated and enforced its
+	// outcome before the crash (a later transaction prepared on one of its
+	// keys), so re-applying its images would clobber newer durable state.
+	noRedo bool
 }
 
 // Store is one participant's resource manager. It is safe for concurrent
@@ -268,16 +273,18 @@ func (s *Store) enforce(txn wire.TxnID, outcome wire.Outcome) {
 		s.locks.ReleaseAll(txn)
 		return
 	}
-	for _, key := range st.order {
-		w := st.writes[key]
-		val, exists := w.New, w.NewExists
-		if outcome == wire.Abort {
-			val, exists = w.Old, w.OldExists
-		}
-		if exists {
-			s.data[key] = val
-		} else {
-			delete(s.data, key)
+	if !st.noRedo {
+		for _, key := range st.order {
+			w := st.writes[key]
+			val, exists := w.New, w.NewExists
+			if outcome == wire.Abort {
+				val, exists = w.Old, w.OldExists
+			}
+			if exists {
+				s.data[key] = val
+			} else {
+				delete(s.data, key)
+			}
 		}
 	}
 	delete(s.txns, txn)
@@ -287,30 +294,83 @@ func (s *Store) enforce(txn wire.TxnID, outcome wire.Outcome) {
 }
 
 // RecoverPrepared re-instates a prepared transaction from its logged write
-// set after a restart: exclusive locks on every written key are re-acquired
-// (recovery runs before new transactions, so acquisition cannot block on
-// strangers) and the images are re-buffered. The transaction is then in
-// doubt: only Commit or Abort resolves it.
+// set after a restart: the images are re-buffered and exclusive locks on
+// every written key are re-acquired, leaving the transaction in doubt until
+// Commit or Abort resolves it.
+//
+// Re-acquisition cannot assume the lock table is free of conflicts. A
+// participant whose decision record is lazy (a PrA abort, a PrC commit)
+// releases its locks after an unforced append, so a crash can lose the
+// decision record while the prepared record survives — together with the
+// prepared record of a *later* transaction that wrote the same key. The
+// earlier transaction is re-instated in doubt holding the contested lock,
+// and blocking on it here would deadlock recovery: the inquiry that
+// resolves it is only sent after recovery returns. Contested locks are
+// therefore re-acquired in the background, one at a time.
+//
+// The same overlap proves the earlier transaction terminated before the
+// crash — the later one could not have prepared otherwise — so its effects
+// are already durable. It is marked noRedo so the answer to its inquiry
+// does not re-apply stale images over the later transaction's state: the
+// model's stand-in for a page-LSN check during redo.
 func (s *Store) RecoverPrepared(txn wire.TxnID, writes []wal.Update) error {
 	s.mu.Lock()
-	st := s.txns[txn]
-	if st != nil {
+	if s.txns[txn] != nil {
 		s.mu.Unlock()
 		return fmt.Errorf("kvstore: %s already active at recovery", txn)
 	}
-	st = &txnState{writes: make(map[string]wal.Update), prepared: true}
+	st := &txnState{writes: make(map[string]wal.Update), prepared: true}
 	for _, w := range writes {
 		st.order = append(st.order, w.Key)
 		st.writes[w.Key] = w
+		for other, ost := range s.txns {
+			if _, overlap := ost.writes[w.Key]; overlap && other != txn && ost.prepared {
+				ost.noRedo = true
+			}
+		}
 	}
 	s.txns[txn] = st
 	s.mu.Unlock()
+	var contested []string
 	for _, w := range writes {
-		if err := s.locks.Lock(txn, w.Key, lockmgr.Exclusive); err != nil {
-			return fmt.Errorf("kvstore: recovering %s: %w", txn, err)
+		if !s.locks.TryLock(txn, w.Key, lockmgr.Exclusive) {
+			contested = append(contested, w.Key)
 		}
 	}
+	if len(contested) > 0 {
+		go s.acquireContested(txn, contested)
+	}
 	return nil
+}
+
+// acquireContested re-acquires a recovered transaction's contested locks in
+// the background, one key at a time so the deadlock detector's one-wait-
+// per-transaction invariant holds. The transaction's decision may arrive
+// and enforce at any point — enforcement cancels the pending request and
+// releases everything — so each grant is re-checked against liveness and
+// released rather than leaked if the transaction is already gone.
+func (s *Store) acquireContested(txn wire.TxnID, keys []string) {
+	for _, key := range keys {
+		s.mu.Lock()
+		live := s.txns[txn] != nil
+		s.mu.Unlock()
+		if !live {
+			return
+		}
+		if err := s.locks.Lock(txn, key, lockmgr.Exclusive); err != nil {
+			// Cancelled by an arriving decision, or a deadlock victim
+			// against another recovering transaction; either way the
+			// eventual enforcement needs no locks.
+			return
+		}
+		s.mu.Lock()
+		live = s.txns[txn] != nil
+		s.mu.Unlock()
+		if !live {
+			s.locks.ReleaseAll(txn)
+			return
+		}
+	}
 }
 
 // Crash simulates a site failure of the resource manager: every executing

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"prany/internal/wal"
 	"prany/internal/wire"
@@ -494,4 +495,48 @@ func TestPoisonOnlyFiresOnce(t *testing.T) {
 		t.Fatalf("second prepare: %v", err)
 	}
 	s.Abort(tx(1))
+}
+
+func TestRecoverPreparedConflictingWriteSets(t *testing.T) {
+	// A lazy decision record (PrA abort, PrC commit) can be lost in a crash
+	// after the transaction already enforced and released its locks, so the
+	// log can hold two prepared records writing the same key. Recovery of
+	// the later one must neither block on the earlier in-doubt holder nor
+	// let the earlier transaction's eventual answer re-apply stale images.
+	s := New()
+
+	// T1 committed "v1" before the crash; its effects are durable.
+	s.Put(tx(1), "k", "v1")
+	s.Prepare(tx(1))
+	s.Commit(tx(1))
+
+	w1 := []wal.Update{{Key: "k", New: "v1", NewExists: true}}
+	w2 := []wal.Update{{Key: "k", Old: "v1", OldExists: true, New: "v2", NewExists: true}}
+	if err := s.RecoverPrepared(tx(1), w1); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.RecoverPrepared(tx(2), w2) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("RecoverPrepared blocked on the earlier in-doubt transaction's lock")
+	}
+
+	// T2's decision lands first: its images apply.
+	s.Commit(tx(2))
+	if v, _ := s.Read("k"); v != "v2" {
+		t.Fatalf("after T2 commit, k = %q, want v2", v)
+	}
+	// T1's late answer must not clobber T2's newer state.
+	s.Commit(tx(1))
+	if v, _ := s.Read("k"); v != "v2" {
+		t.Fatalf("T1's stale redo clobbered k: %q, want v2", v)
+	}
+	if s.Pending(tx(1)) || s.Pending(tx(2)) {
+		t.Fatal("recovered transactions still pending after enforcement")
+	}
 }

@@ -142,6 +142,38 @@ func (m *Manager) enqueue(lk *lock, key string, req *request) error {
 	return <-req.done
 }
 
+// TryLock acquires key in mode for txn only if the grant is immediate: the
+// lock is free, compatible with an empty queue, already held strongly
+// enough, or an uncontended upgrade. It reports whether txn now holds the
+// lock; it never queues and never blocks. Recovery uses it to re-acquire a
+// prepared transaction's locks without stalling behind another in-doubt
+// holder.
+func (m *Manager) TryLock(txn wire.TxnID, key string, mode Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	lk := m.locks[key]
+	if lk == nil {
+		lk = &lock{holders: make(map[wire.TxnID]Mode)}
+		m.locks[key] = lk
+	}
+	if cur, ok := lk.holders[txn]; ok {
+		if cur >= mode {
+			return true
+		}
+		if len(lk.holders) == 1 {
+			lk.holders[txn] = Exclusive
+			return true
+		}
+		return false
+	}
+	if compatible(lk, txn, mode) && len(lk.queue) == 0 {
+		lk.holders[txn] = mode
+		m.noteHeld(txn, key)
+		return true
+	}
+	return false
+}
+
 // Unlock releases txn's lock on key, granting any newly compatible waiters.
 func (m *Manager) Unlock(txn wire.TxnID, key string) {
 	m.mu.Lock()

@@ -204,6 +204,44 @@ func TestThreeWayDeadlock(t *testing.T) {
 	mustGrant(t, ch1, "t1 after t2")
 }
 
+func TestTryLockGrantsConflictsAndUpgrades(t *testing.T) {
+	m := New()
+	if !m.TryLock(tx(1), "k", Exclusive) {
+		t.Fatal("TryLock on a free key failed")
+	}
+	if m.TryLock(tx(2), "k", Shared) {
+		t.Fatal("TryLock granted S against a held X")
+	}
+	if !m.TryLock(tx(1), "k", Shared) {
+		t.Fatal("TryLock failed re-acquiring at a weaker mode")
+	}
+	if !m.Holding(tx(1), "k", Exclusive) || m.Holding(tx(2), "k", Shared) {
+		t.Fatal("holders wrong after TryLock")
+	}
+
+	// A sole shared holder upgrades immediately.
+	m2 := New()
+	if !m2.TryLock(tx(1), "k", Shared) || !m2.TryLock(tx(1), "k", Exclusive) {
+		t.Fatal("TryLock upgrade by sole holder failed")
+	}
+}
+
+func TestTryLockRespectsQueue(t *testing.T) {
+	// A compatible request must still fail while others are queued, or it
+	// would starve the queued writer.
+	m := New()
+	if !m.TryLock(tx(1), "k", Shared) {
+		t.Fatal("TryLock on a free key failed")
+	}
+	ch := lockAsync(m, tx(2), "k", Exclusive)
+	mustBlock(t, ch, "X behind S")
+	if m.TryLock(tx(3), "k", Shared) {
+		t.Fatal("TryLock granted S past a queued X")
+	}
+	m.ReleaseAll(tx(1))
+	mustGrant(t, ch, "queued X after release")
+}
+
 func TestCancelWakesWaiter(t *testing.T) {
 	m := New()
 	m.Lock(tx(1), "k", Exclusive)

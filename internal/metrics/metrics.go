@@ -30,6 +30,9 @@ type SiteCounters struct {
 	// ShardWaits counts contended protocol-table shard-lock acquisitions —
 	// how often two transactions actually collided on one shard.
 	ShardWaits uint64
+	// NetRetries counts transport-level delivery retries (redials and
+	// rewrites after a failed send attempt) charged to the sending site.
+	NetRetries uint64
 }
 
 // MeanBatch is the average number of records per physical log flush.
@@ -110,6 +113,13 @@ func (r *Registry) ShardWait(id wire.SiteID) {
 	r.site(id).ShardWaits++
 }
 
+// NetRetry records one transport-level send retry by site from.
+func (r *Registry) NetRetry(from wire.SiteID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.site(from).NetRetries++
+}
+
 // PTInsert records a protocol-table insertion at site id.
 func (r *Registry) PTInsert(id wire.SiteID) {
 	r.mu.Lock()
@@ -156,6 +166,7 @@ func (r *Registry) Total() SiteCounters {
 		out.Syncs += c.Syncs
 		out.Synced += c.Synced
 		out.ShardWaits += c.ShardWaits
+		out.NetRetries += c.NetRetries
 	}
 	return out
 }

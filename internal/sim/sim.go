@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"prany/internal/chaos"
 	"prany/internal/core"
 	"prany/internal/history"
 	"prany/internal/metrics"
@@ -58,6 +59,18 @@ type Spec struct {
 	// store, making the batching win of GroupCommit measurable. Zero means
 	// instantaneous flushes.
 	ForceDelay time.Duration
+	// Seed seeds the cluster's random source (workload shuffles, drop
+	// rules). Zero means 1, the historical default, so existing experiments
+	// reproduce unchanged.
+	Seed int64
+	// ExecTimeout bounds each Exec round-trip at the coordinator's
+	// transaction handle. Zero keeps the site default; chaos episodes set it
+	// low so operations stranded by injected faults abort quickly.
+	ExecTimeout time.Duration
+	// Chaos, when set, interposes the fault-injecting engine between every
+	// site and both its network and its log store, and binds the engine's
+	// crash points to site.Crash.
+	Chaos *chaos.Engine
 }
 
 // CoordID is the identifier of the cluster's coordinator site.
@@ -85,6 +98,10 @@ func New(spec Spec) (*Cluster, error) {
 	if !spec.CoordProto.ParticipantProtocol() {
 		spec.CoordProto = wire.PrN
 	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
 	c := &Cluster{
 		Spec:  spec,
 		Net:   transport.NewChanNetwork(),
@@ -92,7 +109,7 @@ func New(spec Spec) (*Cluster, error) {
 		Met:   metrics.NewRegistry(),
 		PCP:   core.NewPCP(),
 		Parts: make(map[wire.SiteID]*site.Site, len(spec.Participants)),
-		rng:   rand.New(rand.NewSource(1)),
+		rng:   rand.New(rand.NewSource(seed)),
 	}
 	for _, p := range spec.Participants {
 		if p.ID == CoordID {
@@ -100,12 +117,23 @@ func New(spec Spec) (*Cluster, error) {
 		}
 		c.PCP.Set(p.ID, p.Proto)
 	}
-	newLogStore := func() wal.Store {
-		if spec.ForceDelay <= 0 {
+	// Sites see the chaos wrappers, when present; the cluster keeps direct
+	// handles on the inner network and stores for its own fault controls.
+	var siteNet transport.Network = c.Net
+	if spec.Chaos != nil {
+		siteNet = spec.Chaos.WrapNetwork(c.Net)
+	}
+	newLogStore := func(id wire.SiteID) wal.Store {
+		if spec.ForceDelay <= 0 && spec.Chaos == nil {
 			return nil // site.New builds a plain MemStore
 		}
 		ms := wal.NewMemStore()
-		ms.SetAppendDelay(spec.ForceDelay)
+		if spec.ForceDelay > 0 {
+			ms.SetAppendDelay(spec.ForceDelay)
+		}
+		if spec.Chaos != nil {
+			return spec.Chaos.WrapStore(id, ms)
+		}
 		return ms
 	}
 	var err error
@@ -117,13 +145,14 @@ func New(spec Spec) (*Cluster, error) {
 			Native:      spec.Native,
 			VoteTimeout: spec.VoteTimeout,
 		},
-		Net:         c.Net,
+		Net:         siteNet,
 		PCP:         c.PCP,
 		Hist:        c.Hist,
 		Met:         c.Met,
 		ReadOnlyOpt: spec.ReadOnlyOpt,
 		GroupCommit: spec.GroupCommit,
-		LogStore:    newLogStore(),
+		ExecTimeout: spec.ExecTimeout,
+		LogStore:    newLogStore(CoordID),
 	})
 	if err != nil {
 		return nil, err
@@ -132,13 +161,14 @@ func New(spec Spec) (*Cluster, error) {
 		cfg := site.Config{
 			ID:                p.ID,
 			Proto:             p.Proto,
-			Net:               c.Net,
+			Net:               siteNet,
 			PCP:               c.PCP,
 			Hist:              c.Hist,
 			Met:               c.Met,
 			ReadOnlyOpt:       spec.ReadOnlyOpt,
 			GroupCommit:       spec.GroupCommit,
-			LogStore:          newLogStore(),
+			ExecTimeout:       spec.ExecTimeout,
+			LogStore:          newLogStore(p.ID),
 			Coordinator:       core.CoordinatorConfig{VoteTimeout: spec.VoteTimeout},
 			KnownCoordinators: []wire.SiteID{CoordID},
 		}
@@ -151,7 +181,22 @@ func New(spec Spec) (*Cluster, error) {
 		}
 		c.Parts[p.ID] = s
 	}
+	if spec.Chaos != nil {
+		spec.Chaos.BindCrasher(func(id wire.SiteID) {
+			if s := c.Site(id); s != nil {
+				s.Crash()
+			}
+		})
+	}
 	return c, nil
+}
+
+// Rand returns the cluster's seeded random source. Callers that draw from it
+// concurrently must serialize themselves.
+func (c *Cluster) Rand() *rand.Rand {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng
 }
 
 // Legacy returns the legacy store behind a Legacy participant, or nil.
@@ -324,6 +369,16 @@ func (c *Cluster) Quiesce(timeout time.Duration) bool {
 		for _, s := range c.Parts {
 			s.Tick()
 		}
+	}
+}
+
+// TickAll fires one timeout round everywhere: coordinator decision re-sends
+// and participant inquiries/idle aborts. Chaos episode runners call it to
+// drive convergence without waiting out the Quiesce drain windows.
+func (c *Cluster) TickAll() {
+	c.Coord.Tick()
+	for _, s := range c.Parts {
+		s.Tick()
 	}
 }
 

@@ -2,20 +2,23 @@ package transport
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 
+	"prany/internal/metrics"
 	"prany/internal/wire"
 )
 
 // TCPNetwork is a Network over real TCP connections, used by the
 // prany-server and prany-coord binaries. Each process hosts one or more
 // local sites behind a single listener; remote sites are reached through an
-// address book. Outbound connections are dialed lazily, cached, and redialed
-// once per send on failure; a message that cannot be delivered is dropped,
-// which is exactly the omission-failure contract the protocols are built to
-// survive.
+// address book. Outbound connections are dialed lazily and cached; a failed
+// send attempt (dial or write) is retried under capped jittered exponential
+// backoff, and a message still undeliverable after the last retry is
+// dropped, which is exactly the omission-failure contract the protocols are
+// built to survive.
 type TCPNetwork struct {
 	mu       sync.Mutex
 	addrs    map[wire.SiteID]string
@@ -26,9 +29,18 @@ type TCPNetwork struct {
 	closed   bool
 	wg       sync.WaitGroup
 	logf     func(format string, args ...any)
+	met      *metrics.Registry
 
 	dialTimeout  time.Duration
 	writeTimeout time.Duration
+	maxRetries   int
+	retryBase    time.Duration
+	retryCap     time.Duration
+
+	// jitterMu guards jitter, the backoff randomizer: Send runs from many
+	// goroutines and rand.Rand is not concurrency-safe.
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
 }
 
 type outConn struct {
@@ -53,6 +65,18 @@ type TCPOptions struct {
 	// the connection is dropped and the message is lost — an omission
 	// failure, which the protocols already survive. Zero means 2s.
 	WriteTimeout time.Duration
+	// MaxRetries is how many times a failed send attempt (dial or write)
+	// is retried before the message is dropped. Each retry sleeps a
+	// jittered exponential backoff: RetryBase doubling per attempt, capped
+	// at RetryCap, with the actual sleep drawn from [d/2, d). Zero means 3;
+	// negative disables retries.
+	MaxRetries int
+	// RetryBase is the first backoff step. Zero means 25ms.
+	RetryBase time.Duration
+	// RetryCap bounds each backoff step. Zero means 500ms.
+	RetryCap time.Duration
+	// Met, if set, receives transport counters (send retries per site).
+	Met *metrics.Registry
 }
 
 // NewTCPNetwork starts a TCP transport. If opts.Listen is non-empty the
@@ -65,8 +89,13 @@ func NewTCPNetwork(opts TCPOptions) (*TCPNetwork, error) {
 		conns:        make(map[string]*outConn),
 		inbound:      make(map[net.Conn]struct{}),
 		logf:         opts.Logf,
+		met:          opts.Met,
 		dialTimeout:  opts.DialTimeout,
 		writeTimeout: opts.WriteTimeout,
+		maxRetries:   opts.MaxRetries,
+		retryBase:    opts.RetryBase,
+		retryCap:     opts.RetryCap,
+		jitter:       rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	if n.logf == nil {
 		n.logf = func(string, ...any) {}
@@ -76,6 +105,17 @@ func NewTCPNetwork(opts TCPOptions) (*TCPNetwork, error) {
 	}
 	if n.writeTimeout <= 0 {
 		n.writeTimeout = 2 * time.Second
+	}
+	if n.maxRetries == 0 {
+		n.maxRetries = 3
+	} else if n.maxRetries < 0 {
+		n.maxRetries = 0
+	}
+	if n.retryBase <= 0 {
+		n.retryBase = 25 * time.Millisecond
+	}
+	if n.retryCap <= 0 {
+		n.retryCap = 500 * time.Millisecond
 	}
 	for id, a := range opts.Addrs {
 		n.addrs[id] = a
@@ -115,8 +155,10 @@ func (n *TCPNetwork) Register(id wire.SiteID, h Handler) {
 }
 
 // Send implements Network: frame the message and write it on a cached
-// connection to the destination's address, redialing once on a stale
-// connection. Undeliverable messages are dropped (omission failure).
+// connection to the destination's address. A failed attempt — dial error,
+// stale connection, or write timeout — is retried under capped jittered
+// exponential backoff; a message still undeliverable after the last retry
+// is dropped (omission failure).
 func (n *TCPNetwork) Send(m wire.Message) {
 	n.mu.Lock()
 	if n.closed {
@@ -142,7 +184,37 @@ func (n *TCPNetwork) Send(m wire.Message) {
 	}
 	n.mu.Unlock()
 
-	for attempt := 0; attempt < 2; attempt++ {
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			// Back off outside every lock: a sleeping retrier must not
+			// head-of-line block concurrent sends to the same destination.
+			time.Sleep(n.backoff(attempt))
+			n.mu.Lock()
+			closed := n.closed
+			n.mu.Unlock()
+			if closed {
+				return
+			}
+			if n.met != nil {
+				n.met.NetRetry(m.From)
+			}
+			n.logf("transport: retry %d/%d for %s", attempt, n.maxRetries, m)
+		}
+		if n.trySend(oc, addr, m) {
+			return
+		}
+		if attempt >= n.maxRetries {
+			break
+		}
+	}
+	n.logf("transport: dropping %s after %d attempts", m, n.maxRetries+1)
+}
+
+// trySend makes one delivery attempt: dial if no cached connection, then
+// write the frame. On failure the cached connection is torn down so the
+// next attempt redials.
+func (n *TCPNetwork) trySend(oc *outConn, addr string, m wire.Message) bool {
+	for {
 		oc.mu.Lock()
 		conn := oc.conn
 		oc.mu.Unlock()
@@ -155,7 +227,7 @@ func (n *TCPNetwork) Send(m wire.Message) {
 			c, err := net.DialTimeout("tcp", addr, n.dialTimeout)
 			if err != nil {
 				n.logf("transport: dial %s: %v", addr, err)
-				return
+				return false
 			}
 			oc.mu.Lock()
 			if oc.conn == nil {
@@ -176,20 +248,37 @@ func (n *TCPNetwork) Send(m wire.Message) {
 		// The write deadline bounds how long a stalled peer — one that
 		// accepted the connection but stopped reading — can hold this
 		// sender (and everyone queued behind oc.mu). On expiry the
-		// connection is dropped and the message with it: an omission
-		// failure, which the protocols are built to survive.
+		// connection is dropped and the attempt fails: the backoff loop
+		// in Send decides whether to retry.
 		conn.SetWriteDeadline(time.Now().Add(n.writeTimeout))
 		err := wire.WriteFrame(conn, &m)
 		if err == nil {
 			conn.SetWriteDeadline(time.Time{})
 			oc.mu.Unlock()
-			return
+			return true
 		}
 		oc.conn.Close()
-		oc.conn = nil // stale or wedged connection: redial once
+		oc.conn = nil // stale or wedged connection: force a redial
 		oc.mu.Unlock()
+		return false
 	}
-	n.logf("transport: dropping %s after redial", m)
+}
+
+// backoff returns the sleep before the retry-th retry: retryBase doubling
+// per retry, capped at retryCap, with the actual value drawn uniformly from
+// [d/2, d) so synchronized senders don't thunder in lockstep.
+func (n *TCPNetwork) backoff(retry int) time.Duration {
+	d := n.retryBase
+	for i := 1; i < retry && d < n.retryCap; i++ {
+		d *= 2
+	}
+	if d > n.retryCap {
+		d = n.retryCap
+	}
+	n.jitterMu.Lock()
+	j := time.Duration(n.jitter.Int63n(int64(d/2) + 1))
+	n.jitterMu.Unlock()
+	return d/2 + j
 }
 
 // Close implements Network.

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"prany/internal/metrics"
 	"prany/internal/wire"
 )
 
@@ -307,6 +308,85 @@ func TestTCPUnknownSiteDropped(t *testing.T) {
 	}
 	defer n.Close()
 	n.Send(msg("x", "ghost", 1)) // silently dropped
+}
+
+func TestTCPBackoffRetriesDialAndCountsInMetrics(t *testing.T) {
+	// Reserve an address, then shut the listener down so the first dial
+	// attempts fail with connection-refused.
+	placeholder, err := NewTCPNetwork(TCPOptions{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := placeholder.Addr()
+	placeholder.Close()
+
+	reg := metrics.NewRegistry()
+	client, err := NewTCPNetwork(TCPOptions{
+		Addrs:       map[wire.SiteID]string{"p": addr},
+		Met:         reg,
+		MaxRetries:  10,
+		RetryBase:   20 * time.Millisecond,
+		RetryCap:    60 * time.Millisecond,
+		DialTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	done := make(chan struct{})
+	go func() {
+		client.Send(msg("c", "p", 7)) // blocks through the backoff retries
+		close(done)
+	}()
+
+	// Bring the server up inside the retry window: the message must land
+	// without the caller ever resending.
+	time.Sleep(60 * time.Millisecond)
+	server, err := NewTCPNetwork(TCPOptions{Listen: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer server.Close()
+	p := newCollector()
+	server.Register("p", p.handle)
+
+	got := p.waitN(t, 1)
+	if got[0].Txn.Seq != 7 {
+		t.Fatalf("delivered wrong message: %v", got)
+	}
+	<-done
+	if n := reg.Site("c").NetRetries; n == 0 {
+		t.Fatal("expected NetRetries > 0 after dial failures")
+	}
+}
+
+func TestTCPDropsAfterRetriesExhausted(t *testing.T) {
+	placeholder, err := NewTCPNetwork(TCPOptions{Listen: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := placeholder.Addr()
+	placeholder.Close() // nobody listens here any more
+
+	reg := metrics.NewRegistry()
+	client, err := NewTCPNetwork(TCPOptions{
+		Addrs:       map[wire.SiteID]string{"p": addr},
+		Met:         reg,
+		MaxRetries:  2,
+		RetryBase:   5 * time.Millisecond,
+		RetryCap:    10 * time.Millisecond,
+		DialTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	client.Send(msg("c", "p", 1)) // returns after exhausting the budget
+	if n := reg.Site("c").NetRetries; n != 2 {
+		t.Fatalf("NetRetries = %d, want 2", n)
+	}
 }
 
 func TestTCPReconnectAfterServerRestart(t *testing.T) {

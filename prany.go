@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"time"
 
+	"prany/internal/chaos"
 	"prany/internal/core"
 	"prany/internal/history"
 	"prany/internal/metrics"
@@ -127,6 +128,11 @@ type ClusterConfig struct {
 	VoteTimeout time.Duration
 	// ReadOnlyOpt enables the read-only voting optimization.
 	ReadOnlyOpt bool
+	// Seed seeds the cluster's random source (zero means 1).
+	Seed int64
+	// Chaos, if set, injects the engine's seeded fault plan into the
+	// cluster's transport and logs (see internal/chaos).
+	Chaos *chaos.Engine
 }
 
 // Cluster is a heterogeneous multidatabase running in one process: a
@@ -146,6 +152,8 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		Native:      cfg.Native,
 		VoteTimeout: cfg.VoteTimeout,
 		ReadOnlyOpt: cfg.ReadOnlyOpt,
+		Seed:        cfg.Seed,
+		Chaos:       cfg.Chaos,
 	}
 	for _, p := range cfg.Participants {
 		if !p.Protocol.ParticipantProtocol() {
