@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race chaos tier1 bench-groupcommit clean
+.PHONY: all build test vet race chaos examples tier1 cover bench-groupcommit clean
 
 all: tier1
 
@@ -26,10 +26,24 @@ race:
 chaos:
 	$(GO) test -race -short -run 'TestChaos' ./internal/experiments/
 
+# Smoke-run every example program: each must exit 0. The examples are the
+# public face of the API, so a crashing example is a tier-1 failure even
+# when the library tests pass.
+examples:
+	@set -e; for d in examples/*/; do \
+		echo "== go run ./$$d"; \
+		$(GO) run ./$$d >/dev/null; \
+	done
+
 # tier1 is the merge gate: everything must build, every test must pass,
-# vet must be clean, the concurrent packages must be race-free, and the
-# short chaos sweep must stay operationally correct.
-tier1: build test vet race chaos
+# vet must be clean, the concurrent packages must be race-free, the short
+# chaos sweep must stay operationally correct, and every example must run.
+tier1: build test vet race chaos examples
+
+# cover enforces the per-package statement-coverage floors recorded in
+# coverage.floors; `make cover` fails if any listed package regresses.
+cover:
+	./scripts/cover.sh
 
 # Reproduce the E13 group-commit numbers recorded in BENCH_groupcommit.json.
 bench-groupcommit:

@@ -15,7 +15,8 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"os"
 	"strings"
 	"time"
 
@@ -24,117 +25,141 @@ import (
 	"prany/internal/wire"
 )
 
-// seedFlag overrides every section's random seed when nonzero, so any run
-// reproduces from its printed seed. Zero keeps each section's historical
-// default (sweep 7, perf 99, groupcommit 42, chaos 1), preserving the
-// committed EXPERIMENTS.md numbers.
-var seedFlag int64
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+// bench carries the output sink and the seed override so every section is
+// a method writing to the same place — testable without touching process
+// globals.
+type bench struct {
+	w io.Writer
+	// seed overrides every section's random seed when nonzero, so any run
+	// reproduces from its printed seed. Zero keeps each section's
+	// historical default (sweep 7, perf 99, groupcommit 42, chaos 1),
+	// preserving the committed EXPERIMENTS.md numbers.
+	seed int64
+}
+
+var sectionOrder = []string{"costs", "theorem1", "theorem2", "sweep", "perf", "readonly", "iyv", "cl", "groupcommit", "chaos"}
+
+func run(args []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("prany-bench", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	which := fs.String("run", "all", "which section to run: all, "+strings.Join(sectionOrder, ", "))
+	seed := fs.Int64("seed", 0, "override every section's random seed (0 = per-section defaults)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	b := &bench{w: stdout, seed: *seed}
+	sections := map[string]func() error{
+		"costs":       b.costs,
+		"theorem1":    b.theorem1,
+		"theorem2":    b.theorem2,
+		"sweep":       b.sweep,
+		"perf":        b.perf,
+		"readonly":    b.readonly,
+		"iyv":         b.iyv,
+		"cl":          b.cl,
+		"groupcommit": b.groupcommit,
+		"chaos":       b.chaosMatrix,
+	}
+	if *which == "all" {
+		for _, name := range sectionOrder {
+			if err := sections[name](); err != nil {
+				fmt.Fprintf(stdout, "%s: %v\n", name, err)
+				return 1
+			}
+			fmt.Fprintln(stdout)
+		}
+		return 0
+	}
+	fn, ok := sections[strings.ToLower(*which)]
+	if !ok {
+		fmt.Fprintf(stdout, "unknown section %q (want all, %s)\n", *which, strings.Join(sectionOrder, ", "))
+		return 2
+	}
+	if err := fn(); err != nil {
+		fmt.Fprintln(stdout, err)
+		return 1
+	}
+	return 0
+}
+
+func (b *bench) header(title string) {
+	fmt.Fprintln(b.w, title)
+	fmt.Fprintln(b.w, strings.Repeat("-", len(title)))
+}
 
 // sectionSeed resolves one section's seed and prints it, so every table's
 // header names the seed that regenerates it.
-func sectionSeed(def int64) int64 {
+func (b *bench) sectionSeed(def int64) int64 {
 	seed := def
-	if seedFlag != 0 {
-		seed = seedFlag
+	if b.seed != 0 {
+		seed = b.seed
 	}
-	fmt.Printf("seed: %d\n", seed)
+	fmt.Fprintf(b.w, "seed: %d\n", seed)
 	return seed
 }
 
-func main() {
-	run := flag.String("run", "all", "which section to run: all, costs, theorem1, theorem2, sweep, perf, readonly, iyv, cl, groupcommit, chaos")
-	flag.Int64Var(&seedFlag, "seed", 0, "override every section's random seed (0 = per-section defaults)")
-	flag.Parse()
-
-	sections := map[string]func(){
-		"costs":       costs,
-		"theorem1":    theorem1,
-		"theorem2":    theorem2,
-		"sweep":       sweep,
-		"perf":        perf,
-		"readonly":    readonly,
-		"iyv":         iyv,
-		"cl":          cl,
-		"groupcommit": groupcommit,
-		"chaos":       chaosMatrix,
-	}
-	if *run == "all" {
-		for _, name := range []string{"costs", "theorem1", "theorem2", "sweep", "perf", "readonly", "iyv", "cl", "groupcommit", "chaos"} {
-			sections[name]()
-			fmt.Println()
-		}
-		return
-	}
-	fn, ok := sections[strings.ToLower(*run)]
-	if !ok {
-		log.Fatalf("unknown section %q", *run)
-	}
-	fn()
-}
-
-func header(title string) {
-	fmt.Println(title)
-	fmt.Println(strings.Repeat("-", len(title)))
-}
-
 // costs prints E1-E4: measured cost profiles vs the analytic model.
-func costs() {
-	header("E1-E4: per-transaction cost profiles (Figures 2, 3, 4a/b, 1a/b)")
-	fmt.Printf("%-18s %-7s %6s | %9s %9s %9s %9s %6s %5s | %s\n",
+func (b *bench) costs() error {
+	b.header("E1-E4: per-transaction cost profiles (Figures 2, 3, 4a/b, 1a/b)")
+	fmt.Fprintf(b.w, "%-18s %-7s %6s | %9s %9s %9s %9s %6s %5s | %s\n",
 		"protocol", "outcome", "n", "coordF", "coordRec", "partF", "partRec", "msgs", "acks", "model")
-	type row struct {
-		mix []wire.Protocol
+	mixes := [][]wire.Protocol{
+		experiments.Homogeneous(wire.PrN, 2),
+		experiments.Homogeneous(wire.PrN, 4),
+		experiments.Homogeneous(wire.PrN, 8),
+		experiments.Homogeneous(wire.PrA, 2),
+		experiments.Homogeneous(wire.PrA, 4),
+		experiments.Homogeneous(wire.PrA, 8),
+		experiments.Homogeneous(wire.PrC, 2),
+		experiments.Homogeneous(wire.PrC, 4),
+		experiments.Homogeneous(wire.PrC, 8),
+		{wire.PrA, wire.PrC},
+		experiments.MixedThirds(3),
+		experiments.MixedThirds(6),
+		experiments.MixedThirds(9),
 	}
-	rows := []row{
-		{experiments.Homogeneous(wire.PrN, 2)},
-		{experiments.Homogeneous(wire.PrN, 4)},
-		{experiments.Homogeneous(wire.PrN, 8)},
-		{experiments.Homogeneous(wire.PrA, 2)},
-		{experiments.Homogeneous(wire.PrA, 4)},
-		{experiments.Homogeneous(wire.PrA, 8)},
-		{experiments.Homogeneous(wire.PrC, 2)},
-		{experiments.Homogeneous(wire.PrC, 4)},
-		{experiments.Homogeneous(wire.PrC, 8)},
-		{[]wire.Protocol{wire.PrA, wire.PrC}},
-		{experiments.MixedThirds(3)},
-		{experiments.MixedThirds(6)},
-		{experiments.MixedThirds(9)},
-	}
-	for _, r := range rows {
+	for _, mix := range mixes {
 		for _, outcome := range []wire.Outcome{wire.Commit, wire.Abort} {
-			got, err := experiments.MeasureCost(r.mix, outcome)
+			got, err := experiments.MeasureCost(mix, outcome)
 			if err != nil {
-				log.Fatalf("%v %s: %v", r.mix, outcome, err)
+				return fmt.Errorf("%v %s: %v", mix, outcome, err)
 			}
-			want := experiments.ExpectedCost(r.mix, outcome)
+			want := experiments.ExpectedCost(mix, outcome)
 			verdict := "MATCH"
 			if got != want {
 				verdict = fmt.Sprintf("MISMATCH (want %+v)", want)
 			}
-			fmt.Printf("%-18s %-7s %6d | %9d %9d %9d %9d %6d %5d | %s\n",
+			fmt.Fprintf(b.w, "%-18s %-7s %6d | %9d %9d %9d %9d %6d %5d | %s\n",
 				got.Label, outcome, got.N, got.CoordForces, got.CoordRecords,
 				got.PartForces, got.PartRecords, got.Messages, got.Acks, verdict)
 		}
 	}
+	return nil
 }
 
 // theorem1 prints E5: the adversarial schedules of Theorem 1.
-func theorem1() {
-	header("E5: Theorem 1 — U2PC violates atomicity, PrAny does not")
+func (b *bench) theorem1() error {
+	b.header("E5: Theorem 1 — U2PC violates atomicity, PrAny does not")
 	rows, err := experiments.Theorem1()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("%-12s %-20s %11s %9s\n", "strategy", "schedule", "violations", "diverged")
+	fmt.Fprintf(b.w, "%-12s %-20s %11s %9s\n", "strategy", "schedule", "violations", "diverged")
 	for _, r := range rows {
-		fmt.Printf("%-12s %-20s %11d %9v\n", r.Strategy, r.Schedule, r.Violations, r.Diverged)
+		fmt.Fprintf(b.w, "%-12s %-20s %11d %9v\n", r.Strategy, r.Schedule, r.Violations, r.Diverged)
 	}
+	return nil
 }
 
 // theorem2 prints E6: retention growth under C2PC vs PrAny.
-func theorem2() {
-	header("E6: Theorem 2 — C2PC retention grows without bound, PrAny drains")
-	fmt.Printf("%-12s %6s %9s %13s\n", "strategy", "txns", "retained", "pinnedRecords")
+func (b *bench) theorem2() error {
+	b.header("E6: Theorem 2 — C2PC retention grows without bound, PrAny drains")
+	fmt.Fprintf(b.w, "%-12s %6s %9s %13s\n", "strategy", "txns", "retained", "pinnedRecords")
 	for _, txns := range []int{10, 50, 100, 200} {
 		for _, s := range []struct {
 			strategy core.Strategy
@@ -142,35 +167,37 @@ func theorem2() {
 		}{{core.StrategyC2PC, wire.PrN}, {core.StrategyPrAny, wire.PrN}} {
 			pt, err := experiments.Theorem2(s.strategy, s.native, txns)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Printf("%-12s %6d %9d %13d\n", pt.Strategy, pt.Txns, pt.Retained, pt.StableRecords)
+			fmt.Fprintf(b.w, "%-12s %6d %9d %13d\n", pt.Strategy, pt.Txns, pt.Retained, pt.StableRecords)
 		}
 	}
+	return nil
 }
 
 // sweep prints E7: Monte-Carlo fault injection under PrAny.
-func sweep() {
-	header("E7: Theorem 3 — PrAny under omission faults and crashes")
-	seed := sectionSeed(7)
-	fmt.Printf("%6s %6s %8s %8s %8s %11s %9s %9s\n",
+func (b *bench) sweep() error {
+	b.header("E7: Theorem 3 — PrAny under omission faults and crashes")
+	seed := b.sectionSeed(7)
+	fmt.Fprintf(b.w, "%6s %6s %8s %8s %8s %11s %9s %9s\n",
 		"drop%", "txns", "commits", "aborts", "crashes", "violations", "quiesced", "leftover")
 	for _, p := range []float64{0, 0.05, 0.10, 0.20} {
 		res, err := experiments.FaultSweep(core.StrategyPrAny, wire.PrN, p, 40, seed)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%6.0f %6d %8d %8d %8d %11d %9v %9d\n",
+		fmt.Fprintf(b.w, "%6.0f %6d %8d %8d %8d %11d %9v %9d\n",
 			p*100, res.Txns, res.Commits, res.Aborts, res.Crashes,
 			res.Violations, res.Quiesced, res.Leftover)
 	}
+	return nil
 }
 
 // perf prints E8: the who-wins matrix across commit ratios.
-func perf() {
-	header("E8: who wins — throughput and per-txn costs across commit ratios")
-	seed := sectionSeed(99)
-	fmt.Printf("%-18s %8s | %9s %12s %10s %10s\n",
+func (b *bench) perf() error {
+	b.header("E8: who wins — throughput and per-txn costs across commit ratios")
+	seed := b.sectionSeed(99)
+	fmt.Fprintf(b.w, "%-18s %8s | %9s %12s %10s %10s\n",
 		"protocol", "commit%", "txns/s", "meanLatency", "forces/txn", "msgs/txn")
 	for _, ratio := range []float64{1.0, 0.75, 0.5, 0.25, 0.0} {
 		mixes := [][]wire.Protocol{
@@ -191,20 +218,21 @@ func perf() {
 		for _, mix := range mixes {
 			pt, err := experiments.MeasurePerf(mix, ratio, 200, 4, seed)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Printf("%-18s %8.0f | %9.0f %12s %10.2f %10.2f\n",
+			fmt.Fprintf(b.w, "%-18s %8.0f | %9.0f %12s %10.2f %10.2f\n",
 				pt.Label, ratio*100, pt.TxnsPerSec, pt.MeanLatency.Round(1000), pt.ForcesPerTxn, pt.MsgsPerTxn)
 		}
-		fmt.Println()
+		fmt.Fprintln(b.w)
 	}
+	return nil
 }
 
 // iyv prints E11: the implicit yes-vote extension — the paper conclusion's
 // future-work protocol integrated under the same criterion.
-func iyv() {
-	header("E11: implicit yes-vote (one-phase) extension, commit costs")
-	fmt.Printf("%-18s %6s | %9s %9s %9s %9s %6s %5s | %s\n",
+func (b *bench) iyv() error {
+	b.header("E11: implicit yes-vote (one-phase) extension, commit costs")
+	fmt.Fprintf(b.w, "%-18s %6s | %9s %9s %9s %9s %6s %5s | %s\n",
 		"protocol", "n", "coordF", "coordRec", "partF", "partRec", "msgs", "acks", "model")
 	rows := [][]wire.Protocol{
 		experiments.Homogeneous(wire.IYV, 2),
@@ -216,35 +244,36 @@ func iyv() {
 	for _, mix := range rows {
 		got, err := experiments.MeasureCost(mix, wire.Commit)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		want := experiments.ExpectedCost(mix, wire.Commit)
 		verdict := "MATCH"
 		if got != want {
 			verdict = fmt.Sprintf("MISMATCH (want %+v)", want)
 		}
-		fmt.Printf("%-18s %6d | %9d %9d %9d %9d %6d %5d | %s\n",
+		fmt.Fprintf(b.w, "%-18s %6d | %9d %9d %9d %9d %6d %5d | %s\n",
 			got.Label, got.N, got.CoordForces, got.CoordRecords,
 			got.PartForces, got.PartRecords, got.Messages, got.Acks, verdict)
 	}
-	fmt.Println()
-	fmt.Println("reference: PrA homogeneous commits (two-phase baseline)")
+	fmt.Fprintln(b.w)
+	fmt.Fprintln(b.w, "reference: PrA homogeneous commits (two-phase baseline)")
 	for _, n := range []int{2, 4, 8} {
 		got, err := experiments.MeasureCost(experiments.Homogeneous(wire.PrA, n), wire.Commit)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%-18s %6d | %9d %9d %9d %9d %6d %5d |\n",
+		fmt.Fprintf(b.w, "%-18s %6d | %9d %9d %9d %9d %6d %5d |\n",
 			got.Label, got.N, got.CoordForces, got.CoordRecords,
 			got.PartForces, got.PartRecords, got.Messages, got.Acks)
 	}
+	return nil
 }
 
 // cl prints E12: the coordinator-log extension — participants log nothing,
 // the coordinator's log is the system's only log.
-func cl() {
-	header("E12: coordinator log (participants log nothing), commit costs")
-	fmt.Printf("%-22s %6s | %9s %9s %9s %9s %6s %5s | %s\n",
+func (b *bench) cl() error {
+	b.header("E12: coordinator log (participants log nothing), commit costs")
+	fmt.Fprintf(b.w, "%-22s %6s | %9s %9s %9s %9s %6s %5s | %s\n",
 		"protocol", "n", "coordF", "coordRec", "partF", "partRec", "msgs", "acks", "model")
 	rows := [][]wire.Protocol{
 		experiments.Homogeneous(wire.CL, 2),
@@ -256,20 +285,21 @@ func cl() {
 	for _, mix := range rows {
 		got, err := experiments.MeasureCost(mix, wire.Commit)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		want := experiments.ExpectedCost(mix, wire.Commit)
 		verdict := "MATCH"
 		if got != want {
 			verdict = fmt.Sprintf("MISMATCH (want %+v)", want)
 		}
-		fmt.Printf("%-22s %6d | %9d %9d %9d %9d %6d %5d | %s\n",
+		fmt.Fprintf(b.w, "%-22s %6d | %9d %9d %9d %9d %6d %5d | %s\n",
 			got.Label, got.N, got.CoordForces, got.CoordRecords,
 			got.PartForces, got.PartRecords, got.Messages, got.Acks, verdict)
 	}
-	fmt.Println()
-	fmt.Println("note: partF/partRec are 0 in every CL row — the participants log nothing;")
-	fmt.Println("the coordinator pays one forced remote-writes record per shipped vote.")
+	fmt.Fprintln(b.w)
+	fmt.Fprintln(b.w, "note: partF/partRec are 0 in every CL row — the participants log nothing;")
+	fmt.Fprintln(b.w, "the coordinator pays one forced remote-writes record per shipped vote.")
+	return nil
 }
 
 // groupcommit prints E13: the group-commit comparison — the same concurrent
@@ -277,31 +307,32 @@ func cl() {
 // simulated per-flush device latency. The logical force count is identical
 // in both rows; the physical flush count collapses as concurrent forces at
 // the coordinator coalesce.
-func groupcommit() {
-	header("E13: group commit — physical flushes collapse under concurrency")
-	seed := sectionSeed(42)
-	fmt.Printf("%7s %6s | %9s %12s %10s %10s %14s %9s\n",
+func (b *bench) groupcommit() error {
+	b.header("E13: group commit — physical flushes collapse under concurrency")
+	seed := b.sectionSeed(42)
+	fmt.Fprintf(b.w, "%7s %6s | %9s %12s %10s %10s %14s %9s\n",
 		"clients", "group", "txns/s", "meanLatency", "forces/txn", "syncs/txn", "coordsyncs/txn", "recs/sync")
 	for _, clients := range []int{1, 4, 16} {
 		for _, gc := range []bool{false, true} {
 			pt, err := experiments.MeasureGroupCommit(gc, clients, 200, time.Millisecond, seed)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Printf("%7d %6v | %9.0f %12s %10.2f %10.2f %14.2f %9.2f\n",
+			fmt.Fprintf(b.w, "%7d %6v | %9.0f %12s %10.2f %10.2f %14.2f %9.2f\n",
 				clients, gc, pt.TxnsPerSec, pt.MeanLatency.Round(1000),
 				pt.ForcesPerTxn, pt.SyncsPerTxn, pt.CoordSyncsPerTxn, pt.MeanBatch)
 		}
-		fmt.Println()
+		fmt.Fprintln(b.w)
 	}
+	return nil
 }
 
 // chaosMatrix prints a compact E14: seeded chaos episodes under U2PC, C2PC
 // and PrAny with identical fault plans per seed. The full-size matrix lives
 // in BENCH_chaos.json via `prany-chaos -e14 -json`.
-func chaosMatrix() {
-	header("E14: chaos matrix — operational correctness under seeded fault plans")
-	seed := sectionSeed(1)
+func (b *bench) chaosMatrix() error {
+	b.header("E14: chaos matrix — operational correctness under seeded fault plans")
+	seed := b.sectionSeed(1)
 	const episodes, txns = 12, 12
 	seeds := make([]int64, episodes)
 	for i := range seeds {
@@ -309,29 +340,31 @@ func chaosMatrix() {
 	}
 	rows, err := experiments.ChaosMatrix(seeds, txns, 1500*time.Millisecond)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("%-12s %8s %8s %8s %8s | %9s %9s %9s\n",
+	fmt.Fprintf(b.w, "%-12s %8s %8s %8s %8s | %9s %9s %9s\n",
 		"strategy", "commits", "aborts", "errors", "crashes",
 		"atomicity", "retention", "opcheck")
 	for _, r := range rows {
-		fmt.Printf("%-12s %8d %8d %8d %8d | %9d %9d %9d\n",
+		fmt.Fprintf(b.w, "%-12s %8d %8d %8d %8d | %9d %9d %9d\n",
 			r.Strategy, r.Commits, r.Aborts, r.Errors, r.Crashes,
 			r.AtomicityViolations, r.RetentionLeaks, r.OpcheckViolations)
 	}
+	return nil
 }
 
 // readonly prints E10: the read-only optimization ablation.
-func readonly() {
-	header("E10: read-only optimization ablation (3 sites, k read-only)")
-	fmt.Printf("%9s %10s | %10s %10s\n", "roSites", "optimized", "forces/txn", "msgs/txn")
+func (b *bench) readonly() error {
+	b.header("E10: read-only optimization ablation (3 sites, k read-only)")
+	fmt.Fprintf(b.w, "%9s %10s | %10s %10s\n", "roSites", "optimized", "forces/txn", "msgs/txn")
 	for _, ro := range []int{0, 1, 2, 3} {
 		for _, opt := range []bool{false, true} {
 			pt, err := experiments.MeasureReadOnly(ro, opt, 20)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
-			fmt.Printf("%9d %10v | %10.2f %10.2f\n", pt.ReadOnlySites, pt.Optimized, pt.ForcesPerTxn, pt.MsgsPerTxn)
+			fmt.Fprintf(b.w, "%9d %10v | %10.2f %10.2f\n", pt.ReadOnlySites, pt.Optimized, pt.ForcesPerTxn, pt.MsgsPerTxn)
 		}
 	}
+	return nil
 }

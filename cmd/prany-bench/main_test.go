@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// golden compares one deterministic section's output byte-for-byte against
+// its checked-in table. Regenerate with:
+//
+//	go run ./cmd/prany-bench -run <section> > cmd/prany-bench/testdata/<section>.golden
+func golden(t *testing.T, section string) {
+	t.Helper()
+	var out strings.Builder
+	if code := run([]string{"-run", section}, &out); code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	want, err := os.ReadFile("testdata/" + section + ".golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(want) {
+		t.Fatalf("section %s drifted from golden:\n--- got ---\n%s--- want ---\n%s", section, out.String(), want)
+	}
+}
+
+// TestGoldenTheorem1 pins E5: the Theorem 1 violation table is a logical
+// count, fully deterministic.
+func TestGoldenTheorem1(t *testing.T) { golden(t, "theorem1") }
+
+// TestGoldenTheorem2 pins E6: retention growth is linear in txns under
+// C2PC and identically zero under PrAny.
+func TestGoldenTheorem2(t *testing.T) { golden(t, "theorem2") }
+
+// TestCostsAllMatch runs E1-E4 and requires every measured row to MATCH
+// the analytic cost model — the table's values are logical counts, so any
+// MISMATCH is a protocol regression, not noise.
+func TestCostsAllMatch(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-run", "costs"}, &out); code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	s := out.String()
+	if strings.Contains(s, "MISMATCH") {
+		t.Fatalf("cost model mismatch:\n%s", s)
+	}
+	if got := strings.Count(s, "MATCH"); got != 26 { // 13 mixes x 2 outcomes
+		t.Fatalf("want 26 MATCH rows, got %d:\n%s", got, s)
+	}
+}
+
+// TestRunUnknownSection exits 2 and names the valid sections.
+func TestRunUnknownSection(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-run", "frob"}, &out); code != 2 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), `unknown section "frob"`) {
+		t.Fatalf("missing error:\n%s", out.String())
+	}
+}

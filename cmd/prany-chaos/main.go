@@ -18,7 +18,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -29,67 +29,77 @@ import (
 )
 
 func main() {
-	episodes := flag.Int("episodes", 20, "number of seeded episodes")
-	seed := flag.Int64("seed", 1, "first seed; episode i uses seed+i")
-	strategy := flag.String("strategy", "prany", "coordinator strategy: prany, u2pc, c2pc")
-	native := flag.String("native", "prn", "native protocol for u2pc/c2pc")
-	txns := flag.Int("txns", 12, "transactions per episode")
-	quiesce := flag.Duration("quiesce", 8*time.Second, "convergence budget per episode")
-	e14 := flag.Bool("e14", false, "run the E14 matrix (U2PC vs C2PC vs PrAny, same seeds)")
-	jsonOut := flag.Bool("json", false, "with -e14: emit the matrix as JSON")
-	verbose := flag.Bool("v", false, "print every episode's fault counters")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("prany-chaos", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	episodes := fs.Int("episodes", 20, "number of seeded episodes")
+	seed := fs.Int64("seed", 1, "first seed; episode i uses seed+i")
+	strategy := fs.String("strategy", "prany", "coordinator strategy: prany, u2pc, c2pc")
+	native := fs.String("native", "prn", "native protocol for u2pc/c2pc")
+	txns := fs.Int("txns", 12, "transactions per episode")
+	quiesce := fs.Duration("quiesce", 8*time.Second, "convergence budget per episode")
+	e14 := fs.Bool("e14", false, "run the E14 matrix (U2PC vs C2PC vs PrAny, same seeds)")
+	jsonOut := fs.Bool("json", false, "with -e14: emit the matrix as JSON")
+	verbose := fs.Bool("v", false, "print every episode's fault counters")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *e14 {
-		runMatrix(*episodes, *seed, *txns, *jsonOut)
-		return
+		return runMatrix(stdout, *episodes, *seed, *txns, *jsonOut)
 	}
 
 	strat, nat, err := parseStrategy(*strategy, *native)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintln(stdout, err)
+		return 2
 	}
 	spec := experiments.ChaosSpec{Strategy: strat, Native: nat, Txns: *txns, Quiesce: *quiesce}
 
-	fmt.Printf("chaos: %d episodes, seeds %d..%d, strategy %s, %d txns each\n",
+	fmt.Fprintf(stdout, "chaos: %d episodes, seeds %d..%d, strategy %s, %d txns each\n",
 		*episodes, *seed, *seed+int64(*episodes)-1, *strategy, *txns)
 	failed := 0
 	for i := 0; i < *episodes; i++ {
 		s := *seed + int64(i)
 		ep, err := experiments.RunChaosEpisode(s, spec)
 		if err != nil {
-			log.Fatalf("seed %d: %v", s, err)
+			fmt.Fprintf(stdout, "seed %d: %v\n", s, err)
+			return 1
 		}
 		verdict := "ok"
 		if v := ep.Report.Violations(); v > 0 {
 			verdict = fmt.Sprintf("FAIL (%d violations)", v)
 			failed++
 		}
-		fmt.Printf("seed %-6d commits=%-3d aborts=%-3d errors=%-3d crashes=%-2d %s\n",
+		fmt.Fprintf(stdout, "seed %-6d commits=%-3d aborts=%-3d errors=%-3d crashes=%-2d %s\n",
 			s, ep.Commits, ep.Aborts, ep.Errors, ep.Faults.Crashes, verdict)
 		if *verbose {
-			fmt.Printf("  faults: drop=%d delay=%d dup=%d partition=%d walfail=%d\n",
+			fmt.Fprintf(stdout, "  faults: drop=%d delay=%d dup=%d partition=%d walfail=%d\n",
 				ep.Faults.Dropped, ep.Faults.Delayed, ep.Faults.Duplicated,
 				ep.Faults.Partitioned, ep.Faults.WALFails)
 		}
 		if verdict != "ok" {
 			for _, line := range strings.Split(ep.Report.Summary(), "\n") {
-				fmt.Printf("  %s\n", line)
+				fmt.Fprintf(stdout, "  %s\n", line)
 			}
-			fmt.Printf("  repro: go run ./cmd/prany-chaos -episodes 1 -seed %d -strategy %s -native %s -txns %d\n",
+			fmt.Fprintf(stdout, "  repro: go run ./cmd/prany-chaos -episodes 1 -seed %d -strategy %s -native %s -txns %d\n",
 				s, *strategy, *native, *txns)
 		}
 	}
-	fmt.Printf("\n%d/%d episodes operationally correct\n", *episodes-failed, *episodes)
+	fmt.Fprintf(stdout, "\n%d/%d episodes operationally correct\n", *episodes-failed, *episodes)
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // runMatrix prints (or emits as JSON) the E14 table: the same seeded fault
 // plans under U2PC, C2PC and PrAny, with each strategy's measured failure
 // counts — Theorems 1 and 2 as rates instead of single scripted schedules.
-func runMatrix(episodes int, seed int64, txns int, jsonOut bool) {
+func runMatrix(stdout io.Writer, episodes int, seed int64, txns int, jsonOut bool) int {
 	seeds := make([]int64, episodes)
 	for i := range seeds {
 		seeds[i] = seed + int64(i)
@@ -98,7 +108,8 @@ func runMatrix(episodes int, seed int64, txns int, jsonOut bool) {
 	// budget; PrAny converges well inside it.
 	rows, err := experiments.ChaosMatrix(seeds, txns, 1500*time.Millisecond)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintln(stdout, err)
+		return 1
 	}
 	if jsonOut {
 		out := struct {
@@ -108,23 +119,25 @@ func runMatrix(episodes int, seed int64, txns int, jsonOut bool) {
 			Txns       int                          `json:"txns_per_episode"`
 			Rows       []experiments.ChaosMatrixRow `json:"rows"`
 		}{"E14 chaos matrix", seed, episodes, txns, rows}
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
-			log.Fatal(err)
+			fmt.Fprintln(stdout, err)
+			return 1
 		}
-		return
+		return 0
 	}
-	fmt.Printf("E14: chaos matrix — %d episodes each, seeds %d..%d, %d txns/episode\n",
+	fmt.Fprintf(stdout, "E14: chaos matrix — %d episodes each, seeds %d..%d, %d txns/episode\n",
 		episodes, seed, seed+int64(episodes)-1, txns)
-	fmt.Printf("%-12s %8s %8s %8s %8s %8s | %9s %9s %9s\n",
+	fmt.Fprintf(stdout, "%-12s %8s %8s %8s %8s %8s | %9s %9s %9s\n",
 		"strategy", "commits", "aborts", "errors", "crashes", "dropped",
 		"atomicity", "retention", "opcheck")
 	for _, r := range rows {
-		fmt.Printf("%-12s %8d %8d %8d %8d %8d | %9d %9d %9d\n",
+		fmt.Fprintf(stdout, "%-12s %8d %8d %8d %8d %8d | %9d %9d %9d\n",
 			r.Strategy, r.Commits, r.Aborts, r.Errors, r.Crashes, r.Dropped,
 			r.AtomicityViolations, r.RetentionLeaks, r.OpcheckViolations)
 	}
+	return 0
 }
 
 func parseStrategy(s, native string) (core.Strategy, wire.Protocol, error) {

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunSingleEpisode runs one seeded PrAny episode: deterministic by
+// construction, it must judge operationally correct and exit 0.
+func TestRunSingleEpisode(t *testing.T) {
+	var out strings.Builder
+	code := run([]string{"-episodes", "1", "-seed", "1", "-txns", "4", "-v"}, &out)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"chaos: 1 episodes, seeds 1..1, strategy prany, 4 txns each",
+		"seed 1",
+		"faults: drop=",
+		"1/1 episodes operationally correct",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunUnknownStrategy exits 2 with a usage error.
+func TestRunUnknownStrategy(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-strategy", "frob"}, &out); code != 2 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "unknown strategy") {
+		t.Fatalf("missing error:\n%s", out.String())
+	}
+}
+
+// TestRunMatrixJSON runs a tiny E14 matrix and checks the JSON shape the
+// BENCH_chaos.json artifact is generated from.
+func TestRunMatrixJSON(t *testing.T) {
+	var out strings.Builder
+	code := run([]string{"-e14", "-episodes", "2", "-seed", "1", "-txns", "4", "-json"}, &out)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	var got struct {
+		Experiment string `json:"experiment"`
+		Episodes   int    `json:"episodes"`
+		Rows       []struct {
+			Strategy string `json:"strategy"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &got); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if got.Experiment != "E14 chaos matrix" || got.Episodes != 2 || len(got.Rows) != 3 {
+		t.Fatalf("unexpected matrix shape: %+v", got)
+	}
+}

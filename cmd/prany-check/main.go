@@ -1,0 +1,201 @@
+// Command prany-check is the bounded-exhaustive model checker: it
+// enumerates every crash/ordering schedule of a small mixed-protocol
+// cluster — not seeded samples like prany-chaos — and judges each maximal
+// schedule against the paper's operational correctness criterion
+// (Definition 1). The default run is E15: the exhaustive re-derivation of
+// Theorems 1 and 2, with machine-found minimal counterexamples for the
+// straw men and a universally-quantified clean sweep for PrAny.
+//
+// Usage:
+//
+//	prany-check                      # E15 matrix: U2PC vs C2PC vs PrAny
+//	prany-check -json                # the same, as JSON (BENCH_mcheck.json)
+//	prany-check -strategy u2pc       # one strategy; exit 1 on any violation
+//	prany-check -strategy u2pc -stop # stop at the first counterexample
+//	prany-check -replay 'u2pc/PrN|pa=PrA,pc=PrC|t2|crash=coord:af:commit.c:0|vt'
+//
+// Every counterexample prints as a schedule string; -replay re-executes
+// one deterministically and prints the judge's verdict.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"prany/internal/core"
+	"prany/internal/experiments"
+	"prany/internal/mcheck"
+	"prany/internal/wire"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("prany-check", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	strategy := fs.String("strategy", "", "check one strategy (prany, u2pc, c2pc); empty runs the E15 matrix")
+	native := fs.String("native", "prn", "native protocol for u2pc/c2pc")
+	txns := fs.Int("txns", 2, "transactions per episode")
+	maxSkip := fs.Int("maxskip", 0, "crash-point skip bound (0 = default 1, negative = skip-0 plans only)")
+	stop := fs.Bool("stop", false, "stop at the first counterexample")
+	jsonOut := fs.Bool("json", false, "emit results as JSON")
+	replay := fs.String("replay", "", "replay one schedule string and print its verdict")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *replay != "" {
+		return runReplay(*replay, stdout)
+	}
+	if *strategy == "" {
+		return runMatrix(*txns, *maxSkip, *jsonOut, stdout)
+	}
+	return runOne(*strategy, *native, *txns, *maxSkip, *stop, *jsonOut, stdout)
+}
+
+// runReplay re-executes one counterexample (or any hand-written schedule)
+// and prints the judge's full verdict. Exit 0 means the schedule judged
+// clean, 1 that it violated Definition 1, 2 that it failed to replay.
+func runReplay(schedule string, stdout io.Writer) int {
+	sched, err := mcheck.ParseSchedule(schedule)
+	if err != nil {
+		fmt.Fprintf(stdout, "replay: %v\n", err)
+		return 2
+	}
+	rep, err := mcheck.Replay(sched)
+	if err != nil {
+		fmt.Fprintf(stdout, "replay: %v\n", err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "replay: %s\n", schedule)
+	fmt.Fprintln(stdout, rep.Summary())
+	if rep.OK() {
+		return 0
+	}
+	return 1
+}
+
+// runMatrix is E15: all three strategies over the same cluster and
+// budget; exit 0 iff the theorem pattern holds (PrAny clean, each straw
+// man showing its theorem's counterexample).
+func runMatrix(txns, maxSkip int, jsonOut bool, stdout io.Writer) int {
+	rows := experiments.McheckMatrix(txns, maxSkip)
+	verdictErr := experiments.McheckVerdict(rows)
+
+	if jsonOut {
+		out := struct {
+			Experiment string           `json:"experiment"`
+			Txns       int              `json:"txns_per_episode"`
+			Cluster    string           `json:"cluster"`
+			Rows       []*mcheck.Result `json:"rows"`
+			Verdict    string           `json:"verdict"`
+		}{"E15 exhaustive theorem matrix", txns, "coord + pa=PrA + pc=PrC", rows, "pass"}
+		if verdictErr != nil {
+			out.Verdict = verdictErr.Error()
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stdout, "encoding: %v\n", err)
+			return 2
+		}
+	} else {
+		fmt.Fprintf(stdout, "E15: bounded-exhaustive theorem matrix — %d txns, cluster coord+pa(PrA)+pc(PrC)\n", txns)
+		fmt.Fprintf(stdout, "%-10s %6s %9s %8s %7s %10s %10s %8s\n",
+			"strategy", "plans", "schedules", "explored", "deduped", "ample", "violating", "elapsed")
+		for _, r := range rows {
+			fmt.Fprintf(stdout, "%-10s %6d %9d %8d %7d %10d %10d %6dms\n",
+				r.Label, r.Plans, r.Schedules, r.Explored, r.Deduped, r.AmpleSteps, r.Violating, r.ElapsedMS)
+		}
+		for _, r := range rows {
+			printFindings(stdout, r)
+		}
+		if verdictErr != nil {
+			fmt.Fprintf(stdout, "\nFAIL: %v\n", verdictErr)
+		} else {
+			fmt.Fprintf(stdout, "\npass: PrAny exhaustively clean; both straw men yield machine-found counterexamples\n")
+		}
+	}
+	if verdictErr != nil {
+		return 1
+	}
+	return 0
+}
+
+// runOne checks a single strategy; exit 1 on any violation, truncation or
+// episode error — the "is this configuration correct" mode.
+func runOne(strategy, native string, txns, maxSkip int, stop, jsonOut bool, stdout io.Writer) int {
+	strat, nat, err := parseStrategy(strategy, native)
+	if err != nil {
+		fmt.Fprintln(stdout, err)
+		return 2
+	}
+	res := mcheck.Exhaust(mcheck.Config{
+		Strategy: strat, Native: nat, Txns: txns, MaxSkip: maxSkip, StopAtFirst: stop,
+	})
+	if jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(stdout, "encoding: %v\n", err)
+			return 2
+		}
+	} else {
+		fmt.Fprintf(stdout, "%s: %d plans, %d schedules judged (%d states explored, %d deduped, %d ample) in %dms\n",
+			res.Label, res.Plans, res.Schedules, res.Explored, res.Deduped, res.AmpleSteps, res.ElapsedMS)
+		printFindings(stdout, res)
+		if res.Clean() {
+			fmt.Fprintf(stdout, "ok: no Definition-1 violation in any schedule\n")
+		} else {
+			fmt.Fprintf(stdout, "FAIL: %d violating schedules of %d\n", res.Violating, res.Schedules)
+		}
+	}
+	if res.Clean() {
+		return 0
+	}
+	return 1
+}
+
+// printFindings renders a result's counterexamples, errors and
+// truncation. Counterexamples beyond the stored cap are counted, never
+// silently dropped.
+func printFindings(w io.Writer, r *mcheck.Result) {
+	for _, cex := range r.Counterexamples {
+		fmt.Fprintf(w, "\n%s %s counterexample:\n  %s\n", r.Label, cex.Kind, cex.Schedule)
+		for _, line := range strings.Split(cex.Summary, "\n") {
+			fmt.Fprintf(w, "  %s\n", line)
+		}
+		fmt.Fprintf(w, "  replay: go run ./cmd/prany-check -replay '%s'\n", cex.Schedule)
+	}
+	if extra := r.Violating - len(r.Counterexamples); extra > 0 {
+		fmt.Fprintf(w, "  (+%d more violating schedules not stored)\n", extra)
+	}
+	for _, e := range r.Errors {
+		fmt.Fprintf(w, "%s episode error: %s\n", r.Label, e)
+	}
+	if r.Truncated {
+		fmt.Fprintf(w, "%s: TRUNCATED at the state cap — this sweep is not exhaustive\n", r.Label)
+	}
+}
+
+func parseStrategy(s, native string) (core.Strategy, wire.Protocol, error) {
+	nat, err := wire.ParseProtocol(native)
+	if err != nil {
+		return 0, 0, err
+	}
+	switch strings.ToLower(s) {
+	case "prany":
+		return core.StrategyPrAny, nat, nil
+	case "u2pc":
+		return core.StrategyU2PC, nat, nil
+	case "c2pc":
+		return core.StrategyC2PC, nat, nil
+	}
+	return 0, 0, fmt.Errorf("unknown strategy %q (want prany, u2pc or c2pc)", s)
+}

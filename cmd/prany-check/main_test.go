@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunReplayCleanSchedule replays a no-fault PrAny schedule: clean
+// verdict, exit 0.
+func TestRunReplayCleanSchedule(t *testing.T) {
+	var out strings.Builder
+	code := run([]string{"-replay", "prany|pa=PrA,pc=PrC|t1|crash=-|"}, &out)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "ok: operationally correct") {
+		t.Fatalf("missing clean verdict:\n%s", out.String())
+	}
+}
+
+// TestRunReplayViolatingSchedule replays the C2PC no-fault retention
+// schedule: FAIL verdict, exit 1.
+func TestRunReplayViolatingSchedule(t *testing.T) {
+	var out strings.Builder
+	code := run([]string{"-replay", "c2pc/PrN|pa=PrA,pc=PrC|t1|crash=-|"}, &out)
+	if code != 1 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "retention") {
+		t.Fatalf("missing retention verdict:\n%s", out.String())
+	}
+}
+
+// TestRunReplayMalformed exits 2 with a parse error.
+func TestRunReplayMalformed(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-replay", "not-a-schedule"}, &out); code != 2 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+}
+
+// TestRunSingleStrategy checks the one-strategy mode in its quick budget:
+// PrAny exits 0 and prints the clean verdict; C2PC exits 1 with a
+// replayable counterexample line.
+func TestRunSingleStrategy(t *testing.T) {
+	var out strings.Builder
+	code := run([]string{"-strategy", "prany", "-txns", "1", "-maxskip", "-1"}, &out)
+	if code != 0 {
+		t.Fatalf("prany exit %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "ok: no Definition-1 violation") {
+		t.Fatalf("missing clean verdict:\n%s", out.String())
+	}
+
+	out.Reset()
+	code = run([]string{"-strategy", "c2pc", "-txns", "1", "-maxskip", "-1", "-stop"}, &out)
+	if code != 1 {
+		t.Fatalf("c2pc exit %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "-replay 'c2pc/PrN|") {
+		t.Fatalf("missing replayable counterexample:\n%s", out.String())
+	}
+}
+
+// TestRunUnknownStrategy exits 2.
+func TestRunUnknownStrategy(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-strategy", "frob"}, &out); code != 2 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+}

@@ -15,7 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"strings"
 	"sync"
@@ -28,15 +28,28 @@ import (
 )
 
 func main() {
-	proto := flag.String("protocol", "prany", "protocol to trace: prn, pra, prc or prany")
-	outcome := flag.String("outcome", "commit", "commit or abort")
-	n := flag.Int("n", 2, "participants for homogeneous traces")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
 
-	spec, label := clusterSpec(*proto, *n)
+func run(args []string, stdout io.Writer) int {
+	fs := flag.NewFlagSet("prany-trace", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	proto := fs.String("protocol", "prany", "protocol to trace: prn, pra, prc or prany")
+	outcome := fs.String("outcome", "commit", "commit or abort")
+	n := fs.Int("n", 2, "participants for homogeneous traces")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	spec, label, err := clusterSpec(*proto, *n)
+	if err != nil {
+		fmt.Fprintln(stdout, err)
+		return 2
+	}
 	cluster, err := sim.New(spec)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintln(stdout, err)
+		return 1
 	}
 	defer cluster.Close()
 
@@ -59,48 +72,49 @@ func main() {
 
 	res := cluster.RunPlan(plan)
 	if res.Err != nil {
-		log.Fatal(res.Err)
+		fmt.Fprintln(stdout, res.Err)
+		return 1
 	}
 	cluster.Quiesce(2 * time.Second)
 
-	fmt.Printf("Trace: %s, %s case, participants: %s\n\n", label, res.Outcome, partList(cluster))
-	tr.print(os.Stdout)
+	fmt.Fprintf(stdout, "Trace: %s, %s case, participants: %s\n\n", label, res.Outcome, partList(cluster))
+	tr.print(stdout)
 
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	tot := cluster.Met.Total()
-	fmt.Printf("totals: %d messages, %d forced writes, %d log records\n",
+	fmt.Fprintf(stdout, "totals: %d messages, %d forced writes, %d log records\n",
 		tot.TotalMessages()-tot.Messages[wire.MsgExec]-tot.Messages[wire.MsgExecReply],
 		tot.Forces, tot.Appends)
 	if v := cluster.Violations(); len(v) != 0 {
-		fmt.Println("VIOLATIONS:")
+		fmt.Fprintln(stdout, "VIOLATIONS:")
 		for _, x := range v {
-			fmt.Println("  -", x)
+			fmt.Fprintln(stdout, "  -", x)
 		}
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func clusterSpec(proto string, n int) (sim.Spec, string) {
+func clusterSpec(proto string, n int) (sim.Spec, string, error) {
 	spec := sim.Spec{VoteTimeout: 200 * time.Millisecond}
 	switch strings.ToLower(proto) {
 	case "prn", "pra", "prc", "iyv", "cl":
 		p, err := wire.ParseProtocol(proto)
 		if err != nil {
-			log.Fatal(err)
+			return spec, "", err
 		}
 		for i := 0; i < n; i++ {
 			spec.Participants = append(spec.Participants,
 				sim.PartSpec{ID: wire.SiteID(fmt.Sprintf("p%d", i+1)), Proto: p})
 		}
-		return spec, p.String()
+		return spec, p.String(), nil
 	case "prany":
 		spec.Participants = []sim.PartSpec{
 			{ID: "pn", Proto: wire.PrN}, {ID: "pa", Proto: wire.PrA}, {ID: "pc", Proto: wire.PrC},
 		}
-		return spec, "PrAny"
+		return spec, "PrAny", nil
 	default:
-		log.Fatalf("unknown protocol %q (want prn, pra, prc or prany)", proto)
-		return spec, ""
+		return spec, "", fmt.Errorf("unknown protocol %q (want prn, pra, prc, iyv, cl or prany)", proto)
 	}
 }
 
@@ -164,7 +178,7 @@ func (t *tracer) add(line string) {
 	t.mu.Unlock()
 }
 
-func (t *tracer) print(w *os.File) {
+func (t *tracer) print(w io.Writer) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for i, l := range t.lines {

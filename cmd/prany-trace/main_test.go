@@ -1,0 +1,110 @@
+package main
+
+import (
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// ladderLines extracts the numbered ladder from a trace, strips the
+// ordering numbers, and sorts. Concurrent sites interleave messages
+// nondeterministically, so the stable observable is the multiset of
+// ladder events, not their order.
+func ladderLines(t *testing.T, out string) []string {
+	t.Helper()
+	re := regexp.MustCompile(`^\s*\d+\. (.*)$`)
+	var lines []string
+	for _, l := range strings.Split(out, "\n") {
+		if m := re.FindStringSubmatch(l); m != nil {
+			lines = append(lines, strings.Join(strings.Fields(m[1]), " "))
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func requireAll(t *testing.T, got []string, want []string) {
+	t.Helper()
+	have := map[string]int{}
+	for _, l := range got {
+		have[l]++
+	}
+	for _, w := range want {
+		if have[w] == 0 {
+			t.Fatalf("ladder missing %q; got:\n%s", w, strings.Join(got, "\n"))
+		}
+		have[w]--
+	}
+}
+
+// TestRunHomogeneousCommit checks the PrN commit ladder of Figure 2: both
+// participants force a prepared record and the decision, vote yes, receive
+// COMMIT, and ack; the coordinator forces initiation and commit.
+func TestRunHomogeneousCommit(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-protocol", "prn", "-outcome", "commit", "-n", "2"}, &out); code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "Trace: PrN, commit case, participants: p1(PrN) p2(PrN)") {
+		t.Fatalf("missing trace header:\n%s", s)
+	}
+	if !strings.Contains(s, "totals: ") {
+		t.Fatalf("missing totals line:\n%s", s)
+	}
+	requireAll(t, ladderLines(t, s), []string{
+		"coord --PREPARE--> p1",
+		"coord --PREPARE--> p2",
+		"p1 --VOTE yes--> coord",
+		"p2 --VOTE yes--> coord",
+		"coord --DECISION commit--> p1",
+		"coord --DECISION commit--> p2",
+		"p1 --ACK commit--> coord",
+		"p2 --ACK commit--> coord",
+		"coord FORCE-write commit record",
+		"p1 FORCE-write prepared record",
+		"p2 FORCE-write prepared record",
+		"p1 FORCE-write commit record",
+		"p2 FORCE-write commit record",
+	})
+}
+
+// TestRunMixedAbort traces the PrAny abort case: the poisoned PrC site
+// votes no, the decision fans out, and the PrA participant never acks the
+// abort (it presumes it) while PrN must; the no-voter aborts unilaterally
+// and is sent no decision at all.
+func TestRunMixedAbort(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-protocol", "prany", "-outcome", "abort"}, &out); code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "Trace: PrAny, abort case, participants: pn(PrN) pa(PrA) pc(PrC)") {
+		t.Fatalf("missing trace header:\n%s", s)
+	}
+	got := ladderLines(t, s)
+	requireAll(t, got, []string{
+		"pc --VOTE no--> coord",
+		"coord --DECISION abort--> pn",
+		"coord --DECISION abort--> pa",
+		"pn --ACK abort--> coord",
+		"coord FORCE-write initiation record [pn:PrN pa:PrA pc:PrC]",
+	})
+	for _, l := range got {
+		if strings.HasPrefix(l, "pa --ACK") {
+			t.Fatalf("presumed-abort participant acked an abort: %q", l)
+		}
+	}
+}
+
+// TestRunUnknownProtocol exits 2 with a usage-style error.
+func TestRunUnknownProtocol(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-protocol", "frob"}, &out); code != 2 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "unknown protocol") {
+		t.Fatalf("missing error message:\n%s", out.String())
+	}
+}

@@ -237,9 +237,7 @@ func (e *Engine) planSend(m wire.Message) sendVerdict {
 	if !e.active {
 		return sendVerdict{}
 	}
-	if e.crashMatchLocked(func(cp CrashPoint) bool {
-		return cp.Edge == OnSend && cp.Site == m.From && cp.Msg == m.Kind
-	}) {
+	if e.crashMatchLocked(func(cp CrashPoint) bool { return cp.MatchesSend(m) }) {
 		// The sender fail-stopped at this send: the message dies with it.
 		return sendVerdict{drop: true}
 	}
@@ -281,9 +279,7 @@ func (e *Engine) planDeliver(dest wire.SiteID, m wire.Message) bool {
 	if !e.active {
 		return true
 	}
-	return !e.crashMatchLocked(func(cp CrashPoint) bool {
-		return cp.Edge == OnDeliver && cp.Site == dest && cp.Msg == m.Kind
-	})
+	return !e.crashMatchLocked(func(cp CrashPoint) bool { return cp.MatchesDeliver(dest, m) })
 }
 
 // later delivers m on inner after d, tracked for Settle.
@@ -319,12 +315,12 @@ func (e *Engine) planAppend(site wire.SiteID, recs []wal.Record) storeAction {
 		return storeOK
 	}
 	if e.crashMatchLocked(func(cp CrashPoint) bool {
-		return cp.Edge == BeforeForce && cp.Site == site && recsMatch(recs, cp)
+		return cp.Edge == BeforeForce && cp.Site == site && cp.MatchesRecords(recs)
 	}) {
 		return storeCrashBefore
 	}
 	for i, cp := range e.plan.Crashes {
-		if e.fired[i] || cp.Edge != AfterForce || cp.Site != site || !recsMatch(recs, cp) {
+		if e.fired[i] || cp.Edge != AfterForce || cp.Site != site || !cp.MatchesRecords(recs) {
 			continue
 		}
 		if e.remain[i] > 0 {
@@ -354,15 +350,6 @@ func kindMatch(kinds []wire.MsgKind, k wire.MsgKind) bool {
 	}
 	for _, want := range kinds {
 		if want == k {
-			return true
-		}
-	}
-	return false
-}
-
-func recsMatch(recs []wal.Record, cp CrashPoint) bool {
-	for _, r := range recs {
-		if r.Kind == cp.Rec && r.Role == cp.Role {
 			return true
 		}
 	}

@@ -157,8 +157,72 @@ func (c *Coordinator) choose(protos []wire.Protocol) wire.Protocol {
 // Tick. An error means the transaction could not even be driven to a
 // decision (site down, log failure); no decision was communicated.
 func (c *Coordinator) Commit(txn wire.TxnID, parts []wire.SiteID) (wire.Outcome, error) {
+	ct, prepares, err := c.begin(txn, parts)
+	if err != nil {
+		return wire.Abort, err
+	}
+	if prepares > 0 {
+		timer := time.NewTimer(c.cfg.VoteTimeout)
+		select {
+		case <-ct.votesDone:
+			timer.Stop()
+		case <-timer.C:
+		}
+	}
+	return c.resolve(ct)
+}
+
+// Begin runs only the voting phase's setup: protocol-table insert, the
+// forced initiation record when the chosen variant needs one, and the
+// prepare fan-out. It never blocks on votes — a deterministic driver (the
+// model checker) delivers them itself and ends the phase with Resolve. The
+// production path is Commit, which is Begin + vote wait + Resolve.
+func (c *Coordinator) Begin(txn wire.TxnID, parts []wire.SiteID) error {
+	_, _, err := c.begin(txn, parts)
+	return err
+}
+
+// Resolve ends txn's voting phase now — as if the vote timeout fired —
+// deciding commit if every vote is an explicit yes and abort otherwise,
+// then performs the decision phase. Calling it for a transaction already
+// past voting returns the fixed outcome; for an unknown transaction it
+// errors.
+func (c *Coordinator) Resolve(txn wire.TxnID) (wire.Outcome, error) {
+	sh := c.txns.lock(txn)
+	ct := sh.m[txn]
+	sh.mu.Unlock()
+	if ct == nil {
+		return wire.Abort, fmt.Errorf("core: transaction %s not in protocol table", txn)
+	}
+	return c.resolve(ct)
+}
+
+// VoteStatus reports txn's voting phase: open means the transaction exists
+// and is still voting; done means every vote that can end the phase is in
+// (all voted, or some no). A driver uses it to decide between delivering
+// more votes and firing the timeout via Resolve.
+func (c *Coordinator) VoteStatus(txn wire.TxnID) (open, done bool) {
+	sh := c.txns.lock(txn)
+	ct := sh.m[txn]
+	if ct == nil {
+		sh.mu.Unlock()
+		return false, false
+	}
+	open = ct.state == cVoting
+	sh.mu.Unlock()
+	select {
+	case <-ct.votesDone:
+		done = true
+	default:
+	}
+	return open, done
+}
+
+// begin is the voting-phase setup shared by Commit and Begin; it returns
+// the inserted entry and how many prepares went out.
+func (c *Coordinator) begin(txn wire.TxnID, parts []wire.SiteID) (*ctxn, int, error) {
 	if len(parts) == 0 {
-		return wire.Abort, fmt.Errorf("core: transaction %s has no participants", txn)
+		return nil, 0, fmt.Errorf("core: transaction %s has no participants", txn)
 	}
 	ct := &ctxn{
 		txn:       txn,
@@ -169,7 +233,7 @@ func (c *Coordinator) Commit(txn wire.TxnID, parts []wire.SiteID) (wire.Outcome,
 	for _, id := range parts {
 		proto, ok := c.pcp.Lookup(id)
 		if !ok {
-			return wire.Abort, fmt.Errorf("core: participant %s not in PCP table", id)
+			return nil, 0, fmt.Errorf("core: participant %s not in PCP table", id)
 		}
 		p := &cpart{proto: proto}
 		if proto.OnePhase() {
@@ -190,7 +254,7 @@ func (c *Coordinator) Commit(txn wire.TxnID, parts []wire.SiteID) (wire.Outcome,
 	sh := c.txns.lock(txn)
 	if _, dup := sh.m[txn]; dup {
 		sh.mu.Unlock()
-		return wire.Abort, fmt.Errorf("core: transaction %s already in protocol table", txn)
+		return nil, 0, fmt.Errorf("core: transaction %s already in protocol table", txn)
 	}
 	sh.m[txn] = ct
 	sh.mu.Unlock()
@@ -207,7 +271,7 @@ func (c *Coordinator) Commit(txn wire.TxnID, parts []wire.SiteID) (wire.Outcome,
 			Kind: wal.KInitiation, Role: wal.RoleCoord, Txn: txn, Participants: c.infoList(ct),
 		}); err != nil {
 			c.drop(txn)
-			return wire.Abort, err
+			return nil, 0, err
 		}
 	}
 	var prepares []wire.Message
@@ -218,17 +282,20 @@ func (c *Coordinator) Commit(txn wire.TxnID, parts []wire.SiteID) (wire.Outcome,
 		prepares = append(prepares, wire.Message{Kind: wire.MsgPrepare, Txn: txn, From: c.env.ID, To: id})
 	}
 	c.env.fanout(prepares)
+	return ct, len(prepares), nil
+}
 
-	if len(prepares) > 0 {
-		timer := time.NewTimer(c.cfg.VoteTimeout)
-		select {
-		case <-ct.votesDone:
-			timer.Stop()
-		case <-timer.C:
-		}
+// resolve is the decision half shared by Commit and Resolve: it closes the
+// voting phase on whatever votes are in and decides. A transaction already
+// decided (a duplicate Resolve, or recovery got there first) just returns
+// the fixed outcome.
+func (c *Coordinator) resolve(ct *ctxn) (wire.Outcome, error) {
+	sh := c.txns.lock(ct.txn)
+	if ct.state != cVoting {
+		outcome := ct.outcome
+		sh.mu.Unlock()
+		return outcome, nil
 	}
-
-	sh = c.txns.lock(txn)
 	outcome := wire.Abort
 	if ct.allYes() {
 		outcome = wire.Commit
@@ -451,6 +518,7 @@ func (c *Coordinator) handleRecoverSite(m wire.Message) {
 	// All re-driven decisions share one destination, so fanout sends them
 	// in order and returns before the echo goes out — the per-destination
 	// FIFO the recovering site's fence relies on.
+	sortMsgs(msgs)
 	c.env.fanout(msgs)
 	// The echo carries PrAny as the sender protocol so site-level routing
 	// can tell it apart from a participant's announcement.
@@ -598,6 +666,7 @@ func (c *Coordinator) Tick() {
 			}
 		}
 	})
+	sortMsgs(msgs)
 	c.env.fanout(msgs)
 }
 

@@ -16,6 +16,7 @@ package core
 
 import (
 	"errors"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -51,6 +52,18 @@ type RM interface {
 	RecoverPrepared(txn wire.TxnID, writes []wal.Update) error
 }
 
+// Scheduler is the hook a deterministic driver (the model checker) installs
+// to take goroutine scheduling out of the engines' hands. When Serial
+// returns true the engines run every internally-concurrent path inline on
+// the calling goroutine: fan-outs emit sequentially in slice order and
+// subtransaction execution happens on the delivery path. That trades the
+// latency-hiding concurrency for a fully deterministic event order — safe
+// only when the driver guarantees handlers never block (no lock conflicts,
+// synchronous transport).
+type Scheduler interface {
+	Serial() bool
+}
+
 // Env is what an engine needs from its site: identity, stable log, an
 // outbound message sink, and optional history/metrics recording. A zero
 // Recorder or Registry disables that channel.
@@ -65,7 +78,14 @@ type Env struct {
 	// must not log, send, or record events even if one of its goroutines
 	// is still unwinding. Nil means the site never crashes (unit tests).
 	Dead *atomic.Bool
+
+	// Sched, when set and serial, pins all engine-internal concurrency to
+	// the caller's goroutine for deterministic replay. Nil preserves the
+	// production behavior.
+	Sched Scheduler
 }
+
+func (e *Env) serial() bool { return e.Sched != nil && e.Sched.Serial() }
 
 func (e *Env) dead() bool { return e.Dead != nil && e.Dead.Load() }
 
@@ -114,6 +134,29 @@ func (e *Env) event(ev history.Event) {
 	}
 }
 
+// sortMsgs orders messages by (destination, transaction, kind). The retry
+// and recovery paths collect their re-sends by iterating sharded maps,
+// whose order varies run to run; sorting before fanout keeps the emission
+// order deterministic, which replay-driven tools (the model checker) and
+// stable tests rely on. Per-destination FIFO is unaffected: within one
+// destination the sort is by transaction, and each (destination,
+// transaction) pair contributes at most one message per retry round.
+func sortMsgs(msgs []wire.Message) {
+	sort.Slice(msgs, func(i, j int) bool {
+		a, b := msgs[i], msgs[j]
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		if a.Txn.Coord != b.Txn.Coord {
+			return a.Txn.Coord < b.Txn.Coord
+		}
+		if a.Txn.Seq != b.Txn.Seq {
+			return a.Txn.Seq < b.Txn.Seq
+		}
+		return a.Kind < b.Kind
+	})
+}
+
 // fanout emits msgs through the environment, one goroutine per distinct
 // destination, so a fan-out to N participants costs one message delay
 // instead of N sequential sends (a Send can block on dial or write under a
@@ -122,6 +165,12 @@ func (e *Env) event(ev history.Event) {
 // returns only once every message has been handed to the transport.
 func (e *Env) fanout(msgs []wire.Message) {
 	if len(msgs) == 0 {
+		return
+	}
+	if e.serial() {
+		for _, m := range msgs {
+			e.send(m)
+		}
 		return
 	}
 	single := true

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prany/internal/wire"
+)
+
+// DebugState renders the coordinator's protocol table as a deterministic
+// string: one line per entry, entries sorted by transaction, participants in
+// declaration order. The model checker hashes it to recognize states it has
+// already explored, so every field that can influence future behavior must
+// appear and nothing run-dependent (pointers, map order) may.
+func (c *Coordinator) DebugState() string {
+	var rows []string
+	c.txns.each(func(tbl map[wire.TxnID]*ctxn) {
+		for txn, ct := range tbl {
+			var b strings.Builder
+			fmt.Fprintf(&b, "%s state=%d decided=%v outcome=%s chosen=%s",
+				txn, ct.state, ct.decided, ct.outcome, ct.chosen)
+			for _, id := range ct.order {
+				p := ct.parts[id]
+				fmt.Fprintf(&b, " %s[%s voted=%v vote=%d expectAck=%v acked=%v sent=%v writes=%d]",
+					id, p.proto, p.voted, p.vote, p.expectAck, p.acked, p.sentDecision, len(p.writes))
+			}
+			rows = append(rows, b.String())
+		}
+	})
+	sort.Strings(rows)
+	return strings.Join(rows, "\n")
+}
+
+// DebugState renders the participant's protocol table as a deterministic
+// string, one sorted line per pending subtransaction plus the recovery
+// fence. See Coordinator.DebugState for the contract.
+func (p *Participant) DebugState() string {
+	var rows []string
+	p.txns.each(func(tbl map[wire.TxnID]*ptxn) {
+		for txn, t := range tbl {
+			rows = append(rows, fmt.Sprintf("%s state=%d coord=%s idle=%d writes=%d",
+				txn, t.state, t.coord, t.idleTicks, len(t.writes)))
+		}
+	})
+	sort.Strings(rows)
+	p.mu.Lock()
+	recovering := p.recovering
+	p.mu.Unlock()
+	return fmt.Sprintf("recovering=%v\n%s", recovering, strings.Join(rows, "\n"))
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"prany/internal/history"
@@ -156,7 +157,13 @@ func (p *Participant) handleExec(m wire.Message) {
 	// Execution may block on locks held by other (possibly in-doubt)
 	// transactions, and the decision that releases them arrives on the
 	// same message stream — so operations run on their own goroutine, the
-	// participant's worker thread, never on the delivery loop.
+	// participant's worker thread, never on the delivery loop. A serial
+	// scheduler (the model checker) promises conflict-free workloads and
+	// takes the execution inline for determinism.
+	if p.env.serial() {
+		p.execute(m)
+		return
+	}
 	go p.execute(m)
 }
 
@@ -581,11 +588,18 @@ func (p *Participant) Tick() {
 			}
 		}
 	})
+	sort.Slice(abandoned, func(i, j int) bool {
+		if abandoned[i].Coord != abandoned[j].Coord {
+			return abandoned[i].Coord < abandoned[j].Coord
+		}
+		return abandoned[i].Seq < abandoned[j].Seq
+	})
 	for _, txn := range abandoned {
 		p.rm.Abort(txn)
 		p.env.event(history.Event{Kind: history.EvEnforce, Txn: txn, Outcome: wire.Abort})
 		p.env.event(history.Event{Kind: history.EvForget, Txn: txn})
 	}
+	sortMsgs(msgs)
 	for _, m := range msgs {
 		if m.Kind == wire.MsgInquiry {
 			p.env.event(history.Event{Kind: history.EvInquiry, Txn: m.Txn, Peer: m.To})

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"prany/internal/core"
+	"prany/internal/mcheck"
+	"prany/internal/wire"
+)
+
+// McheckMatrix is E15: the bounded-exhaustive re-derivation of Theorems 1
+// and 2. Where E14 measures failure *rates* over seeded chaos samples,
+// E15 enumerates the entire bounded schedule space — every delivery
+// ordering, every budgeted crash plan, every recovery interleaving — for
+// each strategy over the same mixed PrA/PrC cluster, and reports exact
+// counts: U2PC must show at least one atomicity counterexample, C2PC at
+// least one retention counterexample, and PrAny exactly zero violations
+// of any kind.
+//
+// txns is the workload depth per episode; maxSkip bounds the crash-point
+// skip counts (0 uses the mcheck default, negative restricts to skip-0
+// plans — the quick mode the E15 unit test uses).
+func McheckMatrix(txns, maxSkip int) []*mcheck.Result {
+	cfgs := []mcheck.Config{
+		{Strategy: core.StrategyU2PC, Native: wire.PrN, Txns: txns, MaxSkip: maxSkip},
+		{Strategy: core.StrategyC2PC, Native: wire.PrN, Txns: txns, MaxSkip: maxSkip},
+		{Strategy: core.StrategyPrAny, Txns: txns, MaxSkip: maxSkip},
+	}
+	out := make([]*mcheck.Result, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		out = append(out, mcheck.Exhaust(cfg))
+	}
+	return out
+}
+
+// McheckVerdict checks the theorem pattern over an E15 matrix: PrAny
+// clean, each straw man showing its theorem's counterexample kind. A nil
+// return is the matrix passing.
+func McheckVerdict(rows []*mcheck.Result) error {
+	for _, r := range rows {
+		if len(r.Errors) > 0 {
+			return fmt.Errorf("%s: %d episode errors (first: %s)", r.Label, len(r.Errors), r.Errors[0])
+		}
+		if r.Truncated {
+			return fmt.Errorf("%s: exploration truncated — not exhaustive", r.Label)
+		}
+		switch r.Label {
+		case "PrAny":
+			if !r.Clean() {
+				return fmt.Errorf("PrAny: %d violating schedules of %d — Definition 1 broken",
+					r.Violating, r.Schedules)
+			}
+		case "U2PC/PrN":
+			if !hasCexKind(r, "atomicity") {
+				return fmt.Errorf("U2PC/PrN: no atomicity counterexample in %d schedules — Theorem 1 not re-derived",
+					r.Schedules)
+			}
+		case "C2PC/PrN":
+			if !hasCexKind(r, "retention") {
+				return fmt.Errorf("C2PC/PrN: no retention counterexample in %d schedules — Theorem 2 not re-derived",
+					r.Schedules)
+			}
+		}
+	}
+	return nil
+}
+
+func hasCexKind(r *mcheck.Result, kind string) bool {
+	for _, cex := range r.Counterexamples {
+		if cex.Kind == kind {
+			return true
+		}
+	}
+	return false
+}

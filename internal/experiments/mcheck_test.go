@@ -1,0 +1,20 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestMcheckMatrix runs E15 in its quick mode (skip-0 plans only) and
+// demands the theorem pattern: PrAny exhaustively clean, U2PC showing an
+// atomicity counterexample, C2PC a retention counterexample. The full
+// budget runs in internal/mcheck's own tests and in prany-check.
+func TestMcheckMatrix(t *testing.T) {
+	rows := McheckMatrix(2, -1)
+	for _, r := range rows {
+		t.Logf("%-10s plans=%d explored=%d deduped=%d schedules=%d violating=%d elapsed=%dms",
+			r.Label, r.Plans, r.Explored, r.Deduped, r.Schedules, r.Violating, r.ElapsedMS)
+	}
+	if err := McheckVerdict(rows); err != nil {
+		t.Fatal(err)
+	}
+}

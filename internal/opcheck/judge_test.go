@@ -1,0 +1,189 @@
+package opcheck
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"prany/internal/history"
+	"prany/internal/wire"
+)
+
+// record assigns sequence numbers to a hand-built history — the checkers
+// read precedence off Seq, so events must pass through a Recorder.
+func record(events ...history.Event) []history.Event {
+	r := history.NewRecorder()
+	for _, e := range events {
+		r.Record(e)
+	}
+	return r.Events()
+}
+
+var t1 = wire.TxnID{Coord: "c", Seq: 1}
+
+// TestJudgeEventsClean is the baseline: a decided, enforced, forgotten,
+// deleted transaction judges clean on every clause.
+func TestJudgeEventsClean(t *testing.T) {
+	r := JudgeEvents(record(
+		history.Event{Kind: history.EvDecide, Site: "c", Txn: t1, Outcome: wire.Commit},
+		history.Event{Kind: history.EvEnforce, Site: "p1", Txn: t1, Outcome: wire.Commit},
+		history.Event{Kind: history.EvEnforce, Site: "p2", Txn: t1, Outcome: wire.Commit},
+		history.Event{Kind: history.EvForget, Site: "p1", Txn: t1},
+		history.Event{Kind: history.EvForget, Site: "p2", Txn: t1},
+		history.Event{Kind: history.EvDeletePT, Site: "c", Txn: t1},
+	))
+	if !r.OK() {
+		t.Fatalf("clean history judged dirty:\n%s", r.Summary())
+	}
+	if !strings.HasPrefix(r.Summary(), "ok: operationally correct") {
+		t.Fatalf("unexpected summary: %s", r.Summary())
+	}
+}
+
+// TestJudgeEventsEnforceMismatch is clause 1 via enforcement: a site
+// enforcing abort against a committed transaction.
+func TestJudgeEventsEnforceMismatch(t *testing.T) {
+	r := JudgeEvents(record(
+		history.Event{Kind: history.EvDecide, Site: "c", Txn: t1, Outcome: wire.Commit},
+		history.Event{Kind: history.EvEnforce, Site: "p1", Txn: t1, Outcome: wire.Commit},
+		history.Event{Kind: history.EvEnforce, Site: "p2", Txn: t1, Outcome: wire.Abort},
+		history.Event{Kind: history.EvForget, Site: "p1", Txn: t1},
+		history.Event{Kind: history.EvForget, Site: "p2", Txn: t1},
+		history.Event{Kind: history.EvDeletePT, Site: "c", Txn: t1},
+	))
+	if len(r.Atomicity) != 1 {
+		t.Fatalf("want 1 atomicity violation, got %d:\n%s", len(r.Atomicity), r.Summary())
+	}
+	if r.OK() || r.Violations() != 1 {
+		t.Fatalf("want exactly 1 violation, got %d", r.Violations())
+	}
+	if !strings.Contains(r.Summary(), "atomicity: ") {
+		t.Fatalf("summary missing atomicity line:\n%s", r.Summary())
+	}
+}
+
+// TestJudgeEventsWrongResponse is clause 1 via an inquiry answered with
+// the wrong presumption — Theorem 1's shape.
+func TestJudgeEventsWrongResponse(t *testing.T) {
+	r := JudgeEvents(record(
+		history.Event{Kind: history.EvDecide, Site: "c", Txn: t1, Outcome: wire.Commit},
+		history.Event{Kind: history.EvRespond, Site: "c", Txn: t1, Outcome: wire.Abort, Peer: "p1"},
+	))
+	if len(r.Atomicity) != 1 {
+		t.Fatalf("want 1 atomicity violation, got %d:\n%s", len(r.Atomicity), r.Summary())
+	}
+}
+
+// TestJudgeEventsStaleResponseVacuous: a response contradicting the
+// outcome is vacuous when the inquirer had already enforced correctly —
+// a replayed inquiry after termination, answered by presumption.
+func TestJudgeEventsStaleResponseVacuous(t *testing.T) {
+	r := JudgeEvents(record(
+		history.Event{Kind: history.EvDecide, Site: "c", Txn: t1, Outcome: wire.Commit},
+		history.Event{Kind: history.EvEnforce, Site: "p1", Txn: t1, Outcome: wire.Commit},
+		history.Event{Kind: history.EvForget, Site: "p1", Txn: t1},
+		history.Event{Kind: history.EvDeletePT, Site: "c", Txn: t1},
+		history.Event{Kind: history.EvRespond, Site: "c", Txn: t1, Outcome: wire.Abort, Peer: "p1"},
+	))
+	if len(r.Atomicity) != 0 || len(r.SafeState) != 0 {
+		t.Fatalf("stale response flagged:\n%s", r.Summary())
+	}
+}
+
+// TestJudgeEventsSafeStateViolation is Definition 2: a post-forget
+// response carrying the wrong outcome to a still-in-doubt inquirer.
+func TestJudgeEventsSafeStateViolation(t *testing.T) {
+	r := JudgeEvents(record(
+		history.Event{Kind: history.EvDecide, Site: "c", Txn: t1, Outcome: wire.Commit},
+		history.Event{Kind: history.EvDeletePT, Site: "c", Txn: t1},
+		history.Event{Kind: history.EvRespond, Site: "c", Txn: t1, Outcome: wire.Abort, Peer: "p2"},
+		history.Event{Kind: history.EvEnforce, Site: "p2", Txn: t1, Outcome: wire.Abort},
+		history.Event{Kind: history.EvForget, Site: "p2", Txn: t1},
+	))
+	if len(r.SafeState) != 1 {
+		t.Fatalf("want 1 safe-state violation, got %d:\n%s", len(r.SafeState), r.Summary())
+	}
+	if !strings.Contains(r.Summary(), "safe-state: ") {
+		t.Fatalf("summary missing safe-state line:\n%s", r.Summary())
+	}
+}
+
+// TestJudgeEventsRetention is clause 2: a decided transaction whose
+// protocol-table entry is never deleted — Theorem 2's shape.
+func TestJudgeEventsRetention(t *testing.T) {
+	r := JudgeEvents(record(
+		history.Event{Kind: history.EvDecide, Site: "c", Txn: t1, Outcome: wire.Commit},
+		history.Event{Kind: history.EvEnforce, Site: "p1", Txn: t1, Outcome: wire.Commit},
+		history.Event{Kind: history.EvForget, Site: "p1", Txn: t1},
+	))
+	if len(r.Retained) != 1 || r.Retained[0] != t1 {
+		t.Fatalf("want retention of %s, got %v", t1, r.Retained)
+	}
+	if !strings.Contains(r.Summary(), "retention: ") {
+		t.Fatalf("summary missing retention line:\n%s", r.Summary())
+	}
+}
+
+// TestJudgeEventsUnforgotten is clause 3: a participant that enforced but
+// never forgot.
+func TestJudgeEventsUnforgotten(t *testing.T) {
+	r := JudgeEvents(record(
+		history.Event{Kind: history.EvDecide, Site: "c", Txn: t1, Outcome: wire.Abort},
+		history.Event{Kind: history.EvEnforce, Site: "p1", Txn: t1, Outcome: wire.Abort},
+		history.Event{Kind: history.EvDeletePT, Site: "c", Txn: t1},
+	))
+	if len(r.Unforgotten) != 1 {
+		t.Fatalf("want 1 forgetting violation, got %d:\n%s", len(r.Unforgotten), r.Summary())
+	}
+	if !strings.Contains(r.Summary(), "forgetting: ") {
+		t.Fatalf("summary missing forgetting line:\n%s", r.Summary())
+	}
+}
+
+// TestJudgeEventsUndecidedIsAborted: with no decision recorded, abort is
+// the authoritative outcome — abort enforcement judges clean, commit
+// enforcement does not.
+func TestJudgeEventsUndecidedIsAborted(t *testing.T) {
+	clean := JudgeEvents(record(
+		history.Event{Kind: history.EvEnforce, Site: "p1", Txn: t1, Outcome: wire.Abort},
+		history.Event{Kind: history.EvForget, Site: "p1", Txn: t1},
+	))
+	if !clean.OK() {
+		t.Fatalf("undecided abort enforcement judged dirty:\n%s", clean.Summary())
+	}
+	dirty := JudgeEvents(record(
+		history.Event{Kind: history.EvEnforce, Site: "p1", Txn: t1, Outcome: wire.Commit},
+		history.Event{Kind: history.EvForget, Site: "p1", Txn: t1},
+	))
+	if len(dirty.Atomicity) != 1 {
+		t.Fatalf("undecided commit enforcement not flagged:\n%s", dirty.Summary())
+	}
+}
+
+// TestReportStructuralViolations covers the clauses JudgeEvents leaves to
+// the caller: quiescence, live table/pending counts, checkpoint failures
+// and uncollectable logs — each counted and each with its summary line.
+func TestReportStructuralViolations(t *testing.T) {
+	r := &Report{
+		Quiesced:      false,
+		PTLeft:        2,
+		PendingLeft:   1,
+		CheckpointErr: errors.New("site pc still crashed"),
+		StableLeft:    3,
+	}
+	// 1 (not quiesced) + 2 + 1 (counts) + 1 (checkpoint) + 3 (stable)
+	if got := r.Violations(); got != 8 {
+		t.Fatalf("want 8 violations, got %d", got)
+	}
+	sum := r.Summary()
+	for _, want := range []string{
+		"FAIL: 8 violations",
+		"not quiesced: 2 protocol-table entries, 1 pending subtransactions",
+		"checkpoint: site pc still crashed",
+		"logs: 3 stable records not garbage-collectable",
+	} {
+		if !strings.Contains(sum, want) {
+			t.Fatalf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}

@@ -71,6 +71,11 @@ type Spec struct {
 	// site and both its network and its log store, and binds the engine's
 	// crash points to site.Crash.
 	Chaos *chaos.Engine
+	// Sched, when set, is installed as every site's scheduling hook: a
+	// serial scheduler makes engine-internal concurrency run inline on the
+	// delivery path, so a deterministic driver (the model checker) fully
+	// controls event order. Nil means production scheduling.
+	Sched core.Scheduler
 }
 
 // CoordID is the identifier of the cluster's coordinator site.
@@ -153,6 +158,7 @@ func New(spec Spec) (*Cluster, error) {
 		GroupCommit: spec.GroupCommit,
 		ExecTimeout: spec.ExecTimeout,
 		LogStore:    newLogStore(CoordID),
+		Sched:       spec.Sched,
 	})
 	if err != nil {
 		return nil, err
@@ -171,6 +177,7 @@ func New(spec Spec) (*Cluster, error) {
 			LogStore:          newLogStore(p.ID),
 			Coordinator:       core.CoordinatorConfig{VoteTimeout: spec.VoteTimeout},
 			KnownCoordinators: []wire.SiteID{CoordID},
+			Sched:             spec.Sched,
 		}
 		if p.Legacy {
 			cfg.RM = nonext.NewAgent(nonext.NewLegacyStore())
@@ -381,6 +388,12 @@ func (c *Cluster) TickAll() {
 		s.Tick()
 	}
 }
+
+// QuiescedNow reports whether the cluster is quiescent at this instant —
+// every protocol table empty and no pending subtransactions — without
+// waiting or ticking. Deterministic drivers that control delivery
+// themselves use it in place of the clock-driven Quiesce.
+func (c *Cluster) QuiescedNow() bool { return c.quiesced() }
 
 func (c *Cluster) quiesced() bool {
 	if !c.Coord.Quiesced() {

@@ -63,6 +63,11 @@ type Config struct {
 	// is durable like a real database's files); only volatile transaction
 	// state is dropped, via its Crash method.
 	RM ResourceManager
+	// Sched, when set, reaches the engines as their scheduling hook: a
+	// serial scheduler pins engine-internal concurrency (fan-out
+	// goroutines, execution workers) to the delivery goroutine for
+	// deterministic replay. Nil means production scheduling.
+	Sched core.Scheduler
 }
 
 // ResourceManager is what a site drives: the core.RM operations plus the
@@ -137,12 +142,13 @@ func (s *Site) start(runRecovery bool) error {
 	}
 	dead := &atomic.Bool{}
 	env := core.Env{
-		ID:   s.cfg.ID,
-		Log:  log,
-		Send: s.cfg.Net.Send,
-		Hist: s.cfg.Hist,
-		Met:  s.cfg.Met,
-		Dead: dead,
+		ID:    s.cfg.ID,
+		Log:   log,
+		Send:  s.cfg.Net.Send,
+		Hist:  s.cfg.Hist,
+		Met:   s.cfg.Met,
+		Dead:  dead,
+		Sched: s.cfg.Sched,
 	}
 	part := core.NewParticipant(env, s.cfg.Proto, s.rm, s.cfg.ReadOnlyOpt)
 	part.SetCoordinators(s.cfg.KnownCoordinators)

@@ -87,6 +87,17 @@ func (d *decodeBuf) u64(what string) uint64 {
 	return v
 }
 
+// bool rejects anything but the canonical 0/1 encodings: the codec
+// guarantees exactly one byte string per message, so a sloppy true (any
+// nonzero byte) is a malformed body, not an alternative spelling.
+func (d *decodeBuf) bool(what string) bool {
+	v := d.u8(what)
+	if d.err == nil && v > 1 {
+		d.err = fmt.Errorf("wire: non-canonical bool %#x reading %s at offset %d", v, what, d.off-1)
+	}
+	return v == 1
+}
+
 func (d *decodeBuf) str(what string) string {
 	n := int(d.u32(what))
 	if d.err != nil || n < 0 || d.off+n > len(d.b) {
@@ -184,9 +195,9 @@ func DecodeMessage(body []byte) (Message, error) {
 			var w Update
 			w.Key = d.str("write key")
 			w.Old = d.str("write old")
-			w.OldExists = d.u8("write oldExists") != 0
+			w.OldExists = d.bool("write oldExists")
 			w.New = d.str("write new")
-			w.NewExists = d.u8("write newExists") != 0
+			w.NewExists = d.bool("write newExists")
 			m.Writes = append(m.Writes, w)
 		}
 	}

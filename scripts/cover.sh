@@ -1,0 +1,34 @@
+#!/bin/sh
+# Enforce the per-package statement-coverage floors in coverage.floors.
+# Exits nonzero naming every package below its floor.
+set -eu
+
+cd "$(dirname "$0")/.."
+floors=coverage.floors
+
+fail=0
+while read -r pkg floor; do
+	case "$pkg" in ''|\#*) continue ;; esac
+	out=$(go test -cover "./${pkg#prany/}/" 2>&1) || {
+		echo "$out"
+		echo "FAIL $pkg: tests failed"
+		fail=1
+		continue
+	}
+	pct=$(echo "$out" | sed -n 's/.*coverage: \([0-9.]*\)% of statements.*/\1/p' | head -1)
+	if [ -z "$pct" ]; then
+		echo "FAIL $pkg: no coverage figure in output:"
+		echo "$out"
+		fail=1
+		continue
+	fi
+	ok=$(awk -v p="$pct" -v f="$floor" 'BEGIN { print (p >= f) ? 1 : 0 }')
+	if [ "$ok" = 1 ]; then
+		echo "ok   $pkg ${pct}% (floor ${floor}%)"
+	else
+		echo "FAIL $pkg ${pct}% below floor ${floor}%"
+		fail=1
+	fi
+done < "$floors"
+
+exit "$fail"
