@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race chaos examples tier1 cover bench-groupcommit clean
+.PHONY: all build test vet race chaos examples bench-smoke tier1 cover allocs bench-groupcommit bench-pipeline clean
 
 all: tier1
 
@@ -35,19 +35,38 @@ examples:
 		$(GO) run ./$$d >/dev/null; \
 	done
 
+# Short E16 smoke run: a 50-transaction TCP burst with batching on must
+# show > 1 messages per physical frame, so a regression that silently
+# disables the transport batch writer fails the gate without paying for
+# the full benchmark sweep.
+bench-smoke:
+	./scripts/bench_smoke.sh
+
 # tier1 is the merge gate: everything must build, every test must pass,
 # vet must be clean, the concurrent packages must be race-free, the short
-# chaos sweep must stay operationally correct, and every example must run.
-tier1: build test vet race chaos examples
+# chaos sweep must stay operationally correct, every example must run,
+# and the transport batch writer must demonstrably coalesce frames.
+tier1: build test vet race chaos examples bench-smoke
 
 # cover enforces the per-package statement-coverage floors recorded in
-# coverage.floors; `make cover` fails if any listed package regresses.
+# coverage.floors and the per-benchmark allocation ceilings in
+# alloc.floors; `make cover` fails if any listed package regresses.
 cover:
 	./scripts/cover.sh
+	./scripts/allocs.sh
+
+# allocs runs just the allocation-ceiling gate (the zero-alloc wire path).
+allocs:
+	./scripts/allocs.sh
 
 # Reproduce the E13 group-commit numbers recorded in BENCH_groupcommit.json.
 bench-groupcommit:
 	$(GO) test -bench 'BenchmarkE13_GroupCommit' -benchtime 300x -run '^$$' .
+
+# Reproduce the E16 pipelined-commit-stream numbers recorded in
+# BENCH_pipeline.json.
+bench-pipeline:
+	$(GO) test -bench 'BenchmarkE16_Pipeline' -benchtime 5000x -run '^$$' .
 
 clean:
 	$(GO) clean ./...

@@ -256,6 +256,29 @@ func BenchmarkE13_GroupCommit(b *testing.B) {
 	}
 }
 
+// E16 — pipelined commit streams: the same concurrent commit workload over
+// real TCP with transport frame batching off and on. The logical message
+// count (the protocol cost) is identical; the physical wire-write count per
+// transaction collapses when each link's writer coalesces whatever queued
+// while its previous write syscall was in flight.
+func BenchmarkE16_Pipeline(b *testing.B) {
+	for _, clients := range []int{16, 64, 256} {
+		for _, batching := range []bool{false, true} {
+			b.Run(fmt.Sprintf("clients=%d/batch=%v", clients, batching), func(b *testing.B) {
+				pt, err := experiments.MeasurePipeline(batching, clients, b.N, 16)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(pt.TxnsPerSec, "txns/s")
+				b.ReportMetric(pt.MsgsPerTxn, "msgs/txn")
+				b.ReportMetric(pt.FramesPerTxn, "frames/txn")
+				b.ReportMetric(pt.MeanFrameBatch, "msgs/frame")
+				b.ReportMetric(pt.AllocsPerTxn, "allocs/txn")
+			})
+		}
+	}
+}
+
 // Ablation — the forced initiation record: PrAny's extra coordinator force
 // versus homogeneous PrA (which writes none). The delta is the price of
 // integration.

@@ -9,7 +9,9 @@
 //
 //	prany-bench               # everything
 //	prany-bench -run costs    # one section: costs, theorem1, theorem2,
-//	                          # sweep, perf, readonly
+//	                          # sweep, perf, readonly, iyv, cl,
+//	                          # groupcommit, chaos, pipeline
+//	prany-bench -run pipeline -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -17,6 +19,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -41,15 +45,45 @@ type bench struct {
 	seed int64
 }
 
-var sectionOrder = []string{"costs", "theorem1", "theorem2", "sweep", "perf", "readonly", "iyv", "cl", "groupcommit", "chaos"}
+var sectionOrder = []string{"costs", "theorem1", "theorem2", "sweep", "perf", "readonly", "iyv", "cl", "groupcommit", "chaos", "pipeline"}
 
 func run(args []string, stdout io.Writer) int {
 	fs := flag.NewFlagSet("prany-bench", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	which := fs.String("run", "all", "which section to run: all, "+strings.Join(sectionOrder, ", "))
 	seed := fs.Int64("seed", 0, "override every section's random seed (0 = per-section defaults)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stdout, err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stdout, err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(stdout, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stdout, err)
+			}
+		}()
 	}
 
 	b := &bench{w: stdout, seed: *seed}
@@ -64,6 +98,7 @@ func run(args []string, stdout io.Writer) int {
 		"cl":          b.cl,
 		"groupcommit": b.groupcommit,
 		"chaos":       b.chaosMatrix,
+		"pipeline":    b.pipeline,
 	}
 	if *which == "all" {
 		for _, name := range sectionOrder {
@@ -349,6 +384,33 @@ func (b *bench) chaosMatrix() error {
 		fmt.Fprintf(b.w, "%-12s %8d %8d %8d %8d | %9d %9d %9d\n",
 			r.Strategy, r.Commits, r.Aborts, r.Errors, r.Crashes,
 			r.AtomicityViolations, r.RetentionLeaks, r.OpcheckViolations)
+	}
+	return nil
+}
+
+// pipeline prints E16: the pipelined-commit-stream comparison — the same
+// concurrent commit workload over real TCP with transport frame batching
+// off and on. msgs/txn is the logical protocol cost (identical in both
+// modes, matching the paper's tables); frames/txn and msgs/frame show the
+// physical wire writes collapsing as each link's writer drains whatever
+// accumulated while its previous write syscall was in flight — the network
+// twin of E13's Forces/Syncs split.
+func (b *bench) pipeline() error {
+	b.header("E16: pipelined commit streams — wire frames collapse under concurrency")
+	seed := b.sectionSeed(16)
+	fmt.Fprintf(b.w, "%7s %6s | %9s %12s %10s %12s %11s %10s\n",
+		"clients", "batch", "txns/s", "meanLatency", "msgs/txn", "frames/txn", "msgs/frame", "bytes/txn")
+	for _, clients := range []int{16, 64, 256} {
+		for _, batching := range []bool{false, true} {
+			pt, err := experiments.MeasurePipeline(batching, clients, 2000, seed)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(b.w, "%7d %6v | %9.0f %12s %10.2f %12.2f %11.2f %10.0f\n",
+				clients, batching, pt.TxnsPerSec, pt.MeanLatency.Round(1000),
+				pt.MsgsPerTxn, pt.FramesPerTxn, pt.MeanFrameBatch, pt.BytesPerTxn)
+		}
+		fmt.Fprintln(b.w)
 	}
 	return nil
 }

@@ -88,6 +88,32 @@ func TestNetworkDropByKind(t *testing.T) {
 	}
 }
 
+// TestNetworkSendBatchAppliesFaultsPerFrame: a batch passing through the
+// chaos shim gets the plan's verdicts message by message — dropping one
+// kind removes exactly those frames, duplicating another schedules its
+// extra copy — so physical batching cannot shrink the fault surface.
+func TestNetworkSendBatchAppliesFaultsPerFrame(t *testing.T) {
+	e := NewEngine(Plan{Seed: 1, Faults: []MsgFault{{Kinds: []wire.MsgKind{wire.MsgAck}, Drop: 1}}})
+	c := newCounterNet(t, e, "dst")
+	bs, ok := c.net.(transport.BatchSender)
+	if !ok {
+		t.Fatal("chaos network does not implement BatchSender")
+	}
+	bs.SendBatch([]wire.Message{
+		{Kind: wire.MsgAck, From: "src", To: "dst"},
+		{Kind: wire.MsgDecision, From: "src", To: "dst"},
+		{Kind: wire.MsgAck, From: "src", To: "dst"},
+		{Kind: wire.MsgPrepare, From: "src", To: "dst"},
+	})
+	waitFor(t, "surviving frames", func() bool { return c.other.Load() == 2 })
+	if got := c.acks.Load(); got != 0 {
+		t.Fatalf("acks delivered %d times despite Drop=1 on the batch path", got)
+	}
+	if ctr := e.Counters(); ctr.Dropped != 2 {
+		t.Fatalf("Dropped = %d, want 2", ctr.Dropped)
+	}
+}
+
 func TestNetworkDuplicate(t *testing.T) {
 	e := NewEngine(Plan{Seed: 1, Faults: []MsgFault{{Dup: 1, MaxDelay: time.Millisecond}}})
 	c := newCounterNet(t, e, "dst")

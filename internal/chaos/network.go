@@ -42,6 +42,31 @@ func (n *Network) Send(m wire.Message) {
 	n.inner.Send(m)
 }
 
+// SendBatch implements transport.BatchSender: the plan's verdicts are
+// applied frame by frame, exactly as if the messages had been Sent
+// individually — batching is physical, faults are logical. Messages the
+// plan drops leave the batch, delayed ones re-enter later through the
+// inner network, duplicated ones get their extra copy scheduled, and the
+// surviving immediate messages go down as one (smaller) batch.
+func (n *Network) SendBatch(msgs []wire.Message) {
+	keep := msgs[:0:0]
+	for _, m := range msgs {
+		v := n.eng.planSend(m)
+		if v.drop {
+			continue
+		}
+		if v.dup {
+			n.eng.later(v.dupDelay, m, n.inner)
+		}
+		if v.delay > 0 {
+			n.eng.later(v.delay, m, n.inner)
+			continue
+		}
+		keep = append(keep, m)
+	}
+	transport.SendAll(n.inner, keep)
+}
+
 // Close implements transport.Network.
 func (n *Network) Close() { n.inner.Close() }
 

@@ -17,7 +17,6 @@ package core
 import (
 	"errors"
 	"sort"
-	"sync"
 	"sync/atomic"
 
 	"prany/internal/history"
@@ -73,6 +72,14 @@ type Env struct {
 	Send func(wire.Message)
 	Hist *history.Recorder
 	Met  *metrics.Registry
+
+	// SendBatch, when set, receives multi-message emissions in one call so
+	// a batching transport can coalesce same-destination traffic — an ack
+	// and the next transaction's vote request to one peer ride one physical
+	// frame. Logical message counts (Met.Message) are recorded per message
+	// either way; batching only changes the physical framing. Nil falls
+	// back to per-message Send.
+	SendBatch func([]wire.Message)
 
 	// Dead, when set and true, marks the site crashed: a fail-stop site
 	// must not log, send, or record events even if one of its goroutines
@@ -157,53 +164,33 @@ func sortMsgs(msgs []wire.Message) {
 	})
 }
 
-// fanout emits msgs through the environment, one goroutine per distinct
-// destination, so a fan-out to N participants costs one message delay
-// instead of N sequential sends (a Send can block on dial or write under a
-// TCP transport). Messages to the same destination keep their relative
-// order — the per-destination FIFO the recovery paths rely on — and fanout
-// returns only once every message has been handed to the transport.
+// fanout emits msgs through the environment in one batch when the
+// transport supports it, so same-destination traffic — an ack piggybacked
+// on the next transaction's vote request, a decision round to every
+// participant — can ride one physical frame per peer. Messages to the same
+// destination keep their relative order (the per-destination FIFO the
+// recovery paths rely on), logical message counts are recorded per message
+// exactly as with sequential sends, and fanout returns only once every
+// message has been handed to the transport. Under a serial scheduler the
+// batch hook is bypassed: the model checker sees one deterministic send per
+// message.
 func (e *Env) fanout(msgs []wire.Message) {
 	if len(msgs) == 0 {
 		return
 	}
-	if e.serial() {
+	if e.SendBatch == nil || e.serial() || len(msgs) == 1 {
 		for _, m := range msgs {
 			e.send(m)
 		}
 		return
 	}
-	single := true
-	for _, m := range msgs[1:] {
-		if m.To != msgs[0].To {
-			single = false
-			break
-		}
-	}
-	if single {
-		for _, m := range msgs {
-			e.send(m)
-		}
+	if e.dead() {
 		return
 	}
-	byDest := make(map[wire.SiteID][]wire.Message, len(msgs))
-	order := make([]wire.SiteID, 0, len(msgs))
-	for _, m := range msgs {
-		if _, ok := byDest[m.To]; !ok {
-			order = append(order, m.To)
+	if e.Met != nil {
+		for _, m := range msgs {
+			e.Met.Message(e.ID, m.Kind)
 		}
-		byDest[m.To] = append(byDest[m.To], m)
 	}
-	var wg sync.WaitGroup
-	for _, dest := range order {
-		dm := byDest[dest]
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for _, m := range dm {
-				e.send(m)
-			}
-		}()
-	}
-	wg.Wait()
+	e.SendBatch(msgs)
 }

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"prany/internal/metrics"
+	"prany/internal/wire"
+)
+
+type serialSched bool
+
+func (s serialSched) Serial() bool { return bool(s) }
+
+func fanoutMsgs() []wire.Message {
+	return []wire.Message{
+		{Kind: wire.MsgDecision, From: "c", To: "a"},
+		{Kind: wire.MsgPrepare, From: "c", To: "a"},
+		{Kind: wire.MsgDecision, From: "c", To: "b"},
+	}
+}
+
+// TestFanoutUsesSendBatch: with a batch hook installed, a multi-message
+// fanout goes down in one call, in order, with the logical message counts
+// recorded per message exactly as the sequential path records them.
+func TestFanoutUsesSendBatch(t *testing.T) {
+	met := metrics.NewRegistry()
+	var batches [][]wire.Message
+	var singles int
+	e := Env{
+		ID:        "c",
+		Met:       met,
+		Send:      func(wire.Message) { singles++ },
+		SendBatch: func(msgs []wire.Message) { batches = append(batches, msgs) },
+	}
+	e.fanout(fanoutMsgs())
+	if singles != 0 || len(batches) != 1 || len(batches[0]) != 3 {
+		t.Fatalf("singles=%d batches=%v, want one batch of 3", singles, batches)
+	}
+	c := met.Site("c")
+	if c.Messages[wire.MsgDecision] != 2 || c.Messages[wire.MsgPrepare] != 1 {
+		t.Fatalf("logical message counts wrong under batching: %v", c.Messages)
+	}
+}
+
+// TestFanoutSerialSchedulerBypassesBatch: the model checker's serial mode
+// must see one deterministic send per message, never the batch hook.
+func TestFanoutSerialSchedulerBypassesBatch(t *testing.T) {
+	var singles int
+	e := Env{
+		ID:        "c",
+		Sched:     serialSched(true),
+		Send:      func(wire.Message) { singles++ },
+		SendBatch: func([]wire.Message) { t.Fatal("batch hook used under serial scheduler") },
+	}
+	e.fanout(fanoutMsgs())
+	if singles != 3 {
+		t.Fatalf("singles = %d, want 3", singles)
+	}
+}
+
+// TestFanoutDeadSiteSendsNothing: a fail-stop site must not emit a batch
+// from a goroutine still unwinding after the crash.
+func TestFanoutDeadSiteSendsNothing(t *testing.T) {
+	dead := &atomic.Bool{}
+	dead.Store(true)
+	e := Env{
+		ID:        "c",
+		Dead:      dead,
+		Send:      func(wire.Message) { t.Fatal("send from dead site") },
+		SendBatch: func([]wire.Message) { t.Fatal("batch from dead site") },
+	}
+	e.fanout(fanoutMsgs())
+}

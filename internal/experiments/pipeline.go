@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prany/internal/core"
+	"prany/internal/metrics"
+	"prany/internal/site"
+	"prany/internal/transport"
+	"prany/internal/wire"
+)
+
+// PipelinePoint is one cell of the pipelined-commit-stream comparison
+// (E16): the same concurrent commit workload over real TCP with transport
+// frame batching off or on. MsgsPerTxn counts the logical protocol traffic
+// (identical in both modes — the paper's message-complexity tables are
+// untouched); FramesPerTxn counts the physical wire writes behind it, which
+// is where pipelining shows up, exactly as E13's Forces/Syncs split did for
+// the log.
+type PipelinePoint struct {
+	Batching       bool
+	Clients        int
+	Txns           int
+	TxnsPerSec     float64
+	MeanLatency    time.Duration
+	MsgsPerTxn     float64 // logical messages per txn, cluster-wide
+	FramesPerTxn   float64 // physical wire writes per txn, cluster-wide
+	MeanFrameBatch float64 // message frames per physical write
+	BytesPerTxn    float64 // encoded wire bytes per txn
+	AllocsPerTxn   float64 // heap allocations per txn, whole process
+}
+
+// MeasurePipeline runs txns committing transactions over a mixed
+// PrN/PrA/PrC cluster of real TCP processes (one listener per site, exactly
+// the prany-server topology) with clients concurrent client goroutines,
+// with transport frame batching off or on. Off restores one write per
+// message — the pre-pipelining baseline; on lets each link's writer drain
+// whatever accumulated while its previous write was in flight into one
+// multi-frame batch.
+func MeasurePipeline(batching bool, clients, txns int, seed int64) (PipelinePoint, error) {
+	pt := PipelinePoint{Batching: batching, Clients: clients, Txns: txns}
+	met := metrics.NewRegistry()
+	pcp := core.NewPCP()
+	newNet := func(addrs map[wire.SiteID]string) (*transport.TCPNetwork, error) {
+		o := transport.TCPOptions{Listen: "127.0.0.1:0", Addrs: addrs, Met: met}
+		if !batching {
+			o.MaxBatch = -1
+		}
+		return transport.NewTCPNetwork(o)
+	}
+
+	coordNet, err := newNet(nil)
+	if err != nil {
+		return pt, err
+	}
+	defer coordNet.Close()
+
+	mix := MixedThirds(3)
+	partIDs := make([]wire.SiteID, 0, len(mix))
+	parts := make([]*site.Site, 0, len(mix))
+	for i, p := range mix {
+		id := wire.SiteID(fmt.Sprintf("p%d", i+1))
+		pcp.Set(id, p)
+		net, err := newNet(map[wire.SiteID]string{"coord": coordNet.Addr()})
+		if err != nil {
+			return pt, err
+		}
+		defer net.Close()
+		coordNet.SetAddr(id, net.Addr())
+		s, err := site.New(site.Config{
+			ID: id, Proto: p, Net: net, PCP: pcp, Met: met,
+			GroupCommit: true, ExecTimeout: 10 * time.Second,
+		})
+		if err != nil {
+			return pt, err
+		}
+		partIDs = append(partIDs, id)
+		parts = append(parts, s)
+	}
+	coord, err := site.New(site.Config{
+		ID: "coord", Proto: wire.PrN, Net: coordNet, PCP: pcp, Met: met,
+		GroupCommit: true, ExecTimeout: 10 * time.Second,
+		Coordinator: core.CoordinatorConfig{VoteTimeout: 5 * time.Second},
+	})
+	if err != nil {
+		return pt, err
+	}
+
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+
+	var next, errs atomic.Int64
+	var latNS atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(txns) {
+					return
+				}
+				t0 := time.Now()
+				txn := coord.Begin()
+				for j, id := range partIDs {
+					if err := txn.Put(id, fmt.Sprintf("k%d-%d-%d", seed, i, j), "v"); err != nil {
+						errs.Add(1)
+						return
+					}
+				}
+				if out, err := txn.Commit(); err != nil || out != wire.Commit {
+					errs.Add(1)
+					return
+				}
+				latNS.Add(int64(time.Since(t0)))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+
+	if n := errs.Load(); n > 0 {
+		return pt, fmt.Errorf("experiments: %d errors in pipeline run", n)
+	}
+	// Drain the tail: late acks and retained protocol-table entries.
+	deadline := time.Now().Add(10 * time.Second)
+	quiet := func() bool {
+		if !coord.Quiesced() {
+			return false
+		}
+		for _, p := range parts {
+			if !p.Quiesced() {
+				return false
+			}
+		}
+		return true
+	}
+	for !quiet() {
+		if time.Now().After(deadline) {
+			return pt, fmt.Errorf("experiments: pipeline cluster did not quiesce")
+		}
+		coord.Tick()
+		for _, p := range parts {
+			p.Tick()
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	tot := met.Total()
+	ftxns := float64(txns)
+	pt.TxnsPerSec = ftxns / elapsed.Seconds()
+	pt.MeanLatency = time.Duration(latNS.Load() / int64(txns))
+	pt.MsgsPerTxn = float64(tot.TotalMessages()) / ftxns
+	pt.FramesPerTxn = float64(tot.Frames) / ftxns
+	pt.MeanFrameBatch = tot.MeanFrameBatch()
+	pt.BytesPerTxn = float64(tot.BytesOnWire) / ftxns
+	pt.AllocsPerTxn = float64(ms1.Mallocs-ms0.Mallocs) / ftxns
+	return pt, nil
+}

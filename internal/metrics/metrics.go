@@ -33,6 +33,17 @@ type SiteCounters struct {
 	// NetRetries counts transport-level delivery retries (redials and
 	// rewrites after a failed send attempt) charged to the sending site.
 	NetRetries uint64
+
+	// Frames, FramesBatched and BytesOnWire count the *physical* network
+	// writes behind the Messages, the same split Syncs/Synced make for
+	// Forces: Frames is the number of wire writes (each a batch of one or
+	// more message frames), FramesBatched is the message frames those
+	// writes carried, and BytesOnWire is their total encoded size. With
+	// frame coalescing Frames < FramesBatched is exactly the batching win;
+	// the logical message counts the paper's tables assert are unchanged.
+	Frames        uint64
+	FramesBatched uint64
+	BytesOnWire   uint64
 }
 
 // MeanBatch is the average number of records per physical log flush.
@@ -41,6 +52,15 @@ func (c SiteCounters) MeanBatch() float64 {
 		return 0
 	}
 	return float64(c.Synced) / float64(c.Syncs)
+}
+
+// MeanFrameBatch is the average number of message frames per physical
+// network write.
+func (c SiteCounters) MeanFrameBatch() float64 {
+	if c.Frames == 0 {
+		return 0
+	}
+	return float64(c.FramesBatched) / float64(c.Frames)
 }
 
 // Retained is the number of protocol-table entries not yet discarded.
@@ -120,6 +140,20 @@ func (r *Registry) NetRetry(from wire.SiteID) {
 	r.site(from).NetRetries++
 }
 
+// Frame records one physical network write by site from carrying msgs
+// message frames in bytes encoded bytes. A batch can mix messages from
+// several local sites; it is charged to the site that opened it, so
+// per-site frame counts are approximate in multi-site processes while the
+// cluster-wide totals are exact.
+func (r *Registry) Frame(from wire.SiteID, msgs, bytes int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.site(from)
+	c.Frames++
+	c.FramesBatched += uint64(msgs)
+	c.BytesOnWire += uint64(bytes)
+}
+
 // PTInsert records a protocol-table insertion at site id.
 func (r *Registry) PTInsert(id wire.SiteID) {
 	r.mu.Lock()
@@ -167,6 +201,9 @@ func (r *Registry) Total() SiteCounters {
 		out.Synced += c.Synced
 		out.ShardWaits += c.ShardWaits
 		out.NetRetries += c.NetRetries
+		out.Frames += c.Frames
+		out.FramesBatched += c.FramesBatched
+		out.BytesOnWire += c.BytesOnWire
 	}
 	return out
 }

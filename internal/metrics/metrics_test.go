@@ -109,3 +109,24 @@ func TestConcurrentUse(t *testing.T) {
 		t.Fatalf("concurrent counts %+v", c)
 	}
 }
+
+func TestFrameCountersAndMeanFrameBatch(t *testing.T) {
+	r := NewRegistry()
+	r.Frame("a", 1, 40)  // a lone frame
+	r.Frame("a", 5, 180) // a coalesced batch of five
+	c := r.Site("a")
+	if c.Frames != 2 || c.FramesBatched != 6 || c.BytesOnWire != 220 {
+		t.Fatalf("frame counters %+v", c)
+	}
+	if got := c.MeanFrameBatch(); got != 3.0 {
+		t.Fatalf("MeanFrameBatch = %v, want 3.0", got)
+	}
+	if got := (SiteCounters{}).MeanFrameBatch(); got != 0 {
+		t.Fatalf("zero-frame MeanFrameBatch = %v, want 0", got)
+	}
+	r.Frame("b", 2, 60)
+	tot := r.Total()
+	if tot.Frames != 3 || tot.FramesBatched != 8 || tot.BytesOnWire != 280 {
+		t.Fatalf("total frame counters %+v", tot)
+	}
+}

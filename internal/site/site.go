@@ -150,6 +150,11 @@ func (s *Site) start(runRecovery bool) error {
 		Dead:  dead,
 		Sched: s.cfg.Sched,
 	}
+	// A batching transport gets multi-message emissions whole, so protocol
+	// fan-outs and piggybacked acks can share physical frames.
+	if bs, ok := s.cfg.Net.(transport.BatchSender); ok {
+		env.SendBatch = bs.SendBatch
+	}
 	part := core.NewParticipant(env, s.cfg.Proto, s.rm, s.cfg.ReadOnlyOpt)
 	part.SetCoordinators(s.cfg.KnownCoordinators)
 	coord := core.NewCoordinator(env, s.cfg.Coordinator, s.cfg.PCP)

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"fmt"
 	"math/rand"
 	"net"
@@ -14,16 +15,22 @@ import (
 // TCPNetwork is a Network over real TCP connections, used by the
 // prany-server and prany-coord binaries. Each process hosts one or more
 // local sites behind a single listener; remote sites are reached through an
-// address book. Outbound connections are dialed lazily and cached; a failed
-// send attempt (dial or write) is retried under capped jittered exponential
-// backoff, and a message still undeliverable after the last retry is
-// dropped, which is exactly the omission-failure contract the protocols are
-// built to survive.
+// address book.
+//
+// The outbound path is a pipelined commit stream, mirroring the WAL's
+// group-commit flusher: Send enqueues onto a per-destination FIFO and a
+// per-destination writer goroutine drains the queue into one multi-frame
+// batch per physical write. Many logical messages ride one syscall the same
+// way many forced log writes ride one fsync; the Frames/FramesBatched
+// counters record the split. Dials and write failures are retried under
+// capped jittered exponential backoff; a batch still undeliverable after
+// the last retry is dropped, which is exactly the omission-failure contract
+// the protocols are built to survive.
 type TCPNetwork struct {
 	mu       sync.Mutex
 	addrs    map[wire.SiteID]string
 	handlers map[wire.SiteID]Handler
-	conns    map[string]*outConn
+	links    map[string]*outLink
 	inbound  map[net.Conn]struct{}
 	ln       net.Listener
 	closed   bool
@@ -36,16 +43,42 @@ type TCPNetwork struct {
 	maxRetries   int
 	retryBase    time.Duration
 	retryCap     time.Duration
+	maxBatch     int
+	batchWindow  time.Duration
 
-	// jitterMu guards jitter, the backoff randomizer: Send runs from many
-	// goroutines and rand.Rand is not concurrency-safe.
+	// jitterMu guards jitter, the backoff randomizer: every link writer
+	// shares it and rand.Rand is not concurrency-safe.
 	jitterMu sync.Mutex
 	jitter   *rand.Rand
 }
 
-type outConn struct {
-	mu   sync.Mutex
-	conn net.Conn
+// outLink is the send side of one destination address: an unbounded FIFO
+// drained by a single writer goroutine. The queue, connection and closed
+// flag are guarded by mu; fails, buf and scratch are owned by the writer
+// goroutine and touched by no one else.
+type outLink struct {
+	addr string
+
+	mu     sync.Mutex
+	queue  []wire.Message
+	closed bool
+	conn   net.Conn
+
+	// wake carries at most one pending wakeup token for the writer. Senders
+	// publish it with a non-blocking send after appending to the queue; the
+	// writer re-checks the queue after every receive, so a stale or missing
+	// token is harmless.
+	wake chan struct{}
+
+	// fails counts consecutive failed delivery attempts on this link and
+	// drives the backoff before the next attempt. It persists across
+	// batches — a dead destination keeps its backoff — and resets to zero
+	// on any successful write, so one flaky window cannot pin a healthy
+	// link at max backoff.
+	fails int
+
+	buf     []byte         // reused encode buffer: one batch, many frames
+	scratch []wire.Message // reused batch slice, ping-ponged with take
 }
 
 // TCPOptions configures a TCPNetwork.
@@ -59,23 +92,38 @@ type TCPOptions struct {
 	Logf func(format string, args ...any)
 	// DialTimeout bounds each outbound dial. Zero means 3s.
 	DialTimeout time.Duration
-	// WriteTimeout bounds each frame write: a peer that accepts the
+	// WriteTimeout bounds each batch write: a peer that accepts the
 	// connection but stops reading (full receive buffer, wedged process)
-	// must not wedge every sender behind its connection lock. On expiry
-	// the connection is dropped and the message is lost — an omission
-	// failure, which the protocols already survive. Zero means 2s.
+	// must not wedge the link's writer forever. On expiry the connection
+	// and the whole in-flight batch are dropped — an omission failure,
+	// which the protocols already survive. Zero means 2s.
 	WriteTimeout time.Duration
-	// MaxRetries is how many times a failed send attempt (dial or write)
-	// is retried before the message is dropped. Each retry sleeps a
-	// jittered exponential backoff: RetryBase doubling per attempt, capped
-	// at RetryCap, with the actual sleep drawn from [d/2, d). Zero means 3;
-	// negative disables retries.
+	// MaxRetries is how many times a failed dial is retried before the
+	// batch is dropped. Each retry sleeps a jittered exponential backoff:
+	// RetryBase doubling per consecutive failure, capped at RetryCap, with
+	// the actual sleep drawn from [d/2, d). Zero means 3; negative disables
+	// retries. A failed *write* is never retried: part of the batch may
+	// already sit in the peer's receive buffer, and resending it would
+	// break at-most-once delivery.
 	MaxRetries int
 	// RetryBase is the first backoff step. Zero means 25ms.
 	RetryBase time.Duration
 	// RetryCap bounds each backoff step. Zero means 500ms.
 	RetryCap time.Duration
-	// Met, if set, receives transport counters (send retries per site).
+	// MaxBatch caps how many message frames one physical write may carry.
+	// Zero means 128; 1 (or negative) disables coalescing — every message
+	// gets its own write, the pre-pipelining behavior.
+	MaxBatch int
+	// BatchWindow, when positive, is how long a link writer lingers for
+	// more traffic after finding its queue non-empty but its batch short,
+	// trading that much latency per flush for fuller frames. Zero (the
+	// default) flushes immediately with whatever the queue held: batching
+	// then comes from messages that accumulated while the previous write
+	// was in flight — the WAL flusher's design, which adds no latency when
+	// the link is idle and batches exactly as hard as the link is loaded.
+	BatchWindow time.Duration
+	// Met, if set, receives transport counters (frames, batched messages,
+	// bytes on wire, send retries) charged per sending site.
 	Met *metrics.Registry
 }
 
@@ -86,7 +134,7 @@ func NewTCPNetwork(opts TCPOptions) (*TCPNetwork, error) {
 	n := &TCPNetwork{
 		addrs:        make(map[wire.SiteID]string, len(opts.Addrs)),
 		handlers:     make(map[wire.SiteID]Handler),
-		conns:        make(map[string]*outConn),
+		links:        make(map[string]*outLink),
 		inbound:      make(map[net.Conn]struct{}),
 		logf:         opts.Logf,
 		met:          opts.Met,
@@ -95,6 +143,8 @@ func NewTCPNetwork(opts TCPOptions) (*TCPNetwork, error) {
 		maxRetries:   opts.MaxRetries,
 		retryBase:    opts.RetryBase,
 		retryCap:     opts.RetryCap,
+		maxBatch:     opts.MaxBatch,
+		batchWindow:  opts.BatchWindow,
 		jitter:       rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 	if n.logf == nil {
@@ -116,6 +166,14 @@ func NewTCPNetwork(opts TCPOptions) (*TCPNetwork, error) {
 	}
 	if n.retryCap <= 0 {
 		n.retryCap = 500 * time.Millisecond
+	}
+	if n.maxBatch == 0 {
+		n.maxBatch = 128
+	} else if n.maxBatch < 1 {
+		n.maxBatch = 1
+	}
+	if n.batchWindow < 0 {
+		n.batchWindow = 0
 	}
 	for id, a := range opts.Addrs {
 		n.addrs[id] = a
@@ -154,122 +212,339 @@ func (n *TCPNetwork) Register(id wire.SiteID, h Handler) {
 	n.handlers[id] = h
 }
 
-// Send implements Network: frame the message and write it on a cached
-// connection to the destination's address. A failed attempt — dial error,
-// stale connection, or write timeout — is retried under capped jittered
-// exponential backoff; a message still undeliverable after the last retry
-// is dropped (omission failure).
+// Send implements Network: deliver locally when the destination is hosted
+// in-process, otherwise enqueue on the destination's link. Send returns as
+// soon as the message is queued; the link's writer goroutine frames,
+// batches and writes it, so senders never block on the network.
 func (n *TCPNetwork) Send(m wire.Message) {
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
 		return
 	}
-	// Local destination: deliver directly, no socket.
 	if h := n.handlers[m.To]; h != nil {
 		n.mu.Unlock()
 		h(m)
 		return
 	}
-	addr, ok := n.addrs[m.To]
-	if !ok {
-		n.mu.Unlock()
+	l := n.linkLocked(m.To)
+	n.mu.Unlock()
+	if l == nil {
 		n.logf("transport: no address for site %s, dropping %s", m.To, m)
 		return
 	}
-	oc := n.conns[addr]
-	if oc == nil {
-		oc = &outConn{}
-		n.conns[addr] = oc
-	}
-	n.mu.Unlock()
-
-	for attempt := 0; ; attempt++ {
-		if attempt > 0 {
-			// Back off outside every lock: a sleeping retrier must not
-			// head-of-line block concurrent sends to the same destination.
-			time.Sleep(n.backoff(attempt))
-			n.mu.Lock()
-			closed := n.closed
-			n.mu.Unlock()
-			if closed {
-				return
-			}
-			if n.met != nil {
-				n.met.NetRetry(m.From)
-			}
-			n.logf("transport: retry %d/%d for %s", attempt, n.maxRetries, m)
-		}
-		if n.trySend(oc, addr, m) {
-			return
-		}
-		if attempt >= n.maxRetries {
-			break
-		}
-	}
-	n.logf("transport: dropping %s after %d attempts", m, n.maxRetries+1)
+	l.enqueue(m)
 }
 
-// trySend makes one delivery attempt: dial if no cached connection, then
-// write the frame. On failure the cached connection is torn down so the
-// next attempt redials.
-func (n *TCPNetwork) trySend(oc *outConn, addr string, m wire.Message) bool {
-	for {
-		oc.mu.Lock()
-		conn := oc.conn
-		oc.mu.Unlock()
-		if conn == nil {
-			// Dial outside the connection lock: a dial can take up to
-			// DialTimeout, and holding oc.mu across it would head-of-line
-			// block every concurrent send to this destination behind one
-			// slow (or dead) dial. Racing dialers arbitrate afterwards —
-			// the first to install wins, losers close their connection.
-			c, err := net.DialTimeout("tcp", addr, n.dialTimeout)
-			if err != nil {
-				n.logf("transport: dial %s: %v", addr, err)
-				return false
-			}
-			oc.mu.Lock()
-			if oc.conn == nil {
-				oc.conn = c
-			} else {
-				c.Close() // lost the dial race; use the winner's connection
-			}
-			conn = oc.conn
-			oc.mu.Unlock()
+// SendBatch implements BatchSender: contiguous same-destination runs enter
+// their link's queue in one append, so a site's piggybacked traffic to one
+// peer (an ack plus the next transaction's vote request, say) stays
+// adjacent and rides one physical frame whenever it fits the batch caps.
+func (n *TCPNetwork) SendBatch(msgs []wire.Message) {
+	for i := 0; i < len(msgs); {
+		j := i + 1
+		for j < len(msgs) && msgs[j].To == msgs[i].To {
+			j++
 		}
-		oc.mu.Lock()
-		if oc.conn != conn {
-			// The connection was replaced or torn down while unlocked;
-			// start over against the current state.
-			oc.mu.Unlock()
+		run := msgs[i:j]
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			return
+		}
+		h := n.handlers[run[0].To]
+		var l *outLink
+		if h == nil {
+			l = n.linkLocked(run[0].To)
+		}
+		n.mu.Unlock()
+		switch {
+		case h != nil:
+			for _, m := range run {
+				h(m)
+			}
+		case l != nil:
+			l.enqueueAll(run)
+		default:
+			n.logf("transport: no address for site %s, dropping %d messages", run[0].To, len(run))
+		}
+		i = j
+	}
+}
+
+// linkLocked returns the link for id's address, creating it and starting
+// its writer goroutine on first use. Caller holds n.mu; returns nil when
+// the address book has no entry.
+func (n *TCPNetwork) linkLocked(id wire.SiteID) *outLink {
+	addr, ok := n.addrs[id]
+	if !ok {
+		return nil
+	}
+	l := n.links[addr]
+	if l == nil {
+		l = &outLink{addr: addr, wake: make(chan struct{}, 1)}
+		n.links[addr] = l
+		n.wg.Add(1)
+		go n.runLink(l)
+	}
+	return l
+}
+
+func (l *outLink) enqueue(m wire.Message) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.queue = append(l.queue, m)
+	l.mu.Unlock()
+	l.signal()
+}
+
+func (l *outLink) enqueueAll(msgs []wire.Message) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.queue = append(l.queue, msgs...)
+	l.mu.Unlock()
+	l.signal()
+}
+
+func (l *outLink) signal() {
+	select {
+	case l.wake <- struct{}{}:
+	default:
+	}
+}
+
+// takeLocked moves up to max queued messages into the writer's scratch
+// slice. Caller holds l.mu.
+func (l *outLink) takeLocked(max int) []wire.Message {
+	k := len(l.queue)
+	if k > max {
+		k = max
+	}
+	batch := append(l.scratch[:0], l.queue[:k]...)
+	rem := copy(l.queue, l.queue[k:])
+	l.queue = l.queue[:rem]
+	return batch
+}
+
+// waitBatch blocks until traffic is queued or the link closes, then claims
+// up to max messages. A nil return means the link is closed.
+func (l *outLink) waitBatch(max int) []wire.Message {
+	for {
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return nil
+		}
+		if len(l.queue) > 0 {
+			batch := l.takeLocked(max)
+			l.mu.Unlock()
+			return batch
+		}
+		l.mu.Unlock()
+		<-l.wake
+	}
+}
+
+// topUp lingers up to window for more traffic, appending to batch until the
+// size cap or the timer wins. The size cap beats the timer: a batch that
+// fills returns immediately without waiting the window out.
+func (l *outLink) topUp(batch []wire.Message, max int, window time.Duration) []wire.Message {
+	timer := time.NewTimer(window)
+	defer timer.Stop()
+	for len(batch) < max {
+		select {
+		case <-l.wake:
+			l.mu.Lock()
+			if l.closed {
+				l.mu.Unlock()
+				return batch
+			}
+			k := len(l.queue)
+			if k > max-len(batch) {
+				k = max - len(batch)
+			}
+			batch = append(batch, l.queue[:k]...)
+			rem := copy(l.queue, l.queue[k:])
+			l.queue = l.queue[:rem]
+			leftover := rem > 0
+			l.mu.Unlock()
+			if leftover {
+				// We consumed the wake token but left traffic queued;
+				// republish it so the next waitBatch doesn't sleep on a
+				// non-empty queue.
+				l.signal()
+			}
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+func (l *outLink) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.queue = nil
+	c := l.conn
+	l.conn = nil
+	l.mu.Unlock()
+	if c != nil {
+		c.Close() // unblock an in-flight Write immediately
+	}
+	l.signal()
+}
+
+// runLink is the link's writer goroutine: the network-side twin of the
+// WAL's flushLoop. It claims a batch, optionally lingers the flush window
+// for stragglers, and hands the batch to deliverBatch for one physical
+// write.
+func (n *TCPNetwork) runLink(l *outLink) {
+	defer n.wg.Done()
+	for {
+		batch := l.waitBatch(n.maxBatch)
+		if batch == nil {
+			return
+		}
+		if n.batchWindow > 0 && len(batch) < n.maxBatch {
+			batch = l.topUp(batch, n.maxBatch, n.batchWindow)
+		}
+		n.deliverBatch(l, batch)
+		l.scratch = batch[:0]
+	}
+}
+
+// deliverBatch encodes the batch into the link's reused buffer and writes
+// it in one syscall, dialing and backing off as needed. Dial failures are
+// retried up to maxRetries; a failed write drops the whole batch with no
+// retry, because a partial write may already have delivered a prefix of the
+// frames and resending them would violate at-most-once delivery.
+func (n *TCPNetwork) deliverBatch(l *outLink, batch []wire.Message) {
+	buf := l.buf[:0]
+	kept := 0
+	for i := range batch {
+		b, err := wire.EncodeInto(buf, &batch[i])
+		if err != nil {
+			n.logf("transport: dropping unencodable %s: %v", batch[i], err)
 			continue
+		}
+		buf = b
+		kept++
+	}
+	l.buf = buf
+	if kept == 0 {
+		return
+	}
+	from := batch[0].From
+
+	for attempt := 0; ; attempt++ {
+		if l.fails > 0 {
+			// Back off before touching the wire again. The counter is the
+			// link's consecutive-failure streak, not this batch's attempt
+			// number, so a dead destination keeps its long backoff across
+			// batches instead of hammering redials at base rate.
+			time.Sleep(n.backoff(l.fails))
+		}
+		if n.isClosed() || l.isClosed() {
+			return
+		}
+		if attempt > 0 {
+			if n.met != nil {
+				n.met.NetRetry(from)
+			}
+			n.logf("transport: retry %d/%d for batch of %d to %s", attempt, n.maxRetries, kept, l.addr)
+		}
+		conn := l.currentConn()
+		if conn == nil {
+			c, err := net.DialTimeout("tcp", l.addr, n.dialTimeout)
+			if err != nil {
+				n.logf("transport: dial %s: %v", l.addr, err)
+				l.fails++
+				if attempt >= n.maxRetries {
+					n.logf("transport: dropping batch of %d to %s after %d attempts", kept, l.addr, attempt+1)
+					return
+				}
+				continue
+			}
+			conn = l.install(c)
+			if conn == nil {
+				return // link closed while dialing
+			}
 		}
 		// The write deadline bounds how long a stalled peer — one that
 		// accepted the connection but stopped reading — can hold this
-		// sender (and everyone queued behind oc.mu). On expiry the
-		// connection is dropped and the attempt fails: the backoff loop
-		// in Send decides whether to retry.
+		// link's writer.
 		conn.SetWriteDeadline(time.Now().Add(n.writeTimeout))
-		err := wire.WriteFrame(conn, &m)
+		_, err := conn.Write(buf)
 		if err == nil {
 			conn.SetWriteDeadline(time.Time{})
-			oc.mu.Unlock()
-			return true
+			l.fails = 0
+			if n.met != nil {
+				n.met.Frame(from, kept, len(buf))
+			}
+			return
 		}
-		oc.conn.Close()
-		oc.conn = nil // stale or wedged connection: force a redial
-		oc.mu.Unlock()
-		return false
+		l.dropConn(conn)
+		l.fails++
+		n.logf("transport: write to %s failed (%v); dropping batch of %d", l.addr, err, kept)
+		return
 	}
 }
 
-// backoff returns the sleep before the retry-th retry: retryBase doubling
-// per retry, capped at retryCap, with the actual value drawn uniformly from
-// [d/2, d) so synchronized senders don't thunder in lockstep.
-func (n *TCPNetwork) backoff(retry int) time.Duration {
+func (n *TCPNetwork) isClosed() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.closed
+}
+
+func (l *outLink) isClosed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed
+}
+
+func (l *outLink) currentConn() net.Conn {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.conn
+}
+
+// install publishes a freshly dialed connection on the link, unless the
+// link closed while the dial was in flight.
+func (l *outLink) install(c net.Conn) net.Conn {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		c.Close()
+		return nil
+	}
+	l.conn = c
+	l.mu.Unlock()
+	return c
+}
+
+// dropConn tears a connection down so the next attempt redials.
+func (l *outLink) dropConn(c net.Conn) {
+	c.Close()
+	l.mu.Lock()
+	if l.conn == c {
+		l.conn = nil
+	}
+	l.mu.Unlock()
+}
+
+// backoff returns the sleep before an attempt that follows `fails`
+// consecutive failures: retryBase doubling per failure, capped at retryCap,
+// with the actual value drawn uniformly from [d/2, d) so synchronized
+// senders don't thunder in lockstep.
+func (n *TCPNetwork) backoff(fails int) time.Duration {
 	d := n.retryBase
-	for i := 1; i < retry && d < n.retryCap; i++ {
+	for i := 1; i < fails && d < n.retryCap; i++ {
 		d *= 2
 	}
 	if d > n.retryCap {
@@ -281,7 +556,9 @@ func (n *TCPNetwork) backoff(retry int) time.Duration {
 	return d/2 + j
 }
 
-// Close implements Network.
+// Close implements Network. Queued but unwritten messages are dropped —
+// from the peers' point of view an omission failure, indistinguishable
+// from this process crashing a moment earlier.
 func (n *TCPNetwork) Close() {
 	n.mu.Lock()
 	if n.closed {
@@ -290,8 +567,8 @@ func (n *TCPNetwork) Close() {
 	}
 	n.closed = true
 	ln := n.ln
-	conns := n.conns
-	n.conns = map[string]*outConn{}
+	links := n.links
+	n.links = map[string]*outLink{}
 	inbound := n.inbound
 	n.inbound = map[net.Conn]struct{}{}
 	n.mu.Unlock()
@@ -302,12 +579,8 @@ func (n *TCPNetwork) Close() {
 	for c := range inbound {
 		c.Close()
 	}
-	for _, oc := range conns {
-		oc.mu.Lock()
-		if oc.conn != nil {
-			oc.conn.Close()
-		}
-		oc.mu.Unlock()
+	for _, l := range links {
+		l.close()
 	}
 	n.wg.Wait()
 }
@@ -340,8 +613,13 @@ func (n *TCPNetwork) serveConn(conn net.Conn) {
 		delete(n.inbound, conn)
 		n.mu.Unlock()
 	}()
+	// The bufio layer means one read syscall pulls a whole batch of frames
+	// off the wire; the FrameReader then decodes them out of a reused body
+	// buffer with interned site identifiers — the receive half of the
+	// zero-allocation path.
+	fr := wire.NewFrameReader(bufio.NewReader(conn))
 	for {
-		m, err := wire.ReadFrame(conn)
+		m, err := fr.ReadFrame()
 		if err != nil {
 			return // peer closed or garbage; drop the connection
 		}
@@ -362,3 +640,5 @@ func (n *TCPNetwork) serveConn(conn net.Conn) {
 
 var _ Network = (*TCPNetwork)(nil)
 var _ Network = (*ChanNetwork)(nil)
+var _ BatchSender = (*TCPNetwork)(nil)
+var _ BatchSender = (*ChanNetwork)(nil)

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"net"
 	"strings"
 	"sync"
@@ -50,10 +51,11 @@ func stalledListener(t *testing.T) net.Listener {
 	return ln
 }
 
-// A peer that accepts the connection but never reads must not wedge Send
-// forever: the write deadline expires, the message is dropped (an omission
-// failure), and the sender moves on.
-func TestTCPSendToStalledPeerReturnsWithinWriteTimeout(t *testing.T) {
+// A peer that accepts the connection but never reads must not wedge the
+// sender: Send only enqueues, the link writer's deadline expires, and the
+// whole batch is dropped (an omission failure). Close must interrupt the
+// wedged write instead of waiting for the peer.
+func TestTCPSendToStalledPeerDoesNotBlockAndCloseReturns(t *testing.T) {
 	ln := stalledListener(t)
 	client, err := NewTCPNetwork(TCPOptions{
 		Addrs:        map[wire.SiteID]string{"p": ln.Addr().String()},
@@ -62,23 +64,26 @@ func TestTCPSendToStalledPeerReturnsWithinWriteTimeout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer client.Close()
 
 	// Enough payload to overrun the socket buffers; without a write
-	// deadline this blocks until the peer reads, i.e. forever.
+	// deadline the link writer would block until the peer reads, i.e.
+	// forever. Send itself must return immediately regardless.
 	start := time.Now()
 	for i := uint64(0); i < 8; i++ {
 		client.Send(bulkMsg(i))
 	}
-	// 8 sends, each bounded by 2 attempts x 150ms plus dial overhead.
-	if elapsed := time.Since(start); elapsed > 10*time.Second {
-		t.Fatalf("sends to a stalled peer took %v; write deadline not enforced", elapsed)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("enqueuing to a stalled peer took %v; Send is blocking on the wire", elapsed)
+	}
+	client.Close()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Close took %v with a stalled peer; wedged write not interrupted", elapsed)
 	}
 }
 
-// Concurrent senders queued behind one stalled connection must all complete
-// within the deadline budget instead of serializing behind an unbounded
-// write.
+// Concurrent senders aimed at one stalled destination must all return
+// immediately: they enqueue on the link and the single writer goroutine
+// absorbs the stall.
 func TestTCPConcurrentSendersToStalledPeerAllReturn(t *testing.T) {
 	ln := stalledListener(t)
 	client, err := NewTCPNetwork(TCPOptions{
@@ -108,14 +113,13 @@ func TestTCPConcurrentSendersToStalledPeerAllReturn(t *testing.T) {
 	}
 }
 
-// A destination that cannot be dialed must not serialize concurrent senders
-// behind one slow dial: dials run outside the connection lock, so N
-// concurrent sends cost about one dial timeout, not N.
-func TestTCPConcurrentSendersDialOutsideLock(t *testing.T) {
+// A destination that cannot be dialed must not block senders either: dials
+// happen on the link's writer goroutine, so N concurrent sends enqueue and
+// return while at most one dial is in flight.
+func TestTCPConcurrentSendersNotBlockedByDial(t *testing.T) {
 	// RFC 5737 TEST-NET address: never routable. Depending on the host's
 	// network config the dial either hangs until DialTimeout or fails
-	// fast; either way the concurrent sends must finish in roughly one
-	// timeout, not eight.
+	// fast; either way the sends return without waiting on it.
 	client, err := NewTCPNetwork(TCPOptions{
 		Addrs:       map[wire.SiteID]string{"p": "192.0.2.1:9"},
 		DialTimeout: 500 * time.Millisecond,
@@ -136,10 +140,115 @@ func TestTCPConcurrentSendersDialOutsideLock(t *testing.T) {
 		}(uint64(i))
 	}
 	wg.Wait()
-	// Serialized dials would take senders x 500ms = 4s; concurrent ones
-	// about 500ms. Allow generous slack for scheduling.
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
-		t.Fatalf("%d concurrent sends took %v; dials appear serialized under the lock", senders, elapsed)
+		t.Fatalf("%d concurrent sends took %v; senders are blocking on the dial", senders, elapsed)
+	}
+}
+
+// Mid-batch write timeout: when the peer stalls partway through a batch, a
+// prefix of the frames may already sit in its receive buffer, so the whole
+// batch must be dropped and nothing resent — at-most-once beats delivery.
+// After the drop, fresh traffic redials and flows on a new connection
+// carrying only the new messages, each exactly once.
+func TestTCPStalledWriteDropsWholeBatchAndResendsNothing(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	// First connection: accepted, never read — the stalled peer. Later
+	// connections: read and decode normally, recording what arrives.
+	var mu sync.Mutex
+	seen := make(map[uint64]int)
+	var conns []net.Conn
+	go func() {
+		first := true
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, c)
+			mu.Unlock()
+			if first {
+				first = false
+				continue // hold open, read nothing: the stall
+			}
+			go func(c net.Conn) {
+				fr := wire.NewFrameReader(bufio.NewReader(c))
+				for {
+					m, err := fr.ReadFrame()
+					if err != nil {
+						return
+					}
+					mu.Lock()
+					seen[m.Txn.Seq]++
+					mu.Unlock()
+				}
+			}(c)
+		}
+	}()
+	defer func() {
+		mu.Lock()
+		for _, c := range conns {
+			c.Close()
+		}
+		mu.Unlock()
+	}()
+
+	client, err := NewTCPNetwork(TCPOptions{
+		Addrs:        map[wire.SiteID]string{"p": ln.Addr().String()},
+		WriteTimeout: 150 * time.Millisecond,
+		RetryBase:    5 * time.Millisecond,
+		RetryCap:     20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// One batch big enough to overrun the socket buffers and wedge the
+	// write against the non-reading first connection.
+	wedge := make([]wire.Message, 8)
+	for i := range wedge {
+		wedge[i] = bulkMsg(uint64(i))
+	}
+	client.SendBatch(wedge)
+
+	// Let the write deadline expire and the batch be dropped.
+	time.Sleep(600 * time.Millisecond)
+
+	// Fresh traffic must redial and arrive exactly once.
+	for i := uint64(100); i < 110; i++ {
+		client.Send(msg("c", "p", i))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(seen)
+		mu.Unlock()
+		if n >= 10 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for seq, count := range seen {
+		if seq < 100 {
+			t.Fatalf("message %d from the dropped batch was resent (count %d)", seq, count)
+		}
+		if count != 1 {
+			t.Fatalf("message %d delivered %d times; at-most-once violated", seq, count)
+		}
+	}
+	for i := uint64(100); i < 110; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("post-stall message %d not delivered (seen: %v)", i, seen)
+		}
 	}
 }
 

@@ -35,6 +35,38 @@ type Network interface {
 	Close()
 }
 
+// BatchSender is implemented by networks that can accept a group of
+// messages in one enqueue operation. Messages keep their slice order on
+// each per-(sender,destination) FIFO, and a same-destination batch enters
+// the destination's queue atomically — under a frame-coalescing transport
+// that makes it ride one physical write whenever it fits the batch caps.
+// The delivery contract is Send's, message by message: each frame is
+// individually subject to omission.
+type BatchSender interface {
+	SendBatch(msgs []wire.Message)
+}
+
+// SendAll hands msgs to n in one batch when it supports batching, falling
+// back to sequential Sends. It is the emission path protocol layers use so
+// acks, decisions and the next transaction's traffic to one peer can share
+// a physical frame.
+func SendAll(n Network, msgs []wire.Message) {
+	if len(msgs) == 0 {
+		return
+	}
+	if len(msgs) == 1 {
+		n.Send(msgs[0])
+		return
+	}
+	if bs, ok := n.(BatchSender); ok {
+		bs.SendBatch(msgs)
+		return
+	}
+	for _, m := range msgs {
+		n.Send(m)
+	}
+}
+
 // DropRule inspects an about-to-be-delivered message and reports whether to
 // drop it. Rules are consulted in registration order; the first match wins.
 type DropRule func(m wire.Message) bool
@@ -103,6 +135,15 @@ func (m *mailbox) push(msg wire.Message) {
 	m.mu.Unlock()
 }
 
+func (m *mailbox) pushAll(msgs []wire.Message) {
+	m.mu.Lock()
+	if !m.closed {
+		m.queue = append(m.queue, msgs...)
+		m.cond.Signal()
+	}
+	m.mu.Unlock()
+}
+
 func (m *mailbox) setHandler(h Handler) {
 	m.mu.Lock()
 	m.handler = h
@@ -165,6 +206,56 @@ func (n *ChanNetwork) Send(m wire.Message) {
 	n.mu.Unlock()
 	if mb != nil {
 		mb.push(m)
+	}
+}
+
+// SendBatch implements BatchSender. Every fault decision — crash, severed
+// link, drop rule — is taken per message under one hold of the network
+// lock, exactly as if the messages had been Sent individually: batching is
+// a physical-transport optimization and must not change which messages an
+// injected fault can reach. Survivors bound for one destination enter its
+// mailbox in a single append.
+func (n *ChanNetwork) SendBatch(msgs []wire.Message) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	var deliver []wire.Message
+	var boxes []*mailbox
+	for _, m := range msgs {
+		if n.onSend != nil {
+			n.onSend(m)
+		}
+		if n.down[m.To] || n.down[m.From] {
+			continue
+		}
+		if n.severed[linkKey(m.From, m.To)] {
+			continue
+		}
+		dropped := false
+		for _, e := range n.rules {
+			if e.rule(m) {
+				dropped = true
+				break
+			}
+		}
+		if dropped {
+			continue
+		}
+		if mb := n.sites[m.To]; mb != nil {
+			deliver = append(deliver, m)
+			boxes = append(boxes, mb)
+		}
+	}
+	n.mu.Unlock()
+	for i := 0; i < len(boxes); {
+		j := i + 1
+		for j < len(boxes) && boxes[j] == boxes[i] {
+			j++
+		}
+		boxes[i].pushAll(deliver[i:j])
+		i = j
 	}
 }
 

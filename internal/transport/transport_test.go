@@ -334,11 +334,7 @@ func TestTCPBackoffRetriesDialAndCountsInMetrics(t *testing.T) {
 	}
 	defer client.Close()
 
-	done := make(chan struct{})
-	go func() {
-		client.Send(msg("c", "p", 7)) // blocks through the backoff retries
-		close(done)
-	}()
+	client.Send(msg("c", "p", 7)) // enqueued; the link writer retries the dial
 
 	// Bring the server up inside the retry window: the message must land
 	// without the caller ever resending.
@@ -355,7 +351,6 @@ func TestTCPBackoffRetriesDialAndCountsInMetrics(t *testing.T) {
 	if got[0].Txn.Seq != 7 {
 		t.Fatalf("delivered wrong message: %v", got)
 	}
-	<-done
 	if n := reg.Site("c").NetRetries; n == 0 {
 		t.Fatal("expected NetRetries > 0 after dial failures")
 	}
@@ -383,9 +378,18 @@ func TestTCPDropsAfterRetriesExhausted(t *testing.T) {
 	}
 	defer client.Close()
 
-	client.Send(msg("c", "p", 1)) // returns after exhausting the budget
+	client.Send(msg("c", "p", 1)) // enqueues; the link writer burns the budget
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Site("c").NetRetries < 2 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
 	if n := reg.Site("c").NetRetries; n != 2 {
 		t.Fatalf("NetRetries = %d, want 2", n)
+	}
+	// The batch must then be dropped, not retried past the budget.
+	time.Sleep(100 * time.Millisecond)
+	if n := reg.Site("c").NetRetries; n != 2 {
+		t.Fatalf("NetRetries grew to %d after the retry budget was exhausted", n)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 // Wire format (little-endian throughout):
@@ -45,10 +46,39 @@ func (e *encodeBuf) bool(v bool) {
 	}
 }
 
+// internTable deduplicates the small, repeating vocabulary of site
+// identifiers a connection carries, so steady-state decoding performs no
+// string allocation. The table is bounded: past maxInterned distinct
+// identifiers, new ones fall back to a fresh allocation rather than letting
+// a hostile peer grow the table without limit.
+type internTable struct {
+	m map[string]string
+}
+
+const maxInterned = 1024
+
+func (t *internTable) get(b []byte) string {
+	if t.m == nil {
+		t.m = make(map[string]string)
+	}
+	// map lookup with a string(bytes) key does not allocate.
+	if s, ok := t.m[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if len(t.m) < maxInterned {
+		t.m[s] = s
+	}
+	return s
+}
+
 type decodeBuf struct {
 	b   []byte
 	off int
 	err error
+	// in, when set, interns site-identifier strings (the bounded, repeating
+	// vocabulary); nil decodes every string fresh.
+	in *internTable
 }
 
 func (d *decodeBuf) fail(what string) {
@@ -109,6 +139,23 @@ func (d *decodeBuf) str(what string) string {
 	return s
 }
 
+// site decodes a site-identifier string, interning it when the buffer has a
+// table. Only identifier fields use this — keys and values must not pollute
+// the bounded table.
+func (d *decodeBuf) site(what string) string {
+	if d.in == nil {
+		return d.str(what)
+	}
+	n := int(d.u32(what))
+	if d.err != nil || n < 0 || d.off+n > len(d.b) {
+		d.fail(what)
+		return ""
+	}
+	s := d.in.get(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
 // AppendMessage encodes m and appends it to dst without the frame length,
 // returning the extended slice.
 func AppendMessage(dst []byte, m *Message) []byte {
@@ -147,16 +194,22 @@ func AppendMessage(dst []byte, m *Message) []byte {
 // an error if the body is truncated, has trailing garbage, or declares
 // absurd element counts.
 func DecodeMessage(body []byte) (Message, error) {
-	d := decodeBuf{b: body}
+	return decodeMessage(&decodeBuf{b: body})
+}
+
+// decodeMessage decodes one message body from d (which may carry an intern
+// table for identifier strings).
+func decodeMessage(d *decodeBuf) (Message, error) {
+	body := d.b
 	var m Message
 	m.Kind = MsgKind(d.u8("kind"))
 	m.Proto = Protocol(d.u8("proto"))
 	m.Vote = Vote(d.u8("vote"))
 	m.Outcome = Outcome(d.u8("outcome"))
-	m.Txn.Coord = SiteID(d.str("txn coord"))
+	m.Txn.Coord = SiteID(d.site("txn coord"))
 	m.Txn.Seq = d.u64("txn seq")
-	m.From = SiteID(d.str("from"))
-	m.To = SiteID(d.str("to"))
+	m.From = SiteID(d.site("from"))
+	m.To = SiteID(d.site("to"))
 
 	nops := d.u32("op count")
 	if d.err == nil && int(nops) > len(body) { // each op is at least 1 byte
@@ -211,19 +264,48 @@ func DecodeMessage(body []byte) (Message, error) {
 	return m, nil
 }
 
+// EncodeInto encodes m as a length-prefixed frame appended to dst and
+// returns the extended slice. It is the allocation-free encode path: with a
+// dst of sufficient capacity the call performs no allocation, so a writer
+// that reuses its buffer encodes at zero allocs/op steady state. Batching
+// callers append several frames into one buffer and hand the whole thing to
+// a single Write. On error dst is returned unchanged (truncated back to its
+// original length).
+func EncodeInto(dst []byte, m *Message) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = AppendMessage(dst, m)
+	n := len(dst) - start - 4
+	if n > MaxFrame {
+		return dst[:start], fmt.Errorf("wire: message of %d bytes exceeds frame limit", n)
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(n))
+	return dst, nil
+}
+
+// framePool recycles encode buffers for the one-shot WriteFrame path, so
+// even callers without their own buffer pay no steady-state allocation.
+var framePool = sync.Pool{New: func() any { return &frameBuf{b: make([]byte, 0, 512)} }}
+
+type frameBuf struct{ b []byte }
+
 // WriteFrame encodes m as a length-prefixed frame on w.
 func WriteFrame(w io.Writer, m *Message) error {
-	body := AppendMessage(make([]byte, 4), m)
-	n := len(body) - 4
-	if n > MaxFrame {
-		return fmt.Errorf("wire: message of %d bytes exceeds frame limit", n)
+	fb := framePool.Get().(*frameBuf)
+	b, err := EncodeInto(fb.b[:0], m)
+	if err == nil {
+		_, err = w.Write(b)
 	}
-	binary.LittleEndian.PutUint32(body[:4], uint32(n))
-	_, err := w.Write(body)
+	if cap(b) > cap(fb.b) {
+		fb.b = b[:0]
+	}
+	framePool.Put(fb)
 	return err
 }
 
-// ReadFrame reads one length-prefixed frame from r and decodes it.
+// ReadFrame reads one length-prefixed frame from r and decodes it. Each call
+// allocates a fresh body buffer; connection loops should use a FrameReader,
+// which reuses its buffer across frames.
 func ReadFrame(r io.Reader) (Message, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -238,4 +320,42 @@ func ReadFrame(r io.Reader) (Message, error) {
 		return Message{}, fmt.Errorf("wire: short frame body: %w", err)
 	}
 	return DecodeMessage(body)
+}
+
+// FrameReader decodes a stream of length-prefixed frames from one reader —
+// the receive half of a connection. It reuses a single body buffer across
+// frames and interns the site identifiers every message repeats, so a
+// steady-state ReadFrame of a slice-free message (vote, ack, decision,
+// prepare, inquiry) performs zero allocations.
+type FrameReader struct {
+	r   io.Reader
+	hdr [4]byte
+	buf []byte
+	in  internTable
+}
+
+// NewFrameReader returns a FrameReader over r. Wrap r in a bufio.Reader when
+// it is a raw connection, so a batch of frames costs one read syscall.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: r}
+}
+
+// ReadFrame reads and decodes the next frame. The returned Message does not
+// alias the reader's internal buffer.
+func (fr *FrameReader) ReadFrame() (Message, error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		return Message{}, err
+	}
+	n := binary.LittleEndian.Uint32(fr.hdr[:])
+	if n > MaxFrame || n > math.MaxInt32 {
+		return Message{}, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	if uint32(cap(fr.buf)) < n {
+		fr.buf = make([]byte, n)
+	}
+	body := fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, body); err != nil {
+		return Message{}, fmt.Errorf("wire: short frame body: %w", err)
+	}
+	return decodeMessage(&decodeBuf{b: body, in: &fr.in})
 }

@@ -1,0 +1,209 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestEncodeIntoMatchesWriteFrame pins the batched encode path to the
+// framed wire format: EncodeInto must produce byte-identical frames to
+// WriteFrame, and several EncodeInto calls into one buffer must equal the
+// concatenation of the individual frames.
+func TestEncodeIntoMatchesWriteFrame(t *testing.T) {
+	var concat []byte
+	var batch []byte
+	for _, m := range fuzzSeeds() {
+		m := m
+		var one bytes.Buffer
+		if err := WriteFrame(&one, &m); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		if batch, err = EncodeInto(batch, &m); err != nil {
+			t.Fatal(err)
+		}
+		single, err := EncodeInto(nil, &m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(single, one.Bytes()) {
+			t.Fatalf("EncodeInto and WriteFrame disagree for %s:\n %x\n %x", m, single, one.Bytes())
+		}
+		concat = append(concat, one.Bytes()...)
+	}
+	if !bytes.Equal(batch, concat) {
+		t.Fatalf("batched EncodeInto is not frame concatenation:\n %x\n %x", batch, concat)
+	}
+}
+
+// TestEncodeIntoOversizedMessageLeavesDstUnchanged: a message over MaxFrame
+// must error and return dst truncated to its original contents, so one bad
+// message cannot corrupt a batch buffer holding earlier frames.
+func TestEncodeIntoOversizedMessageLeavesDstUnchanged(t *testing.T) {
+	good := fuzzSeeds()[0]
+	dst, err := EncodeInto(nil, &good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]byte(nil), dst...)
+	huge := Message{Kind: MsgExecReply, Err: strings.Repeat("x", MaxFrame+1)}
+	dst, err = EncodeInto(dst, &huge)
+	if err == nil {
+		t.Fatal("oversized message encoded without error")
+	}
+	if !bytes.Equal(dst, before) {
+		t.Fatal("failed EncodeInto corrupted the batch buffer")
+	}
+	// The buffer must still be appendable after the error.
+	dst, err = EncodeInto(dst, &good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, append(before, before...)) {
+		t.Fatal("buffer unusable after failed EncodeInto")
+	}
+}
+
+// TestFrameReaderDecodesBatchedStream: a FrameReader over a buffer holding
+// many concatenated frames must return every message, equal to the package
+// ReadFrame results, and messages must not alias the reader's reused buffer
+// (decoding frame N+1 must not corrupt frame N's strings).
+func TestFrameReaderDecodesBatchedStream(t *testing.T) {
+	seeds := fuzzSeeds()
+	var stream []byte
+	var err error
+	for i := range seeds {
+		if stream, err = EncodeInto(stream, &seeds[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(bytes.NewReader(stream))
+	var got []Message
+	for {
+		m, err := fr.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, m)
+	}
+	if !reflect.DeepEqual(got, seeds) {
+		t.Fatalf("stream decode mismatch:\n got  %v\n want %v", got, seeds)
+	}
+}
+
+// TestFrameReaderRejectsOversizedFrame mirrors ReadFrame's length-prefix
+// guard.
+func TestFrameReaderRejectsOversizedFrame(t *testing.T) {
+	hdr := []byte{0xff, 0xff, 0xff, 0xff}
+	fr := NewFrameReader(bytes.NewReader(hdr))
+	if _, err := fr.ReadFrame(); err == nil {
+		t.Fatal("oversized frame length accepted")
+	}
+}
+
+// TestFrameReaderRejectsGarbageBody: a well-framed but malformed body must
+// error, not panic, exactly like DecodeMessage.
+func TestFrameReaderRejectsGarbageBody(t *testing.T) {
+	frame := []byte{3, 0, 0, 0, 0xde, 0xad, 0xbe}
+	fr := NewFrameReader(bytes.NewReader(frame))
+	if _, err := fr.ReadFrame(); err == nil {
+		t.Fatal("garbage body decoded")
+	}
+}
+
+// TestInternTableBounded: past the cap the table stops growing but decoding
+// stays correct.
+func TestInternTableBounded(t *testing.T) {
+	var in internTable
+	for i := 0; i < maxInterned+100; i++ {
+		s := string(rune('a'+i%26)) + string(rune('0'+i%10)) + strings.Repeat("x", i%7) + string(rune(i))
+		if got := in.get([]byte(s)); got != s {
+			t.Fatalf("intern corrupted %q -> %q", s, got)
+		}
+	}
+	if len(in.m) > maxInterned {
+		t.Fatalf("intern table grew to %d entries, cap %d", len(in.m), maxInterned)
+	}
+}
+
+// loopReader serves the same encoded frame forever without allocating, so
+// benchmarks can measure the steady-state read path alone.
+type loopReader struct {
+	data []byte
+	off  int
+}
+
+func (l *loopReader) Read(p []byte) (int, error) {
+	if l.off == len(l.data) {
+		l.off = 0
+	}
+	n := copy(p, l.data[l.off:])
+	l.off += n
+	return n, nil
+}
+
+// ackMsg is the steady-state protocol message: no slices, just identifiers
+// and fixed fields.
+func ackMsg() Message {
+	return Message{
+		Kind: MsgAck, Txn: TxnID{Coord: "coord", Seq: 42},
+		From: "participant-7", To: "coord", Outcome: Commit, Proto: PrN,
+	}
+}
+
+// BenchmarkEncodeInto is the zero-allocation floor for the encode path
+// (enforced by alloc.floors): steady state must be 0 allocs/op.
+func BenchmarkEncodeInto(b *testing.B) {
+	m := ackMsg()
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = EncodeInto(buf[:0], &m)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrameReaderReadFrame is the zero-allocation floor for the decode
+// path (enforced by alloc.floors): with the body buffer reused and site
+// identifiers interned, steady state must be 0 allocs/op.
+func BenchmarkFrameReaderReadFrame(b *testing.B) {
+	m := ackMsg()
+	frame, err := EncodeInto(nil, &m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fr := NewFrameReader(&loopReader{data: frame})
+	if _, err := fr.ReadFrame(); err != nil { // warm the buffer and intern table
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fr.ReadFrame(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriteFrame tracks the pooled one-shot encode path; the pool keeps
+// it allocation-free too.
+func BenchmarkWriteFrame(b *testing.B) {
+	m := ackMsg()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := WriteFrame(io.Discard, &m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

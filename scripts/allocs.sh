@@ -1,0 +1,37 @@
+#!/bin/sh
+# Enforce the per-benchmark allocation ceilings in alloc.floors.
+# Exits nonzero naming every benchmark above its ceiling.
+set -eu
+
+cd "$(dirname "$0")/.."
+floors=alloc.floors
+
+fail=0
+while read -r pkg bench max; do
+	case "$pkg" in ''|\#*) continue ;; esac
+	out=$(go test -bench "^${bench}\$" -benchmem -benchtime 1000x -run '^$' "./${pkg#prany/}/" 2>&1) || {
+		echo "$out"
+		echo "FAIL $pkg $bench: benchmark failed"
+		fail=1
+		continue
+	}
+	allocs=$(echo "$out" | awk -v b="$bench" '
+		$1 ~ "^"b {
+			for (i = 1; i <= NF; i++)
+				if ($i == "allocs/op") { print $(i-1); exit }
+		}')
+	if [ -z "$allocs" ]; then
+		echo "FAIL $pkg $bench: no allocs/op figure in output:"
+		echo "$out"
+		fail=1
+		continue
+	fi
+	if [ "$allocs" -le "$max" ]; then
+		echo "ok   $pkg $bench ${allocs} allocs/op (ceiling ${max})"
+	else
+		echo "FAIL $pkg $bench ${allocs} allocs/op above ceiling ${max}"
+		fail=1
+	fi
+done < "$floors"
+
+exit "$fail"

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Short E16 smoke run for the merge gate: 50 transactions over real TCP
+# with frame batching on must show the writer actually coalescing — mean
+# messages per physical frame strictly above 1. Catches a silently
+# disabled batch path (e.g. a MaxBatch default regression) without paying
+# for the full benchmark sweep.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=$(go test -bench 'BenchmarkE16_Pipeline/clients=16/batch=true' -benchtime 50x -run '^$' . 2>&1) || {
+	echo "$out"
+	echo "FAIL bench-smoke: benchmark failed"
+	exit 1
+}
+batch=$(echo "$out" | awk '
+	/BenchmarkE16_Pipeline/ {
+		for (i = 1; i <= NF; i++)
+			if ($i == "msgs/frame") { print $(i-1); exit }
+	}')
+if [ -z "$batch" ]; then
+	echo "FAIL bench-smoke: no msgs/frame figure in output:"
+	echo "$out"
+	exit 1
+fi
+ok=$(awk -v b="$batch" 'BEGIN { print (b > 1) ? 1 : 0 }')
+if [ "$ok" = 1 ]; then
+	echo "ok   bench-smoke: ${batch} msgs/frame (> 1, batching live)"
+else
+	echo "FAIL bench-smoke: ${batch} msgs/frame — frame batching is not coalescing"
+	exit 1
+fi
