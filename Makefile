@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race chaos examples bench-smoke tier1 cover allocs bench-groupcommit bench-pipeline clean
+.PHONY: all build test vet race chaos examples bench-smoke obs-smoke tier1 cover allocs bench-groupcommit bench-pipeline clean
 
 all: tier1
 
@@ -42,11 +42,17 @@ examples:
 bench-smoke:
 	./scripts/bench_smoke.sh
 
+# Observability smoke: start prany-server with -http and assert that
+# /metrics, /txns, /trace and /debug/pprof/ all serve well-formed output.
+obs-smoke:
+	$(GO) run ./scripts/obssmoke
+
 # tier1 is the merge gate: everything must build, every test must pass,
 # vet must be clean, the concurrent packages must be race-free, the short
 # chaos sweep must stay operationally correct, every example must run,
-# and the transport batch writer must demonstrably coalesce frames.
-tier1: build test vet race chaos examples bench-smoke
+# the transport batch writer must demonstrably coalesce frames, and the
+# introspection endpoints must serve.
+tier1: build test vet race chaos examples bench-smoke obs-smoke
 
 # cover enforces the per-package statement-coverage floors recorded in
 # coverage.floors and the per-benchmark allocation ceilings in

@@ -274,6 +274,8 @@ func BenchmarkE16_Pipeline(b *testing.B) {
 				b.ReportMetric(pt.FramesPerTxn, "frames/txn")
 				b.ReportMetric(pt.MeanFrameBatch, "msgs/frame")
 				b.ReportMetric(pt.AllocsPerTxn, "allocs/txn")
+				b.ReportMetric(float64(pt.LatencyP50)/1e6, "p50-ms")
+				b.ReportMetric(float64(pt.LatencyP99)/1e6, "p99-ms")
 			})
 		}
 	}

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -43,15 +44,19 @@ type bench struct {
 	// historical default (sweep 7, perf 99, groupcommit 42, chaos 1),
 	// preserving the committed EXPERIMENTS.md numbers.
 	seed int64
+	// jsonOut switches the obs section to machine-readable output (the
+	// BENCH_obs.json format); every other section ignores it.
+	jsonOut bool
 }
 
-var sectionOrder = []string{"costs", "theorem1", "theorem2", "sweep", "perf", "readonly", "iyv", "cl", "groupcommit", "chaos", "pipeline"}
+var sectionOrder = []string{"costs", "theorem1", "theorem2", "sweep", "perf", "readonly", "iyv", "cl", "groupcommit", "chaos", "pipeline", "obs"}
 
 func run(args []string, stdout io.Writer) int {
 	fs := flag.NewFlagSet("prany-bench", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	which := fs.String("run", "all", "which section to run: all, "+strings.Join(sectionOrder, ", "))
 	seed := fs.Int64("seed", 0, "override every section's random seed (0 = per-section defaults)")
+	jsonOut := fs.Bool("json", false, "with -run obs: emit the E17 results as JSON (BENCH_obs.json)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -86,7 +91,7 @@ func run(args []string, stdout io.Writer) int {
 		}()
 	}
 
-	b := &bench{w: stdout, seed: *seed}
+	b := &bench{w: stdout, seed: *seed, jsonOut: *jsonOut}
 	sections := map[string]func() error{
 		"costs":       b.costs,
 		"theorem1":    b.theorem1,
@@ -99,6 +104,7 @@ func run(args []string, stdout io.Writer) int {
 		"groupcommit": b.groupcommit,
 		"chaos":       b.chaosMatrix,
 		"pipeline":    b.pipeline,
+		"obs":         b.obs,
 	}
 	if *which == "all" {
 		for _, name := range sectionOrder {
@@ -398,19 +404,77 @@ func (b *bench) chaosMatrix() error {
 func (b *bench) pipeline() error {
 	b.header("E16: pipelined commit streams — wire frames collapse under concurrency")
 	seed := b.sectionSeed(16)
-	fmt.Fprintf(b.w, "%7s %6s | %9s %12s %10s %12s %11s %10s\n",
-		"clients", "batch", "txns/s", "meanLatency", "msgs/txn", "frames/txn", "msgs/frame", "bytes/txn")
+	fmt.Fprintf(b.w, "%7s %6s | %9s %12s %10s %12s %11s %10s | %9s %9s %9s\n",
+		"clients", "batch", "txns/s", "meanLatency", "msgs/txn", "frames/txn", "msgs/frame", "bytes/txn",
+		"p50", "p95", "p99")
 	for _, clients := range []int{16, 64, 256} {
 		for _, batching := range []bool{false, true} {
 			pt, err := experiments.MeasurePipeline(batching, clients, 2000, seed)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(b.w, "%7d %6v | %9.0f %12s %10.2f %12.2f %11.2f %10.0f\n",
+			fmt.Fprintf(b.w, "%7d %6v | %9.0f %12s %10.2f %12.2f %11.2f %10.0f | %9s %9s %9s\n",
 				clients, batching, pt.TxnsPerSec, pt.MeanLatency.Round(1000),
-				pt.MsgsPerTxn, pt.FramesPerTxn, pt.MeanFrameBatch, pt.BytesPerTxn)
+				pt.MsgsPerTxn, pt.FramesPerTxn, pt.MeanFrameBatch, pt.BytesPerTxn,
+				pt.LatencyP50.Round(time.Microsecond), pt.LatencyP95.Round(time.Microsecond),
+				pt.LatencyP99.Round(time.Microsecond))
 		}
 		fmt.Fprintln(b.w)
+	}
+	return nil
+}
+
+// obs prints E17: where a committing transaction's wall-clock time goes
+// (per-span latency percentiles under the E16 batching-on workload) and
+// the live protocol-table retention-age curve — Theorem 2 as the /txns
+// endpoint would show it, C2PC's oldest entry aging without bound while
+// PrAny's table drains every round.
+func (b *bench) obs() error {
+	const (
+		clients, txns        = 64, 2000
+		rounds, txnsPerRound = 5, 8
+	)
+	if !b.jsonOut {
+		b.header("E17: observability — span latency percentiles and PT retention ages")
+	}
+	seed := int64(17)
+	if b.seed != 0 {
+		seed = b.seed
+	}
+	res, err := experiments.MeasureObs(clients, txns, seed, rounds, txnsPerRound)
+	if err != nil {
+		return err
+	}
+	if b.jsonOut {
+		out := struct {
+			Experiment string                          `json:"experiment"`
+			Seed       int64                           `json:"seed"`
+			Clients    int                             `json:"clients"`
+			Txns       int                             `json:"txns"`
+			Rounds     int                             `json:"retention_rounds"`
+			PerRound   int                             `json:"txns_per_round"`
+			Latency    []experiments.ObsLatencyRow     `json:"latency"`
+			Retention  []experiments.ObsRetentionRound `json:"retention"`
+		}{"E17 observability", seed, clients, txns, rounds, txnsPerRound, res.Latency, res.Retention}
+		enc := json.NewEncoder(b.w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	fmt.Fprintf(b.w, "seed: %d\n", seed)
+	fmt.Fprintf(b.w, "span latencies (%d clients, %d txns, batching on):\n", clients, txns)
+	fmt.Fprintf(b.w, "%-12s %8s | %10s %10s %10s %10s\n", "span", "count", "mean", "p50", "p95", "p99")
+	for _, r := range res.Latency {
+		fmt.Fprintf(b.w, "%-12s %8d | %10s %10s %10s %10s\n", r.Span, r.Count,
+			r.Mean.Round(time.Microsecond), r.P50.Round(time.Microsecond),
+			r.P95.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+	}
+	fmt.Fprintln(b.w)
+	fmt.Fprintf(b.w, "PT retention ages (%d commits/round, 300ms budget/round, coord+pa(PrA)+pc(PrC)):\n", txnsPerRound)
+	fmt.Fprintf(b.w, "%5s | %13s %15s | %14s %16s\n",
+		"round", "c2pc retained", "c2pc maxAge ms", "prany retained", "prany maxAge ms")
+	for _, r := range res.Retention {
+		fmt.Fprintf(b.w, "%5d | %13d %15.0f | %14d %16.0f\n",
+			r.Round, r.C2PCRetained, r.C2PCMaxAgeMS, r.PrAnyRetained, r.PrAnyMaxAgeMS)
 	}
 	return nil
 }

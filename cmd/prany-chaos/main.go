@@ -25,6 +25,7 @@ import (
 
 	"prany/internal/core"
 	"prany/internal/experiments"
+	"prany/internal/obs"
 	"prany/internal/wire"
 )
 
@@ -44,6 +45,7 @@ func run(args []string, stdout io.Writer) int {
 	e14 := fs.Bool("e14", false, "run the E14 matrix (U2PC vs C2PC vs PrAny, same seeds)")
 	jsonOut := fs.Bool("json", false, "with -e14: emit the matrix as JSON")
 	verbose := fs.Bool("v", false, "print every episode's fault counters")
+	trace := fs.Bool("trace", false, "record a per-txn trace; print its timeline for failing episodes (always with -episodes 1)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -64,6 +66,9 @@ func run(args []string, stdout io.Writer) int {
 	failed := 0
 	for i := 0; i < *episodes; i++ {
 		s := *seed + int64(i)
+		if *trace {
+			spec.Obs = obs.NewRecorder(0)
+		}
 		ep, err := experiments.RunChaosEpisode(s, spec)
 		if err != nil {
 			fmt.Fprintf(stdout, "seed %d: %v\n", s, err)
@@ -85,8 +90,14 @@ func run(args []string, stdout io.Writer) int {
 			for _, line := range strings.Split(ep.Report.Summary(), "\n") {
 				fmt.Fprintf(stdout, "  %s\n", line)
 			}
-			fmt.Fprintf(stdout, "  repro: go run ./cmd/prany-chaos -episodes 1 -seed %d -strategy %s -native %s -txns %d\n",
+			fmt.Fprintf(stdout, "  repro: go run ./cmd/prany-chaos -episodes 1 -trace -seed %d -strategy %s -native %s -txns %d\n",
 				s, *strategy, *native, *txns)
+		}
+		if *trace && (verdict != "ok" || *episodes == 1) {
+			fmt.Fprintf(stdout, "timeline (seed %d):\n", s)
+			for _, line := range strings.Split(strings.TrimRight(spec.Obs.Timeline(), "\n"), "\n") {
+				fmt.Fprintf(stdout, "  %s\n", line)
+			}
 		}
 	}
 	fmt.Fprintf(stdout, "\n%d/%d episodes operationally correct\n", *episodes-failed, *episodes)

@@ -29,6 +29,7 @@ import (
 	"prany/internal/core"
 	"prany/internal/experiments"
 	"prany/internal/mcheck"
+	"prany/internal/obs"
 	"prany/internal/wire"
 )
 
@@ -46,12 +47,13 @@ func run(args []string, stdout io.Writer) int {
 	stop := fs.Bool("stop", false, "stop at the first counterexample")
 	jsonOut := fs.Bool("json", false, "emit results as JSON")
 	replay := fs.String("replay", "", "replay one schedule string and print its verdict")
+	timeline := fs.Bool("timeline", false, "with -replay: print the per-txn event timeline of the schedule")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	if *replay != "" {
-		return runReplay(*replay, stdout)
+		return runReplay(*replay, *timeline, stdout)
 	}
 	if *strategy == "" {
 		return runMatrix(*txns, *maxSkip, *jsonOut, stdout)
@@ -62,19 +64,29 @@ func run(args []string, stdout io.Writer) int {
 // runReplay re-executes one counterexample (or any hand-written schedule)
 // and prints the judge's full verdict. Exit 0 means the schedule judged
 // clean, 1 that it violated Definition 1, 2 that it failed to replay.
-func runReplay(schedule string, stdout io.Writer) int {
+func runReplay(schedule string, timeline bool, stdout io.Writer) int {
 	sched, err := mcheck.ParseSchedule(schedule)
 	if err != nil {
 		fmt.Fprintf(stdout, "replay: %v\n", err)
 		return 2
 	}
-	rep, err := mcheck.Replay(sched)
+	var rec *obs.Recorder
+	if timeline {
+		rec = obs.NewRecorder(0)
+	}
+	rep, err := mcheck.ReplayTraced(sched, rec)
 	if err != nil {
 		fmt.Fprintf(stdout, "replay: %v\n", err)
 		return 2
 	}
 	fmt.Fprintf(stdout, "replay: %s\n", schedule)
 	fmt.Fprintln(stdout, rep.Summary())
+	if timeline {
+		fmt.Fprintln(stdout, "timeline:")
+		for _, line := range strings.Split(strings.TrimRight(rec.Timeline(), "\n"), "\n") {
+			fmt.Fprintf(stdout, "  %s\n", line)
+		}
+	}
 	if rep.OK() {
 		return 0
 	}

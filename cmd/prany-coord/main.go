@@ -26,6 +26,8 @@ import (
 	"time"
 
 	"prany/internal/core"
+	"prany/internal/metrics"
+	"prany/internal/obs"
 	"prany/internal/site"
 	"prany/internal/transport"
 	"prany/internal/wal"
@@ -40,6 +42,8 @@ func main() {
 	nativeName := flag.String("native", "prn", "native protocol for u2pc/c2pc")
 	voteTimeout := flag.Duration("vote-timeout", 2*time.Second, "voting phase timeout")
 	drain := flag.Duration("drain", 3*time.Second, "how long to drain acknowledgments before exiting")
+	httpAddr := flag.String("http", "", "introspection listen address (e.g. :7171): /metrics, /txns, /trace, /debug/pprof/")
+	traceCap := flag.Int("trace-buf", 1<<14, "trace ring-buffer capacity in events (with -http)")
 	var sites siteFlags
 	flag.Var(&sites, "site", "participant as name=proto@host:port (repeatable)")
 	flag.Parse()
@@ -52,10 +56,17 @@ func main() {
 		log.Fatal(err)
 	}
 
+	met := metrics.NewRegistry()
+	var rec *obs.Recorder
+	if *httpAddr != "" {
+		rec = obs.NewRecorder(*traceCap)
+	}
+
 	net, err := transport.NewTCPNetwork(transport.TCPOptions{
 		Listen: *listen,
 		Addrs:  sites.addrs,
 		Logf:   log.Printf,
+		Met:    met,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -81,9 +92,19 @@ func main() {
 			VoteTimeout: *voteTimeout,
 		},
 		LogStore: store,
+		Met:      met,
+		Obs:      rec,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *httpAddr != "" {
+		srv, err := obs.StartHTTP(*httpAddr, obs.Introspection{Met: met, Rec: rec, Txns: s.PTDump})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("introspection on http://%s", srv.Addr())
 	}
 	log.Printf("coordinator %s (%s) on %s, wal=%s", *id, strategy, net.Addr(), *walPath)
 

@@ -24,6 +24,8 @@ import (
 	"time"
 
 	"prany/internal/core"
+	"prany/internal/metrics"
+	"prany/internal/obs"
 	"prany/internal/site"
 	"prany/internal/transport"
 	"prany/internal/wal"
@@ -38,6 +40,8 @@ func main() {
 	var peers peerFlags
 	flag.Var(&peers, "peer", "peer address as site=host:port (repeatable; the coordinator must be listed)")
 	tick := flag.Duration("tick", 500*time.Millisecond, "retry interval for in-doubt inquiries")
+	httpAddr := flag.String("http", "", "introspection listen address (e.g. :7171): /metrics, /txns, /trace, /debug/pprof/")
+	traceCap := flag.Int("trace-buf", 1<<14, "trace ring-buffer capacity in events (with -http)")
 	flag.Parse()
 
 	if *id == "" {
@@ -51,10 +55,17 @@ func main() {
 		*walPath = *id + ".wal"
 	}
 
+	met := metrics.NewRegistry()
+	var rec *obs.Recorder
+	if *httpAddr != "" {
+		rec = obs.NewRecorder(*traceCap)
+	}
+
 	net, err := transport.NewTCPNetwork(transport.TCPOptions{
 		Listen: *listen,
 		Addrs:  peers.addrs,
 		Logf:   log.Printf,
+		Met:    met,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -71,9 +82,20 @@ func main() {
 		Net:         net,
 		LogStore:    store,
 		Coordinator: core.CoordinatorConfig{},
+		Met:         met,
+		Obs:         rec,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *httpAddr != "" {
+		srv, err := obs.StartHTTP(*httpAddr, obs.Introspection{Met: met, Rec: rec, Txns: s.PTDump})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		log.Printf("introspection on http://%s", srv.Addr())
 	}
 
 	log.Printf("site %s (%s) serving on %s, wal=%s", *id, proto, net.Addr(), *walPath)

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"prany/internal/obs"
 	"prany/internal/transport"
 	"prany/internal/wal"
 	"prany/internal/wire"
@@ -51,6 +52,10 @@ type Engine struct {
 	down    map[wire.SiteID]bool
 	severed map[[2]wire.SiteID]bool
 	ctr     Counters
+	// obs, when set, records each injected fault as a trace event, so a
+	// failing episode's timeline shows the fault next to the protocol step
+	// it broke. Nil-safe: obs.Record is a no-op on a nil recorder.
+	obs *obs.Recorder
 
 	// inflight counts delayed deliveries and crash goroutines so Settle can
 	// wait for the world to stop moving. A WaitGroup would be misused here:
@@ -112,6 +117,13 @@ func (e *Engine) WrapNetwork(inner transport.Network) transport.Network {
 // WrapStore wraps one site's WAL store with the fault-injecting store.
 func (e *Engine) WrapStore(site wire.SiteID, inner wal.Store) wal.Store {
 	return &Store{eng: e, site: site, inner: inner}
+}
+
+// SetObs routes the engine's injected-fault events into a trace recorder.
+func (e *Engine) SetObs(r *obs.Recorder) {
+	e.mu.Lock()
+	e.obs = r
+	e.mu.Unlock()
 }
 
 // BindCrasher supplies the function that fail-stops a site (typically
@@ -196,6 +208,7 @@ func pairKey(a, b wire.SiteID) [2]wire.SiteID { return [2]wire.SiteID{a, b} }
 func (e *Engine) tripLocked(site wire.SiteID) {
 	e.ctr.Crashes++
 	e.down[site] = true
+	e.obs.Record(obs.Event{Kind: obs.EvCrash, Site: site, Note: "injected"})
 	if d, ok := e.inner.(interface{ SetDown(wire.SiteID, bool) }); ok {
 		d.SetDown(site, true)
 	}
@@ -243,6 +256,7 @@ func (e *Engine) planSend(m wire.Message) sendVerdict {
 	}
 	if e.severed[pairKey(m.From, m.To)] {
 		e.ctr.Partitioned++
+		e.obs.Record(obs.Event{Kind: obs.EvDrop, Site: m.From, Peer: m.To, Txn: m.Txn, Note: "partition " + m.Kind.String()})
 		return sendVerdict{drop: true}
 	}
 	for _, f := range e.plan.Faults {
@@ -254,17 +268,20 @@ func (e *Engine) planSend(m wire.Message) sendVerdict {
 		}
 		if f.Drop > 0 && e.rng.Float64() < f.Drop {
 			e.ctr.Dropped++
+			e.obs.Record(obs.Event{Kind: obs.EvDrop, Site: m.From, Peer: m.To, Txn: m.Txn, Note: m.Kind.String()})
 			return sendVerdict{drop: true}
 		}
 		var v sendVerdict
 		if f.Delay > 0 && e.rng.Float64() < f.Delay {
 			v.delay = time.Duration(e.rng.Int63n(int64(f.MaxDelay) + 1))
 			e.ctr.Delayed++
+			e.obs.Record(obs.Event{Kind: obs.EvDelay, Site: m.From, Peer: m.To, Txn: m.Txn, Note: m.Kind.String()})
 		}
 		if f.Dup > 0 && e.rng.Float64() < f.Dup {
 			v.dup = true
 			v.dupDelay = time.Duration(e.rng.Int63n(int64(f.MaxDelay) + 1))
 			e.ctr.Duplicated++
+			e.obs.Record(obs.Event{Kind: obs.EvDup, Site: m.From, Peer: m.To, Txn: m.Txn, Note: m.Kind.String()})
 		}
 		return v
 	}
@@ -332,6 +349,7 @@ func (e *Engine) planAppend(site wire.SiteID, recs []wal.Record) storeAction {
 	}
 	if e.plan.WALFail > 0 && e.rng.Float64() < e.plan.WALFail {
 		e.ctr.WALFails++
+		e.obs.Record(obs.Event{Kind: obs.EvWALFail, Site: site})
 		return storeFail
 	}
 	return storeOK

@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"prany/internal/history"
+	"prany/internal/metrics"
+	"prany/internal/obs"
 	"prany/internal/wal"
 	"prany/internal/wire"
 )
@@ -94,6 +96,13 @@ type ctxn struct {
 	outcome   wire.Outcome
 	votesDone chan struct{}
 	voteOnce  sync.Once
+
+	// startedAt and decidedAt time the entry for latency histograms and the
+	// /txns age column. Zero when the site is un-instrumented (Env.now);
+	// deliberately absent from DebugState so model-checker state hashing
+	// stays timestamp-free.
+	startedAt time.Time
+	decidedAt time.Time
 }
 
 func (ct *ctxn) closeVotes() { ct.voteOnce.Do(func() { close(ct.votesDone) }) }
@@ -157,6 +166,7 @@ func (c *Coordinator) choose(protos []wire.Protocol) wire.Protocol {
 // Tick. An error means the transaction could not even be driven to a
 // decision (site down, log failure); no decision was communicated.
 func (c *Coordinator) Commit(txn wire.TxnID, parts []wire.SiteID) (wire.Outcome, error) {
+	start := c.env.now()
 	ct, prepares, err := c.begin(txn, parts)
 	if err != nil {
 		return wire.Abort, err
@@ -169,7 +179,11 @@ func (c *Coordinator) Commit(txn wire.TxnID, parts []wire.SiteID) (wire.Outcome,
 		case <-timer.C:
 		}
 	}
-	return c.resolve(ct)
+	outcome, err := c.resolve(ct)
+	if err == nil {
+		c.env.observe(metrics.SpanCommit, start)
+	}
+	return outcome, err
 }
 
 // Begin runs only the voting phase's setup: protocol-table insert, the
@@ -228,6 +242,7 @@ func (c *Coordinator) begin(txn wire.TxnID, parts []wire.SiteID) (*ctxn, int, er
 		txn:       txn,
 		parts:     make(map[wire.SiteID]*cpart, len(parts)),
 		votesDone: make(chan struct{}),
+		startedAt: c.env.now(),
 	}
 	protos := make([]wire.Protocol, 0, len(parts))
 	for _, id := range parts {
@@ -261,6 +276,7 @@ func (c *Coordinator) begin(txn wire.TxnID, parts []wire.SiteID) (*ctxn, int, er
 	if c.env.Met != nil {
 		c.env.Met.PTInsert(c.env.ID)
 	}
+	c.env.trace(obs.Event{Kind: obs.EvBegin, Txn: txn, Note: ct.chosen.String()})
 
 	// Voting phase. PrC and PrAny force an initiation record naming every
 	// participant — and, for PrAny, each participant's protocol — before
@@ -280,6 +296,11 @@ func (c *Coordinator) begin(txn wire.TxnID, parts []wire.SiteID) (*ctxn, int, er
 			continue // implicitly prepared; no voting round
 		}
 		prepares = append(prepares, wire.Message{Kind: wire.MsgPrepare, Txn: txn, From: c.env.ID, To: id})
+	}
+	if c.env.Obs != nil {
+		for _, m := range prepares {
+			c.env.trace(obs.Event{Kind: obs.EvPrepareSend, Txn: txn, Peer: m.To})
+		}
 	}
 	c.env.fanout(prepares)
 	return ct, len(prepares), nil
@@ -351,15 +372,23 @@ func (c *Coordinator) decide(ct *ctxn, outcome wire.Outcome) (wire.Outcome, erro
 		}
 	}
 	c.env.event(history.Event{Kind: history.EvDecide, Txn: ct.txn, Outcome: outcome})
+	c.env.trace(obs.Event{Kind: obs.EvDecide, Txn: ct.txn, Note: outcome.String()})
 
 	sh := c.txns.lock(ct.txn)
 	ct.decided = true
 	ct.outcome = outcome
 	ct.state = cDraining
+	ct.decidedAt = c.env.now()
 	msgs := c.decisionMsgsLocked(ct)
 	finished := c.maybeFinishLocked(sh.m, ct)
 	sh.mu.Unlock()
+	c.env.observe(metrics.SpanPrepare, ct.startedAt)
 
+	if c.env.Obs != nil {
+		for _, m := range msgs {
+			c.env.trace(obs.Event{Kind: obs.EvDecisionSend, Txn: ct.txn, Peer: m.To, Note: outcome.String()})
+		}
+	}
 	c.env.fanout(msgs)
 	_ = finished
 	return outcome, nil
@@ -464,6 +493,8 @@ func (c *Coordinator) maybeFinishLocked(m map[wire.TxnID]*ctxn, ct *ctxn) bool {
 		c.env.Met.PTDelete(c.env.ID)
 	}
 	c.env.event(history.Event{Kind: history.EvDeletePT, Txn: ct.txn})
+	c.env.observe(metrics.SpanAck, ct.decidedAt)
+	c.env.trace(obs.Event{Kind: obs.EvPTDelete, Txn: ct.txn})
 	return true
 }
 
@@ -526,6 +557,7 @@ func (c *Coordinator) handleRecoverSite(m wire.Message) {
 }
 
 func (c *Coordinator) handleVote(m wire.Message) {
+	c.env.trace(obs.Event{Kind: obs.EvVoteRecv, Txn: m.Txn, Peer: m.From, Note: m.Vote.String()})
 	sh := c.txns.lock(m.Txn)
 	ct := sh.m[m.Txn]
 	if ct == nil || ct.state != cVoting {
@@ -572,6 +604,7 @@ func (c *Coordinator) handleVote(m wire.Message) {
 }
 
 func (c *Coordinator) handleAck(m wire.Message) {
+	c.env.trace(obs.Event{Kind: obs.EvAckRecv, Txn: m.Txn, Peer: m.From})
 	sh := c.txns.lock(m.Txn)
 	ct := sh.m[m.Txn]
 	if ct == nil {
@@ -684,6 +717,45 @@ func (c *Coordinator) PTEntries() []wire.TxnID {
 		}
 	})
 	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// PTDump snapshots the live protocol table for the /txns endpoint and the
+// E17 retention probe: per-entry state, outcome, pending-acknowledgment
+// counts and age. Under C2PC the draining entries whose pending count can
+// never reach zero are Theorem 2 made directly visible.
+func (c *Coordinator) PTDump() []obs.PTEntry {
+	now := time.Now()
+	var out []obs.PTEntry
+	c.txns.each(func(tbl map[wire.TxnID]*ctxn) {
+		for _, ct := range tbl {
+			e := obs.PTEntry{
+				Txn:   ct.txn,
+				Site:  c.env.ID,
+				Role:  "coordinator",
+				Proto: ct.chosen.String(),
+				State: "voting",
+			}
+			if ct.state == cDraining {
+				e.State = "draining"
+			}
+			if ct.decided {
+				e.Outcome = ct.outcome.String()
+			}
+			for _, p := range ct.parts {
+				if p.expectAck {
+					e.AcksExpected++
+					if !p.acked {
+						e.AcksPending++
+					}
+				}
+			}
+			if !ct.startedAt.IsZero() {
+				e.Age = now.Sub(ct.startedAt)
+			}
+			out = append(out, e)
+		}
+	})
 	return out
 }
 

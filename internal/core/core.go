@@ -18,9 +18,11 @@ import (
 	"errors"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"prany/internal/history"
 	"prany/internal/metrics"
+	"prany/internal/obs"
 	"prany/internal/wal"
 	"prany/internal/wire"
 )
@@ -90,23 +92,70 @@ type Env struct {
 	// the caller's goroutine for deterministic replay. Nil preserves the
 	// production behavior.
 	Sched Scheduler
+
+	// Obs, when set, receives per-transaction trace events (timing, not
+	// correctness — that is Hist's job). Nil disables tracing at the cost of
+	// one branch per hook site; sim, mcheck and the serial scheduler run
+	// unchanged with it nil.
+	Obs *obs.Recorder
 }
 
 func (e *Env) serial() bool { return e.Sched != nil && e.Sched.Serial() }
 
 func (e *Env) dead() bool { return e.Dead != nil && e.Dead.Load() }
 
-// force appends rec and forces the log, recording the cost.
+// force appends rec and forces the log, recording the cost, the force-span
+// latency (its duration includes the group-commit wait), and — when tracing
+// — the force trace event.
 func (e *Env) force(rec wal.Record) error {
 	if e.dead() {
 		return ErrSiteDown
 	}
+	start := e.now()
 	_, err := e.Log.AppendForce(rec)
 	if e.Met != nil {
 		e.Met.Append(e.ID)
 		e.Met.Force(e.ID)
 	}
+	e.observe(metrics.SpanWALForce, start)
+	e.traceSpan(obs.Event{
+		Kind: obs.EvForce, Txn: rec.Txn, Note: rec.Kind.String(),
+	}, start)
 	return err
+}
+
+// now returns the wall-clock instant when either observation channel will
+// want it — latency histograms (Met) or trace spans (Obs) — and the zero
+// time otherwise, so un-instrumented engines never read the clock.
+func (e *Env) now() time.Time {
+	if e.Met != nil || e.Obs != nil {
+		return time.Now()
+	}
+	return time.Time{}
+}
+
+// observe records the elapsed time since start in span s's histogram.
+func (e *Env) observe(s metrics.Span, start time.Time) {
+	if e.Met != nil && !start.IsZero() {
+		e.Met.Observe(s, time.Since(start))
+	}
+}
+
+// trace records a trace event if a recorder is attached; the one-branch
+// nil fast path DESIGN.md §11 argues from is the check below.
+func (e *Env) trace(ev obs.Event) {
+	if e.Obs != nil && !e.dead() {
+		ev.Site = e.ID
+		e.Obs.Record(ev)
+	}
+}
+
+// traceSpan records a span trace event begun at start.
+func (e *Env) traceSpan(ev obs.Event, start time.Time) {
+	if e.Obs != nil && !e.dead() && !start.IsZero() {
+		ev.Site = e.ID
+		e.Obs.RecordSpan(ev, e.Obs.At(start))
+	}
 }
 
 // appendLazy appends rec without forcing, recording the cost.

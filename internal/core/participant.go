@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"prany/internal/history"
+	"prany/internal/metrics"
+	"prany/internal/obs"
 	"prany/internal/wal"
 	"prany/internal/wire"
 )
@@ -63,6 +66,10 @@ type ptxn struct {
 	// before voting; after idleAbortTicks rounds they do, releasing locks
 	// a lost prepare or lost unacknowledged abort would otherwise strand.
 	idleTicks int
+	// startedAt times the entry for the /txns age column. Zero when the
+	// site is un-instrumented (Env.now); absent from DebugState so
+	// model-checker state hashing stays timestamp-free.
+	startedAt time.Time
 }
 
 // idleAbortTicks is how many Tick rounds an executing subtransaction may
@@ -139,7 +146,7 @@ func (p *Participant) handleExec(m wire.Message) {
 	sh := p.txns.lock(m.Txn)
 	t := sh.m[m.Txn]
 	if t == nil {
-		t = &ptxn{coord: m.From}
+		t = &ptxn{coord: m.From, startedAt: p.env.now()}
 		sh.m[m.Txn] = t
 	}
 	// An explicitly prepared subtransaction is frozen; an IYV one is
@@ -217,6 +224,7 @@ func (p *Participant) execute(m wire.Message) {
 }
 
 func (p *Participant) handlePrepare(m wire.Message) {
+	p.env.trace(obs.Event{Kind: obs.EvPrepareRecv, Txn: m.Txn, Peer: m.From})
 	sh := p.txns.lock(m.Txn)
 	t := sh.m[m.Txn]
 	if t != nil && t.state == pPrepared {
@@ -251,6 +259,7 @@ func (p *Participant) handlePrepare(m wire.Message) {
 		p.dropTxn(m.Txn)
 		p.vote(m, wire.VoteReadOnly, nil)
 		p.env.event(history.Event{Kind: history.EvForget, Txn: m.Txn})
+		p.env.trace(obs.Event{Kind: obs.EvForget, Txn: m.Txn, Note: "read-only"})
 		return
 	}
 
@@ -303,6 +312,7 @@ func (p *Participant) vote(m wire.Message, v wire.Vote, shipped []wal.Update) {
 		p.rm.Abort(m.Txn)
 	}
 	p.env.event(history.Event{Kind: history.EvVote, Txn: m.Txn, Vote: v})
+	p.env.trace(obs.Event{Kind: obs.EvVote, Txn: m.Txn, Peer: m.From, Note: v.String()})
 	p.env.send(wire.Message{
 		Kind: wire.MsgVote, Txn: m.Txn, From: p.env.ID, To: m.From,
 		Vote: v, Proto: p.proto, Writes: shipped,
@@ -321,6 +331,8 @@ func (p *Participant) vote(m wire.Message, v wire.Vote, shipped []wal.Update) {
 // already enforced and forgotten the decision (paper, footnote 5); it
 // simply re-acknowledges.
 func (p *Participant) handleDecision(m wire.Message) {
+	start := p.env.now()
+	p.env.trace(obs.Event{Kind: obs.EvDecisionRecv, Txn: m.Txn, Peer: m.From, Note: m.Outcome.String()})
 	sh := p.txns.lock(m.Txn)
 	t := sh.m[m.Txn]
 	if t == nil {
@@ -338,7 +350,7 @@ func (p *Participant) handleDecision(m wire.Message) {
 		if p.proto == wire.CL && m.Outcome == wire.Commit && !p.wasEnforced(m.Txn) {
 			if len(m.Writes) > 0 {
 				if err := p.rm.RecoverPrepared(m.Txn, m.Writes); err == nil {
-					p.enforceCL(m)
+					p.enforceCL(m, start)
 					return
 				}
 				p.ack(m)
@@ -361,7 +373,7 @@ func (p *Participant) handleDecision(m wire.Message) {
 	if p.proto == wire.CL {
 		// Coordinator log: the participant logs nothing, for decisions
 		// included.
-		p.enforceCL(m)
+		p.enforceCL(m, start)
 		return
 	}
 
@@ -381,7 +393,7 @@ func (p *Participant) handleDecision(m wire.Message) {
 			if err := p.env.force(rec); err != nil {
 				sh := p.txns.lock(m.Txn)
 				if sh.m[m.Txn] == nil {
-					sh.m[m.Txn] = &ptxn{state: pPrepared, coord: m.From}
+					sh.m[m.Txn] = &ptxn{state: pPrepared, coord: m.From, startedAt: p.env.now()}
 				}
 				sh.mu.Unlock()
 				return
@@ -400,6 +412,8 @@ func (p *Participant) handleDecision(m wire.Message) {
 	}
 	p.env.event(history.Event{Kind: history.EvEnforce, Txn: m.Txn, Outcome: m.Outcome})
 	p.env.event(history.Event{Kind: history.EvForget, Txn: m.Txn})
+	p.env.observe(metrics.SpanDecision, start)
+	p.env.trace(obs.Event{Kind: obs.EvForget, Txn: m.Txn})
 	p.ack(m)
 }
 
@@ -411,8 +425,9 @@ func (p *Participant) wasEnforced(txn wire.TxnID) bool {
 }
 
 // enforceCL applies a decision at a coordinator-log participant and records
-// it in the volatile idempotence guard.
-func (p *Participant) enforceCL(m wire.Message) {
+// it in the volatile idempotence guard. start is when the decision arrived,
+// for the decision-enforcement latency span.
+func (p *Participant) enforceCL(m wire.Message, start time.Time) {
 	if m.Outcome == wire.Commit {
 		p.rm.Commit(m.Txn)
 	} else {
@@ -431,6 +446,8 @@ func (p *Participant) enforceCL(m wire.Message) {
 	p.mu.Unlock()
 	p.env.event(history.Event{Kind: history.EvEnforce, Txn: m.Txn, Outcome: m.Outcome})
 	p.env.event(history.Event{Kind: history.EvForget, Txn: m.Txn})
+	p.env.observe(metrics.SpanDecision, start)
+	p.env.trace(obs.Event{Kind: obs.EvForget, Txn: m.Txn})
 	p.ack(m)
 }
 
@@ -438,6 +455,7 @@ func (p *Participant) ack(decision wire.Message) {
 	if !p.proto.Acks(decision.Outcome) {
 		return
 	}
+	p.env.trace(obs.Event{Kind: obs.EvAckSend, Txn: decision.Txn, Peer: decision.From, Note: decision.Outcome.String()})
 	p.env.send(wire.Message{
 		Kind: wire.MsgAck, Txn: decision.Txn, From: p.env.ID, To: decision.From,
 		Outcome: decision.Outcome, Proto: p.proto,
@@ -504,11 +522,12 @@ func (p *Participant) Recover() error {
 		}
 		// In doubt: blocked until the coordinator answers.
 		sh := p.txns.lock(txn)
-		sh.m[txn] = &ptxn{state: pPrepared, coord: s.prepared.Coord}
+		sh.m[txn] = &ptxn{state: pPrepared, coord: s.prepared.Coord, startedAt: p.env.now()}
 		sh.mu.Unlock()
 		inquiries = append(inquiries, p.inquiryMsg(txn, s.prepared.Coord))
 	}
 	p.env.event(history.Event{Kind: history.EvRecover})
+	p.env.trace(obs.Event{Kind: obs.EvRecover})
 	for _, m := range inquiries {
 		p.env.event(history.Event{Kind: history.EvInquiry, Txn: m.Txn, Peer: m.To})
 		p.env.send(m)
@@ -526,6 +545,7 @@ func (p *Participant) recoverCL() error {
 	p.recovering = len(coords) > 0
 	p.mu.Unlock()
 	p.env.event(history.Event{Kind: history.EvRecover})
+	p.env.trace(obs.Event{Kind: obs.EvRecover})
 	for _, c := range coords {
 		p.env.send(wire.Message{Kind: wire.MsgRecoverSite, From: p.env.ID, To: c, Proto: p.proto})
 	}
@@ -554,6 +574,34 @@ func (p *Participant) InDoubt() []wire.TxnID {
 // Pending returns the number of transactions the participant still holds
 // state for (executing or prepared).
 func (p *Participant) Pending() int { return p.txns.size() }
+
+// PTDump snapshots the live protocol table for the /txns endpoint: one
+// entry per subtransaction the participant has not yet forgotten, with its
+// state, coordinator and age.
+func (p *Participant) PTDump() []obs.PTEntry {
+	now := time.Now()
+	var out []obs.PTEntry
+	p.txns.each(func(tbl map[wire.TxnID]*ptxn) {
+		for txn, t := range tbl {
+			e := obs.PTEntry{
+				Txn:   txn,
+				Site:  p.env.ID,
+				Role:  "participant",
+				Proto: p.proto.String(),
+				State: "executing",
+				Peer:  t.coord,
+			}
+			if t.state == pPrepared {
+				e.State = "prepared"
+			}
+			if !t.startedAt.IsZero() {
+				e.Age = now.Sub(t.startedAt)
+			}
+			out = append(out, e)
+		}
+	})
+	return out
+}
 
 // Tick retries the protocol's timeout actions: one inquiry per in-doubt
 // transaction, and a unilateral abort of executing subtransactions that
@@ -598,6 +646,7 @@ func (p *Participant) Tick() {
 		p.rm.Abort(txn)
 		p.env.event(history.Event{Kind: history.EvEnforce, Txn: txn, Outcome: wire.Abort})
 		p.env.event(history.Event{Kind: history.EvForget, Txn: txn})
+		p.env.trace(obs.Event{Kind: obs.EvForget, Txn: txn, Note: "idle-abort"})
 	}
 	sortMsgs(msgs)
 	for _, m := range msgs {

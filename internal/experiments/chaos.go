@@ -6,6 +6,7 @@ import (
 
 	"prany/internal/chaos"
 	"prany/internal/core"
+	"prany/internal/obs"
 	"prany/internal/opcheck"
 	"prany/internal/sim"
 	"prany/internal/wire"
@@ -26,6 +27,10 @@ type ChaosSpec struct {
 	// Plan overrides the seed-derived fault plan (nil derives one from the
 	// episode seed with the default bounds below).
 	Plan *chaos.Plan
+	// Obs, when set, records per-transaction trace events and injected
+	// faults for the episode, so a failing seed's timeline can be printed
+	// (prany-chaos -trace).
+	Obs *obs.Recorder
 }
 
 // chaosPlanSpec is the default fault envelope of an episode: every
@@ -102,6 +107,7 @@ func RunChaosEpisode(seed int64, spec ChaosSpec) (ChaosEpisode, error) {
 		ExecTimeout: 400 * time.Millisecond,
 		Seed:        seed,
 		Chaos:       eng,
+		Obs:         spec.Obs,
 	})
 	if err != nil {
 		return ep, err

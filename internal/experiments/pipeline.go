@@ -32,6 +32,11 @@ type PipelinePoint struct {
 	MeanFrameBatch float64 // message frames per physical write
 	BytesPerTxn    float64 // encoded wire bytes per txn
 	AllocsPerTxn   float64 // heap allocations per txn, whole process
+	// Commit-latency percentiles from the coordinator's SpanCommit
+	// histogram (E17): Commit() call to decision durable, per transaction.
+	LatencyP50 time.Duration
+	LatencyP95 time.Duration
+	LatencyP99 time.Duration
 }
 
 // MeasurePipeline runs txns committing transactions over a mixed
@@ -42,6 +47,14 @@ type PipelinePoint struct {
 // whatever accumulated while its previous write was in flight into one
 // multi-frame batch.
 func MeasurePipeline(batching bool, clients, txns int, seed int64) (PipelinePoint, error) {
+	pt, _, err := measurePipeline(batching, clients, txns, seed)
+	return pt, err
+}
+
+// measurePipeline is MeasurePipeline plus the run's metrics registry, so
+// E17 can read the full span histograms (prepare, ack drain, WAL force,
+// frame flush) behind the headline point.
+func measurePipeline(batching bool, clients, txns int, seed int64) (PipelinePoint, *metrics.Registry, error) {
 	pt := PipelinePoint{Batching: batching, Clients: clients, Txns: txns}
 	met := metrics.NewRegistry()
 	pcp := core.NewPCP()
@@ -55,7 +68,7 @@ func MeasurePipeline(batching bool, clients, txns int, seed int64) (PipelinePoin
 
 	coordNet, err := newNet(nil)
 	if err != nil {
-		return pt, err
+		return pt, met, err
 	}
 	defer coordNet.Close()
 
@@ -67,7 +80,7 @@ func MeasurePipeline(batching bool, clients, txns int, seed int64) (PipelinePoin
 		pcp.Set(id, p)
 		net, err := newNet(map[wire.SiteID]string{"coord": coordNet.Addr()})
 		if err != nil {
-			return pt, err
+			return pt, met, err
 		}
 		defer net.Close()
 		coordNet.SetAddr(id, net.Addr())
@@ -76,7 +89,7 @@ func MeasurePipeline(batching bool, clients, txns int, seed int64) (PipelinePoin
 			GroupCommit: true, ExecTimeout: 10 * time.Second,
 		})
 		if err != nil {
-			return pt, err
+			return pt, met, err
 		}
 		partIDs = append(partIDs, id)
 		parts = append(parts, s)
@@ -87,7 +100,7 @@ func MeasurePipeline(batching bool, clients, txns int, seed int64) (PipelinePoin
 		Coordinator: core.CoordinatorConfig{VoteTimeout: 5 * time.Second},
 	})
 	if err != nil {
-		return pt, err
+		return pt, met, err
 	}
 
 	var ms0, ms1 runtime.MemStats
@@ -128,7 +141,7 @@ func MeasurePipeline(batching bool, clients, txns int, seed int64) (PipelinePoin
 	runtime.ReadMemStats(&ms1)
 
 	if n := errs.Load(); n > 0 {
-		return pt, fmt.Errorf("experiments: %d errors in pipeline run", n)
+		return pt, met, fmt.Errorf("experiments: %d errors in pipeline run", n)
 	}
 	// Drain the tail: late acks and retained protocol-table entries.
 	deadline := time.Now().Add(10 * time.Second)
@@ -145,7 +158,7 @@ func MeasurePipeline(batching bool, clients, txns int, seed int64) (PipelinePoin
 	}
 	for !quiet() {
 		if time.Now().After(deadline) {
-			return pt, fmt.Errorf("experiments: pipeline cluster did not quiesce")
+			return pt, met, fmt.Errorf("experiments: pipeline cluster did not quiesce")
 		}
 		coord.Tick()
 		for _, p := range parts {
@@ -163,5 +176,9 @@ func MeasurePipeline(batching bool, clients, txns int, seed int64) (PipelinePoin
 	pt.MeanFrameBatch = tot.MeanFrameBatch()
 	pt.BytesPerTxn = float64(tot.BytesOnWire) / ftxns
 	pt.AllocsPerTxn = float64(ms1.Mallocs-ms0.Mallocs) / ftxns
-	return pt, nil
+	commit := met.Hist(metrics.SpanCommit)
+	pt.LatencyP50 = commit.P50()
+	pt.LatencyP95 = commit.P95()
+	pt.LatencyP99 = commit.P99()
+	return pt, met, nil
 }

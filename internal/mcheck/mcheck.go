@@ -40,6 +40,7 @@ import (
 	"prany/internal/core"
 	"prany/internal/history"
 	"prany/internal/kvstore"
+	"prany/internal/obs"
 	"prany/internal/opcheck"
 	"prany/internal/wal"
 	"prany/internal/wire"
@@ -83,6 +84,11 @@ type Config struct {
 	MaxStatesPerPlan int
 	// StopAtFirst ends the exploration at the first counterexample.
 	StopAtFirst bool
+	// Obs, when set, receives the engines' trace events during exploration
+	// or replay — ReplayTraced uses it to render a counterexample's per-txn
+	// timeline. Event recording never feeds back into the engines, so state
+	// hashing and schedule determinism are unaffected.
+	Obs *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -287,6 +293,7 @@ func (ep *episode) boot(vs *vsite, recovered bool) error {
 		Hist:  ep.hist,
 		Dead:  vs.dead,
 		Sched: serialSched{},
+		Obs:   ep.cfg.Obs,
 	}
 	if vs.id == CoordID {
 		vs.coord = core.NewCoordinator(env, core.CoordinatorConfig{

@@ -7,6 +7,7 @@ import (
 
 	"prany/internal/chaos"
 	"prany/internal/core"
+	"prany/internal/obs"
 	"prany/internal/opcheck"
 	"prany/internal/wire"
 )
@@ -210,11 +211,20 @@ func parseProtocol(s string) (wire.Protocol, error) {
 // report is returned alongside any divergence error (a schedule string
 // from a different build or a hand-edit can name impossible actions).
 func Replay(s Schedule) (*opcheck.Report, error) {
+	return ReplayTraced(s, nil)
+}
+
+// ReplayTraced is Replay with a trace recorder attached to the replayed
+// cluster, so the counterexample's per-transaction timeline can be rendered
+// (prany-check -replay -timeline). The recorder observes; it never alters
+// the schedule's execution.
+func ReplayTraced(s Schedule, rec *obs.Recorder) (*opcheck.Report, error) {
 	cfg := Config{
 		Strategy: s.Strategy,
 		Native:   s.Native,
 		Parts:    s.Parts,
 		Txns:     s.Txns,
+		Obs:      rec,
 	}.withDefaults()
 	ep := newEpisode(cfg, s.Crashes)
 	for _, a := range s.Actions {

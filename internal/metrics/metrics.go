@@ -76,9 +76,13 @@ func (c SiteCounters) TotalMessages() uint64 {
 }
 
 // Registry aggregates counters across sites. It is safe for concurrent use.
+// Besides the per-site counters it carries one latency histogram per Span;
+// those are lock-free and shared across sites (latency distributions are a
+// cluster-level observation, unlike the per-site cost tallies).
 type Registry struct {
 	mu    sync.Mutex
 	sites map[wire.SiteID]*SiteCounters
+	hists [numSpans]Histogram
 }
 
 // NewRegistry returns an empty registry.
@@ -208,11 +212,14 @@ func (r *Registry) Total() SiteCounters {
 	return out
 }
 
-// Reset clears all counters.
+// Reset clears all counters and histograms.
 func (r *Registry) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.sites = make(map[wire.SiteID]*SiteCounters)
+	for i := range r.hists {
+		r.hists[i].reset()
+	}
 }
 
 // String renders a per-site table, sites sorted by identifier.

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"prany/internal/wire"
+)
+
+// jsonEvent is the JSONL wire form of one event.
+type jsonEvent struct {
+	Seq   uint64 `json:"seq"`
+	TSNS  int64  `json:"ts_ns"`
+	DurNS int64  `json:"dur_ns,omitempty"`
+	Kind  string `json:"kind"`
+	Site  string `json:"site"`
+	Peer  string `json:"peer,omitempty"`
+	Txn   string `json:"txn,omitempty"`
+	Note  string `json:"note,omitempty"`
+}
+
+func toJSONEvent(ev Event) jsonEvent {
+	je := jsonEvent{
+		Seq:   ev.Seq,
+		TSNS:  ev.TS,
+		DurNS: ev.Dur,
+		Kind:  ev.Kind.String(),
+		Site:  string(ev.Site),
+		Peer:  string(ev.Peer),
+		Note:  ev.Note,
+	}
+	if ev.Txn != (wire.TxnID{}) {
+		je.Txn = ev.Txn.String()
+	}
+	return je
+}
+
+// WriteJSONL writes the retained events as JSON Lines: one event object per
+// line, in recording order.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range r.Snapshot() {
+		if err := enc.Encode(toJSONEvent(ev)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Chrome trace_event format (the chrome://tracing / Perfetto JSON schema):
+// each site becomes a process, each transaction a thread within it, span
+// events ("X") carry microsecond start+duration, instants ("i") a start.
+// Metadata events name the processes and threads so the viewer shows site
+// and transaction identifiers instead of bare numbers.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the retained events in Chrome trace_event format,
+// loadable in chrome://tracing or ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	// Deterministic pid/tid assignment: sites and transactions in sorted
+	// order, numbered from 1 (tid 0 is reserved for site-scoped events
+	// with no transaction, like crashes).
+	siteSet := map[wire.SiteID]bool{}
+	txnSet := map[wire.TxnID]bool{}
+	for _, ev := range events {
+		siteSet[ev.Site] = true
+		if ev.Txn != (wire.TxnID{}) {
+			txnSet[ev.Txn] = true
+		}
+	}
+	sites := make([]string, 0, len(siteSet))
+	for s := range siteSet {
+		sites = append(sites, string(s))
+	}
+	sort.Strings(sites)
+	pids := make(map[wire.SiteID]int, len(sites))
+	for i, s := range sites {
+		pids[wire.SiteID(s)] = i + 1
+	}
+	txns := make([]wire.TxnID, 0, len(txnSet))
+	for t := range txnSet {
+		txns = append(txns, t)
+	}
+	sort.Slice(txns, func(i, j int) bool { return txns[i].String() < txns[j].String() })
+	tids := make(map[wire.TxnID]int, len(txns))
+	for i, t := range txns {
+		tids[t] = i + 1
+	}
+
+	out := make([]chromeEvent, 0, len(events)+len(sites)+len(sites)*len(txns))
+	for _, s := range sites {
+		out = append(out, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pids[wire.SiteID(s)],
+			Args: map[string]any{"name": s},
+		})
+	}
+	// Thread names are per process; every (site, txn) pair an event touches
+	// gets one.
+	named := map[[2]int]bool{}
+	for _, ev := range events {
+		if ev.Txn == (wire.TxnID{}) {
+			continue
+		}
+		key := [2]int{pids[ev.Site], tids[ev.Txn]}
+		if named[key] {
+			continue
+		}
+		named[key] = true
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: key[0], TID: key[1],
+			Args: map[string]any{"name": ev.Txn.String()},
+		})
+	}
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Kind.String(),
+			Cat:  "protocol",
+			TS:   float64(ev.TS) / 1e3,
+			PID:  pids[ev.Site],
+			TID:  tids[ev.Txn], // zero for site-scoped events
+		}
+		if ev.Peer != "" || ev.Note != "" {
+			ce.Args = map[string]any{}
+			if ev.Peer != "" {
+				ce.Args["peer"] = string(ev.Peer)
+			}
+			if ev.Note != "" {
+				ce.Args["note"] = ev.Note
+			}
+		}
+		if ev.Dur > 0 {
+			ce.Ph = "X"
+			ce.Dur = float64(ev.Dur) / 1e3
+		} else {
+			ce.Ph = "i"
+			ce.S = "t"
+		}
+		out = append(out, ce)
+	}
+	wrapper := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{out}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(wrapper)
+}
+
+// WriteChromeTrace writes this recorder's retained events in Chrome
+// trace_event format.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, r.Snapshot())
+}
+
+// Timeline renders events as a human-readable per-transaction timeline:
+// each transaction's events in order with offsets relative to its first,
+// then the site-scoped events (crashes, recoveries). prany-chaos and
+// prany-check -replay print it for counterexamples.
+func Timeline(events []Event) string {
+	byTxn := map[wire.TxnID][]Event{}
+	var siteScoped []Event
+	for _, ev := range events {
+		if ev.Txn == (wire.TxnID{}) {
+			siteScoped = append(siteScoped, ev)
+			continue
+		}
+		byTxn[ev.Txn] = append(byTxn[ev.Txn], ev)
+	}
+	txns := make([]wire.TxnID, 0, len(byTxn))
+	for t := range byTxn {
+		txns = append(txns, t)
+	}
+	sort.Slice(txns, func(i, j int) bool {
+		// Order transactions by first appearance, not lexically, so the
+		// timeline reads in execution order.
+		return byTxn[txns[i]][0].Seq < byTxn[txns[j]][0].Seq
+	})
+
+	var b strings.Builder
+	for _, t := range txns {
+		evs := byTxn[t]
+		fmt.Fprintf(&b, "txn %s\n", t)
+		t0 := evs[0].TS
+		for _, ev := range evs {
+			fmt.Fprintf(&b, "  %+10.3fms  %-8s %-14s", float64(ev.TS-t0)/1e6, ev.Site, ev.Kind)
+			if ev.Peer != "" {
+				fmt.Fprintf(&b, " peer=%s", ev.Peer)
+			}
+			if ev.Note != "" {
+				fmt.Fprintf(&b, " %s", ev.Note)
+			}
+			if ev.Dur > 0 {
+				fmt.Fprintf(&b, " (%s)", time.Duration(ev.Dur).Round(time.Microsecond))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for i, ev := range siteScoped {
+		if i == 0 {
+			fmt.Fprintf(&b, "site events\n")
+		}
+		fmt.Fprintf(&b, "  %+10.3fms  %-8s %-14s", float64(ev.TS)/1e6, ev.Site, ev.Kind)
+		if ev.Note != "" {
+			fmt.Fprintf(&b, " %s", ev.Note)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Timeline renders this recorder's retained events; see the package-level
+// Timeline.
+func (r *Recorder) Timeline() string { return Timeline(r.Snapshot()) }

@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"prany/internal/wire"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenEvents is a deterministic two-transaction trace touching spans,
+// instants, peers, notes and a site-scoped crash — every branch of the
+// Chrome exporter.
+func goldenEvents() []Event {
+	t1 := wire.TxnID{Coord: "coord", Seq: 1}
+	t2 := wire.TxnID{Coord: "coord", Seq: 2}
+	return []Event{
+		{Seq: 1, TS: 1_000, Kind: EvBegin, Site: "coord", Txn: t1, Note: "PrAny"},
+		{Seq: 2, TS: 2_000, Kind: EvPrepareSend, Site: "coord", Peer: "pa", Txn: t1},
+		{Seq: 3, TS: 10_000, Kind: EvForce, Site: "pa", Txn: t1, Dur: 50_000, Note: "prepared"},
+		{Seq: 4, TS: 70_000, Kind: EvVote, Site: "pa", Peer: "coord", Txn: t1, Note: "yes"},
+		{Seq: 5, TS: 90_000, Kind: EvDecide, Site: "coord", Txn: t1, Note: "commit"},
+		{Seq: 6, TS: 95_000, Kind: EvBegin, Site: "coord", Txn: t2, Note: "PrAny"},
+		{Seq: 7, TS: 120_000, Kind: EvPTDelete, Site: "coord", Txn: t1},
+		{Seq: 8, TS: 130_000, Kind: EvCrash, Site: "pa", Note: "injected"},
+	}
+}
+
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Chrome trace drifted from golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestWriteChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenEvents()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exporter emitted invalid JSON: %v", err)
+	}
+	phases := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		phases[ev["ph"].(string)]++
+	}
+	// 2 process_name + 3 thread_name metadata events (coord×2 txns, pa×1),
+	// 1 span (the force), 7 instants.
+	if phases["M"] != 5 || phases["X"] != 1 || phases["i"] != 7 {
+		t.Fatalf("phase counts M=%d X=%d i=%d, want 5/1/7", phases["M"], phases["X"], phases["i"])
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	r := NewRecorder(64)
+	r.Record(Event{Kind: EvBegin, Site: "coord", Txn: wire.TxnID{Coord: "coord", Seq: 9}, Note: "PrAny"})
+	r.Record(Event{Kind: EvCrash, Site: "pa"})
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("JSONL lines = %d, want 2", len(lines))
+	}
+	var first struct {
+		Kind string `json:"kind"`
+		Txn  string `json:"txn"`
+		Note string `json:"note"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Kind != "begin" || first.Txn != "coord:9" || first.Note != "PrAny" {
+		t.Fatalf("first JSONL line decoded to %+v", first)
+	}
+	var second struct {
+		Kind string `json:"kind"`
+		Txn  string `json:"txn"`
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Kind != "crash" || second.Txn != "" {
+		t.Fatalf("second JSONL line decoded to %+v", second)
+	}
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"prany/internal/metrics"
+)
+
+// Introspection bundles what the HTTP endpoints expose: the metrics
+// registry behind /metrics, the trace recorder behind /trace, and a live
+// protocol-table dump function behind /txns. Any field may be nil; the
+// corresponding endpoint then reports 404 (Txns) or empty output.
+type Introspection struct {
+	Met  *metrics.Registry
+	Rec  *Recorder
+	Txns func() []PTEntry
+}
+
+// Handler builds the introspection mux:
+//
+//	/metrics       Prometheus text exposition of counters and histograms
+//	/txns          JSON dump of live protocol-table entries with state + age
+//	/trace         ring-buffer export (?format=jsonl, chrome, or timeline)
+//	/debug/pprof/  the standard Go profiler endpoints
+func (in Introspection) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if in.Met == nil {
+			return
+		}
+		_ = in.Met.WritePrometheus(w)
+	})
+
+	mux.HandleFunc("/txns", func(w http.ResponseWriter, req *http.Request) {
+		if in.Txns == nil {
+			http.Error(w, "no protocol-table source", http.StatusNotFound)
+			return
+		}
+		entries := in.Txns()
+		SortPTEntries(entries)
+		for i := range entries {
+			entries[i].TxnID = entries[i].Txn.String()
+			entries[i].AgeMS = float64(entries[i].Age) / float64(time.Millisecond)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(struct {
+			Count   int       `json:"count"`
+			Entries []PTEntry `json:"entries"`
+		}{len(entries), entries})
+	})
+
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		if in.Rec == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		switch req.URL.Query().Get("format") {
+		case "chrome":
+			w.Header().Set("Content-Type", "application/json")
+			_ = in.Rec.WriteChromeTrace(w)
+		case "timeline":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte(in.Rec.Timeline()))
+		default:
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_ = in.Rec.WriteJSONL(w)
+		}
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}
+
+// HTTPServer is a running introspection listener.
+type HTTPServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartHTTP binds addr (":7171", "127.0.0.1:0", ...) and serves the
+// introspection endpoints on it until Close.
+func StartHTTP(addr string, in Introspection) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: in.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return &HTTPServer{ln: ln, srv: srv}, nil
+}
+
+// Addr is the bound listen address (resolves ":0" to the chosen port).
+func (s *HTTPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and any in-flight handlers.
+func (s *HTTPServer) Close() error { return s.srv.Close() }

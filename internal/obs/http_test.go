@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"prany/internal/metrics"
+	"prany/internal/wire"
+)
+
+func startTestServer(t *testing.T, in Introspection) string {
+	t.Helper()
+	srv, err := StartHTTP("127.0.0.1:0", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return "http://" + srv.Addr()
+}
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Content-Type"), string(body)
+}
+
+func TestHTTPMetrics(t *testing.T) {
+	met := metrics.NewRegistry()
+	met.Force("coord")
+	met.Observe(metrics.SpanCommit, 3*time.Millisecond)
+	base := startTestServer(t, Introspection{Met: met})
+
+	code, ctype, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type = %q", ctype)
+	}
+	for _, want := range []string{
+		`prany_forces_total{site="coord"} 1`,
+		"# TYPE prany_span_commit_seconds histogram",
+		"prany_span_commit_seconds_count 1",
+		`prany_span_commit_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestHTTPTxns(t *testing.T) {
+	age := 1500 * time.Millisecond
+	base := startTestServer(t, Introspection{Txns: func() []PTEntry {
+		return []PTEntry{{
+			Txn: wire.TxnID{Coord: "coord", Seq: 7}, Site: "coord",
+			Role: "coordinator", Proto: "PrC", State: "draining",
+			Outcome: "commit", AcksExpected: 2, AcksPending: 1, Age: age,
+		}}
+	}})
+
+	code, ctype, body := get(t, base+"/txns")
+	if code != http.StatusOK {
+		t.Fatalf("/txns status = %d", code)
+	}
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/txns content type = %q", ctype)
+	}
+	var doc struct {
+		Count   int `json:"count"`
+		Entries []struct {
+			TxnID       string  `json:"txn"`
+			State       string  `json:"state"`
+			AcksPending int     `json:"acks_pending"`
+			AgeMS       float64 `json:"age_ms"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/txns body not JSON: %v\n%s", err, body)
+	}
+	if doc.Count != 1 || len(doc.Entries) != 1 {
+		t.Fatalf("/txns count = %d, entries = %d", doc.Count, len(doc.Entries))
+	}
+	e := doc.Entries[0]
+	if e.TxnID != "coord:7" || e.State != "draining" || e.AcksPending != 1 || e.AgeMS != 1500 {
+		t.Fatalf("/txns entry = %+v", e)
+	}
+}
+
+func TestHTTPTxnsWithoutSource(t *testing.T) {
+	base := startTestServer(t, Introspection{})
+	if code, _, _ := get(t, base+"/txns"); code != http.StatusNotFound {
+		t.Fatalf("/txns without a source: status = %d, want 404", code)
+	}
+	if code, _, _ := get(t, base+"/trace"); code != http.StatusNotFound {
+		t.Fatalf("/trace without a recorder: status = %d, want 404", code)
+	}
+}
+
+func TestHTTPTrace(t *testing.T) {
+	rec := NewRecorder(64)
+	rec.Record(Event{Kind: EvBegin, Site: "coord", Txn: wire.TxnID{Coord: "coord", Seq: 1}})
+	rec.Record(Event{Kind: EvForce, Site: "pa", Txn: wire.TxnID{Coord: "coord", Seq: 1}, Dur: 1000})
+	base := startTestServer(t, Introspection{Rec: rec})
+
+	code, ctype, body := get(t, base+"/trace")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "application/x-ndjson") {
+		t.Fatalf("/trace status = %d, content type = %q", code, ctype)
+	}
+	if lines := strings.Split(strings.TrimRight(body, "\n"), "\n"); len(lines) != 2 {
+		t.Fatalf("/trace JSONL lines = %d, want 2", len(lines))
+	}
+
+	code, _, body = get(t, base+"/trace?format=chrome")
+	if code != http.StatusOK {
+		t.Fatalf("/trace?format=chrome status = %d", code)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil || len(doc.TraceEvents) == 0 {
+		t.Fatalf("/trace?format=chrome invalid: %v", err)
+	}
+
+	code, _, body = get(t, base+"/trace?format=timeline")
+	if code != http.StatusOK || !strings.Contains(body, "txn coord:1") {
+		t.Fatalf("/trace?format=timeline status = %d body:\n%s", code, body)
+	}
+}
+
+func TestHTTPPprof(t *testing.T) {
+	base := startTestServer(t, Introspection{})
+	code, _, body := get(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ status = %d", code)
+	}
+}

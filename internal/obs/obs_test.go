@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"prany/internal/wire"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Kind: EvBegin})
+	r.RecordSpan(Event{Kind: EvForce}, 0)
+}
+
+func TestRecordAssignsSeqAndTS(t *testing.T) {
+	r := NewRecorder(64)
+	r.Record(Event{Kind: EvBegin, Site: "coord"})
+	r.Record(Event{Kind: EvDecide, Site: "coord", TS: 123})
+	evs := r.Snapshot()
+	if len(evs) != 2 {
+		t.Fatalf("Snapshot() len = %d, want 2", len(evs))
+	}
+	if evs[0].Seq == 0 || evs[1].Seq != evs[0].Seq+1 {
+		t.Fatalf("sequence numbers %d, %d not consecutive from nonzero", evs[0].Seq, evs[1].Seq)
+	}
+	if evs[0].TS == 0 {
+		t.Fatal("Record left a zero TS unstamped")
+	}
+	if evs[1].TS != 123 {
+		t.Fatalf("Record overwrote caller TS: got %d, want 123", evs[1].TS)
+	}
+}
+
+func TestRecorderWraparound(t *testing.T) {
+	r := NewRecorder(64) // 16 shards × 4 events
+	const total = 1000
+	for i := 0; i < total; i++ {
+		r.Record(Event{Kind: EvBegin, Site: "s", Txn: wire.TxnID{Coord: "s", Seq: uint64(i)}})
+	}
+	if got := r.Len(); got != 64 {
+		t.Fatalf("Len() = %d after wraparound, want capacity 64", got)
+	}
+	evs := r.Snapshot()
+	if len(evs) != 64 {
+		t.Fatalf("Snapshot() len = %d, want 64", len(evs))
+	}
+	// The flight recorder keeps the newest events: exactly the last 64
+	// sequence numbers, in order.
+	for i, ev := range evs {
+		want := uint64(total - 64 + i + 1)
+		if ev.Seq != want {
+			t.Fatalf("Snapshot()[%d].Seq = %d, want %d (oldest overwritten first)", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestRecorderCapacityRounding(t *testing.T) {
+	r := NewRecorder(100) // rounds up to 16 × 8 = 128
+	for i := 0; i < 500; i++ {
+		r.Record(Event{Kind: EvBegin})
+	}
+	if got := r.Len(); got != 128 {
+		t.Fatalf("Len() = %d, want 128 (capacity rounded to power-of-two shards)", got)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(1 << 12)
+	const goroutines, per = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			site := wire.SiteID(fmt.Sprintf("s%d", g))
+			for i := 0; i < per; i++ {
+				start := r.Now()
+				r.Record(Event{Kind: EvBegin, Site: site})
+				r.RecordSpan(Event{Kind: EvForce, Site: site}, start)
+			}
+		}(g)
+	}
+	wg.Wait()
+	evs := r.Snapshot()
+	if len(evs) != goroutines*per*2 {
+		t.Fatalf("Snapshot() len = %d, want %d", len(evs), goroutines*per*2)
+	}
+	seen := make(map[uint64]bool, len(evs))
+	last := uint64(0)
+	for _, ev := range evs {
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate sequence number %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+		if ev.Seq < last {
+			t.Fatalf("Snapshot not sorted: %d after %d", ev.Seq, last)
+		}
+		last = ev.Seq
+	}
+}
+
+func TestRecordSpanDuration(t *testing.T) {
+	r := NewRecorder(16)
+	start := r.Now()
+	time.Sleep(2 * time.Millisecond)
+	r.RecordSpan(Event{Kind: EvForce, Site: "s"}, start)
+	evs := r.Snapshot()
+	if len(evs) != 1 {
+		t.Fatalf("Snapshot() len = %d, want 1", len(evs))
+	}
+	if evs[0].TS != start {
+		t.Fatalf("span TS = %d, want start %d", evs[0].TS, start)
+	}
+	if evs[0].Dur < int64(time.Millisecond) {
+		t.Fatalf("span Dur = %s, want >= 1ms", time.Duration(evs[0].Dur))
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	txn := wire.TxnID{Coord: "coord", Seq: 1}
+	events := []Event{
+		{Seq: 1, TS: 0, Kind: EvBegin, Site: "coord", Txn: txn, Note: "PrAny"},
+		{Seq: 2, TS: 1_500_000, Kind: EvForce, Site: "pa", Txn: txn, Dur: 200_000, Note: "prepared"},
+		{Seq: 3, TS: 2_000_000, Kind: EvPTDelete, Site: "coord", Txn: txn},
+		{Seq: 4, TS: 3_000_000, Kind: EvCrash, Site: "pc", Note: "injected"},
+	}
+	out := Timeline(events)
+	for _, want := range []string{
+		"txn coord:1",
+		"begin",
+		"+1.500ms",
+		"force",
+		"(200µs)",
+		"pt-delete",
+		"site events",
+		"crash",
+		"injected",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSortPTEntries(t *testing.T) {
+	entries := []PTEntry{
+		{Site: "pc", Role: "participant", Txn: wire.TxnID{Coord: "c", Seq: 2}},
+		{Site: "coord", Role: "coordinator", Txn: wire.TxnID{Coord: "c", Seq: 2}},
+		{Site: "coord", Role: "coordinator", Txn: wire.TxnID{Coord: "c", Seq: 1}},
+	}
+	SortPTEntries(entries)
+	if entries[0].Site != "coord" || entries[0].Txn.Seq != 1 {
+		t.Fatalf("sort order wrong: %+v", entries)
+	}
+	if entries[2].Site != "pc" {
+		t.Fatalf("sort order wrong: %+v", entries)
+	}
+}

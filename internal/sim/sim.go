@@ -18,6 +18,7 @@ import (
 	"prany/internal/history"
 	"prany/internal/metrics"
 	"prany/internal/nonext"
+	"prany/internal/obs"
 	"prany/internal/site"
 	"prany/internal/transport"
 	"prany/internal/wal"
@@ -76,6 +77,10 @@ type Spec struct {
 	// delivery path, so a deterministic driver (the model checker) fully
 	// controls event order. Nil means production scheduling.
 	Sched core.Scheduler
+	// Obs, when set, is installed as every site's trace recorder; chaos
+	// episodes also route their injected-fault events into it. Nil means
+	// tracing off.
+	Obs *obs.Recorder
 }
 
 // CoordID is the identifier of the cluster's coordinator site.
@@ -159,6 +164,7 @@ func New(spec Spec) (*Cluster, error) {
 		ExecTimeout: spec.ExecTimeout,
 		LogStore:    newLogStore(CoordID),
 		Sched:       spec.Sched,
+		Obs:         spec.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -178,6 +184,7 @@ func New(spec Spec) (*Cluster, error) {
 			Coordinator:       core.CoordinatorConfig{VoteTimeout: spec.VoteTimeout},
 			KnownCoordinators: []wire.SiteID{CoordID},
 			Sched:             spec.Sched,
+			Obs:               spec.Obs,
 		}
 		if p.Legacy {
 			cfg.RM = nonext.NewAgent(nonext.NewLegacyStore())
@@ -187,6 +194,9 @@ func New(spec Spec) (*Cluster, error) {
 			return nil, err
 		}
 		c.Parts[p.ID] = s
+	}
+	if spec.Chaos != nil && spec.Obs != nil {
+		spec.Chaos.SetObs(spec.Obs)
 	}
 	if spec.Chaos != nil {
 		spec.Chaos.BindCrasher(func(id wire.SiteID) {

@@ -17,6 +17,7 @@ import (
 	"prany/internal/history"
 	"prany/internal/kvstore"
 	"prany/internal/metrics"
+	"prany/internal/obs"
 	"prany/internal/transport"
 	"prany/internal/wal"
 	"prany/internal/wire"
@@ -43,6 +44,9 @@ type Config struct {
 	// counters.
 	Hist *history.Recorder
 	Met  *metrics.Registry
+	// Obs, when non-nil, receives per-transaction trace events (timing).
+	// Nil disables tracing: the engines pay one branch per hook site.
+	Obs *obs.Recorder
 	// ReadOnlyOpt enables the read-only voting optimization.
 	ReadOnlyOpt bool
 	// ExecTimeout bounds one remote operation batch. Zero means 2s.
@@ -149,6 +153,7 @@ func (s *Site) start(runRecovery bool) error {
 		Met:   s.cfg.Met,
 		Dead:  dead,
 		Sched: s.cfg.Sched,
+		Obs:   s.cfg.Obs,
 	}
 	// A batching transport gets multi-message emissions whole, so protocol
 	// fan-outs and piggybacked acks can share physical frames.
@@ -292,6 +297,7 @@ func (s *Site) Crash() {
 	if s.cfg.Hist != nil {
 		s.cfg.Hist.Record(history.Event{Kind: history.EvCrash, Site: s.cfg.ID})
 	}
+	s.cfg.Obs.Record(obs.Event{Kind: obs.EvCrash, Site: s.cfg.ID})
 }
 
 // Recover restarts a crashed site from its stable log: prepared
@@ -339,6 +345,18 @@ func (s *Site) Quiesced() bool {
 	part, coord := s.part, s.coord
 	s.mu.Unlock()
 	return coord.PTSize() == 0 && part.Pending() == 0
+}
+
+// PTDump snapshots both roles' live protocol tables for the /txns endpoint.
+func (s *Site) PTDump() []obs.PTEntry {
+	s.mu.Lock()
+	if s.crashed {
+		s.mu.Unlock()
+		return nil
+	}
+	part, coord := s.part, s.coord
+	s.mu.Unlock()
+	return append(coord.PTDump(), part.PTDump()...)
 }
 
 // Checkpoint garbage-collects the log, keeping only records of transactions

@@ -480,12 +480,17 @@ func (n *TCPNetwork) deliverBatch(l *outLink, batch []wire.Message) {
 		// accepted the connection but stopped reading — can hold this
 		// link's writer.
 		conn.SetWriteDeadline(time.Now().Add(n.writeTimeout))
+		var t0 time.Time
+		if n.met != nil {
+			t0 = time.Now()
+		}
 		_, err := conn.Write(buf)
 		if err == nil {
 			conn.SetWriteDeadline(time.Time{})
 			l.fails = 0
 			if n.met != nil {
 				n.met.Frame(from, kept, len(buf))
+				n.met.Observe(metrics.SpanFrameFlush, time.Since(t0))
 			}
 			return
 		}

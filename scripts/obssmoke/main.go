@@ -1,0 +1,181 @@
+// Command obssmoke is the tier-1 observability gate (`make obs-smoke`): it
+// builds prany-server, starts it with an introspection listener, and
+// asserts that all four endpoint groups — /metrics, /txns, /trace and
+// /debug/pprof/ — serve well-formed output. A regression that breaks the
+// -http wiring (a renamed metric family, a handler that stops returning
+// JSON, a listener that never comes up) fails the merge gate without any
+// cluster traffic.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL obs-smoke: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("ok   obs-smoke: /metrics, /txns, /trace and /debug/pprof/ all serve")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "obssmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	bin := filepath.Join(tmp, "prany-server")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/prany-server")
+	build.Stdout, build.Stderr = os.Stdout, os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building prany-server: %w", err)
+	}
+
+	srv := exec.Command(bin,
+		"-id", "smoke", "-proto", "pra",
+		"-listen", "127.0.0.1:0",
+		"-wal", filepath.Join(tmp, "smoke.wal"),
+		"-http", "127.0.0.1:0")
+	stderr, err := srv.StderrPipe()
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		_ = srv.Process.Signal(syscall.SIGTERM)
+		_ = srv.Wait()
+	}()
+
+	// The server logs "introspection on http://<addr>" once the listener is
+	// up; that line carries the :0-resolved port.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "introspection on http://"); i >= 0 {
+				addrCh <- strings.TrimSpace(line[i+len("introspection on http://"):])
+			}
+		}
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("server never announced its introspection address")
+	}
+
+	if err := checkMetrics(base); err != nil {
+		return err
+	}
+	if err := checkTxns(base); err != nil {
+		return err
+	}
+	if err := checkTrace(base); err != nil {
+		return err
+	}
+	return checkPprof(base)
+}
+
+func fetch(url string) (string, string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", "", fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return string(body), resp.Header.Get("Content-Type"), nil
+}
+
+func checkMetrics(base string) error {
+	body, ctype, err := fetch(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		return fmt.Errorf("/metrics content type %q", ctype)
+	}
+	for _, want := range []string{
+		"# TYPE prany_span_commit_seconds histogram",
+		"prany_span_commit_seconds_count",
+		"prany_span_wal_force_seconds_count",
+		"# TYPE prany_pt_retained gauge",
+	} {
+		if !strings.Contains(body, want) {
+			return fmt.Errorf("/metrics missing %q", want)
+		}
+	}
+	return nil
+}
+
+func checkTxns(base string) error {
+	body, ctype, err := fetch(base + "/txns")
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(ctype, "application/json") {
+		return fmt.Errorf("/txns content type %q", ctype)
+	}
+	var doc struct {
+		Count   int               `json:"count"`
+		Entries []json.RawMessage `json:"entries"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		return fmt.Errorf("/txns not JSON: %w", err)
+	}
+	if doc.Count != len(doc.Entries) {
+		return fmt.Errorf("/txns count %d != %d entries", doc.Count, len(doc.Entries))
+	}
+	return nil
+}
+
+func checkTrace(base string) error {
+	if _, ctype, err := fetch(base + "/trace"); err != nil {
+		return err
+	} else if !strings.HasPrefix(ctype, "application/x-ndjson") {
+		return fmt.Errorf("/trace content type %q", ctype)
+	}
+	body, _, err := fetch(base + "/trace?format=chrome")
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		return fmt.Errorf("/trace?format=chrome not JSON: %w", err)
+	}
+	return nil
+}
+
+func checkPprof(base string) error {
+	body, _, err := fetch(base + "/debug/pprof/")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(body, "goroutine") {
+		return fmt.Errorf("/debug/pprof/ index missing profile listing")
+	}
+	return nil
+}
