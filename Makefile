@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race chaos examples bench-smoke obs-smoke tier1 cover allocs bench-groupcommit bench-pipeline clean
+.PHONY: all build test vet race chaos examples bench-smoke obs-smoke recovery-smoke tier1 cover allocs bench-groupcommit bench-pipeline bench-recovery clean
 
 all: tier1
 
@@ -47,12 +47,19 @@ bench-smoke:
 obs-smoke:
 	$(GO) run ./scripts/obssmoke
 
+# Recovery smoke: crash a loaded cluster with checkpointing off and on and
+# assert (via the recovery metrics) that the checkpointed recovery scan is
+# O(active), not O(history) — the E18 claim as a merge gate.
+recovery-smoke:
+	$(GO) run ./scripts/recoverysmoke
+
 # tier1 is the merge gate: everything must build, every test must pass,
 # vet must be clean, the concurrent packages must be race-free, the short
 # chaos sweep must stay operationally correct, every example must run,
-# the transport batch writer must demonstrably coalesce frames, and the
-# introspection endpoints must serve.
-tier1: build test vet race chaos examples bench-smoke obs-smoke
+# the transport batch writer must demonstrably coalesce frames, the
+# introspection endpoints must serve, and checkpointed recovery must stay
+# O(active).
+tier1: build test vet race chaos examples bench-smoke obs-smoke recovery-smoke
 
 # cover enforces the per-package statement-coverage floors recorded in
 # coverage.floors and the per-benchmark allocation ceilings in
@@ -73,6 +80,10 @@ bench-groupcommit:
 # BENCH_pipeline.json.
 bench-pipeline:
 	$(GO) test -bench 'BenchmarkE16_Pipeline' -benchtime 5000x -run '^$$' .
+
+# Reproduce the E18 recovery-cost numbers recorded in BENCH_recovery.json.
+bench-recovery:
+	$(GO) run ./cmd/prany-bench -run recovery -json
 
 clean:
 	$(GO) clean ./...

@@ -10,7 +10,7 @@
 //	prany-bench               # everything
 //	prany-bench -run costs    # one section: costs, theorem1, theorem2,
 //	                          # sweep, perf, readonly, iyv, cl,
-//	                          # groupcommit, chaos, pipeline
+//	                          # groupcommit, chaos, pipeline, recovery
 //	prany-bench -run pipeline -cpuprofile cpu.out -memprofile mem.out
 package main
 
@@ -44,19 +44,20 @@ type bench struct {
 	// historical default (sweep 7, perf 99, groupcommit 42, chaos 1),
 	// preserving the committed EXPERIMENTS.md numbers.
 	seed int64
-	// jsonOut switches the obs section to machine-readable output (the
-	// BENCH_obs.json format); every other section ignores it.
+	// jsonOut switches the obs and recovery sections to machine-readable
+	// output (the BENCH_obs.json / BENCH_recovery.json formats); every other
+	// section ignores it.
 	jsonOut bool
 }
 
-var sectionOrder = []string{"costs", "theorem1", "theorem2", "sweep", "perf", "readonly", "iyv", "cl", "groupcommit", "chaos", "pipeline", "obs"}
+var sectionOrder = []string{"costs", "theorem1", "theorem2", "sweep", "perf", "readonly", "iyv", "cl", "groupcommit", "chaos", "pipeline", "obs", "recovery"}
 
 func run(args []string, stdout io.Writer) int {
 	fs := flag.NewFlagSet("prany-bench", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	which := fs.String("run", "all", "which section to run: all, "+strings.Join(sectionOrder, ", "))
 	seed := fs.Int64("seed", 0, "override every section's random seed (0 = per-section defaults)")
-	jsonOut := fs.Bool("json", false, "with -run obs: emit the E17 results as JSON (BENCH_obs.json)")
+	jsonOut := fs.Bool("json", false, "with -run obs or -run recovery: emit the results as JSON (BENCH_obs.json / BENCH_recovery.json)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -105,6 +106,7 @@ func run(args []string, stdout io.Writer) int {
 		"chaos":       b.chaosMatrix,
 		"pipeline":    b.pipeline,
 		"obs":         b.obs,
+		"recovery":    b.recovery,
 	}
 	if *which == "all" {
 		for _, name := range sectionOrder {
@@ -475,6 +477,73 @@ func (b *bench) obs() error {
 	for _, r := range res.Retention {
 		fmt.Fprintf(b.w, "%5d | %13d %15.0f | %14d %16.0f\n",
 			r.Round, r.C2PCRetained, r.C2PCMaxAgeMS, r.PrAnyRetained, r.PrAnyMaxAgeMS)
+	}
+	return nil
+}
+
+// recovery prints E18: recovery cost vs history length, with checkpointing
+// off and on. The cluster runs terminated transactions to completion,
+// strands a fixed active set in doubt, fail-stops every site and recovers
+// them all; scanned is the stable records the recovery scans read (from the
+// recovery metrics). Without checkpointing the scan grows with the history;
+// with it on, it stays in the active-set-plus-cadence envelope however long
+// the history.
+func (b *bench) recovery() error {
+	const (
+		every  = 64
+		active = 8
+	)
+	terminated := []int{100, 400, 1600}
+	if !b.jsonOut {
+		b.header("E18: recovery cost — scan size vs history, checkpointing off/on")
+	}
+	seed := int64(21)
+	if b.seed != 0 {
+		seed = b.seed
+	}
+	type row struct {
+		CkptEvery    int     `json:"ckpt_every"`
+		Terminated   int     `json:"terminated"`
+		Active       int     `json:"active"`
+		StableBefore int     `json:"stable_before"`
+		Scanned      int     `json:"scanned"`
+		Suffix       int     `json:"suffix"`
+		Checkpoints  uint64  `json:"checkpoints"`
+		Collected    uint64  `json:"collected"`
+		ElapsedMS    float64 `json:"elapsed_ms"`
+	}
+	var rows []row
+	for _, cadence := range []int{0, every} {
+		for _, m := range terminated {
+			pt, err := experiments.MeasureRecovery(cadence, m, active, seed)
+			if err != nil {
+				return fmt.Errorf("recovery every=%d M=%d: %w", cadence, m, err)
+			}
+			rows = append(rows, row{
+				CkptEvery: pt.CkptEvery, Terminated: pt.Terminated, Active: pt.Active,
+				StableBefore: pt.StableBefore, Scanned: pt.Scanned, Suffix: pt.Suffix,
+				Checkpoints: pt.Checkpoints, Collected: pt.Collected,
+				ElapsedMS: float64(pt.Elapsed.Microseconds()) / 1000,
+			})
+		}
+	}
+	if b.jsonOut {
+		out := struct {
+			Experiment string `json:"experiment"`
+			Seed       int64  `json:"seed"`
+			Rows       []row  `json:"rows"`
+		}{"E18 recovery cost vs log size", seed, rows}
+		enc := json.NewEncoder(b.w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	fmt.Fprintf(b.w, "seed: %d\n", seed)
+	fmt.Fprintf(b.w, "%9s %10s %7s | %12s %8s %7s | %11s %10s %10s\n",
+		"ckptEvery", "terminated", "active", "stableBefore", "scanned", "suffix", "checkpoints", "collected", "recoverMs")
+	for _, r := range rows {
+		fmt.Fprintf(b.w, "%9d %10d %7d | %12d %8d %7d | %11d %10d %10.2f\n",
+			r.CkptEvery, r.Terminated, r.Active, r.StableBefore, r.Scanned, r.Suffix,
+			r.Checkpoints, r.Collected, r.ElapsedMS)
 	}
 	return nil
 }

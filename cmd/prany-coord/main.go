@@ -42,6 +42,7 @@ func main() {
 	nativeName := flag.String("native", "prn", "native protocol for u2pc/c2pc")
 	voteTimeout := flag.Duration("vote-timeout", 2*time.Second, "voting phase timeout")
 	drain := flag.Duration("drain", 3*time.Second, "how long to drain acknowledgments before exiting")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint the WAL after this many forced records (0 disables; keeps recovery scans O(active))")
 	httpAddr := flag.String("http", "", "introspection listen address (e.g. :7171): /metrics, /txns, /trace, /debug/pprof/")
 	traceCap := flag.Int("trace-buf", 1<<14, "trace ring-buffer capacity in events (with -http)")
 	var sites siteFlags
@@ -91,9 +92,10 @@ func main() {
 			Native:      native,
 			VoteTimeout: *voteTimeout,
 		},
-		LogStore: store,
-		Met:      met,
-		Obs:      rec,
+		LogStore:        store,
+		CheckpointEvery: *ckptEvery,
+		Met:             met,
+		Obs:             rec,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -41,6 +41,7 @@ func main() {
 	flag.Var(&peers, "peer", "peer address as site=host:port (repeatable; the coordinator must be listed)")
 	tick := flag.Duration("tick", 500*time.Millisecond, "retry interval for in-doubt inquiries")
 	httpAddr := flag.String("http", "", "introspection listen address (e.g. :7171): /metrics, /txns, /trace, /debug/pprof/")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint the WAL after this many forced records (0 disables; keeps recovery scans O(active))")
 	traceCap := flag.Int("trace-buf", 1<<14, "trace ring-buffer capacity in events (with -http)")
 	flag.Parse()
 
@@ -77,13 +78,14 @@ func main() {
 		log.Fatal(err)
 	}
 	s, err := site.New(site.Config{
-		ID:          wire.SiteID(*id),
-		Proto:       proto,
-		Net:         net,
-		LogStore:    store,
-		Coordinator: core.CoordinatorConfig{},
-		Met:         met,
-		Obs:         rec,
+		ID:              wire.SiteID(*id),
+		Proto:           proto,
+		Net:             net,
+		LogStore:        store,
+		Coordinator:     core.CoordinatorConfig{},
+		CheckpointEvery: *ckptEvery,
+		Met:             met,
+		Obs:             rec,
 	})
 	if err != nil {
 		log.Fatal(err)

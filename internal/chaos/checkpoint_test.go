@@ -1,0 +1,137 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+
+	"prany/internal/wal"
+)
+
+func TestCrashEdgeStrings(t *testing.T) {
+	want := map[CrashEdge]string{
+		BeforeForce:      "before-force",
+		AfterForce:       "after-force",
+		OnSend:           "on-send",
+		OnDeliver:        "on-deliver",
+		BeforeCheckpoint: "before-checkpoint",
+		AfterCheckpoint:  "after-checkpoint",
+		CrashEdge(99):    "unknown",
+	}
+	for e, s := range want {
+		if e.String() != s {
+			t.Errorf("CrashEdge(%d).String() = %q, want %q", e, e.String(), s)
+		}
+	}
+}
+
+func TestStoreCrashBeforeCheckpoint(t *testing.T) {
+	e := NewEngine(Plan{Seed: 1, Crashes: []CrashPoint{{Site: "p1", Edge: BeforeCheckpoint}}})
+	var cr crashRecorder
+	e.BindCrasher(cr.crash)
+	inner := wal.NewMemStore()
+	s := e.WrapStore("p1", inner)
+
+	// Checkpoint edges never match ordinary forces.
+	if err := s.Append([]wal.Record{{Kind: wal.KPrepared, Role: wal.RolePart}}); err != nil {
+		t.Fatalf("append under a checkpoint-edge plan: %v", err)
+	}
+	// The rewrite's commit instant trips the crash: the staged image is
+	// abandoned and the old image survives.
+	rw := s.(wal.Rewriter)
+	pending, err := rw.BeginRewrite([]wal.Record{{Kind: wal.KCommit, Role: wal.RoleCoord}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pending.Commit(nil); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("commit err = %v, want ErrInjectedCrash", err)
+	}
+	recs, _ := inner.Load()
+	if len(recs) != 1 || recs[0].Kind != wal.KPrepared {
+		t.Fatalf("old image not intact after abandoned checkpoint: %v", recs)
+	}
+	// The site is down: a later rewrite is refused the same way.
+	if err := s.Rewrite([]wal.Record{{Kind: wal.KEnd}}); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("rewrite on downed site err = %v, want ErrInjectedCrash", err)
+	}
+	e.Settle()
+	if got := cr.got(); len(got) != 1 || got[0] != "p1" {
+		t.Fatalf("crasher calls = %v, want [p1]", got)
+	}
+	if got := e.Counters().Crashes; got != 1 {
+		t.Fatalf("crash counter = %d, want 1", got)
+	}
+	// Recovered, the spent crash point never fires again.
+	e.TakeCrashed()
+	if err := s.Rewrite([]wal.Record{{Kind: wal.KEnd}}); err != nil {
+		t.Fatalf("rewrite after recovery: %v", err)
+	}
+}
+
+func TestStoreCrashAfterCheckpoint(t *testing.T) {
+	e := NewEngine(Plan{Seed: 1, Crashes: []CrashPoint{{Site: "c", Edge: AfterCheckpoint}}})
+	var cr crashRecorder
+	e.BindCrasher(cr.crash)
+	inner := wal.NewMemStore()
+	s := e.WrapStore("c", inner)
+	if err := s.Append([]wal.Record{{Kind: wal.KInitiation, Role: wal.RoleCoord}}); err != nil {
+		t.Fatal(err)
+	}
+	// The new image commits durably, then the site fail-stops.
+	if err := s.Rewrite([]wal.Record{{Kind: wal.KRecCheckpoint, Role: wal.RoleCoord}}); err != nil {
+		t.Fatalf("after-checkpoint rewrite should land, got %v", err)
+	}
+	recs, _ := inner.Load()
+	if len(recs) != 1 || recs[0].Kind != wal.KRecCheckpoint {
+		t.Fatalf("new image not committed: %v", recs)
+	}
+	e.Settle()
+	if got := cr.got(); len(got) != 1 || got[0] != "c" {
+		t.Fatalf("crasher calls = %v, want [c]", got)
+	}
+}
+
+// plainStore strips MemStore down to the bare Store interface so the
+// wrapper's non-Rewriter fallback path is exercised.
+type plainStore struct{ inner *wal.MemStore }
+
+func (s *plainStore) Load() ([]wal.Record, error)      { return s.inner.Load() }
+func (s *plainStore) Append(recs []wal.Record) error   { return s.inner.Append(recs) }
+func (s *plainStore) Rewrite(recs []wal.Record) error  { return s.inner.Rewrite(recs) }
+func (s *plainStore) Close() error                     { return s.inner.Close() }
+
+func TestStoreRewriteFallbackWithoutRewriter(t *testing.T) {
+	e := NewEngine(Plan{Seed: 1})
+	inner := wal.NewMemStore()
+	s := e.WrapStore("p1", &plainStore{inner: inner})
+	rw := s.(wal.Rewriter)
+	pending, err := rw.BeginRewrite([]wal.Record{{Kind: wal.KCommit, LSN: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pending.Commit([]wal.Record{{Kind: wal.KEnd, LSN: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := inner.Load()
+	if len(recs) != 2 || recs[0].Kind != wal.KCommit || recs[1].Kind != wal.KEnd {
+		t.Fatalf("fallback rewrite image: %v", recs)
+	}
+	// Abort on the fallback path is a no-op.
+	pending2, _ := rw.BeginRewrite([]wal.Record{{Kind: wal.KAbort}})
+	pending2.Abort()
+	if recs, _ := inner.Load(); len(recs) != 2 {
+		t.Fatalf("aborted fallback rewrite touched the store: %v", recs)
+	}
+}
+
+func TestStoreRewriteInactiveEnginePassesThrough(t *testing.T) {
+	e := NewEngine(Plan{Seed: 1, Crashes: []CrashPoint{{Site: "p1", Edge: BeforeCheckpoint}}})
+	e.Deactivate()
+	inner := wal.NewMemStore()
+	s := e.WrapStore("p1", inner)
+	if err := s.Rewrite([]wal.Record{{Kind: wal.KCommit}}); err != nil {
+		t.Fatalf("rewrite under deactivated engine: %v", err)
+	}
+	if got := e.Counters().Crashes; got != 0 {
+		t.Fatalf("deactivated engine fired a crash point: %d", got)
+	}
+}

@@ -355,6 +355,38 @@ func (e *Engine) planAppend(site wire.SiteID, recs []wal.Record) storeAction {
 	return storeOK
 }
 
+// planRewrite decides the fate of one checkpoint rewrite commit. As with
+// planAppend, a storeCrashBefore verdict means the crash is already tripped
+// (the staged image must be abandoned); storeCrashAfter asks the caller to
+// let the new image commit and then trip via tripAfterAppend.
+func (e *Engine) planRewrite(site wire.SiteID) storeAction {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.down[site] {
+		return storeCrashBefore // fail-stopped: a dead site writes nothing
+	}
+	if !e.active {
+		return storeOK
+	}
+	if e.crashMatchLocked(func(cp CrashPoint) bool {
+		return cp.Edge == BeforeCheckpoint && cp.Site == site
+	}) {
+		return storeCrashBefore
+	}
+	for i, cp := range e.plan.Crashes {
+		if e.fired[i] || cp.Edge != AfterCheckpoint || cp.Site != site {
+			continue
+		}
+		if e.remain[i] > 0 {
+			e.remain[i]--
+			continue
+		}
+		e.fired[i] = true
+		return storeCrashAfter
+	}
+	return storeOK
+}
+
 // tripAfterAppend fires the crash half of a storeCrashAfter verdict.
 func (e *Engine) tripAfterAppend(site wire.SiteID) {
 	e.mu.Lock()

@@ -65,6 +65,15 @@ const (
 	// message is consumed by the crash. A participant crashing at a
 	// DECISION delivery dies between the decision and its enforcement.
 	OnDeliver
+	// BeforeCheckpoint fail-stops the site as a checkpoint's stable-image
+	// rewrite is about to commit: the staged image is abandoned and the old
+	// image survives intact — a crash mid-checkpoint must leave recovery
+	// reading the pre-checkpoint log. Rec, Role and Msg are ignored.
+	BeforeCheckpoint
+	// AfterCheckpoint lets the checkpoint's new image become durable, then
+	// fail-stops the site — recovery must come up from the checkpointed
+	// image alone, before any post-checkpoint record lands.
+	AfterCheckpoint
 )
 
 func (e CrashEdge) String() string {
@@ -75,8 +84,14 @@ func (e CrashEdge) String() string {
 		return "after-force"
 	case OnSend:
 		return "on-send"
-	default:
+	case OnDeliver:
 		return "on-deliver"
+	case BeforeCheckpoint:
+		return "before-checkpoint"
+	case AfterCheckpoint:
+		return "after-checkpoint"
+	default:
+		return "unknown"
 	}
 }
 

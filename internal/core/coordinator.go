@@ -759,6 +759,29 @@ func (c *Coordinator) PTDump() []obs.PTEntry {
 	return out
 }
 
+// CheckpointEntries snapshots the coordinator's protocol table for a
+// RecCheckpoint record: one entry per live transaction with its phase and,
+// when decided, its outcome. Entries are sorted by transaction so equal
+// tables snapshot identically.
+func (c *Coordinator) CheckpointEntries() []wal.CheckpointEntry {
+	var out []wal.CheckpointEntry
+	c.txns.each(func(tbl map[wire.TxnID]*ctxn) {
+		for _, ct := range tbl {
+			e := wal.CheckpointEntry{Txn: ct.txn, Role: wal.RoleCoord, Phase: wal.CkptVoting}
+			if ct.state == cDraining {
+				e.Phase = wal.CkptDraining
+			}
+			if ct.decided {
+				e.Decided = true
+				e.Outcome = ct.outcome
+			}
+			out = append(out, e)
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Txn.String() < out[j].Txn.String() })
+	return out
+}
+
 // Live reports whether the coordinator still needs txn's log records. Only
 // transactions in the protocol table do; everything else is garbage by
 // clause 2 of operational correctness.

@@ -52,6 +52,13 @@ func (c *Coordinator) Recover() error {
 	byTxn := make(map[wire.TxnID]*seen)
 	var order []wire.TxnID
 	for _, rec := range c.env.Log.Records() {
+		if rec.Kind == wal.KRecCheckpoint {
+			// Checkpoint snapshot: everything before it is the checkpointed
+			// image (live records only, by construction), everything after
+			// is the replay suffix. The records themselves stay the replay
+			// source; the snapshot's entry list bounds what a scan can find.
+			continue
+		}
 		if rec.Role != wal.RoleCoord {
 			continue // participant-role record; not ours
 		}

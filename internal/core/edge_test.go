@@ -162,7 +162,7 @@ func TestCheckpointPinsInDoubtRecords(t *testing.T) {
 	// p2's ack is missing: the coordinator must keep the commit record.
 	if _, err := r.logs["coord"].Checkpoint(func(rec wal.Record) bool {
 		return r.coord.Live(rec.Txn)
-	}); err != nil {
+	}, nil); err != nil {
 		t.Fatal(err)
 	}
 	kinds := r.kinds("coord")
@@ -174,7 +174,7 @@ func TestCheckpointPinsInDoubtRecords(t *testing.T) {
 	r.settle()
 	if _, err := r.logs["coord"].Checkpoint(func(rec wal.Record) bool {
 		return r.coord.Live(rec.Txn)
-	}); err != nil {
+	}, nil); err != nil {
 		t.Fatal(err)
 	}
 	if got := len(r.logs["coord"].All()); got != 0 {

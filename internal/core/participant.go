@@ -480,6 +480,9 @@ func (p *Participant) Recover() error {
 	byTxn := make(map[wire.TxnID]*seen)
 	order := []wire.TxnID{}
 	for _, rec := range p.env.Log.Records() {
+		if rec.Kind == wal.KRecCheckpoint {
+			continue // checkpoint snapshot: bookkeeping, not a protocol record
+		}
 		if rec.Role != wal.RolePart {
 			continue // coordinator-role record; not ours
 		}
@@ -655,6 +658,25 @@ func (p *Participant) Tick() {
 		}
 	}
 	p.env.fanout(msgs)
+}
+
+// CheckpointEntries snapshots the participant's protocol table for a
+// RecCheckpoint record: one entry per live subtransaction with its phase
+// and, for prepared entries, the coordinator to inquire at. Entries are
+// sorted by transaction so equal tables snapshot identically.
+func (p *Participant) CheckpointEntries() []wal.CheckpointEntry {
+	var out []wal.CheckpointEntry
+	p.txns.each(func(tbl map[wire.TxnID]*ptxn) {
+		for txn, t := range tbl {
+			e := wal.CheckpointEntry{Txn: txn, Role: wal.RolePart, Phase: wal.CkptExecuting, Coord: t.coord}
+			if t.state == pPrepared {
+				e.Phase = wal.CkptPrepared
+			}
+			out = append(out, e)
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Txn.String() < out[j].Txn.String() })
+	return out
 }
 
 // Live reports whether the participant still needs txn's log records: only

@@ -130,7 +130,7 @@ func runRandomSchedule(t *testing.T, seed int64, strategy Strategy, native wire.
 	// Logs fully collectable.
 	if _, err := r.logs[r.coordID].Checkpoint(func(rec wal.Record) bool {
 		return r.coord.Live(rec.Txn)
-	}); err != nil {
+	}, nil); err != nil {
 		return false
 	}
 	if n := len(r.logs[r.coordID].All()); n != 0 {
@@ -140,7 +140,7 @@ func runRandomSchedule(t *testing.T, seed int64, strategy Strategy, native wire.
 	for id, p := range r.parts {
 		if _, err := r.logs[id].Checkpoint(func(rec wal.Record) bool {
 			return p.Live(rec.Txn)
-		}); err != nil {
+		}, nil); err != nil {
 			return false
 		}
 		if n := len(r.logs[id].All()); n != 0 {

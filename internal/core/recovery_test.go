@@ -381,7 +381,7 @@ func TestCheckpointAfterTermination(t *testing.T) {
 	r.settle()
 	if n, err := r.logs["coord"].Checkpoint(func(rec wal.Record) bool {
 		return r.coord.Live(rec.Txn)
-	}); err != nil || n == 0 {
+	}, nil); err != nil || n == 0 {
 		t.Fatalf("coordinator checkpoint: n=%d err=%v", n, err)
 	}
 	if got := len(r.logs["coord"].All()); got != 0 {
@@ -390,7 +390,7 @@ func TestCheckpointAfterTermination(t *testing.T) {
 	for id, p := range r.parts {
 		if _, err := r.logs[id].Checkpoint(func(rec wal.Record) bool {
 			return p.Live(rec.Txn)
-		}); err != nil {
+		}, nil); err != nil {
 			t.Fatal(err)
 		}
 		if got := len(r.logs[id].All()); got != 0 {

@@ -27,6 +27,9 @@ type ChaosSpec struct {
 	// Plan overrides the seed-derived fault plan (nil derives one from the
 	// episode seed with the default bounds below).
 	Plan *chaos.Plan
+	// CheckpointEvery enables automatic log checkpointing on every site.
+	// Zero keeps it off — the committed E14 numbers run without it.
+	CheckpointEvery int
 	// Obs, when set, records per-transaction trace events and injected
 	// faults for the episode, so a failing seed's timeline can be printed
 	// (prany-chaos -trace).
@@ -103,11 +106,12 @@ func RunChaosEpisode(seed int64, spec ChaosSpec) (ChaosEpisode, error) {
 		Participants: []sim.PartSpec{
 			{ID: "pn", Proto: wire.PrN}, {ID: "pa", Proto: wire.PrA}, {ID: "pc", Proto: wire.PrC},
 		},
-		VoteTimeout: 60 * time.Millisecond,
-		ExecTimeout: 400 * time.Millisecond,
-		Seed:        seed,
-		Chaos:       eng,
-		Obs:         spec.Obs,
+		VoteTimeout:     60 * time.Millisecond,
+		ExecTimeout:     400 * time.Millisecond,
+		CheckpointEvery: spec.CheckpointEvery,
+		Seed:            seed,
+		Chaos:           eng,
+		Obs:             spec.Obs,
 	})
 	if err != nil {
 		return ep, err

@@ -32,6 +32,12 @@ const (
 	SpanWALForce
 	// SpanFrameFlush is one physical wire write of a frame batch.
 	SpanFrameFlush
+	// SpanRecovery is one site recovery: stable-log scan, protocol-table
+	// rebuild and re-drive message computation, crash to serving.
+	SpanRecovery
+	// SpanCheckpoint is one log checkpoint: table snapshot, live-record
+	// filter and the stable-image rewrite.
+	SpanCheckpoint
 
 	numSpans
 )
@@ -43,6 +49,8 @@ var spanNames = [numSpans]string{
 	SpanDecision:   "decision",
 	SpanWALForce:   "wal_force",
 	SpanFrameFlush: "frame_flush",
+	SpanRecovery:   "recovery",
+	SpanCheckpoint: "checkpoint",
 }
 
 // String names the span as it appears in /metrics and bench tables.

@@ -34,6 +34,20 @@ type SiteCounters struct {
 	// rewrites after a failed send attempt) charged to the sending site.
 	NetRetries uint64
 
+	// Checkpoints and CheckpointCollected count completed log checkpoints
+	// and the records they garbage-collected. Recoveries, RecoveryScanned
+	// and RecoverySuffix count recovery runs, the stable records each scan
+	// read, and how many of those sat after the last checkpoint record (the
+	// replay suffix). With checkpointing on, RecoveryScanned is bounded by
+	// the active set plus the cadence — the recovery-cost claim of the
+	// replay-only state model — where without it the scan grows with
+	// history.
+	Checkpoints         uint64
+	CheckpointCollected uint64
+	Recoveries          uint64
+	RecoveryScanned     uint64
+	RecoverySuffix      uint64
+
 	// Frames, FramesBatched and BytesOnWire count the *physical* network
 	// writes behind the Messages, the same split Syncs/Synced make for
 	// Forces: Frames is the number of wire writes (each a batch of one or
@@ -158,6 +172,27 @@ func (r *Registry) Frame(from wire.SiteID, msgs, bytes int) {
 	c.BytesOnWire += uint64(bytes)
 }
 
+// Checkpoint records one completed log checkpoint at site id that
+// garbage-collected collected records.
+func (r *Registry) Checkpoint(id wire.SiteID, collected int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.site(id)
+	c.Checkpoints++
+	c.CheckpointCollected += uint64(collected)
+}
+
+// Recovery records one recovery run at site id: scanned stable records were
+// read, of which suffix sat after the last checkpoint record.
+func (r *Registry) Recovery(id wire.SiteID, scanned, suffix int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.site(id)
+	c.Recoveries++
+	c.RecoveryScanned += uint64(scanned)
+	c.RecoverySuffix += uint64(suffix)
+}
+
 // PTInsert records a protocol-table insertion at site id.
 func (r *Registry) PTInsert(id wire.SiteID) {
 	r.mu.Lock()
@@ -205,6 +240,11 @@ func (r *Registry) Total() SiteCounters {
 		out.Synced += c.Synced
 		out.ShardWaits += c.ShardWaits
 		out.NetRetries += c.NetRetries
+		out.Checkpoints += c.Checkpoints
+		out.CheckpointCollected += c.CheckpointCollected
+		out.Recoveries += c.Recoveries
+		out.RecoveryScanned += c.RecoveryScanned
+		out.RecoverySuffix += c.RecoverySuffix
 		out.Frames += c.Frames
 		out.FramesBatched += c.FramesBatched
 		out.BytesOnWire += c.BytesOnWire

@@ -49,6 +49,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	counter("prany_pt_inserts_total", "Protocol-table entries created.", func(c *SiteCounters) uint64 { return c.PTInsert })
 	counter("prany_pt_deletes_total", "Protocol-table entries discarded.", func(c *SiteCounters) uint64 { return c.PTDelete })
 	counter("prany_shard_waits_total", "Contended protocol-table shard-lock acquisitions.", func(c *SiteCounters) uint64 { return c.ShardWaits })
+	counter("prany_checkpoints_total", "Completed log checkpoints.", func(c *SiteCounters) uint64 { return c.Checkpoints })
+	counter("prany_checkpoint_collected_total", "Records garbage-collected by checkpoints.", func(c *SiteCounters) uint64 { return c.CheckpointCollected })
+	counter("prany_recoveries_total", "Site recovery runs.", func(c *SiteCounters) uint64 { return c.Recoveries })
+	counter("prany_recovery_scanned_total", "Stable records read by recovery scans.", func(c *SiteCounters) uint64 { return c.RecoveryScanned })
+	counter("prany_recovery_suffix_total", "Recovery-scanned records after the last checkpoint record.", func(c *SiteCounters) uint64 { return c.RecoverySuffix })
 	counter("prany_net_retries_total", "Transport-level send retries.", func(c *SiteCounters) uint64 { return c.NetRetries })
 	counter("prany_frames_total", "Physical network writes.", func(c *SiteCounters) uint64 { return c.Frames })
 	counter("prany_frames_batched_total", "Message frames carried by physical writes.", func(c *SiteCounters) uint64 { return c.FramesBatched })

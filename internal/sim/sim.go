@@ -60,6 +60,11 @@ type Spec struct {
 	// store, making the batching win of GroupCommit measurable. Zero means
 	// instantaneous flushes.
 	ForceDelay time.Duration
+	// CheckpointEvery enables automatic log checkpointing on every site:
+	// after that many forced records a checkpoint garbage-collects the log
+	// and writes a RecCheckpoint snapshot. Zero disables it (the historical
+	// behavior; every committed experiment runs with it off).
+	CheckpointEvery int
 	// Seed seeds the cluster's random source (workload shuffles, drop
 	// rules). Zero means 1, the historical default, so existing experiments
 	// reproduce unchanged.
@@ -155,16 +160,17 @@ func New(spec Spec) (*Cluster, error) {
 			Native:      spec.Native,
 			VoteTimeout: spec.VoteTimeout,
 		},
-		Net:         siteNet,
-		PCP:         c.PCP,
-		Hist:        c.Hist,
-		Met:         c.Met,
-		ReadOnlyOpt: spec.ReadOnlyOpt,
-		GroupCommit: spec.GroupCommit,
-		ExecTimeout: spec.ExecTimeout,
-		LogStore:    newLogStore(CoordID),
-		Sched:       spec.Sched,
-		Obs:         spec.Obs,
+		Net:             siteNet,
+		PCP:             c.PCP,
+		Hist:            c.Hist,
+		Met:             c.Met,
+		ReadOnlyOpt:     spec.ReadOnlyOpt,
+		GroupCommit:     spec.GroupCommit,
+		CheckpointEvery: spec.CheckpointEvery,
+		ExecTimeout:     spec.ExecTimeout,
+		LogStore:        newLogStore(CoordID),
+		Sched:           spec.Sched,
+		Obs:             spec.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -179,6 +185,7 @@ func New(spec Spec) (*Cluster, error) {
 			Met:               c.Met,
 			ReadOnlyOpt:       spec.ReadOnlyOpt,
 			GroupCommit:       spec.GroupCommit,
+			CheckpointEvery:   spec.CheckpointEvery,
 			ExecTimeout:       spec.ExecTimeout,
 			LogStore:          newLogStore(p.ID),
 			Coordinator:       core.CoordinatorConfig{VoteTimeout: spec.VoteTimeout},
@@ -484,12 +491,15 @@ func (c *Cluster) CheckpointAll() (int, error) {
 	return total, nil
 }
 
-// StableRecords sums the stable log records across all sites — the measure
-// of what operational correctness has not yet allowed to be collected.
+// StableRecords sums the stable protocol records across all sites — the
+// measure of what operational correctness has not yet allowed to be
+// collected. RecCheckpoint snapshot records are excluded: they are
+// checkpoint bookkeeping, not retained protocol state, and must stay
+// invisible to Definition-1 judgments.
 func (c *Cluster) StableRecords() int {
-	total := len(c.Coord.Log().Records())
+	total := wal.ProtocolRecords(c.Coord.Log().Records())
 	for _, s := range c.Parts {
-		total += len(s.Log().Records())
+		total += wal.ProtocolRecords(s.Log().Records())
 	}
 	return total
 }

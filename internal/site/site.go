@@ -55,6 +55,14 @@ type Config struct {
 	// force-writes coalesce into shared physical flushes (each caller
 	// still blocks until its record is durable). See wal.StartGroupCommit.
 	GroupCommit bool
+	// CheckpointEvery, when positive, checkpoints the log automatically
+	// every time that many records have been forced since the last
+	// checkpoint. Each checkpoint garbage-collects terminated transactions'
+	// records and writes a RecCheckpoint snapshot of the live
+	// protocol-table entries, so recovery replays O(active transactions)
+	// records instead of O(history). Zero disables automatic checkpointing
+	// (explicit Checkpoint calls still work and still snapshot).
+	CheckpointEvery int
 	// KnownCoordinators lists the sites that may coordinate transactions
 	// at this participant. Coordinator-log participants need it for their
 	// site-level recovery announcement (they keep no log that could name
@@ -144,6 +152,14 @@ func (s *Site) start(runRecovery bool) error {
 	if s.cfg.GroupCommit {
 		log.StartGroupCommit()
 	}
+	if s.cfg.CheckpointEvery > 0 {
+		// The trigger fires under the log lock; the checkpoint itself runs
+		// on its own goroutine. Errors (a crash racing the checkpoint) are
+		// harmless: the trigger re-arms and a later cadence point retries.
+		log.SetCheckpointTrigger(s.cfg.CheckpointEvery, func() {
+			go func() { _, _ = s.Checkpoint() }()
+		})
+	}
 	dead := &atomic.Bool{}
 	env := core.Env{
 		ID:    s.cfg.ID,
@@ -183,12 +199,21 @@ func (s *Site) start(runRecovery bool) error {
 	// Coordinator-log participants always run recovery: their (empty) log
 	// cannot tell a fresh start from a restart, so the announcement goes
 	// out either way; a coordinator with nothing outstanding just echoes.
-	if runRecovery && (len(log.Records()) > 0 || s.cfg.Proto == wire.CL) {
+	recs := log.Records()
+	if runRecovery && (len(recs) > 0 || s.cfg.Proto == wire.CL) {
+		begun := time.Now()
 		if err := part.Recover(); err != nil {
 			return err
 		}
 		if err := coord.Recover(); err != nil {
 			return err
+		}
+		if s.cfg.Met != nil {
+			// The scan size is the recovery-cost claim checkpointing makes:
+			// with a cadence it is bounded by the active set plus the
+			// records since the last checkpoint, not by history.
+			s.cfg.Met.Recovery(s.cfg.ID, len(recs), wal.SuffixAfterCheckpoint(recs))
+			s.cfg.Met.Observe(metrics.SpanRecovery, time.Since(begun))
 		}
 	}
 	return nil
@@ -360,9 +385,12 @@ func (s *Site) PTDump() []obs.PTEntry {
 }
 
 // Checkpoint garbage-collects the log, keeping only records of transactions
-// one of the site's roles still needs. It returns the number of records
-// collected. Operational correctness is exactly the guarantee that this
-// eventually collects everything for terminated transactions.
+// one of the site's roles still needs, and — when anything stays live —
+// writes a RecCheckpoint record snapshotting both roles' protocol tables so
+// recovery can treat the rewritten image as its starting point. It returns
+// the number of records collected. Operational correctness is exactly the
+// guarantee that this eventually collects everything for terminated
+// transactions.
 func (s *Site) Checkpoint() (int, error) {
 	s.mu.Lock()
 	if s.crashed {
@@ -371,10 +399,24 @@ func (s *Site) Checkpoint() (int, error) {
 	}
 	log, part, coord := s.log, s.part, s.coord
 	s.mu.Unlock()
-	return log.Checkpoint(func(rec wal.Record) bool {
+	begun := time.Now()
+	// Snapshot the tables before filtering: an entry whose transaction
+	// terminates between here and the filter is merely stale bookkeeping
+	// (its records are gone either way); recovery treats the record list,
+	// not the entry list, as authoritative.
+	entries := append(coord.CheckpointEntries(), part.CheckpointEntries()...)
+	n, err := log.Checkpoint(func(rec wal.Record) bool {
+		if rec.Kind == wal.KRecCheckpoint {
+			return false // each checkpoint writes its own fresh snapshot
+		}
 		if rec.Role == wal.RoleCoord {
 			return coord.Live(rec.Txn)
 		}
 		return part.Live(rec.Txn)
-	})
+	}, entries)
+	if err == nil && s.cfg.Met != nil {
+		s.cfg.Met.Checkpoint(s.cfg.ID, n)
+		s.cfg.Met.Observe(metrics.SpanCheckpoint, time.Since(begun))
+	}
+	return n, err
 }

@@ -101,44 +101,112 @@ func (s *FileStore) Append(recs []Record) error {
 	return s.f.Sync()
 }
 
+// renameFile and syncDir are swappable so tests can inject rename failures
+// and observe directory fsyncs without a fault-injecting filesystem.
+var (
+	renameFile = os.Rename
+	syncDir    = func(dir string) error {
+		d, err := os.Open(dir)
+		if err != nil {
+			return err
+		}
+		err = d.Sync()
+		if cerr := d.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+)
+
 // Rewrite implements Store. The replacement is written to a temporary file
 // which is fsynced and atomically renamed over the log, so a crash during
-// checkpointing leaves either the old or the new image, never a mix.
+// checkpointing leaves either the old or the new image, never a mix. The
+// parent directory is fsynced after the rename: without it a crash can
+// resurrect the pre-checkpoint log — or lose the file entirely — on real
+// filesystems, because the rename itself lives in directory metadata.
 func (s *FileStore) Rewrite(recs []Record) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	dir := filepath.Dir(s.path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(s.path)+".ckpt-*")
+	pending, err := s.BeginRewrite(recs)
 	if err != nil {
 		return err
 	}
-	tmpName := tmp.Name()
+	return pending.Commit(nil)
+}
+
+// BeginRewrite implements Rewriter: the new image is staged in a temporary
+// file in the log's directory and fsynced, all without touching the live
+// log file, so concurrent appends proceed against the old image.
+func (s *FileStore) BeginRewrite(recs []Record) (PendingRewrite, error) {
+	dir := filepath.Dir(s.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(s.path)+".ckpt-*")
+	if err != nil {
+		return nil, err
+	}
 	var buf []byte
 	for i := range recs {
 		buf = appendFrame(buf, &recs[i])
 	}
 	if _, err := tmp.Write(buf); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
-		return err
+		os.Remove(tmp.Name())
+		return nil, err
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
+		os.Remove(tmp.Name())
+		return nil, err
+	}
+	return &filePending{s: s, tmp: tmp}, nil
+}
+
+type filePending struct {
+	s   *FileStore
+	tmp *os.File
+}
+
+// Commit appends suffix to the staged image, fsyncs it, renames it over the
+// log and fsyncs the parent directory. The old file handle is closed only
+// after the rename succeeded: a failed rename leaves the store fully usable
+// on the old image (an earlier version closed first and a rename failure
+// bricked every subsequent Append).
+func (p *filePending) Commit(suffix []Record) error {
+	s := p.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(suffix) > 0 {
+		var buf []byte
+		for i := range suffix {
+			buf = appendFrame(buf, &suffix[i])
+		}
+		if _, err := p.tmp.Write(buf); err != nil {
+			p.Abort()
+			return err
+		}
+		if err := p.tmp.Sync(); err != nil {
+			p.Abort()
+			return err
+		}
+	}
+	if err := renameFile(p.tmp.Name(), s.path); err != nil {
+		p.Abort()
 		return err
 	}
-	if err := s.f.Close(); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
+	// The rename is durable only once the directory entry is: fsync it.
+	// Even on error the in-process switch below matches what is now on
+	// disk; the error tells the caller the checkpoint may not survive a
+	// power loss.
+	syncErr := syncDir(filepath.Dir(s.path))
+	s.f.Close()
+	s.f = p.tmp
+	if _, err := s.f.Seek(0, io.SeekEnd); err != nil {
 		return err
 	}
-	if err := os.Rename(tmpName, s.path); err != nil {
-		tmp.Close()
-		return err
-	}
-	s.f = tmp
-	_, err = s.f.Seek(0, io.SeekEnd)
-	return err
+	return syncErr
+}
+
+// Abort discards the staged image.
+func (p *filePending) Abort() {
+	p.tmp.Close()
+	os.Remove(p.tmp.Name())
 }
 
 // Close implements Store.
@@ -157,9 +225,10 @@ func appendFrame(dst []byte, r *Record) []byte {
 
 // Record payload format (little-endian):
 //
-//	kind:u8  lsn:u64  txnCoord:str  txnSeq:u64  coord:str
+//	kind:u8  role:u8  lsn:u64  txnCoord:str  txnSeq:u64  coord:str
 //	nparts:u32 {id:str proto:u8}*
 //	nwrites:u32 {key:str old:str oldExists:u8 new:str newExists:u8}*
+//	nckpt:u32 {txnCoord:str txnSeq:u64 role:u8 phase:u8 decided:u8 outcome:u8 coord:str}*
 func encodeRecord(dst []byte, r *Record) []byte {
 	dst = append(dst, byte(r.Kind))
 	dst = append(dst, byte(r.Role))
@@ -179,6 +248,16 @@ func encodeRecord(dst []byte, r *Record) []byte {
 		dst = appendBool(dst, w.OldExists)
 		dst = appendString(dst, w.New)
 		dst = appendBool(dst, w.NewExists)
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Ckpt)))
+	for _, e := range r.Ckpt {
+		dst = appendString(dst, string(e.Txn.Coord))
+		dst = binary.LittleEndian.AppendUint64(dst, e.Txn.Seq)
+		dst = append(dst, byte(e.Role))
+		dst = append(dst, byte(e.Phase))
+		dst = appendBool(dst, e.Decided)
+		dst = append(dst, byte(e.Outcome))
+		dst = appendString(dst, string(e.Coord))
 	}
 	return dst
 }
@@ -214,6 +293,21 @@ func decodeRecord(p []byte) (Record, error) {
 		w.New = d.str()
 		w.NewExists = d.bool()
 		r.Writes = append(r.Writes, w)
+	}
+	nckpt := d.u32()
+	if d.err == nil && int(nckpt) > len(p) {
+		return Record{}, fmt.Errorf("implausible checkpoint-entry count %d", nckpt)
+	}
+	for i := uint32(0); i < nckpt && d.err == nil; i++ {
+		var e CheckpointEntry
+		e.Txn.Coord = wire.SiteID(d.str())
+		e.Txn.Seq = d.u64()
+		e.Role = Role(d.u8())
+		e.Phase = CheckpointPhase(d.u8())
+		e.Decided = d.bool()
+		e.Outcome = wire.Outcome(d.u8())
+		e.Coord = wire.SiteID(d.str())
+		r.Ckpt = append(r.Ckpt, e)
 	}
 	if d.err != nil {
 		return Record{}, d.err

@@ -1,0 +1,225 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func noLeftoverTemps(t *testing.T, dir string) {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.ckpt-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("staged temp files left behind: %v", matches)
+	}
+}
+
+func TestRewriteFsyncsParentDirectory(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFileStore(filepath.Join(dir, "site.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	var synced []string
+	oldSync := syncDir
+	syncDir = func(d string) error {
+		synced = append(synced, d)
+		return oldSync(d)
+	}
+	defer func() { syncDir = oldSync }()
+
+	if err := fs.Rewrite([]Record{{Kind: KCommit, Txn: txn(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(synced) != 1 || synced[0] != dir {
+		t.Fatalf("directory fsync after rename: got %v, want exactly [%s]", synced, dir)
+	}
+}
+
+func TestRenameFailureLeavesStoreUsable(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFileStore(filepath.Join(dir, "site.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if err := fs.Append([]Record{{Kind: KInitiation, Txn: txn(1), LSN: 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("rename blocked")
+	oldRename := renameFile
+	renameFile = func(oldpath, newpath string) error { return boom }
+	if err := fs.Rewrite([]Record{{Kind: KCommit, Txn: txn(2), LSN: 2}}); !errors.Is(err, boom) {
+		renameFile = oldRename
+		t.Fatalf("Rewrite with failing rename: err = %v, want %v", err, boom)
+	}
+	renameFile = oldRename
+	noLeftoverTemps(t, dir)
+
+	// The failed rewrite must not have closed the live handle: the store
+	// keeps serving appends and loads on the old image.
+	if err := fs.Append([]Record{{Kind: KEnd, Txn: txn(1), LSN: 3}}); err != nil {
+		t.Fatalf("Append after failed rename: %v (store bricked)", err)
+	}
+	recs, err := fs.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Txn.Seq != 1 || recs[1].Kind != KEnd {
+		t.Fatalf("old image not intact after failed rename: %v", recs)
+	}
+}
+
+func TestBeginRewriteCommitWithSuffix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "site.wal")
+	fs, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append([]Record{{Kind: KInitiation, Txn: txn(1), LSN: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	pending, err := fs.BeginRewrite([]Record{{Kind: KCommit, Txn: txn(2), LSN: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// While staged, the live image is untouched.
+	if recs, _ := fs.Load(); len(recs) != 1 || recs[0].Txn.Seq != 1 {
+		t.Fatalf("staging touched the live image: %v", recs)
+	}
+	if err := pending.Commit([]Record{{Kind: KEnd, Txn: txn(2), LSN: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := fs.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Txn.Seq != 2 || recs[1].Kind != KEnd {
+		t.Fatalf("committed image: %v, want rewritten record then suffix", recs)
+	}
+	// Post-commit appends extend the new image, and everything survives a
+	// reopen.
+	if err := fs.Append([]Record{{Kind: KAbort, Txn: txn(4), LSN: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	recs2, err := fs2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs2) != 3 || recs2[2].Txn.Seq != 4 {
+		t.Fatalf("reopened image: %v", recs2)
+	}
+	noLeftoverTemps(t, dir)
+}
+
+func TestBeginRewriteAbortKeepsOldImage(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := OpenFileStore(filepath.Join(dir, "site.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if err := fs.Append([]Record{{Kind: KCommit, Txn: txn(1), LSN: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	pending, err := fs.BeginRewrite([]Record{{Kind: KAbort, Txn: txn(9), LSN: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pending.Abort()
+	recs, err := fs.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Txn.Seq != 1 {
+		t.Fatalf("abort changed the image: %v", recs)
+	}
+	noLeftoverTemps(t, dir)
+}
+
+func TestTornTailAfterCheckpoint(t *testing.T) {
+	// A crash can tear the log mid-frame after a checkpoint. Two cases: the
+	// tear eats into the post-checkpoint suffix (snapshot survives, suffix
+	// shortens by one) and the tear eats the snapshot frame itself (recovery
+	// falls back to the full pre-snapshot image as suffix).
+	t.Run("tear in suffix", func(t *testing.T) {
+		path := t.TempDir() + "/site.wal"
+		fs, _ := OpenFileStore(path)
+		l, _ := Open(fs)
+		l.AppendForce(Record{Kind: KInitiation, Txn: txn(1)})
+		if _, err := l.Checkpoint(func(Record) bool { return true }, ckptEntries()); err != nil {
+			t.Fatal(err)
+		}
+		l.AppendForce(Record{Kind: KCommit, Txn: txn(2)})
+		l.AppendForce(Record{Kind: KCommit, Txn: txn(3)})
+		l.Close()
+
+		info, _ := os.Stat(path)
+		if err := os.Truncate(path, info.Size()-3); err != nil {
+			t.Fatal(err)
+		}
+		fs2, _ := OpenFileStore(path)
+		l2, err := Open(fs2)
+		if err != nil {
+			t.Fatalf("torn suffix should load cleanly: %v", err)
+		}
+		defer l2.Close()
+		recs := l2.Records()
+		if len(recs) != 3 || recs[1].Kind != KRecCheckpoint || recs[2].Txn.Seq != 2 {
+			t.Fatalf("after torn suffix: %v", recs)
+		}
+		if len(recs[1].Ckpt) != len(ckptEntries()) {
+			t.Fatalf("snapshot entries damaged by an unrelated tear: %v", recs[1])
+		}
+		if got := SuffixAfterCheckpoint(recs); got != 1 {
+			t.Fatalf("SuffixAfterCheckpoint = %d, want 1", got)
+		}
+	})
+	t.Run("tear in snapshot", func(t *testing.T) {
+		path := t.TempDir() + "/site.wal"
+		fs, _ := OpenFileStore(path)
+		l, _ := Open(fs)
+		l.AppendForce(Record{Kind: KInitiation, Txn: txn(1)})
+		l.AppendForce(Record{Kind: KCommit, Txn: txn(1)})
+		if _, err := l.Checkpoint(func(Record) bool { return true }, ckptEntries()); err != nil {
+			t.Fatal(err)
+		}
+		l.Close()
+
+		// The snapshot is the final frame; chopping bytes tears it.
+		info, _ := os.Stat(path)
+		if err := os.Truncate(path, info.Size()-3); err != nil {
+			t.Fatal(err)
+		}
+		fs2, _ := OpenFileStore(path)
+		l2, err := Open(fs2)
+		if err != nil {
+			t.Fatalf("torn snapshot should load cleanly: %v", err)
+		}
+		defer l2.Close()
+		recs := l2.Records()
+		if len(recs) != 2 || recs[0].Txn.Seq != 1 || recs[1].Kind != KCommit {
+			t.Fatalf("after torn snapshot: %v", recs)
+		}
+		// No snapshot survives, so the entire log is replay suffix — recovery
+		// degrades to the pre-checkpoint cost, never to a wrong answer.
+		if got := SuffixAfterCheckpoint(recs); got != len(recs) {
+			t.Fatalf("SuffixAfterCheckpoint = %d, want whole log %d", got, len(recs))
+		}
+	})
+}

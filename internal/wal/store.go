@@ -20,6 +20,24 @@ type Store interface {
 	Close() error
 }
 
+// Rewriter is an optional Store capability: a two-phase Rewrite that lets
+// the log do the bulk of a checkpoint outside its own lock. BeginRewrite
+// durably stages recs as a new image without touching the current one — the
+// store keeps serving Load and Append from the old image until Commit.
+type Rewriter interface {
+	BeginRewrite(recs []Record) (PendingRewrite, error)
+}
+
+// PendingRewrite is a staged image awaiting its atomic switch.
+type PendingRewrite interface {
+	// Commit appends suffix (records stored after the stage was taken) to
+	// the staged image and durably, atomically makes it the store's
+	// contents.
+	Commit(suffix []Record) error
+	// Abort discards the staged image, leaving the store unchanged.
+	Abort()
+}
+
 // MemStore is an in-memory Store used by the simulator. "Stable" here means
 // it survives Log.Crash — the simulator never destroys the MemStore itself,
 // mirroring a disk that outlives the process.
@@ -75,6 +93,27 @@ func (s *MemStore) Rewrite(recs []Record) error {
 	return nil
 }
 
+// BeginRewrite implements Rewriter: the staged image is a private clone,
+// so the live contents keep serving until Commit swaps them atomically
+// (under the store lock — the in-memory analogue of an atomic rename).
+func (s *MemStore) BeginRewrite(recs []Record) (PendingRewrite, error) {
+	return &memPending{s: s, staged: cloneRecords(recs)}, nil
+}
+
+type memPending struct {
+	s      *MemStore
+	staged []Record
+}
+
+func (p *memPending) Commit(suffix []Record) error {
+	p.s.mu.Lock()
+	defer p.s.mu.Unlock()
+	p.s.recs = append(p.staged, cloneRecords(suffix)...)
+	return nil
+}
+
+func (p *memPending) Abort() {}
+
 // Close implements Store.
 func (s *MemStore) Close() error { return nil }
 
@@ -94,6 +133,9 @@ func cloneRecords(recs []Record) []Record {
 		}
 		if r.Writes != nil {
 			out[i].Writes = append([]Update(nil), r.Writes...)
+		}
+		if r.Ckpt != nil {
+			out[i].Ckpt = append([]CheckpointEntry(nil), r.Ckpt...)
 		}
 	}
 	return out

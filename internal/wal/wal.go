@@ -65,9 +65,18 @@ const (
 	// the participant's shipped write set on its behalf when the yes vote
 	// arrives. Coord names the participant the writes belong to.
 	KRemoteWrites
+	// KRecCheckpoint is the recovery checkpoint record a checkpoint writes
+	// at the tail of the rewritten image: a snapshot of the live
+	// protocol-table entries (active-transaction set plus per-transaction
+	// phase) at checkpoint time. Recovery loads the image up to the last
+	// checkpoint record and replays only the suffix after it, so the scan
+	// is O(active transactions + records since the checkpoint), not
+	// O(history). The record is bookkeeping, not protocol state: the
+	// Definition-1 judges and the model checker's state hashing ignore it.
+	KRecCheckpoint
 )
 
-var kindNames = [...]string{"initiation", "commit", "abort", "end", "prepared", "remote-writes"}
+var kindNames = [...]string{"initiation", "commit", "abort", "end", "prepared", "remote-writes", "rec-checkpoint"}
 
 // String returns the record kind's name.
 func (k Kind) String() string {
@@ -110,6 +119,50 @@ type ParticipantInfo struct {
 // log records and protocol messages without conversion.
 type Update = wire.Update
 
+// CheckpointPhase is the protocol-table phase a checkpoint entry records.
+type CheckpointPhase uint8
+
+const (
+	// CkptVoting is a coordinator entry still collecting votes.
+	CkptVoting CheckpointPhase = iota
+	// CkptDraining is a decided coordinator entry awaiting acknowledgments.
+	CkptDraining
+	// CkptExecuting is a participant entry still executing operations.
+	CkptExecuting
+	// CkptPrepared is an in-doubt participant entry: prepared, undecided.
+	CkptPrepared
+)
+
+// String names the phase as it appears in dumps and tests.
+func (p CheckpointPhase) String() string {
+	switch p {
+	case CkptVoting:
+		return "voting"
+	case CkptDraining:
+		return "draining"
+	case CkptExecuting:
+		return "executing"
+	default:
+		return "prepared"
+	}
+}
+
+// CheckpointEntry is one live protocol-table entry inside a RecCheckpoint
+// record: which transaction, in which of the site's roles, in what phase,
+// and — when decided — with what outcome. The protocol records kept by the
+// same checkpoint remain the replay source (they carry participant sets and
+// write sets); the entry list is the snapshot's account of the active set,
+// which recovery uses to bound and cross-check its scan.
+type CheckpointEntry struct {
+	Txn     wire.TxnID
+	Role    Role
+	Phase   CheckpointPhase
+	Decided bool
+	Outcome wire.Outcome
+	// Coord is the coordinator to inquire at, for participant entries.
+	Coord wire.SiteID
+}
+
 // Record is a single log record. Only the fields relevant to the Kind are
 // populated.
 type Record struct {
@@ -130,17 +183,22 @@ type Record struct {
 
 	// Writes is set on prepared records: the subtransaction's undo/redo.
 	Writes []Update
+
+	// Ckpt is set on RecCheckpoint records: the live protocol-table
+	// snapshot at checkpoint time.
+	Ckpt []CheckpointEntry
 }
 
 // Stats counts logging activity. The commit protocols are compared by
 // exactly these numbers, so the log maintains them itself.
 type Stats struct {
-	Appends uint64 // records appended (forced or not)
-	Forces  uint64 // Force barriers requested (AppendForce counts one)
-	Syncs   uint64 // physical Store.Append batches (== non-empty Forces without group commit)
-	Synced  uint64 // records made stable by those batches
-	MaxSync uint64 // largest single batch, in records
-	Stable  uint64 // records currently stable
+	Appends     uint64 // records appended (forced or not)
+	Forces      uint64 // Force barriers requested (AppendForce counts one)
+	Syncs       uint64 // physical Store.Append batches (== non-empty Forces without group commit)
+	Synced      uint64 // records made stable by those batches
+	MaxSync     uint64 // largest single batch, in records
+	Stable      uint64 // records currently stable
+	Checkpoints uint64 // completed checkpoints (stable-image rewrites)
 }
 
 // Log is a single site's write-ahead log. It is safe for concurrent use.
@@ -153,6 +211,22 @@ type Log struct {
 	stats   Stats
 	closed  bool
 	tap     func(rec Record, forced bool)
+
+	// ckptMu serializes checkpoints against each other. It is taken before
+	// l.mu and held across the whole checkpoint, including the bulk rewrite
+	// that runs with l.mu released.
+	ckptMu sync.Mutex
+	// crashEpoch increments on Crash, so a checkpoint that released l.mu
+	// for its bulk write can detect a crash that raced it and abandon the
+	// rewrite instead of committing a post-crash image swap.
+	crashEpoch uint64
+	// sinceCkpt counts records made stable since the last checkpoint;
+	// when it reaches ckptEvery the trigger fires (once, until the next
+	// checkpoint completes and re-arms it).
+	sinceCkpt   int
+	ckptEvery   int
+	ckptTrigger func()
+	ckptPending bool
 
 	// Group-commit state. When group is set, a flusher goroutine owns the
 	// physical barrier: forcing callers register a waiter and block until
@@ -186,6 +260,10 @@ var ErrClosed = errors.New("wal: log is closed")
 // ErrLost is returned to forcing callers whose records were discarded by a
 // crash before the flusher made them stable: the force did not happen.
 var ErrLost = errors.New("wal: buffered records lost in crash before force completed")
+
+// ErrCheckpointAborted is returned when a crash raced a checkpoint's bulk
+// rewrite: the staged image was abandoned and stable storage is unchanged.
+var ErrCheckpointAborted = errors.New("wal: checkpoint abandoned by crash")
 
 // Open creates a Log over store, reading back any records already stable in
 // it. Opening the store a crashed log used recovers exactly the records that
@@ -268,10 +346,27 @@ func (l *Log) syncLocked() error {
 	l.stable = append(l.stable, l.buffer...)
 	l.stats.Stable = uint64(len(l.stable))
 	l.buffer = l.buffer[:0]
+	l.sinceCkpt += n
+	if l.ckptEvery > 0 && l.sinceCkpt >= l.ckptEvery && !l.ckptPending && l.ckptTrigger != nil {
+		l.ckptPending = true
+		l.ckptTrigger()
+	}
 	if l.onSync != nil {
 		l.onSync(n)
 	}
 	return nil
+}
+
+// SetCheckpointTrigger arms automatic checkpointing: fire is invoked once
+// every time `every` records have been made stable since the last completed
+// checkpoint. fire runs under the log's lock and must not call back into
+// the log synchronously — hand the actual Checkpoint call to another
+// goroutine. The trigger re-arms when a checkpoint completes.
+func (l *Log) SetCheckpointTrigger(every int, fire func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ckptEvery = every
+	l.ckptTrigger = fire
 }
 
 // AppendForce appends rec and forces the log in one call, the common forced
@@ -392,6 +487,7 @@ func (l *Log) Crash() {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.buffer = l.buffer[:0]
+	l.crashEpoch++
 	// Forcing callers still waiting on the flusher lost their records with
 	// the buffer: their force never happened.
 	l.failWaitersLocked(ErrLost)
@@ -424,18 +520,96 @@ func (l *Log) All() []Record {
 // too. It returns the number of records collected. Operational correctness
 // (Definition 1, clauses 2 and 3) demands that this number eventually covers
 // every record of every terminated transaction.
-func (l *Log) Checkpoint(live func(Record) bool) (int, error) {
+//
+// When entries is non-nil and anything survives the rewrite, the new image
+// ends with a RecCheckpoint record snapshotting entries — the live
+// protocol-table state at checkpoint time — so a subsequent recovery can
+// treat everything up to that record as the checkpointed image and replay
+// only the suffix after it. A previous snapshot record is always dropped
+// and replaced. A nil entries writes no snapshot (the judges' final
+// garbage-collection pass uses this form, so a fully terminated run still
+// empties its logs completely).
+//
+// Against a Rewriter store the bulk of the rewrite runs with the log
+// unlocked: the live image is staged off to the side while concurrent
+// appends and forces proceed against the old image, and records forced
+// meanwhile are reconciled into the staged image at commit time. Only the
+// brief commit (suffix append, fsync, atomic rename) runs under the lock.
+func (l *Log) Checkpoint(live func(Record) bool, entries []CheckpointEntry) (int, error) {
+	l.ckptMu.Lock()
+	defer l.ckptMu.Unlock()
+
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return 0, ErrClosed
 	}
-	keptStable := l.stable[:0:0]
+	epoch := l.crashEpoch
+	kept := l.stable[:0:0]
 	for _, r := range l.stable {
+		if r.Kind == KRecCheckpoint {
+			continue // superseded by this checkpoint's own snapshot
+		}
 		if live(r) {
-			keptStable = append(keptStable, r)
+			kept = append(kept, r)
 		}
 	}
+	boundary := len(l.stable)
+	var snap *Record
+	if entries != nil && (len(entries) > 0 || len(kept) > 0) {
+		r := Record{
+			Kind: KRecCheckpoint, Role: RoleCoord, LSN: l.nextLSN,
+			Ckpt: append([]CheckpointEntry(nil), entries...),
+		}
+		l.nextLSN++
+		snap = &r
+	}
+	image := cloneRecords(kept)
+	if snap != nil {
+		image = append(image, *snap)
+	}
+
+	rw, twoPhase := l.store.(Rewriter)
+	var pending PendingRewrite
+	if twoPhase {
+		// Stage the image outside l.mu: this is the disk-heavy half, and
+		// concurrent AppendForce must not stall behind it (they append to
+		// the old image; the suffix is reconciled below).
+		l.mu.Unlock()
+		var err error
+		pending, err = rw.BeginRewrite(image)
+		l.mu.Lock()
+		if err != nil {
+			l.mu.Unlock()
+			return 0, fmt.Errorf("wal: checkpoint rewrite: %w", err)
+		}
+		if l.closed || l.crashEpoch != epoch {
+			closed := l.closed
+			l.mu.Unlock()
+			pending.Abort()
+			if closed {
+				return 0, ErrClosed
+			}
+			return 0, ErrCheckpointAborted
+		}
+		// Records forced while the image was being staged live only in the
+		// old image; carry them over before the switch.
+		if err := pending.Commit(cloneRecords(l.stable[boundary:])); err != nil {
+			l.mu.Unlock()
+			return 0, fmt.Errorf("wal: checkpoint rewrite: %w", err)
+		}
+	} else {
+		if err := l.store.Rewrite(image); err != nil {
+			l.mu.Unlock()
+			return 0, fmt.Errorf("wal: checkpoint rewrite: %w", err)
+		}
+	}
+
+	newStable := kept
+	if snap != nil {
+		newStable = append(newStable, *snap)
+	}
+	newStable = append(newStable, l.stable[boundary:]...)
 	keptBuf := l.buffer[:0:0]
 	for _, r := range l.buffer {
 		if live(r) || l.awaitedLocked(r.LSN) {
@@ -444,14 +618,42 @@ func (l *Log) Checkpoint(live func(Record) bool) (int, error) {
 			keptBuf = append(keptBuf, r)
 		}
 	}
-	collected := (len(l.stable) - len(keptStable)) + (len(l.buffer) - len(keptBuf))
-	if err := l.store.Rewrite(keptStable); err != nil {
-		return 0, fmt.Errorf("wal: checkpoint rewrite: %w", err)
-	}
-	l.stable = keptStable
+	collected := (boundary - len(kept)) + (len(l.buffer) - len(keptBuf))
+	l.stable = newStable
 	l.buffer = keptBuf
 	l.stats.Stable = uint64(len(l.stable))
+	l.stats.Checkpoints++
+	l.sinceCkpt = 0
+	l.ckptPending = false
+	l.mu.Unlock()
 	return collected, nil
+}
+
+// SuffixAfterCheckpoint returns how many of recs sit after the last
+// RecCheckpoint record — the replay suffix a recovery scan must process on
+// top of the checkpointed image. With no checkpoint record the whole log is
+// suffix.
+func SuffixAfterCheckpoint(recs []Record) int {
+	suffix := len(recs)
+	for i, r := range recs {
+		if r.Kind == KRecCheckpoint {
+			suffix = len(recs) - i - 1
+		}
+	}
+	return suffix
+}
+
+// ProtocolRecords counts the protocol records in recs, excluding
+// RecCheckpoint snapshots — the measure clause 3 of Definition 1 bounds
+// (checkpoint bookkeeping is not retained protocol state).
+func ProtocolRecords(recs []Record) int {
+	n := 0
+	for _, r := range recs {
+		if r.Kind != KRecCheckpoint {
+			n++
+		}
+	}
+	return n
 }
 
 // awaitedLocked reports whether a forcing caller is blocked on lsn.

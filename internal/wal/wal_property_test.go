@@ -85,7 +85,7 @@ func TestQuickCheckpointPreservesLiveRecords(t *testing.T) {
 			l.AppendForce(Record{Kind: KCommit, Txn: wire.TxnID{Coord: "c", Seq: uint64(i)}})
 		}
 		live := func(r Record) bool { return r.Txn.Seq%mod == 0 }
-		if _, err := l.Checkpoint(live); err != nil {
+		if _, err := l.Checkpoint(live, nil); err != nil {
 			return false
 		}
 		for _, r := range l.Records() {

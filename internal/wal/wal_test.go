@@ -95,7 +95,7 @@ func TestCheckpointCollectsDeadRecords(t *testing.T) {
 	l.AppendForce(Record{Kind: KInitiation, Txn: txn(2)})
 	l.Force()
 
-	n, err := l.Checkpoint(func(r Record) bool { return r.Txn.Seq != 1 })
+	n, err := l.Checkpoint(func(r Record) bool { return r.Txn.Seq != 1 }, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestCheckpointSurvivesReopen(t *testing.T) {
 	l, _ := Open(store)
 	l.AppendForce(Record{Kind: KCommit, Txn: txn(1)})
 	l.AppendForce(Record{Kind: KCommit, Txn: txn(2)})
-	if _, err := l.Checkpoint(func(r Record) bool { return r.Txn.Seq == 2 }); err != nil {
+	if _, err := l.Checkpoint(func(r Record) bool { return r.Txn.Seq == 2 }, nil); err != nil {
 		t.Fatal(err)
 	}
 	l2, err := Open(store)
@@ -174,7 +174,7 @@ func TestClosedLogRejectsOperations(t *testing.T) {
 	if err := l.Force(); !errors.Is(err, ErrClosed) {
 		t.Errorf("Force on closed log: %v", err)
 	}
-	if _, err := l.Checkpoint(func(Record) bool { return true }); !errors.Is(err, ErrClosed) {
+	if _, err := l.Checkpoint(func(Record) bool { return true }, nil); !errors.Is(err, ErrClosed) {
 		t.Errorf("Checkpoint on closed log: %v", err)
 	}
 	if err := l.Close(); err != nil {
@@ -229,6 +229,10 @@ func fullRecord() Record {
 			{Key: "k2", New: "n2", NewExists: true},
 			{Key: "k3", Old: "o3", OldExists: true},
 		},
+		Ckpt: []CheckpointEntry{
+			{Txn: wire.TxnID{Coord: "coord", Seq: 41}, Role: RoleCoord, Phase: CkptDraining, Decided: true, Outcome: wire.Commit, Coord: "coord"},
+			{Txn: wire.TxnID{Coord: "other", Seq: 5}, Role: RolePart, Phase: CkptPrepared, Coord: "other"},
+		},
 	}
 }
 
@@ -236,8 +240,13 @@ func recordsEqual(a, b Record) bool {
 	if a.LSN != b.LSN || a.Kind != b.Kind || a.Role != b.Role || a.Txn != b.Txn || a.Coord != b.Coord {
 		return false
 	}
-	if len(a.Participants) != len(b.Participants) || len(a.Writes) != len(b.Writes) {
+	if len(a.Participants) != len(b.Participants) || len(a.Writes) != len(b.Writes) || len(a.Ckpt) != len(b.Ckpt) {
 		return false
+	}
+	for i := range a.Ckpt {
+		if a.Ckpt[i] != b.Ckpt[i] {
+			return false
+		}
 	}
 	for i := range a.Participants {
 		if a.Participants[i] != b.Participants[i] {
@@ -379,7 +388,7 @@ func TestFileStoreRewriteIsAtomicImage(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		l.AppendForce(Record{Kind: KCommit, Txn: txn(uint64(i))})
 	}
-	if _, err := l.Checkpoint(func(r Record) bool { return r.Txn.Seq >= 3 }); err != nil {
+	if _, err := l.Checkpoint(func(r Record) bool { return r.Txn.Seq >= 3 }, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Post-checkpoint appends land after the rewritten image.
