@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race chaos examples bench-smoke obs-smoke recovery-smoke tier1 cover allocs bench-groupcommit bench-pipeline bench-recovery clean
+.PHONY: all build test vet race chaos examples bench-smoke obs-smoke recovery-smoke consensus-smoke tier1 cover allocs bench-groupcommit bench-pipeline bench-recovery bench-consensus mcheck-paxos clean
 
 all: tier1
 
@@ -53,13 +53,20 @@ obs-smoke:
 recovery-smoke:
 	$(GO) run ./scripts/recoverysmoke
 
+# Consensus smoke: 3 acceptors + coordinator + 2 participants; the
+# coordinator is killed for good mid-decision and the acceptor takeover
+# must still finish the quorum-fixed commit — the E19 non-blocking claim
+# as a merge gate.
+consensus-smoke:
+	$(GO) run ./scripts/consensussmoke
+
 # tier1 is the merge gate: everything must build, every test must pass,
 # vet must be clean, the concurrent packages must be race-free, the short
 # chaos sweep must stay operationally correct, every example must run,
 # the transport batch writer must demonstrably coalesce frames, the
-# introspection endpoints must serve, and checkpointed recovery must stay
-# O(active).
-tier1: build test vet race chaos examples bench-smoke obs-smoke recovery-smoke
+# introspection endpoints must serve, checkpointed recovery must stay
+# O(active), and the replicated decider must survive coordinator death.
+tier1: build test vet race chaos examples bench-smoke obs-smoke recovery-smoke consensus-smoke
 
 # cover enforces the per-package statement-coverage floors recorded in
 # coverage.floors and the per-benchmark allocation ceilings in
@@ -84,6 +91,16 @@ bench-pipeline:
 # Reproduce the E18 recovery-cost numbers recorded in BENCH_recovery.json.
 bench-recovery:
 	$(GO) run ./cmd/prany-bench -run recovery -json
+
+# Reproduce the E19 replicated-decision numbers recorded in
+# BENCH_consensus.json.
+bench-consensus:
+	$(GO) run ./cmd/prany-bench -run consensus -json
+
+# Exhaustively check the E19 claim: the replicated decider sweeps clean and
+# non-blocking under permanent coordinator death; the single decider blocks.
+mcheck-paxos:
+	$(GO) run ./cmd/prany-check -strategy prany-paxos
 
 clean:
 	$(GO) clean ./...

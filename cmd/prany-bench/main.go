@@ -9,8 +9,8 @@
 //
 //	prany-bench               # everything
 //	prany-bench -run costs    # one section: costs, theorem1, theorem2,
-//	                          # sweep, perf, readonly, iyv, cl,
-//	                          # groupcommit, chaos, pipeline, recovery
+//	                          # sweep, perf, readonly, iyv, cl, groupcommit,
+//	                          # chaos, pipeline, recovery, consensus
 //	prany-bench -run pipeline -cpuprofile cpu.out -memprofile mem.out
 package main
 
@@ -44,20 +44,20 @@ type bench struct {
 	// historical default (sweep 7, perf 99, groupcommit 42, chaos 1),
 	// preserving the committed EXPERIMENTS.md numbers.
 	seed int64
-	// jsonOut switches the obs and recovery sections to machine-readable
-	// output (the BENCH_obs.json / BENCH_recovery.json formats); every other
-	// section ignores it.
+	// jsonOut switches the obs, recovery and consensus sections to
+	// machine-readable output (the BENCH_obs.json / BENCH_recovery.json /
+	// BENCH_consensus.json formats); every other section ignores it.
 	jsonOut bool
 }
 
-var sectionOrder = []string{"costs", "theorem1", "theorem2", "sweep", "perf", "readonly", "iyv", "cl", "groupcommit", "chaos", "pipeline", "obs", "recovery"}
+var sectionOrder = []string{"costs", "theorem1", "theorem2", "sweep", "perf", "readonly", "iyv", "cl", "groupcommit", "chaos", "pipeline", "obs", "recovery", "consensus"}
 
 func run(args []string, stdout io.Writer) int {
 	fs := flag.NewFlagSet("prany-bench", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	which := fs.String("run", "all", "which section to run: all, "+strings.Join(sectionOrder, ", "))
 	seed := fs.Int64("seed", 0, "override every section's random seed (0 = per-section defaults)")
-	jsonOut := fs.Bool("json", false, "with -run obs or -run recovery: emit the results as JSON (BENCH_obs.json / BENCH_recovery.json)")
+	jsonOut := fs.Bool("json", false, "with -run obs, recovery or consensus: emit the results as JSON (BENCH_obs.json / BENCH_recovery.json / BENCH_consensus.json)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -107,6 +107,7 @@ func run(args []string, stdout io.Writer) int {
 		"pipeline":    b.pipeline,
 		"obs":         b.obs,
 		"recovery":    b.recovery,
+		"consensus":   b.consensus,
 	}
 	if *which == "all" {
 		for _, name := range sectionOrder {
@@ -544,6 +545,74 @@ func (b *bench) recovery() error {
 		fmt.Fprintf(b.w, "%9d %10d %7d | %12d %8d %7d | %11d %10d %10.2f\n",
 			r.CkptEvery, r.Terminated, r.Active, r.StableBefore, r.Scanned, r.Suffix,
 			r.Checkpoints, r.Collected, r.ElapsedMS)
+	}
+	return nil
+}
+
+// consensus prints E19: the replicated-decision cost — the same concurrent
+// TCP commit workload with the decision fixed by the coordinator's local log
+// alone (acceptors=0) vs one ballot-0 Paxos Commit round over three acceptor
+// sites. msgs/txn and forces/txn show what the quorum round costs; the
+// latency percentiles show the extra round trip before a decision is fixed.
+// The matching correctness claim is `prany-check -strategy prany-paxos`.
+func (b *bench) consensus() error {
+	const txns = 1000
+	if !b.jsonOut {
+		b.header("E19: replicated decision — Paxos Commit (3 acceptors) vs single decider")
+	}
+	seed := int64(19)
+	if b.seed != 0 {
+		seed = b.seed
+	}
+	type row struct {
+		Acceptors    int     `json:"acceptors"`
+		Clients      int     `json:"clients"`
+		Txns         int     `json:"txns"`
+		TxnsPerSec   float64 `json:"txns_per_sec"`
+		MeanLatUS    float64 `json:"mean_latency_us"`
+		MsgsPerTxn   float64 `json:"msgs_per_txn"`
+		ForcesPerTxn float64 `json:"forces_per_txn"`
+		P50US        float64 `json:"latency_p50_us"`
+		P95US        float64 `json:"latency_p95_us"`
+		P99US        float64 `json:"latency_p99_us"`
+	}
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1000 }
+	var rows []row
+	for _, clients := range []int{8, 32} {
+		for _, acceptors := range []int{0, 3} {
+			pt, err := experiments.MeasureConsensus(acceptors, clients, txns, seed)
+			if err != nil {
+				return fmt.Errorf("consensus acceptors=%d clients=%d: %w", acceptors, clients, err)
+			}
+			rows = append(rows, row{
+				Acceptors: pt.Acceptors, Clients: pt.Clients, Txns: pt.Txns,
+				TxnsPerSec: pt.TxnsPerSec, MeanLatUS: us(pt.MeanLatency),
+				MsgsPerTxn: pt.MsgsPerTxn, ForcesPerTxn: pt.ForcesPerTxn,
+				P50US: us(pt.LatencyP50), P95US: us(pt.LatencyP95), P99US: us(pt.LatencyP99),
+			})
+		}
+	}
+	if b.jsonOut {
+		out := struct {
+			Experiment string `json:"experiment"`
+			Seed       int64  `json:"seed"`
+			Rows       []row  `json:"rows"`
+		}{"E19 replicated vs single decision cost", seed, rows}
+		enc := json.NewEncoder(b.w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	fmt.Fprintf(b.w, "seed: %d\n", seed)
+	fmt.Fprintf(b.w, "%9s %7s | %9s %12s %10s %10s | %9s %9s %9s\n",
+		"acceptors", "clients", "txns/s", "meanLatency", "msgs/txn", "forces/txn", "p50", "p95", "p99")
+	for _, r := range rows {
+		fmt.Fprintf(b.w, "%9d %7d | %9.0f %12s %10.2f %10.2f | %9s %9s %9s\n",
+			r.Acceptors, r.Clients, r.TxnsPerSec,
+			time.Duration(r.MeanLatUS*1000).Round(time.Microsecond),
+			r.MsgsPerTxn, r.ForcesPerTxn,
+			time.Duration(r.P50US*1000).Round(time.Microsecond),
+			time.Duration(r.P95US*1000).Round(time.Microsecond),
+			time.Duration(r.P99US*1000).Round(time.Microsecond))
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
@@ -47,6 +48,58 @@ func TestCostsAllMatch(t *testing.T) {
 	}
 	if got := strings.Count(s, "MATCH"); got != 26 { // 13 mixes x 2 outcomes
 		t.Fatalf("want 26 MATCH rows, got %d:\n%s", got, s)
+	}
+}
+
+// TestConsensusJSONShape pins the BENCH_consensus.json format: the E19
+// section with -json must emit the {experiment, seed, rows} document with
+// one row per (clients, acceptors) cell and live numbers in every row. The
+// values themselves are timing-dependent; the shape and invariants (the
+// replicated rows pay more messages and forces) are not.
+func TestConsensusJSONShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 4 TCP cluster workloads; skipped with -short")
+	}
+	var out strings.Builder
+	if code := run([]string{"-run", "consensus", "-json"}, &out); code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	type row struct {
+		Acceptors    int     `json:"acceptors"`
+		Clients      int     `json:"clients"`
+		Txns         int     `json:"txns"`
+		TxnsPerSec   float64 `json:"txns_per_sec"`
+		MsgsPerTxn   float64 `json:"msgs_per_txn"`
+		ForcesPerTxn float64 `json:"forces_per_txn"`
+		P50US        float64 `json:"latency_p50_us"`
+	}
+	var doc struct {
+		Experiment string `json:"experiment"`
+		Seed       int64  `json:"seed"`
+		Rows       []row  `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("not the BENCH_consensus.json shape: %v\n%s", err, out.String())
+	}
+	if doc.Experiment != "E19 replicated vs single decision cost" || doc.Seed == 0 {
+		t.Fatalf("bad header: %q seed=%d", doc.Experiment, doc.Seed)
+	}
+	if len(doc.Rows) != 4 {
+		t.Fatalf("want 4 rows (2 client levels x {0,3} acceptors), got %d", len(doc.Rows))
+	}
+	for i := 0; i < len(doc.Rows); i += 2 {
+		single, repl := doc.Rows[i], doc.Rows[i+1]
+		if single.Acceptors != 0 || repl.Acceptors != 3 || single.Clients != repl.Clients {
+			t.Fatalf("row pairing broken: %+v / %+v", single, repl)
+		}
+		for _, r := range []row{single, repl} {
+			if r.Txns <= 0 || r.TxnsPerSec <= 0 || r.P50US <= 0 {
+				t.Fatalf("degenerate row: %+v", r)
+			}
+		}
+		if repl.MsgsPerTxn <= single.MsgsPerTxn || repl.ForcesPerTxn <= single.ForcesPerTxn {
+			t.Fatalf("replication should cost messages and forces: %+v vs %+v", single, repl)
+		}
 	}
 }
 

@@ -12,6 +12,8 @@
 //	prany-check -json                # the same, as JSON (BENCH_mcheck.json)
 //	prany-check -strategy u2pc       # one strategy; exit 1 on any violation
 //	prany-check -strategy u2pc -stop # stop at the first counterexample
+//	prany-check -strategy prany-paxos # E19: replicated vs single decision under
+//	                                  # permanent coordinator death
 //	prany-check -replay 'u2pc/PrN|pa=PrA,pc=PrC|t2|crash=coord:af:commit.c:0|vt'
 //
 // Every counterexample prints as a schedule string; -replay re-executes
@@ -55,10 +57,75 @@ func run(args []string, stdout io.Writer) int {
 	if *replay != "" {
 		return runReplay(*replay, *timeline, stdout)
 	}
+	if *strategy == "prany-paxos" {
+		return runPaxos(*jsonOut, stdout)
+	}
 	if *strategy == "" {
 		return runMatrix(*txns, *maxSkip, *jsonOut, stdout)
 	}
 	return runOne(*strategy, *native, *txns, *maxSkip, *stop, *jsonOut, stdout)
+}
+
+// runPaxos is the E19 verdict: under permanent coordinator death (+down),
+// the replicated decider (3 acceptors) must sweep clean with zero blocked
+// terminal states, while the very same crash budget against the plain
+// single-decider coordinator must exhibit the blocking state. Exit 0 iff
+// both halves hold.
+func runPaxos(jsonOut bool, stdout io.Writer) int {
+	// One transaction at skip-0 keeps the acceptor-interleaving space
+	// exhaustively explorable; the budget still contains every crash
+	// archetype, including the vote-forward loss and acceptor accept-force
+	// crashes with recovery.
+	paxos := mcheck.Exhaust(mcheck.Config{
+		Strategy: core.StrategyPrAny, Acceptors: 3, CoordDown: true, Txns: 1, MaxSkip: -1,
+	})
+	single := mcheck.Exhaust(mcheck.Config{
+		Strategy: core.StrategyPrAny, CoordDown: true, Txns: 1, MaxSkip: -1,
+	})
+
+	verdict := ""
+	if !paxos.Clean() {
+		verdict = fmt.Sprintf("replicated decider not clean: %d violating, %d blocked", paxos.Violating, paxos.Blocked)
+	} else if single.Blocked == 0 {
+		verdict = "single decider did not block under permanent coordinator death"
+	}
+
+	if jsonOut {
+		out := struct {
+			Experiment string           `json:"experiment"`
+			Cluster    string           `json:"cluster"`
+			Rows       []*mcheck.Result `json:"rows"`
+			Verdict    string           `json:"verdict"`
+		}{"E19 replicated vs single decision under permanent coordinator death",
+			"coord + pa=PrA + pc=PrC (+ a1..a3)", []*mcheck.Result{paxos, single}, "pass"}
+		if verdict != "" {
+			out.Verdict = verdict
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stdout, "encoding: %v\n", err)
+			return 2
+		}
+	} else {
+		fmt.Fprintf(stdout, "E19: permanent coordinator death — replicated (Paxos Commit, 3 acceptors) vs single decision\n")
+		fmt.Fprintf(stdout, "%-22s %6s %9s %8s %10s %8s\n",
+			"config", "plans", "schedules", "explored", "violating", "blocked")
+		for _, r := range []*mcheck.Result{paxos, single} {
+			fmt.Fprintf(stdout, "%-22s %6d %9d %8d %10d %8d\n",
+				r.Label, r.Plans, r.Schedules, r.Explored, r.Violating, r.Blocked)
+		}
+		printFindings(stdout, single)
+		if verdict != "" {
+			fmt.Fprintf(stdout, "\nFAIL: %s\n", verdict)
+		} else {
+			fmt.Fprintf(stdout, "\npass: replicated decider exhaustively clean and non-blocking; single decider blocks in %d schedules\n", single.Blocked)
+		}
+	}
+	if verdict != "" {
+		return 1
+	}
+	return 0
 }
 
 // runReplay re-executes one counterexample (or any hand-written schedule)

@@ -47,6 +47,7 @@ func main() {
 	traceCap := flag.Int("trace-buf", 1<<14, "trace ring-buffer capacity in events (with -http)")
 	var sites siteFlags
 	flag.Var(&sites, "site", "participant as name=proto@host:port (repeatable)")
+	acceptorsFlag := flag.String("acceptors", "", "replicated-decision acceptor set as name=host:port,... (2F+1 entries; decisions are then fixed by Paxos Commit over the set instead of the local log alone)")
 	flag.Parse()
 
 	if *walPath == "" {
@@ -55,6 +56,16 @@ func main() {
 	strategy, native, err := parseStrategy(*strategyName, *nativeName)
 	if err != nil {
 		log.Fatal(err)
+	}
+	acceptorIDs, acceptorAddrs, err := parseAcceptors(*acceptorsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for aid, addr := range acceptorAddrs {
+		if sites.addrs == nil {
+			sites.addrs = make(map[wire.SiteID]string)
+		}
+		sites.addrs[aid] = addr
 	}
 
 	met := metrics.NewRegistry()
@@ -94,6 +105,7 @@ func main() {
 		},
 		LogStore:        store,
 		CheckpointEvery: *ckptEvery,
+		Acceptors:       acceptorIDs,
 		Met:             met,
 		Obs:             rec,
 	})
@@ -187,6 +199,25 @@ func need(script []string, i, args int) {
 func fail(txn *site.Txn, err error) {
 	_ = txn.Abort()
 	log.Fatal(err)
+}
+
+// parseAcceptors decodes the -acceptors list: comma-separated name=host:port
+// entries naming the 2F+1 replicated-decision sites.
+func parseAcceptors(s string) ([]wire.SiteID, map[wire.SiteID]string, error) {
+	if s == "" {
+		return nil, nil, nil
+	}
+	var ids []wire.SiteID
+	addrs := make(map[wire.SiteID]string)
+	for _, ent := range strings.Split(s, ",") {
+		name, addr, ok := strings.Cut(ent, "=")
+		if !ok || name == "" || addr == "" {
+			return nil, nil, fmt.Errorf("-acceptors wants name=host:port entries, got %q", ent)
+		}
+		ids = append(ids, wire.SiteID(name))
+		addrs[wire.SiteID(name)] = addr
+	}
+	return ids, addrs, nil
 }
 
 func parseStrategy(s, native string) (core.Strategy, wire.Protocol, error) {

@@ -39,6 +39,7 @@ func main() {
 	walPath := flag.String("wal", "", "write-ahead log file (default <id>.wal)")
 	var peers peerFlags
 	flag.Var(&peers, "peer", "peer address as site=host:port (repeatable; the coordinator must be listed)")
+	acceptorsFlag := flag.String("acceptors", "", "replicated-decision acceptor set as name=host:port,... ; if this site's -id is in the set it runs an acceptor engine, and its participant escalates stuck inquiries to the set")
 	tick := flag.Duration("tick", 500*time.Millisecond, "retry interval for in-doubt inquiries")
 	httpAddr := flag.String("http", "", "introspection listen address (e.g. :7171): /metrics, /txns, /trace, /debug/pprof/")
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint the WAL after this many forced records (0 disables; keeps recovery scans O(active))")
@@ -54,6 +55,19 @@ func main() {
 	}
 	if *walPath == "" {
 		*walPath = *id + ".wal"
+	}
+	acceptorIDs, acceptorAddrs, err := parseAcceptors(*acceptorsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for aid, addr := range acceptorAddrs {
+		if aid == wire.SiteID(*id) {
+			continue // no self-dial entry needed
+		}
+		if peers.addrs == nil {
+			peers.addrs = make(map[wire.SiteID]string)
+		}
+		peers.addrs[aid] = addr
 	}
 
 	met := metrics.NewRegistry()
@@ -84,6 +98,7 @@ func main() {
 		LogStore:        store,
 		Coordinator:     core.CoordinatorConfig{},
 		CheckpointEvery: *ckptEvery,
+		Acceptors:       acceptorIDs,
 		Met:             met,
 		Obs:             rec,
 	})
@@ -118,6 +133,25 @@ func main() {
 			return
 		}
 	}
+}
+
+// parseAcceptors decodes the -acceptors list: comma-separated name=host:port
+// entries naming the 2F+1 replicated-decision sites.
+func parseAcceptors(s string) ([]wire.SiteID, map[wire.SiteID]string, error) {
+	if s == "" {
+		return nil, nil, nil
+	}
+	var ids []wire.SiteID
+	addrs := make(map[wire.SiteID]string)
+	for _, ent := range strings.Split(s, ",") {
+		name, addr, ok := strings.Cut(ent, "=")
+		if !ok || name == "" || addr == "" {
+			return nil, nil, fmt.Errorf("-acceptors wants name=host:port entries, got %q", ent)
+		}
+		ids = append(ids, wire.SiteID(name))
+		addrs[wire.SiteID(name)] = addr
+	}
+	return ids, addrs, nil
 }
 
 // peerFlags parses repeated site=addr flags.

@@ -39,8 +39,11 @@ func (cp CrashPoint) Encode() string {
 	switch cp.Edge {
 	case BeforeForce, AfterForce:
 		role := "c"
-		if cp.Role == wal.RolePart {
+		switch cp.Role {
+		case wal.RolePart:
 			role = "p"
+		case wal.RoleAcceptor:
+			role = "a"
 		}
 		arg = cp.Rec.String() + "." + role
 	default:
@@ -73,11 +76,14 @@ func ParseCrashPoint(s string) (CrashPoint, error) {
 	switch cp.Edge {
 	case BeforeForce, AfterForce:
 		kind, role, ok := strings.Cut(fields[2], ".")
-		if !ok || (role != "c" && role != "p") {
-			return CrashPoint{}, fmt.Errorf("chaos: crash point %q: want record.c or record.p, got %q", s, fields[2])
+		if !ok || (role != "c" && role != "p" && role != "a") {
+			return CrashPoint{}, fmt.Errorf("chaos: crash point %q: want record.c, record.p or record.a, got %q", s, fields[2])
 		}
-		if role == "p" {
+		switch role {
+		case "p":
 			cp.Role = wal.RolePart
+		case "a":
+			cp.Role = wal.RoleAcceptor
 		}
 		rec, err := parseRecordKind(kind)
 		if err != nil {
@@ -102,7 +108,7 @@ func ParseCrashPoint(s string) (CrashPoint, error) {
 }
 
 func parseRecordKind(s string) (wal.Kind, error) {
-	for k := wal.KInitiation; k <= wal.KRemoteWrites; k++ {
+	for k := wal.KInitiation; k <= wal.KPaxosAccept; k++ {
 		if k.String() == s {
 			return k, nil
 		}
@@ -111,7 +117,7 @@ func parseRecordKind(s string) (wal.Kind, error) {
 }
 
 func parseMsgKind(s string) (wire.MsgKind, error) {
-	for k := wire.MsgExec; k <= wire.MsgRecoverSite; k++ {
+	for k := wire.MsgExec; k <= wire.MsgSyncState; k++ {
 		if k.String() == s {
 			return k, nil
 		}

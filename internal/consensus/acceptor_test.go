@@ -1,0 +1,281 @@
+package consensus
+
+import (
+	"strings"
+	"testing"
+
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+func testAcceptor(t *testing.T, id wire.SiteID) (*Acceptor, *collector) {
+	t.Helper()
+	env, sink := testEnv(t, id)
+	return NewAcceptor(env, testAcceptorSet), sink
+}
+
+func voteForward(txn wire.TxnID) wire.Message {
+	return wire.Message{
+		Kind: wire.MsgVoteForward, Txn: txn, From: "coord", To: "a1", Ballot: 0,
+		Insts: []wire.InstanceVote{
+			{Part: "p1", Vote: wire.VoteYes}, {Part: "p2", Vote: wire.VoteYes},
+		},
+		Roster: []wire.RosterEntry{{ID: "p1", Proto: wire.PrN}, {ID: "p2", Proto: wire.PrC}},
+	}
+}
+
+func TestAcceptorAcceptAndPromiseBallotConflicts(t *testing.T) {
+	a, sink := testAcceptor(t, "a1")
+	txn := wire.TxnID{Coord: "coord", Seq: 1}
+
+	a.Handle(voteForward(txn))
+	msgs := sink.take()
+	if len(msgs) != 1 || msgs[0].Kind != wire.MsgPhase2b || msgs[0].Ballot != 0 {
+		t.Fatalf("vote-forward reply: %v", msgs)
+	}
+
+	// A takeover leader promises a higher ballot...
+	a.Handle(wire.Message{Kind: wire.MsgPhase1a, Txn: txn, From: "a2", Ballot: 259})
+	msgs = sink.take()
+	if len(msgs) != 1 || msgs[0].Kind != wire.MsgPhase1b || msgs[0].Ballot != 259 {
+		t.Fatalf("Phase1b reply: %v", msgs)
+	}
+	if len(msgs[0].Insts) != 2 {
+		t.Fatalf("Phase1b must report the ballot-0 accepts, got %v", msgs[0].Insts)
+	}
+
+	// ...after which the stale ballot-0 accept and an equal-or-lower prepare
+	// are both ignored.
+	a.Handle(voteForward(txn))
+	a.Handle(wire.Message{Kind: wire.MsgPhase1a, Txn: txn, From: "a3", Ballot: 259})
+	a.Handle(wire.Message{Kind: wire.MsgPhase1a, Txn: txn, From: "a3", Ballot: 100})
+	if msgs := sink.take(); len(msgs) != 0 {
+		t.Fatalf("superseded rounds answered: %v", msgs)
+	}
+
+	// The higher-ballot leader's Phase2a is accepted.
+	a.Handle(wire.Message{
+		Kind: wire.MsgPhase2a, Txn: txn, From: "a2", Ballot: 259,
+		Insts: []wire.InstanceVote{{Part: "p1", Vote: wire.VoteNo}, {Part: "p2", Vote: wire.VoteYes}},
+	})
+	msgs = sink.take()
+	if len(msgs) != 1 || msgs[0].Kind != wire.MsgPhase2b || msgs[0].Ballot != 259 {
+		t.Fatalf("Phase2b reply: %v", msgs)
+	}
+}
+
+func TestAcceptorDecidedAnswersEverything(t *testing.T) {
+	a, sink := testAcceptor(t, "a1")
+	txn := wire.TxnID{Coord: "coord", Seq: 2}
+	a.Handle(voteForward(txn))
+	sink.take()
+	a.Handle(wire.Message{Kind: wire.MsgPaxosEnd, Txn: txn, From: "coord", Outcome: wire.Commit})
+	sink.take()
+
+	if out, ok := a.Outcome(txn); !ok || out != wire.Commit {
+		t.Fatalf("tombstone outcome = (%v,%v)", out, ok)
+	}
+	// Every phase message now draws a Decided tombstone reply; an inquiry
+	// draws the decision itself.
+	a.Handle(voteForward(txn))
+	a.Handle(wire.Message{Kind: wire.MsgPhase1a, Txn: txn, From: "a2", Ballot: 999})
+	a.Handle(wire.Message{Kind: wire.MsgInquiry, Txn: txn, From: "p1", Proto: wire.PrN})
+	msgs := sink.take()
+	if len(msgs) != 3 {
+		t.Fatalf("want 3 answers, got %v", msgs)
+	}
+	for _, m := range msgs[:2] {
+		if !m.Decided || m.Outcome != wire.Commit {
+			t.Fatalf("phase answer not a commit tombstone: %+v", m)
+		}
+	}
+	if msgs[2].Kind != wire.MsgDecision || msgs[2].Outcome != wire.Commit {
+		t.Fatalf("inquiry answer: %+v", msgs[2])
+	}
+	if !a.Quiesced() {
+		t.Fatal("decided-only acceptor not quiesced")
+	}
+}
+
+func TestAcceptorInquiryRunsTakeover(t *testing.T) {
+	a1, sink1 := testAcceptor(t, "a1")
+	txn := wire.TxnID{Coord: "coord", Seq: 3}
+	a1.Handle(voteForward(txn))
+	sink1.take()
+
+	// A blocked participant inquires: a1 opens a takeover at its slot.
+	a1.Handle(wire.Message{Kind: wire.MsgInquiry, Txn: txn, From: "p1", Proto: wire.PrN})
+	msgs := sink1.take()
+	if len(msgs) != 2 || msgs[0].Kind != wire.MsgPhase1a || msgs[0].Ballot != 257 {
+		t.Fatalf("takeover prepare: %v", msgs)
+	}
+	// One peer's promise completes the quorum (self counts); it reports the
+	// same ballot-0 accepts, so the takeover re-proposes and commits.
+	a1.Handle(wire.Message{
+		Kind: wire.MsgPhase1b, Txn: txn, From: "a2", Ballot: 257,
+		Insts: []wire.InstanceVote{
+			{Part: "p1", Vote: wire.VoteYes, Bal: 0}, {Part: "p2", Vote: wire.VoteYes, Bal: 0},
+		},
+	})
+	msgs = sink1.take()
+	var phase2 int
+	for _, m := range msgs {
+		if m.Kind == wire.MsgPhase2a {
+			phase2++
+		}
+	}
+	if phase2 != 2 {
+		t.Fatalf("want Phase2a to both peers, got %v", msgs)
+	}
+	a1.Handle(phase2b(txn, "a2", 257))
+	msgs = sink1.take()
+	// Quorum of accepts (self + a2): decision fixed, inquirer answered,
+	// peers released.
+	var decision, end int
+	for _, m := range msgs {
+		switch m.Kind {
+		case wire.MsgDecision:
+			decision++
+			if m.To != "p1" || m.Outcome != wire.Commit {
+				t.Fatalf("wrong decision: %+v", m)
+			}
+		case wire.MsgPaxosEnd:
+			end++
+		}
+	}
+	if decision != 1 || end != 2 {
+		t.Fatalf("takeover completion sent %v", msgs)
+	}
+	if out, ok := a1.Outcome(txn); !ok || out != wire.Commit {
+		t.Fatalf("takeover outcome = (%v,%v)", out, ok)
+	}
+}
+
+func TestAcceptorUnknownTxnTakeoverAborts(t *testing.T) {
+	a1, sink := testAcceptor(t, "a1")
+	txn := wire.TxnID{Coord: "coord", Seq: 4}
+	// Nobody ever saw this transaction: the takeover finds only free
+	// instances and fixes abort — safe, because a decision would have left
+	// accepted values (or a tombstone) on every quorum.
+	a1.Handle(wire.Message{Kind: wire.MsgInquiry, Txn: txn, From: "p2", Proto: wire.PrC})
+	sink.take()
+	a1.Handle(wire.Message{Kind: wire.MsgPhase1b, Txn: txn, From: "a3", Ballot: 257})
+	a1.Handle(phase2b(txn, "a3", 257))
+	var decided *wire.Message
+	for _, m := range sink.take() {
+		if m.Kind == wire.MsgDecision {
+			m := m
+			decided = &m
+		}
+	}
+	if decided == nil || decided.Outcome != wire.Abort || decided.To != "p2" {
+		t.Fatalf("unknown-txn takeover: %+v", decided)
+	}
+}
+
+func TestAcceptorTakeoverStallsReballot(t *testing.T) {
+	a1, sink := testAcceptor(t, "a1")
+	txn := wire.TxnID{Coord: "coord", Seq: 5}
+	a1.Handle(wire.Message{Kind: wire.MsgInquiry, Txn: txn, From: "p1", Proto: wire.PrN})
+	sink.take()
+	for i := 0; i < 4; i++ {
+		a1.Tick()
+	}
+	if ds := a1.DebugState(); !strings.Contains(ds, "bal=513") {
+		t.Fatalf("stalled takeover did not re-ballot to attempt 2: %s", ds)
+	}
+	if a1.Pending() != 1 {
+		t.Fatalf("pending = %d", a1.Pending())
+	}
+}
+
+func TestAcceptorRecoverReplaysAndSyncs(t *testing.T) {
+	env, sink := testEnv(t, "a1")
+	a := NewAcceptor(env, testAcceptorSet)
+	txn := wire.TxnID{Coord: "coord", Seq: 6}
+	txn2 := wire.TxnID{Coord: "coord", Seq: 7}
+	a.Handle(voteForward(txn))
+	a.Handle(voteForward(txn2))
+	a.Handle(wire.Message{Kind: wire.MsgPaxosEnd, Txn: txn2, From: "coord", Outcome: wire.Commit})
+	sink.take()
+
+	// Reboot on the same log: accepted values and the tombstone replay.
+	reborn := NewAcceptor(env, testAcceptorSet)
+	if err := reborn.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if k := sink.kinds(); k[wire.MsgSyncRequest] != 2 {
+		t.Fatalf("recovery must sync from both peers, got %v", k)
+	}
+	sink.take()
+	if out, ok := reborn.Outcome(txn2); !ok || out != wire.Commit {
+		t.Fatalf("tombstone lost in replay: (%v,%v)", out, ok)
+	}
+	if reborn.Pending() != 1 {
+		t.Fatalf("undecided accept lost in replay: pending=%d", reborn.Pending())
+	}
+	// The replayed accept still answers a takeover prepare with its values.
+	reborn.Handle(wire.Message{Kind: wire.MsgPhase1a, Txn: txn, From: "a2", Ballot: 259})
+	msgs := sink.take()
+	if len(msgs) != 1 || len(msgs[0].Insts) != 2 {
+		t.Fatalf("replayed accepts not reported: %v", msgs)
+	}
+
+	// A peer's sync request is answered per known transaction, from the
+	// same image a checkpoint retains.
+	reborn.Handle(wire.Message{Kind: wire.MsgSyncRequest, From: "a3"})
+	msgs = sink.take()
+	if len(msgs) != 2 || msgs[0].Kind != wire.MsgSyncState || msgs[1].Kind != wire.MsgSyncState {
+		t.Fatalf("sync answers: %v", msgs)
+	}
+
+	// A cold acceptor merges the sync state: tombstones and accepts both.
+	cold, coldSink := testAcceptor(t, "a2")
+	for _, m := range msgs {
+		m.To = "a2"
+		cold.Handle(m)
+	}
+	coldSink.take()
+	if out, ok := cold.Outcome(txn2); !ok || out != wire.Commit {
+		t.Fatalf("sync did not transfer tombstone: (%v,%v)", out, ok)
+	}
+	if cold.Pending() != 1 {
+		t.Fatalf("sync did not transfer accepts: pending=%d", cold.Pending())
+	}
+}
+
+func TestAcceptorLiveRecordAndCheckpointEntries(t *testing.T) {
+	a, sink := testAcceptor(t, "a1")
+	open := wire.TxnID{Coord: "coord", Seq: 8}
+	done := wire.TxnID{Coord: "coord", Seq: 9}
+	a.Handle(voteForward(open))
+	a.Handle(voteForward(done))
+	a.Handle(wire.Message{Kind: wire.MsgPaxosEnd, Txn: done, From: "coord", Outcome: wire.Abort})
+	sink.take()
+
+	if !a.LiveRecord(wal.Record{Kind: wal.KPaxosAccept, Role: wal.RoleAcceptor, Txn: open}) {
+		t.Fatal("undecided accept must stay live")
+	}
+	if a.LiveRecord(wal.Record{Kind: wal.KPaxosAccept, Role: wal.RoleAcceptor, Txn: done}) {
+		t.Fatal("decided accept must be collectable")
+	}
+	if !a.LiveRecord(wal.Record{Kind: wal.KAbort, Role: wal.RoleAcceptor, Txn: done}) {
+		t.Fatal("tombstone must stay live forever")
+	}
+	if a.LiveRecord(wal.Record{Kind: wal.KCommit, Role: wal.RoleAcceptor, Txn: wire.TxnID{Coord: "x", Seq: 1}}) {
+		t.Fatal("unknown transaction must be collectable")
+	}
+
+	entries := a.CheckpointEntries()
+	if len(entries) != 2 {
+		t.Fatalf("want 2 entries, got %v", entries)
+	}
+	for _, e := range entries {
+		if e.Role != wal.RoleAcceptor {
+			t.Fatalf("entry role: %+v", e)
+		}
+		if e.Txn == done && (!e.Decided || e.Outcome != wire.Abort) {
+			t.Fatalf("decided entry: %+v", e)
+		}
+	}
+}

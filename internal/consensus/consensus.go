@@ -1,0 +1,124 @@
+// Package consensus replicates the coordinator's decision step with Paxos
+// Commit (Gray & Lamport, "Consensus on Transaction Commit"): instead of one
+// forced decision record in the coordinator's own log, the decision becomes
+// durable when a quorum of 2F+1 acceptor sites accepts it, so it survives F
+// acceptor failures and — the point — any coordinator crash. The
+// participant-facing protocol of the paper is untouched: presumptions,
+// acknowledgment subsets and forgetting rules never depend on how the
+// coordinator fixed its decision (DESIGN.md §13).
+//
+// One transaction runs one Paxos instance per participant vote, all
+// instances sharing a per-transaction ballot/promise space. The coordinator
+// is the ballot-0 leader: its vote-forward message is a pre-authorized
+// Phase2a carrying every instance's value, so the fault-free fast path costs
+// one message round to the acceptors and back. Takeover leaders (a rebooted
+// coordinator learning its own decision, or an acceptor answering a blocked
+// participant) run full Paxos at higher ballots; free instances — ones no
+// quorum member ever accepted a value for — are decided VoteNo, and the
+// outcome is commit iff every roster instance decided VoteYes.
+//
+// Ballots are attempt*ballotBase + slot, the coordinator holding slot 0 and
+// acceptor i slot i+1, so concurrent leaders can never collide on a ballot.
+package consensus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+// ballotBase spaces leader slots within one attempt: ballot = attempt*
+// ballotBase + slot. With slot 0 the coordinator, acceptor i takes slot i+1.
+const ballotBase = 256
+
+// ballotFor returns the ballot for the given takeover attempt (≥ 1) and
+// leader slot. Attempt 0 slot 0 — plain ballot 0 — is the coordinator's
+// fast path.
+func ballotFor(attempt uint32, slot int) uint32 {
+	return attempt*ballotBase + uint32(slot)
+}
+
+// Quorum returns the majority size for n acceptors: F+1 of 2F+1.
+func Quorum(n int) int { return n/2 + 1 }
+
+// rosterEntries converts the initiation record's participant list to the
+// wire form shipped inside consensus messages.
+func rosterEntries(info []wal.ParticipantInfo) []wire.RosterEntry {
+	out := make([]wire.RosterEntry, 0, len(info))
+	for _, pi := range info {
+		out = append(out, wire.RosterEntry{ID: pi.ID, Proto: pi.Proto})
+	}
+	return out
+}
+
+// rosterInfo is the inverse of rosterEntries, for log records.
+func rosterInfo(roster []wire.RosterEntry) []wal.ParticipantInfo {
+	out := make([]wal.ParticipantInfo, 0, len(roster))
+	for _, re := range roster {
+		out = append(out, wal.ParticipantInfo{ID: re.ID, Proto: re.Proto})
+	}
+	return out
+}
+
+// outcomeOf applies the Paxos Commit decision rule: commit iff the roster is
+// known and every roster instance decided an explicit yes.
+func outcomeOf(roster []wire.RosterEntry, insts []wire.InstanceVote) wire.Outcome {
+	if len(roster) == 0 {
+		return wire.Abort
+	}
+	votes := make(map[wire.SiteID]wire.Vote, len(insts))
+	for _, iv := range insts {
+		votes[iv.Part] = iv.Vote
+	}
+	for _, re := range roster {
+		if v, ok := votes[re.ID]; !ok || v != wire.VoteYes {
+			return wire.Abort
+		}
+	}
+	return wire.Commit
+}
+
+// chooseValues implements the Phase1b→Phase2a value rule over a promise
+// quorum's replies: for every instance any reply reports, take the value
+// accepted at the highest ballot; instances reported by nobody are free and
+// play no part in the proposal (a free roster instance makes the outcome
+// abort via outcomeOf). The returned slice is sorted by participant for
+// deterministic messages.
+func chooseValues(replies map[wire.SiteID][]wire.InstanceVote) []wire.InstanceVote {
+	best := make(map[wire.SiteID]wire.InstanceVote)
+	for _, insts := range replies {
+		for _, iv := range insts {
+			if cur, ok := best[iv.Part]; !ok || iv.Bal > cur.Bal {
+				best[iv.Part] = iv
+			}
+		}
+	}
+	out := make([]wire.InstanceVote, 0, len(best))
+	for _, iv := range best {
+		out = append(out, iv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Part < out[j].Part })
+	return out
+}
+
+// mergeRoster adopts peer when the local roster is still unknown.
+func mergeRoster(local, peer []wire.RosterEntry) []wire.RosterEntry {
+	if len(local) > 0 || len(peer) == 0 {
+		return local
+	}
+	return append([]wire.RosterEntry(nil), peer...)
+}
+
+// fmtInsts renders instance values deterministically for DebugState.
+func fmtInsts(insts []wire.InstanceVote) string {
+	sorted := append([]wire.InstanceVote(nil), insts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Part < sorted[j].Part })
+	parts := make([]string, 0, len(sorted))
+	for _, iv := range sorted {
+		parts = append(parts, fmt.Sprintf("%s=%d@%d", iv.Part, iv.Vote, iv.Bal))
+	}
+	return strings.Join(parts, ",")
+}

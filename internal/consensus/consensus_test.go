@@ -1,0 +1,331 @@
+package consensus
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"prany/internal/core"
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+func TestQuorum(t *testing.T) {
+	for _, tc := range []struct{ n, want int }{
+		{1, 1}, {2, 2}, {3, 2}, {4, 3}, {5, 3}, {7, 4},
+	} {
+		if got := Quorum(tc.n); got != tc.want {
+			t.Errorf("Quorum(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestBallotFor(t *testing.T) {
+	if b := ballotFor(1, 0); b != 256 {
+		t.Errorf("coordinator learn ballot = %d, want 256", b)
+	}
+	if b := ballotFor(1, 2); b != 258 {
+		t.Errorf("acceptor-1 takeover ballot = %d, want 258", b)
+	}
+	// Distinct leaders can never collide on a ballot, at any attempt.
+	seen := map[uint32]bool{}
+	for attempt := uint32(1); attempt <= 3; attempt++ {
+		for slot := 0; slot < 4; slot++ {
+			b := ballotFor(attempt, slot)
+			if seen[b] {
+				t.Fatalf("ballot collision at %d", b)
+			}
+			seen[b] = true
+		}
+	}
+}
+
+func TestOutcomeOf(t *testing.T) {
+	roster := []wire.RosterEntry{{ID: "p1", Proto: wire.PrN}, {ID: "p2", Proto: wire.PrC}}
+	yes := func(id wire.SiteID) wire.InstanceVote {
+		return wire.InstanceVote{Part: id, Vote: wire.VoteYes}
+	}
+	if out := outcomeOf(roster, []wire.InstanceVote{yes("p1"), yes("p2")}); out != wire.Commit {
+		t.Errorf("all yes = %s, want commit", out)
+	}
+	if out := outcomeOf(roster, []wire.InstanceVote{yes("p1")}); out != wire.Abort {
+		t.Errorf("free instance = %s, want abort", out)
+	}
+	if out := outcomeOf(roster, []wire.InstanceVote{yes("p1"), {Part: "p2", Vote: wire.VoteNo}}); out != wire.Abort {
+		t.Errorf("explicit no = %s, want abort", out)
+	}
+	if out := outcomeOf(nil, []wire.InstanceVote{yes("p1")}); out != wire.Abort {
+		t.Errorf("unknown roster = %s, want abort", out)
+	}
+}
+
+func TestChooseValuesTakesHighestBallot(t *testing.T) {
+	replies := map[wire.SiteID][]wire.InstanceVote{
+		"a1": {{Part: "p1", Vote: wire.VoteNo, Bal: 258}, {Part: "p2", Vote: wire.VoteYes, Bal: 0}},
+		"a2": {{Part: "p1", Vote: wire.VoteYes, Bal: 0}},
+		"a3": nil,
+	}
+	got := chooseValues(replies)
+	if len(got) != 2 {
+		t.Fatalf("want 2 instances, got %v", got)
+	}
+	if got[0].Part != "p1" || got[0].Vote != wire.VoteNo || got[0].Bal != 258 {
+		t.Errorf("p1: want higher-ballot no, got %+v", got[0])
+	}
+	if got[1].Part != "p2" || got[1].Vote != wire.VoteYes {
+		t.Errorf("p2: want yes, got %+v", got[1])
+	}
+}
+
+func TestMergeRoster(t *testing.T) {
+	local := []wire.RosterEntry{{ID: "p1"}}
+	peer := []wire.RosterEntry{{ID: "p2"}}
+	if got := mergeRoster(local, peer); len(got) != 1 || got[0].ID != "p1" {
+		t.Errorf("known local roster must win, got %v", got)
+	}
+	if got := mergeRoster(nil, peer); len(got) != 1 || got[0].ID != "p2" {
+		t.Errorf("unknown local roster must adopt peer, got %v", got)
+	}
+	if got := mergeRoster(nil, nil); got != nil {
+		t.Errorf("both unknown: want nil, got %v", got)
+	}
+}
+
+// collector is a test Env sink recording every message sent.
+type collector struct {
+	mu   sync.Mutex
+	msgs []wire.Message
+}
+
+func (c *collector) send(m wire.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgs = append(c.msgs, m)
+}
+
+func (c *collector) take() []wire.Message {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.msgs
+	c.msgs = nil
+	return out
+}
+
+func (c *collector) kinds() map[wire.MsgKind]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := map[wire.MsgKind]int{}
+	for _, m := range c.msgs {
+		out[m.Kind]++
+	}
+	return out
+}
+
+func testEnv(t *testing.T, id wire.SiteID) (core.Env, *collector) {
+	t.Helper()
+	log, err := wal.Open(wal.NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &collector{}
+	return core.Env{ID: id, Log: log, Send: sink.send}, sink
+}
+
+var testAcceptorSet = []wire.SiteID{"a1", "a2", "a3"}
+
+func testRequest(txn wire.TxnID) core.DecideRequest {
+	return core.DecideRequest{
+		Txn:     txn,
+		Chosen:  wire.PrAny,
+		Outcome: wire.Commit,
+		Roster: []wal.ParticipantInfo{
+			{ID: "p1", Proto: wire.PrN}, {ID: "p2", Proto: wire.PrC},
+		},
+		Votes: []wire.InstanceVote{
+			{Part: "p1", Vote: wire.VoteYes}, {Part: "p2", Vote: wire.VoteYes},
+		},
+	}
+}
+
+func phase2b(txn wire.TxnID, from wire.SiteID, bal uint32) wire.Message {
+	return wire.Message{Kind: wire.MsgPhase2b, Txn: txn, From: from, Ballot: bal}
+}
+
+func TestDeciderFixesOnQuorum(t *testing.T) {
+	env, sink := testEnv(t, "coord")
+	d := NewPaxosDecider(env, testAcceptorSet)
+	txn := wire.TxnID{Coord: "coord", Seq: 1}
+
+	var fixedOutcome wire.Outcome
+	fixedCalls := 0
+	out, done, err := d.Decide(testRequest(txn), func(o wire.Outcome) {
+		fixedOutcome = o
+		fixedCalls++
+	})
+	if err != nil || done || out != wire.Commit {
+		t.Fatalf("Decide = (%v,%v,%v)", out, done, err)
+	}
+	if k := sink.kinds(); k[wire.MsgVoteForward] != 3 {
+		t.Fatalf("want 3 vote-forwards, got %v", k)
+	}
+	sink.take()
+
+	d.HandlePhase(phase2b(txn, "a1", 0))
+	if fixedCalls != 0 {
+		t.Fatal("fixed before quorum")
+	}
+	d.HandlePhase(phase2b(txn, "a1", 0)) // duplicate must not count
+	if fixedCalls != 0 {
+		t.Fatal("duplicate Phase2b reached quorum")
+	}
+	d.HandlePhase(phase2b(txn, "a2", 0))
+	if fixedCalls != 1 || fixedOutcome != wire.Commit {
+		t.Fatalf("fixed=%d outcome=%s, want one commit fix", fixedCalls, fixedOutcome)
+	}
+	d.HandlePhase(phase2b(txn, "a3", 0)) // post-fix replies are ignored
+	if fixedCalls != 1 {
+		t.Fatal("fixed twice")
+	}
+	// The lazy decision record landed in the local log (buffered: it is an
+	// optimization, never forced on the decision path).
+	recs := env.Log.All()
+	if len(recs) != 1 || recs[0].Kind != wal.KCommit || recs[0].Role != wal.RoleCoord {
+		t.Fatalf("want one lazy commit record, got %v", recs)
+	}
+}
+
+func TestDeciderIgnoresBallotConflicts(t *testing.T) {
+	env, _ := testEnv(t, "coord")
+	d := NewPaxosDecider(env, testAcceptorSet)
+	txn := wire.TxnID{Coord: "coord", Seq: 2}
+	fixedCalls := 0
+	if _, _, err := d.Decide(testRequest(txn), func(wire.Outcome) { fixedCalls++ }); err != nil {
+		t.Fatal(err)
+	}
+	// Replies at a foreign ballot (a takeover leader's round) must not count
+	// toward this round's quorum.
+	d.HandlePhase(phase2b(txn, "a1", 258))
+	d.HandlePhase(phase2b(txn, "a2", 258))
+	d.HandlePhase(wire.Message{Kind: wire.MsgPhase1b, Txn: txn, From: "a3", Ballot: 0})
+	if fixedCalls != 0 {
+		t.Fatal("foreign-ballot replies fixed the round")
+	}
+	// A second Decide for the same transaction is rejected.
+	if _, _, err := d.Decide(testRequest(txn), nil); err == nil {
+		t.Fatal("duplicate Decide succeeded")
+	}
+}
+
+func TestDeciderTombstoneReplySupersedes(t *testing.T) {
+	env, _ := testEnv(t, "coord")
+	d := NewPaxosDecider(env, testAcceptorSet)
+	txn := wire.TxnID{Coord: "coord", Seq: 3}
+	var fixedOutcome wire.Outcome
+	fixedCalls := 0
+	_, _, _ = d.Decide(testRequest(txn), func(o wire.Outcome) { fixedOutcome = o; fixedCalls++ })
+	// A takeover leader already decided abort; its tombstone answer wins
+	// regardless of ballot or phase.
+	d.HandlePhase(wire.Message{
+		Kind: wire.MsgPhase2b, Txn: txn, From: "a2", Ballot: 999,
+		Decided: true, Outcome: wire.Abort,
+	})
+	if fixedCalls != 1 || fixedOutcome != wire.Abort {
+		t.Fatalf("tombstone reply: fixed=%d outcome=%s", fixedCalls, fixedOutcome)
+	}
+}
+
+func TestDeciderRecoverUndecidedLearns(t *testing.T) {
+	env, sink := testEnv(t, "coord")
+	d := NewPaxosDecider(env, testAcceptorSet)
+	txn := wire.TxnID{Coord: "coord", Seq: 4}
+	var fixedOutcome wire.Outcome
+	fixedCalls := 0
+	req := testRequest(txn)
+	_, done := d.RecoverUndecided(txn, req.Roster, func(o wire.Outcome) { fixedOutcome = o; fixedCalls++ })
+	if done {
+		t.Fatal("learn round reported done synchronously")
+	}
+	if k := sink.kinds(); k[wire.MsgPhase1a] != 3 {
+		t.Fatalf("want 3 Phase1a, got %v", k)
+	}
+	sink.take()
+	bal := ballotFor(1, 0)
+	// Two acceptors report the ballot-0 accepts: the commit was fixed.
+	insts := []wire.InstanceVote{
+		{Part: "p1", Vote: wire.VoteYes, Bal: 0}, {Part: "p2", Vote: wire.VoteYes, Bal: 0},
+	}
+	d.HandlePhase(wire.Message{Kind: wire.MsgPhase1b, Txn: txn, From: "a1", Ballot: bal, Insts: insts})
+	d.HandlePhase(wire.Message{Kind: wire.MsgPhase1b, Txn: txn, From: "a2", Ballot: bal, Insts: insts})
+	if k := sink.kinds(); k[wire.MsgPhase2a] != 3 {
+		t.Fatalf("want 3 Phase2a after promise quorum, got %v", k)
+	}
+	d.HandlePhase(phase2b(txn, "a1", bal))
+	d.HandlePhase(phase2b(txn, "a3", bal))
+	if fixedCalls != 1 || fixedOutcome != wire.Commit {
+		t.Fatalf("learned fix=%d outcome=%s, want one commit", fixedCalls, fixedOutcome)
+	}
+}
+
+func TestDeciderRecoverUndecidedFreeInstanceAborts(t *testing.T) {
+	env, _ := testEnv(t, "coord")
+	d := NewPaxosDecider(env, testAcceptorSet)
+	txn := wire.TxnID{Coord: "coord", Seq: 5}
+	var fixedOutcome wire.Outcome
+	req := testRequest(txn)
+	d.RecoverUndecided(txn, req.Roster, func(o wire.Outcome) { fixedOutcome = o })
+	bal := ballotFor(1, 0)
+	// No acceptor ever saw a value: every instance is free, so nothing was
+	// chosen and abort is safe.
+	d.HandlePhase(wire.Message{Kind: wire.MsgPhase1b, Txn: txn, From: "a1", Ballot: bal})
+	d.HandlePhase(wire.Message{Kind: wire.MsgPhase1b, Txn: txn, From: "a2", Ballot: bal})
+	d.HandlePhase(phase2b(txn, "a1", bal))
+	d.HandlePhase(phase2b(txn, "a2", bal))
+	if fixedOutcome != wire.Abort {
+		t.Fatalf("free instances decided %s, want abort", fixedOutcome)
+	}
+}
+
+func TestDeciderTickReballotsStalledLearnRound(t *testing.T) {
+	env, sink := testEnv(t, "coord")
+	d := NewPaxosDecider(env, testAcceptorSet)
+	txn := wire.TxnID{Coord: "coord", Seq: 6}
+	req := testRequest(txn)
+	d.RecoverUndecided(txn, req.Roster, func(wire.Outcome) {})
+	sink.take()
+	for i := 0; i < 4; i++ {
+		d.Tick()
+	}
+	ds := d.DebugState()
+	if !strings.Contains(ds, "bal=512") {
+		t.Fatalf("stalled learn round did not re-ballot: %s", ds)
+	}
+	// The fast path never re-ballots: ballot 0 resends stay at ballot 0.
+	txn2 := wire.TxnID{Coord: "coord", Seq: 7}
+	_, _, _ = d.Decide(testRequest(txn2), nil)
+	for i := 0; i < 6; i++ {
+		d.Tick()
+	}
+	if ds := d.DebugState(); !strings.Contains(ds, "bal=0") {
+		t.Fatalf("ballot-0 round re-balloted: %s", ds)
+	}
+}
+
+func TestDeciderFinishedReleasesAcceptors(t *testing.T) {
+	env, sink := testEnv(t, "coord")
+	d := NewPaxosDecider(env, testAcceptorSet)
+	txn := wire.TxnID{Coord: "coord", Seq: 8}
+	_, _, _ = d.Decide(testRequest(txn), nil)
+	sink.take()
+	d.Finished(txn, wire.Commit)
+	if k := sink.kinds(); k[wire.MsgPaxosEnd] != 3 {
+		t.Fatalf("want 3 PaxosEnd, got %v", k)
+	}
+	if ds := d.DebugState(); ds != "" {
+		t.Fatalf("round not released: %s", ds)
+	}
+	// Finished must work even when no round exists (recovery redrive).
+	d.Finished(wire.TxnID{Coord: "coord", Seq: 9}, wire.Abort)
+	if k := sink.kinds(); k[wire.MsgPaxosEnd] != 6 {
+		t.Fatalf("roundless Finished sent %v", k)
+	}
+}

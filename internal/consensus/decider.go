@@ -1,0 +1,281 @@
+package consensus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"prany/internal/core"
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+// PaxosDecider is the coordinator-side leader of the replicated decision: it
+// implements core.Decider by driving one Paxos Commit round per transaction
+// across the acceptor set. The fault-free path is the ballot-0 optimization —
+// one vote-forward (a pre-authorized Phase2a carrying every instance's
+// value) to the acceptors, a Phase2b quorum back — so replication costs one
+// extra network round and zero local forces on the decision path. Recovery
+// of an undecided transaction runs a full learn round (Phase1a at ballot
+// ballotBase) instead of presuming abort: the decision may be fixed on the
+// quorum, and may already have been announced by a takeover leader.
+type PaxosDecider struct {
+	env       core.Env
+	acceptors []wire.SiteID
+	quorum    int
+
+	mu     sync.Mutex
+	rounds map[wire.TxnID]*round
+}
+
+// round is one transaction's in-flight decision.
+type round struct {
+	txn    wire.TxnID
+	roster []wire.RosterEntry
+	insts  []wire.InstanceVote // phase-2 proposal (the instance values)
+	ballot uint32
+	// learning marks phase 1 of a learn round; p1 collects its replies.
+	learning bool
+	attempt  uint32
+	p1       map[wire.SiteID][]wire.InstanceVote
+	accepts  map[wire.SiteID]bool
+	stall    int // Ticks since last progress, drives learn-round re-ballots
+	fixed    bool
+	outcome  wire.Outcome
+	fixedCb  func(wire.Outcome)
+}
+
+// NewPaxosDecider returns a decider replicating decisions across acceptors
+// (2F+1 sites; the quorum is the majority F+1).
+func NewPaxosDecider(env core.Env, acceptors []wire.SiteID) *PaxosDecider {
+	if len(acceptors) == 0 {
+		panic("consensus: PaxosDecider needs at least one acceptor")
+	}
+	return &PaxosDecider{
+		env:       env,
+		acceptors: append([]wire.SiteID(nil), acceptors...),
+		quorum:    Quorum(len(acceptors)),
+		rounds:    make(map[wire.TxnID]*round),
+	}
+}
+
+// Replicated implements core.Decider.
+func (d *PaxosDecider) Replicated() bool { return true }
+
+// Decide implements core.Decider: register the round and fan the ballot-0
+// vote-forward out to the acceptors. The outcome fixes asynchronously when a
+// Phase2b quorum arrives (HandlePhase fires the callback).
+func (d *PaxosDecider) Decide(req core.DecideRequest, fixed func(wire.Outcome)) (wire.Outcome, bool, error) {
+	d.mu.Lock()
+	if _, dup := d.rounds[req.Txn]; dup {
+		d.mu.Unlock()
+		return req.Outcome, false, fmt.Errorf("consensus: transaction %s already deciding", req.Txn)
+	}
+	r := &round{
+		txn:     req.Txn,
+		roster:  rosterEntries(req.Roster),
+		insts:   append([]wire.InstanceVote(nil), req.Votes...),
+		ballot:  0,
+		accepts: make(map[wire.SiteID]bool),
+		fixedCb: fixed,
+	}
+	d.rounds[req.Txn] = r
+	msgs := d.phase2Msgs(r)
+	d.mu.Unlock()
+	d.env.FanoutMsgs(msgs)
+	return req.Outcome, false, nil
+}
+
+// RecoverUndecided implements core.Decider: learn the outcome with a full
+// Paxos round at the coordinator's first takeover ballot.
+func (d *PaxosDecider) RecoverUndecided(txn wire.TxnID, roster []wal.ParticipantInfo, fixed func(wire.Outcome)) (wire.Outcome, bool) {
+	d.mu.Lock()
+	r := &round{
+		txn:      txn,
+		roster:   rosterEntries(roster),
+		ballot:   ballotFor(1, 0),
+		learning: true,
+		attempt:  1,
+		p1:       make(map[wire.SiteID][]wire.InstanceVote),
+		accepts:  make(map[wire.SiteID]bool),
+		fixedCb:  fixed,
+	}
+	d.rounds[txn] = r
+	msgs := d.phase1Msgs(r)
+	d.mu.Unlock()
+	d.env.FanoutMsgs(msgs)
+	return wire.Abort, false
+}
+
+// HandlePhase implements core.Decider: Phase1b and Phase2b replies from
+// acceptors. A reply flagged Decided is a tombstone answer — the decision
+// was fixed (and possibly announced by a takeover leader) earlier; it fixes
+// the round immediately at any phase.
+func (d *PaxosDecider) HandlePhase(m wire.Message) {
+	d.mu.Lock()
+	r := d.rounds[m.Txn]
+	if r == nil || r.fixed {
+		d.mu.Unlock()
+		return
+	}
+	if m.Decided {
+		d.fixLocked(r, m.Outcome)
+		return // fixLocked unlocks
+	}
+	switch m.Kind {
+	case wire.MsgPhase2b:
+		if m.Ballot != r.ballot || r.learning {
+			d.mu.Unlock()
+			return
+		}
+		r.accepts[m.From] = true
+		if len(r.accepts) < d.quorum {
+			d.mu.Unlock()
+			return
+		}
+		d.fixLocked(r, outcomeOf(r.roster, r.insts))
+	case wire.MsgPhase1b:
+		if m.Ballot != r.ballot || !r.learning {
+			d.mu.Unlock()
+			return
+		}
+		r.p1[m.From] = m.Insts
+		r.roster = mergeRoster(r.roster, m.Roster)
+		if len(r.p1) < d.quorum {
+			d.mu.Unlock()
+			return
+		}
+		// Promise quorum in hand: propose the highest-ballot accepted value
+		// of every reported instance. A chosen value is guaranteed to be
+		// among them (quorum intersection); a roster instance nobody
+		// reported is free and makes the outcome abort.
+		r.insts = chooseValues(r.p1)
+		r.learning = false
+		r.stall = 0
+		msgs := d.phase2Msgs(r)
+		d.mu.Unlock()
+		d.env.FanoutMsgs(msgs)
+	default:
+		d.mu.Unlock()
+	}
+}
+
+// fixLocked fixes the round's outcome, caches a lazy local decision record
+// (pure optimization: the next recovery redrives from it instead of running
+// a learn round; losing it costs a learn round, never the decision), and
+// fires the coordinator's fix-point callback. Called with d.mu held;
+// releases it.
+func (d *PaxosDecider) fixLocked(r *round, outcome wire.Outcome) {
+	r.fixed = true
+	r.outcome = outcome
+	cb := r.fixedCb
+	roster := rosterInfo(r.roster)
+	d.mu.Unlock()
+
+	kind := wal.KAbort
+	if outcome == wire.Commit {
+		kind = wal.KCommit
+	}
+	_ = d.env.AppendRecord(wal.Record{
+		Kind: kind, Role: wal.RoleCoord, Txn: r.txn, Participants: roster,
+	})
+	if cb != nil {
+		cb(outcome)
+	}
+}
+
+// Finished implements core.Decider: the coordinator has forgotten txn, so
+// the acceptors may collapse their instance state to the decided tombstone.
+func (d *PaxosDecider) Finished(txn wire.TxnID, outcome wire.Outcome) {
+	d.mu.Lock()
+	delete(d.rounds, txn)
+	d.mu.Unlock()
+	msgs := make([]wire.Message, 0, len(d.acceptors))
+	for _, id := range d.acceptors {
+		msgs = append(msgs, wire.Message{
+			Kind: wire.MsgPaxosEnd, Txn: txn, From: d.env.ID, To: id, Outcome: outcome,
+		})
+	}
+	d.env.FanoutMsgs(msgs)
+}
+
+// Tick implements core.Decider: re-send the current phase of every unfixed
+// round (acceptor replies, or the round messages themselves, may have been
+// lost). A stalled learn round re-ballots after a few ticks — a takeover
+// leader at a higher ballot may have silenced ours; the ballot-0 fast path
+// never re-ballots, since a superseding takeover answers its re-sent
+// vote-forward with a decided tombstone instead.
+func (d *PaxosDecider) Tick() {
+	var msgs []wire.Message
+	d.mu.Lock()
+	txns := make([]wire.TxnID, 0, len(d.rounds))
+	for txn := range d.rounds {
+		txns = append(txns, txn)
+	}
+	sort.Slice(txns, func(i, j int) bool { return txns[i].String() < txns[j].String() })
+	for _, txn := range txns {
+		r := d.rounds[txn]
+		if r.fixed {
+			continue
+		}
+		r.stall++
+		if r.learning && r.stall >= 4 {
+			r.attempt++
+			r.ballot = ballotFor(r.attempt, 0)
+			r.p1 = make(map[wire.SiteID][]wire.InstanceVote)
+			r.stall = 0
+		}
+		if r.learning {
+			msgs = append(msgs, d.phase1Msgs(r)...)
+		} else {
+			msgs = append(msgs, d.phase2Msgs(r)...)
+		}
+	}
+	d.mu.Unlock()
+	d.env.FanoutMsgs(msgs)
+}
+
+// DebugState implements core.Decider with the model-checker determinism
+// contract: one sorted line per open round.
+func (d *PaxosDecider) DebugState() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var rows []string
+	for txn, r := range d.rounds {
+		rows = append(rows, fmt.Sprintf("%s bal=%d learn=%v fixed=%v out=%s p1=%d acc=%d insts=[%s]",
+			txn, r.ballot, r.learning, r.fixed, r.outcome, len(r.p1), len(r.accepts), fmtInsts(r.insts)))
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, "\n")
+}
+
+// phase1Msgs builds the learn round's Phase1a fan-out. Caller holds d.mu.
+func (d *PaxosDecider) phase1Msgs(r *round) []wire.Message {
+	msgs := make([]wire.Message, 0, len(d.acceptors))
+	for _, id := range d.acceptors {
+		msgs = append(msgs, wire.Message{
+			Kind: wire.MsgPhase1a, Txn: r.txn, From: d.env.ID, To: id, Ballot: r.ballot,
+		})
+	}
+	return msgs
+}
+
+// phase2Msgs builds the accept fan-out: the ballot-0 vote-forward, or a
+// learn round's Phase2a. Caller holds d.mu.
+func (d *PaxosDecider) phase2Msgs(r *round) []wire.Message {
+	kind := wire.MsgPhase2a
+	if r.ballot == 0 {
+		kind = wire.MsgVoteForward
+	}
+	msgs := make([]wire.Message, 0, len(d.acceptors))
+	for _, id := range d.acceptors {
+		msgs = append(msgs, wire.Message{
+			Kind: kind, Txn: r.txn, From: d.env.ID, To: id,
+			Ballot: r.ballot,
+			Insts:  append([]wire.InstanceVote(nil), r.insts...),
+			Roster: append([]wire.RosterEntry(nil), r.roster...),
+		})
+	}
+	return msgs
+}

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"prany/internal/history"
@@ -64,6 +67,11 @@ type CoordinatorConfig struct {
 	// TestAblationFixedPresumption).
 	FixedPresumption bool
 	FixedOutcome     wire.Outcome
+	// NewDecider, when set, builds the decision fix-point for this
+	// coordinator — a replicated decider (internal/consensus) makes the
+	// decision durable on an acceptor quorum instead of the local log.
+	// Nil means SingleDecider: the paper's force-then-send path.
+	NewDecider func(env Env) Decider
 }
 
 type cstate uint8
@@ -71,6 +79,7 @@ type cstate uint8
 const (
 	cVoting   cstate = iota
 	cDraining        // decision sent; collecting expected acks
+	cDeciding        // replicated decision in flight; outcome not yet fixed
 )
 
 type cpart struct {
@@ -80,6 +89,11 @@ type cpart struct {
 	expectAck    bool
 	acked        bool
 	sentDecision bool
+	// resends counts decision re-sends to this participant; resendDue is
+	// the Tick count before which the next re-send is suppressed (capped
+	// jittered exponential backoff, mirroring the TCP redial policy).
+	resends   int
+	resendDue uint64
 	// writes is the write set a coordinator-log participant shipped with
 	// its vote (force-logged in a remote-writes record); re-driven
 	// decisions to CL sites attach it.
@@ -96,6 +110,11 @@ type ctxn struct {
 	outcome   wire.Outcome
 	votesDone chan struct{}
 	voteOnce  sync.Once
+
+	// decideDone closes when a replicated decision fixes (nil under the
+	// single decider, whose decisions fix synchronously).
+	decideDone chan struct{}
+	decideOnce sync.Once
 
 	// startedAt and decidedAt time the entry for latency histograms and the
 	// /txns age column. Zero when the site is un-instrumented (Env.now);
@@ -127,11 +146,18 @@ func (ct *ctxn) allVotesIn() bool {
 // sharded by transaction-id hash so unrelated transactions never contend on
 // one mutex; each ctxn's fields are guarded by its shard's lock.
 type Coordinator struct {
-	env Env
-	cfg CoordinatorConfig
-	pcp *PCP
+	env     Env
+	cfg     CoordinatorConfig
+	pcp     *PCP
+	decider Decider
 
 	txns *shardedTable[*ctxn] // the protocol table
+
+	// ticks counts Tick calls; the decision re-send backoff is measured in
+	// these units. jitterMu guards jitter, the backoff randomizer.
+	ticks    atomic.Uint64
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
 }
 
 // NewCoordinator builds a coordinator engine over the given PCP table.
@@ -147,8 +173,21 @@ func NewCoordinator(env Env, cfg CoordinatorConfig, pcp *PCP) *Coordinator {
 		met, id := env.Met, env.ID
 		onContend = func() { met.ShardWait(id) }
 	}
-	return &Coordinator{env: env, cfg: cfg, pcp: pcp, txns: newShardedTable[*ctxn](onContend)}
+	c := &Coordinator{
+		env: env, cfg: cfg, pcp: pcp, txns: newShardedTable[*ctxn](onContend),
+		jitter: rand.New(rand.NewSource(int64(len(env.ID)) + 1)),
+	}
+	if cfg.NewDecider != nil {
+		c.decider = cfg.NewDecider(env)
+	} else {
+		c.decider = NewSingleDecider(env)
+	}
+	return c
 }
+
+// Decider returns the coordinator's decision fix-point (for tests and
+// introspection).
+func (c *Coordinator) Decider() Decider { return c.decider }
 
 // choose picks the per-transaction protocol. Under PrAny it is the Section
 // 4.1 selection rule; U2PC and C2PC always run the coordinator's native
@@ -180,10 +219,29 @@ func (c *Coordinator) Commit(txn wire.TxnID, parts []wire.SiteID) (wire.Outcome,
 		}
 	}
 	outcome, err := c.resolve(ct)
+	if errors.Is(err, ErrDecidePending) {
+		outcome, err = c.awaitDecision(ct)
+	}
 	if err == nil {
 		c.env.observe(metrics.SpanCommit, start)
 	}
 	return outcome, err
+}
+
+// awaitDecision blocks until a replicated decision fixes, or the vote
+// timeout elapses again without one (acceptor quorum unreachable).
+func (c *Coordinator) awaitDecision(ct *ctxn) (wire.Outcome, error) {
+	timer := time.NewTimer(c.cfg.VoteTimeout)
+	defer timer.Stop()
+	select {
+	case <-ct.decideDone:
+		sh := c.txns.lock(ct.txn)
+		outcome := ct.outcome
+		sh.mu.Unlock()
+		return outcome, nil
+	case <-timer.C:
+		return wire.Abort, ErrDecidePending
+	}
 }
 
 // Begin runs only the voting phase's setup: protocol-table insert, the
@@ -244,6 +302,9 @@ func (c *Coordinator) begin(txn wire.TxnID, parts []wire.SiteID) (*ctxn, int, er
 		votesDone: make(chan struct{}),
 		startedAt: c.env.now(),
 	}
+	if c.decider.Replicated() {
+		ct.decideDone = make(chan struct{})
+	}
 	protos := make([]wire.Protocol, 0, len(parts))
 	for _, id := range parts {
 		proto, ok := c.pcp.Lookup(id)
@@ -281,8 +342,11 @@ func (c *Coordinator) begin(txn wire.TxnID, parts []wire.SiteID) (*ctxn, int, er
 	// Voting phase. PrC and PrAny force an initiation record naming every
 	// participant — and, for PrAny, each participant's protocol — before
 	// any prepare is sent: without it, a coordinator crash would leave
-	// undecided transactions indistinguishable from presumable ones.
-	if ct.chosen == wire.PrC || ct.chosen == wire.PrAny {
+	// undecided transactions indistinguishable from presumable ones. A
+	// replicated decider forces it for *every* chosen variant: the record
+	// is what tells recovery to learn the outcome from the acceptors
+	// instead of presuming, and names the roster to finish with.
+	if ct.chosen == wire.PrC || ct.chosen == wire.PrAny || c.decider.Replicated() {
 		if err := c.env.force(wal.Record{
 			Kind: wal.KInitiation, Role: wal.RoleCoord, Txn: txn, Participants: c.infoList(ct),
 		}); err != nil {
@@ -313,13 +377,22 @@ func (c *Coordinator) begin(txn wire.TxnID, parts []wire.SiteID) (*ctxn, int, er
 func (c *Coordinator) resolve(ct *ctxn) (wire.Outcome, error) {
 	sh := c.txns.lock(ct.txn)
 	if ct.state != cVoting {
-		outcome := ct.outcome
+		outcome, decided := ct.outcome, ct.decided
 		sh.mu.Unlock()
+		if !decided {
+			return outcome, ErrDecidePending // replicated decision in flight
+		}
 		return outcome, nil
 	}
 	outcome := wire.Abort
 	if ct.allYes() {
 		outcome = wire.Commit
+	}
+	if c.decider.Replicated() {
+		// Claim the decision now, under the lock: a replicated decide
+		// completes asynchronously, and a duplicate Resolve racing in must
+		// wait for the fix-point, not start a second ballot.
+		ct.state = cDeciding
 	}
 	sh.mu.Unlock()
 
@@ -344,37 +417,70 @@ func (c *Coordinator) infoList(ct *ctxn) []wal.ParticipantInfo {
 	return out
 }
 
-// decide fixes the outcome, performs the decision-phase logging, sends the
-// decision, and starts draining acknowledgments.
+// decide fixes the outcome through the decider, then performs the decision
+// phase: send the decision and start draining acknowledgments. Under a
+// replicated decider the fix-point may complete asynchronously, in which
+// case ErrDecidePending is returned and finalize runs from the consensus
+// delivery path.
 func (c *Coordinator) decide(ct *ctxn, outcome wire.Outcome) (wire.Outcome, error) {
-	// Decision logging. Every variant forces the commit record before any
-	// commit decision leaves the site. Abort records are forced only by
-	// PrN; PrA, PrC and PrAny presume or reconstruct aborts.
-	if outcome == wire.Commit {
-		if err := c.env.force(wal.Record{
-			Kind: wal.KCommit, Role: wal.RoleCoord, Txn: ct.txn, Participants: c.infoList(ct),
-		}); err != nil {
-			// The failed force may leave the commit record in the log
-			// buffer, where a later successful force would stabilize it —
-			// and recovery would then re-drive a commit this coordinator
-			// never announced. A lazy abort record supersedes it (recovery
-			// takes the last decision record).
-			c.env.appendLazy(wal.Record{
-				Kind: wal.KAbort, Role: wal.RoleCoord, Txn: ct.txn, Participants: c.infoList(ct),
-			})
-			return wire.Abort, err
-		}
-	} else if c.logsAbortRecord(ct) {
-		if err := c.env.force(wal.Record{
-			Kind: wal.KAbort, Role: wal.RoleCoord, Txn: ct.txn, Participants: c.infoList(ct),
-		}); err != nil {
-			return wire.Abort, err
-		}
+	req := DecideRequest{
+		Txn:       ct.txn,
+		Chosen:    ct.chosen,
+		Outcome:   outcome,
+		Roster:    c.infoList(ct),
+		LogsAbort: c.logsAbortRecord(ct),
 	}
+	if c.decider.Replicated() {
+		req.Votes = c.instanceVotes(ct)
+	}
+	fixed, done, err := c.decider.Decide(req, func(o wire.Outcome) { c.finalize(ct, o) })
+	if err != nil {
+		return fixed, err
+	}
+	if !done {
+		return fixed, ErrDecidePending
+	}
+	c.finalize(ct, fixed)
+	return fixed, nil
+}
+
+// instanceVotes maps the participant votes onto per-participant consensus
+// instance values: explicit and read-only yes votes propose yes, no votes
+// and silent participants propose no — the conjunction is the outcome, so a
+// takeover leader recomputes exactly the coordinator's decision rule.
+func (c *Coordinator) instanceVotes(ct *ctxn) []wire.InstanceVote {
+	out := make([]wire.InstanceVote, 0, len(ct.order))
+	for _, id := range ct.order {
+		p := ct.parts[id]
+		v := wire.VoteNo
+		if p.voted && p.vote != wire.VoteNo {
+			v = wire.VoteYes
+		}
+		out = append(out, wire.InstanceVote{Part: id, Vote: v})
+	}
+	return out
+}
+
+// finalize is the decision phase after the fix-point: record the decide
+// event, mark the entry decided, send the decision messages and start
+// draining. It runs at most once per transaction (a duplicate call — the
+// replicated decider's callback racing a recovery — is a no-op).
+func (c *Coordinator) finalize(ct *ctxn, outcome wire.Outcome) {
+	sh := c.txns.lock(ct.txn)
+	if ct.decided {
+		sh.mu.Unlock()
+		return
+	}
+	sh.mu.Unlock()
+
 	c.env.event(history.Event{Kind: history.EvDecide, Txn: ct.txn, Outcome: outcome})
 	c.env.trace(obs.Event{Kind: obs.EvDecide, Txn: ct.txn, Note: outcome.String()})
 
-	sh := c.txns.lock(ct.txn)
+	sh = c.txns.lock(ct.txn)
+	if ct.decided {
+		sh.mu.Unlock()
+		return
+	}
 	ct.decided = true
 	ct.outcome = outcome
 	ct.state = cDraining
@@ -382,6 +488,9 @@ func (c *Coordinator) decide(ct *ctxn, outcome wire.Outcome) (wire.Outcome, erro
 	msgs := c.decisionMsgsLocked(ct)
 	finished := c.maybeFinishLocked(sh.m, ct)
 	sh.mu.Unlock()
+	if ct.decideDone != nil {
+		ct.decideOnce.Do(func() { close(ct.decideDone) })
+	}
 	c.env.observe(metrics.SpanPrepare, ct.startedAt)
 
 	if c.env.Obs != nil {
@@ -390,8 +499,9 @@ func (c *Coordinator) decide(ct *ctxn, outcome wire.Outcome) (wire.Outcome, erro
 		}
 	}
 	c.env.fanout(msgs)
-	_ = finished
-	return outcome, nil
+	if finished {
+		c.decider.Finished(ct.txn, outcome)
+	}
 }
 
 // logsAbortRecord reports whether this transaction's variant forces an
@@ -520,6 +630,8 @@ func (c *Coordinator) Handle(m wire.Message) {
 		c.handleInquiry(m)
 	case wire.MsgRecoverSite:
 		c.handleRecoverSite(m)
+	case wire.MsgPhase1b, wire.MsgPhase2b:
+		c.decider.HandlePhase(m)
 	}
 }
 
@@ -617,8 +729,12 @@ func (c *Coordinator) handleAck(m wire.Message) {
 		return
 	}
 	p.acked = true
-	c.maybeFinishLocked(sh.m, ct)
+	finished := c.maybeFinishLocked(sh.m, ct)
+	outcome := ct.outcome
 	sh.mu.Unlock()
+	if finished {
+		c.decider.Finished(ct.txn, outcome)
+	}
 }
 
 // handleInquiry answers a participant blocked in doubt. With the
@@ -682,8 +798,18 @@ func (c *Coordinator) respond(inq wire.Message, outcome wire.Outcome) {
 // acknowledgers that have not acknowledged (their copy, or its ack, may
 // have been lost, or the participant may have been down). The site layer
 // calls it periodically.
+//
+// Re-sends back off per participant under the TCP redial policy — a base
+// delay doubling per consecutive re-send, capped, jittered — measured in
+// Tick calls: the first re-send fires on the next Tick, then the gaps grow
+// to the cap, so a long-dead participant costs O(log) decision copies per
+// backoff window instead of one per tick. Suppressed re-sends are counted
+// (metrics.ResendsSuppressed); an acknowledgment resets nothing because the
+// participant then leaves the pending set entirely.
 func (c *Coordinator) Tick() {
+	tick := c.ticks.Add(1)
 	var msgs []wire.Message
+	suppressed := 0
 	c.txns.each(func(tbl map[wire.TxnID]*ctxn) {
 		for _, ct := range tbl {
 			if ct.state != cDraining {
@@ -691,21 +817,67 @@ func (c *Coordinator) Tick() {
 			}
 			for _, id := range ct.order {
 				p := ct.parts[id]
-				if p.sentDecision && p.expectAck && !p.acked {
-					msgs = append(msgs, wire.Message{
-						Kind: wire.MsgDecision, Txn: ct.txn, From: c.env.ID, To: id, Outcome: ct.outcome,
-					})
+				if !p.sentDecision || !p.expectAck || p.acked {
+					continue
 				}
+				if tick < p.resendDue {
+					suppressed++
+					continue
+				}
+				p.resends++
+				p.resendDue = tick + c.resendDelay(p.resends)
+				msgs = append(msgs, wire.Message{
+					Kind: wire.MsgDecision, Txn: ct.txn, From: c.env.ID, To: id, Outcome: ct.outcome,
+				})
 			}
 		}
 	})
+	if suppressed > 0 && c.env.Met != nil {
+		c.env.Met.ResendSuppressed(c.env.ID, suppressed)
+	}
+	c.decider.Tick()
 	sortMsgs(msgs)
 	c.env.fanout(msgs)
+}
+
+// resendDelay returns the tick gap before the re-send after `resends`
+// consecutive re-sends: base 1 doubling per re-send, capped at 16, drawn
+// from [d/2, d] — the transport's redial backoff in tick units. Under a
+// serial scheduler the jitter is bypassed so deterministic drivers replay
+// identically.
+func (c *Coordinator) resendDelay(resends int) uint64 {
+	const capTicks = 16
+	d := uint64(1)
+	for i := 1; i < resends && d < capTicks; i++ {
+		d *= 2
+	}
+	if d > capTicks {
+		d = capTicks
+	}
+	if c.env.serial() {
+		return d
+	}
+	c.jitterMu.Lock()
+	j := uint64(c.jitter.Int63n(int64(d/2) + 1))
+	c.jitterMu.Unlock()
+	if v := d/2 + j; v > 0 {
+		return v
+	}
+	return 1
 }
 
 // PTSize returns the number of protocol-table entries — the retention
 // measure of Theorem 2.
 func (c *Coordinator) PTSize() int { return c.txns.size() }
+
+// Knows reports whether txn is still in the protocol table (the site layer
+// routes inquiries between the coordinator and a co-located acceptor by it).
+func (c *Coordinator) Knows(txn wire.TxnID) bool {
+	sh := c.txns.lock(txn)
+	_, ok := sh.m[txn]
+	sh.mu.Unlock()
+	return ok
+}
 
 // PTEntries returns the transactions currently in the protocol table, in
 // sorted order.

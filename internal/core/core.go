@@ -190,6 +190,36 @@ func (e *Env) event(ev history.Event) {
 	}
 }
 
+// The exported Env wrappers below give decider implementations outside this
+// package (internal/consensus) the same logging, sending and scheduling
+// discipline the engines use — costs recorded, fail-stop respected — without
+// exporting the raw hooks.
+
+// ForceRecord appends rec and forces the log, with force-cost accounting.
+func (e *Env) ForceRecord(rec wal.Record) error { return e.force(rec) }
+
+// AppendRecord appends rec without forcing, with append-cost accounting.
+func (e *Env) AppendRecord(rec wal.Record) error { return e.appendLazy(rec) }
+
+// SendMsg emits one message, with message-cost accounting.
+func (e *Env) SendMsg(m wire.Message) { e.send(m) }
+
+// RecordEvent records a history event, with the engines' fail-stop
+// discipline. A takeover leader fixing a decision is a decide event like any
+// coordinator's — the history judge must not mistake it for "never decided".
+func (e *Env) RecordEvent(ev history.Event) { e.event(ev) }
+
+// FanoutMsgs sorts msgs deterministically and emits them, batching when the
+// transport supports it.
+func (e *Env) FanoutMsgs(msgs []wire.Message) {
+	sortMsgs(msgs)
+	e.fanout(msgs)
+}
+
+// SerialSched reports whether a deterministic driver pinned all engine
+// concurrency to the calling goroutine (randomized timing must be bypassed).
+func (e *Env) SerialSched() bool { return e.serial() }
+
 // sortMsgs orders messages by (destination, transaction, kind). The retry
 // and recovery paths collect their re-sends by iterating sharded maps,
 // whose order varies run to run; sorting before fanout keeps the emission

@@ -127,6 +127,17 @@ func (c *Coordinator) Recover() error {
 			chosen = Select(protos)
 		}
 
+		if !s.decided && s.initiation != nil && c.decider.Replicated() {
+			// Replicated decision, crash before the (lazy) decision record
+			// landed: the outcome may nonetheless be fixed on the acceptor
+			// quorum — and may already have been announced by a takeover
+			// leader — so presuming abort here would split the decision.
+			// Learn it from the acceptors instead; the fix-point callback
+			// finishes the decision phase.
+			c.relearnUndecided(txn, chosen, s.initiation.Participants, s.remote)
+			continue
+		}
+
 		outcome := wire.Abort // initiation without decision: abort
 		if s.decided {
 			outcome = s.outcome
@@ -168,14 +179,47 @@ func (c *Coordinator) Recover() error {
 		c.env.event(history.Event{Kind: history.EvDecide, Txn: txn, Outcome: outcome})
 
 		sh = c.txns.lock(txn)
-		c.maybeFinishLocked(sh.m, ct)
+		finished := c.maybeFinishLocked(sh.m, ct)
 		sh.mu.Unlock()
+		if finished {
+			c.decider.Finished(txn, outcome)
+		}
 		allMsgs = append(allMsgs, msgs...)
 	}
 
 	c.env.event(history.Event{Kind: history.EvRecover})
 	c.env.fanout(allMsgs)
 	return nil
+}
+
+// relearnUndecided re-inserts an undecided replicated-decision transaction
+// and asks the decider to learn its outcome from the acceptor quorum. The
+// entry sits in the deciding state — inquiries stay unanswered, exactly as
+// during the original decision window — until the fix-point fires finalize.
+func (c *Coordinator) relearnUndecided(txn wire.TxnID, chosen wire.Protocol, info []wal.ParticipantInfo, remote map[wire.SiteID][]wal.Update) {
+	ct := &ctxn{
+		txn:        txn,
+		state:      cDeciding,
+		parts:      make(map[wire.SiteID]*cpart, len(info)),
+		votesDone:  make(chan struct{}),
+		decideDone: make(chan struct{}),
+		chosen:     chosen,
+	}
+	ct.closeVotes()
+	for _, pi := range info {
+		ct.parts[pi.ID] = &cpart{proto: pi.Proto, voted: true, vote: wire.VoteYes, writes: remote[pi.ID]}
+		ct.order = append(ct.order, pi.ID)
+	}
+	sh := c.txns.lock(txn)
+	sh.m[txn] = ct
+	sh.mu.Unlock()
+	if c.env.Met != nil {
+		c.env.Met.PTInsert(c.env.ID)
+	}
+	outcome, done := c.decider.RecoverUndecided(txn, info, func(o wire.Outcome) { c.finalize(ct, o) })
+	if done {
+		c.finalize(ct, outcome)
+	}
 }
 
 // redriveMsgsLocked computes the recovery-time decision recipients: the

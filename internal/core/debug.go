@@ -29,7 +29,14 @@ func (c *Coordinator) DebugState() string {
 		}
 	})
 	sort.Strings(rows)
-	return strings.Join(rows, "\n")
+	s := strings.Join(rows, "\n")
+	// The decider contributes state only when it holds any (a replicated
+	// decider's open rounds); the single decider returns "", keeping
+	// pre-interface hashes unchanged.
+	if ds := c.decider.DebugState(); ds != "" {
+		s += "\ndecider:" + ds
+	}
+	return s
 }
 
 // DebugState renders the participant's protocol table as a deterministic

@@ -40,6 +40,7 @@ type Participant struct {
 	// already changed.
 	mu            sync.Mutex
 	coords        []wire.SiteID
+	acceptors     []wire.SiteID
 	recovering    bool
 	enforced      map[wire.TxnID]bool
 	enforcedOrder []wire.TxnID
@@ -66,6 +67,14 @@ type ptxn struct {
 	// before voting; after idleAbortTicks rounds they do, releasing locks
 	// a lost prepare or lost unacknowledged abort would otherwise strand.
 	idleTicks int
+	// inqTicks counts Tick rounds spent in doubt with no answer. When the
+	// deployment has an acceptor set, a participant stuck past
+	// inquiryEscalateTicks escalates its inquiry to the acceptors too — the
+	// coordinator may be down for good, and with the decision replicated an
+	// acceptor can finish it (takeover) instead of leaving the participant
+	// blocked. The gate keeps a merely slow coordinator from triggering
+	// spurious takeovers.
+	inqTicks int
 	// startedAt times the entry for the /txns age column. Zero when the
 	// site is un-instrumented (Env.now); absent from DebugState so
 	// model-checker state hashing stays timestamp-free.
@@ -75,6 +84,10 @@ type ptxn struct {
 // idleAbortTicks is how many Tick rounds an executing subtransaction may
 // idle before the participant aborts it unilaterally.
 const idleAbortTicks = 5
+
+// inquiryEscalateTicks is how many unanswered in-doubt Tick rounds a
+// participant waits before widening its inquiry to the acceptor set.
+const inquiryEscalateTicks = 2
 
 // NewParticipant builds a participant engine. proto must be one of the
 // three 2PC variants.
@@ -104,6 +117,15 @@ func (p *Participant) SetCoordinators(ids []wire.SiteID) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.coords = append([]wire.SiteID(nil), ids...)
+}
+
+// SetAcceptors tells the participant the deployment's acceptor set (the
+// replicated-decision sites). In-doubt inquiries escalate there when the
+// coordinator stays silent; empty (the default) disables escalation.
+func (p *Participant) SetAcceptors(ids []wire.SiteID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.acceptors = append([]wire.SiteID(nil), ids...)
 }
 
 // Proto returns the participant's protocol.
@@ -624,12 +646,25 @@ func (p *Participant) Tick() {
 			})
 		}
 	}
+	acceptors := p.acceptors
 	p.mu.Unlock()
 	p.txns.each(func(tbl map[wire.TxnID]*ptxn) {
 		for txn, t := range tbl {
 			switch t.state {
 			case pPrepared:
 				msgs = append(msgs, p.inquiryMsg(txn, t.coord))
+				if len(acceptors) > 0 {
+					t.inqTicks++
+					if t.inqTicks > inquiryEscalateTicks {
+						// Rotate through the acceptor set: one extra inquiry
+						// per round is enough (any single acceptor can run
+						// the takeover) and keeps the fan-out constant.
+						id := acceptors[(t.inqTicks-inquiryEscalateTicks-1)%len(acceptors)]
+						if id != t.coord {
+							msgs = append(msgs, p.inquiryMsg(txn, id))
+						}
+					}
+				}
 			case pExecuting:
 				t.idleTicks++
 				if t.idleTicks >= idleAbortTicks {

@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+// The E19 measurement must run clean in both modes and the replicated mode
+// must actually pay the quorum round: more messages and more forces per
+// transaction than the single-decider baseline.
+func TestMeasureConsensusBothModes(t *testing.T) {
+	single, err := MeasureConsensus(0, 4, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl, err := MeasureConsensus(3, 4, 40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range []ConsensusPoint{single, repl} {
+		if pt.TxnsPerSec <= 0 || pt.MeanLatency <= 0 || pt.LatencyP50 <= 0 {
+			t.Fatalf("degenerate point: %+v", pt)
+		}
+	}
+	if repl.MsgsPerTxn <= single.MsgsPerTxn {
+		t.Fatalf("replication should cost messages: single=%.1f repl=%.1f",
+			single.MsgsPerTxn, repl.MsgsPerTxn)
+	}
+	if repl.ForcesPerTxn <= single.ForcesPerTxn {
+		t.Fatalf("replication should cost forces: single=%.1f repl=%.1f",
+			single.ForcesPerTxn, repl.ForcesPerTxn)
+	}
+}

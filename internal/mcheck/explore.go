@@ -34,6 +34,17 @@ func Budget(cfg Config) [][]chaos.CrashPoint {
 	single(chaos.CrashPoint{Site: CoordID, Edge: chaos.AfterForce, Rec: wal.KCommit, Role: wal.RoleCoord})
 	single(chaos.CrashPoint{Site: CoordID, Edge: chaos.OnSend, Msg: wire.MsgDecision})
 
+	if cfg.Acceptors > 0 {
+		// Replicated-decision archetypes: the vote bundle lost with the
+		// coordinator mid-forward (the decision exists nowhere yet), and an
+		// acceptor crashing around its accept force (its vote for the
+		// outcome survives, or doesn't).
+		single(chaos.CrashPoint{Site: CoordID, Edge: chaos.OnSend, Msg: wire.MsgVoteForward})
+		a1 := acceptorIDs(cfg.Acceptors)[0]
+		single(chaos.CrashPoint{Site: a1, Edge: chaos.BeforeForce, Rec: wal.KPaxosAccept, Role: wal.RoleAcceptor})
+		single(chaos.CrashPoint{Site: a1, Edge: chaos.AfterForce, Rec: wal.KPaxosAccept, Role: wal.RoleAcceptor})
+	}
+
 	for _, p := range cfg.Parts {
 		// Around the prepared force (the in-doubt window opens), the
 		// decision consumed by the crash, and the ack lost with the sender.
@@ -78,8 +89,9 @@ type Counterexample struct {
 	Schedule string `json:"schedule"`
 	// Kind classifies the failure: "atomicity" (clause 1 / Definition 2),
 	// "retention" (clauses 2–3: immortal table entries, unforgotten
-	// participants, uncollectable logs, non-quiescence), or "error" (the
-	// episode itself failed).
+	// participants, uncollectable logs, non-quiescence), "blocked" (a live
+	// participant left in doubt forever — the CoordDown liveness failure),
+	// or "error" (the episode itself failed).
 	Kind string `json:"kind"`
 	// Summary is the judge's breakdown (or the episode error).
 	Summary string `json:"summary"`
@@ -107,6 +119,13 @@ type Result struct {
 	// failed Definition 1.
 	Schedules int `json:"schedules"`
 	Violating int `json:"violating"`
+	// Blocked counts maximal schedules that converged with some live
+	// participant still in doubt — prepared, undecided, nobody left who
+	// will ever answer. The liveness failure a single coordinator exhibits
+	// under permanent death (CoordDown), and the one the replicated decider
+	// must eliminate. Always zero for recoverable-coordinator sweeps, so
+	// existing result JSON is unchanged.
+	Blocked int `json:"blocked,omitempty"`
 	// Counterexamples holds the first violating schedules (capped at
 	// maxStoredCex; Violating counts them all). For a straw-man strategy
 	// the first one is a machine-found re-derivation of the paper's
@@ -125,7 +144,7 @@ type Result struct {
 // Clean reports a finished sweep with no violations and no truncation —
 // the exhaustive-correctness verdict.
 func (r *Result) Clean() bool {
-	return r.Violating == 0 && len(r.Errors) == 0 && !r.Truncated
+	return r.Violating == 0 && r.Blocked == 0 && len(r.Errors) == 0 && !r.Truncated
 }
 
 // Exhaust explores every schedule of every budgeted fault plan for one
@@ -167,6 +186,7 @@ func explorePlan(cfg Config, points []chaos.CrashPoint, res *Result) {
 		return EncodeSchedule(Schedule{
 			Strategy: cfg.Strategy, Native: cfg.Native, Parts: cfg.Parts,
 			Txns: cfg.Txns, Crashes: points, Actions: prefix,
+			Acceptors: cfg.Acceptors, CoordDown: cfg.CoordDown,
 		})
 	}
 	fail := func(prefix []action, err error) {
@@ -181,16 +201,27 @@ func explorePlan(cfg Config, points []chaos.CrashPoint, res *Result) {
 			return
 		}
 		res.AmpleSteps += ep.ampleSteps
+		blocked := ep.blockedNow()
+		if blocked > 0 {
+			res.Blocked++
+		}
 		rep := ep.judge(quiesced)
-		if rep.OK() {
+		if rep.OK() && blocked == 0 {
 			return
 		}
-		res.Violating++
+		if !rep.OK() {
+			res.Violating++
+		}
 		if len(res.Counterexamples) < maxStoredCex {
+			kind, summary := cexKind(rep), rep.Summary()
+			if blocked > 0 {
+				kind = "blocked"
+				summary = fmt.Sprintf("blocked=%d in-doubt at live participants with nobody to answer; %s", blocked, summary)
+			}
 			res.Counterexamples = append(res.Counterexamples, Counterexample{
 				Schedule: scheduleStr(prefix),
-				Kind:     cexKind(rep),
-				Summary:  rep.Summary(),
+				Kind:     kind,
+				Summary:  summary,
 			})
 		}
 	}

@@ -31,12 +31,14 @@ package mcheck
 
 import (
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync/atomic"
 
 	"prany/internal/chaos"
+	"prany/internal/consensus"
 	"prany/internal/core"
 	"prany/internal/history"
 	"prany/internal/kvstore"
@@ -84,6 +86,18 @@ type Config struct {
 	MaxStatesPerPlan int
 	// StopAtFirst ends the exploration at the first counterexample.
 	StopAtFirst bool
+	// Acceptors, when positive, replicates the decision step: the cluster
+	// gains dedicated acceptor sites a1..aN, the coordinator fixes outcomes
+	// through a PaxosDecider over them, and blocked participants escalate
+	// their inquiries to the acceptor set. Zero keeps the single decider —
+	// and leaves every existing schedule, hash and verdict untouched.
+	Acceptors int
+	// CoordDown makes every coordinator crash permanent: the coordinator is
+	// never recovered, neither as a schedule choice nor by convergence. This
+	// is the failure model of the E19 claim — under it the single decider
+	// leaves prepared participants blocked in doubt forever, while the
+	// replicated decider must terminate every one of them.
+	CoordDown bool
 	// Obs, when set, receives the engines' trace events during exploration
 	// or replay — ReplayTraced uses it to render a counterexample's per-txn
 	// timeline. Event recording never feeds back into the engines, so state
@@ -110,16 +124,35 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Label names the checked strategy, e.g. "PrAny" or "U2PC/PrN".
+// Label names the checked strategy, e.g. "PrAny" or "U2PC/PrN"; replicated
+// and permanent-coordinator-death configurations carry suffixes, e.g.
+// "PrAny+paxos3+coorddown".
 func (c Config) Label() string {
-	if c.Strategy == core.StrategyPrAny {
-		return "PrAny"
+	label := "PrAny"
+	if c.Strategy != core.StrategyPrAny {
+		native := c.Native
+		if !native.ParticipantProtocol() {
+			native = wire.PrN
+		}
+		label = c.Strategy.String() + "/" + native.String()
 	}
-	native := c.Native
-	if !native.ParticipantProtocol() {
-		native = wire.PrN
+	if c.Acceptors > 0 {
+		label += fmt.Sprintf("+paxos%d", c.Acceptors)
 	}
-	return c.Strategy.String() + "/" + native.String()
+	if c.CoordDown {
+		label += "+coorddown"
+	}
+	return label
+}
+
+// acceptorIDs names the dedicated acceptor sites a1..aN; the slice order
+// fixes each acceptor's takeover ballot slot, like sim.AcceptorIDs.
+func acceptorIDs(n int) []wire.SiteID {
+	out := make([]wire.SiteID, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, wire.SiteID(fmt.Sprintf("a%d", i)))
+	}
+	return out
 }
 
 // serialSched is the core.Scheduler that pins engine concurrency to the
@@ -189,6 +222,7 @@ type vsite struct {
 	rm    *kvstore.Store
 	part  *core.Participant
 	coord *core.Coordinator
+	acc   *consensus.Acceptor // replicated-decision acceptor role (a1..aN)
 	dead  *atomic.Bool
 	down  bool
 	// sweep marks a crash that fired mid-step: the log/RM cleanup and the
@@ -209,6 +243,10 @@ const (
 	dExecWait        // execs sent; awaiting every reply
 	dVoting          // Begin done; votes in flight
 	dDone            // workload exhausted
+	// dDeciding is appended after dDone so single-decider state hashes keep
+	// their phase numbering: a replicated decision is in flight and the
+	// driver polls Resolve until the acceptor quorum fixes it.
+	dDeciding
 )
 
 // txnResult records how the driver saw one transaction end.
@@ -235,7 +273,8 @@ type episode struct {
 	hist       *history.Recorder
 	pcp        *core.PCP
 	sites      map[wire.SiteID]*vsite
-	order      []wire.SiteID // coordinator first, then declaration order
+	order      []wire.SiteID   // coordinator first, then declaration order
+	acceptors  []wire.SiteID   // a1..aN when the decision is replicated
 	queues     map[qkey][]wire.Message
 	drv        driver
 	ampleSteps int
@@ -244,13 +283,14 @@ type episode struct {
 
 func newEpisode(cfg Config, points []chaos.CrashPoint) *episode {
 	ep := &episode{
-		cfg:    cfg,
-		plan:   newArmedPlan(points),
-		hist:   history.NewRecorder(),
-		pcp:    core.NewPCP(),
-		sites:  make(map[wire.SiteID]*vsite, len(cfg.Parts)+1),
-		queues: make(map[qkey][]wire.Message),
-		drv:    driver{next: 1},
+		cfg:       cfg,
+		plan:      newArmedPlan(points),
+		hist:      history.NewRecorder(),
+		pcp:       core.NewPCP(),
+		sites:     make(map[wire.SiteID]*vsite, len(cfg.Parts)+1+cfg.Acceptors),
+		acceptors: acceptorIDs(cfg.Acceptors),
+		queues:    make(map[qkey][]wire.Message),
+		drv:       driver{next: 1},
 	}
 	for _, p := range cfg.Parts {
 		ep.pcp.Set(p.ID, p.Proto)
@@ -259,15 +299,27 @@ func newEpisode(cfg Config, points []chaos.CrashPoint) *episode {
 	for _, p := range cfg.Parts {
 		ep.addSite(p.ID, p.Proto)
 	}
+	for _, id := range ep.acceptors {
+		ep.addSite(id, 0)
+	}
 	if ep.err == nil {
 		ep.settle()
 	}
 	return ep
 }
 
+func (ep *episode) isAcceptor(id wire.SiteID) bool {
+	for _, a := range ep.acceptors {
+		if a == id {
+			return true
+		}
+	}
+	return false
+}
+
 func (ep *episode) addSite(id wire.SiteID, proto wire.Protocol) {
 	vs := &vsite{id: id, proto: proto, store: wal.NewMemStore()}
-	if id != CoordID {
+	if id != CoordID && !ep.isAcceptor(id) {
 		vs.rm = kvstore.New()
 	}
 	ep.sites[id] = vs
@@ -295,17 +347,33 @@ func (ep *episode) boot(vs *vsite, recovered bool) error {
 		Sched: serialSched{},
 		Obs:   ep.cfg.Obs,
 	}
-	if vs.id == CoordID {
-		vs.coord = core.NewCoordinator(env, core.CoordinatorConfig{
+	switch {
+	case vs.id == CoordID:
+		coordCfg := core.CoordinatorConfig{
 			Strategy: ep.cfg.Strategy,
 			Native:   ep.cfg.Native,
-		}, ep.pcp)
-		vs.part = nil
-	} else {
+		}
+		if len(ep.acceptors) > 0 {
+			accs := ep.acceptors
+			coordCfg.NewDecider = func(denv core.Env) core.Decider {
+				return consensus.NewPaxosDecider(denv, accs)
+			}
+		}
+		vs.coord = core.NewCoordinator(env, coordCfg, ep.pcp)
+		vs.part, vs.acc = nil, nil
+	case ep.isAcceptor(vs.id):
+		vs.acc = consensus.NewAcceptor(env, ep.acceptors)
+		vs.coord, vs.part = nil, nil
+	default:
 		vs.part = core.NewParticipant(env, vs.proto, vs.rm, false)
-		vs.coord = nil
+		if len(ep.acceptors) > 0 {
+			vs.part.SetAcceptors(ep.acceptors)
+		}
+		vs.coord, vs.acc = nil, nil
 	}
-	if recovered && len(log.Records()) > 0 {
+	if recovered && (len(log.Records()) > 0 || vs.acc != nil) {
+		// An acceptor recovers even over an empty log: Recover also asks its
+		// peers for state transfer, the path a rebooted replica catches up by.
 		if vs.part != nil {
 			if err := vs.part.Recover(); err != nil {
 				return fmt.Errorf("mcheck: recovering %s: %w", vs.id, err)
@@ -313,6 +381,11 @@ func (ep *episode) boot(vs *vsite, recovered bool) error {
 		}
 		if vs.coord != nil {
 			if err := vs.coord.Recover(); err != nil {
+				return fmt.Errorf("mcheck: recovering %s: %w", vs.id, err)
+			}
+		}
+		if vs.acc != nil {
+			if err := vs.acc.Recover(); err != nil {
 				return fmt.Errorf("mcheck: recovering %s: %w", vs.id, err)
 			}
 		}
@@ -453,13 +526,37 @@ func (ep *episode) route(vs *vsite, m wire.Message) {
 	switch m.Kind {
 	case wire.MsgExecReply:
 		ep.driverReply(m)
-	case wire.MsgVote, wire.MsgAck, wire.MsgInquiry:
+	case wire.MsgVote, wire.MsgAck:
 		if vs.coord != nil {
+			vs.coord.Handle(m)
+		}
+	case wire.MsgInquiry:
+		// Unlike site.Site, roles here are disjoint: an escalated inquiry
+		// lands on a dedicated acceptor site, a first-resort one on the
+		// coordinator.
+		if vs.acc != nil {
+			vs.acc.Handle(m)
+		} else if vs.coord != nil {
 			vs.coord.Handle(m)
 		}
 	case wire.MsgExec, wire.MsgPrepare, wire.MsgDecision:
 		if vs.part != nil {
 			vs.part.Handle(m)
+		}
+	case wire.MsgVoteForward, wire.MsgPhase1a, wire.MsgPhase2a,
+		wire.MsgPaxosEnd, wire.MsgSyncRequest, wire.MsgSyncState:
+		if vs.acc != nil {
+			vs.acc.Handle(m)
+		}
+	case wire.MsgPhase1b, wire.MsgPhase2b:
+		// A phase reply answers whichever leader asked: the coordinator's
+		// decider or an acceptor takeover. Both filter by ballot and
+		// transaction.
+		if vs.acc != nil {
+			vs.acc.Handle(m)
+		}
+		if vs.coord != nil {
+			vs.coord.Handle(m)
 		}
 	case wire.MsgRecoverSite:
 		// Site.handle's routing: a CL participant's announcement (carries
@@ -533,7 +630,12 @@ func (ep *episode) driverStep() bool {
 			return false
 		}
 		if coord.down {
-			return false // the next transaction waits for recovery
+			if ep.cfg.CoordDown {
+				// The coordinator never returns: the remaining workload is
+				// unreachable and the schedule ends here.
+				d.phase = dDone
+			}
+			return false // otherwise the next transaction waits for recovery
 		}
 		txn := wire.TxnID{Coord: CoordID, Seq: uint64(d.next)}
 		d.next++
@@ -604,6 +706,24 @@ func (ep *episode) driverStep() bool {
 			return true
 		}
 		return false
+
+	case dDeciding:
+		if coord.down {
+			ep.abandon(false)
+			return true
+		}
+		out, err := coord.coord.Resolve(d.txn)
+		if errors.Is(err, core.ErrDecidePending) {
+			return false // the acceptor round is still in flight
+		}
+		status := "decided"
+		if err != nil {
+			status = "error"
+		}
+		d.results = append(d.results, txnResult{txn: d.txn, outcome: out, status: status})
+		d.await = nil
+		d.phase = dIdle
+		return true
 	}
 	return false
 }
@@ -674,6 +794,13 @@ func (ep *episode) abandon(sendAborts bool) {
 func (ep *episode) resolveTxn() {
 	d := &ep.drv
 	out, err := ep.sites[CoordID].coord.Resolve(d.txn)
+	if errors.Is(err, core.ErrDecidePending) {
+		// Replicated decision: the fix-point is an acceptor round, not a log
+		// force. The driver polls Resolve (in driverStep) until the quorum
+		// answers.
+		d.phase = dDeciding
+		return
+	}
 	status := "decided"
 	if err != nil {
 		status = "error" // a crash point on the decision force
@@ -713,6 +840,9 @@ func (ep *episode) choiceActions() []action {
 		}
 	}
 	for _, id := range ep.order {
+		if id == CoordID && ep.cfg.CoordDown {
+			continue // a permanent coordinator death is never recovered
+		}
 		if ep.sites[id].down {
 			out = append(out, recoverAction(id))
 		}
@@ -801,6 +931,9 @@ func (ep *episode) converge() bool {
 
 func (ep *episode) recoverDowned() {
 	for _, id := range ep.order {
+		if id == CoordID && ep.cfg.CoordDown {
+			continue // stays dead even through convergence
+		}
 		if ep.sites[id].down {
 			if err := ep.recoverSite(id); err != nil && ep.err == nil {
 				ep.err = err
@@ -841,6 +974,9 @@ func (ep *episode) tickAll() {
 		if vs.part != nil {
 			vs.part.Tick()
 		}
+		if vs.acc != nil {
+			vs.acc.Tick()
+		}
 	}
 }
 
@@ -851,6 +987,9 @@ func (ep *episode) quiescedNow() bool {
 	for _, id := range ep.order {
 		vs := ep.sites[id]
 		if vs.down {
+			if id == CoordID && ep.cfg.CoordDown {
+				continue // permanently dead by the failure model, not stuck
+			}
 			return false
 		}
 		if vs.coord != nil && vs.coord.PTSize() > 0 {
@@ -859,8 +998,28 @@ func (ep *episode) quiescedNow() bool {
 		if vs.part != nil && vs.part.Pending() > 0 {
 			return false
 		}
+		if vs.acc != nil && !vs.acc.Quiesced() {
+			return false
+		}
 	}
 	return ep.drv.phase == dDone
+}
+
+// blockedNow counts in-doubt transactions stranded at live participants —
+// prepared, undecided, with nobody left who will ever answer. Nonzero at a
+// converged terminal state is precisely the blocking the paper's single
+// coordinator exhibits under permanent death, and what the replicated
+// decider exists to eliminate.
+func (ep *episode) blockedNow() int {
+	n := 0
+	for _, id := range ep.order {
+		vs := ep.sites[id]
+		if vs.down || vs.part == nil {
+			continue
+		}
+		n += len(vs.part.InDoubt())
+	}
+	return n
 }
 
 // judge evaluates Definition 1 over the episode: the history clauses via
@@ -869,8 +1028,18 @@ func (ep *episode) quiescedNow() bool {
 func (ep *episode) judge(quiesced bool) *opcheck.Report {
 	r := opcheck.JudgeEvents(ep.hist.Events())
 	r.Quiesced = quiesced
+	if ep.cfg.CoordDown && ep.sites[CoordID].down {
+		// A permanently dead coordinator can never delete its protocol-table
+		// entries: its decide-without-delete history is the failure model,
+		// not a retention leak. What matters under this model is clause 1
+		// (atomicity) and that no live participant stays blocked.
+		r.Retained = nil
+	}
 	for _, id := range ep.order {
 		vs := ep.sites[id]
+		if vs.down {
+			continue // a dead site's structural state is unreadable
+		}
 		if vs.coord != nil {
 			r.PTLeft += vs.coord.PTSize()
 		}
@@ -880,9 +1049,15 @@ func (ep *episode) judge(quiesced bool) *opcheck.Report {
 	}
 	for _, id := range ep.order {
 		vs := ep.sites[id]
+		if vs.down {
+			continue
+		}
 		n, err := vs.log.Checkpoint(func(rec wal.Record) bool {
 			if rec.Kind == wal.KRecCheckpoint {
 				return false // snapshot bookkeeping, never protocol state
+			}
+			if rec.Role == wal.RoleAcceptor {
+				return vs.acc != nil && vs.acc.LiveRecord(rec)
 			}
 			if rec.Role == wal.RoleCoord {
 				return vs.coord != nil && vs.coord.Live(rec.Txn)
@@ -893,7 +1068,16 @@ func (ep *episode) judge(quiesced bool) *opcheck.Report {
 			r.CheckpointErr = err
 		}
 		r.Collected += n
-		r.StableLeft += wal.ProtocolRecords(vs.log.Records())
+		for _, rec := range vs.log.Records() {
+			// Acceptor tombstones are retained forever by design (DESIGN.md
+			// §13): a decided consensus instance must answer late inquirers
+			// after every participant forgot. They are the replicated
+			// analogue of PrC's forgotten-means-committed presumption, not
+			// clause-3 garbage.
+			if rec.Kind != wal.KRecCheckpoint && rec.Role != wal.RoleAcceptor {
+				r.StableLeft++
+			}
+		}
 	}
 	return r
 }
@@ -915,6 +1099,9 @@ func (ep *episode) stateHash() [32]byte {
 			}
 			if vs.part != nil {
 				b.WriteString(vs.part.DebugState())
+			}
+			if vs.acc != nil {
+				b.WriteString(vs.acc.DebugState())
 			}
 		}
 		for _, rec := range vs.log.All() {

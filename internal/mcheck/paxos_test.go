@@ -1,0 +1,155 @@
+package mcheck
+
+import (
+	"strings"
+	"testing"
+
+	"prany/internal/core"
+)
+
+// BlockedSingleCoordinatorSchedule is the checked-in counterexample for the
+// E19 claim's negative half: the coordinator forces its commit record and
+// dies forever immediately after (af:commit.c under the +down failure
+// model), so both prepared participants hold their locks in doubt with
+// nobody left who will ever answer. prany-check -replay accepts it
+// verbatim; TestBlockedCounterexampleReplay pins its verdict.
+const BlockedSingleCoordinatorSchedule = "prany+down|pa=PrA,pc=PrC|t1|" +
+	"crash=coord:af:commit.c:0|d:pa>coord,d:pc>coord,d:pa>coord,d:pc>coord"
+
+// paxosSweepConfig is the bounded E19 sweep: one transaction, skip-0 fault
+// plans, permanent coordinator death. The replicated variant adds three
+// acceptors (and with them the vote-forward/accept-force crash archetypes).
+func paxosSweepConfig(acceptors int) Config {
+	return Config{
+		Strategy:  core.StrategyPrAny,
+		Acceptors: acceptors,
+		CoordDown: true,
+		Txns:      1,
+		MaxSkip:   -1,
+	}
+}
+
+// TestPaxosCoordDownSweepClean is the tentpole's machine-checked claim: with
+// the decision replicated over three acceptors, every schedule of every
+// budgeted fault plan — including permanent coordinator death and acceptor
+// crash/recovery — terminates every participant and violates nothing.
+func TestPaxosCoordDownSweepClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bounded-exhaustive sweep (~25s); run without -short")
+	}
+	res := Exhaust(paxosSweepConfig(3))
+	if !res.Clean() {
+		t.Fatalf("replicated decider not clean: violating=%d blocked=%d truncated=%v errors=%v cex=%v",
+			res.Violating, res.Blocked, res.Truncated, res.Errors, res.Counterexamples)
+	}
+	if res.Blocked != 0 {
+		t.Fatalf("replicated decider left blocked schedules: %d", res.Blocked)
+	}
+	if res.Schedules == 0 || res.Plans < 10 {
+		t.Fatalf("sweep suspiciously small: plans=%d schedules=%d", res.Plans, res.Schedules)
+	}
+}
+
+// TestSingleCoordDownBlocked is the negative half: the same crash budget
+// against the plain single-decider coordinator exhibits the blocking state
+// Presumed Any cannot avoid once the coordinator is gone for good.
+func TestSingleCoordDownBlocked(t *testing.T) {
+	res := Exhaust(paxosSweepConfig(0))
+	if res.Blocked == 0 {
+		t.Fatalf("single decider under permanent coordinator death should block; got violating=%d blocked=0", res.Violating)
+	}
+	if res.Clean() {
+		t.Fatal("a blocked sweep must not be Clean")
+	}
+	found := false
+	for _, cex := range res.Counterexamples {
+		if cex.Kind == "blocked" {
+			found = true
+			if !strings.Contains(cex.Schedule, "+down") {
+				t.Fatalf("blocked counterexample lost the +down flag: %s", cex.Schedule)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no blocked counterexample stored: %+v", res.Counterexamples)
+	}
+}
+
+// TestBlockedCounterexampleReplay replays the checked-in schedule string and
+// pins the blocked verdict: two pending prepared subtransactions, never
+// quiesced, no atomicity violation (blocking is a liveness failure, not a
+// safety one).
+func TestBlockedCounterexampleReplay(t *testing.T) {
+	s, err := ParseSchedule(BlockedSingleCoordinatorSchedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.CoordDown || s.Acceptors != 0 {
+		t.Fatalf("schedule flags decoded wrong: %+v", s)
+	}
+	rep, err := Replay(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("blocked schedule judged OK")
+	}
+	if len(rep.Atomicity) != 0 || len(rep.SafeState) != 0 {
+		t.Fatalf("blocking must not be an atomicity violation: %s", rep.Summary())
+	}
+	if rep.PendingLeft != 2 {
+		t.Fatalf("want 2 stranded prepared subtransactions, got %d: %s", rep.PendingLeft, rep.Summary())
+	}
+	if rep.Quiesced {
+		t.Fatal("a blocked cluster must not quiesce")
+	}
+}
+
+// TestPaxosScheduleRoundTrip covers the +aN/+down codec alongside the
+// pre-E19 forms (which must keep parsing unchanged — no '+' in field 1).
+func TestPaxosScheduleRoundTrip(t *testing.T) {
+	cases := []string{
+		"prany+a3+down|pa=PrA,pc=PrC|t1|crash=-|",
+		"prany+down|pa=PrA,pc=PrC|t1|crash=coord:os:DECISION:0|vt",
+		"prany+a3|pa=PrA,pc=PrC|t2|crash=a1:af:paxos-accept.a:0|d:coord>a1,rec:a1",
+		"u2pc/PrN+a3+down|pa=PrA,pc=PrC|t2|crash=-|d:pa>coord",
+	}
+	for _, in := range cases {
+		s, err := ParseSchedule(in)
+		if err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		if out := EncodeSchedule(s); out != in {
+			t.Fatalf("round trip %q -> %q", in, out)
+		}
+	}
+	for _, bad := range []string{
+		"prany+a0|pa=PrA|t1|crash=-|",
+		"prany+bogus|pa=PrA|t1|crash=-|",
+		"prany+a|pa=PrA|t1|crash=-|",
+	} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Fatalf("%s: want parse error", bad)
+		}
+	}
+}
+
+// TestPaxosReplayCleanSchedule replays one representative acceptor-crash
+// schedule from the replicated sweep and expects a fully clean verdict —
+// the recovered acceptor catches up from its peers and nothing is retained.
+func TestPaxosReplayCleanSchedule(t *testing.T) {
+	const sched = "prany+a3+down|pa=PrA,pc=PrC|t1|crash=a1:bf:paxos-accept.a:0|" +
+		"d:pa>coord,d:pc>coord,d:coord>a1,d:coord>a2,d:a2>coord,d:coord>a3,d:a3>coord," +
+		"d:coord>pa,d:coord>pc,d:pa>coord,rec:a1,d:a1>a2,d:a1>a3,d:a2>a1,d:a3>a1,d:coord>a2,d:coord>a3"
+	s, err := ParseSchedule(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("replicated schedule not clean: %s", rep.Summary())
+	}
+}

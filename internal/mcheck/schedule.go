@@ -68,18 +68,23 @@ func (a action) parts() (kind actKind, arg1, arg2 wire.SiteID, err error) {
 // the choice sequence. Its string form is what prany-check prints for a
 // counterexample and what -replay accepts:
 //
-//	strategy[/native]|id=Proto,...|tN|crash=enc+enc…|a1,a2,…
+//	strategy[/native][+aN][+down]|id=Proto,...|tN|crash=enc+enc…|a1,a2,…
 //
 // e.g. u2pc/PrN|pa=PrA,pc=PrC|t2|crash=pc:od:DECISION:0|vt,rec:pc
+// The +aN flag replicates the decision over N acceptor sites; +down makes
+// coordinator crashes permanent (the E19 failure model). Plain schedules
+// carry no '+' in the first field, so pre-E19 strings parse unchanged.
 // An empty crash section is written "crash=-"; an empty action list means
 // "settle and converge with no interference".
 type Schedule struct {
-	Strategy core.Strategy
-	Native   wire.Protocol
-	Parts    []PartDecl
-	Txns     int
-	Crashes  []chaos.CrashPoint
-	Actions  []action
+	Strategy  core.Strategy
+	Native    wire.Protocol
+	Parts     []PartDecl
+	Txns      int
+	Crashes   []chaos.CrashPoint
+	Actions   []action
+	Acceptors int
+	CoordDown bool
 }
 
 // EncodeSchedule renders the schedule string.
@@ -92,6 +97,12 @@ func EncodeSchedule(s Schedule) string {
 			native = wire.PrN
 		}
 		b.WriteString("/" + native.String())
+	}
+	if s.Acceptors > 0 {
+		fmt.Fprintf(&b, "+a%d", s.Acceptors)
+	}
+	if s.CoordDown {
+		b.WriteString("+down")
 	}
 	b.WriteByte('|')
 	for i, p := range s.Parts {
@@ -128,6 +139,23 @@ func ParseSchedule(s string) (Schedule, error) {
 	}
 
 	strat := fields[0]
+	if i := strings.IndexByte(strat, '+'); i >= 0 {
+		for _, flag := range strings.Split(strat[i+1:], "+") {
+			switch {
+			case flag == "down":
+				out.CoordDown = true
+			case len(flag) > 1 && flag[0] == 'a':
+				n, err := strconv.Atoi(flag[1:])
+				if err != nil || n <= 0 {
+					return out, fmt.Errorf("mcheck: malformed acceptor flag %q", flag)
+				}
+				out.Acceptors = n
+			default:
+				return out, fmt.Errorf("mcheck: unknown schedule flag %q", flag)
+			}
+		}
+		strat = strat[:i]
+	}
 	if i := strings.IndexByte(strat, '/'); i >= 0 {
 		native, err := parseProtocol(strat[i+1:])
 		if err != nil {
@@ -220,11 +248,13 @@ func Replay(s Schedule) (*opcheck.Report, error) {
 // the schedule's execution.
 func ReplayTraced(s Schedule, rec *obs.Recorder) (*opcheck.Report, error) {
 	cfg := Config{
-		Strategy: s.Strategy,
-		Native:   s.Native,
-		Parts:    s.Parts,
-		Txns:     s.Txns,
-		Obs:      rec,
+		Strategy:  s.Strategy,
+		Native:    s.Native,
+		Parts:     s.Parts,
+		Txns:      s.Txns,
+		Acceptors: s.Acceptors,
+		CoordDown: s.CoordDown,
+		Obs:       rec,
 	}.withDefaults()
 	ep := newEpisode(cfg, s.Crashes)
 	for _, a := range s.Actions {

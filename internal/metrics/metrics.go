@@ -33,6 +33,10 @@ type SiteCounters struct {
 	// NetRetries counts transport-level delivery retries (redials and
 	// rewrites after a failed send attempt) charged to the sending site.
 	NetRetries uint64
+	// ResendsSuppressed counts decision re-sends the coordinator's Tick
+	// withheld under its exponential backoff — each one a message the
+	// pre-backoff coordinator would have put on the wire.
+	ResendsSuppressed uint64
 
 	// Checkpoints and CheckpointCollected count completed log checkpoints
 	// and the records they garbage-collected. Recoveries, RecoveryScanned
@@ -158,6 +162,14 @@ func (r *Registry) NetRetry(from wire.SiteID) {
 	r.site(from).NetRetries++
 }
 
+// ResendSuppressed records n decision re-sends withheld by site id's
+// backoff in one Tick.
+func (r *Registry) ResendSuppressed(id wire.SiteID, n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.site(id).ResendsSuppressed += uint64(n)
+}
+
 // Frame records one physical network write by site from carrying msgs
 // message frames in bytes encoded bytes. A batch can mix messages from
 // several local sites; it is charged to the site that opened it, so
@@ -240,6 +252,7 @@ func (r *Registry) Total() SiteCounters {
 		out.Synced += c.Synced
 		out.ShardWaits += c.ShardWaits
 		out.NetRetries += c.NetRetries
+		out.ResendsSuppressed += c.ResendsSuppressed
 		out.Checkpoints += c.Checkpoints
 		out.CheckpointCollected += c.CheckpointCollected
 		out.Recoveries += c.Recoveries

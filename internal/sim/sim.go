@@ -86,10 +86,25 @@ type Spec struct {
 	// episodes also route their injected-fault events into it. Nil means
 	// tracing off.
 	Obs *obs.Recorder
+	// Acceptors, when positive, adds that many dedicated acceptor sites
+	// (a1..aN) and switches the coordinator to the replicated Paxos Commit
+	// decider (internal/consensus): decisions become durable on an acceptor
+	// quorum instead of the coordinator's local log. Use an odd count 2F+1.
+	Acceptors int
 }
 
 // CoordID is the identifier of the cluster's coordinator site.
 const CoordID wire.SiteID = "coord"
+
+// AcceptorIDs returns the identifiers of n dedicated acceptor sites, a1..aN,
+// in slot order (the order fixes each acceptor's takeover ballot slot).
+func AcceptorIDs(n int) []wire.SiteID {
+	out := make([]wire.SiteID, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, wire.SiteID(fmt.Sprintf("a%d", i)))
+	}
+	return out
+}
 
 // Cluster is a running simulation cluster.
 type Cluster struct {
@@ -100,6 +115,9 @@ type Cluster struct {
 	PCP   *core.PCP
 	Coord *site.Site
 	Parts map[wire.SiteID]*site.Site
+	// Accs holds the dedicated acceptor sites (empty unless Spec.Acceptors
+	// is positive), keyed a1..aN.
+	Accs map[wire.SiteID]*site.Site
 
 	mu  sync.Mutex
 	rng *rand.Rand
@@ -124,8 +142,10 @@ func New(spec Spec) (*Cluster, error) {
 		Met:   metrics.NewRegistry(),
 		PCP:   core.NewPCP(),
 		Parts: make(map[wire.SiteID]*site.Site, len(spec.Participants)),
+		Accs:  make(map[wire.SiteID]*site.Site, spec.Acceptors),
 		rng:   rand.New(rand.NewSource(seed)),
 	}
+	acceptorIDs := AcceptorIDs(spec.Acceptors)
 	for _, p := range spec.Participants {
 		if p.ID == CoordID {
 			return nil, fmt.Errorf("sim: participant id %q is reserved for the coordinator site (register it in the PCP instead)", CoordID)
@@ -171,9 +191,31 @@ func New(spec Spec) (*Cluster, error) {
 		LogStore:        newLogStore(CoordID),
 		Sched:           spec.Sched,
 		Obs:             spec.Obs,
+		Acceptors:       acceptorIDs,
 	})
 	if err != nil {
 		return nil, err
+	}
+	for _, id := range acceptorIDs {
+		s, err := site.New(site.Config{
+			ID:              id,
+			Proto:           wire.PrN, // the participant role is idle on a dedicated acceptor
+			Net:             siteNet,
+			PCP:             c.PCP,
+			Hist:            c.Hist,
+			Met:             c.Met,
+			GroupCommit:     spec.GroupCommit,
+			CheckpointEvery: spec.CheckpointEvery,
+			LogStore:        newLogStore(id),
+			Coordinator:     core.CoordinatorConfig{VoteTimeout: spec.VoteTimeout},
+			Sched:           spec.Sched,
+			Obs:             spec.Obs,
+			Acceptors:       acceptorIDs,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.Accs[id] = s
 	}
 	for _, p := range spec.Participants {
 		cfg := site.Config{
@@ -192,6 +234,7 @@ func New(spec Spec) (*Cluster, error) {
 			KnownCoordinators: []wire.SiteID{CoordID},
 			Sched:             spec.Sched,
 			Obs:               spec.Obs,
+			Acceptors:         acceptorIDs,
 		}
 		if p.Legacy {
 			cfg.RM = nonext.NewAgent(nonext.NewLegacyStore())
@@ -247,10 +290,14 @@ func (c *Cluster) PartIDs() []wire.SiteID {
 	return out
 }
 
-// Site returns the site with the given id (coordinator included).
+// Site returns the site with the given id (coordinator and acceptors
+// included).
 func (c *Cluster) Site(id wire.SiteID) *site.Site {
 	if id == CoordID {
 		return c.Coord
+	}
+	if s := c.Accs[id]; s != nil {
+		return s
 	}
 	return c.Parts[id]
 }
@@ -393,6 +440,9 @@ func (c *Cluster) Quiesce(timeout time.Duration) bool {
 		for _, s := range c.Parts {
 			s.Tick()
 		}
+		for _, s := range c.Accs {
+			s.Tick()
+		}
 	}
 }
 
@@ -402,6 +452,9 @@ func (c *Cluster) Quiesce(timeout time.Duration) bool {
 func (c *Cluster) TickAll() {
 	c.Coord.Tick()
 	for _, s := range c.Parts {
+		s.Tick()
+	}
+	for _, s := range c.Accs {
 		s.Tick()
 	}
 }
@@ -417,6 +470,11 @@ func (c *Cluster) quiesced() bool {
 		return false
 	}
 	for _, s := range c.Parts {
+		if !s.Quiesced() {
+			return false
+		}
+	}
+	for _, s := range c.Accs {
 		if !s.Quiesced() {
 			return false
 		}
@@ -482,6 +540,13 @@ func (c *Cluster) CheckpointAll() (int, error) {
 	}
 	total += n
 	for _, s := range c.Parts {
+		n, err := s.Checkpoint()
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	for _, s := range c.Accs {
 		n, err := s.Checkpoint()
 		if err != nil {
 			return total, err

@@ -1,0 +1,210 @@
+package site
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"prany/internal/core"
+	"prany/internal/history"
+	"prany/internal/metrics"
+	"prany/internal/transport"
+	"prany/internal/wire"
+)
+
+// acceptorCluster builds the replicated deployment the -acceptors flag
+// wires up: one coordinator, participant sites, and a 3-site acceptor set,
+// all sharing the acceptor roster.
+type acceptorCluster struct {
+	net   *transport.ChanNetwork
+	coord *Site
+	parts map[wire.SiteID]*Site
+	accs  map[wire.SiteID]*Site
+}
+
+func newAcceptorCluster(t *testing.T, protos map[wire.SiteID]wire.Protocol) *acceptorCluster {
+	t.Helper()
+	c := &acceptorCluster{
+		net:   transport.NewChanNetwork(),
+		parts: make(map[wire.SiteID]*Site),
+		accs:  make(map[wire.SiteID]*Site),
+	}
+	t.Cleanup(c.net.Close)
+	hist := history.NewRecorder()
+	met := metrics.NewRegistry()
+	pcp := core.NewPCP()
+	for id, proto := range protos {
+		pcp.Set(id, proto)
+	}
+	accIDs := []wire.SiteID{"a1", "a2", "a3"}
+	// Acceptors boot first, like the quickstart: the coordinator's decider
+	// fans out to them from its first transaction.
+	for _, id := range accIDs {
+		s, err := New(Config{
+			ID: id, Proto: wire.PrN, Net: c.net, PCP: pcp, Hist: hist, Met: met,
+			Acceptors: accIDs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.accs[id] = s
+	}
+	var err error
+	c.coord, err = New(Config{
+		ID: "coord", Proto: wire.PrN, Net: c.net, PCP: pcp, Hist: hist, Met: met,
+		Coordinator: core.CoordinatorConfig{VoteTimeout: 100 * time.Millisecond},
+		Acceptors:   accIDs,
+		ExecTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, proto := range protos {
+		s, err := New(Config{
+			ID: id, Proto: proto, Net: c.net, PCP: pcp, Hist: hist, Met: met,
+			Acceptors: accIDs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.parts[id] = s
+	}
+	return c
+}
+
+func (c *acceptorCluster) all() []*Site {
+	out := []*Site{c.coord}
+	for _, s := range c.parts {
+		out = append(out, s)
+	}
+	for _, s := range c.accs {
+		out = append(out, s)
+	}
+	return out
+}
+
+func (c *acceptorCluster) quiesce(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		ok := true
+		for _, s := range c.all() {
+			ok = ok && s.Quiesced()
+		}
+		if ok {
+			return
+		}
+		for _, s := range c.all() {
+			s.Tick()
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("acceptor cluster did not quiesce")
+}
+
+// TestAcceptorDeploymentCommit runs a transaction through the full
+// replicated-decision stack: the coordinator's PaxosDecider fans the vote
+// round out to the acceptor sites, which must all converge on commit.
+func TestAcceptorDeploymentCommit(t *testing.T) {
+	c := newAcceptorCluster(t, map[wire.SiteID]wire.Protocol{"pa": wire.PrA, "pc": wire.PrC})
+	if c.coord.Acceptor() != nil || c.parts["pa"].Acceptor() != nil {
+		t.Fatal("only sites in the acceptor set carry an acceptor engine")
+	}
+	for id, s := range c.accs {
+		if s.Acceptor() == nil {
+			t.Fatalf("acceptor site %s has no acceptor engine", id)
+		}
+	}
+	if c.parts["pa"].RM() == nil {
+		t.Fatal("nil resource manager accessor")
+	}
+
+	txn := c.coord.Begin()
+	if err := txn.Put("pa", "x", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Put("pc", "y", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Delete("pc", "y"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := txn.Commit()
+	if err != nil || out != wire.Commit {
+		t.Fatalf("replicated commit: %v %v", out, err)
+	}
+	c.quiesce(t)
+
+	if v, ok := c.parts["pa"].Store().Read("x"); !ok || v != "1" {
+		t.Fatalf("pa/x = %q %v", v, ok)
+	}
+	if _, ok := c.parts["pc"].Store().Read("y"); ok {
+		t.Fatal("deleted key survived commit")
+	}
+	for id, s := range c.accs {
+		if got, ok := s.Acceptor().Outcome(txn.ID()); !ok || got != wire.Commit {
+			t.Fatalf("acceptor %s outcome = %v known=%v", id, got, ok)
+		}
+	}
+
+	// A checkpoint on an acceptor site exercises the RoleAcceptor filter:
+	// the decided transaction collapses to its permanent tombstone.
+	if _, err := c.accs["a1"].Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.accs["a1"].Checkpoint(); err != nil {
+		t.Fatal(err) // the second pass drops the first's snapshot record
+	}
+	if !c.accs["a1"].Quiesced() {
+		t.Fatal("checkpointed acceptor must stay quiesced")
+	}
+}
+
+// TestPTDumpLiveAndCrashed covers the /txns snapshot on a live site with an
+// in-flight transaction and its nil result on a crashed one.
+func TestPTDumpLiveAndCrashed(t *testing.T) {
+	// PrN: the coordinator keeps the entry until the ack, so dropping the
+	// decision leaves the transaction live in both protocol tables.
+	p := newTestPair(t, map[wire.SiteID]wire.Protocol{"a": wire.PrN})
+	rule := p.net.AddDropRule(func(m wire.Message) bool { return m.Kind == wire.MsgDecision })
+	txn := p.coord.Begin()
+	if err := txn.Put("a", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := txn.Commit(); err != nil || out != wire.Commit {
+		t.Fatalf("%v %v", out, err)
+	}
+	if dump := p.coord.PTDump(); len(dump) == 0 {
+		t.Fatal("coordinator PTDump empty while a decision is undelivered")
+	}
+	if dump := p.parts["a"].PTDump(); len(dump) == 0 {
+		t.Fatal("participant PTDump empty while prepared in doubt")
+	}
+	p.parts["a"].Crash()
+	if dump := p.parts["a"].PTDump(); dump != nil {
+		t.Fatalf("crashed site PTDump = %v", dump)
+	}
+	p.net.RemoveDropRule(rule)
+	if err := p.parts["a"].Recover(); err != nil {
+		t.Fatal(err)
+	}
+	p.quiesce(t)
+}
+
+// TestEmptyTxnAndCrashedGet covers the trivial-commit shortcut and the
+// error leg of the Get/Delete wrappers.
+func TestEmptyTxnAndCrashedGet(t *testing.T) {
+	p := newTestPair(t, map[wire.SiteID]wire.Protocol{"a": wire.PrA})
+	empty := p.coord.Begin()
+	if out, err := empty.Commit(); err != nil || out != wire.Commit {
+		t.Fatalf("empty txn must commit trivially: %v %v", out, err)
+	}
+	p.coord.Crash()
+	txn := p.coord.Begin()
+	if _, err := txn.Get("a", "k"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("get on crashed site: %v", err)
+	}
+	if err := txn.Delete("a", "k"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("delete on crashed site: %v", err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"prany/internal/consensus"
 	"prany/internal/core"
 	"prany/internal/history"
 	"prany/internal/kvstore"
@@ -80,6 +81,12 @@ type Config struct {
 	// goroutines, execution workers) to the delivery goroutine for
 	// deterministic replay. Nil means production scheduling.
 	Sched core.Scheduler
+	// Acceptors, when non-empty, is the deployment's replicated-decision
+	// set (2F+1 sites). The site's coordinator then fixes decisions through
+	// a consensus.PaxosDecider instead of its local log, its participant
+	// escalates stuck inquiries to the acceptors, and — if the site's own
+	// ID is in the set — an acceptor engine runs here too.
+	Acceptors []wire.SiteID
 }
 
 // ResourceManager is what a site drives: the core.RM operations plus the
@@ -101,6 +108,7 @@ type Site struct {
 	log     *wal.Log
 	part    *core.Participant
 	coord   *core.Coordinator
+	acc     *consensus.Acceptor // nil unless this site is in cfg.Acceptors
 	dead    *atomic.Bool
 	seq     atomic.Uint64
 	replies map[wire.TxnID]chan wire.Message
@@ -178,12 +186,28 @@ func (s *Site) start(runRecovery bool) error {
 	}
 	part := core.NewParticipant(env, s.cfg.Proto, s.rm, s.cfg.ReadOnlyOpt)
 	part.SetCoordinators(s.cfg.KnownCoordinators)
-	coord := core.NewCoordinator(env, s.cfg.Coordinator, s.cfg.PCP)
+	coordCfg := s.cfg.Coordinator
+	var acc *consensus.Acceptor
+	if len(s.cfg.Acceptors) > 0 {
+		acceptors := s.cfg.Acceptors
+		coordCfg.NewDecider = func(env core.Env) core.Decider {
+			return consensus.NewPaxosDecider(env, acceptors)
+		}
+		part.SetAcceptors(acceptors)
+		for _, id := range acceptors {
+			if id == s.cfg.ID {
+				acc = consensus.NewAcceptor(env, acceptors)
+				break
+			}
+		}
+	}
+	coord := core.NewCoordinator(env, coordCfg, s.cfg.PCP)
 
 	s.mu.Lock()
 	s.log = log
 	s.part = part
 	s.coord = coord
+	s.acc = acc
 	s.dead = dead
 	s.crashed = false
 	s.mu.Unlock()
@@ -200,8 +224,17 @@ func (s *Site) start(runRecovery bool) error {
 	// cannot tell a fresh start from a restart, so the announcement goes
 	// out either way; a coordinator with nothing outstanding just echoes.
 	recs := log.Records()
-	if runRecovery && (len(recs) > 0 || s.cfg.Proto == wire.CL) {
+	if runRecovery && (len(recs) > 0 || s.cfg.Proto == wire.CL || acc != nil) {
 		begun := time.Now()
+		// The acceptor rebuilds first: the coordinator's recovery may run
+		// learn rounds against the set, and this replica should answer from
+		// its replayed state. Its peer sync request doubles as the fresh-boot
+		// catch-up (a peer's checkpoint image is the state-transfer artifact).
+		if acc != nil {
+			if err := acc.Recover(); err != nil {
+				return err
+			}
+		}
 		if err := part.Recover(); err != nil {
 			return err
 		}
@@ -226,13 +259,36 @@ func (s *Site) handle(m wire.Message) {
 		s.mu.Unlock()
 		return
 	}
-	part, coord := s.part, s.coord
+	part, coord, acc := s.part, s.coord, s.acc
 	s.mu.Unlock()
 
 	switch m.Kind {
 	case wire.MsgExec, wire.MsgPrepare, wire.MsgDecision:
 		part.Handle(m)
-	case wire.MsgVote, wire.MsgAck, wire.MsgInquiry:
+	case wire.MsgVote, wire.MsgAck:
+		coord.Handle(m)
+	case wire.MsgInquiry:
+		// An inquiry about a transaction this site coordinates goes to the
+		// coordinator (it answers from its table, or by presumption once
+		// terminated). Otherwise an acceptor site answers from consensus
+		// state — a tombstone, or a takeover it runs — never a presumption.
+		if acc != nil && !coord.Knows(m.Txn) {
+			acc.Handle(m)
+			return
+		}
+		coord.Handle(m)
+	case wire.MsgVoteForward, wire.MsgPhase1a, wire.MsgPhase2a,
+		wire.MsgPaxosEnd, wire.MsgSyncRequest, wire.MsgSyncState:
+		if acc != nil {
+			acc.Handle(m)
+		}
+	case wire.MsgPhase1b, wire.MsgPhase2b:
+		// A phase reply answers whichever leader asked: the coordinator's
+		// decider or this site's acceptor takeover. Both filter by ballot
+		// and transaction, so delivering to both is safe.
+		if acc != nil {
+			acc.Handle(m)
+		}
 		coord.Handle(m)
 	case wire.MsgRecoverSite:
 		// A CL participant's announcement goes to the coordinator role; a
@@ -285,6 +341,14 @@ func (s *Site) Participant() *core.Participant {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.part
+}
+
+// Acceptor exposes the consensus acceptor engine, or nil when this site is
+// not in the deployment's acceptor set.
+func (s *Site) Acceptor() *consensus.Acceptor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acc
 }
 
 // Log exposes the write-ahead log.
@@ -353,10 +417,13 @@ func (s *Site) Tick() {
 		s.mu.Unlock()
 		return
 	}
-	part, coord := s.part, s.coord
+	part, coord, acc := s.part, s.coord, s.acc
 	s.mu.Unlock()
 	part.Tick()
 	coord.Tick()
+	if acc != nil {
+		acc.Tick()
+	}
 }
 
 // Quiesced reports whether the site holds no protocol state: empty
@@ -367,8 +434,11 @@ func (s *Site) Quiesced() bool {
 		s.mu.Unlock()
 		return false
 	}
-	part, coord := s.part, s.coord
+	part, coord, acc := s.part, s.coord, s.acc
 	s.mu.Unlock()
+	if acc != nil && !acc.Quiesced() {
+		return false
+	}
 	return coord.PTSize() == 0 && part.Pending() == 0
 }
 
@@ -397,7 +467,7 @@ func (s *Site) Checkpoint() (int, error) {
 		s.mu.Unlock()
 		return 0, ErrCrashed
 	}
-	log, part, coord := s.log, s.part, s.coord
+	log, part, coord, acc := s.log, s.part, s.coord, s.acc
 	s.mu.Unlock()
 	begun := time.Now()
 	// Snapshot the tables before filtering: an entry whose transaction
@@ -405,9 +475,17 @@ func (s *Site) Checkpoint() (int, error) {
 	// (its records are gone either way); recovery treats the record list,
 	// not the entry list, as authoritative.
 	entries := append(coord.CheckpointEntries(), part.CheckpointEntries()...)
+	if acc != nil {
+		entries = append(entries, acc.CheckpointEntries()...)
+	}
 	n, err := log.Checkpoint(func(rec wal.Record) bool {
 		if rec.Kind == wal.KRecCheckpoint {
 			return false // each checkpoint writes its own fresh snapshot
+		}
+		if rec.Role == wal.RoleAcceptor {
+			// Undecided consensus state stays; decided transactions collapse
+			// to their permanent tombstone.
+			return acc != nil && acc.LiveRecord(rec)
 		}
 		if rec.Role == wal.RoleCoord {
 			return coord.Live(rec.Txn)

@@ -229,6 +229,7 @@ func appendFrame(dst []byte, r *Record) []byte {
 //	nparts:u32 {id:str proto:u8}*
 //	nwrites:u32 {key:str old:str oldExists:u8 new:str newExists:u8}*
 //	nckpt:u32 {txnCoord:str txnSeq:u64 role:u8 phase:u8 decided:u8 outcome:u8 coord:str}*
+//	ballot:u32  nvotes:u32 {part:str vote:u8}*
 func encodeRecord(dst []byte, r *Record) []byte {
 	dst = append(dst, byte(r.Kind))
 	dst = append(dst, byte(r.Role))
@@ -258,6 +259,12 @@ func encodeRecord(dst []byte, r *Record) []byte {
 		dst = appendBool(dst, e.Decided)
 		dst = append(dst, byte(e.Outcome))
 		dst = appendString(dst, string(e.Coord))
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, r.Ballot)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Votes)))
+	for _, v := range r.Votes {
+		dst = appendString(dst, string(v.Part))
+		dst = append(dst, byte(v.Vote))
 	}
 	return dst
 }
@@ -308,6 +315,17 @@ func decodeRecord(p []byte) (Record, error) {
 		e.Outcome = wire.Outcome(d.u8())
 		e.Coord = wire.SiteID(d.str())
 		r.Ckpt = append(r.Ckpt, e)
+	}
+	r.Ballot = d.u32()
+	nvotes := d.u32()
+	if d.err == nil && int(nvotes) > len(p) {
+		return Record{}, fmt.Errorf("implausible vote count %d", nvotes)
+	}
+	for i := uint32(0); i < nvotes && d.err == nil; i++ {
+		var v VoteInfo
+		v.Part = wire.SiteID(d.str())
+		v.Vote = wire.Vote(d.u8())
+		r.Votes = append(r.Votes, v)
 	}
 	if d.err != nil {
 		return Record{}, d.err

@@ -74,9 +74,20 @@ const (
 	// O(history). The record is bookkeeping, not protocol state: the
 	// Definition-1 judges and the model checker's state hashing ignore it.
 	KRecCheckpoint
+	// KPaxosPromise is an acceptor's forced promise record: before
+	// answering a Phase1a with a promise, the acceptor makes the promised
+	// ballot durable so a reboot cannot un-promise it. Ballot carries the
+	// promised ballot; Votes names the promised instances.
+	KPaxosPromise
+	// KPaxosAccept is an acceptor's forced accept record: before a
+	// Phase2b leaves the site, the accepted instance values (Votes) and
+	// their ballot are stable — the acceptor set is the replicated
+	// decision's log, so these forces are the decision's durability.
+	KPaxosAccept
 )
 
-var kindNames = [...]string{"initiation", "commit", "abort", "end", "prepared", "remote-writes", "rec-checkpoint"}
+var kindNames = [...]string{"initiation", "commit", "abort", "end", "prepared", "remote-writes", "rec-checkpoint",
+	"paxos-promise", "paxos-accept"}
 
 // String returns the record kind's name.
 func (k Kind) String() string {
@@ -97,14 +108,23 @@ const (
 	RoleCoord Role = iota
 	// RolePart marks participant records (prepared, decision).
 	RolePart
+	// RoleAcceptor marks replicated-decision acceptor records (promises,
+	// accepts, decided tombstones). Keeping them out of the coordinator
+	// and participant streams means recovery of those roles never scans
+	// consensus state.
+	RoleAcceptor
 )
 
-// String returns "coord" or "part".
+// String returns "coord", "part" or "acceptor".
 func (r Role) String() string {
-	if r == RolePart {
+	switch r {
+	case RolePart:
 		return "part"
+	case RoleAcceptor:
+		return "acceptor"
+	default:
+		return "coord"
 	}
-	return "coord"
 }
 
 // ParticipantInfo names one participant and the commit protocol it runs, as
@@ -112,6 +132,13 @@ func (r Role) String() string {
 type ParticipantInfo struct {
 	ID    wire.SiteID
 	Proto wire.Protocol
+}
+
+// VoteInfo is one accepted Paxos-instance value inside an acceptor record:
+// the participant whose vote the instance decides, and the vote accepted.
+type VoteInfo struct {
+	Part wire.SiteID
+	Vote wire.Vote
 }
 
 // Update is one key mutation with both redo (New) and undo (Old) images.
@@ -187,6 +214,14 @@ type Record struct {
 	// Ckpt is set on RecCheckpoint records: the live protocol-table
 	// snapshot at checkpoint time.
 	Ckpt []CheckpointEntry
+
+	// Ballot is set on acceptor records: the promised ballot for
+	// KPaxosPromise, the accepted ballot for KPaxosAccept.
+	Ballot uint32
+
+	// Votes is set on KPaxosAccept records: the accepted per-instance
+	// values stable at that ballot.
+	Votes []VoteInfo
 }
 
 // Stats counts logging activity. The commit protocols are compared by

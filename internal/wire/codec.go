@@ -17,6 +17,9 @@ import (
 //	          nresults:u32 {result:str}*
 //	          err:str
 //	          nwrites:u32 {key:str old:str oldExists:u8 new:str newExists:u8}*
+//	          ballot:u32 decided:u8
+//	          ninsts:u32 {part:str vote:u8 bal:u32 free:u8}*
+//	          nroster:u32 {id:str proto:u8}*
 //	str    := len:u32 bytes
 //
 // The format is self-delimiting given the leading frame length and contains
@@ -187,6 +190,20 @@ func AppendMessage(dst []byte, m *Message) []byte {
 		e.str(w.New)
 		e.bool(w.NewExists)
 	}
+	e.u32(m.Ballot)
+	e.bool(m.Decided)
+	e.u32(uint32(len(m.Insts)))
+	for _, iv := range m.Insts {
+		e.str(string(iv.Part))
+		e.u8(uint8(iv.Vote))
+		e.u32(iv.Bal)
+		e.bool(iv.Free)
+	}
+	e.u32(uint32(len(m.Roster)))
+	for _, r := range m.Roster {
+		e.str(string(r.ID))
+		e.u8(uint8(r.Proto))
+	}
 	return e.b
 }
 
@@ -252,6 +269,37 @@ func decodeMessage(d *decodeBuf) (Message, error) {
 			w.New = d.str("write new")
 			w.NewExists = d.bool("write newExists")
 			m.Writes = append(m.Writes, w)
+		}
+	}
+
+	m.Ballot = d.u32("ballot")
+	m.Decided = d.bool("decided")
+	ninsts := d.u32("instance count")
+	if d.err == nil && int(ninsts) > len(body) {
+		return Message{}, fmt.Errorf("wire: implausible instance count %d in %d-byte body", ninsts, len(body))
+	}
+	if ninsts > 0 && d.err == nil {
+		m.Insts = make([]InstanceVote, 0, ninsts)
+		for i := uint32(0); i < ninsts && d.err == nil; i++ {
+			var iv InstanceVote
+			iv.Part = SiteID(d.site("instance part"))
+			iv.Vote = Vote(d.u8("instance vote"))
+			iv.Bal = d.u32("instance ballot")
+			iv.Free = d.bool("instance free")
+			m.Insts = append(m.Insts, iv)
+		}
+	}
+	nroster := d.u32("roster count")
+	if d.err == nil && int(nroster) > len(body) {
+		return Message{}, fmt.Errorf("wire: implausible roster count %d in %d-byte body", nroster, len(body))
+	}
+	if nroster > 0 && d.err == nil {
+		m.Roster = make([]RosterEntry, 0, nroster)
+		for i := uint32(0); i < nroster && d.err == nil; i++ {
+			var r RosterEntry
+			r.ID = SiteID(d.site("roster id"))
+			r.Proto = Protocol(d.u8("roster proto"))
+			m.Roster = append(m.Roster, r)
 		}
 	}
 

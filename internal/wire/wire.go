@@ -257,9 +257,42 @@ const (
 	// CL site cannot name its in-doubt transactions, so it asks the
 	// coordinator to re-drive everything outstanding for it.
 	MsgRecoverSite
+
+	// The remaining kinds belong to the replicated decision subsystem
+	// (Paxos Commit, Gray & Lamport): the coordinator's decision step runs
+	// one consensus instance per participant vote across 2F+1 acceptor
+	// sites, so the decision survives coordinator failure.
+
+	// MsgVoteForward is the ballot-0-optimized Phase2a: the coordinator
+	// forwards the vote set (one instance value per participant, with the
+	// full roster) to each acceptor, pre-authorized at ballot zero.
+	MsgVoteForward
+	// MsgPhase1a opens a higher ballot at an acceptor: a takeover leader
+	// (or a recovering coordinator learning an outcome) asks for promises.
+	MsgPhase1a
+	// MsgPhase1b is the promise reply: accepted instance values with their
+	// ballots (Free marks instances with none), the roster if known, and
+	// the decided outcome if this acceptor already holds one.
+	MsgPhase1b
+	// MsgPhase2a proposes instance values at a ballot above zero.
+	MsgPhase2a
+	// MsgPhase2b reports which proposed instances an acceptor accepted
+	// (and durably logged) at the message's ballot.
+	MsgPhase2b
+	// MsgPaxosEnd tells acceptors a decided transaction has terminated at
+	// the coordinator: they drop instance state and retain only a compact
+	// decided tombstone.
+	MsgPaxosEnd
+	// MsgSyncRequest asks peer acceptors for state transfer after a
+	// reboot: the peer answers from its checkpoint-image-backed state.
+	MsgSyncRequest
+	// MsgSyncState carries one transaction's acceptor state (instances,
+	// roster, decided outcome) to a rebooted peer.
+	MsgSyncState
 )
 
-var msgKindNames = [...]string{"EXEC", "EXEC-REPLY", "PREPARE", "VOTE", "DECISION", "ACK", "INQUIRY", "RECOVER-SITE"}
+var msgKindNames = [...]string{"EXEC", "EXEC-REPLY", "PREPARE", "VOTE", "DECISION", "ACK", "INQUIRY", "RECOVER-SITE",
+	"VOTE-FWD", "PHASE1A", "PHASE1B", "PHASE2A", "PHASE2B", "PAXOS-END", "SYNC-REQ", "SYNC-STATE"}
 
 // String returns the wire name of the kind, e.g. "PREPARE".
 func (k MsgKind) String() string {
@@ -313,6 +346,25 @@ type Update struct {
 	NewExists bool
 }
 
+// InstanceVote is one Paxos Commit instance's value: what participant Part
+// voted, as proposed or accepted at some ballot. Bal is the ballot the value
+// was accepted at (Phase1b replies); Free marks a Phase1b instance with no
+// accepted value yet.
+type InstanceVote struct {
+	Part SiteID
+	Vote Vote
+	Bal  uint32
+	Free bool
+}
+
+// RosterEntry names one participant of a replicated-decision transaction
+// with its commit protocol, so a takeover leader can decide over the full
+// instance set and address every blocked participant.
+type RosterEntry struct {
+	ID    SiteID
+	Proto Protocol
+}
+
 // Message is the single envelope exchanged between sites. Fields beyond
 // Kind, Txn, From and To are meaningful only for particular kinds; unused
 // fields are zero.
@@ -339,6 +391,23 @@ type Message struct {
 	// inquiries so a coordinator can serve sites that joined after its
 	// participants'-commit-protocol table was last synchronized.
 	Proto Protocol
+
+	// Ballot orders competing leaders of the replicated decision: the
+	// coordinator's fast path is ballot 0; takeover leaders and a
+	// recovering coordinator use higher ballots, partitioned by leader
+	// slot so two leaders never share one. Paxos kinds only.
+	Ballot uint32
+	// Decided marks a MsgSyncState or MsgPhase1b that carries a fixed
+	// outcome (the Outcome field) rather than open instance state.
+	Decided bool
+	// Insts carries per-participant instance values: proposed values on
+	// MsgVoteForward/MsgPhase2a, accepted values on MsgPhase1b/MsgPhase2b
+	// and MsgSyncState.
+	Insts []InstanceVote
+	// Roster is the full participant set of the transaction, attached to
+	// MsgVoteForward (and echoed on MsgPhase1b/MsgSyncState) so acceptors
+	// can run a takeover over the complete instance set.
+	Roster []RosterEntry
 }
 
 // String renders a short human-readable form used by traces and tests.

@@ -3,7 +3,9 @@
 # with frame batching on must show the writer actually coalescing — mean
 # messages per physical frame strictly above 1. Catches a silently
 # disabled batch path (e.g. a MaxBatch default regression) without paying
-# for the full benchmark sweep.
+# for the full benchmark sweep. Then the E19 leg regenerates
+# BENCH_consensus.json and shape-checks it through the prany-bench JSON
+# harness, so the committed document can never drift from the generator.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -30,3 +32,13 @@ else
 	echo "FAIL bench-smoke: ${batch} msgs/frame — frame batching is not coalescing"
 	exit 1
 fi
+
+go run ./cmd/prany-bench -run consensus -json > BENCH_consensus.json || {
+	echo "FAIL bench-smoke: could not regenerate BENCH_consensus.json"
+	exit 1
+}
+go test -run 'TestConsensusJSONShape' ./cmd/prany-bench >/dev/null || {
+	echo "FAIL bench-smoke: BENCH_consensus.json generator failed the JSON shape harness"
+	exit 1
+}
+echo "ok   bench-smoke: BENCH_consensus.json regenerated and shape-checked"

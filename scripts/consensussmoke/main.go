@@ -1,0 +1,86 @@
+// Command consensussmoke is the tier-1 replicated-decision gate
+// (`make consensus-smoke`): a cluster of three acceptors, a coordinator and
+// two participants commits a transaction whose decision announcements never
+// leave the coordinator, then the coordinator is killed for good —
+// mid-decision from the participants' point of view. The gate passes only
+// if the acceptor takeover finishes the quorum-fixed commit: every
+// participant's in-doubt set drains, no acceptor decides anything but
+// commit, and the history shows no atomicity violation. A single-decider
+// cluster blocks forever in this schedule (prany-check -strategy
+// prany-paxos proves that side exhaustively); a regression in vote
+// forwarding, inquiry escalation or the takeover path fails here in
+// seconds.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"prany/internal/sim"
+	"prany/internal/wire"
+	"prany/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL consensus-smoke: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	c, err := sim.New(sim.Spec{
+		Participants: []sim.PartSpec{
+			{ID: "pa", Proto: wire.PrA},
+			{ID: "pc", Proto: wire.PrC},
+		},
+		VoteTimeout: 500 * time.Millisecond,
+		Acceptors:   3,
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	// The coordinator's decision announcements are lost: the crash "lands"
+	// between the quorum fixing the commit and anybody hearing about it.
+	undrop := c.Net.AddDropRule(func(m wire.Message) bool {
+		return m.Kind == wire.MsgDecision && m.From == sim.CoordID
+	})
+	plan := workload.Generate(workload.Spec{Txns: 1, CommitFraction: 1, Seed: 19}, c.PartIDs())[0]
+	res := c.RunPlan(plan)
+	if res.Err != nil || res.Outcome != wire.Commit {
+		return fmt.Errorf("commit did not fix on the quorum: %+v", res)
+	}
+	c.Coord.Crash() // permanent: the coordinator never comes back
+	c.Net.RemoveDropRule(undrop)
+
+	start := time.Now()
+	deadline := start.Add(10 * time.Second)
+	for {
+		blocked := 0
+		for _, id := range c.PartIDs() {
+			blocked += len(c.Parts[id].Participant().InDoubt())
+		}
+		if blocked == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%d participant subtransaction(s) still in doubt after coordinator death — takeover did not unblock them", blocked)
+		}
+		c.TickAll()
+		time.Sleep(2 * time.Millisecond)
+	}
+	for _, id := range []wire.SiteID{"a1", "a2", "a3"} {
+		if out, ok := c.Accs[id].Acceptor().Outcome(res.Txn); ok && out != wire.Commit {
+			return fmt.Errorf("acceptor %s decided %s for the quorum-fixed commit — split decision", id, out)
+		}
+	}
+	if v := c.AtomicityViolations(); len(v) != 0 {
+		return fmt.Errorf("atomicity violations after takeover: %v", v)
+	}
+	fmt.Printf("ok   consensus-smoke: acceptor takeover finished the commit after permanent coordinator death (%s)\n",
+		time.Since(start).Round(time.Millisecond))
+	return nil
+}
