@@ -171,11 +171,16 @@ func (a *Acceptor) snapshotLocked(at *atxn) []wire.InstanceVote {
 	return out
 }
 
+// voteInfosLocked renders the accepted instances for a KPaxosAccept record.
+// Each instance carries its own accepted ballot: one record snapshots all
+// currently-accepted instances, and ones untouched by the record's accept
+// still stand at their older ballots — flattening them onto the record's
+// ballot would inflate stale values past genuinely chosen ones on replay.
 func (a *Acceptor) voteInfosLocked(at *atxn) []wal.VoteInfo {
 	snap := a.snapshotLocked(at)
 	out := make([]wal.VoteInfo, 0, len(snap))
 	for _, iv := range snap {
-		out = append(out, wal.VoteInfo{Part: iv.Part, Vote: iv.Vote})
+		out = append(out, wal.VoteInfo{Part: iv.Part, Vote: iv.Vote, Bal: iv.Bal})
 	}
 	return out
 }
@@ -230,7 +235,11 @@ func (a *Acceptor) handleAccept(m wire.Message) {
 
 // handlePhase1a serves a takeover leader's prepare: promise the ballot if
 // it beats the current one, force the promise, and report the accepted
-// values (with their ballots) and the roster.
+// values (with their ballots) and the roster. A prepare at exactly the
+// promised ballot is the same leader re-sending after a lost Phase1b
+// (ballots are partitioned by leader slot, so no other leader can hold it)
+// and draws an idempotent re-promise with no new force — the promise is
+// already durable, via its own record or the accept that raised promised.
 func (a *Acceptor) handlePhase1a(m wire.Message) {
 	a.mu.Lock()
 	at := a.get(m.Txn)
@@ -240,19 +249,22 @@ func (a *Acceptor) handlePhase1a(m wire.Message) {
 		a.env.SendMsg(reply)
 		return
 	}
-	if m.Ballot <= at.promised {
+	if m.Ballot < at.promised {
 		a.mu.Unlock()
 		return
 	}
-	at.promised = m.Ballot
-	rec := wal.Record{Kind: wal.KPaxosPromise, Role: wal.RoleAcceptor, Txn: m.Txn, Ballot: m.Ballot}
+	var recs []wal.Record
+	if m.Ballot > at.promised {
+		at.promised = m.Ballot
+		recs = append(recs, wal.Record{Kind: wal.KPaxosPromise, Role: wal.RoleAcceptor, Txn: m.Txn, Ballot: m.Ballot})
+	}
 	reply := wire.Message{
 		Kind: wire.MsgPhase1b, Txn: m.Txn, From: a.env.ID, To: m.From,
 		Ballot: m.Ballot, Insts: a.snapshotLocked(at),
 		Roster: append([]wire.RosterEntry(nil), at.roster...),
 	}
 	a.mu.Unlock()
-	a.emit([]wal.Record{rec}, []wire.Message{reply})
+	a.emit(recs, []wire.Message{reply})
 }
 
 // decidedReplyLocked answers any phase message about a decided transaction
@@ -343,7 +355,12 @@ func (a *Acceptor) leadAdvanceLocked(txn wire.TxnID, at *atxn) ([]wal.Record, []
 		if len(ld.p1) < a.quorum {
 			return nil, nil
 		}
-		ld.insts = chooseValues(ld.p1)
+		// Free instances are proposed as explicit VoteNo: the roster names
+		// them when known; when no quorum member ever learned the roster the
+		// inquirers stand in, so even a takeover for a transaction the
+		// acceptors never saw anchors its abort on the Phase2b quorum below
+		// instead of deriving it from absence.
+		ld.insts = chooseValues(ld.p1, at.roster, at.inquirers)
 		ld.learning = false
 		ld.stall = 0
 		recs = append(recs, a.acceptLocked(txn, at, ld.ballot, ld.insts, at.roster))
@@ -521,10 +538,13 @@ func (a *Acceptor) Recover() error {
 				at.promised = rec.Ballot
 			}
 			at.roster = mergeRoster(at.roster, rosterEntries(rec.Participants))
+			// Each instance is restored at its own recorded ballot, not the
+			// record's: a snapshot record stamps the accept ballot only on
+			// the instances that accept actually touched.
 			for _, v := range rec.Votes {
 				cur, ok := at.insts[v.Part]
-				if !ok || rec.Ballot >= cur.Bal {
-					at.insts[v.Part] = wire.InstanceVote{Part: v.Part, Vote: v.Vote, Bal: rec.Ballot}
+				if !ok || v.Bal >= cur.Bal {
+					at.insts[v.Part] = wire.InstanceVote{Part: v.Part, Vote: v.Vote, Bal: v.Bal}
 					if !ok {
 						at.order = append(at.order, v.Part)
 					}

@@ -25,7 +25,8 @@ func voteForward(txn wire.TxnID) wire.Message {
 }
 
 func TestAcceptorAcceptAndPromiseBallotConflicts(t *testing.T) {
-	a, sink := testAcceptor(t, "a1")
+	env, sink := testEnv(t, "a1")
+	a := NewAcceptor(env, testAcceptorSet)
 	txn := wire.TxnID{Coord: "coord", Seq: 1}
 
 	a.Handle(voteForward(txn))
@@ -44,13 +45,25 @@ func TestAcceptorAcceptAndPromiseBallotConflicts(t *testing.T) {
 		t.Fatalf("Phase1b must report the ballot-0 accepts, got %v", msgs[0].Insts)
 	}
 
-	// ...after which the stale ballot-0 accept and an equal-or-lower prepare
-	// are both ignored.
+	// ...after which the stale ballot-0 accept and a lower prepare are both
+	// ignored.
 	a.Handle(voteForward(txn))
-	a.Handle(wire.Message{Kind: wire.MsgPhase1a, Txn: txn, From: "a3", Ballot: 259})
 	a.Handle(wire.Message{Kind: wire.MsgPhase1a, Txn: txn, From: "a3", Ballot: 100})
 	if msgs := sink.take(); len(msgs) != 0 {
 		t.Fatalf("superseded rounds answered: %v", msgs)
+	}
+
+	// The same leader re-sending its prepare (a lost Phase1b) draws an
+	// idempotent re-promise — no new force, the promise is already durable —
+	// instead of stalling the round until a full re-ballot.
+	before := len(env.Log.All())
+	a.Handle(wire.Message{Kind: wire.MsgPhase1a, Txn: txn, From: "a2", Ballot: 259})
+	msgs = sink.take()
+	if len(msgs) != 1 || msgs[0].Kind != wire.MsgPhase1b || msgs[0].Ballot != 259 || len(msgs[0].Insts) != 2 {
+		t.Fatalf("re-promise reply: %v", msgs)
+	}
+	if got := len(env.Log.All()); got != before {
+		t.Fatalf("re-promise appended records: %d -> %d", before, got)
 	}
 
 	// The higher-ballot leader's Phase2a is accepted.
@@ -156,10 +169,25 @@ func TestAcceptorUnknownTxnTakeoverAborts(t *testing.T) {
 	txn := wire.TxnID{Coord: "coord", Seq: 4}
 	// Nobody ever saw this transaction: the takeover finds only free
 	// instances and fixes abort — safe, because a decision would have left
-	// accepted values (or a tombstone) on every quorum.
+	// accepted values (or a tombstone) on every quorum. The roster is
+	// unknown too, so the inquirer's instance stands in as the value the
+	// abort is anchored on.
 	a1.Handle(wire.Message{Kind: wire.MsgInquiry, Txn: txn, From: "p2", Proto: wire.PrC})
 	sink.take()
 	a1.Handle(wire.Message{Kind: wire.MsgPhase1b, Txn: txn, From: "a3", Ballot: 257})
+	var phase2 int
+	for _, m := range sink.take() {
+		if m.Kind != wire.MsgPhase2a {
+			continue
+		}
+		phase2++
+		if len(m.Insts) != 1 || m.Insts[0].Part != "p2" || m.Insts[0].Vote != wire.VoteNo || !m.Insts[0].Free {
+			t.Fatalf("abort not anchored on an explicit free VoteNo: %+v", m.Insts)
+		}
+	}
+	if phase2 != 2 {
+		t.Fatalf("want Phase2a to both peers, got %d", phase2)
+	}
 	a1.Handle(phase2b(txn, "a3", 257))
 	var decided *wire.Message
 	for _, m := range sink.take() {
@@ -276,6 +304,122 @@ func TestAcceptorLiveRecordAndCheckpointEntries(t *testing.T) {
 		}
 		if e.Txn == done && (!e.Decided || e.Outcome != wire.Abort) {
 			t.Fatalf("decided entry: %+v", e)
+		}
+	}
+}
+
+// TestTakeoverAnchorsAbortAgainstStaleBallot0Accept is the split-decision
+// regression: only a3 holds the coordinator's ballot-0 yes accepts (the one
+// vote-forward that got out before the crash). a1's takeover — promise
+// quorum {a1,a2}, neither of which saw them — must fix its abort as an
+// explicit quorum-accepted VoteNo, so that a2's later takeover, whose
+// promise quorum {a2,a3} includes the stale yes@0, chooses the anchored
+// abort instead of deciding commit against a1's announced abort.
+func TestTakeoverAnchorsAbortAgainstStaleBallot0Accept(t *testing.T) {
+	txn := wire.TxnID{Coord: "coord", Seq: 10}
+	a1, sink1 := testAcceptor(t, "a1")
+	a2, sink2 := testAcceptor(t, "a2")
+	a3, sink3 := testAcceptor(t, "a3")
+
+	vf := voteForward(txn)
+	vf.To = "a3"
+	a3.Handle(vf)
+	sink3.take()
+
+	// Leader 1: a1 takes over for blocked p1 at ballot 257.
+	a1.Handle(wire.Message{Kind: wire.MsgInquiry, Txn: txn, From: "p1", Proto: wire.PrN})
+	sink1.take()
+	a2.Handle(wire.Message{Kind: wire.MsgPhase1a, Txn: txn, From: "a1", To: "a2", Ballot: 257})
+	p1bs := sink2.take()
+	if len(p1bs) != 1 || p1bs[0].Kind != wire.MsgPhase1b {
+		t.Fatalf("a2 promise reply: %v", p1bs)
+	}
+	a1.Handle(p1bs[0])
+	var p2aToA2 *wire.Message
+	for _, m := range sink1.take() {
+		if m.Kind == wire.MsgPhase2a && m.To == "a2" {
+			m := m
+			p2aToA2 = &m
+		}
+	}
+	if p2aToA2 == nil || len(p2aToA2.Insts) != 1 || p2aToA2.Insts[0].Vote != wire.VoteNo || !p2aToA2.Insts[0].Free {
+		t.Fatalf("leader 1 did not propose an explicit free VoteNo: %+v", p2aToA2)
+	}
+	a2.Handle(*p2aToA2)
+	p2bs := sink2.take()
+	if len(p2bs) != 1 || p2bs[0].Kind != wire.MsgPhase2b {
+		t.Fatalf("a2 accept reply: %v", p2bs)
+	}
+	a1.Handle(p2bs[0])
+	if out, ok := a1.Outcome(txn); !ok || out != wire.Abort {
+		t.Fatalf("leader 1 decided (%v,%v), want abort", out, ok)
+	}
+	sink1.take() // drop the decision and PaxosEnd announcements: they never arrive
+
+	// Leader 2: a2 takes over for blocked p2 at ballot 258, promise quorum
+	// {a2,a3}. a3 reports the stale yes@0 pair (and the roster); a2 itself
+	// holds leader 1's anchored no@257, which must win in chooseValues.
+	a2.Handle(wire.Message{Kind: wire.MsgInquiry, Txn: txn, From: "p2", Proto: wire.PrC})
+	sink2.take()
+	a3.Handle(wire.Message{Kind: wire.MsgPhase1a, Txn: txn, From: "a2", To: "a3", Ballot: 258})
+	p1bs = sink3.take()
+	if len(p1bs) != 1 || len(p1bs[0].Insts) != 2 {
+		t.Fatalf("a3 must report its stale ballot-0 accepts: %v", p1bs)
+	}
+	a2.Handle(p1bs[0])
+	for _, m := range sink2.take() {
+		if m.Kind == wire.MsgPhase2a && m.To == "a3" {
+			a3.Handle(m)
+		}
+	}
+	for _, m := range sink3.take() {
+		if m.Kind == wire.MsgPhase2b {
+			a2.Handle(m)
+		}
+	}
+	out, ok := a2.Outcome(txn)
+	if !ok {
+		t.Fatal("leader 2 never decided")
+	}
+	if out != wire.Abort {
+		t.Fatalf("split decision: leader 2 decided %s against leader 1's announced abort", out)
+	}
+}
+
+// TestAcceptorRecoverKeepsPerInstanceBallots pins the WAL round-trip of
+// mixed-ballot accepts: a snapshot record written by a higher-ballot accept
+// must not inflate untouched instances onto its own ballot, or a recovered
+// acceptor's Phase1b would let stale values beat genuinely chosen ones at a
+// later leader.
+func TestAcceptorRecoverKeepsPerInstanceBallots(t *testing.T) {
+	env, sink := testEnv(t, "a1")
+	a := NewAcceptor(env, testAcceptorSet)
+	txn := wire.TxnID{Coord: "coord", Seq: 11}
+	a.Handle(voteForward(txn))
+	// A takeover's Phase2a at ballot 259 touches only p1; p2 stays at yes@0.
+	a.Handle(wire.Message{
+		Kind: wire.MsgPhase2a, Txn: txn, From: "a3", Ballot: 259,
+		Insts: []wire.InstanceVote{{Part: "p1", Vote: wire.VoteNo}},
+	})
+	sink.take()
+
+	reborn := NewAcceptor(env, testAcceptorSet)
+	if err := reborn.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	sink.take()
+	reborn.Handle(wire.Message{Kind: wire.MsgPhase1a, Txn: txn, From: "a2", Ballot: 514})
+	msgs := sink.take()
+	if len(msgs) != 1 || msgs[0].Kind != wire.MsgPhase1b || len(msgs[0].Insts) != 2 {
+		t.Fatalf("recovered Phase1b: %v", msgs)
+	}
+	want := map[wire.SiteID]wire.InstanceVote{
+		"p1": {Part: "p1", Vote: wire.VoteNo, Bal: 259},
+		"p2": {Part: "p2", Vote: wire.VoteYes, Bal: 0},
+	}
+	for _, iv := range msgs[0].Insts {
+		if w := want[iv.Part]; iv != w {
+			t.Errorf("replayed instance %s = %+v, want %+v", iv.Part, iv, w)
 		}
 	}
 }

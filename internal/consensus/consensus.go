@@ -14,8 +14,9 @@
 // one message round to the acceptors and back. Takeover leaders (a rebooted
 // coordinator learning its own decision, or an acceptor answering a blocked
 // participant) run full Paxos at higher ballots; free instances — ones no
-// quorum member ever accepted a value for — are decided VoteNo, and the
-// outcome is commit iff every roster instance decided VoteYes.
+// quorum member ever accepted a value for — are proposed as explicit VoteNo
+// and fixed on a quorum like any other value, and the outcome is commit iff
+// every roster instance decided VoteYes.
 //
 // Ballots are attempt*ballotBase + slot, the coordinator holding slot 0 and
 // acceptor i slot i+1, so concurrent leaders can never collide on a ballot.
@@ -83,17 +84,33 @@ func outcomeOf(roster []wire.RosterEntry, insts []wire.InstanceVote) wire.Outcom
 
 // chooseValues implements the Phase1b→Phase2a value rule over a promise
 // quorum's replies: for every instance any reply reports, take the value
-// accepted at the highest ballot; instances reported by nobody are free and
-// play no part in the proposal (a free roster instance makes the outcome
-// abort via outcomeOf). The returned slice is sorted by participant for
-// deterministic messages.
-func chooseValues(replies map[wire.SiteID][]wire.InstanceVote) []wire.InstanceVote {
+// accepted at the highest ballot. Every other known instance — the roster
+// members, plus extra participants such as the inquirers of a takeover
+// whose quorum never learned the roster — is free: no quorum member
+// accepted a value, so nothing can have been chosen below this ballot, and
+// per Gray & Lamport the leader proposes an explicit VoteNo (marked Free)
+// for it. Running those instances through Phase2a/2b anchors the abort on a
+// quorum, so a later leader's promise quorum must intersect it and choose
+// the same abort — deriving the abort locally from the instances' absence
+// would let two leaders decide differently. The returned slice is sorted by
+// participant for deterministic messages.
+func chooseValues(replies map[wire.SiteID][]wire.InstanceVote, roster []wire.RosterEntry, extra []wire.SiteID) []wire.InstanceVote {
 	best := make(map[wire.SiteID]wire.InstanceVote)
 	for _, insts := range replies {
 		for _, iv := range insts {
 			if cur, ok := best[iv.Part]; !ok || iv.Bal > cur.Bal {
 				best[iv.Part] = iv
 			}
+		}
+	}
+	for _, re := range roster {
+		if _, ok := best[re.ID]; !ok {
+			best[re.ID] = wire.InstanceVote{Part: re.ID, Vote: wire.VoteNo, Free: true}
+		}
+	}
+	for _, id := range extra {
+		if _, ok := best[id]; !ok {
+			best[id] = wire.InstanceVote{Part: id, Vote: wire.VoteNo, Free: true}
 		}
 	}
 	out := make([]wire.InstanceVote, 0, len(best))
@@ -118,7 +135,11 @@ func fmtInsts(insts []wire.InstanceVote) string {
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Part < sorted[j].Part })
 	parts := make([]string, 0, len(sorted))
 	for _, iv := range sorted {
-		parts = append(parts, fmt.Sprintf("%s=%d@%d", iv.Part, iv.Vote, iv.Bal))
+		s := fmt.Sprintf("%s=%d@%d", iv.Part, iv.Vote, iv.Bal)
+		if iv.Free {
+			s += "*" // leader-synthesized VoteNo for a free instance
+		}
+		parts = append(parts, s)
 	}
 	return strings.Join(parts, ",")
 }

@@ -65,7 +65,7 @@ func TestChooseValuesTakesHighestBallot(t *testing.T) {
 		"a2": {{Part: "p1", Vote: wire.VoteYes, Bal: 0}},
 		"a3": nil,
 	}
-	got := chooseValues(replies)
+	got := chooseValues(replies, nil, nil)
 	if len(got) != 2 {
 		t.Fatalf("want 2 instances, got %v", got)
 	}
@@ -74,6 +74,33 @@ func TestChooseValuesTakesHighestBallot(t *testing.T) {
 	}
 	if got[1].Part != "p2" || got[1].Vote != wire.VoteYes {
 		t.Errorf("p2: want yes, got %+v", got[1])
+	}
+}
+
+func TestChooseValuesFixesFreeInstances(t *testing.T) {
+	roster := []wire.RosterEntry{{ID: "p1", Proto: wire.PrN}, {ID: "p2", Proto: wire.PrC}}
+	replies := map[wire.SiteID][]wire.InstanceVote{
+		"a1": {{Part: "p1", Vote: wire.VoteYes, Bal: 0}},
+		"a2": nil,
+	}
+	// p2's instance is free: nobody in the quorum accepted a value, so the
+	// leader must propose an explicit VoteNo for it — not drop it — so the
+	// abort it induces gets fixed on a quorum.
+	got := chooseValues(replies, roster, nil)
+	if len(got) != 2 {
+		t.Fatalf("want 2 instances, got %v", got)
+	}
+	if got[0].Part != "p1" || got[0].Vote != wire.VoteYes || got[0].Free {
+		t.Errorf("p1: want reported yes, got %+v", got[0])
+	}
+	if got[1].Part != "p2" || got[1].Vote != wire.VoteNo || !got[1].Free {
+		t.Errorf("p2: want synthesized free VoteNo, got %+v", got[1])
+	}
+	// With no roster known, the extra participants (a takeover's inquirers)
+	// stand in as the free-instance set.
+	got = chooseValues(map[wire.SiteID][]wire.InstanceVote{"a1": nil}, nil, []wire.SiteID{"p2"})
+	if len(got) != 1 || got[0].Part != "p2" || got[0].Vote != wire.VoteNo || !got[0].Free {
+		t.Errorf("extra participant: want synthesized free VoteNo, got %v", got)
 	}
 }
 
@@ -267,21 +294,42 @@ func TestDeciderRecoverUndecidedLearns(t *testing.T) {
 }
 
 func TestDeciderRecoverUndecidedFreeInstanceAborts(t *testing.T) {
-	env, _ := testEnv(t, "coord")
+	env, sink := testEnv(t, "coord")
 	d := NewPaxosDecider(env, testAcceptorSet)
 	txn := wire.TxnID{Coord: "coord", Seq: 5}
 	var fixedOutcome wire.Outcome
+	fixedCalls := 0
 	req := testRequest(txn)
-	d.RecoverUndecided(txn, req.Roster, func(o wire.Outcome) { fixedOutcome = o })
+	d.RecoverUndecided(txn, req.Roster, func(o wire.Outcome) { fixedOutcome = o; fixedCalls++ })
+	sink.take()
 	bal := ballotFor(1, 0)
-	// No acceptor ever saw a value: every instance is free, so nothing was
-	// chosen and abort is safe.
+	// No acceptor ever saw a value: every roster instance is free, so
+	// nothing was chosen and abort is safe — but the abort must be anchored,
+	// not inferred: the Phase2a proposal carries an explicit VoteNo per
+	// roster instance, and the outcome fixes only on the Phase2b quorum.
 	d.HandlePhase(wire.Message{Kind: wire.MsgPhase1b, Txn: txn, From: "a1", Ballot: bal})
 	d.HandlePhase(wire.Message{Kind: wire.MsgPhase1b, Txn: txn, From: "a2", Ballot: bal})
+	p2a := sink.take()
+	if len(p2a) != 3 {
+		t.Fatalf("want 3 Phase2a, got %v", p2a)
+	}
+	for _, m := range p2a {
+		if m.Kind != wire.MsgPhase2a || len(m.Insts) != len(req.Roster) {
+			t.Fatalf("free instances missing from proposal: %+v", m)
+		}
+		for _, iv := range m.Insts {
+			if iv.Vote != wire.VoteNo || !iv.Free {
+				t.Fatalf("free instance not an explicit VoteNo: %+v", iv)
+			}
+		}
+	}
+	if fixedCalls != 0 {
+		t.Fatal("abort fixed before the Phase2b quorum anchored it")
+	}
 	d.HandlePhase(phase2b(txn, "a1", bal))
 	d.HandlePhase(phase2b(txn, "a2", bal))
-	if fixedOutcome != wire.Abort {
-		t.Fatalf("free instances decided %s, want abort", fixedOutcome)
+	if fixedCalls != 1 || fixedOutcome != wire.Abort {
+		t.Fatalf("free instances decided (%d,%s), want one abort", fixedCalls, fixedOutcome)
 	}
 }
 

@@ -147,10 +147,11 @@ func (d *PaxosDecider) HandlePhase(m wire.Message) {
 			return
 		}
 		// Promise quorum in hand: propose the highest-ballot accepted value
-		// of every reported instance. A chosen value is guaranteed to be
-		// among them (quorum intersection); a roster instance nobody
-		// reported is free and makes the outcome abort.
-		r.insts = chooseValues(r.p1)
+		// of every reported instance — a chosen value is guaranteed to be
+		// among them (quorum intersection) — and an explicit VoteNo for
+		// every roster instance nobody reported, so the abort those free
+		// instances induce is itself fixed on the Phase2b quorum.
+		r.insts = chooseValues(r.p1, r.roster, nil)
 		r.learning = false
 		r.stall = 0
 		msgs := d.phase2Msgs(r)

@@ -265,6 +265,7 @@ func encodeRecord(dst []byte, r *Record) []byte {
 	for _, v := range r.Votes {
 		dst = appendString(dst, string(v.Part))
 		dst = append(dst, byte(v.Vote))
+		dst = binary.LittleEndian.AppendUint32(dst, v.Bal)
 	}
 	return dst
 }
@@ -325,6 +326,7 @@ func decodeRecord(p []byte) (Record, error) {
 		var v VoteInfo
 		v.Part = wire.SiteID(d.str())
 		v.Vote = wire.Vote(d.u8())
+		v.Bal = d.u32()
 		r.Votes = append(r.Votes, v)
 	}
 	if d.err != nil {

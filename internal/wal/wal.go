@@ -135,10 +135,15 @@ type ParticipantInfo struct {
 }
 
 // VoteInfo is one accepted Paxos-instance value inside an acceptor record:
-// the participant whose vote the instance decides, and the vote accepted.
+// the participant whose vote the instance decides, the vote accepted, and
+// the ballot it was accepted at. Bal is per instance, independent of the
+// record's Ballot: a KPaxosAccept snapshots every currently-accepted
+// instance, and instances untouched by that accept still stand at older
+// ballots, which recovery must restore verbatim.
 type VoteInfo struct {
 	Part wire.SiteID
 	Vote wire.Vote
+	Bal  uint32
 }
 
 // Update is one key mutation with both redo (New) and undo (Old) images.

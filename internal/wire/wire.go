@@ -271,8 +271,8 @@ const (
 	// (or a recovering coordinator learning an outcome) asks for promises.
 	MsgPhase1a
 	// MsgPhase1b is the promise reply: accepted instance values with their
-	// ballots (Free marks instances with none), the roster if known, and
-	// the decided outcome if this acceptor already holds one.
+	// ballots (instances with none are simply absent), the roster if known,
+	// and the decided outcome if this acceptor already holds one.
 	MsgPhase1b
 	// MsgPhase2a proposes instance values at a ballot above zero.
 	MsgPhase2a
@@ -348,8 +348,11 @@ type Update struct {
 
 // InstanceVote is one Paxos Commit instance's value: what participant Part
 // voted, as proposed or accepted at some ballot. Bal is the ballot the value
-// was accepted at (Phase1b replies); Free marks a Phase1b instance with no
-// accepted value yet.
+// was accepted at (Phase1b replies); Free marks a Phase2a value the leader
+// synthesized for a free instance — no promise-quorum member reported an
+// accepted value, so the leader proposes VoteNo and fixes the abort on a
+// quorum (Gray & Lamport's free-instance rule) instead of inferring it from
+// the instance's absence.
 type InstanceVote struct {
 	Part SiteID
 	Vote Vote
