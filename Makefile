@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race chaos examples bench-smoke obs-smoke recovery-smoke consensus-smoke tier1 cover allocs bench-groupcommit bench-pipeline bench-recovery bench-consensus mcheck-paxos clean
+.PHONY: all build test vet race chaos examples bench-smoke obs-smoke recovery-smoke consensus-smoke byz-smoke tier1 cover allocs bench-groupcommit bench-pipeline bench-recovery bench-consensus mcheck-paxos mcheck-byz clean
 
 all: tier1
 
@@ -60,13 +60,21 @@ recovery-smoke:
 consensus-smoke:
 	$(GO) run ./scripts/consensussmoke
 
+# Byzantine smoke: a short seeded E20 sweep — every strategy under every
+# adversary behavior at the lying participant — must keep PrAny's honest
+# sites free of atomicity damage (zero Honest/Spread attributions) while
+# the adversary demonstrably forges. The E20 claim as a merge gate.
+byz-smoke:
+	$(GO) run ./scripts/byzsmoke
+
 # tier1 is the merge gate: everything must build, every test must pass,
 # vet must be clean, the concurrent packages must be race-free, the short
 # chaos sweep must stay operationally correct, every example must run,
 # the transport batch writer must demonstrably coalesce frames, the
 # introspection endpoints must serve, checkpointed recovery must stay
-# O(active), and the replicated decider must survive coordinator death.
-tier1: build test vet race chaos examples bench-smoke obs-smoke recovery-smoke consensus-smoke
+# O(active), the replicated decider must survive coordinator death, and
+# PrAny's honest sites must survive a lying participant.
+tier1: build test vet race chaos examples bench-smoke obs-smoke recovery-smoke consensus-smoke byz-smoke
 
 # cover enforces the per-package statement-coverage floors recorded in
 # coverage.floors and the per-benchmark allocation ceilings in
@@ -101,6 +109,11 @@ bench-consensus:
 # non-blocking under permanent coordinator death; the single decider blocks.
 mcheck-paxos:
 	$(GO) run ./cmd/prany-check -strategy prany-paxos
+
+# Exhaustively check the E20 claim for PrAny: no schedule of any adversary
+# behavior at the Byzantine participant damages an honest site.
+mcheck-byz:
+	$(GO) run ./cmd/prany-check -strategy prany-byz
 
 clean:
 	$(GO) clean ./...

@@ -9,6 +9,8 @@
 //	prany-chaos -strategy u2pc -episodes 50 # watch Theorem 1 happen
 //	prany-chaos -e14 -episodes 40           # E14 matrix: U2PC vs C2PC vs PrAny
 //	prany-chaos -e14 -episodes 40 -json     # the same, as JSON (BENCH_chaos.json)
+//	prany-chaos -byz -episodes 6            # E20 Byzantine tolerance matrix
+//	prany-chaos -byz -episodes 6 -json      # the same, as JSON (BENCH_byz.json)
 //
 // Every episode's faults derive from its seed alone, so a failing run
 // reproduces from the printed command.
@@ -25,6 +27,7 @@ import (
 
 	"prany/internal/core"
 	"prany/internal/experiments"
+	"prany/internal/mcheck"
 	"prany/internal/obs"
 	"prany/internal/wire"
 )
@@ -43,7 +46,8 @@ func run(args []string, stdout io.Writer) int {
 	txns := fs.Int("txns", 12, "transactions per episode")
 	quiesce := fs.Duration("quiesce", 8*time.Second, "convergence budget per episode")
 	e14 := fs.Bool("e14", false, "run the E14 matrix (U2PC vs C2PC vs PrAny, same seeds)")
-	jsonOut := fs.Bool("json", false, "with -e14: emit the matrix as JSON")
+	byz := fs.Bool("byz", false, "run the E20 Byzantine tolerance matrix (seeded sweep + exhaustive cells)")
+	jsonOut := fs.Bool("json", false, "with -e14/-byz: emit the matrix as JSON")
 	verbose := fs.Bool("v", false, "print every episode's fault counters")
 	trace := fs.Bool("trace", false, "record a per-txn trace; print its timeline for failing episodes (always with -episodes 1)")
 	if err := fs.Parse(args); err != nil {
@@ -52,6 +56,9 @@ func run(args []string, stdout io.Writer) int {
 
 	if *e14 {
 		return runMatrix(stdout, *episodes, *seed, *txns, *jsonOut)
+	}
+	if *byz {
+		return runByz(stdout, *episodes, *seed, *txns, *jsonOut)
 	}
 
 	strat, nat, err := parseStrategy(*strategy, *native)
@@ -147,6 +154,81 @@ func runMatrix(stdout io.Writer, episodes int, seed int64, txns int, jsonOut boo
 		fmt.Fprintf(stdout, "%-12s %8d %8d %8d %8d %8d | %9d %9d %9d\n",
 			r.Strategy, r.Commits, r.Aborts, r.Errors, r.Crashes, r.Dropped,
 			r.AtomicityViolations, r.RetentionLeaks, r.OpcheckViolations)
+	}
+	return 0
+}
+
+// runByz prints (or emits as JSON) the E20 Byzantine tolerance matrix: the
+// seeded sweep — each strategy × each adversary behavior at the Byzantine
+// participant over the same seeds — plus the bounded-exhaustive mcheck
+// cells with their minimal-lie counterexamples, and the combined verdict
+// (PrAny keeps every honest site whole under any lying participant).
+func runByz(stdout io.Writer, episodes int, seed int64, txns int, jsonOut bool) int {
+	seeds := make([]int64, episodes)
+	for i := range seeds {
+		seeds[i] = seed + int64(i)
+	}
+	// Same reasoning as E14: C2PC cells never quiesce, so the convergence
+	// budget per episode is capped.
+	rows, err := experiments.ByzSeededMatrix(seeds, txns, 1200*time.Millisecond)
+	if err != nil {
+		fmt.Fprintln(stdout, err)
+		return 1
+	}
+	cells := experiments.ByzMcheck()
+	verdictErr := experiments.ByzVerdict(rows, cells)
+
+	if jsonOut {
+		out := struct {
+			Experiment  string               `json:"experiment"`
+			SeedStart   int64                `json:"seed_start"`
+			Episodes    int                  `json:"episodes"`
+			Txns        int                  `json:"txns_per_episode"`
+			ByzSite     string               `json:"byz_site"`
+			SeededRows  []experiments.ByzRow `json:"seeded_rows"`
+			McheckCells []*mcheck.Result     `json:"mcheck_cells"`
+			Verdict     string               `json:"verdict"`
+		}{"E20 Byzantine tolerance matrix", seed, episodes, txns,
+			string(experiments.ByzSite), rows, cells, "pass"}
+		if verdictErr != nil {
+			out.Verdict = verdictErr.Error()
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stdout, err)
+			return 1
+		}
+	} else {
+		fmt.Fprintf(stdout, "E20: Byzantine tolerance matrix — %d episodes/cell, seeds %d..%d, %d txns/episode, byz site %s\n",
+			episodes, seed, seed+int64(episodes)-1, txns, experiments.ByzSite)
+		fmt.Fprintf(stdout, "%-12s %-4s %8s %8s %8s %8s | %7s %7s %10s\n",
+			"strategy", "byz", "commits", "aborts", "errors", "forged",
+			"honest", "spread", "contained")
+		for _, r := range rows {
+			fmt.Fprintf(stdout, "%-12s %-4s %8d %8d %8d %8d | %7d %7d %10d\n",
+				r.Strategy, r.Behavior, r.Commits, r.Aborts, r.Errors, r.Forged,
+				r.Honest, r.Spread, r.Contained)
+		}
+		fmt.Fprintf(stdout, "\nexhaustive cells (t1, skip-0 plans):\n")
+		fmt.Fprintf(stdout, "%-28s %9s %10s %7s %7s %10s\n",
+			"config", "schedules", "violating", "honest", "spread", "contained")
+		for _, c := range cells {
+			fmt.Fprintf(stdout, "%-28s %9d %10d %7d %7d %10d\n",
+				c.Label, c.Schedules, c.Violating, c.HonestViolating, c.SpreadViolating, c.ContainedViolating)
+			for _, cex := range c.Counterexamples {
+				fmt.Fprintf(stdout, "  %s counterexample: %s\n", cex.Kind, cex.Schedule)
+				break // one per cell keeps the table readable; JSON carries them all
+			}
+		}
+		if verdictErr != nil {
+			fmt.Fprintf(stdout, "\nFAIL: %v\n", verdictErr)
+		} else {
+			fmt.Fprintf(stdout, "\npass: PrAny honest sites clean under every lying participant; straw-man defeats and the lying-decider boundary demonstrated\n")
+		}
+	}
+	if verdictErr != nil {
+		return 1
 	}
 	return 0
 }

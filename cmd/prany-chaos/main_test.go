@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -58,5 +59,95 @@ func TestRunMatrixJSON(t *testing.T) {
 	}
 	if got.Experiment != "E14 chaos matrix" || got.Episodes != 2 || len(got.Rows) != 3 {
 		t.Fatalf("unexpected matrix shape: %+v", got)
+	}
+}
+
+// TestByzJSONShape pins the committed BENCH_byz.json artifact (regenerated
+// by scripts/bench_smoke.sh with -byz -episodes 2 -seed 1 -txns 8 -json):
+// the E20 document shape, the seeded sweep's 3x4 (strategy, behavior) grid,
+// the 16 exhaustive cells, the passing verdict, and the headline claims —
+// PrAny's honest sites stay whole under every lying participant, and at
+// least one cell carries a replayable +byz= counterexample.
+func TestByzJSONShape(t *testing.T) {
+	data, err := os.ReadFile("../../BENCH_byz.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	type row struct {
+		Strategy  string `json:"strategy"`
+		Behavior  string `json:"behavior"`
+		Episodes  int    `json:"episodes"`
+		Honest    int    `json:"honest"`
+		Spread    int    `json:"spread"`
+		Contained int    `json:"contained"`
+	}
+	type cex struct {
+		Schedule string `json:"schedule"`
+	}
+	type cell struct {
+		Label           string `json:"label"`
+		Schedules       int    `json:"schedules"`
+		Violating       int    `json:"violating"`
+		HonestViolating int    `json:"honest_violating"`
+		SpreadViolating int    `json:"spread_violating"`
+		Truncated       bool   `json:"truncated"`
+		Counterexamples []cex  `json:"counterexamples"`
+	}
+	var doc struct {
+		Experiment  string `json:"experiment"`
+		ByzSite     string `json:"byz_site"`
+		SeededRows  []row  `json:"seeded_rows"`
+		McheckCells []cell `json:"mcheck_cells"`
+		Verdict     string `json:"verdict"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if doc.Experiment != "E20 Byzantine tolerance matrix" || doc.ByzSite != "pc" {
+		t.Fatalf("unexpected header: experiment=%q byz_site=%q", doc.Experiment, doc.ByzSite)
+	}
+	if doc.Verdict != "pass" {
+		t.Fatalf("committed artifact's verdict = %q, want pass", doc.Verdict)
+	}
+	if len(doc.SeededRows) != 12 { // 3 strategies x 4 behaviors
+		t.Fatalf("seeded rows = %d, want 12", len(doc.SeededRows))
+	}
+	behaviors := map[string]int{}
+	for _, r := range doc.SeededRows {
+		if r.Episodes <= 0 {
+			t.Fatalf("row %s/%s ran no episodes", r.Strategy, r.Behavior)
+		}
+		behaviors[r.Behavior]++
+		if r.Strategy == "PrAny" && (r.Honest != 0 || r.Spread != 0) {
+			t.Fatalf("PrAny byz=%s: honest=%d spread=%d, want 0/0", r.Behavior, r.Honest, r.Spread)
+		}
+	}
+	for _, b := range []string{"eq", "li", "sa", "vf"} {
+		if behaviors[b] != 3 {
+			t.Fatalf("behavior %s appears in %d rows, want 3", b, behaviors[b])
+		}
+	}
+	if len(doc.McheckCells) != 16 {
+		t.Fatalf("mcheck cells = %d, want 16", len(doc.McheckCells))
+	}
+	replayable := false
+	for _, c := range doc.McheckCells {
+		if c.Truncated || c.Schedules <= 0 {
+			t.Fatalf("cell %s: truncated=%v schedules=%d", c.Label, c.Truncated, c.Schedules)
+		}
+		if c.HonestViolating != 0 {
+			t.Fatalf("cell %s: %d honest-site untainted violations in the committed artifact", c.Label, c.HonestViolating)
+		}
+		if strings.HasPrefix(c.Label, "PrAny") && !strings.Contains(c.Label, "+byz=coord:") && c.SpreadViolating != 0 {
+			t.Fatalf("cell %s: spread=%d, want 0", c.Label, c.SpreadViolating)
+		}
+		for _, x := range c.Counterexamples {
+			if strings.Contains(x.Schedule, "+byz=") {
+				replayable = true
+			}
+		}
+	}
+	if !replayable {
+		t.Fatal("no cell carries a replayable +byz= counterexample")
 	}
 }

@@ -14,6 +14,8 @@
 //	prany-check -strategy u2pc -stop # stop at the first counterexample
 //	prany-check -strategy prany-paxos # E19: replicated vs single decision under
 //	                                  # permanent coordinator death
+//	prany-check -strategy prany-byz   # E20: per-behavior Byzantine cells; exit 1
+//	                                  # on any honest-site violation
 //	prany-check -replay 'u2pc/PrN|pa=PrA,pc=PrC|t2|crash=coord:af:commit.c:0|vt'
 //
 // Every counterexample prints as a schedule string; -replay re-executes
@@ -28,6 +30,7 @@ import (
 	"os"
 	"strings"
 
+	"prany/internal/chaos"
 	"prany/internal/core"
 	"prany/internal/experiments"
 	"prany/internal/mcheck"
@@ -59,6 +62,9 @@ func run(args []string, stdout io.Writer) int {
 	}
 	if *strategy == "prany-paxos" {
 		return runPaxos(*jsonOut, stdout)
+	}
+	if base, ok := strings.CutSuffix(*strategy, "-byz"); ok && base != "" {
+		return runByz(base, *native, *jsonOut, stdout)
 	}
 	if *strategy == "" {
 		return runMatrix(*txns, *maxSkip, *jsonOut, stdout)
@@ -120,6 +126,85 @@ func runPaxos(jsonOut bool, stdout io.Writer) int {
 			fmt.Fprintf(stdout, "\nFAIL: %s\n", verdict)
 		} else {
 			fmt.Fprintf(stdout, "\npass: replicated decider exhaustively clean and non-blocking; single decider blocks in %d schedules\n", single.Blocked)
+		}
+	}
+	if verdict != "" {
+		return 1
+	}
+	return 0
+}
+
+// runByz checks one strategy against every adversary behavior at the
+// Byzantine participant: one exhaustive cell (1 txn, skip-0 plans) per
+// behavior, each judged with attribution. Exit 1 on any honest-site
+// violation, episode error or truncation — and, for PrAny, on any
+// violation spreading past the lying site. Straw-man defeats (contained
+// damage, retention collapse) are reported, not failed: they are the
+// experiment's expected shape.
+func runByz(base, native string, jsonOut bool, stdout io.Writer) int {
+	strat, nat, err := parseStrategy(base, native)
+	if err != nil {
+		fmt.Fprintln(stdout, err)
+		return 2
+	}
+	var results []*mcheck.Result
+	for _, b := range []chaos.Behavior{chaos.Equivocate, chaos.LieInquiry, chaos.SpuriousAck, chaos.VoteFlip} {
+		results = append(results, mcheck.Exhaust(mcheck.Config{
+			Strategy: strat, Native: nat, Txns: 1, MaxSkip: -1,
+			Adversary: &chaos.Adversary{Site: experiments.ByzSite, Behaviors: []chaos.Behavior{b}},
+		}))
+	}
+
+	verdict := ""
+	for _, r := range results {
+		switch {
+		case len(r.Errors) > 0:
+			verdict = fmt.Sprintf("%s: %d episode errors (first: %s)", r.Label, len(r.Errors), r.Errors[0])
+		case r.Truncated:
+			verdict = fmt.Sprintf("%s: exploration truncated — not exhaustive", r.Label)
+		case r.HonestViolating > 0:
+			verdict = fmt.Sprintf("%s: %d schedules with honest-site untainted violations — repo bug", r.Label, r.HonestViolating)
+		case strat == core.StrategyPrAny && r.SpreadViolating > 0:
+			verdict = fmt.Sprintf("%s: %d schedules spread to honest sites", r.Label, r.SpreadViolating)
+		}
+		if verdict != "" {
+			break
+		}
+	}
+
+	if jsonOut {
+		out := struct {
+			Experiment string           `json:"experiment"`
+			Cluster    string           `json:"cluster"`
+			Rows       []*mcheck.Result `json:"rows"`
+			Verdict    string           `json:"verdict"`
+		}{"E20 Byzantine cells: " + base, "coord + pa=PrA + pc=PrC, byz=" + string(experiments.ByzSite),
+			results, "pass"}
+		if verdict != "" {
+			out.Verdict = verdict
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stdout, "encoding: %v\n", err)
+			return 2
+		}
+	} else {
+		fmt.Fprintf(stdout, "E20: %s under one Byzantine participant (%s), per behavior — t1, skip-0 plans\n",
+			base, experiments.ByzSite)
+		fmt.Fprintf(stdout, "%-24s %9s %10s %7s %7s %10s\n",
+			"config", "schedules", "violating", "honest", "spread", "contained")
+		for _, r := range results {
+			fmt.Fprintf(stdout, "%-24s %9d %10d %7d %7d %10d\n",
+				r.Label, r.Schedules, r.Violating, r.HonestViolating, r.SpreadViolating, r.ContainedViolating)
+		}
+		for _, r := range results {
+			printFindings(stdout, r)
+		}
+		if verdict != "" {
+			fmt.Fprintf(stdout, "\nFAIL: %s\n", verdict)
+		} else {
+			fmt.Fprintf(stdout, "\npass: no honest-site violation in any schedule of any behavior\n")
 		}
 	}
 	if verdict != "" {

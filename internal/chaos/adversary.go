@@ -1,0 +1,334 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+// Byzantine adversary layer. A Plan may name one Byzantine site: a site whose
+// process misbehaves while its network and disk stay honest. The misbehavior
+// lives entirely in the transport/store wrappers — the engine under test runs
+// unmodified, which is the point: we are measuring how the *other* sites'
+// presumption disciplines survive a liar, not simulating a modified engine.
+//
+// The four behaviors are the adversary taxonomy of Byzantine commit (Zhao's
+// BFT distributed commit; Gray & Lamport's Consensus on Transaction Commit
+// frames which a replicated decider absorbs):
+//
+//   - Equivocate: claim "prepared" without durable evidence — the prepared
+//     force is swallowed (reported as stable, nothing written) and a NO vote
+//     is flipped to YES on the wire. The site's promise is a lie: after a
+//     crash it remembers nothing it promised.
+//   - LieInquiry: lie in recovery-inquiry traffic. As a participant, the
+//     site claims PrC in its inquiry's protocol field, trying to extract a
+//     commit answer for a transaction the coordinator has forgotten (and
+//     therefore presumes about). As a decider, the site answers COMMIT to
+//     inquiries about transactions it aborted or never saw.
+//   - SpuriousAck: forge and replay decision acknowledgments, tricking
+//     ack-retention disciplines (C2PC, PrN aborts) into forgetting a
+//     transaction whose real participant never enforced the decision.
+//   - VoteFlip: answer retransmitted PREPAREs with the opposite vote, so
+//     different observers (or the same observer at different times) hold
+//     contradictory signed-equivalent votes.
+//
+// Honest-site judging stays Definition 1 (see DESIGN.md §14): the judges'
+// verdicts are attributed per victim site, and an atomicity violation whose
+// victim is honest and whose transaction is untainted remains a repo bug.
+
+// Behavior is one Byzantine misbehavior the adversary site exhibits.
+type Behavior uint8
+
+const (
+	// Equivocate suppresses the site's prepared force and flips NO votes to
+	// YES: the site promises commit with no durable basis for the promise.
+	Equivocate Behavior = iota
+	// LieInquiry lies in recovery traffic: a participant claims PrC on its
+	// inquiries; a decider answers COMMIT to inquiries it would answer
+	// ABORT.
+	LieInquiry
+	// SpuriousAck forges an acknowledgment for every decision delivered to
+	// the site (even ones consumed by a crash) and replays real ones.
+	SpuriousAck
+	// VoteFlip inverts the site's vote on every retransmission, so vote
+	// copies contradict each other.
+	VoteFlip
+)
+
+var behaviorCodes = [...]string{"eq", "li", "sa", "vf"}
+
+// String returns the schedule-codec code of the behavior ("eq", "li", ...).
+func (b Behavior) String() string {
+	if int(b) < len(behaviorCodes) {
+		return behaviorCodes[b]
+	}
+	return fmt.Sprintf("Behavior(%d)", int(b))
+}
+
+// ParseBehavior converts a behavior code back to its value.
+func ParseBehavior(s string) (Behavior, error) {
+	for i, c := range behaviorCodes {
+		if c == s {
+			return Behavior(i), nil
+		}
+	}
+	return 0, fmt.Errorf("chaos: unknown adversary behavior %q (want eq, li, sa or vf)", s)
+}
+
+// Adversary declares one Byzantine site and its behaviors. A nil *Adversary
+// (the Plan default) means every site is honest and the whole layer is inert.
+type Adversary struct {
+	Site      wire.SiteID
+	Behaviors []Behavior
+}
+
+// Has reports whether the adversary exhibits behavior b.
+func (a *Adversary) Has(b Behavior) bool {
+	if a == nil {
+		return false
+	}
+	for _, x := range a.Behaviors {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Encode renders the adversary as "site:code.code" with behaviors sorted and
+// deduplicated — the canonical form the schedule codec embeds.
+func (a *Adversary) Encode() string {
+	bs := append([]Behavior{}, a.Behaviors...)
+	sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+	var codes []string
+	for i, b := range bs {
+		if i > 0 && b == bs[i-1] {
+			continue
+		}
+		codes = append(codes, b.String())
+	}
+	return string(a.Site) + ":" + strings.Join(codes, ".")
+}
+
+// ParseAdversary parses the "site:code.code" form produced by Encode.
+func ParseAdversary(s string) (*Adversary, error) {
+	site, codes, ok := strings.Cut(s, ":")
+	if !ok || site == "" || codes == "" {
+		return nil, fmt.Errorf("chaos: malformed adversary %q (want site:eq.sa)", s)
+	}
+	a := &Adversary{Site: wire.SiteID(site)}
+	for _, c := range strings.Split(codes, ".") {
+		b, err := ParseBehavior(c)
+		if err != nil {
+			return nil, err
+		}
+		if a.Has(b) {
+			return nil, fmt.Errorf("chaos: duplicate adversary behavior %q in %q", c, s)
+		}
+		a.Behaviors = append(a.Behaviors, b)
+	}
+	return a, nil
+}
+
+// AdvState is the running adversary automaton: the per-transaction memory the
+// behaviors need (which inquiries are awaiting a lying answer, how many times
+// each vote went out) plus the taint set the judges' attribution consumes.
+// All methods are deterministic functions of the call sequence, so the model
+// checker can hash the state and the chaos engine can share it across
+// goroutines (it locks).
+type AdvState struct {
+	adv Adversary
+
+	mu sync.Mutex
+	// pendingInq, per transaction, holds the inquirers whose inquiry the
+	// Byzantine decider has seen and not yet answered with a lie.
+	pendingInq map[wire.TxnID][]wire.SiteID
+	// voteSent counts MsgVote transmissions per transaction, so VoteFlip
+	// can tell a retransmission from the first copy.
+	voteSent map[wire.TxnID]int
+	// tainted marks transactions the adversary actually touched — not ones
+	// it merely could have. Attribution hinges on this being exact.
+	tainted map[wire.TxnID]bool
+	// lies logs each misbehavior in order, for tests and verdict detail.
+	lies []string
+}
+
+// NewAdvState builds the automaton for one episode.
+func NewAdvState(adv Adversary) *AdvState {
+	return &AdvState{
+		adv:        adv,
+		pendingInq: make(map[wire.TxnID][]wire.SiteID),
+		voteSent:   make(map[wire.TxnID]int),
+		tainted:    make(map[wire.TxnID]bool),
+	}
+}
+
+// Site returns the Byzantine site.
+func (s *AdvState) Site() wire.SiteID { return s.adv.Site }
+
+// Adversary returns the declaration the automaton runs.
+func (s *AdvState) Adversary() Adversary { return s.adv }
+
+func (s *AdvState) taintLocked(txn wire.TxnID, lie string) {
+	s.tainted[txn] = true
+	s.lies = append(s.lies, txn.String()+" "+lie)
+}
+
+// RewriteSend passes one outbound message of the Byzantine site through the
+// automaton. It returns the (possibly rewritten) message plus any forged
+// extras to inject alongside it. Messages from honest sites pass unchanged.
+func (s *AdvState) RewriteSend(m wire.Message) (wire.Message, []wire.Message) {
+	if m.From != s.adv.Site {
+		return m, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var extra []wire.Message
+	switch m.Kind {
+	case wire.MsgVote:
+		s.voteSent[m.Txn]++
+		if s.adv.Has(Equivocate) && m.Vote == wire.VoteNo {
+			m.Vote = wire.VoteYes
+			s.taintLocked(m.Txn, "equivocate: NO vote sent as YES")
+		}
+		if s.adv.Has(VoteFlip) && s.voteSent[m.Txn] > 1 && m.Vote != wire.VoteReadOnly {
+			if m.Vote == wire.VoteYes {
+				m.Vote = wire.VoteNo
+			} else {
+				m.Vote = wire.VoteYes
+			}
+			s.taintLocked(m.Txn, fmt.Sprintf("vote-flip: retransmission %d sent as %s", s.voteSent[m.Txn], m.Vote))
+		}
+	case wire.MsgInquiry:
+		if s.adv.Has(LieInquiry) && m.Proto != wire.PrC {
+			m.Proto = wire.PrC
+			s.taintLocked(m.Txn, "lie-inquiry: inquiry claims PrC")
+		}
+	case wire.MsgDecision:
+		if s.adv.Has(LieInquiry) && m.Outcome == wire.Abort && s.consumePendingLocked(m.Txn, m.To) {
+			m.Outcome = wire.Commit
+			s.taintLocked(m.Txn, "lie-inquiry: ABORT answer sent as COMMIT to "+string(m.To))
+		}
+	case wire.MsgAck:
+		if s.adv.Has(SpuriousAck) {
+			extra = append(extra, m) // replay: the ack goes out twice
+			s.taintLocked(m.Txn, "spurious-ack: ack replayed")
+		}
+	}
+	return m, extra
+}
+
+func (s *AdvState) consumePendingLocked(txn wire.TxnID, to wire.SiteID) bool {
+	q := s.pendingInq[txn]
+	for i, id := range q {
+		if id == to {
+			s.pendingInq[txn] = append(q[:i:i], q[i+1:]...)
+			if len(s.pendingInq[txn]) == 0 {
+				delete(s.pendingInq, txn)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// ObserveDeliver watches one message delivered to the Byzantine site and
+// returns forged messages to inject in response. It runs before the site's
+// handler (and before any crash consumes the delivery), because the forgery
+// models the adversary's wire persona, which outlives its process.
+func (s *AdvState) ObserveDeliver(m wire.Message) []wire.Message {
+	if m.To != s.adv.Site {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var forged []wire.Message
+	if s.adv.Has(LieInquiry) && m.Kind == wire.MsgInquiry {
+		s.pendingInq[m.Txn] = append(s.pendingInq[m.Txn], m.From)
+	}
+	if s.adv.Has(SpuriousAck) && m.Kind == wire.MsgDecision {
+		forged = append(forged, wire.Message{
+			Kind: wire.MsgAck, Txn: m.Txn,
+			From: s.adv.Site, To: m.From, Outcome: m.Outcome,
+		})
+		s.taintLocked(m.Txn, "spurious-ack: forged ack for "+m.Outcome.String()+" decision")
+	}
+	return forged
+}
+
+// DeliveryChoice reports whether delivering a message of kind k to the
+// Byzantine site adversarially differs from delivering it honestly — the
+// model checker offers a separate choice action exactly for these kinds.
+func (s *AdvState) DeliveryChoice(k wire.MsgKind) bool {
+	return (s.adv.Has(LieInquiry) && k == wire.MsgInquiry) ||
+		(s.adv.Has(SpuriousAck) && k == wire.MsgDecision)
+}
+
+// SuppressAppend reports whether the adversary swallows this force-write:
+// an equivocating site reports its prepared record stable without writing
+// it. Honest sites' appends are never suppressed.
+func (s *AdvState) SuppressAppend(site wire.SiteID, recs []wal.Record) bool {
+	if site != s.adv.Site || !s.adv.Has(Equivocate) {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range recs {
+		if r.Kind == wal.KPrepared && r.Role == wal.RolePart {
+			s.taintLocked(r.Txn, "equivocate: prepared force suppressed")
+			return true
+		}
+	}
+	return false
+}
+
+// TaintedSet returns a copy of the transactions the adversary touched.
+func (s *AdvState) TaintedSet() map[wire.TxnID]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[wire.TxnID]bool, len(s.tainted))
+	for t := range s.tainted {
+		out[t] = true
+	}
+	return out
+}
+
+// Lies returns the misbehavior log in order.
+func (s *AdvState) Lies() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string{}, s.lies...)
+}
+
+// Digest renders the automaton's state deterministically, for the model
+// checker's state hash: two prefixes leaving different adversary memory must
+// not be deduplicated, since their futures lie differently.
+func (s *AdvState) Digest() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var b strings.Builder
+	b.WriteString(s.adv.Encode())
+	var txns []string
+	for t, q := range s.pendingInq {
+		ids := make([]string, len(q))
+		for i, id := range q {
+			ids[i] = string(id)
+		}
+		txns = append(txns, " inq "+t.String()+"<"+strings.Join(ids, ","))
+	}
+	for t, n := range s.voteSent {
+		txns = append(txns, fmt.Sprintf(" votes %s=%d", t, n))
+	}
+	for t := range s.tainted {
+		txns = append(txns, " taint "+t.String())
+	}
+	sort.Strings(txns)
+	for _, s := range txns {
+		b.WriteString(s)
+	}
+	return b.String()
+}

@@ -1,0 +1,428 @@
+package chaos
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"prany/internal/transport"
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+func txn(seq uint64) wire.TxnID { return wire.TxnID{Coord: "coord", Seq: seq} }
+
+func adv(site wire.SiteID, bs ...Behavior) *AdvState {
+	return NewAdvState(Adversary{Site: site, Behaviors: bs})
+}
+
+func TestAdversaryEncodeParseRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		adv  Adversary
+		want string
+	}{
+		{Adversary{Site: "pc", Behaviors: []Behavior{Equivocate}}, "pc:eq"},
+		{Adversary{Site: "pc", Behaviors: []Behavior{VoteFlip, Equivocate}}, "pc:eq.vf"},
+		{Adversary{Site: "coord", Behaviors: []Behavior{LieInquiry, LieInquiry, SpuriousAck}}, "coord:li.sa"},
+	} {
+		enc := tc.adv.Encode()
+		if enc != tc.want {
+			t.Errorf("Encode(%+v) = %q, want %q", tc.adv, enc, tc.want)
+		}
+		back, err := ParseAdversary(enc)
+		if err != nil {
+			t.Fatalf("ParseAdversary(%q): %v", enc, err)
+		}
+		if back.Encode() != enc {
+			t.Errorf("round trip %q -> %q", enc, back.Encode())
+		}
+	}
+	for _, bad := range []string{"", "pc", "pc:", ":eq", "pc:zz", "pc:eq.eq", "pc:eq..sa"} {
+		if _, err := ParseAdversary(bad); err == nil {
+			t.Errorf("ParseAdversary(%q) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestBehaviorStringParse(t *testing.T) {
+	for _, b := range []Behavior{Equivocate, LieInquiry, SpuriousAck, VoteFlip} {
+		got, err := ParseBehavior(b.String())
+		if err != nil || got != b {
+			t.Errorf("ParseBehavior(%q) = %v, %v", b.String(), got, err)
+		}
+	}
+	if s := Behavior(99).String(); !strings.Contains(s, "99") {
+		t.Errorf("out-of-range behavior String() = %q", s)
+	}
+	if _, err := ParseBehavior("xx"); err == nil {
+		t.Error("ParseBehavior accepted unknown code")
+	}
+}
+
+// TestEquivocateFlipsNoVote: the equivocator's NO vote goes out as YES and
+// taints the transaction; its YES votes pass untouched and untainted — the
+// taint set marks actual misbehavior, not opportunity.
+func TestEquivocateFlipsNoVote(t *testing.T) {
+	s := adv("pc", Equivocate)
+	m, extra := s.RewriteSend(wire.Message{Kind: wire.MsgVote, From: "pc", To: "coord", Txn: txn(1), Vote: wire.VoteNo})
+	if m.Vote != wire.VoteYes || len(extra) != 0 {
+		t.Fatalf("NO vote rewritten to %v (extras %d), want YES with none", m.Vote, len(extra))
+	}
+	m, _ = s.RewriteSend(wire.Message{Kind: wire.MsgVote, From: "pc", To: "coord", Txn: txn(2), Vote: wire.VoteYes})
+	if m.Vote != wire.VoteYes {
+		t.Fatalf("honest YES vote rewritten to %v", m.Vote)
+	}
+	tainted := s.TaintedSet()
+	if !tainted[txn(1)] || tainted[txn(2)] {
+		t.Fatalf("taint set %v, want exactly txn 1", tainted)
+	}
+}
+
+// TestEquivocateSuppressesPreparedForce: only the Byzantine site's
+// participant prepared force is swallowed — its other records, other roles,
+// and every honest site's appends pass through.
+func TestEquivocateSuppressesPreparedForce(t *testing.T) {
+	s := adv("pc", Equivocate)
+	prepared := []wal.Record{{Kind: wal.KPrepared, Role: wal.RolePart, Txn: txn(1)}}
+	if !s.SuppressAppend("pc", prepared) {
+		t.Fatal("prepared force at the liar not suppressed")
+	}
+	if s.SuppressAppend("pa", prepared) {
+		t.Fatal("honest site's prepared force suppressed")
+	}
+	if s.SuppressAppend("pc", []wal.Record{{Kind: wal.KEnd, Role: wal.RolePart, Txn: txn(2)}}) {
+		t.Fatal("non-prepared record suppressed")
+	}
+	if s.SuppressAppend("pc", []wal.Record{{Kind: wal.KPrepared, Role: wal.RoleCoord, Txn: txn(3)}}) {
+		t.Fatal("coordinator-role prepared suppressed")
+	}
+	if tainted := s.TaintedSet(); !tainted[txn(1)] || len(tainted) != 1 {
+		t.Fatalf("taint set %v, want exactly txn 1", tainted)
+	}
+	// Without the behavior, nothing is suppressed even at the named site.
+	if adv("pc", SpuriousAck).SuppressAppend("pc", prepared) {
+		t.Fatal("suppression fired without Equivocate")
+	}
+}
+
+// TestVoteFlipOnRetransmission: the first transmission is honest; every
+// retransmission inverts YES<->NO; read-only votes are never flipped (there
+// is no contradictory pair to manufacture — the site holds no locks).
+func TestVoteFlipOnRetransmission(t *testing.T) {
+	s := adv("pc", VoteFlip)
+	first, _ := s.RewriteSend(wire.Message{Kind: wire.MsgVote, From: "pc", To: "coord", Txn: txn(1), Vote: wire.VoteYes})
+	if first.Vote != wire.VoteYes {
+		t.Fatalf("first transmission rewritten to %v", first.Vote)
+	}
+	if len(s.TaintedSet()) != 0 {
+		t.Fatal("honest first transmission tainted")
+	}
+	second, _ := s.RewriteSend(wire.Message{Kind: wire.MsgVote, From: "pc", To: "coord", Txn: txn(1), Vote: wire.VoteYes})
+	if second.Vote != wire.VoteNo {
+		t.Fatalf("retransmitted YES sent as %v, want NO", second.Vote)
+	}
+	third, _ := s.RewriteSend(wire.Message{Kind: wire.MsgVote, From: "pc", To: "coord", Txn: txn(1), Vote: wire.VoteNo})
+	if third.Vote != wire.VoteYes {
+		t.Fatalf("retransmitted NO sent as %v, want YES", third.Vote)
+	}
+	s.RewriteSend(wire.Message{Kind: wire.MsgVote, From: "pc", To: "coord", Txn: txn(2), Vote: wire.VoteReadOnly})
+	ro, _ := s.RewriteSend(wire.Message{Kind: wire.MsgVote, From: "pc", To: "coord", Txn: txn(2), Vote: wire.VoteReadOnly})
+	if ro.Vote != wire.VoteReadOnly {
+		t.Fatalf("read-only retransmission rewritten to %v", ro.Vote)
+	}
+	if tainted := s.TaintedSet(); !tainted[txn(1)] || tainted[txn(2)] {
+		t.Fatalf("taint set %v, want exactly txn 1", tainted)
+	}
+}
+
+// TestLieInquiryParticipant: the lying participant's inquiry claims PrC on
+// the wire, extracting the widest presumption gap from the answerer.
+func TestLieInquiryParticipant(t *testing.T) {
+	s := adv("pc", LieInquiry)
+	m, _ := s.RewriteSend(wire.Message{Kind: wire.MsgInquiry, From: "pc", To: "coord", Txn: txn(1), Proto: wire.PrA})
+	if m.Proto != wire.PrC {
+		t.Fatalf("inquiry proto %v, want PrC", m.Proto)
+	}
+	// An inquiry already claiming PrC is not a lie: no rewrite, no taint.
+	s.RewriteSend(wire.Message{Kind: wire.MsgInquiry, From: "pc", To: "coord", Txn: txn(2), Proto: wire.PrC})
+	if tainted := s.TaintedSet(); !tainted[txn(1)] || tainted[txn(2)] {
+		t.Fatalf("taint set %v, want exactly txn 1", tainted)
+	}
+}
+
+// TestLieInquiryDecider: the lying decider flips an ABORT answer to COMMIT
+// only for an inquirer whose inquiry it actually observed — the pending set
+// gates the lie so spontaneous decisions stay honest, and each observed
+// inquiry buys exactly one lie.
+func TestLieInquiryDecider(t *testing.T) {
+	s := adv("coord", LieInquiry)
+	// No observed inquiry yet: the abort passes honestly.
+	m, _ := s.RewriteSend(wire.Message{Kind: wire.MsgDecision, From: "coord", To: "pa", Txn: txn(1), Outcome: wire.Abort})
+	if m.Outcome != wire.Abort {
+		t.Fatalf("unprompted decision rewritten to %v", m.Outcome)
+	}
+	s.ObserveDeliver(wire.Message{Kind: wire.MsgInquiry, From: "pa", To: "coord", Txn: txn(1)})
+	m, _ = s.RewriteSend(wire.Message{Kind: wire.MsgDecision, From: "coord", To: "pa", Txn: txn(1), Outcome: wire.Abort})
+	if m.Outcome != wire.Commit {
+		t.Fatalf("inquiry answer sent as %v, want the COMMIT lie", m.Outcome)
+	}
+	// The pending entry is consumed: the next answer to pa is honest again.
+	m, _ = s.RewriteSend(wire.Message{Kind: wire.MsgDecision, From: "coord", To: "pa", Txn: txn(1), Outcome: wire.Abort})
+	if m.Outcome != wire.Abort {
+		t.Fatalf("second answer rewritten to %v — one inquiry bought two lies", m.Outcome)
+	}
+	// An inquiry from pb does not license a lie to pa.
+	s.ObserveDeliver(wire.Message{Kind: wire.MsgInquiry, From: "pb", To: "coord", Txn: txn(2)})
+	m, _ = s.RewriteSend(wire.Message{Kind: wire.MsgDecision, From: "coord", To: "pa", Txn: txn(2), Outcome: wire.Abort})
+	if m.Outcome != wire.Abort {
+		t.Fatalf("lie crossed inquirers: answer to pa rewritten to %v", m.Outcome)
+	}
+	if tainted := s.TaintedSet(); !tainted[txn(1)] || tainted[txn(2)] || len(tainted) != 1 {
+		t.Fatalf("taint set %v, want exactly txn 1", tainted)
+	}
+}
+
+// TestSpuriousAckForgesAndReplays: delivering a decision to the liar forges
+// an ack back to the sender (even if a crash would consume the delivery —
+// the wire persona outlives the process), and a real outbound ack gains a
+// replayed extra copy.
+func TestSpuriousAckForgesAndReplays(t *testing.T) {
+	s := adv("pc", SpuriousAck)
+	forged := s.ObserveDeliver(wire.Message{Kind: wire.MsgDecision, From: "coord", To: "pc", Txn: txn(1), Outcome: wire.Commit})
+	if len(forged) != 1 {
+		t.Fatalf("forged %d messages, want 1", len(forged))
+	}
+	f := forged[0]
+	if f.Kind != wire.MsgAck || f.From != "pc" || f.To != "coord" || f.Txn != txn(1) || f.Outcome != wire.Commit {
+		t.Fatalf("forged ack = %+v", f)
+	}
+	// Deliveries of other kinds, or to honest sites, forge nothing.
+	if got := s.ObserveDeliver(wire.Message{Kind: wire.MsgPrepare, From: "coord", To: "pc", Txn: txn(2)}); len(got) != 0 {
+		t.Fatalf("prepare delivery forged %d messages", len(got))
+	}
+	if got := s.ObserveDeliver(wire.Message{Kind: wire.MsgDecision, From: "coord", To: "pa", Txn: txn(3), Outcome: wire.Commit}); len(got) != 0 {
+		t.Fatalf("honest site's delivery forged %d messages", len(got))
+	}
+	ack := wire.Message{Kind: wire.MsgAck, From: "pc", To: "coord", Txn: txn(4), Outcome: wire.Commit}
+	m, extra := s.RewriteSend(ack)
+	if !reflect.DeepEqual(m, ack) || len(extra) != 1 || !reflect.DeepEqual(extra[0], ack) {
+		t.Fatalf("ack replay: m=%+v extra=%+v", m, extra)
+	}
+	tainted := s.TaintedSet()
+	if !tainted[txn(1)] || !tainted[txn(4)] || tainted[txn(2)] || tainted[txn(3)] {
+		t.Fatalf("taint set %v, want txns 1 and 4", tainted)
+	}
+	if lies := s.Lies(); len(lies) != 2 {
+		t.Fatalf("lies log %v, want 2 entries", lies)
+	}
+}
+
+func TestHonestTrafficPassesUntouched(t *testing.T) {
+	s := adv("pc", Equivocate, LieInquiry, SpuriousAck, VoteFlip)
+	for _, m := range []wire.Message{
+		{Kind: wire.MsgVote, From: "pa", To: "coord", Txn: txn(1), Vote: wire.VoteNo},
+		{Kind: wire.MsgInquiry, From: "pa", To: "coord", Txn: txn(2), Proto: wire.PrA},
+		{Kind: wire.MsgAck, From: "pa", To: "coord", Txn: txn(3)},
+	} {
+		got, extra := s.RewriteSend(m)
+		if !reflect.DeepEqual(got, m) || len(extra) != 0 {
+			t.Fatalf("honest %s rewritten: %+v -> %+v (extras %d)", m.Kind, m, got, len(extra))
+		}
+	}
+	if len(s.TaintedSet()) != 0 || len(s.Lies()) != 0 {
+		t.Fatalf("honest traffic tainted: %v %v", s.TaintedSet(), s.Lies())
+	}
+}
+
+func TestDeliveryChoiceKinds(t *testing.T) {
+	li := adv("coord", LieInquiry)
+	sa := adv("pc", SpuriousAck)
+	eq := adv("pc", Equivocate)
+	if !li.DeliveryChoice(wire.MsgInquiry) || li.DeliveryChoice(wire.MsgDecision) {
+		t.Error("LieInquiry choice kinds wrong")
+	}
+	if !sa.DeliveryChoice(wire.MsgDecision) || sa.DeliveryChoice(wire.MsgInquiry) {
+		t.Error("SpuriousAck choice kinds wrong")
+	}
+	if eq.DeliveryChoice(wire.MsgInquiry) || eq.DeliveryChoice(wire.MsgDecision) || eq.DeliveryChoice(wire.MsgVote) {
+		t.Error("Equivocate offers delivery choices; it is send-side only")
+	}
+}
+
+// TestDigestDeterministic: the digest is a pure function of the automaton's
+// memory — identical call sequences produce identical digests, and any
+// misbehavior or observation changes it (the model checker must not
+// deduplicate states whose futures lie differently).
+func TestDigestDeterministic(t *testing.T) {
+	build := func() *AdvState {
+		s := adv("pc", LieInquiry, SpuriousAck)
+		s.ObserveDeliver(wire.Message{Kind: wire.MsgInquiry, From: "pa", To: "pc", Txn: txn(1)})
+		s.ObserveDeliver(wire.Message{Kind: wire.MsgDecision, From: "coord", To: "pc", Txn: txn(2), Outcome: wire.Abort})
+		s.RewriteSend(wire.Message{Kind: wire.MsgVote, From: "pc", To: "coord", Txn: txn(3), Vote: wire.VoteYes})
+		return s
+	}
+	a, b := build().Digest(), build().Digest()
+	if a != b {
+		t.Fatalf("same call sequence, different digests:\n%q\n%q", a, b)
+	}
+	fresh := adv("pc", LieInquiry, SpuriousAck).Digest()
+	if fresh == a {
+		t.Fatal("observed traffic left the digest unchanged")
+	}
+	if !strings.HasPrefix(fresh, "pc:li.sa") {
+		t.Fatalf("digest %q does not lead with the adversary encoding", fresh)
+	}
+}
+
+// --- engine integration: the adversary behind the transport/store shims ---
+
+// TestEngineForgedAckCountsAndDelivers: a decision delivered to the liar
+// produces a forged ack that flows back through the real network and bumps
+// the Forged counter; the engine's probabilistic faults never touch it.
+func TestEngineForgedAckCountsAndDelivers(t *testing.T) {
+	e := NewEngine(Plan{Seed: 1, Adversary: &Adversary{Site: "pc", Behaviors: []Behavior{SpuriousAck}}})
+	c := newCounterNet(t, e, "coord")
+	c.net.Register("pc", func(wire.Message) {})
+	c.net.Send(wire.Message{Kind: wire.MsgDecision, From: "coord", To: "pc", Txn: txn(1), Outcome: wire.Commit})
+	waitFor(t, "forged ack delivery", func() bool { return c.acks.Load() == 1 })
+	if ctr := e.Counters(); ctr.Forged != 1 {
+		t.Fatalf("Forged = %d, want 1", ctr.Forged)
+	}
+	if s := e.AdversaryState(); s == nil || !s.TaintedSet()[txn(1)] {
+		t.Fatal("adversary state missing or txn 1 untainted")
+	}
+}
+
+// TestEnginePartitionBlocksForgedAck: forged traffic is the adversary's
+// wire persona — it bypasses the plan's probabilistic faults (the replayed
+// ack lands even under Drop=1) but still respects partitions (nothing
+// forged crosses a severed link, and the loss counts as Partitioned).
+func TestEnginePartitionBlocksForgedAck(t *testing.T) {
+	e := NewEngine(Plan{
+		Seed:      1,
+		Faults:    []MsgFault{{Kinds: []wire.MsgKind{wire.MsgAck}, Drop: 1}},
+		Adversary: &Adversary{Site: "pc", Behaviors: []Behavior{SpuriousAck}},
+	})
+	c := newCounterNet(t, e, "coord")
+	// The real ack is dropped by the plan; its forged replay bypasses the
+	// probabilistic faults and is the one copy that lands.
+	c.net.Send(wire.Message{Kind: wire.MsgAck, From: "pc", To: "coord", Txn: txn(1), Outcome: wire.Commit})
+	waitFor(t, "replayed ack delivery", func() bool { return c.acks.Load() == 1 })
+	if ctr := e.Counters(); ctr.Dropped != 1 || ctr.Forged != 1 {
+		t.Fatalf("Dropped = %d, Forged = %d, want 1 and 1", ctr.Dropped, ctr.Forged)
+	}
+	// Severed, neither the real ack nor the replay crosses: the real copy is
+	// cut by the plan's partition check, the forged copy by sendForged's.
+	e.SetPartition("pc", "coord", true)
+	c.net.Send(wire.Message{Kind: wire.MsgAck, From: "pc", To: "coord", Txn: txn(2), Outcome: wire.Commit})
+	waitFor(t, "partitioned forged ack", func() bool { return e.Counters().Partitioned == 2 })
+	e.Settle()
+	if got := c.acks.Load(); got != 1 {
+		t.Fatalf("ack crossed a severed link: %d deliveries, want still 1", got)
+	}
+}
+
+// TestEngineDupDuplicatesRewrittenMessage: the duplication fault applies to
+// the message as rewritten by the adversary — both copies of an equivocated
+// vote carry the lie, so duplication amplifies the adversary rather than
+// leaking the honest original.
+func TestEngineDupDuplicatesRewrittenMessage(t *testing.T) {
+	e := NewEngine(Plan{
+		Seed:      1,
+		Faults:    []MsgFault{{Kinds: []wire.MsgKind{wire.MsgVote}, Dup: 1, MaxDelay: 1}},
+		Adversary: &Adversary{Site: "pc", Behaviors: []Behavior{Equivocate}},
+	})
+	inner := transport.NewChanNetwork()
+	t.Cleanup(inner.Close)
+	net := e.WrapNetwork(inner)
+	var mu sync.Mutex
+	var votes []wire.Vote
+	net.Register("coord", func(m wire.Message) {
+		mu.Lock()
+		votes = append(votes, m.Vote)
+		mu.Unlock()
+	})
+	net.Send(wire.Message{Kind: wire.MsgVote, From: "pc", To: "coord", Txn: txn(1), Vote: wire.VoteNo})
+	e.Settle()
+	waitFor(t, "duplicate vote", func() bool { mu.Lock(); defer mu.Unlock(); return len(votes) == 2 })
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range votes {
+		if v != wire.VoteYes {
+			t.Fatalf("copy %d carries %v, want the equivocated YES", i, v)
+		}
+	}
+	if ctr := e.Counters(); ctr.Duplicated != 1 {
+		t.Fatalf("Duplicated = %d, want 1", ctr.Duplicated)
+	}
+}
+
+// TestEngineSuppressedForceWritesNothing: the equivocator's prepared force
+// returns success with nothing durable — while a fail-stopped site's append
+// keeps failing with the crash error, liar or not (a dead site cannot even
+// pretend to write).
+func TestEngineSuppressedForceWritesNothing(t *testing.T) {
+	e := NewEngine(Plan{
+		Seed:      1,
+		Crashes:   []CrashPoint{{Site: "pc", Edge: BeforeForce, Rec: wal.KEnd, Role: wal.RolePart}},
+		Adversary: &Adversary{Site: "pc", Behaviors: []Behavior{Equivocate}},
+	})
+	inner := wal.NewMemStore()
+	s := e.WrapStore("pc", inner)
+	if err := s.Append([]wal.Record{{Kind: wal.KPrepared, Role: wal.RolePart, Txn: txn(1)}}); err != nil {
+		t.Fatalf("suppressed force errored: %v", err)
+	}
+	if inner.Len() != 0 {
+		t.Fatalf("suppressed force wrote %d records", inner.Len())
+	}
+	// An honest site's store under the same engine is untouched.
+	honestInner := wal.NewMemStore()
+	honest := e.WrapStore("pa", honestInner)
+	if err := honest.Append([]wal.Record{{Kind: wal.KPrepared, Role: wal.RolePart, Txn: txn(1)}}); err != nil {
+		t.Fatalf("honest append: %v", err)
+	}
+	if honestInner.Len() != 1 {
+		t.Fatalf("honest store len = %d, want 1", honestInner.Len())
+	}
+	// Fail-stop the liar via its crash point: the crash error wins over the
+	// suppression from then on.
+	if err := s.Append([]wal.Record{{Kind: wal.KEnd, Role: wal.RolePart, Txn: txn(1)}}); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("crash point append err = %v, want ErrInjectedCrash", err)
+	}
+	if err := s.Append([]wal.Record{{Kind: wal.KPrepared, Role: wal.RolePart, Txn: txn(2)}}); !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("downed liar's force err = %v, want ErrInjectedCrash", err)
+	}
+	if tainted := e.AdversaryState().TaintedSet(); tainted[txn(2)] {
+		t.Fatal("downed site's refused force still tainted the transaction")
+	}
+}
+
+// TestEngineDeactivateStopsAdversary: Deactivate silences the liar along
+// with the probabilistic faults, so the final recovery-and-quiesce converges
+// against an honest world.
+func TestEngineDeactivateStopsAdversary(t *testing.T) {
+	e := NewEngine(Plan{Seed: 1, Adversary: &Adversary{Site: "pc", Behaviors: []Behavior{Equivocate, SpuriousAck}}})
+	c := newCounterNet(t, e, "coord")
+	var pcGot atomic.Int64
+	c.net.Register("pc", func(wire.Message) { pcGot.Add(1) })
+	inner := wal.NewMemStore()
+	s := e.WrapStore("pc", inner)
+	e.Deactivate()
+	c.net.Send(wire.Message{Kind: wire.MsgDecision, From: "coord", To: "pc", Txn: txn(1), Outcome: wire.Commit})
+	waitFor(t, "post-deactivate delivery", func() bool { return pcGot.Load() == 1 })
+	if got := c.acks.Load(); got != 0 {
+		t.Fatalf("deactivated adversary forged %d acks", got)
+	}
+	if err := s.Append([]wal.Record{{Kind: wal.KPrepared, Role: wal.RolePart, Txn: txn(1)}}); err != nil {
+		t.Fatalf("post-deactivate append: %v", err)
+	}
+	if inner.Len() != 1 {
+		t.Fatalf("post-deactivate force suppressed: len=%d", inner.Len())
+	}
+	if ctr := e.Counters(); ctr.Forged != 0 {
+		t.Fatalf("Forged = %d, want 0", ctr.Forged)
+	}
+}

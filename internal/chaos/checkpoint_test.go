@@ -94,10 +94,10 @@ func TestStoreCrashAfterCheckpoint(t *testing.T) {
 // wrapper's non-Rewriter fallback path is exercised.
 type plainStore struct{ inner *wal.MemStore }
 
-func (s *plainStore) Load() ([]wal.Record, error)      { return s.inner.Load() }
-func (s *plainStore) Append(recs []wal.Record) error   { return s.inner.Append(recs) }
-func (s *plainStore) Rewrite(recs []wal.Record) error  { return s.inner.Rewrite(recs) }
-func (s *plainStore) Close() error                     { return s.inner.Close() }
+func (s *plainStore) Load() ([]wal.Record, error)     { return s.inner.Load() }
+func (s *plainStore) Append(recs []wal.Record) error  { return s.inner.Append(recs) }
+func (s *plainStore) Rewrite(recs []wal.Record) error { return s.inner.Rewrite(recs) }
+func (s *plainStore) Close() error                    { return s.inner.Close() }
 
 func TestStoreRewriteFallbackWithoutRewriter(t *testing.T) {
 	e := NewEngine(Plan{Seed: 1})

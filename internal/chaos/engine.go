@@ -28,6 +28,7 @@ type Counters struct {
 	Partitioned uint64 // messages lost to a severed site pair
 	WALFails    uint64 // transient sync failures
 	Crashes     uint64 // crash points fired
+	Forged      uint64 // messages the Byzantine site forged or replayed
 }
 
 // Engine executes a Plan against one cluster. Wrap the cluster's network
@@ -52,6 +53,9 @@ type Engine struct {
 	down    map[wire.SiteID]bool
 	severed map[[2]wire.SiteID]bool
 	ctr     Counters
+	// adv is the Byzantine automaton, set once at construction when the
+	// plan names an adversary; nil otherwise.
+	adv *AdvState
 	// obs, when set, records each injected fault as a trace event, so a
 	// failing episode's timeline shows the fault next to the protocol step
 	// it broke. Nil-safe: obs.Record is a no-op on a nil recorder.
@@ -80,8 +84,90 @@ func NewEngine(plan Plan) *Engine {
 	for i, cp := range plan.Crashes {
 		e.remain[i] = cp.Skip
 	}
+	if plan.Adversary != nil {
+		e.adv = NewAdvState(*plan.Adversary)
+	}
 	e.settleCond = sync.NewCond(&e.settleMu)
 	return e
+}
+
+// AdversaryState returns the Byzantine automaton, or nil when the plan names
+// no adversary. The pointer is fixed at construction.
+func (e *Engine) AdversaryState() *AdvState { return e.adv }
+
+// adversaryActive reports whether the Byzantine automaton should see
+// traffic: it deactivates with the rest of the engine, so the final
+// recovery-and-quiesce converges against an honest (if damaged) world.
+func (e *Engine) adversaryActive() bool {
+	if e.adv == nil {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.active
+}
+
+// adversarySend passes one outbound message through the adversary, returning
+// the possibly-rewritten message plus forged extras to inject.
+func (e *Engine) adversarySend(m wire.Message) (wire.Message, []wire.Message) {
+	if !e.adversaryActive() {
+		return m, nil
+	}
+	mm, extra := e.adv.RewriteSend(m)
+	if len(extra) > 0 {
+		e.mu.Lock()
+		e.ctr.Forged += uint64(len(extra))
+		e.mu.Unlock()
+	}
+	return mm, extra
+}
+
+// adversaryDeliver shows the adversary one delivery to its site and returns
+// the messages it forges in response.
+func (e *Engine) adversaryDeliver(dest wire.SiteID, m wire.Message) []wire.Message {
+	if dest == "" || !e.adversaryActive() || dest != e.adv.Site() {
+		return nil
+	}
+	forged := e.adv.ObserveDeliver(m)
+	if len(forged) > 0 {
+		e.mu.Lock()
+		e.ctr.Forged += uint64(len(forged))
+		for _, f := range forged {
+			e.obs.Record(obs.Event{Kind: obs.EvDup, Site: f.From, Peer: f.To, Txn: f.Txn, Note: "byz forged " + f.Kind.String()})
+		}
+		e.mu.Unlock()
+	}
+	return forged
+}
+
+// sendForged injects one forged message. Forged traffic is the adversary's
+// wire persona: it bypasses the plan's probabilistic faults (the adversary
+// is deterministic by design) but still respects partitions — a forged ack
+// cannot cross a severed link.
+func (e *Engine) sendForged(m wire.Message, inner transport.Network) {
+	e.mu.Lock()
+	blocked := e.severed[pairKey(m.From, m.To)]
+	if blocked {
+		e.ctr.Partitioned++
+		e.obs.Record(obs.Event{Kind: obs.EvDrop, Site: m.From, Peer: m.To, Txn: m.Txn, Note: "partition " + m.Kind.String()})
+	}
+	e.mu.Unlock()
+	if !blocked {
+		inner.Send(m)
+	}
+}
+
+// adversarySuppress reports whether the adversary swallows this force-write.
+// A fail-stopped site's appends are not suppressed — they must keep failing
+// with the crash error, liar or not.
+func (e *Engine) adversarySuppress(site wire.SiteID, recs []wal.Record) bool {
+	if e.adv == nil {
+		return false
+	}
+	e.mu.Lock()
+	ok := e.active && !e.down[site]
+	e.mu.Unlock()
+	return ok && e.adv.SuppressAppend(site, recs)
 }
 
 // goTracked runs f on its own goroutine, counted for Settle.

@@ -13,21 +13,36 @@ type Network struct {
 	inner transport.Network
 }
 
-// Register implements transport.Network. The handler is wrapped so
+// Register implements transport.Network. The handler is wrapped so the
+// Byzantine automaton sees every delivery to its site *before* a crash can
+// consume it (the adversary's wire persona outlives its process), and so
 // OnDeliver crash points can fail-stop the receiver with the triggering
 // message consumed by the crash.
 func (n *Network) Register(id wire.SiteID, h transport.Handler) {
 	n.inner.Register(id, func(m wire.Message) {
+		for _, f := range n.eng.adversaryDeliver(id, m) {
+			n.eng.sendForged(f, n.inner)
+		}
 		if n.eng.planDeliver(id, m) {
 			h(m)
 		}
 	})
 }
 
-// Send implements transport.Network, applying the plan's message faults.
+// Send implements transport.Network, passing the message through the
+// Byzantine automaton first (a liar lies before the network can fault) and
+// then applying the plan's message faults to the rewritten message.
 // Delayed and duplicated copies re-enter through the inner network, so a
 // held message really is reordered past everything sent meanwhile.
 func (n *Network) Send(m wire.Message) {
+	m, forged := n.eng.adversarySend(m)
+	n.send1(m)
+	for _, f := range forged {
+		n.eng.sendForged(f, n.inner)
+	}
+}
+
+func (n *Network) send1(m wire.Message) {
 	v := n.eng.planSend(m)
 	if v.drop {
 		return
@@ -50,7 +65,10 @@ func (n *Network) Send(m wire.Message) {
 // surviving immediate messages go down as one (smaller) batch.
 func (n *Network) SendBatch(msgs []wire.Message) {
 	keep := msgs[:0:0]
+	var forgedAll []wire.Message
 	for _, m := range msgs {
+		m, forged := n.eng.adversarySend(m)
+		forgedAll = append(forgedAll, forged...)
 		v := n.eng.planSend(m)
 		if v.drop {
 			continue
@@ -65,6 +83,9 @@ func (n *Network) SendBatch(msgs []wire.Message) {
 		keep = append(keep, m)
 	}
 	transport.SendAll(n.inner, keep)
+	for _, f := range forgedAll {
+		n.eng.sendForged(f, n.inner)
+	}
 }
 
 // Close implements transport.Network.

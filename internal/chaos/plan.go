@@ -137,6 +137,10 @@ type Plan struct {
 	// WALFail is the per-force probability of a transient sync failure at
 	// any wrapped store: the append errors, the site survives.
 	WALFail float64
+	// Adversary, when set, makes one site Byzantine: its outbound messages,
+	// inbound deliveries and force-writes pass through the behaviors in
+	// adversary.go. Nil means every site is honest.
+	Adversary *Adversary
 }
 
 // TwoPhaseKinds are the protocol messages of the two-phase variants — the

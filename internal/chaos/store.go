@@ -19,11 +19,17 @@ type Store struct {
 // Load implements wal.Store.
 func (s *Store) Load() ([]wal.Record, error) { return s.inner.Load() }
 
-// Append implements wal.Store, consulting the plan first. Note the crash
-// edges return before calling the bound crasher's work is done — the crasher
-// runs on an engine goroutine because Append is called under the Log mutex
-// that Site.Crash also needs.
+// Append implements wal.Store, consulting the Byzantine automaton and then
+// the plan. An equivocating adversary site swallows its own prepared force —
+// the append reports success with nothing written, which also hides the
+// force from force-edge crash points at that site (there was no force).
+// Note the crash edges return before the bound crasher's work is done — the
+// crasher runs on an engine goroutine because Append is called under the Log
+// mutex that Site.Crash also needs.
 func (s *Store) Append(recs []wal.Record) error {
+	if s.eng.adversarySuppress(s.site, recs) {
+		return nil
+	}
 	switch s.eng.planAppend(s.site, recs) {
 	case storeFail:
 		return ErrInjectedSyncFailure

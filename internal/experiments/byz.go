@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"prany/internal/chaos"
+	"prany/internal/core"
+	"prany/internal/mcheck"
+	"prany/internal/sim"
+	"prany/internal/wire"
+)
+
+// E20: the Byzantine tolerance matrix. E14/E15 measure how the strategies
+// survive an environment that *fails* — crashes, omissions, partitions. E20
+// measures how they survive a site that *lies*: one participant (or the
+// coordinator) runs a deterministic adversary automaton — equivocating
+// votes, lying inquiries, spurious acks, vote flips — and every violation
+// the three judges find is attributed (opcheck.Attribute) to one of three
+// classes: Contained (the liar damaged only its own view), Spread (an
+// honest site's view was damaged by a tainted transaction — the protocol's
+// forgetting discipline was defeated), or Honest (an honest site damaged on
+// an untainted transaction — a repo bug exactly as under honest faults).
+//
+// The claim under measure: PrAny keeps every honest site's atomicity intact
+// under any single lying *participant* (all damage Contained), while the
+// C2PC retention discipline is defeated by forged acks and a lying
+// *coordinator* defeats every strategy's response path — single-sourced
+// answers cannot be masked by replicating the decision, which is the
+// boundary the E19 replicated decider does not move.
+
+// ByzSite is the Byzantine participant of the seeded sweep and the
+// participant-adversary mcheck cells: the PrC participant, whose native
+// presumption disagrees with PrN's — the widest lie surface.
+const ByzSite = wire.SiteID("pc")
+
+// byzBehaviors is the full behavior alphabet, one seeded row and one mcheck
+// cell per (strategy, behavior).
+var byzBehaviors = []chaos.Behavior{
+	chaos.Equivocate, chaos.LieInquiry, chaos.SpuriousAck, chaos.VoteFlip,
+}
+
+// ByzRow aggregates one (strategy, behavior) cell of the seeded sweep.
+type ByzRow struct {
+	Strategy string `json:"strategy"`
+	Behavior string `json:"behavior"`
+	Episodes int    `json:"episodes"`
+	Commits  int    `json:"commits"`
+	Aborts   int    `json:"aborts"`
+	Errors   int    `json:"errors"`
+	// Forged counts adversary-injected wire messages that actually flew.
+	Forged uint64 `json:"forged"`
+	// Violations is the full Definition-1 count; Honest/Spread/Contained
+	// partition the per-site subset of it by blame.
+	Violations int `json:"violations"`
+	Honest     int `json:"honest"`
+	Spread     int `json:"spread"`
+	Contained  int `json:"contained"`
+}
+
+// ByzSeededMatrix runs the seeded sweep: for each strategy and each
+// adversary behavior, the same seeds run the same honest fault plans and
+// workloads with ByzSite additionally running that one behavior. Identical
+// seeds across cells make the columns comparable: the behavior is the only
+// experimental variable.
+func ByzSeededMatrix(seeds []int64, txns int, quiesce time.Duration) ([]ByzRow, error) {
+	strategies := []ChaosSpec{
+		{Strategy: core.StrategyU2PC, Native: wire.PrN, Txns: txns, Quiesce: quiesce},
+		{Strategy: core.StrategyC2PC, Native: wire.PrN, Txns: txns, Quiesce: quiesce},
+		{Strategy: core.StrategyPrAny, Txns: txns, Quiesce: quiesce},
+	}
+	var out []ByzRow
+	for _, spec := range strategies {
+		for _, b := range byzBehaviors {
+			spec := spec
+			spec.Adversary = &chaos.Adversary{Site: ByzSite, Behaviors: []chaos.Behavior{b}}
+			row := ByzRow{Behavior: b.String()}
+			for _, seed := range seeds {
+				ep, err := RunChaosEpisode(seed, spec)
+				if err != nil {
+					return out, fmt.Errorf("%s byz=%s seed %d: %w", ep.Strategy, b, seed, err)
+				}
+				row.Strategy = ep.Strategy
+				row.Episodes++
+				row.Commits += ep.Commits
+				row.Aborts += ep.Aborts
+				row.Errors += ep.Errors
+				row.Forged += ep.Faults.Forged
+				row.Violations += ep.Report.Violations()
+				row.Honest += len(ep.Attribution.Honest)
+				row.Spread += len(ep.Attribution.Spread)
+				row.Contained += len(ep.Attribution.Contained)
+			}
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// ByzMcheck is the exhaustive side of E20: bounded-exhaustive cells
+// (Txns=1, skip-0 plans) per (strategy, behavior) with the Byzantine
+// participant, plus the lying-coordinator cells and the replicated-decider
+// cells. Every cell enumerates all schedules including the adversarial
+// delivery choices, so a violating cell's first counterexample is a
+// minimal-lie, minimal-depth defeat schedule, replayable verbatim.
+func ByzMcheck() []*mcheck.Result {
+	part := func(b chaos.Behavior) *chaos.Adversary {
+		return &chaos.Adversary{Site: ByzSite, Behaviors: []chaos.Behavior{b}}
+	}
+	lyingCoord := &chaos.Adversary{Site: sim.CoordID, Behaviors: []chaos.Behavior{chaos.LieInquiry}}
+
+	var cfgs []mcheck.Config
+	for _, s := range []struct {
+		strat  core.Strategy
+		native wire.Protocol
+	}{
+		{core.StrategyU2PC, wire.PrN},
+		{core.StrategyC2PC, wire.PrN},
+		{core.StrategyPrAny, 0},
+	} {
+		for _, b := range byzBehaviors {
+			cfgs = append(cfgs, mcheck.Config{
+				Strategy: s.strat, Native: s.native, Txns: 1, MaxSkip: -1, Adversary: part(b),
+			})
+		}
+	}
+	// The lying decider: answers inquiries with the wrong outcome. Defeats
+	// every strategy — and replicating the decision (E19's 2F+1 acceptors)
+	// does not help, because inquiry answers remain single-sourced at the
+	// coordinator. The matrix publishes this boundary rather than hiding it.
+	cfgs = append(cfgs,
+		mcheck.Config{Strategy: core.StrategyC2PC, Native: wire.PrN, Txns: 1, MaxSkip: -1, Adversary: lyingCoord},
+		mcheck.Config{Strategy: core.StrategyPrAny, Txns: 1, MaxSkip: -1, Adversary: lyingCoord},
+		mcheck.Config{Strategy: core.StrategyPrAny, Txns: 1, MaxSkip: -1, Acceptors: 3, Adversary: lyingCoord},
+		// The replicated decider under a Byzantine participant: the 2F+1
+		// acceptor set must keep masking equivocation below F exactly as it
+		// masks crashes. (A forged-ack acceptor cell would triple the
+		// exploration for a claim the non-replicated sa cell already settles
+		// — acks never route through the acceptors — so it is not budgeted.)
+		mcheck.Config{Strategy: core.StrategyPrAny, Txns: 1, MaxSkip: -1, Acceptors: 3, Adversary: part(chaos.Equivocate)},
+	)
+
+	out := make([]*mcheck.Result, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		out = append(out, mcheck.Exhaust(cfg))
+	}
+	return out
+}
+
+// ByzVerdict checks the E20 claims over both halves of the matrix. A nil
+// return is the experiment passing:
+//
+//   - every exhaustive cell finished (no episode errors, no truncation);
+//   - PrAny under any lying participant keeps honest sites whole: zero
+//     Honest and zero Spread in its seeded rows, zero HonestViolating and
+//     SpreadViolating schedules in its participant-adversary cells,
+//     replicated or not. (An honest-victim untainted-transaction breach is
+//     a repo bug — Definition 1 holds for honest sites regardless of the
+//     adversary. The straw men are exempt only because honest-site damage
+//     is their documented baseline defect: Theorems 1 and 2 fire under
+//     plain crash faults, adversary or not.);
+//   - the defeats are demonstrated, not presumed: at least one
+//     participant-adversary straw-man cell violates with a stored
+//     replayable counterexample, and every lying-coordinator cell shows
+//     Spread (the boundary the matrix exists to publish).
+func ByzVerdict(rows []ByzRow, cells []*mcheck.Result) error {
+	for _, r := range rows {
+		// r.Errors counts per-transaction workload errors — expected under
+		// injected faults (the honest E14 rows have them too), reported in
+		// the table, never a verdict failure. Infrastructure failures abort
+		// ByzSeededMatrix itself.
+		if r.Strategy == "PrAny" && r.Honest > 0 {
+			return fmt.Errorf("PrAny byz=%s: %d honest-site untainted violations — repo bug, not the adversary",
+				r.Behavior, r.Honest)
+		}
+		if r.Strategy == "PrAny" && r.Spread > 0 {
+			return fmt.Errorf("PrAny byz=%s: %d violations spread to honest sites", r.Behavior, r.Spread)
+		}
+	}
+
+	strawDefeat, coordCells := false, 0
+	for _, c := range cells {
+		if len(c.Errors) > 0 {
+			return fmt.Errorf("%s: %d episode errors (first: %s)", c.Label, len(c.Errors), c.Errors[0])
+		}
+		if c.Truncated {
+			return fmt.Errorf("%s: exploration truncated — not exhaustive", c.Label)
+		}
+		if c.HonestViolating > 0 {
+			return fmt.Errorf("%s: %d schedules with honest-site untainted violations — repo bug",
+				c.Label, c.HonestViolating)
+		}
+		coordByz := strings.Contains(c.Label, "+byz="+string(sim.CoordID)+":")
+		prany := strings.HasPrefix(c.Label, "PrAny")
+		switch {
+		case coordByz:
+			coordCells++
+			if c.SpreadViolating == 0 {
+				return fmt.Errorf("%s: lying coordinator did not spread — expected defeat missing", c.Label)
+			}
+		case prany:
+			if c.SpreadViolating > 0 {
+				return fmt.Errorf("%s: %d schedules spread to honest sites", c.Label, c.SpreadViolating)
+			}
+		default:
+			if c.Violating > 0 && len(c.Counterexamples) > 0 {
+				strawDefeat = true
+			}
+		}
+	}
+	if !strawDefeat {
+		return fmt.Errorf("no straw-man cell produced a replayable Byzantine counterexample")
+	}
+	if coordCells == 0 {
+		return fmt.Errorf("no lying-coordinator cell in the matrix")
+	}
+	return nil
+}

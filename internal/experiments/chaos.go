@@ -27,6 +27,9 @@ type ChaosSpec struct {
 	// Plan overrides the seed-derived fault plan (nil derives one from the
 	// episode seed with the default bounds below).
 	Plan *chaos.Plan
+	// Adversary makes one site Byzantine for the episode (merged into the
+	// plan after derivation, so the same seed keeps the same honest faults).
+	Adversary *chaos.Adversary
 	// CheckpointEvery enables automatic log checkpointing on every site.
 	// Zero keeps it off — the committed E14 numbers run without it.
 	CheckpointEvery int
@@ -65,6 +68,9 @@ type ChaosEpisode struct {
 	Faults chaos.Counters
 	// Report is the operational-correctness verdict.
 	Report *opcheck.Report
+	// Attribution partitions the report's per-site violations by blame when
+	// the episode ran with a Byzantine site (nil for honest episodes).
+	Attribution *opcheck.Attribution
 }
 
 // AtomicityViolations counts the clause-1 breaches (Theorem 1's failure
@@ -98,6 +104,9 @@ func RunChaosEpisode(seed int64, spec ChaosSpec) (ChaosEpisode, error) {
 	plan := chaos.RandomPlan(seed, chaosPlanSpec(spec.Txns))
 	if spec.Plan != nil {
 		plan = *spec.Plan
+	}
+	if spec.Adversary != nil {
+		plan.Adversary = spec.Adversary
 	}
 	eng := chaos.NewEngine(plan)
 	cluster, err := sim.New(sim.Spec{
@@ -204,6 +213,10 @@ func RunChaosEpisode(seed int64, spec ChaosSpec) (ChaosEpisode, error) {
 	}
 	ep.Faults = eng.Counters()
 	ep.Report = opcheck.Run(cluster, spec.Quiesce)
+	if adv := eng.AdversaryState(); adv != nil {
+		att := opcheck.Attribute(ep.Report, adv.Site(), adv.TaintedSet())
+		ep.Attribution = &att
+	}
 	return ep, nil
 }
 

@@ -142,9 +142,15 @@ func (r *Recorder) Len() int {
 	return len(r.events)
 }
 
-// Violation describes one correctness breach found by a checker.
+// Violation describes one correctness breach found by a checker. Site is the
+// victim: the site whose view of the transaction the breach damages — the
+// enforcing participant for a wrong enforcement, the inquirer for a wrong
+// response, the unforgetting participant for a clause-3 breach. Attribution
+// under a Byzantine plan partitions violations by this field, so it is
+// structural, not parsed out of Detail.
 type Violation struct {
 	Txn    wire.TxnID
+	Site   wire.SiteID
 	Rule   string // which criterion was violated
 	Detail string
 }
@@ -236,6 +242,7 @@ func CheckAtomicity(events []Event) []Violation {
 			if e.Outcome != want {
 				out = append(out, Violation{
 					Txn:  txn,
+					Site: e.Site,
 					Rule: "atomicity",
 					Detail: fmt.Sprintf("site %s enforced %s but outcome is %s (event %s)",
 						e.Site, e.Outcome, want, e),
@@ -246,6 +253,7 @@ func CheckAtomicity(events []Event) []Violation {
 			if e.Outcome != want && !v.staleRespond(e, want) {
 				out = append(out, Violation{
 					Txn:  txn,
+					Site: e.Peer,
 					Rule: "atomicity",
 					Detail: fmt.Sprintf("coordinator %s answered inquiry from %s with %s but outcome is %s",
 						e.Site, e.Peer, e.Outcome, want),
@@ -273,6 +281,7 @@ func CheckSafeState(events []Event) []Violation {
 			if e.Seq > v.deletePT.Seq && e.Outcome != want && !v.staleRespond(e, want) {
 				out = append(out, Violation{
 					Txn:  txn,
+					Site: e.Peer,
 					Rule: "safe-state",
 					Detail: fmt.Sprintf("after DeletePT(#%d), response to %s was %s but outcome is %s",
 						v.deletePT.Seq, e.Peer, e.Outcome, want),
@@ -310,6 +319,7 @@ func UnforgottenParticipants(events []Event) []Violation {
 			if !v.forgets[e.Site] {
 				out = append(out, Violation{
 					Txn:    txn,
+					Site:   e.Site,
 					Rule:   "participant-forgetting",
 					Detail: fmt.Sprintf("participant %s enforced %s but never forgot", e.Site, e.Outcome),
 				})

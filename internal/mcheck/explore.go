@@ -126,6 +126,17 @@ type Result struct {
 	// must eliminate. Always zero for recoverable-coordinator sweeps, so
 	// existing result JSON is unchanged.
 	Blocked int `json:"blocked,omitempty"`
+	// HonestViolating/SpreadViolating/ContainedViolating partition violating
+	// schedules by blame under a Byzantine config (opcheck.Attribute over the
+	// per-site violations): schedules with an honest-victim untainted-txn
+	// violation (a repo bug even under an adversary), with an honest-victim
+	// tainted-txn violation (the protocol's forgetting discipline defeated),
+	// and with violations only at the Byzantine site itself. A schedule can
+	// count in more than one class. All zero — and absent from the JSON —
+	// for honest configs.
+	HonestViolating    int `json:"honest_violating,omitempty"`
+	SpreadViolating    int `json:"spread_violating,omitempty"`
+	ContainedViolating int `json:"contained_violating,omitempty"`
 	// Counterexamples holds the first violating schedules (capped at
 	// maxStoredCex; Violating counts them all). For a straw-man strategy
 	// the first one is a machine-found re-derivation of the paper's
@@ -187,6 +198,7 @@ func explorePlan(cfg Config, points []chaos.CrashPoint, res *Result) {
 			Strategy: cfg.Strategy, Native: cfg.Native, Parts: cfg.Parts,
 			Txns: cfg.Txns, Crashes: points, Actions: prefix,
 			Acceptors: cfg.Acceptors, CoordDown: cfg.CoordDown,
+			Adversary: cfg.Adversary,
 		})
 	}
 	fail := func(prefix []action, err error) {
@@ -211,6 +223,18 @@ func explorePlan(cfg Config, points []chaos.CrashPoint, res *Result) {
 		}
 		if !rep.OK() {
 			res.Violating++
+			if cfg.Adversary != nil {
+				att := opcheck.Attribute(rep, cfg.Adversary.Site, ep.adv.TaintedSet())
+				if len(att.Honest) > 0 {
+					res.HonestViolating++
+				}
+				if len(att.Spread) > 0 {
+					res.SpreadViolating++
+				}
+				if len(att.Contained) > 0 {
+					res.ContainedViolating++
+				}
+			}
 		}
 		if len(res.Counterexamples) < maxStoredCex {
 			kind, summary := cexKind(rep), rep.Summary()

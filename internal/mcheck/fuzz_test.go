@@ -1,0 +1,52 @@
+package mcheck
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzScheduleRoundTrip fuzzes the schedule-string codec with the
+// canonical-fixed-point property: any string that parses must re-encode to
+// a canonical form that (a) parses back, (b) re-encodes to itself
+// byte-for-byte, and (c) parses to a structurally identical Schedule. The
+// first encode may normalize (a PrAny native protocol is dropped, a
+// non-participant native collapses to PrN, adversary behavior codes sort
+// and dedup), so the fixed point is asserted on the canonical form, not on
+// the raw input. Counterexample strings printed by prany-check are already
+// canonical, so this is exactly the property -replay depends on.
+func FuzzScheduleRoundTrip(f *testing.F) {
+	for _, s := range []string{
+		"u2pc/PrN|pa=PrA,pc=PrC|t2|crash=-|",
+		"c2pc/PrA|pa=PrA,pc=PrC|t1|crash=coord:af:commit.c:0|vt,rec:coord",
+		"prany|pa=PrA,pc=PrC|t2|crash=pc:od:DECISION:0+pc:os:INQUIRY:0|d:coord>pc,rec:pc",
+		"prany+a3|pa=PrA,pc=PrC|t1|crash=a1:bf:paxos-accept.a:0|d:coord>a1,d:a1>coord",
+		"prany+a3+down|pa=PrA,pc=PrC|t1|crash=coord:os:DECISION:0|vt",
+		"prany+byz=pc:sa|pa=PrA,pc=PrC|t1|crash=pc:od:DECISION:0|byz:coord>pc,d:pc>coord",
+		"u2pc/PrN+byz=pc:eq.li|pa=PrA,pc=PrC|t1|crash=-|d:pa>coord,byz:coord>pc",
+		"prany+a3+byz=coord:li|pa=PrA,pc=PrC|t1|crash=-|byz:pa>coord,vt",
+		"c2pc/PrN+down|pa=PrA|t3|crash=pa:bf:prepared.p:1|d:coord>pa,vt,rec:pa",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sched, err := ParseSchedule(s)
+		if err != nil {
+			t.Skip("unparseable input: rejection is the correct behavior")
+		}
+		enc := EncodeSchedule(sched)
+		sched2, err := ParseSchedule(enc)
+		if err != nil {
+			t.Fatalf("canonical encoding does not reparse: %q -> %q: %v", s, enc, err)
+		}
+		if enc2 := EncodeSchedule(sched2); enc2 != enc {
+			t.Fatalf("encoding is not a fixed point: %q -> %q -> %q", s, enc, enc2)
+		}
+		sched3, err := ParseSchedule(enc)
+		if err != nil {
+			t.Fatalf("reparse of fixed point failed: %q: %v", enc, err)
+		}
+		if !reflect.DeepEqual(sched2, sched3) {
+			t.Fatalf("canonical form parses unstably:\n%q\n%#v\n%#v", enc, sched2, sched3)
+		}
+	})
+}

@@ -98,6 +98,14 @@ type Config struct {
 	// leaves prepared participants blocked in doubt forever, while the
 	// replicated decider must terminate every one of them.
 	CoordDown bool
+	// Adversary, when set, makes one site Byzantine (chaos.Adversary). Its
+	// send-side behaviors (vote flips, inquiry lies, suppressed forces) run
+	// always-on as a deterministic automaton; its delivery-side behaviors
+	// (forged acks, lying inquiry answers) are schedule choices — each
+	// `byz:SRC>DST` action is one discrete lie, so BFS counterexamples are
+	// minimal in lies as well as in depth. Nil leaves every schedule, hash
+	// and verdict of the honest sweeps bit-identical.
+	Adversary *chaos.Adversary
 	// Obs, when set, receives the engines' trace events during exploration
 	// or replay — ReplayTraced uses it to render a counterexample's per-txn
 	// timeline. Event recording never feeds back into the engines, so state
@@ -141,6 +149,9 @@ func (c Config) Label() string {
 	}
 	if c.CoordDown {
 		label += "+coorddown"
+	}
+	if c.Adversary != nil {
+		label += "+byz=" + c.Adversary.Encode()
 	}
 	return label
 }
@@ -273,12 +284,17 @@ type episode struct {
 	hist       *history.Recorder
 	pcp        *core.PCP
 	sites      map[wire.SiteID]*vsite
-	order      []wire.SiteID   // coordinator first, then declaration order
-	acceptors  []wire.SiteID   // a1..aN when the decision is replicated
+	order      []wire.SiteID // coordinator first, then declaration order
+	acceptors  []wire.SiteID // a1..aN when the decision is replicated
 	queues     map[qkey][]wire.Message
 	drv        driver
 	ampleSteps int
 	err        error
+	// adv is the Byzantine automaton (nil for honest configs); advArmed is
+	// true only while an adversarial `byz:` delivery choice is applied — the
+	// window in which ObserveDeliver may forge.
+	adv      *chaos.AdvState
+	advArmed bool
 }
 
 func newEpisode(cfg Config, points []chaos.CrashPoint) *episode {
@@ -291,6 +307,9 @@ func newEpisode(cfg Config, points []chaos.CrashPoint) *episode {
 		acceptors: acceptorIDs(cfg.Acceptors),
 		queues:    make(map[qkey][]wire.Message),
 		drv:       driver{next: 1},
+	}
+	if cfg.Adversary != nil {
+		ep.adv = chaos.NewAdvState(*cfg.Adversary)
 	}
 	for _, p := range cfg.Parts {
 		ep.pcp.Set(p.ID, p.Proto)
@@ -414,6 +433,12 @@ func (s *detStore) Append(recs []wal.Record) error {
 	if vs.down {
 		return chaos.ErrInjectedCrash // a dead site writes nothing
 	}
+	if s.ep.adv != nil && s.ep.adv.SuppressAppend(s.site, recs) {
+		// The equivocating site swallows its own force: success reported,
+		// nothing written — and no force-edge crash point can match a force
+		// that never reached the disk (same ordering as the chaos Store).
+		return nil
+	}
 	if _, ok := s.ep.plan.match(func(cp chaos.CrashPoint) bool {
 		return cp.Edge == chaos.BeforeForce && cp.Site == s.site && cp.MatchesRecords(recs)
 	}); ok {
@@ -470,7 +495,10 @@ func (ep *episode) sweepCrashes() {
 
 // send is every engine's (and the driver's) outbound path: on-send crash
 // points fire here, traffic to or from a down site is lost, everything
-// else joins the directed FIFO queue.
+// else joins the directed FIFO queue. The Byzantine site's surviving
+// outbound messages pass through its automaton last — the process lies, the
+// network stays honest — and any forged extras (replayed acks) join the
+// queues directly, never re-entering the automaton.
 func (ep *episode) send(m wire.Message) {
 	if site, ok := ep.plan.match(func(cp chaos.CrashPoint) bool { return cp.MatchesSend(m) }); ok {
 		ep.trip(ep.sites[site]) // the message dies with its sender
@@ -479,6 +507,19 @@ func (ep *episode) send(m wire.Message) {
 	if from := ep.sites[m.From]; from == nil || from.down {
 		return
 	}
+	var extra []wire.Message
+	if ep.adv != nil && m.From == ep.adv.Site() {
+		m, extra = ep.adv.RewriteSend(m)
+	}
+	ep.push(m)
+	for _, f := range extra {
+		ep.push(f)
+	}
+}
+
+// push appends one message to its directed queue (dropped if the
+// destination is down or unknown).
+func (ep *episode) push(m wire.Message) {
 	to := ep.sites[m.To]
 	if to == nil || to.down {
 		return
@@ -502,7 +543,10 @@ func (ep *episode) sortedQueueKeys() []qkey {
 }
 
 // deliver pops the head of queue k and hands it to the destination —
-// unless an on-deliver crash point consumes it.
+// unless an on-deliver crash point consumes it. An armed adversarial
+// delivery lets the Byzantine automaton observe the message first (and
+// forge in response) *before* any crash can consume it: the adversary's
+// wire persona outlives its process.
 func (ep *episode) deliver(k qkey) {
 	q := ep.queues[k]
 	m := q[0]
@@ -510,6 +554,11 @@ func (ep *episode) deliver(k qkey) {
 		delete(ep.queues, k)
 	} else {
 		ep.queues[k] = q[1:]
+	}
+	if ep.advArmed && ep.adv != nil && k.to == ep.adv.Site() {
+		for _, f := range ep.adv.ObserveDeliver(m) {
+			ep.push(f)
+		}
 	}
 	if site, ok := ep.plan.match(func(cp chaos.CrashPoint) bool { return cp.MatchesDeliver(k.to, m) }); ok {
 		ep.trip(ep.sites[site]) // consumed by the crash
@@ -832,6 +881,11 @@ func (ep *episode) choiceActions() []action {
 	var out []action
 	for _, k := range ep.sortedQueueKeys() {
 		out = append(out, deliverAction(k.from, k.to))
+		// An adversarial delivery is a separate choice only where it differs
+		// from the honest one — delivering this head may trigger a forgery.
+		if ep.adv != nil && k.to == ep.adv.Site() && ep.adv.DeliveryChoice(ep.queues[k][0].Kind) {
+			out = append(out, byzDeliverAction(k.from, k.to))
+		}
 	}
 	coord := ep.sites[CoordID]
 	if ep.drv.phase == dVoting && !coord.down {
@@ -870,6 +924,23 @@ func (ep *episode) apply(a action) error {
 			return ep.err
 		}
 		ep.deliver(k)
+	case actByzDeliver:
+		k := qkey{arg1, arg2}
+		if ep.adv == nil || arg2 != ep.adv.Site() {
+			ep.err = fmt.Errorf("mcheck: schedule diverged: byz:%s>%s without a matching adversary", arg1, arg2)
+			return ep.err
+		}
+		if len(ep.queues[k]) == 0 {
+			ep.err = fmt.Errorf("mcheck: schedule diverged: no message queued %s>%s", arg1, arg2)
+			return ep.err
+		}
+		if !ep.adv.DeliveryChoice(ep.queues[k][0].Kind) {
+			ep.err = fmt.Errorf("mcheck: schedule diverged: byz delivery of %s is not an adversary choice", ep.queues[k][0].Kind)
+			return ep.err
+		}
+		ep.advArmed = true
+		ep.deliver(k)
+		ep.advArmed = false
 	case actVoteTimeout:
 		coord := ep.sites[CoordID]
 		if ep.drv.phase != dVoting || coord.down {
@@ -1144,6 +1215,11 @@ func (ep *episode) stateHash() [32]byte {
 	sort.Strings(await)
 	fmt.Fprintf(&b, "\ndrv phase=%d next=%d txn=%s await=%v execErr=%v results=%v",
 		d.phase, d.next, d.txn, await, d.execErr, d.results)
+	if ep.adv != nil {
+		// Two prefixes leaving different adversary memory lie differently in
+		// the future: never merge them. Honest configs hash exactly as before.
+		b.WriteString("\nbyz " + ep.adv.Digest())
+	}
 	b.WriteString(canonicalHistory(ep.hist.Events()))
 	return sha256.Sum256([]byte(b.String()))
 }

@@ -18,6 +18,8 @@ import (
 //	d:SRC>DST   deliver the head of the SRC→DST queue
 //	vt          fire the coordinator's vote timeout
 //	rec:SITE    recover the crashed SITE
+//	byz:SRC>DST deliver the head adversarially: the Byzantine DST may
+//	            forge in response (one discrete lie per action)
 type action string
 
 const voteTimeoutAction action = "vt"
@@ -30,13 +32,18 @@ func recoverAction(id wire.SiteID) action {
 	return action("rec:" + string(id))
 }
 
-// actKind discriminates the three action forms.
+func byzDeliverAction(from, to wire.SiteID) action {
+	return action("byz:" + string(from) + ">" + string(to))
+}
+
+// actKind discriminates the four action forms.
 type actKind uint8
 
 const (
 	actDeliver actKind = iota
 	actVoteTimeout
 	actRecover
+	actByzDeliver
 )
 
 // parts decodes the action. arg1/arg2 are (from, to) for deliveries and
@@ -53,6 +60,13 @@ func (a action) parts() (kind actKind, arg1, arg2 wire.SiteID, err error) {
 			return 0, "", "", fmt.Errorf("mcheck: malformed deliver action %q", s)
 		}
 		return actDeliver, wire.SiteID(route[:i]), wire.SiteID(route[i+1:]), nil
+	case strings.HasPrefix(s, "byz:"):
+		route := s[len("byz:"):]
+		i := strings.IndexByte(route, '>')
+		if i <= 0 || i == len(route)-1 {
+			return 0, "", "", fmt.Errorf("mcheck: malformed byz deliver action %q", s)
+		}
+		return actByzDeliver, wire.SiteID(route[:i]), wire.SiteID(route[i+1:]), nil
 	case strings.HasPrefix(s, "rec:"):
 		site := s[len("rec:"):]
 		if site == "" {
@@ -68,14 +82,16 @@ func (a action) parts() (kind actKind, arg1, arg2 wire.SiteID, err error) {
 // the choice sequence. Its string form is what prany-check prints for a
 // counterexample and what -replay accepts:
 //
-//	strategy[/native][+aN][+down]|id=Proto,...|tN|crash=enc+enc…|a1,a2,…
+//	strategy[/native][+aN][+down][+byz=SITE:codes]|id=Proto,...|tN|crash=enc+enc…|a1,a2,…
 //
 // e.g. u2pc/PrN|pa=PrA,pc=PrC|t2|crash=pc:od:DECISION:0|vt,rec:pc
 // The +aN flag replicates the decision over N acceptor sites; +down makes
-// coordinator crashes permanent (the E19 failure model). Plain schedules
-// carry no '+' in the first field, so pre-E19 strings parse unchanged.
-// An empty crash section is written "crash=-"; an empty action list means
-// "settle and converge with no interference".
+// coordinator crashes permanent (the E19 failure model); +byz= makes one
+// site Byzantine with the given behavior codes (chaos.ParseAdversary, e.g.
+// +byz=pc:li.sa). Plain schedules carry no '+' in the first field, so
+// pre-E19 strings parse unchanged. An empty crash section is written
+// "crash=-"; an empty action list means "settle and converge with no
+// interference".
 type Schedule struct {
 	Strategy  core.Strategy
 	Native    wire.Protocol
@@ -85,6 +101,7 @@ type Schedule struct {
 	Actions   []action
 	Acceptors int
 	CoordDown bool
+	Adversary *chaos.Adversary
 }
 
 // EncodeSchedule renders the schedule string.
@@ -103,6 +120,9 @@ func EncodeSchedule(s Schedule) string {
 	}
 	if s.CoordDown {
 		b.WriteString("+down")
+	}
+	if s.Adversary != nil {
+		b.WriteString("+byz=" + s.Adversary.Encode())
 	}
 	b.WriteByte('|')
 	for i, p := range s.Parts {
@@ -144,6 +164,12 @@ func ParseSchedule(s string) (Schedule, error) {
 			switch {
 			case flag == "down":
 				out.CoordDown = true
+			case strings.HasPrefix(flag, "byz="):
+				adv, err := chaos.ParseAdversary(flag[len("byz="):])
+				if err != nil {
+					return out, fmt.Errorf("mcheck: malformed adversary flag %q: %w", flag, err)
+				}
+				out.Adversary = adv
 			case len(flag) > 1 && flag[0] == 'a':
 				n, err := strconv.Atoi(flag[1:])
 				if err != nil || n <= 0 {
@@ -254,6 +280,7 @@ func ReplayTraced(s Schedule, rec *obs.Recorder) (*opcheck.Report, error) {
 		Txns:      s.Txns,
 		Acceptors: s.Acceptors,
 		CoordDown: s.CoordDown,
+		Adversary: s.Adversary,
 		Obs:       rec,
 	}.withDefaults()
 	ep := newEpisode(cfg, s.Crashes)

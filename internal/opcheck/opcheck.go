@@ -103,6 +103,50 @@ func (r *Report) Summary() string {
 	return strings.TrimRight(b.String(), "\n")
 }
 
+// Attribution partitions a report's per-site violations by blame under a
+// Byzantine plan. The judge itself stays Definition 1 — it knows nothing of
+// adversaries — and attribution is a pure post-pass over its verdicts:
+//
+//   - Contained: the victim is the Byzantine site itself. Its own view was
+//     damaged by its own lies; Definition 1 makes no promise to a liar.
+//   - Spread: the victim is honest and the transaction is tainted (the
+//     adversary demonstrably touched it). The lie crossed the blast radius —
+//     the protocol was defeated, which is a finding about the protocol.
+//   - Honest: the victim is honest and the transaction untainted. The
+//     adversary cannot have caused this, so it is a repo bug exactly as it
+//     would be under an all-honest plan.
+//
+// Attribution covers the violations that name a victim site: atomicity,
+// safe-state and participant-forgetting. Coordinator retention has no victim
+// (the coordinator retains for everyone) and stays un-attributed.
+type Attribution struct {
+	Honest    []history.Violation
+	Spread    []history.Violation
+	Contained []history.Violation
+}
+
+// Attribute classifies r's per-site violations against one Byzantine site
+// and the set of transactions its automaton actually touched.
+func Attribute(r *Report, byz wire.SiteID, tainted map[wire.TxnID]bool) Attribution {
+	var a Attribution
+	classify := func(vs []history.Violation) {
+		for _, v := range vs {
+			switch {
+			case v.Site == byz:
+				a.Contained = append(a.Contained, v)
+			case tainted[v.Txn]:
+				a.Spread = append(a.Spread, v)
+			default:
+				a.Honest = append(a.Honest, v)
+			}
+		}
+	}
+	classify(r.Atomicity)
+	classify(r.SafeState)
+	classify(r.Unforgotten)
+	return a
+}
+
 // JudgeEvents evaluates the history clauses of Definition 1 — atomicity,
 // the Definition-2 safe state, coordinator retention and participant
 // forgetting — against an already-recorded history. It judges only what

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"prany/internal/core"
+	"prany/internal/history"
 	"prany/internal/sim"
 	"prany/internal/wire"
 	"prany/internal/workload"
@@ -61,5 +62,48 @@ func TestC2PCRetentionIsDetected(t *testing.T) {
 	}
 	if r.Quiesced {
 		t.Fatal("cluster reported quiesced with immortal protocol-table entries")
+	}
+}
+
+// TestAttributeBlamePartition: attribution is a pure post-pass over the
+// judge's per-site verdicts — the Byzantine victim's violations are
+// Contained, honest victims on tainted transactions are Spread, honest
+// victims on untainted transactions stay Honest (a repo bug), and
+// coordinator retention (no victim site) is never attributed.
+func TestAttributeBlamePartition(t *testing.T) {
+	t1 := wire.TxnID{Coord: "coord", Seq: 1}
+	t2 := wire.TxnID{Coord: "coord", Seq: 2}
+	t3 := wire.TxnID{Coord: "coord", Seq: 3}
+	r := &Report{
+		Atomicity: []history.Violation{
+			{Txn: t1, Site: "pc", Rule: "atomicity"}, // the liar's own view
+			{Txn: t2, Site: "pa", Rule: "atomicity"}, // honest victim, tainted txn
+		},
+		SafeState: []history.Violation{
+			{Txn: t3, Site: "pn", Rule: "safe-state"}, // honest victim, untainted
+		},
+		Unforgotten: []history.Violation{
+			{Txn: t2, Site: "pc", Rule: "part-forget"}, // liar again
+		},
+		Retained: []wire.TxnID{t2}, // no victim site: un-attributed
+	}
+	a := Attribute(r, "pc", map[wire.TxnID]bool{t2: true})
+	if len(a.Contained) != 2 || a.Contained[0].Txn != t1 || a.Contained[1].Txn != t2 {
+		t.Fatalf("Contained = %v, want the two pc-victim violations", a.Contained)
+	}
+	if len(a.Spread) != 1 || a.Spread[0].Txn != t2 || a.Spread[0].Site != "pa" {
+		t.Fatalf("Spread = %v, want pa's tainted-txn violation", a.Spread)
+	}
+	if len(a.Honest) != 1 || a.Honest[0].Txn != t3 || a.Honest[0].Site != "pn" {
+		t.Fatalf("Honest = %v, want pn's untainted violation", a.Honest)
+	}
+}
+
+// TestAttributeAllHonest: with no violations, every class is empty — the
+// zero Attribution is what honest episodes produce.
+func TestAttributeAllHonest(t *testing.T) {
+	a := Attribute(&Report{}, "pc", nil)
+	if len(a.Honest)+len(a.Spread)+len(a.Contained) != 0 {
+		t.Fatalf("empty report attributed: %+v", a)
 	}
 }

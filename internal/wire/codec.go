@@ -131,6 +131,18 @@ func (d *decodeBuf) bool(what string) bool {
 	return v == 1
 }
 
+// enum rejects out-of-range enumeration bytes. Every enum in the format is a
+// dense range starting at zero, so anything above max is not a message from a
+// conforming peer — the decoder must refuse it rather than alias it onto a
+// defined value (the same malleability class as the non-canonical bool).
+func (d *decodeBuf) enum(what string, max uint8) uint8 {
+	v := d.u8(what)
+	if d.err == nil && v > max {
+		d.err = fmt.Errorf("wire: out-of-range %s %d reading message at offset %d", what, v, d.off-1)
+	}
+	return v
+}
+
 func (d *decodeBuf) str(what string) string {
 	n := int(d.u32(what))
 	if d.err != nil || n < 0 || d.off+n > len(d.b) {
@@ -219,10 +231,10 @@ func DecodeMessage(body []byte) (Message, error) {
 func decodeMessage(d *decodeBuf) (Message, error) {
 	body := d.b
 	var m Message
-	m.Kind = MsgKind(d.u8("kind"))
-	m.Proto = Protocol(d.u8("proto"))
-	m.Vote = Vote(d.u8("vote"))
-	m.Outcome = Outcome(d.u8("outcome"))
+	m.Kind = MsgKind(d.enum("kind", uint8(MsgSyncState)))
+	m.Proto = Protocol(d.enum("proto", uint8(CL)))
+	m.Vote = Vote(d.enum("vote", uint8(VoteReadOnly)))
+	m.Outcome = Outcome(d.enum("outcome", uint8(Commit)))
 	m.Txn.Coord = SiteID(d.site("txn coord"))
 	m.Txn.Seq = d.u64("txn seq")
 	m.From = SiteID(d.site("from"))
@@ -236,7 +248,7 @@ func decodeMessage(d *decodeBuf) (Message, error) {
 		m.Ops = make([]Op, 0, nops)
 		for i := uint32(0); i < nops && d.err == nil; i++ {
 			var op Op
-			op.Kind = OpKind(d.u8("op kind"))
+			op.Kind = OpKind(d.enum("op kind", uint8(OpDelete)))
 			op.Key = d.str("op key")
 			op.Value = d.str("op value")
 			m.Ops = append(m.Ops, op)
@@ -283,7 +295,7 @@ func decodeMessage(d *decodeBuf) (Message, error) {
 		for i := uint32(0); i < ninsts && d.err == nil; i++ {
 			var iv InstanceVote
 			iv.Part = SiteID(d.site("instance part"))
-			iv.Vote = Vote(d.u8("instance vote"))
+			iv.Vote = Vote(d.enum("instance vote", uint8(VoteReadOnly)))
 			iv.Bal = d.u32("instance ballot")
 			iv.Free = d.bool("instance free")
 			m.Insts = append(m.Insts, iv)
@@ -298,7 +310,7 @@ func decodeMessage(d *decodeBuf) (Message, error) {
 		for i := uint32(0); i < nroster && d.err == nil; i++ {
 			var r RosterEntry
 			r.ID = SiteID(d.site("roster id"))
-			r.Proto = Protocol(d.u8("roster proto"))
+			r.Proto = Protocol(d.enum("roster proto", uint8(CL)))
 			m.Roster = append(m.Roster, r)
 		}
 	}

@@ -1,0 +1,97 @@
+package wire
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestEnumRoundTrip drives every defined value of every wire enum through
+// the codec: each must decode back to itself, and each must report Valid.
+func TestEnumRoundTrip(t *testing.T) {
+	for k := MsgExec; k <= MsgSyncState; k++ {
+		if !k.Valid() {
+			t.Fatalf("defined kind %v not Valid", k)
+		}
+		for p := PrN; p <= CL; p++ {
+			if !p.Valid() {
+				t.Fatalf("defined protocol %v not Valid", p)
+			}
+			m := Message{Kind: k, Proto: p, Vote: VoteYes, Outcome: Commit,
+				Txn: TxnID{Coord: "coord", Seq: uint64(k)}, From: "a", To: "b"}
+			got, err := DecodeMessage(AppendMessage(nil, &m))
+			if err != nil {
+				t.Fatalf("kind %v proto %v: %v", k, p, err)
+			}
+			if !reflect.DeepEqual(m, got) {
+				t.Fatalf("kind %v proto %v changed: %+v -> %+v", k, p, m, got)
+			}
+		}
+	}
+	for v := VoteNo; v <= VoteReadOnly; v++ {
+		if !v.Valid() {
+			t.Fatalf("defined vote %v not Valid", v)
+		}
+	}
+	for o := Abort; o <= Commit; o++ {
+		if !o.Valid() {
+			t.Fatalf("defined outcome %v not Valid", o)
+		}
+	}
+	for k := OpGet; k <= OpDelete; k++ {
+		if !k.Valid() {
+			t.Fatalf("defined op kind %v not Valid", k)
+		}
+	}
+}
+
+// TestDecodeRejectsOutOfRangeEnums pins the malleability fix: an enum byte
+// past the defined range must fail decoding at every site that carries one
+// — aliasing it onto a defined value would let a corrupt or hostile peer
+// smuggle one message spelled as another (the PR 3 bool-decode class).
+func TestDecodeRejectsOutOfRangeEnums(t *testing.T) {
+	base := func() Message {
+		return Message{Kind: MsgVote, Proto: PrC, Vote: VoteYes, Outcome: Commit,
+			Txn: TxnID{Coord: "coord", Seq: 9}, From: "pc", To: "coord"}
+	}
+	cases := []struct {
+		name string
+		mut  func(*Message)
+		want string
+	}{
+		{"kind one past last", func(m *Message) { m.Kind = MsgSyncState + 1 }, "kind"},
+		{"kind max", func(m *Message) { m.Kind = MsgKind(255) }, "kind"},
+		{"proto one past last", func(m *Message) { m.Proto = CL + 1 }, "proto"},
+		{"proto max", func(m *Message) { m.Proto = Protocol(255) }, "proto"},
+		{"vote one past last", func(m *Message) { m.Vote = VoteReadOnly + 1 }, "vote"},
+		{"vote max", func(m *Message) { m.Vote = Vote(255) }, "vote"},
+		{"outcome one past last", func(m *Message) { m.Outcome = Commit + 1 }, "outcome"},
+		{"outcome max", func(m *Message) { m.Outcome = Outcome(255) }, "outcome"},
+		{"op kind", func(m *Message) {
+			m.Ops = []Op{{Kind: OpDelete + 1, Key: "k"}}
+		}, "op kind"},
+		{"instance vote", func(m *Message) {
+			m.Insts = []InstanceVote{{Part: "pa", Vote: VoteReadOnly + 1}}
+		}, "instance vote"},
+		{"roster proto", func(m *Message) {
+			m.Roster = []RosterEntry{{ID: "pa", Proto: CL + 1}}
+		}, "roster proto"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := base()
+			tc.mut(&m)
+			body := AppendMessage(nil, &m)
+			if _, err := DecodeMessage(body); err == nil {
+				t.Fatalf("decoded a message with an out-of-range %s", tc.want)
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error does not name the %s field: %v", tc.want, err)
+			}
+		})
+	}
+	// The control: the unmutated base message decodes.
+	m := base()
+	if _, err := DecodeMessage(AppendMessage(nil, &m)); err != nil {
+		t.Fatalf("control message rejected: %v", err)
+	}
+}

@@ -193,6 +193,9 @@ const (
 	Commit
 )
 
+// Valid reports whether o is one of the two defined outcomes.
+func (o Outcome) Valid() bool { return o == Abort || o == Commit }
+
 // String returns "abort" or "commit".
 func (o Outcome) String() string {
 	if o == Commit {
@@ -217,6 +220,9 @@ const (
 	// drops out of the decision phase entirely.
 	VoteReadOnly
 )
+
+// Valid reports whether v is one of the defined votes.
+func (v Vote) Valid() bool { return v <= VoteReadOnly }
 
 // String returns "no", "yes" or "read-only".
 func (v Vote) String() string {
@@ -302,6 +308,9 @@ func (k MsgKind) String() string {
 	return "MsgKind(" + strconv.Itoa(int(k)) + ")"
 }
 
+// Valid reports whether k is one of the defined message kinds.
+func (k MsgKind) Valid() bool { return int(k) < len(msgKindNames) }
+
 // OpKind discriminates resource-manager operations.
 type OpKind uint8
 
@@ -313,6 +322,9 @@ const (
 	// OpDelete removes a key.
 	OpDelete
 )
+
+// Valid reports whether k is one of the defined operation kinds.
+func (k OpKind) Valid() bool { return k <= OpDelete }
 
 // String returns "get", "put" or "delete".
 func (k OpKind) String() string {

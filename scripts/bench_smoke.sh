@@ -42,3 +42,18 @@ go test -run 'TestConsensusJSONShape' ./cmd/prany-bench >/dev/null || {
 	exit 1
 }
 echo "ok   bench-smoke: BENCH_consensus.json regenerated and shape-checked"
+
+# E20 leg: regenerate the Byzantine tolerance matrix with the canonical
+# flags and re-run the committed-artifact shape test against the fresh
+# document, so BENCH_byz.json can never drift from its generator. This is
+# the expensive leg (the 16 exhaustive mcheck cells run here), so it comes
+# last: the cheap checks above fail fast.
+go run ./cmd/prany-chaos -byz -episodes 2 -seed 1 -txns 8 -json > BENCH_byz.json || {
+	echo "FAIL bench-smoke: could not regenerate BENCH_byz.json (or its verdict failed)"
+	exit 1
+}
+go test -count=1 -run 'TestByzJSONShape' ./cmd/prany-chaos >/dev/null || {
+	echo "FAIL bench-smoke: BENCH_byz.json failed the JSON shape harness"
+	exit 1
+}
+echo "ok   bench-smoke: BENCH_byz.json regenerated and shape-checked"

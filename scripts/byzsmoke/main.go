@@ -1,0 +1,59 @@
+// Command byzsmoke is the tier-1 Byzantine gate (`make byz-smoke`): a short
+// seeded E20 sweep — every strategy under every adversary behavior at the
+// Byzantine participant — asserting the PR's headline claim as a merge
+// gate: PrAny keeps every honest site's atomicity intact under any single
+// lying participant (zero Honest, zero Spread attributions), while the
+// adversary demonstrably runs (it forges or taints somewhere in the sweep).
+// The exhaustive cells and the lying-coordinator boundary live in the full
+// `prany-chaos -byz` run and BENCH_byz.json; this gate stays seeded-only so
+// tier1 pays seconds, not minutes.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"prany/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL byz-smoke: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seeds := []int64{1, 2}
+	rows, err := experiments.ByzSeededMatrix(seeds, 6, 1200*time.Millisecond)
+	if err != nil {
+		return err
+	}
+	if want := 12; len(rows) != want { // 3 strategies x 4 behaviors
+		return fmt.Errorf("%d rows, want %d", len(rows), want)
+	}
+	var forged uint64
+	var contained int
+	for _, r := range rows {
+		fmt.Printf("     %-12s byz=%-4s forged=%-4d honest=%d spread=%d contained=%d\n",
+			r.Strategy, r.Behavior, r.Forged, r.Honest, r.Spread, r.Contained)
+		forged += r.Forged
+		contained += r.Contained
+		if r.Strategy != "PrAny" {
+			continue
+		}
+		if r.Honest > 0 {
+			return fmt.Errorf("PrAny byz=%s: %d honest-site untainted violations — repo bug", r.Behavior, r.Honest)
+		}
+		if r.Spread > 0 {
+			return fmt.Errorf("PrAny byz=%s: %d violations spread past the lying site", r.Behavior, r.Spread)
+		}
+	}
+	if forged == 0 {
+		return fmt.Errorf("no forged messages in the whole sweep — the adversary is not running")
+	}
+	fmt.Printf("ok   byz-smoke: PrAny honest sites clean across %d seeded cells (%d forged msgs, %d contained violations)\n",
+		len(rows), forged, contained)
+	return nil
+}
