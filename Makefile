@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race chaos examples bench-smoke obs-smoke recovery-smoke consensus-smoke byz-smoke tier1 cover allocs bench-groupcommit bench-pipeline bench-recovery bench-consensus mcheck-paxos mcheck-byz clean
+.PHONY: all build test vet race chaos examples bench-smoke obs-smoke recovery-smoke consensus-smoke byz-smoke epoch-smoke tier1 cover allocs bench-groupcommit bench-pipeline bench-recovery bench-consensus bench-epoch mcheck-paxos mcheck-byz clean
 
 all: tier1
 
@@ -67,14 +67,22 @@ consensus-smoke:
 byz-smoke:
 	$(GO) run ./scripts/byzsmoke
 
+# Epoch smoke: a real-TCP cluster with the epoch sealer on (2ms linger) has
+# its coordinator killed while commits are in flight; after recovery, every
+# member of every batched epoch record must land on the WAL-fixed outcome at
+# every participant — the E21 crash contract as a merge gate.
+epoch-smoke:
+	$(GO) run ./scripts/epochsmoke
+
 # tier1 is the merge gate: everything must build, every test must pass,
 # vet must be clean, the concurrent packages must be race-free, the short
 # chaos sweep must stay operationally correct, every example must run,
 # the transport batch writer must demonstrably coalesce frames, the
 # introspection endpoints must serve, checkpointed recovery must stay
-# O(active), the replicated decider must survive coordinator death, and
-# PrAny's honest sites must survive a lying participant.
-tier1: build test vet race chaos examples bench-smoke obs-smoke recovery-smoke consensus-smoke byz-smoke
+# O(active), the replicated decider must survive coordinator death,
+# PrAny's honest sites must survive a lying participant, and epoch-sealed
+# decisions must survive a mid-epoch coordinator kill.
+tier1: build test vet race chaos examples bench-smoke obs-smoke recovery-smoke consensus-smoke byz-smoke epoch-smoke
 
 # cover enforces the per-package statement-coverage floors recorded in
 # coverage.floors and the per-benchmark allocation ceilings in
@@ -104,6 +112,11 @@ bench-recovery:
 # BENCH_consensus.json.
 bench-consensus:
 	$(GO) run ./cmd/prany-bench -run consensus -json
+
+# Reproduce the E21 epoch-batched commit numbers recorded in
+# BENCH_epoch.json.
+bench-epoch:
+	$(GO) run ./cmd/prany-bench -run epoch -json
 
 # Exhaustively check the E19 claim: the replicated decider sweeps clean and
 # non-blocking under permanent coordinator death; the single decider blocks.

@@ -10,7 +10,7 @@
 //	prany-bench               # everything
 //	prany-bench -run costs    # one section: costs, theorem1, theorem2,
 //	                          # sweep, perf, readonly, iyv, cl, groupcommit,
-//	                          # chaos, pipeline, recovery, consensus
+//	                          # chaos, pipeline, recovery, consensus, epoch
 //	prany-bench -run pipeline -cpuprofile cpu.out -memprofile mem.out
 package main
 
@@ -44,25 +44,60 @@ type bench struct {
 	// historical default (sweep 7, perf 99, groupcommit 42, chaos 1),
 	// preserving the committed EXPERIMENTS.md numbers.
 	seed int64
-	// jsonOut switches the obs, recovery and consensus sections to
-	// machine-readable output (the BENCH_obs.json / BENCH_recovery.json /
-	// BENCH_consensus.json formats); every other section ignores it.
+	// jsonOut switches the sections that declare JSON support in their
+	// registry entry to machine-readable output (the BENCH_<name>.json
+	// formats); every other section ignores it.
 	jsonOut bool
 }
 
-var sectionOrder = []string{"costs", "theorem1", "theorem2", "sweep", "perf", "readonly", "iyv", "cl", "groupcommit", "chaos", "pipeline", "obs", "recovery", "consensus"}
+// section is one registry entry: the method that runs it and whether it
+// honors -json with a BENCH_<name>.json document. The -run and -json help
+// strings and the dispatch are all derived from the registry, so adding a
+// section is one sectionOrder entry plus one sections line.
+type section struct {
+	fn   func() error
+	json bool
+}
+
+var sectionOrder = []string{"costs", "theorem1", "theorem2", "sweep", "perf", "readonly", "iyv", "cl", "groupcommit", "chaos", "pipeline", "obs", "recovery", "consensus", "epoch"}
 
 func run(args []string, stdout io.Writer) int {
+	b := &bench{w: stdout}
+	sections := map[string]section{
+		"costs":       {fn: b.costs},
+		"theorem1":    {fn: b.theorem1},
+		"theorem2":    {fn: b.theorem2},
+		"sweep":       {fn: b.sweep},
+		"perf":        {fn: b.perf},
+		"readonly":    {fn: b.readonly},
+		"iyv":         {fn: b.iyv},
+		"cl":          {fn: b.cl},
+		"groupcommit": {fn: b.groupcommit},
+		"chaos":       {fn: b.chaosMatrix},
+		"pipeline":    {fn: b.pipeline},
+		"obs":         {fn: b.obs, json: true},
+		"recovery":    {fn: b.recovery, json: true},
+		"consensus":   {fn: b.consensus, json: true},
+		"epoch":       {fn: b.epoch, json: true},
+	}
+	var jsonNames []string
+	for _, name := range sectionOrder {
+		if sections[name].json {
+			jsonNames = append(jsonNames, name)
+		}
+	}
+
 	fs := flag.NewFlagSet("prany-bench", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	which := fs.String("run", "all", "which section to run: all, "+strings.Join(sectionOrder, ", "))
 	seed := fs.Int64("seed", 0, "override every section's random seed (0 = per-section defaults)")
-	jsonOut := fs.Bool("json", false, "with -run obs, recovery or consensus: emit the results as JSON (BENCH_obs.json / BENCH_recovery.json / BENCH_consensus.json)")
+	jsonOut := fs.Bool("json", false, "with -run "+strings.Join(jsonNames, ", ")+": emit the results as JSON (the BENCH_<section>.json format)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	b.seed, b.jsonOut = *seed, *jsonOut
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -92,26 +127,9 @@ func run(args []string, stdout io.Writer) int {
 		}()
 	}
 
-	b := &bench{w: stdout, seed: *seed, jsonOut: *jsonOut}
-	sections := map[string]func() error{
-		"costs":       b.costs,
-		"theorem1":    b.theorem1,
-		"theorem2":    b.theorem2,
-		"sweep":       b.sweep,
-		"perf":        b.perf,
-		"readonly":    b.readonly,
-		"iyv":         b.iyv,
-		"cl":          b.cl,
-		"groupcommit": b.groupcommit,
-		"chaos":       b.chaosMatrix,
-		"pipeline":    b.pipeline,
-		"obs":         b.obs,
-		"recovery":    b.recovery,
-		"consensus":   b.consensus,
-	}
 	if *which == "all" {
 		for _, name := range sectionOrder {
-			if err := sections[name](); err != nil {
+			if err := sections[name].fn(); err != nil {
 				fmt.Fprintf(stdout, "%s: %v\n", name, err)
 				return 1
 			}
@@ -119,12 +137,12 @@ func run(args []string, stdout io.Writer) int {
 		}
 		return 0
 	}
-	fn, ok := sections[strings.ToLower(*which)]
+	sec, ok := sections[strings.ToLower(*which)]
 	if !ok {
 		fmt.Fprintf(stdout, "unknown section %q (want all, %s)\n", *which, strings.Join(sectionOrder, ", "))
 		return 2
 	}
-	if err := fn(); err != nil {
+	if err := sec.fn(); err != nil {
 		fmt.Fprintln(stdout, err)
 		return 1
 	}
@@ -610,6 +628,87 @@ func (b *bench) consensus() error {
 			r.Acceptors, r.Clients, r.TxnsPerSec,
 			time.Duration(r.MeanLatUS*1000).Round(time.Microsecond),
 			r.MsgsPerTxn, r.ForcesPerTxn,
+			time.Duration(r.P50US*1000).Round(time.Microsecond),
+			time.Duration(r.P95US*1000).Round(time.Microsecond),
+			time.Duration(r.P99US*1000).Round(time.Microsecond))
+	}
+	return nil
+}
+
+// epoch prints E21: the epoch-batched commit scheduling comparison — the
+// E16 batching-on TCP workload with the coordinator's epoch sealer off and
+// on. decisions/txn is the logical decision count (identical in both modes,
+// like E16's msgs/txn); recs/txn counts the physical WAL records carrying
+// them, which collapse to one forced KRecEpochDecision per epoch; meanEpoch
+// is their ratio, the amortization factor.
+func (b *bench) epoch() error {
+	const (
+		txns   = 5000
+		window = time.Millisecond
+	)
+	if !b.jsonOut {
+		b.header("E21: epoch-batched commit scheduling — decision records collapse under concurrency")
+	}
+	seed := int64(23)
+	if b.seed != 0 {
+		seed = b.seed
+	}
+	type row struct {
+		Epoch      bool    `json:"epoch"`
+		WindowMS   float64 `json:"window_ms"`
+		Clients    int     `json:"clients"`
+		Txns       int     `json:"txns"`
+		TxnsPerSec float64 `json:"txns_per_sec"`
+		MeanLatUS  float64 `json:"mean_latency_us"`
+		MsgsPerTxn float64 `json:"msgs_per_txn"`
+		DecPerTxn  float64 `json:"decisions_per_txn"`
+		RecsPerTxn float64 `json:"decision_records_per_txn"`
+		MeanEpoch  float64 `json:"mean_epoch"`
+		P50US      float64 `json:"latency_p50_us"`
+		P95US      float64 `json:"latency_p95_us"`
+		P99US      float64 `json:"latency_p99_us"`
+	}
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1000 }
+	var rows []row
+	for _, clients := range []int{64, 256} {
+		for _, on := range []bool{false, true} {
+			w := time.Duration(0)
+			if on {
+				w = window
+			}
+			pt, err := experiments.MeasureEpoch(on, w, clients, txns, seed)
+			if err != nil {
+				return fmt.Errorf("epoch on=%v clients=%d: %w", on, clients, err)
+			}
+			rows = append(rows, row{
+				Epoch: pt.Epoch, WindowMS: float64(pt.Window.Microseconds()) / 1000,
+				Clients: pt.Clients, Txns: pt.Txns,
+				TxnsPerSec: pt.TxnsPerSec, MeanLatUS: us(pt.MeanLatency),
+				MsgsPerTxn: pt.MsgsPerTxn, DecPerTxn: pt.DecisionsPerTxn,
+				RecsPerTxn: pt.DecisionRecsPerTxn, MeanEpoch: pt.MeanEpoch,
+				P50US: us(pt.LatencyP50), P95US: us(pt.LatencyP95), P99US: us(pt.LatencyP99),
+			})
+		}
+	}
+	if b.jsonOut {
+		out := struct {
+			Experiment string `json:"experiment"`
+			Seed       int64  `json:"seed"`
+			Rows       []row  `json:"rows"`
+		}{"E21 epoch-batched commit scheduling", seed, rows}
+		enc := json.NewEncoder(b.w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	fmt.Fprintf(b.w, "seed: %d\n", seed)
+	fmt.Fprintf(b.w, "%7s %6s | %9s %12s %10s | %13s %10s %9s | %9s %9s %9s\n",
+		"clients", "epoch", "txns/s", "meanLatency", "msgs/txn", "decisions/txn", "recs/txn", "meanEpoch",
+		"p50", "p95", "p99")
+	for _, r := range rows {
+		fmt.Fprintf(b.w, "%7d %6v | %9.0f %12s %10.2f | %13.2f %10.3f %9.1f | %9s %9s %9s\n",
+			r.Clients, r.Epoch, r.TxnsPerSec,
+			time.Duration(r.MeanLatUS*1000).Round(time.Microsecond),
+			r.MsgsPerTxn, r.DecPerTxn, r.RecsPerTxn, r.MeanEpoch,
 			time.Duration(r.P50US*1000).Round(time.Microsecond),
 			time.Duration(r.P95US*1000).Round(time.Microsecond),
 			time.Duration(r.P99US*1000).Round(time.Microsecond))

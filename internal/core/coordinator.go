@@ -72,6 +72,20 @@ type CoordinatorConfig struct {
 	// decision durable on an acceptor quorum instead of the local log.
 	// Nil means SingleDecider: the paper's force-then-send path.
 	NewDecider func(env Env) Decider
+	// EpochCommit enables epoch-batched decision sealing: concurrent
+	// record-bearing decisions are made durable with one batched
+	// KRecEpochDecision record and fanned out in one cross-transaction
+	// batch per destination. Off by default (every committed BENCH number
+	// reproduces with it off); ignored under a replicated decider (the
+	// quorum round is the decision's durability there) and bypassed under
+	// a serial scheduler (the model checker sees the unbatched path).
+	EpochCommit bool
+	// EpochWindow is the opt-in epoch linger: a positive window makes the
+	// sealer wait that long before sealing so more decisions join the
+	// epoch. Zero (the default) is pure piggybacking — seal immediately
+	// when idle, batch whatever accumulated while the previous epoch's
+	// force was in flight.
+	EpochWindow time.Duration
 }
 
 type cstate uint8
@@ -153,6 +167,13 @@ type Coordinator struct {
 
 	txns *shardedTable[*ctxn] // the protocol table
 
+	// epoch, when non-nil, batches record-bearing decisions into sealed
+	// epochs (EpochCommit on, single decider). wheel services the commit
+	// path's vote-wait deadlines with one goroutine instead of one runtime
+	// timer per transaction.
+	epoch *epochSealer
+	wheel *deadlineWheel
+
 	// ticks counts Tick calls; the decision re-send backoff is measured in
 	// these units. jitterMu guards jitter, the backoff randomizer.
 	ticks    atomic.Uint64
@@ -182,7 +203,23 @@ func NewCoordinator(env Env, cfg CoordinatorConfig, pcp *PCP) *Coordinator {
 	} else {
 		c.decider = NewSingleDecider(env)
 	}
+	c.wheel = newDeadlineWheel()
+	if cfg.EpochCommit && !c.decider.Replicated() {
+		c.epoch = newEpochSealer(c, cfg.EpochWindow)
+	}
 	return c
+}
+
+// Stop terminates the coordinator's background machinery — the epoch
+// sealer (pending decisions fail with ErrSiteDown) and the deadline wheel
+// (pending vote waits wake as if their timeout fired; the follow-up work
+// fails on the dead site). The site layer calls it on crash; recovery
+// builds a fresh coordinator.
+func (c *Coordinator) Stop() {
+	if c.epoch != nil {
+		c.epoch.stop()
+	}
+	c.wheel.stop()
 }
 
 // Decider returns the coordinator's decision fix-point (for tests and
@@ -211,11 +248,11 @@ func (c *Coordinator) Commit(txn wire.TxnID, parts []wire.SiteID) (wire.Outcome,
 		return wire.Abort, err
 	}
 	if prepares > 0 {
-		timer := time.NewTimer(c.cfg.VoteTimeout)
+		e := c.wheel.add(time.Now().Add(c.cfg.VoteTimeout))
 		select {
 		case <-ct.votesDone:
-			timer.Stop()
-		case <-timer.C:
+			c.wheel.cancel(e)
+		case <-e.expired:
 		}
 	}
 	outcome, err := c.resolve(ct)
@@ -228,18 +265,19 @@ func (c *Coordinator) Commit(txn wire.TxnID, parts []wire.SiteID) (wire.Outcome,
 	return outcome, err
 }
 
-// awaitDecision blocks until a replicated decision fixes, or the vote
-// timeout elapses again without one (acceptor quorum unreachable).
+// awaitDecision blocks until an in-flight decision fixes (a replicated
+// decider's quorum round, or another caller's epoch seal), or the vote
+// timeout elapses again without one.
 func (c *Coordinator) awaitDecision(ct *ctxn) (wire.Outcome, error) {
-	timer := time.NewTimer(c.cfg.VoteTimeout)
-	defer timer.Stop()
+	e := c.wheel.add(time.Now().Add(c.cfg.VoteTimeout))
 	select {
 	case <-ct.decideDone:
+		c.wheel.cancel(e)
 		sh := c.txns.lock(ct.txn)
 		outcome := ct.outcome
 		sh.mu.Unlock()
 		return outcome, nil
-	case <-timer.C:
+	case <-e.expired:
 		return wire.Abort, ErrDecidePending
 	}
 }
@@ -302,7 +340,10 @@ func (c *Coordinator) begin(txn wire.TxnID, parts []wire.SiteID) (*ctxn, int, er
 		votesDone: make(chan struct{}),
 		startedAt: c.env.now(),
 	}
-	if c.decider.Replicated() {
+	if c.decider.Replicated() || c.epoch != nil {
+		// Replicated decisions fix asynchronously; epoch-sealed ones fix on
+		// the sealer goroutine — either way a duplicate Resolve racing the
+		// fix-point waits on this channel instead of re-deciding.
 		ct.decideDone = make(chan struct{})
 	}
 	protos := make([]wire.Protocol, 0, len(parts))
@@ -388,15 +429,32 @@ func (c *Coordinator) resolve(ct *ctxn) (wire.Outcome, error) {
 	if ct.allYes() {
 		outcome = wire.Commit
 	}
-	if c.decider.Replicated() {
+	epoch := c.sealsInEpoch(ct, outcome)
+	if c.decider.Replicated() || epoch {
 		// Claim the decision now, under the lock: a replicated decide
-		// completes asynchronously, and a duplicate Resolve racing in must
-		// wait for the fix-point, not start a second ballot.
+		// completes asynchronously, an epoch seal on the sealer goroutine —
+		// a duplicate Resolve racing in must wait for the fix-point, not
+		// start a second decision.
 		ct.state = cDeciding
 	}
 	sh.mu.Unlock()
 
+	if epoch {
+		return c.epoch.submit(ct, outcome)
+	}
 	return c.decide(ct, outcome)
+}
+
+// sealsInEpoch reports whether ct's decision goes through the epoch sealer:
+// epoch batching on, not under a serial scheduler (deterministic drivers
+// must see the unbatched path, bit for bit), and only for decisions that
+// force a record — a presumable abort has no force to amortize and takes
+// the direct path unchanged.
+func (c *Coordinator) sealsInEpoch(ct *ctxn, outcome wire.Outcome) bool {
+	if c.epoch == nil || c.env.serial() {
+		return false
+	}
+	return outcome == wire.Commit || c.logsAbortRecord(ct)
 }
 
 func (ct *ctxn) allYes() bool {
@@ -466,10 +524,23 @@ func (c *Coordinator) instanceVotes(ct *ctxn) []wire.InstanceVote {
 // draining. It runs at most once per transaction (a duplicate call — the
 // replicated decider's callback racing a recovery — is a no-op).
 func (c *Coordinator) finalize(ct *ctxn, outcome wire.Outcome) {
+	msgs, finished := c.finalizeCollect(ct, outcome)
+	c.env.fanout(msgs)
+	if finished {
+		c.decider.Finished(ct.txn, outcome)
+	}
+}
+
+// finalizeCollect performs finalize's table transition and returns the
+// decision messages instead of sending them, so an epoch seal can merge the
+// whole epoch's fan-out into one batch. finished reports that the entry
+// already drained (nothing to ack) and the caller owes decider.Finished
+// after the fan-out.
+func (c *Coordinator) finalizeCollect(ct *ctxn, outcome wire.Outcome) (msgs []wire.Message, finished bool) {
 	sh := c.txns.lock(ct.txn)
 	if ct.decided {
 		sh.mu.Unlock()
-		return
+		return nil, false
 	}
 	sh.mu.Unlock()
 
@@ -479,14 +550,14 @@ func (c *Coordinator) finalize(ct *ctxn, outcome wire.Outcome) {
 	sh = c.txns.lock(ct.txn)
 	if ct.decided {
 		sh.mu.Unlock()
-		return
+		return nil, false
 	}
 	ct.decided = true
 	ct.outcome = outcome
 	ct.state = cDraining
 	ct.decidedAt = c.env.now()
-	msgs := c.decisionMsgsLocked(ct)
-	finished := c.maybeFinishLocked(sh.m, ct)
+	msgs = c.decisionMsgsLocked(ct)
+	finished = c.maybeFinishLocked(sh.m, ct)
 	sh.mu.Unlock()
 	if ct.decideDone != nil {
 		ct.decideOnce.Do(func() { close(ct.decideDone) })
@@ -498,10 +569,7 @@ func (c *Coordinator) finalize(ct *ctxn, outcome wire.Outcome) {
 			c.env.trace(obs.Event{Kind: obs.EvDecisionSend, Txn: ct.txn, Peer: m.To, Note: outcome.String()})
 		}
 	}
-	c.env.fanout(msgs)
-	if finished {
-		c.decider.Finished(ct.txn, outcome)
-	}
+	return msgs, finished
 }
 
 // logsAbortRecord reports whether this transaction's variant forces an

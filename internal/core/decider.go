@@ -132,6 +132,11 @@ func (s *SingleDecider) Decide(req DecideRequest, _ func(wire.Outcome)) (wire.Ou
 		}); err != nil {
 			return wire.Abort, true, err
 		}
+	} else {
+		return req.Outcome, true, nil
+	}
+	if s.env.Met != nil {
+		s.env.Met.Decision(s.env.ID, 1, 1)
 	}
 	return req.Outcome, true, nil
 }

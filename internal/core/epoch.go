@@ -1,0 +1,400 @@
+package core
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"prany/internal/metrics"
+	"prany/internal/obs"
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+// epochSealer batches concurrent commit decisions into epochs: every
+// transaction whose votes complete while one epoch's forced write is in
+// flight joins the next epoch, and the whole epoch becomes durable with ONE
+// forced KRecEpochDecision record carrying every member's decision, then
+// fans out with ONE cross-transaction message batch per destination.
+//
+// The logical protocol is untouched — each member still has exactly one
+// decision record (recovery, checkpointing and the Definition-1 judges
+// unfold the epoch record per member), the same decision recipients, the
+// same acknowledgment subsets — only the physical record and scheduling
+// costs are divided by the epoch population. This is the E13/E16
+// logical-vs-physical split applied to protocol decisions rather than
+// syscalls.
+//
+// Sealing is load-proportional exactly like the group-commit flusher: with
+// window zero the sealer seals whatever is pending the moment it is free
+// (an idle coordinator seals epochs of one with no added latency; under
+// load, decisions arriving while a seal's force is in flight pile into the
+// next epoch). A positive window makes the sealer linger up to that long
+// before sealing — trading latency for larger epochs — but the linger ends
+// early once epochSealSize decisions are pending, so a formed convoy seals
+// immediately instead of waiting out the window.
+type epochSealer struct {
+	c      *Coordinator
+	window time.Duration
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []*epochEntry
+	stopped bool
+	started bool
+}
+
+// epochEntry is one decision waiting for its epoch to seal. done is
+// buffered so the sealer never blocks handing back a result.
+type epochEntry struct {
+	ct      *ctxn
+	outcome wire.Outcome
+	done    chan epochResult
+}
+
+type epochResult struct {
+	outcome wire.Outcome
+	err     error
+}
+
+// epochEntries recycles entries (and their channels): each entry gets
+// exactly one done send — from seal, a failed seal, or stop — and its
+// submitter does exactly one receive, after which nothing references it.
+var epochEntries = sync.Pool{New: func() any {
+	return &epochEntry{done: make(chan epochResult, 1)}
+}}
+
+// epochSealSize ends a positive window's linger early: once this many
+// decisions are pending, waiting longer only adds latency — the epoch is
+// already big enough to amortize its one forced record and fan-out pass.
+// Under load the clients a seal wakes resubmit together (convoy arrival),
+// so the trigger usually fires long before the window expires; the window
+// is the bound for trickle arrival, not the common-case wait.
+const epochSealSize = 32
+
+func newEpochSealer(c *Coordinator, window time.Duration) *epochSealer {
+	s := &epochSealer{c: c, window: window}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// submit hands one fixed-tentative decision to the sealer and blocks until
+// its epoch is durable and fanned out (or failed). The caller's transaction
+// must already be claimed (state cDeciding) so duplicate resolves wait
+// instead of re-deciding.
+func (s *epochSealer) submit(ct *ctxn, outcome wire.Outcome) (wire.Outcome, error) {
+	e := epochEntries.Get().(*epochEntry)
+	e.ct, e.outcome = ct, outcome
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		e.ct = nil
+		epochEntries.Put(e)
+		return wire.Abort, ErrSiteDown
+	}
+	if !s.started {
+		s.started = true
+		go s.loop()
+	}
+	s.pending = append(s.pending, e)
+	s.cond.Signal()
+	s.mu.Unlock()
+	r := <-e.done
+	e.ct = nil
+	epochEntries.Put(e)
+	return r.outcome, r.err
+}
+
+// loop is the sealer goroutine: wait for pending decisions, optionally
+// linger the configured window so concurrent decisions can join, then seal
+// the batch. While seal's force is in flight new submissions accumulate for
+// the next epoch — the piggyback that makes window zero load-proportional.
+func (s *epochSealer) loop() {
+	s.mu.Lock()
+	for {
+		for !s.stopped && len(s.pending) == 0 {
+			s.cond.Wait()
+		}
+		if s.stopped {
+			s.failPendingLocked(ErrSiteDown)
+			s.mu.Unlock()
+			return
+		}
+		if s.window > 0 && len(s.pending) < epochSealSize {
+			expired := false
+			t := time.AfterFunc(s.window, func() {
+				s.mu.Lock()
+				expired = true
+				s.mu.Unlock()
+				s.cond.Signal()
+			})
+			for !s.stopped && !expired && len(s.pending) < epochSealSize {
+				s.cond.Wait()
+			}
+			t.Stop()
+			if s.stopped {
+				s.failPendingLocked(ErrSiteDown)
+				s.mu.Unlock()
+				return
+			}
+		}
+		batch := s.pending
+		s.pending = nil
+		s.mu.Unlock()
+		s.seal(batch)
+		s.mu.Lock()
+	}
+}
+
+// stop fails every pending decision with ErrSiteDown and terminates the
+// sealer goroutine. A stopped sealer rejects further submissions; the site
+// builds a fresh coordinator (and sealer) on recovery.
+func (s *epochSealer) stop() {
+	s.mu.Lock()
+	if !s.stopped {
+		s.stopped = true
+		s.failPendingLocked(ErrSiteDown)
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+func (s *epochSealer) failPendingLocked(err error) {
+	for _, e := range s.pending {
+		e.done <- epochResult{wire.Abort, err}
+	}
+	s.pending = nil
+}
+
+// seal makes one epoch durable and performs its decision phase. On a force
+// failure the epoch record may survive in the log buffer where a later
+// barrier would stabilize it — so EVERY commit member gets a lazy
+// superseding abort record (recovery takes the last decision record per
+// transaction), not just the first: a partial-epoch failure must not leak
+// any member's unannounced commit. Abort members need no superseding record;
+// re-driving an abort is always safe.
+func (s *epochSealer) seal(batch []*epochEntry) {
+	c := s.c
+	start := c.env.now()
+	members := make([]wal.EpochMember, len(batch))
+	for i, e := range batch {
+		members[i] = wal.EpochMember{Txn: e.ct.txn, Outcome: e.outcome, Participants: c.infoList(e.ct)}
+	}
+	if err := c.env.force(wal.Record{
+		Kind: wal.KRecEpochDecision, Role: wal.RoleCoord, Members: members,
+	}); err != nil {
+		for _, e := range batch {
+			if e.outcome == wire.Commit {
+				c.env.appendLazy(wal.Record{
+					Kind: wal.KAbort, Role: wal.RoleCoord, Txn: e.ct.txn,
+					Participants: c.infoList(e.ct),
+				})
+			}
+			e.done <- epochResult{wire.Abort, err}
+		}
+		return
+	}
+	if c.env.Met != nil {
+		c.env.Met.Decision(c.env.ID, len(batch), 1)
+	}
+
+	// One finalize pass per member collects the decision messages; the
+	// whole epoch then fans out in one sorted batch, so same-destination
+	// decisions across member transactions share physical frames instead of
+	// coalescing only by luck.
+	msgs := make([]wire.Message, 0, 4*len(batch))
+	finished := make([]*epochEntry, 0, len(batch))
+	for _, e := range batch {
+		m, fin := c.finalizeCollect(e.ct, e.outcome)
+		msgs = append(msgs, m...)
+		if fin {
+			finished = append(finished, e)
+		}
+	}
+	sortMsgs(msgs)
+	c.env.fanout(msgs)
+	for _, e := range finished {
+		c.decider.Finished(e.ct.txn, e.outcome)
+	}
+	c.env.traceSpan(obs.Event{Kind: obs.EvEpochSeal, Note: strconv.Itoa(len(batch))}, start)
+	c.env.observe(metrics.SpanEpochSeal, start)
+	for _, e := range batch {
+		e.done <- epochResult{e.outcome, nil}
+	}
+}
+
+// deadlineWheel replaces the per-transaction time.NewTimer allocations of
+// the commit path with one goroutine and one reusable timer. Every deadline
+// it accepts uses the same duration (the coordinator's vote timeout), so
+// arrival order is deadline order and a FIFO slice suffices — no heap, no
+// runtime timer churn at thousands of transactions per second.
+type deadlineWheel struct {
+	mu       sync.Mutex
+	entries  []*wheelEntry
+	head     int
+	canceled int
+	wake     chan struct{}
+	stopped  bool
+	started  bool
+}
+
+// wheelEntry is one pending deadline. expired is closed when the deadline
+// fires (or the wheel stops); done marks an entry fired or canceled.
+type wheelEntry struct {
+	at      time.Time
+	expired chan struct{}
+	done    bool
+}
+
+func newDeadlineWheel() *deadlineWheel {
+	return &deadlineWheel{wake: make(chan struct{}, 1)}
+}
+
+// add registers a deadline at `at`, which must be >= every previously added
+// deadline (the coordinator always uses now+VoteTimeout, so this holds). On
+// a stopped wheel the entry comes back already expired — the caller's
+// subsequent operations fail on the dead site.
+func (w *deadlineWheel) add(at time.Time) *wheelEntry {
+	e := &wheelEntry{at: at, expired: make(chan struct{})}
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		close(e.expired)
+		return e
+	}
+	wasIdle := w.head == len(w.entries)
+	w.entries = append(w.entries, e)
+	if !w.started {
+		w.started = true
+		go w.loop()
+	}
+	w.mu.Unlock()
+	if wasIdle {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+	return e
+}
+
+// cancel withdraws a deadline whose waiter no longer needs it (the votes
+// arrived first). Canceled entries are dropped as the wheel reaches them;
+// when they pile up faster than deadlines expire, cancel compacts the queue
+// in place so stopped timers don't accumulate for a whole timeout window.
+func (w *deadlineWheel) cancel(e *wheelEntry) {
+	w.mu.Lock()
+	if !e.done {
+		e.done = true
+		w.canceled++
+		if w.canceled > 32 && w.canceled > (len(w.entries)-w.head)/2 {
+			kept := w.entries[:0]
+			for _, x := range w.entries[w.head:] {
+				if !x.done {
+					kept = append(kept, x)
+				}
+			}
+			for i := len(kept); i < len(w.entries); i++ {
+				w.entries[i] = nil
+			}
+			w.entries = kept
+			w.head = 0
+			w.canceled = 0
+		}
+	}
+	w.mu.Unlock()
+}
+
+// stop expires every pending entry immediately and terminates the wheel
+// goroutine. Waiters wake as if their timeout fired; their follow-up work
+// fails on the dead site.
+func (w *deadlineWheel) stop() {
+	w.mu.Lock()
+	if !w.stopped {
+		w.stopped = true
+		for _, e := range w.entries[w.head:] {
+			if !e.done {
+				e.done = true
+				close(e.expired)
+			}
+		}
+		w.entries = nil
+		w.head = 0
+		w.canceled = 0
+	}
+	w.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pending reports the live (un-fired, un-canceled) entry count; leak tests
+// assert it drains to zero.
+func (w *deadlineWheel) pending() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := 0
+	for _, e := range w.entries[w.head:] {
+		if !e.done {
+			n++
+		}
+	}
+	return n
+}
+
+// loop services the queue with a single reusable timer: sleep until the
+// head deadline, fire it, advance. Canceled heads are skipped without
+// sleeping; because deadlines are monotone, a canceled head never delays a
+// later entry past its own deadline.
+func (w *deadlineWheel) loop() {
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		w.mu.Lock()
+		for w.head < len(w.entries) && w.entries[w.head].done {
+			w.entries[w.head] = nil
+			w.head++
+		}
+		if w.head == len(w.entries) {
+			w.entries = w.entries[:0]
+			w.head = 0
+			w.canceled = 0
+			stopped := w.stopped
+			w.mu.Unlock()
+			if stopped {
+				return
+			}
+			<-w.wake
+			continue
+		}
+		e := w.entries[w.head]
+		w.mu.Unlock()
+		if d := time.Until(e.at); d > 0 {
+			timer.Reset(d)
+			select {
+			case <-timer.C:
+			case <-w.wake:
+				// New head state (a stop, or entries after an idle period);
+				// re-evaluate from the top.
+				if !timer.Stop() {
+					<-timer.C
+				}
+				continue
+			}
+		}
+		w.mu.Lock()
+		if !e.done {
+			e.done = true
+			close(e.expired)
+		}
+		if w.head < len(w.entries) && w.entries[w.head] == e {
+			w.entries[w.head] = nil
+			w.head++
+		}
+		w.mu.Unlock()
+	}
+}

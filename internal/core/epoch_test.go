@@ -1,0 +1,395 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+// TestDeadlineWheelFires pins the wheel's basic contract: an entry whose
+// deadline passes has its expired channel closed, at or after the deadline.
+func TestDeadlineWheelFires(t *testing.T) {
+	w := newDeadlineWheel()
+	defer w.stop()
+	start := time.Now()
+	e := w.add(start.Add(20 * time.Millisecond))
+	select {
+	case <-e.expired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadline never fired")
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("fired after %v, before the 20ms deadline", elapsed)
+	}
+	if n := w.pending(); n != 0 {
+		t.Fatalf("%d entries pending after firing", n)
+	}
+}
+
+// TestDeadlineWheelCancelDoesNotLeak is the satellite's leak regression: a
+// commit path that adds and immediately cancels thousands of deadlines
+// (votes always arrive before the timeout) must not accumulate stopped
+// entries for a whole timeout window — cancel compacts the queue in place.
+func TestDeadlineWheelCancelDoesNotLeak(t *testing.T) {
+	w := newDeadlineWheel()
+	defer w.stop()
+	const n = 10000
+	deadline := time.Now().Add(time.Hour) // far out: nothing expires by itself
+	for i := 0; i < n; i++ {
+		w.cancel(w.add(deadline))
+	}
+	if got := w.pending(); got != 0 {
+		t.Fatalf("%d live entries after cancelling all %d", got, n)
+	}
+	w.mu.Lock()
+	queued := len(w.entries) - w.head
+	w.mu.Unlock()
+	if queued > 64 {
+		t.Fatalf("%d canceled entries still queued — cancel-side compaction broken", queued)
+	}
+}
+
+// TestDeadlineWheelStopExpiresAll pins the crash path: stopping the wheel
+// wakes every waiter as if its timeout fired, so no commit goroutine blocks
+// on a dead coordinator.
+func TestDeadlineWheelStopExpiresAll(t *testing.T) {
+	w := newDeadlineWheel()
+	at := time.Now().Add(time.Hour)
+	entries := []*wheelEntry{w.add(at), w.add(at), w.add(at)}
+	w.stop()
+	for i, e := range entries {
+		select {
+		case <-e.expired:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("entry %d not expired by stop", i)
+		}
+	}
+	// Adding to a stopped wheel comes back already expired.
+	select {
+	case <-w.add(at).expired:
+	default:
+		t.Fatal("add on a stopped wheel returned a live entry")
+	}
+}
+
+// TestDeadlineWheelConcurrent hammers the wheel from many goroutines with
+// mixed expiring and canceled deadlines — the -race exercise for the one
+// structure every Commit call now goes through. Every expiring entry must
+// fire, and after the dust settles nothing may remain pending.
+func TestDeadlineWheelConcurrent(t *testing.T) {
+	w := newDeadlineWheel()
+	defer w.stop()
+	const goroutines, perG = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				e := w.add(time.Now().Add(time.Millisecond))
+				if (g+i)%2 == 0 {
+					w.cancel(e)
+					continue
+				}
+				select {
+				case <-e.expired:
+				case <-time.After(5 * time.Second):
+					t.Errorf("g%d entry %d never expired", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := w.pending(); n != 0 {
+		t.Fatalf("%d entries pending after drain", n)
+	}
+}
+
+// TestVoteTimeoutStillFiresThroughWheel drives the real timeout path end to
+// end: a participant that never votes must still abort the transaction by
+// vote timeout now that the commit path waits on the wheel instead of a
+// per-transaction timer — and the fired deadline must not linger.
+func TestVoteTimeoutStillFiresThroughWheel(t *testing.T) {
+	r := newRig(t, CoordinatorConfig{VoteTimeout: 30 * time.Millisecond},
+		partSpec{"p1", wire.PrA}, partSpec{"p2", wire.PrA})
+	r.setDrop(func(m wire.Message) bool { return m.Kind == wire.MsgVote && m.From == "p2" })
+	txn := r.nextTxn()
+	r.exec(txn, "p1", "p2")
+	out, err := r.coord.Commit(txn, []wire.SiteID{"p1", "p2"})
+	if err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	if out != wire.Abort {
+		t.Fatalf("outcome %s, want abort by vote timeout", out)
+	}
+	if n := r.coord.wheel.pending(); n != 0 {
+		t.Fatalf("%d wheel entries pending after timeout abort", n)
+	}
+	r.setDrop(nil)
+	r.settle()
+	r.checkClean()
+}
+
+// TestEpochSealBatchesDecisions commits a burst of concurrent transactions
+// through the epoch sealer and asserts the tentpole's physical/logical
+// split: every transaction still gets exactly one logical decision, but the
+// decisions share forced KRecEpochDecision records — strictly fewer records
+// than transactions, with the member entries accounting for every one.
+func TestEpochSealBatchesDecisions(t *testing.T) {
+	r := newRig(t, CoordinatorConfig{EpochCommit: true, EpochWindow: 20 * time.Millisecond},
+		partSpec{"p1", wire.PrA}, partSpec{"p2", wire.PrC})
+	const k = 6
+	txns := make([]wire.TxnID, k)
+	for i := range txns {
+		txns[i] = r.nextTxn()
+		r.exec(txns[i], "p1", "p2")
+	}
+	outs := make([]wire.Outcome, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i := range txns {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = r.coord.Commit(txns[i], []wire.SiteID{"p1", "p2"})
+		}(i)
+	}
+	wg.Wait()
+	for i := range txns {
+		if errs[i] != nil {
+			t.Fatalf("Commit(%s): %v", txns[i], errs[i])
+		}
+		if outs[i] != wire.Commit {
+			t.Fatalf("Commit(%s) = %s, want commit", txns[i], outs[i])
+		}
+	}
+
+	epochRecs, members, perTxn := 0, 0, 0
+	for _, rec := range r.logs["coord"].All() {
+		switch rec.Kind {
+		case wal.KRecEpochDecision:
+			epochRecs++
+			members += len(rec.Members)
+		case wal.KCommit, wal.KAbort:
+			if rec.Role == wal.RoleCoord {
+				perTxn++
+			}
+		}
+	}
+	if perTxn != 0 {
+		t.Fatalf("%d per-transaction decision records escaped the sealer", perTxn)
+	}
+	if members != k {
+		t.Fatalf("epoch members %d, want %d", members, k)
+	}
+	if epochRecs == 0 || epochRecs >= k {
+		t.Fatalf("%d epoch records for %d transactions — no batching", epochRecs, k)
+	}
+	m := r.met.Site("coord")
+	if m.Decisions != uint64(k) || m.DecisionRecords != uint64(epochRecs) {
+		t.Fatalf("metrics decisions=%d records=%d, want %d/%d", m.Decisions, m.DecisionRecords, k, epochRecs)
+	}
+	r.settle()
+	r.checkClean()
+}
+
+// TestEpochForceFailureAbortsEveryMember is the partial-epoch failure
+// clause: when the epoch record's force fails, EVERY commit member must be
+// superseded by a lazy abort record and reported aborted to its caller —
+// the record may survive in the buffer where a later barrier would
+// stabilize it, so no member's commit may be presumed announced.
+func TestEpochForceFailureAbortsEveryMember(t *testing.T) {
+	// All-PrA: no initiation record, so the armed failure hits the epoch
+	// record's force — the coordinator's first and only forced write.
+	r := newRig(t, CoordinatorConfig{EpochCommit: true, EpochWindow: 20 * time.Millisecond},
+		partSpec{"p1", wire.PrA}, partSpec{"p2", wire.PrA})
+	const k = 4
+	txns := make([]wire.TxnID, k)
+	for i := range txns {
+		txns[i] = r.nextTxn()
+		r.exec(txns[i], "p1", "p2")
+	}
+	r.stores2["coord"].FailNextAppend = errors.New("disk failure")
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i := range txns {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = r.coord.Commit(txns[i], []wire.SiteID{"p1", "p2"})
+		}(i)
+	}
+	wg.Wait()
+	for i := range txns {
+		if errs[i] == nil {
+			t.Fatalf("Commit(%s) succeeded despite epoch force failure", txns[i])
+		}
+	}
+	if got := r.met.Site("coord").Messages[wire.MsgDecision]; got != 0 {
+		t.Fatalf("%d decisions escaped after failed epoch force", got)
+	}
+	// Every member has a superseding abort in the log (stable or buffered):
+	// recovery takes the last decision record per transaction, so even if
+	// the failed epoch record later stabilizes, every member aborts.
+	aborted := make(map[wire.TxnID]bool)
+	for _, rec := range r.logs["coord"].All() {
+		if rec.Kind == wal.KAbort && rec.Role == wal.RoleCoord {
+			aborted[rec.Txn] = true
+		}
+	}
+	for _, txn := range txns {
+		if !aborted[txn] {
+			t.Fatalf("no superseding abort record for member %s", txn)
+		}
+	}
+	// The operator's remedy for a failing coordinator log: fail-stop and
+	// recover. Every member must land on abort everywhere.
+	r.crashCoord()
+	r.recoverCoord()
+	r.settle()
+	for _, txn := range txns {
+		for _, id := range []wire.SiteID{"p1", "p2"} {
+			if _, ok := r.stores[id].Read("k-" + txn.String()); ok {
+				t.Fatalf("member %s committed at %s after failed epoch force", txn, id)
+			}
+		}
+	}
+	r.checkClean()
+}
+
+// TestEpochRecordRecoveryRedrivesMembers crashes the coordinator after an
+// epoch seals but before any participant learns the outcome: recovery must
+// unfold the epoch record into its members and re-drive every decision —
+// the Section 4.2 procedure treating the batched record as N logical
+// decision records at one LSN.
+func TestEpochRecordRecoveryRedrivesMembers(t *testing.T) {
+	r := newRig(t, CoordinatorConfig{EpochCommit: true, EpochWindow: 20 * time.Millisecond},
+		partSpec{"p1", wire.PrA}, partSpec{"p2", wire.PrC})
+	r.setDrop(func(m wire.Message) bool { return m.Kind == wire.MsgDecision })
+	const k = 3
+	txns := make([]wire.TxnID, k)
+	for i := range txns {
+		txns[i] = r.nextTxn()
+		r.exec(txns[i], "p1", "p2")
+	}
+	var wg sync.WaitGroup
+	for i := range txns {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// The decision is durable and "sent" (dropped); acks never
+			// come, so don't wait for them here — settle after recovery.
+			r.coord.Commit(txns[i], []wire.SiteID{"p1", "p2"})
+		}(i)
+	}
+	wg.Wait()
+	found := 0
+	for _, rec := range r.logs["coord"].Records() {
+		if rec.Kind == wal.KRecEpochDecision {
+			found += len(rec.Members)
+		}
+	}
+	if found != k {
+		t.Fatalf("stable epoch members %d, want %d", found, k)
+	}
+	r.crashCoord()
+	r.setDrop(nil)
+	r.recoverCoord()
+	r.settle()
+	for _, txn := range txns {
+		for _, id := range []wire.SiteID{"p1", "p2"} {
+			if _, ok := r.stores[id].Read("k-" + txn.String()); !ok {
+				t.Fatalf("member %s not committed at %s after recovery from epoch record", txn, id)
+			}
+		}
+	}
+	r.checkClean()
+}
+
+// TestEpochRecoverySupersedingAbortWins pins the last-record-wins rule for
+// unfolded epochs: a transaction whose epoch record says commit but which a
+// later (higher-LSN) abort record supersedes must recover as aborted —
+// exactly the state a partially failed epoch leaves behind when the failed
+// record stabilizes after all. PrC members, so the abort must actually be
+// re-driven (presumed commit cannot just presume it away).
+func TestEpochRecoverySupersedingAbortWins(t *testing.T) {
+	r := newRig(t, CoordinatorConfig{}, partSpec{"p1", wire.PrC}, partSpec{"p2", wire.PrC})
+	txn := r.nextTxn()
+	parts := []wal.ParticipantInfo{{ID: "p1", Proto: wire.PrC}, {ID: "p2", Proto: wire.PrC}}
+	for _, rec := range []wal.Record{
+		{Kind: wal.KRecEpochDecision, Role: wal.RoleCoord, Members: []wal.EpochMember{
+			{Txn: txn, Outcome: wire.Commit, Participants: parts},
+		}},
+		{Kind: wal.KAbort, Role: wal.RoleCoord, Txn: txn, Participants: parts},
+	} {
+		if _, err := r.logs["coord"].AppendForce(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.crashCoord()
+	var mu sync.Mutex
+	var redriven []wire.Outcome
+	r.setDrop(func(m wire.Message) bool {
+		if m.Kind == wire.MsgDecision && m.Txn == txn {
+			mu.Lock()
+			redriven = append(redriven, m.Outcome)
+			mu.Unlock()
+		}
+		return false
+	})
+	r.recoverCoord()
+	r.settle()
+	if len(redriven) == 0 {
+		t.Fatal("recovery re-drove no decision for the epoch member")
+	}
+	for _, out := range redriven {
+		if out != wire.Abort {
+			t.Fatalf("recovery re-drove %s, want the superseding abort", out)
+		}
+	}
+}
+
+// TestEpochSealerStopFailsPending pins the crash path the site's Crash()
+// takes: stopping the sealer must fail every pending submission instead of
+// leaving its goroutine blocked forever.
+func TestEpochSealerStopFailsPending(t *testing.T) {
+	r := newRig(t, CoordinatorConfig{EpochCommit: true, EpochWindow: time.Hour},
+		partSpec{"p1", wire.PrA}, partSpec{"p2", wire.PrA})
+	txn := r.nextTxn()
+	r.exec(txn, "p1", "p2")
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.coord.Commit(txn, []wire.SiteID{"p1", "p2"})
+		done <- err
+	}()
+	// Wait for the submission to reach the sealer, then stop it mid-window.
+	for i := 0; i < 1000; i++ {
+		r.coord.epoch.mu.Lock()
+		n := len(r.coord.epoch.pending)
+		r.coord.epoch.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r.coord.Stop()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Commit succeeded on a stopped sealer")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Commit blocked on a stopped sealer")
+	}
+	r.coord.epoch.mu.Lock()
+	left := len(r.coord.epoch.pending)
+	r.coord.epoch.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("pending entries survived stop: %d", left)
+	}
+}

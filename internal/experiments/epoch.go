@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prany/internal/core"
+	"prany/internal/metrics"
+	"prany/internal/site"
+	"prany/internal/transport"
+	"prany/internal/wire"
+)
+
+// EpochPoint is one cell of the epoch-batched commit comparison (E21): the
+// same concurrent commit workload over real TCP with the coordinator's epoch
+// sealer off or on. DecisionsPerTxn counts the logical decision records —
+// identical in both modes, exactly as MsgsPerTxn stayed identical across
+// E16's frame batching — while DecisionRecsPerTxn counts the physical WAL
+// records carrying them, which is where epoch batching shows up: one forced
+// KRecEpochDecision record per epoch instead of one decision record per
+// transaction. MeanEpoch is the epoch population (logical decisions per
+// physical record).
+type EpochPoint struct {
+	Epoch       bool
+	Window      time.Duration
+	Clients     int
+	Txns        int
+	TxnsPerSec  float64
+	MeanLatency time.Duration
+	MsgsPerTxn  float64 // logical messages per txn, cluster-wide (unchanged)
+	// DecisionsPerTxn is logical decisions fixed durable per txn (unchanged
+	// by epoch batching); DecisionRecsPerTxn is the physical records behind
+	// them; MeanEpoch is their ratio — the amortization factor.
+	DecisionsPerTxn    float64
+	DecisionRecsPerTxn float64
+	MeanEpoch          float64
+	// Commit-latency percentiles from the coordinator's SpanCommit
+	// histogram: Commit() call to decision durable and sent.
+	LatencyP50 time.Duration
+	LatencyP95 time.Duration
+	LatencyP99 time.Duration
+}
+
+// MeasureEpoch runs txns committing transactions over a mixed PrN/PrA/PrC
+// cluster of real TCP processes (the E16 batching-on topology, unchanged)
+// with clients concurrent client goroutines, with the coordinator's epoch
+// sealer off or on. Off is the committed E16 baseline path bit for bit; on
+// seals concurrent decisions into epochs — one forced record and one
+// cross-transaction fan-out batch per epoch. window is the sealer's opt-in
+// linger (zero = pure piggybacking: seal whatever accumulated while the
+// previous epoch's force was in flight).
+func MeasureEpoch(epoch bool, window time.Duration, clients, txns int, seed int64) (EpochPoint, error) {
+	pt := EpochPoint{Epoch: epoch, Window: window, Clients: clients, Txns: txns}
+	met := metrics.NewRegistry()
+	pcp := core.NewPCP()
+	newNet := func(addrs map[wire.SiteID]string) (*transport.TCPNetwork, error) {
+		return transport.NewTCPNetwork(transport.TCPOptions{
+			Listen: "127.0.0.1:0", Addrs: addrs, Met: met,
+		})
+	}
+
+	coordNet, err := newNet(nil)
+	if err != nil {
+		return pt, err
+	}
+	defer coordNet.Close()
+
+	mix := MixedThirds(3)
+	partIDs := make([]wire.SiteID, 0, len(mix))
+	parts := make([]*site.Site, 0, len(mix))
+	for i, p := range mix {
+		id := wire.SiteID(fmt.Sprintf("p%d", i+1))
+		pcp.Set(id, p)
+		net, err := newNet(map[wire.SiteID]string{"coord": coordNet.Addr()})
+		if err != nil {
+			return pt, err
+		}
+		defer net.Close()
+		coordNet.SetAddr(id, net.Addr())
+		s, err := site.New(site.Config{
+			ID: id, Proto: p, Net: net, PCP: pcp, Met: met,
+			GroupCommit: true, ExecTimeout: 10 * time.Second,
+		})
+		if err != nil {
+			return pt, err
+		}
+		partIDs = append(partIDs, id)
+		parts = append(parts, s)
+	}
+	coord, err := site.New(site.Config{
+		ID: "coord", Proto: wire.PrN, Net: coordNet, PCP: pcp, Met: met,
+		GroupCommit: true, ExecTimeout: 10 * time.Second,
+		EpochCommit: epoch, EpochWindow: window,
+		Coordinator: core.CoordinatorConfig{VoteTimeout: 5 * time.Second},
+	})
+	if err != nil {
+		return pt, err
+	}
+
+	var next, errs atomic.Int64
+	var latNS atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(txns) {
+					return
+				}
+				t0 := time.Now()
+				txn := coord.Begin()
+				for j, id := range partIDs {
+					if err := txn.Put(id, fmt.Sprintf("k%d-%d-%d", seed, i, j), "v"); err != nil {
+						errs.Add(1)
+						return
+					}
+				}
+				if out, err := txn.Commit(); err != nil || out != wire.Commit {
+					errs.Add(1)
+					return
+				}
+				latNS.Add(int64(time.Since(t0)))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if n := errs.Load(); n > 0 {
+		return pt, fmt.Errorf("experiments: %d errors in epoch run", n)
+	}
+	// Drain the tail: late acks and retained protocol-table entries.
+	deadline := time.Now().Add(10 * time.Second)
+	quiet := func() bool {
+		if !coord.Quiesced() {
+			return false
+		}
+		for _, p := range parts {
+			if !p.Quiesced() {
+				return false
+			}
+		}
+		return true
+	}
+	for !quiet() {
+		if time.Now().After(deadline) {
+			return pt, fmt.Errorf("experiments: epoch cluster did not quiesce")
+		}
+		coord.Tick()
+		for _, p := range parts {
+			p.Tick()
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	tot := met.Total()
+	ftxns := float64(txns)
+	pt.TxnsPerSec = ftxns / elapsed.Seconds()
+	pt.MeanLatency = time.Duration(latNS.Load() / int64(txns))
+	pt.MsgsPerTxn = float64(tot.TotalMessages()) / ftxns
+	pt.DecisionsPerTxn = float64(tot.Decisions) / ftxns
+	pt.DecisionRecsPerTxn = float64(tot.DecisionRecords) / ftxns
+	pt.MeanEpoch = tot.MeanEpoch()
+	commit := met.Hist(metrics.SpanCommit)
+	pt.LatencyP50 = commit.P50()
+	pt.LatencyP95 = commit.P95()
+	pt.LatencyP99 = commit.P99()
+	return pt, nil
+}

@@ -38,6 +38,10 @@ const (
 	// SpanCheckpoint is one log checkpoint: table snapshot, live-record
 	// filter and the stable-image rewrite.
 	SpanCheckpoint
+	// SpanEpochSeal is one epoch seal: the batched decision force plus the
+	// whole epoch's finalize and fan-out — what every member transaction
+	// shares the cost of.
+	SpanEpochSeal
 
 	numSpans
 )
@@ -51,6 +55,7 @@ var spanNames = [numSpans]string{
 	SpanFrameFlush: "frame_flush",
 	SpanRecovery:   "recovery",
 	SpanCheckpoint: "checkpoint",
+	SpanEpochSeal:  "epoch_seal",
 }
 
 // String names the span as it appears in /metrics and bench tables.

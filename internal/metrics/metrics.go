@@ -52,6 +52,18 @@ type SiteCounters struct {
 	RecoveryScanned     uint64
 	RecoverySuffix      uint64
 
+	// Decisions and DecisionRecords split logical from physical decision
+	// logging the way Forces/Syncs do for flushes and Messages/Frames do
+	// for the wire: Decisions counts logical decision records fixed
+	// durable (one per transaction, the paper's protocol cost),
+	// DecisionRecords counts the physical WAL records carrying them. With
+	// epoch-batched commit one KRecEpochDecision record carries a whole
+	// epoch, so DecisionRecords < Decisions is exactly the epoch win; the
+	// per-transaction logical counts the paper's tables assert are
+	// unchanged.
+	Decisions       uint64
+	DecisionRecords uint64
+
 	// Frames, FramesBatched and BytesOnWire count the *physical* network
 	// writes behind the Messages, the same split Syncs/Synced make for
 	// Forces: Frames is the number of wire writes (each a batch of one or
@@ -79,6 +91,15 @@ func (c SiteCounters) MeanFrameBatch() float64 {
 		return 0
 	}
 	return float64(c.FramesBatched) / float64(c.Frames)
+}
+
+// MeanEpoch is the average number of logical decisions per physical
+// decision record — the epoch population. 1.0 without epoch batching.
+func (c SiteCounters) MeanEpoch() float64 {
+	if c.DecisionRecords == 0 {
+		return 0
+	}
+	return float64(c.Decisions) / float64(c.DecisionRecords)
 }
 
 // Retained is the number of protocol-table entries not yet discarded.
@@ -170,6 +191,17 @@ func (r *Registry) ResendSuppressed(id wire.SiteID, n int) {
 	r.site(id).ResendsSuppressed += uint64(n)
 }
 
+// Decision records logical decisions fixed durable at site id in records
+// physical WAL records (the single-record path passes 1,1; an epoch seal
+// passes the epoch population and 1).
+func (r *Registry) Decision(id wire.SiteID, logical, records int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.site(id)
+	c.Decisions += uint64(logical)
+	c.DecisionRecords += uint64(records)
+}
+
 // Frame records one physical network write by site from carrying msgs
 // message frames in bytes encoded bytes. A batch can mix messages from
 // several local sites; it is charged to the site that opened it, so
@@ -258,6 +290,8 @@ func (r *Registry) Total() SiteCounters {
 		out.Recoveries += c.Recoveries
 		out.RecoveryScanned += c.RecoveryScanned
 		out.RecoverySuffix += c.RecoverySuffix
+		out.Decisions += c.Decisions
+		out.DecisionRecords += c.DecisionRecords
 		out.Frames += c.Frames
 		out.FramesBatched += c.FramesBatched
 		out.BytesOnWire += c.BytesOnWire

@@ -72,6 +72,10 @@ const (
 	EvDelay
 	EvDup
 	EvWALFail
+	// EvEpochSeal: the coordinator sealed one commit epoch — one forced
+	// record and one fan-out for every member transaction (span; Note is
+	// the epoch population).
+	EvEpochSeal
 
 	numKinds
 )
@@ -96,6 +100,7 @@ var kindNames = [numKinds]string{
 	EvDelay:        "chaos-delay",
 	EvDup:          "chaos-dup",
 	EvWALFail:      "chaos-walfail",
+	EvEpochSeal:    "epoch-seal",
 }
 
 // String names the kind as it appears in exports.

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"prany/internal/wal"
+	"prany/internal/wire"
+	"prany/internal/workload"
+)
+
+// TestEpochClusterCheckpointCollectsEpochRecords runs a mixed cluster with
+// epoch sealing on, checks that the coordinator really logged its decisions
+// as KRecEpochDecision records, and then asserts the site-level checkpoint
+// liveness rule end to end: once every member transaction has terminated
+// and drained, the batched records are dead (EpochLive over the live set is
+// false for all of them) and a checkpoint collects every protocol record.
+func TestEpochClusterCheckpointCollectsEpochRecords(t *testing.T) {
+	spec := mixedSpec()
+	spec.EpochCommit = true
+	c, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	plans := workload.Generate(workload.Spec{
+		Txns: 10, SitesPerTxn: 3, OpsPerSite: 1, CommitFraction: 0.7, Seed: 5,
+	}, c.PartIDs())
+	res := c.Run(plans)
+	if res.Errors != 0 {
+		t.Fatalf("%+v", res)
+	}
+	if !c.Quiesce(3 * time.Second) {
+		t.Fatal("did not quiesce")
+	}
+	epochRecs, members := 0, 0
+	for _, rec := range c.Coord.Log().Records() {
+		if rec.Kind == wal.KRecEpochDecision {
+			epochRecs++
+			members += len(rec.Members)
+		}
+	}
+	if epochRecs == 0 {
+		t.Fatal("epoch sealing on, but no epoch decision records in the coordinator log")
+	}
+	if members < res.Commits {
+		t.Fatalf("epoch members %d < %d commits", members, res.Commits)
+	}
+	if _, err := c.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.StableRecords(); got != 0 {
+		t.Fatalf("%d stable records survive checkpoint after quiescence", got)
+	}
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+// TestEpochClusterRecoversMidFlight crashes the epoch-sealing coordinator
+// between transactions and recovers it: decisions fixed in epoch records
+// must re-drive, the cluster must converge, and the history must stay
+// operationally correct — the simulator-level twin of the rig's
+// epoch-recovery tests.
+func TestEpochClusterRecoversMidFlight(t *testing.T) {
+	spec := mixedSpec()
+	spec.EpochCommit = true
+	c, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	plans := workload.Generate(workload.Spec{
+		Txns: 6, SitesPerTxn: 3, OpsPerSite: 1, CommitFraction: 1.0, Seed: 9,
+	}, c.PartIDs())
+	for i, p := range plans {
+		r := c.RunPlan(p)
+		if r.Err != nil {
+			t.Fatalf("txn %d: %v", i, r.Err)
+		}
+		if r.Outcome != wire.Commit {
+			t.Fatalf("txn %d: outcome %s", i, r.Outcome)
+		}
+		if i == 2 {
+			c.Coord.Crash()
+			if err := c.Coord.Recover(); err != nil {
+				t.Fatalf("recover coordinator: %v", err)
+			}
+		}
+	}
+	if !c.Quiesce(3 * time.Second) {
+		t.Fatal("did not quiesce")
+	}
+	if v := c.Violations(); len(v) != 0 {
+		t.Fatalf("violations: %v", v)
+	}
+}

@@ -60,6 +60,13 @@ type Spec struct {
 	// store, making the batching win of GroupCommit measurable. Zero means
 	// instantaneous flushes.
 	ForceDelay time.Duration
+	// EpochCommit enables epoch-batched decision sealing on the
+	// coordinator site: concurrent record-bearing decisions share one
+	// forced KRecEpochDecision record and one fan-out batch.
+	EpochCommit bool
+	// EpochWindow is the opt-in epoch linger; zero means pure piggybacking
+	// (seal whatever is pending the moment the sealer is free).
+	EpochWindow time.Duration
 	// CheckpointEvery enables automatic log checkpointing on every site:
 	// after that many forced records a checkpoint garbage-collects the log
 	// and writes a RecCheckpoint snapshot. Zero disables it (the historical
@@ -186,6 +193,8 @@ func New(spec Spec) (*Cluster, error) {
 		Met:             c.Met,
 		ReadOnlyOpt:     spec.ReadOnlyOpt,
 		GroupCommit:     spec.GroupCommit,
+		EpochCommit:     spec.EpochCommit,
+		EpochWindow:     spec.EpochWindow,
 		CheckpointEvery: spec.CheckpointEvery,
 		ExecTimeout:     spec.ExecTimeout,
 		LogStore:        newLogStore(CoordID),

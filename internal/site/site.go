@@ -56,6 +56,14 @@ type Config struct {
 	// force-writes coalesce into shared physical flushes (each caller
 	// still blocks until its record is durable). See wal.StartGroupCommit.
 	GroupCommit bool
+	// EpochCommit enables epoch-batched decision sealing on the site's
+	// coordinator: concurrent record-bearing decisions share one forced
+	// KRecEpochDecision record and one cross-transaction fan-out batch.
+	// Off by default so every committed BENCH number reproduces unchanged.
+	EpochCommit bool
+	// EpochWindow is the opt-in epoch linger (see
+	// core.CoordinatorConfig.EpochWindow). Zero means pure piggybacking.
+	EpochWindow time.Duration
 	// CheckpointEvery, when positive, checkpoints the log automatically
 	// every time that many records have been forced since the last
 	// checkpoint. Each checkpoint garbage-collects terminated transactions'
@@ -187,6 +195,8 @@ func (s *Site) start(runRecovery bool) error {
 	part := core.NewParticipant(env, s.cfg.Proto, s.rm, s.cfg.ReadOnlyOpt)
 	part.SetCoordinators(s.cfg.KnownCoordinators)
 	coordCfg := s.cfg.Coordinator
+	coordCfg.EpochCommit = s.cfg.EpochCommit
+	coordCfg.EpochWindow = s.cfg.EpochWindow
 	var acc *consensus.Acceptor
 	if len(s.cfg.Acceptors) > 0 {
 		acceptors := s.cfg.Acceptors
@@ -369,7 +379,7 @@ func (s *Site) Crash() {
 	}
 	s.crashed = true
 	s.dead.Store(true)
-	log := s.log
+	log, coord := s.log, s.coord
 	s.mu.Unlock()
 
 	if d, ok := s.cfg.Net.(interface {
@@ -381,6 +391,9 @@ func (s *Site) Crash() {
 	// the same store; its waiters fail with ErrLost, like the in-flight
 	// force-writes a real crash loses.
 	log.StopGroupCommit()
+	// Stop the coordinator's epoch sealer and deadline wheel likewise: their
+	// waiters fail with ErrSiteDown, and recovery builds a fresh coordinator.
+	coord.Stop()
 	log.Crash()
 	s.rm.Crash()
 	if s.cfg.Hist != nil {
@@ -488,6 +501,12 @@ func (s *Site) Checkpoint() (int, error) {
 			return acc != nil && acc.LiveRecord(rec)
 		}
 		if rec.Role == wal.RoleCoord {
+			if rec.Kind == wal.KRecEpochDecision {
+				// One record, many transactions: the record stays as long as
+				// ANY member is live. Terminated members' logical decisions
+				// ride along harmlessly — recovery skips ended transactions.
+				return rec.EpochLive(coord.Live)
+			}
 			return coord.Live(rec.Txn)
 		}
 		return part.Live(rec.Txn)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"prany/internal/wire"
@@ -22,6 +23,29 @@ type Txn struct {
 
 // ErrTxnDone is returned when a finished transaction is used again.
 var ErrTxnDone = errors.New("site: transaction already terminated")
+
+// execTimers recycles Exec's deadline timers. A pipelined client calls Exec
+// once or more per transaction; time.After would leave a live runtime timer
+// per call for the whole ExecTimeout window. Each Get is paired with a
+// Stop-and-drain before Put, so a pooled timer is never returned armed or
+// with a pending tick.
+var execTimers = sync.Pool{New: func() any {
+	t := time.NewTimer(time.Hour)
+	if !t.Stop() {
+		<-t.C
+	}
+	return t
+}}
+
+func putExecTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	execTimers.Put(t)
+}
 
 // Begin starts a distributed transaction coordinated by this site.
 func (s *Site) Begin() *Txn {
@@ -67,7 +91,9 @@ func (t *Txn) Exec(at wire.SiteID, ops ...wire.Op) ([]string, error) {
 		t.involved[at] = true
 		t.order = append(t.order, at)
 	}
-	deadline := time.After(s.cfg.ExecTimeout)
+	deadline := execTimers.Get().(*time.Timer)
+	deadline.Reset(s.cfg.ExecTimeout)
+	defer putExecTimer(deadline)
 	for {
 		if s.cfg.Met != nil {
 			s.cfg.Met.Message(s.cfg.ID, wire.MsgExec)
@@ -83,7 +109,7 @@ func (t *Txn) Exec(at wire.SiteID, ops ...wire.Op) ([]string, error) {
 				select {
 				case <-time.After(5 * time.Millisecond):
 					continue
-				case <-deadline:
+				case <-deadline.C:
 					return nil, fmt.Errorf("site: exec at %s: still recovering", at)
 				}
 			}
@@ -91,7 +117,7 @@ func (t *Txn) Exec(at wire.SiteID, ops ...wire.Op) ([]string, error) {
 				return nil, fmt.Errorf("site: exec at %s: %s", at, m.Err)
 			}
 			return m.Results, nil
-		case <-deadline:
+		case <-deadline.C:
 			return nil, fmt.Errorf("site: exec at %s: timed out", at)
 		}
 	}

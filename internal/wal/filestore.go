@@ -229,7 +229,14 @@ func appendFrame(dst []byte, r *Record) []byte {
 //	nparts:u32 {id:str proto:u8}*
 //	nwrites:u32 {key:str old:str oldExists:u8 new:str newExists:u8}*
 //	nckpt:u32 {txnCoord:str txnSeq:u64 role:u8 phase:u8 decided:u8 outcome:u8 coord:str}*
-//	ballot:u32  nvotes:u32 {part:str vote:u8}*
+//	ballot:u32  nvotes:u32 {part:str vote:u8 bal:u32}*
+//	[nmembers:u32 {txnCoord:str txnSeq:u64 outcome:u8 nparts:u32 {id:str proto:u8}*}*]
+//
+// The members section is optional-trailing: it is written only when the
+// record carries epoch members, and a decoder reads it only when bytes
+// remain after the votes — so records written before the section existed
+// decode unchanged, and records without members stay byte-identical to the
+// old format.
 func encodeRecord(dst []byte, r *Record) []byte {
 	dst = append(dst, byte(r.Kind))
 	dst = append(dst, byte(r.Role))
@@ -266,6 +273,19 @@ func encodeRecord(dst []byte, r *Record) []byte {
 		dst = appendString(dst, string(v.Part))
 		dst = append(dst, byte(v.Vote))
 		dst = binary.LittleEndian.AppendUint32(dst, v.Bal)
+	}
+	if len(r.Members) > 0 {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(r.Members)))
+		for _, m := range r.Members {
+			dst = appendString(dst, string(m.Txn.Coord))
+			dst = binary.LittleEndian.AppendUint64(dst, m.Txn.Seq)
+			dst = append(dst, byte(m.Outcome))
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(m.Participants)))
+			for _, p := range m.Participants {
+				dst = appendString(dst, string(p.ID))
+				dst = append(dst, byte(p.Proto))
+			}
+		}
 	}
 	return dst
 }
@@ -328,6 +348,29 @@ func decodeRecord(p []byte) (Record, error) {
 		v.Vote = wire.Vote(d.u8())
 		v.Bal = d.u32()
 		r.Votes = append(r.Votes, v)
+	}
+	if d.err == nil && d.off < len(p) {
+		nmembers := d.u32()
+		if d.err == nil && int(nmembers) > len(p) {
+			return Record{}, fmt.Errorf("implausible epoch-member count %d", nmembers)
+		}
+		for i := uint32(0); i < nmembers && d.err == nil; i++ {
+			var m EpochMember
+			m.Txn.Coord = wire.SiteID(d.str())
+			m.Txn.Seq = d.u64()
+			m.Outcome = wire.Outcome(d.u8())
+			mparts := d.u32()
+			if d.err == nil && int(mparts) > len(p) {
+				return Record{}, fmt.Errorf("implausible epoch-member participant count %d", mparts)
+			}
+			for j := uint32(0); j < mparts && d.err == nil; j++ {
+				var pi ParticipantInfo
+				pi.ID = wire.SiteID(d.str())
+				pi.Proto = wire.Protocol(d.u8())
+				m.Participants = append(m.Participants, pi)
+			}
+			r.Members = append(r.Members, m)
+		}
 	}
 	if d.err != nil {
 		return Record{}, d.err

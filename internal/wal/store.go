@@ -41,9 +41,16 @@ type PendingRewrite interface {
 // MemStore is an in-memory Store used by the simulator. "Stable" here means
 // it survives Log.Crash — the simulator never destroys the MemStore itself,
 // mirroring a disk that outlives the process.
+//
+// Records live in append-only segments rather than one flat slice: a flat
+// array doubling through a hundred-thousand-record run re-zeroes and
+// re-copies megabytes on the commit hot path, while a full segment is
+// simply left behind and a fresh one started — append cost is flat
+// regardless of log length.
 type MemStore struct {
 	mu   sync.Mutex
-	recs []Record
+	segs [][]Record // only the last segment has spare capacity
+	n    int        // total records across segs
 	// FailNextAppend, when set, makes the next Append return an error and
 	// clear itself. Tests use it to exercise force-write failure paths.
 	FailNextAppend error
@@ -52,6 +59,9 @@ type MemStore struct {
 	// flush. Group-commit experiments use it to make batching measurable.
 	delay time.Duration
 }
+
+// memSegSize is the record capacity of one MemStore segment.
+const memSegSize = 1024
 
 // SetAppendDelay sets the simulated per-batch fsync latency.
 func (s *MemStore) SetAppendDelay(d time.Duration) {
@@ -67,7 +77,13 @@ func NewMemStore() *MemStore { return &MemStore{} }
 func (s *MemStore) Load() ([]Record, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return cloneRecords(s.recs), nil
+	out := make([]Record, 0, s.n)
+	for _, seg := range s.segs {
+		for i := range seg {
+			out = append(out, cloneRecord(&seg[i]))
+		}
+	}
+	return out, nil
 }
 
 // Append implements Store.
@@ -81,16 +97,49 @@ func (s *MemStore) Append(recs []Record) error {
 	if s.delay > 0 {
 		time.Sleep(s.delay)
 	}
-	s.recs = append(s.recs, cloneRecords(recs)...)
+	for i := range recs {
+		if len(s.segs) == 0 || len(s.segs[len(s.segs)-1]) == cap(s.segs[len(s.segs)-1]) {
+			s.segs = append(s.segs, make([]Record, 0, memSegSize))
+		}
+		last := len(s.segs) - 1
+		s.segs[last] = append(s.segs[last], cloneRecord(&recs[i]))
+	}
+	s.n += len(recs)
 	return nil
+}
+
+// growRecords makes room for n more records, doubling capacity when short.
+// The runtime's append growth falls toward 1.25x for large slices, which at
+// hundred-thousand-record logs means a multi-megabyte reallocation (alloc,
+// zero, copy) every few percent of growth — on the commit hot path that is
+// measurable GC pressure. Doubling keeps reallocations logarithmic in the
+// log length.
+func growRecords(dst []Record, n int) []Record {
+	if len(dst)+n <= cap(dst) {
+		return dst
+	}
+	out := make([]Record, len(dst), 2*(len(dst)+n))
+	copy(out, dst)
+	return out
 }
 
 // Rewrite implements Store.
 func (s *MemStore) Rewrite(recs []Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.recs = cloneRecords(recs)
+	s.replaceLocked(cloneRecords(recs))
 	return nil
+}
+
+// replaceLocked swaps the store's contents for the already-cloned image.
+// The image becomes a sealed segment (it has no spare capacity), so the
+// next Append starts a fresh tail segment.
+func (s *MemStore) replaceLocked(image []Record) {
+	s.segs = s.segs[:0]
+	if len(image) > 0 {
+		s.segs = append(s.segs, image)
+	}
+	s.n = len(image)
 }
 
 // BeginRewrite implements Rewriter: the staged image is a private clone,
@@ -108,7 +157,7 @@ type memPending struct {
 func (p *memPending) Commit(suffix []Record) error {
 	p.s.mu.Lock()
 	defer p.s.mu.Unlock()
-	p.s.recs = append(p.staged, cloneRecords(suffix)...)
+	p.s.replaceLocked(append(p.staged, cloneRecords(suffix)...))
 	return nil
 }
 
@@ -121,21 +170,37 @@ func (s *MemStore) Close() error { return nil }
 func (s *MemStore) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.recs)
+	return s.n
 }
 
 func cloneRecords(recs []Record) []Record {
 	out := make([]Record, len(recs))
-	for i, r := range recs {
-		out[i] = r
-		if r.Participants != nil {
-			out[i].Participants = append([]ParticipantInfo(nil), r.Participants...)
-		}
-		if r.Writes != nil {
-			out[i].Writes = append([]Update(nil), r.Writes...)
-		}
-		if r.Ckpt != nil {
-			out[i].Ckpt = append([]CheckpointEntry(nil), r.Ckpt...)
+	for i := range recs {
+		out[i] = cloneRecord(&recs[i])
+	}
+	return out
+}
+
+// cloneRecord deep-copies one record's owned slices (Votes are immutable
+// once logged and stay shared).
+func cloneRecord(r *Record) Record {
+	out := *r
+	if r.Participants != nil {
+		out.Participants = append([]ParticipantInfo(nil), r.Participants...)
+	}
+	if r.Writes != nil {
+		out.Writes = append([]Update(nil), r.Writes...)
+	}
+	if r.Ckpt != nil {
+		out.Ckpt = append([]CheckpointEntry(nil), r.Ckpt...)
+	}
+	if r.Members != nil {
+		out.Members = make([]EpochMember, len(r.Members))
+		for j, m := range r.Members {
+			out.Members[j] = m
+			if m.Participants != nil {
+				out.Members[j].Participants = append([]ParticipantInfo(nil), m.Participants...)
+			}
 		}
 	}
 	return out

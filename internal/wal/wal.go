@@ -84,10 +84,18 @@ const (
 	// their ballot are stable — the acceptor set is the replicated
 	// decision's log, so these forces are the decision's durability.
 	KPaxosAccept
+	// KRecEpochDecision is the coordinator's batched decision record: one
+	// physical forced record carrying the decisions (Members) of every
+	// transaction sealed into one commit epoch. Logically it is N decision
+	// records — recovery, checkpoint collection and the Definition-1
+	// judges unfold it per member — so the protocols' forced-write points
+	// are unchanged; only the physical record count shrinks (the E13/E16
+	// logical-vs-physical split applied to decisions).
+	KRecEpochDecision
 )
 
 var kindNames = [...]string{"initiation", "commit", "abort", "end", "prepared", "remote-writes", "rec-checkpoint",
-	"paxos-promise", "paxos-accept"}
+	"paxos-promise", "paxos-accept", "epoch-decision"}
 
 // String returns the record kind's name.
 func (k Kind) String() string {
@@ -195,6 +203,16 @@ type CheckpointEntry struct {
 	Coord wire.SiteID
 }
 
+// EpochMember is one transaction's decision inside a KRecEpochDecision
+// record: the transaction, its outcome, and — exactly as on a standalone
+// decision record — the participant set recovery needs to re-drive the
+// decision phase.
+type EpochMember struct {
+	Txn          wire.TxnID
+	Outcome      wire.Outcome
+	Participants []ParticipantInfo
+}
+
 // Record is a single log record. Only the fields relevant to the Kind are
 // populated.
 type Record struct {
@@ -227,6 +245,23 @@ type Record struct {
 	// Votes is set on KPaxosAccept records: the accepted per-instance
 	// values stable at that ballot.
 	Votes []VoteInfo
+
+	// Members is set on KRecEpochDecision records: the per-transaction
+	// decisions the epoch record batches. Consumers treat the record as
+	// len(Members) logical decision records.
+	Members []EpochMember
+}
+
+// EpochLive reports whether an epoch decision record is still live given a
+// per-transaction liveness predicate: the physical record must survive as
+// long as ANY member transaction still needs its decision durable.
+func (r *Record) EpochLive(live func(wire.TxnID) bool) bool {
+	for _, m := range r.Members {
+		if live(m.Txn) {
+			return true
+		}
+	}
+	return false
 }
 
 // Stats counts logging activity. The commit protocols are compared by
@@ -282,6 +317,25 @@ type Log struct {
 type gcWaiter struct {
 	lsn uint64
 	ch  chan error
+}
+
+// gcWaiterChans recycles waiter channels: every waiter gets exactly one
+// send (flusher, crash, or close) and its caller does exactly one receive,
+// so a received-from channel is empty and safe to reuse. At thousands of
+// forces per second per site the per-force channel allocation is
+// measurable GC pressure.
+var gcWaiterChans = sync.Pool{New: func() any { return make(chan error, 1) }}
+
+// newGCWaiter takes a pooled waiter channel.
+func newGCWaiter(lsn uint64) gcWaiter {
+	return gcWaiter{lsn: lsn, ch: gcWaiterChans.Get().(chan error)}
+}
+
+// gcWait blocks on the waiter's answer and recycles its channel.
+func gcWait(w gcWaiter) error {
+	err := <-w.ch
+	gcWaiterChans.Put(w.ch)
+	return err
 }
 
 // SetTap installs an observer invoked for every appended record, with
@@ -360,11 +414,11 @@ func (l *Log) Force() error {
 		l.mu.Unlock()
 		return nil
 	}
-	w := gcWaiter{lsn: l.nextLSN - 1, ch: make(chan error, 1)}
+	w := newGCWaiter(l.nextLSN - 1)
 	l.waiters = append(l.waiters, w)
 	l.flushCond.Signal()
 	l.mu.Unlock()
-	return <-w.ch
+	return gcWait(w)
 }
 
 // syncLocked writes the buffered records through to the store — the
@@ -383,7 +437,7 @@ func (l *Log) syncLocked() error {
 	if err := l.store.Append(l.buffer); err != nil {
 		return fmt.Errorf("wal: forcing %d records: %w", n, err)
 	}
-	l.stable = append(l.stable, l.buffer...)
+	l.stable = append(growRecords(l.stable, n), l.buffer...)
 	l.stats.Stable = uint64(len(l.stable))
 	l.buffer = l.buffer[:0]
 	l.sinceCkpt += n
@@ -436,11 +490,11 @@ func (l *Log) AppendForce(rec Record) (uint64, error) {
 		}
 		return rec.LSN, nil
 	}
-	w := gcWaiter{lsn: rec.LSN, ch: make(chan error, 1)}
+	w := newGCWaiter(rec.LSN)
 	l.waiters = append(l.waiters, w)
 	l.flushCond.Signal()
 	l.mu.Unlock()
-	if err := <-w.ch; err != nil {
+	if err := gcWait(w); err != nil {
 		return 0, err
 	}
 	return rec.LSN, nil

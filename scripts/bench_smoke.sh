@@ -43,6 +43,20 @@ go test -run 'TestConsensusJSONShape' ./cmd/prany-bench >/dev/null || {
 }
 echo "ok   bench-smoke: BENCH_consensus.json regenerated and shape-checked"
 
+# E21 leg: run the epoch generator through its JSON shape harness. The
+# test executes the full off/on sweep in-process and fails unless logical
+# decisions per txn stay identical across modes while the on-mode physical
+# decision-record rate drops (mean epoch > 1) — so a silently disabled
+# sealer, or one that batches records but loses decisions, fails the gate.
+# The committed BENCH_epoch.json itself is not rewritten here: throughput
+# is host-sensitive, so the artifact is regenerated deliberately with
+# `make bench-epoch`, not on every merge.
+go test -count=1 -run 'TestEpochJSONShape' ./cmd/prany-bench >/dev/null || {
+	echo "FAIL bench-smoke: epoch sweep failed the JSON shape harness"
+	exit 1
+}
+echo "ok   bench-smoke: epoch sweep generated and shape-checked (amortization live)"
+
 # E20 leg: regenerate the Byzantine tolerance matrix with the canonical
 # flags and re-run the committed-artifact shape test against the fresh
 # document, so BENCH_byz.json can never drift from its generator. This is

@@ -1,0 +1,246 @@
+// Command epochsmoke is the tier-1 epoch-sealing gate (`make epoch-smoke`):
+// it runs a real-TCP mixed cluster with the coordinator's epoch sealer on
+// (2ms linger) and file-backed WALs, kills the coordinator while concurrent
+// commits are in flight — so pending epochs are caught mid-seal — recovers
+// it, and then checks the crash contract record by record: every member of
+// every batched KRecEpochDecision record in the stable log must land on
+// exactly the outcome the WAL fixed for it (last decision record wins) at
+// every one of its participants. A regression in the epoch codec, the
+// recovery unfold, or the superseding-abort path fails the merge gate in a
+// couple of seconds.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prany/internal/core"
+	"prany/internal/experiments"
+	"prany/internal/site"
+	"prany/internal/transport"
+	"prany/internal/wal"
+	"prany/internal/wire"
+)
+
+const (
+	clients     = 8
+	maxTxns     = 400
+	crashAfter  = 40 // commits to land before the kill
+	epochWindow = 2 * time.Millisecond
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL epoch-smoke: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "epochsmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	pcp := core.NewPCP()
+	newNet := func(addrs map[wire.SiteID]string) (*transport.TCPNetwork, error) {
+		return transport.NewTCPNetwork(transport.TCPOptions{
+			Listen: "127.0.0.1:0", Addrs: addrs,
+		})
+	}
+	coordNet, err := newNet(nil)
+	if err != nil {
+		return err
+	}
+	defer coordNet.Close()
+
+	mix := experiments.MixedThirds(3)
+	partIDs := make([]wire.SiteID, 0, len(mix))
+	parts := make(map[wire.SiteID]*site.Site, len(mix))
+	for i, p := range mix {
+		id := wire.SiteID(fmt.Sprintf("p%d", i+1))
+		pcp.Set(id, p)
+		net, err := newNet(map[wire.SiteID]string{"coord": coordNet.Addr()})
+		if err != nil {
+			return err
+		}
+		defer net.Close()
+		coordNet.SetAddr(id, net.Addr())
+		fs, err := wal.OpenFileStore(filepath.Join(dir, string(id)+".wal"))
+		if err != nil {
+			return err
+		}
+		s, err := site.New(site.Config{
+			ID: id, Proto: p, Net: net, PCP: pcp, LogStore: fs,
+			GroupCommit: true, ExecTimeout: 10 * time.Second,
+		})
+		if err != nil {
+			return err
+		}
+		partIDs = append(partIDs, id)
+		parts[id] = s
+	}
+	coordStore, err := wal.OpenFileStore(filepath.Join(dir, "coord.wal"))
+	if err != nil {
+		return err
+	}
+	coord, err := site.New(site.Config{
+		ID: "coord", Proto: wire.PrN, Net: coordNet, PCP: pcp, LogStore: coordStore,
+		GroupCommit: true, ExecTimeout: 10 * time.Second,
+		EpochCommit: true, EpochWindow: epochWindow,
+		Coordinator: core.CoordinatorConfig{VoteTimeout: 5 * time.Second},
+	})
+	if err != nil {
+		return err
+	}
+
+	// Concurrent committers: the 2ms linger plus eight clients keeps at
+	// least one epoch pending in the sealer at essentially every instant,
+	// so the kill below lands mid-epoch.
+	var next, committed, inFlight, interrupted atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for next.Add(1) <= maxTxns {
+				txn := coord.Begin()
+				ok := true
+				for _, id := range partIDs {
+					if err := txn.Put(id, fmt.Sprintf("k%d-%s", txn.ID().Seq, id), "v"); err != nil {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					interrupted.Add(1)
+					return
+				}
+				inFlight.Add(1)
+				out, err := txn.Commit()
+				inFlight.Add(-1)
+				if err != nil || out != wire.Commit {
+					interrupted.Add(1)
+					return
+				}
+				committed.Add(1)
+			}
+		}()
+	}
+
+	// Kill the coordinator once the cluster is warm and commits are in
+	// flight — mid-epoch by construction.
+	deadline := time.Now().Add(5 * time.Second)
+	for committed.Load() < crashAfter || inFlight.Load() == 0 {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	coord.Crash()
+	wg.Wait()
+	if interrupted.Load() == 0 {
+		return fmt.Errorf("crash interrupted no client: %d committed, kill landed too late", committed.Load())
+	}
+
+	if err := coord.Recover(); err != nil {
+		return fmt.Errorf("recover coordinator: %w", err)
+	}
+	// Drain: recovery re-drives WAL-fixed decisions, participants inquire.
+	drain := time.Now().Add(10 * time.Second)
+	quiet := func() bool {
+		if !coord.Quiesced() {
+			return false
+		}
+		for _, p := range parts {
+			if !p.Quiesced() {
+				return false
+			}
+		}
+		return true
+	}
+	for !quiet() {
+		if time.Now().After(drain) {
+			return fmt.Errorf("cluster did not quiesce after recovery")
+		}
+		coord.Tick()
+		for _, p := range parts {
+			p.Tick()
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Unfold the coordinator's stable log exactly as recovery does: walk in
+	// LSN order, last decision record for a transaction wins (a superseding
+	// abort written after a partial epoch force dominates the epoch member).
+	outcomes := make(map[wire.TxnID]wire.Outcome)
+	roster := make(map[wire.TxnID][]wal.ParticipantInfo)
+	epochRecs, epochMembers, batched := 0, 0, 0
+	for _, rec := range coord.Log().Records() {
+		if rec.Role != wal.RoleCoord {
+			continue
+		}
+		switch rec.Kind {
+		case wal.KCommit:
+			outcomes[rec.Txn] = wire.Commit
+			roster[rec.Txn] = rec.Participants
+		case wal.KAbort:
+			outcomes[rec.Txn] = wire.Abort
+			if len(rec.Participants) > 0 {
+				roster[rec.Txn] = rec.Participants
+			}
+		case wal.KRecEpochDecision:
+			epochRecs++
+			epochMembers += len(rec.Members)
+			if len(rec.Members) > 1 {
+				batched++
+			}
+			for _, m := range rec.Members {
+				outcomes[m.Txn] = m.Outcome
+				roster[m.Txn] = m.Participants
+			}
+		}
+	}
+	if epochRecs == 0 {
+		return fmt.Errorf("epoch sealing on, but no epoch decision record in the coordinator WAL")
+	}
+	if batched == 0 {
+		return fmt.Errorf("%d epoch records, none with more than one member — sealer never batched", epochRecs)
+	}
+
+	// Every epoch member must land on its WAL-fixed outcome at every
+	// participant: committed puts visible, aborted puts invisible.
+	checked := 0
+	for _, rec := range coord.Log().Records() {
+		if rec.Kind != wal.KRecEpochDecision {
+			continue
+		}
+		for _, m := range rec.Members {
+			want := outcomes[m.Txn] // last-wins, may supersede m.Outcome
+			for _, pi := range roster[m.Txn] {
+				p, ok := parts[pi.ID]
+				if !ok {
+					return fmt.Errorf("txn %v: unknown participant %s in WAL roster", m.Txn, pi.ID)
+				}
+				key := fmt.Sprintf("k%d-%s", m.Txn.Seq, pi.ID)
+				_, present := p.Store().Read(key)
+				if want == wire.Commit && !present {
+					return fmt.Errorf("txn %v fixed Commit in the WAL but %s lost %s", m.Txn, pi.ID, key)
+				}
+				if want == wire.Abort && present {
+					return fmt.Errorf("txn %v fixed Abort in the WAL but %s applied %s", m.Txn, pi.ID, key)
+				}
+				checked++
+			}
+		}
+	}
+
+	fmt.Printf("ok   epoch-smoke: %d commits (%d interrupted by the kill), %d epoch records / %d members (%d multi-member), %d member outcomes match the WAL after recovery\n",
+		committed.Load(), interrupted.Load(), epochRecs, epochMembers, batched, checked)
+	return nil
+}
